@@ -1,0 +1,207 @@
+//! Simulated ANN workloads (substitute for the paper's §5.5 DEEP1B and
+//! SIFT experiments).
+//!
+//! The paper feeds top-K with *distance arrays*: for each query vector,
+//! the L2 distances to every candidate vector in the database. We
+//! cannot ship DEEP1B (9,990,000 × 96-d CNN descriptors) or SIFT
+//! (1,000,000 × 128-d local descriptors), so we generate random vectors
+//! with the same dimensionality and value character:
+//!
+//! * **DEEP1B-like** — unit-normalised dense float vectors (DEEP
+//!   descriptors come L2-normalised from the CNN's last layer).
+//! * **SIFT-like** — non-negative gradient-histogram-style magnitudes
+//!   in [0, 255] (SIFT descriptors are quantised histogram counts).
+//!
+//! What matters for a top-K benchmark is the *distribution of the
+//! distance array* — a unimodal sum-of-squares law concentrated away
+//! from zero, very different from the uniform/normal synthetic inputs —
+//! and that is preserved by construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which real-world dataset to imitate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnKind {
+    /// 96-dimensional, unit-normalised (DEEP1B-like).
+    Deep1bLike,
+    /// 128-dimensional, non-negative 0–255 (SIFT-like).
+    SiftLike,
+}
+
+impl AnnKind {
+    /// Vector dimensionality of the dataset.
+    pub fn dim(&self) -> usize {
+        match self {
+            AnnKind::Deep1bLike => 96,
+            AnnKind::SiftLike => 128,
+        }
+    }
+
+    /// Name used in benchmark reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnnKind::Deep1bLike => "deep1b-like",
+            AnnKind::SiftLike => "sift-like",
+        }
+    }
+}
+
+/// A generated vector database plus query set.
+#[derive(Debug, Clone)]
+pub struct AnnDataset {
+    /// Which dataset this imitates.
+    pub kind: AnnKind,
+    /// `n × dim` candidate vectors, row-major.
+    pub vectors: Vec<f32>,
+    /// `queries × dim` query vectors, row-major.
+    pub queries: Vec<f32>,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Number of candidate vectors.
+    pub n: usize,
+    /// Number of query vectors.
+    pub num_queries: usize,
+}
+
+impl AnnDataset {
+    /// Generate a dataset of `n` candidates and `num_queries` queries.
+    pub fn generate(kind: AnnKind, n: usize, num_queries: usize, seed: u64) -> Self {
+        let dim = kind.dim();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gen_vec = |rng: &mut StdRng| -> Vec<f32> {
+            match kind {
+                AnnKind::Deep1bLike => {
+                    // Gaussian components, L2-normalised.
+                    let mut v: Vec<f32> = (0..dim)
+                        .map(|_| {
+                            let u1 = 1.0 - rng.gen::<f64>();
+                            let u2: f64 = rng.gen();
+                            ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos())
+                                as f32
+                        })
+                        .collect();
+                    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+                    for x in &mut v {
+                        *x /= norm;
+                    }
+                    v
+                }
+                AnnKind::SiftLike => {
+                    // Histogram-like counts: squared uniforms stretch the
+                    // mass toward small values like real SIFT bins.
+                    (0..dim)
+                        .map(|_| {
+                            let u: f32 = rng.gen();
+                            (u * u * 255.0).floor()
+                        })
+                        .collect()
+                }
+            }
+        };
+
+        let mut vectors = Vec::with_capacity(n * dim);
+        for _ in 0..n {
+            vectors.extend(gen_vec(&mut rng));
+        }
+        let mut queries = Vec::with_capacity(num_queries * dim);
+        for _ in 0..num_queries {
+            queries.extend(gen_vec(&mut rng));
+        }
+        AnnDataset {
+            kind,
+            vectors,
+            queries,
+            dim,
+            n,
+            num_queries,
+        }
+    }
+
+    /// Candidate vector `i` as a slice.
+    pub fn vector(&self, i: usize) -> &[f32] {
+        &self.vectors[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Query vector `q` as a slice.
+    pub fn query(&self, q: usize) -> &[f32] {
+        &self.queries[q * self.dim..(q + 1) * self.dim]
+    }
+
+    /// Squared-L2 distances from query `q` to all `n` candidates — the
+    /// top-K input array of the §5.5 experiment. (ANN systems rank by
+    /// squared distance to skip the square root; ordering is identical.)
+    pub fn distance_array(&self, q: usize) -> Vec<f32> {
+        let query = self.query(q);
+        (0..self.n)
+            .map(|i| {
+                self.vector(i)
+                    .iter()
+                    .zip(query)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_match_paper_datasets() {
+        assert_eq!(AnnKind::Deep1bLike.dim(), 96);
+        assert_eq!(AnnKind::SiftLike.dim(), 128);
+    }
+
+    #[test]
+    fn deep1b_vectors_are_unit_norm() {
+        let ds = AnnDataset::generate(AnnKind::Deep1bLike, 50, 2, 1);
+        for i in 0..ds.n {
+            let norm: f32 = ds.vector(i).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4, "norm = {norm}");
+        }
+    }
+
+    #[test]
+    fn sift_vectors_are_nonneg_bounded() {
+        let ds = AnnDataset::generate(AnnKind::SiftLike, 50, 2, 1);
+        assert!(ds.vectors.iter().all(|&x| (0.0..=255.0).contains(&x)));
+    }
+
+    #[test]
+    fn distance_arrays_are_valid_topk_inputs() {
+        for kind in [AnnKind::Deep1bLike, AnnKind::SiftLike] {
+            let ds = AnnDataset::generate(kind, 200, 3, 9);
+            for q in 0..ds.num_queries {
+                let d = ds.distance_array(q);
+                assert_eq!(d.len(), 200);
+                assert!(d.iter().all(|x| x.is_finite() && *x >= 0.0));
+                // Distances must not all be equal (otherwise top-K is
+                // degenerate and the benchmark meaningless).
+                let min = d.iter().cloned().fold(f32::INFINITY, f32::min);
+                let max = d.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                assert!(max > min);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = AnnDataset::generate(AnnKind::SiftLike, 20, 1, 5);
+        let b = AnnDataset::generate(AnnKind::SiftLike, 20, 1, 5);
+        assert_eq!(a.vectors, b.vectors);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let mut ds = AnnDataset::generate(AnnKind::Deep1bLike, 10, 1, 3);
+        // Plant the query as candidate 4.
+        let q: Vec<f32> = ds.query(0).to_vec();
+        ds.vectors[4 * ds.dim..5 * ds.dim].copy_from_slice(&q);
+        let d = ds.distance_array(0);
+        assert_eq!(d[4], 0.0);
+    }
+}

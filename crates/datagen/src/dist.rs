@@ -1,0 +1,196 @@
+//! Synthetic data distributions (§5.1 of the paper).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three data distributions the paper benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniform distribution in (0, 1].
+    Uniform,
+    /// Standard normal distribution, mean 0, standard deviation 1.
+    Normal,
+    /// "Radix-adversarial" (§3.2): the first `m_bits` bits of every
+    /// element's IEEE-754 bit pattern are identical, so the first radix
+    /// passes cannot discard any candidate. The paper's benchmark uses
+    /// `M = 20` (§5.1) and the adaptive-strategy study adds `M = 10`
+    /// (§5.2.2). `m_bits` must lie in `2..=31` so the fixed prefix pins
+    /// the sign and the exponent's top bit (keeping every sample a
+    /// finite positive float).
+    RadixAdversarial {
+        /// Number of leading shared bits, 2..=31.
+        m_bits: u32,
+    },
+}
+
+impl Distribution {
+    /// Short machine-readable name used in benchmark CSV output.
+    pub fn name(&self) -> String {
+        match self {
+            Distribution::Uniform => "uniform".to_string(),
+            Distribution::Normal => "normal".to_string(),
+            Distribution::RadixAdversarial { m_bits } => format!("adversarial{m_bits}"),
+        }
+    }
+
+    /// The three distributions used in Figs. 6–7 (adversarial M = 20).
+    pub fn benchmark_set() -> [Distribution; 3] {
+        [
+            Distribution::Uniform,
+            Distribution::Normal,
+            Distribution::RadixAdversarial { m_bits: 20 },
+        ]
+    }
+}
+
+/// Generate `n` samples of `dist`, deterministically from `seed`.
+pub fn generate(dist: Distribution, n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match dist {
+        Distribution::Uniform => (0..n).map(|_| uniform_open_closed(&mut rng)).collect(),
+        Distribution::Normal => {
+            let mut out = Vec::with_capacity(n);
+            while out.len() < n {
+                let (a, b) = box_muller(&mut rng);
+                out.push(a);
+                if out.len() < n {
+                    out.push(b);
+                }
+            }
+            out
+        }
+        Distribution::RadixAdversarial { m_bits } => {
+            assert!(
+                (2..=31).contains(&m_bits),
+                "m_bits must be in 2..=31, got {m_bits}"
+            );
+            // Base pattern: bits of 1.0f32 (0x3F800000). Keeping the top
+            // m_bits of this pattern fixed and randomising the rest
+            // yields finite positive floats that all share the same
+            // leading m_bits — e.g. m_bits = 20 gives the paper's
+            // [1.0, 1.00049] example.
+            let base = 1.0f32.to_bits();
+            let low_mask: u32 = if m_bits == 32 { 0 } else { u32::MAX >> m_bits };
+            (0..n)
+                .map(|_| {
+                    let r: u32 = rng.gen();
+                    f32::from_bits((base & !low_mask) | (r & low_mask))
+                })
+                .collect()
+        }
+    }
+}
+
+/// Generate a batch of `batch` independent problems of size `n`
+/// (§5.1's batched benchmark packs same-size problems together).
+/// Problem `i` uses seed `seed + i` so batches are reproducible and
+/// problems are independent.
+pub fn generate_batch(dist: Distribution, n: usize, batch: usize, seed: u64) -> Vec<Vec<f32>> {
+    (0..batch)
+        .map(|i| generate(dist, n, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// Uniform sample in (0, 1]: `1 - U[0,1)` never returns 0.
+fn uniform_open_closed(rng: &mut StdRng) -> f32 {
+    1.0 - rng.gen::<f32>()
+}
+
+/// One Box–Muller draw: two independent standard-normal samples.
+fn box_muller(rng: &mut StdRng) -> (f32, f32) {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    ((r * theta.cos()) as f32, (r * theta.sin()) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        for dist in [
+            Distribution::Uniform,
+            Distribution::Normal,
+            Distribution::RadixAdversarial { m_bits: 20 },
+        ] {
+            let a = generate(dist, 1000, 42);
+            let b = generate(dist, 1000, 42);
+            assert_eq!(a, b);
+            let c = generate(dist, 1000, 43);
+            assert_ne!(a, c);
+        }
+    }
+
+    #[test]
+    fn uniform_range_is_open_closed() {
+        let v = generate(Distribution::Uniform, 100_000, 1);
+        assert!(v.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let v = generate(Distribution::Normal, 200_000, 7);
+        let n = v.len() as f64;
+        let mean = v.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn adversarial_shares_exactly_top_m_bits() {
+        for m in [2u32, 10, 20, 30] {
+            let v = generate(Distribution::RadixAdversarial { m_bits: m }, 50_000, 3);
+            let first = v[0].to_bits() >> (32 - m);
+            assert!(v.iter().all(|x| x.to_bits() >> (32 - m) == first));
+            assert!(v.iter().all(|x| x.is_finite() && *x > 0.0));
+            // The *next* bit must actually vary (otherwise the
+            // distribution would be adversarial for > m bits too).
+            if m < 31 {
+                let next_bits: std::collections::HashSet<u32> =
+                    v.iter().map(|x| (x.to_bits() >> (31 - m)) & 1).collect();
+                assert_eq!(next_bits.len(), 2, "bit {m} should vary");
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_m20_matches_paper_example_range() {
+        // §3.2: floats in [1.0, 1.00049] share their first 20 bits.
+        let v = generate(Distribution::RadixAdversarial { m_bits: 20 }, 10_000, 9);
+        assert!(v.iter().all(|&x| (1.0..=1.00049).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "m_bits")]
+    fn adversarial_rejects_m_out_of_range() {
+        generate(Distribution::RadixAdversarial { m_bits: 1 }, 10, 0);
+    }
+
+    #[test]
+    fn batch_problems_are_independent_and_reproducible() {
+        let b1 = generate_batch(Distribution::Uniform, 100, 3, 5);
+        let b2 = generate_batch(Distribution::Uniform, 100, 3, 5);
+        assert_eq!(b1, b2);
+        assert_ne!(b1[0], b1[1]);
+        assert_ne!(b1[1], b1[2]);
+        assert_eq!(b1.len(), 3);
+        assert!(b1.iter().all(|p| p.len() == 100));
+    }
+
+    #[test]
+    fn names_for_reports() {
+        assert_eq!(Distribution::Uniform.name(), "uniform");
+        assert_eq!(Distribution::Normal.name(), "normal");
+        assert_eq!(
+            Distribution::RadixAdversarial { m_bits: 20 }.name(),
+            "adversarial20"
+        );
+        assert_eq!(Distribution::benchmark_set().len(), 3);
+    }
+}

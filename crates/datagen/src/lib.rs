@@ -1,0 +1,21 @@
+//! # datagen — workload generators for the top-K benchmark
+//!
+//! Reproduces the input data of the SC '23 paper's evaluation:
+//!
+//! * [`dist`] — the three synthetic distributions of §5.1: uniform in
+//!   (0, 1], standard normal, and the "radix-adversarial" distribution
+//!   where the first *M* bits of every element's IEEE-754 representation
+//!   are identical (§3.2 / §5.2.2).
+//! * [`ann`] — the real-world experiment of §5.5 substituted with
+//!   synthetic ANN workloads: DEEP1B-like (96-d) and SIFT-like (128-d)
+//!   vectors whose query-to-candidate L2 distance arrays feed the top-K
+//!   algorithms, exercising the identical code path without the
+//!   billion-scale downloads.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod ann;
+pub mod dist;
+
+pub use ann::{AnnDataset, AnnKind};
+pub use dist::{generate, generate_batch, Distribution};

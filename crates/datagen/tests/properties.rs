@@ -1,0 +1,73 @@
+//! Property-based tests for the workload generators.
+
+use datagen::{generate, generate_batch, AnnDataset, AnnKind, Distribution};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn uniform_stays_in_range(n in 1usize..5000, seed in any::<u64>()) {
+        let v = generate(Distribution::Uniform, n, seed);
+        prop_assert_eq!(v.len(), n);
+        prop_assert!(v.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+
+    #[test]
+    fn normal_is_finite_and_nan_free(n in 1usize..5000, seed in any::<u64>()) {
+        let v = generate(Distribution::Normal, n, seed);
+        prop_assert_eq!(v.len(), n);
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn adversarial_prefix_is_exact(n in 1usize..5000, seed in any::<u64>(), m in 2u32..=31) {
+        let v = generate(Distribution::RadixAdversarial { m_bits: m }, n, seed);
+        let first = v[0].to_bits() >> (32 - m);
+        prop_assert!(v.iter().all(|x| x.to_bits() >> (32 - m) == first));
+        prop_assert!(v.iter().all(|x| x.is_finite() && *x > 0.0));
+    }
+
+    #[test]
+    fn same_seed_same_data(seed in any::<u64>()) {
+        for dist in Distribution::benchmark_set() {
+            prop_assert_eq!(generate(dist, 257, seed), generate(dist, 257, seed));
+        }
+    }
+
+    #[test]
+    fn batch_problems_differ_pairwise(seed in any::<u64>(), b in 2usize..6) {
+        let batch = generate_batch(Distribution::Uniform, 64, b, seed);
+        prop_assert_eq!(batch.len(), b);
+        for i in 0..b {
+            for j in i + 1..b {
+                prop_assert_ne!(&batch[i], &batch[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn ann_distance_arrays_are_nonnegative_finite(n in 2usize..128, seed in any::<u64>()) {
+        for kind in [AnnKind::Deep1bLike, AnnKind::SiftLike] {
+            let ds = AnnDataset::generate(kind, n, 1, seed);
+            let d = ds.distance_array(0);
+            prop_assert_eq!(d.len(), n);
+            prop_assert!(d.iter().all(|x| x.is_finite() && *x >= 0.0));
+        }
+    }
+}
+
+#[test]
+fn distributions_actually_differ() {
+    // Guard against a refactor accidentally collapsing generators.
+    let u = generate(Distribution::Uniform, 1000, 1);
+    let n = generate(Distribution::Normal, 1000, 1);
+    let a = generate(Distribution::RadixAdversarial { m_bits: 20 }, 1000, 1);
+    assert_ne!(u, n);
+    assert_ne!(u, a);
+    // Normal has negatives, uniform does not.
+    assert!(n.iter().any(|&x| x < 0.0));
+    assert!(u.iter().all(|&x| x > 0.0));
+    // Adversarial values cluster in [1.0, 1.00049]-ish.
+    assert!(a.iter().all(|&x| (1.0..1.001).contains(&x)));
+}

@@ -1,0 +1,238 @@
+//! Device specifications.
+//!
+//! A [`DeviceSpec`] captures the handful of published hardware
+//! parameters that the cost model needs: SM count, memory bandwidth,
+//! compute throughput, kernel-launch overhead, and the PCIe link to the
+//! host. Presets for the three GPUs used in the paper's evaluation
+//! (A100 §5.1–5.3, H100 and A10 §5.4) are provided.
+
+/// Warp width on every NVIDIA architecture the paper targets.
+pub const WARP_SIZE: usize = 32;
+
+/// Static description of a simulated GPU.
+///
+/// All bandwidth figures are *peak* values from public datasheets; the
+/// cost model derates them by occupancy and coalescing efficiency (see
+/// [`crate::cost`]). Times are in microseconds, bandwidths in GB/s
+/// (= bytes/ns), compute throughput in Gop/s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"A100"`. Used in reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Peak device (HBM/GDDR) memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Peak integer/float scalar op throughput in Gop/s. FP32 FMA peak
+    /// on A100 is ~19.5 TFLOPS; scalar integer pipelines are roughly
+    /// half that, and top-K kernels mix both, so presets use a blended
+    /// figure.
+    pub compute_gops: f64,
+    /// Maximum resident warps per SM (64 on Ampere/Hopper).
+    pub max_warps_per_sm: usize,
+    /// Maximum threads per block (1024 on all modern parts).
+    pub max_threads_per_block: usize,
+    /// Shared memory available per block, bytes.
+    pub shared_mem_per_block: usize,
+    /// Total device memory, bytes. Allocations beyond this fail.
+    pub device_mem_bytes: usize,
+    /// Number of concurrently active warps needed to saturate the
+    /// memory system. Derived from latency×bandwidth products; the
+    /// presets use `sm_count × 16`, which reproduces the published
+    /// behaviour that one block (≤ 32 warps) achieves roughly 1/100th
+    /// of peak bandwidth — the utilisation gap behind GridSelect's
+    /// speedup over BlockSelect (§5.3).
+    pub warps_to_saturate: usize,
+    /// Fixed CPU-side cost of launching one kernel, µs. Paid in full
+    /// for a "cold" launch (first of a sequence, or after any host
+    /// activity).
+    pub kernel_launch_us: f64,
+    /// GPU-side gap between back-to-back asynchronously launched
+    /// kernels on one stream, µs. The CPU enqueues ahead, so
+    /// consecutive launches with no intervening host work only pay
+    /// this small pipeline bubble — which is why Fig. 8's AIR timeline
+    /// shows gaps "too narrow to be observed" while RadixSelect's
+    /// host-interrupted launches each pay the full overhead.
+    pub kernel_gap_us: f64,
+    /// Minimum duration of any kernel once running (ramp-up/drain), µs.
+    pub kernel_floor_us: f64,
+    /// Host-device PCIe bandwidth, GB/s (effective, not theoretical).
+    pub pcie_bw_gbps: f64,
+    /// One-way latency of a host↔device copy or event, µs.
+    pub pcie_latency_us: f64,
+    /// Cost of a host synchronisation (stream sync / blocking copy), µs.
+    pub host_sync_us: f64,
+    /// 32-byte memory transaction granularity (sectors).
+    pub transaction_bytes: usize,
+    /// Fraction of peak DRAM bandwidth a perfectly-streaming kernel
+    /// actually achieves (refresh, row conflicts, ECC). ~0.92 on HBM
+    /// parts — this is why Nsight reports ~90% Memory SOL for
+    /// bandwidth-bound kernels (Table 3), not 100%.
+    pub mem_efficiency: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA A100-SXM4-80GB — the paper's primary testbed (§5).
+    ///
+    /// 108 SMs, 1.555 TB/s HBM2e (the paper's §5.4 quotes 1.55 TB/s).
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "A100",
+            sm_count: 108,
+            mem_bw_gbps: 1555.0,
+            compute_gops: 9700.0,
+            max_warps_per_sm: 64,
+            max_threads_per_block: 1024,
+            shared_mem_per_block: 164 * 1024,
+            device_mem_bytes: 80 * (1 << 30),
+            warps_to_saturate: 108 * 16,
+            kernel_launch_us: 3.0,
+            kernel_gap_us: 0.8,
+            kernel_floor_us: 2.0,
+            pcie_bw_gbps: 25.0,
+            pcie_latency_us: 8.0,
+            host_sync_us: 10.0,
+            transaction_bytes: 32,
+            mem_efficiency: 0.92,
+        }
+    }
+
+    /// NVIDIA H100-SXM5 — §5.4. 132 SMs, 3.35 TB/s HBM3.
+    pub fn h100() -> Self {
+        DeviceSpec {
+            name: "H100",
+            sm_count: 132,
+            mem_bw_gbps: 3350.0,
+            compute_gops: 16000.0,
+            max_warps_per_sm: 64,
+            max_threads_per_block: 1024,
+            shared_mem_per_block: 228 * 1024,
+            device_mem_bytes: 80 * (1 << 30),
+            warps_to_saturate: 132 * 16,
+            kernel_launch_us: 3.0,
+            kernel_gap_us: 0.8,
+            kernel_floor_us: 2.0,
+            pcie_bw_gbps: 50.0,
+            pcie_latency_us: 8.0,
+            host_sync_us: 10.0,
+            transaction_bytes: 32,
+            mem_efficiency: 0.92,
+        }
+    }
+
+    /// NVIDIA A10 — the inference part used in §5.4. 72 SMs, 0.6 TB/s
+    /// GDDR6.
+    pub fn a10() -> Self {
+        DeviceSpec {
+            name: "A10",
+            sm_count: 72,
+            mem_bw_gbps: 600.0,
+            compute_gops: 4900.0,
+            max_warps_per_sm: 48,
+            max_threads_per_block: 1024,
+            shared_mem_per_block: 100 * 1024,
+            device_mem_bytes: 24 * (1 << 30),
+            warps_to_saturate: 72 * 16,
+            kernel_launch_us: 3.0,
+            kernel_gap_us: 0.8,
+            kernel_floor_us: 2.0,
+            pcie_bw_gbps: 25.0,
+            pcie_latency_us: 8.0,
+            host_sync_us: 10.0,
+            transaction_bytes: 32,
+            mem_efficiency: 0.88,
+        }
+    }
+
+    /// A tiny fictional device for unit tests: small saturation point
+    /// and memory so edge conditions (allocation failure, occupancy
+    /// clamping) are easy to hit.
+    pub fn test_tiny() -> Self {
+        DeviceSpec {
+            name: "TestTiny",
+            sm_count: 4,
+            mem_bw_gbps: 100.0,
+            compute_gops: 500.0,
+            max_warps_per_sm: 8,
+            max_threads_per_block: 256,
+            shared_mem_per_block: 16 * 1024,
+            device_mem_bytes: 64 * (1 << 20),
+            warps_to_saturate: 16,
+            kernel_launch_us: 3.0,
+            kernel_gap_us: 0.8,
+            kernel_floor_us: 2.0,
+            pcie_bw_gbps: 10.0,
+            pcie_latency_us: 8.0,
+            host_sync_us: 10.0,
+            transaction_bytes: 32,
+            mem_efficiency: 1.0,
+        }
+    }
+
+    /// Peak memory bandwidth in bytes/µs (1 GB/s == 1000 bytes/µs).
+    #[inline]
+    pub fn mem_bw_bytes_per_us(&self) -> f64 {
+        self.mem_bw_gbps * 1_000.0
+    }
+
+    /// Peak compute throughput in ops/µs.
+    #[inline]
+    pub fn compute_ops_per_us(&self) -> f64 {
+        self.compute_gops * 1_000.0
+    }
+
+    /// PCIe bandwidth in bytes/µs.
+    #[inline]
+    pub fn pcie_bw_bytes_per_us(&self) -> f64 {
+        self.pcie_bw_gbps * 1_000.0
+    }
+
+    /// Maximum number of warps that can be resident device-wide.
+    #[inline]
+    pub fn max_resident_warps(&self) -> usize {
+        self.sm_count * self.max_warps_per_sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        for spec in [
+            DeviceSpec::a100(),
+            DeviceSpec::h100(),
+            DeviceSpec::a10(),
+            DeviceSpec::test_tiny(),
+        ] {
+            assert!(spec.sm_count > 0);
+            assert!(spec.mem_bw_gbps > 0.0);
+            assert!(spec.warps_to_saturate <= spec.max_resident_warps());
+            assert!(spec.kernel_floor_us <= spec.host_sync_us);
+            assert!(spec.max_threads_per_block % WARP_SIZE == 0);
+        }
+    }
+
+    #[test]
+    fn bandwidth_ordering_matches_section_5_4() {
+        // §5.4: performance differences align with memory bandwidth
+        // A10 (0.6 TB/s) < A100 (1.55 TB/s) < H100 (3.35 TB/s).
+        let a10 = DeviceSpec::a10();
+        let a100 = DeviceSpec::a100();
+        let h100 = DeviceSpec::h100();
+        assert!(a10.mem_bw_gbps < a100.mem_bw_gbps);
+        assert!(a100.mem_bw_gbps < h100.mem_bw_gbps);
+        // Roughly 2.5x and 2.2x ratios quoted in the paper.
+        assert!((a100.mem_bw_gbps / a10.mem_bw_gbps - 2.59).abs() < 0.1);
+        assert!((h100.mem_bw_gbps / a100.mem_bw_gbps - 2.15).abs() < 0.1);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let a100 = DeviceSpec::a100();
+        assert_eq!(a100.mem_bw_bytes_per_us(), 1_555_000.0);
+        assert_eq!(a100.pcie_bw_bytes_per_us(), 25_000.0);
+        assert_eq!(a100.max_resident_warps(), 108 * 64);
+    }
+}

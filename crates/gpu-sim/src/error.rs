@@ -1,0 +1,51 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors raised by the simulator.
+///
+/// Most simulator misuse (out-of-bounds access, over-large blocks) is a
+/// programming error and panics, mirroring how a CUDA kernel would fault
+/// the device. `SimError` is reserved for conditions a caller can
+/// legitimately handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Device memory exhausted: requested vs. remaining bytes.
+    OutOfDeviceMemory { requested: usize, available: usize },
+    /// Launch configuration violates a device limit.
+    InvalidLaunch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfDeviceMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of device memory: requested {requested} bytes, {available} available"
+            ),
+            SimError::InvalidLaunch(msg) => write!(f, "invalid launch configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::OutOfDeviceMemory {
+            requested: 100,
+            available: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("10"));
+        let e = SimError::InvalidLaunch("block too big".into());
+        assert!(e.to_string().contains("block too big"));
+    }
+}

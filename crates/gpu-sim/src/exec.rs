@@ -1,0 +1,418 @@
+//! Kernel execution: launch configuration and the per-block context.
+//!
+//! A kernel is a Rust closure invoked once per thread block with a
+//! [`BlockCtx`]. The closure plays the role of the whole block's
+//! cooperative work (CUDA's `__syncthreads()` barriers become ordinary
+//! sequential program order inside the closure; warp-level parallelism
+//! is expressed with [`crate::warp`] lane arrays). All global-memory
+//! access goes through the context so the cost model sees every byte.
+//!
+//! Blocks of one launch may run concurrently on host threads, so
+//! anything a real GPU would race on (histograms, output cursors,
+//! "last block" flags) must use the atomic accessors — same as CUDA.
+
+use crate::cost::KernelStats;
+use crate::device::{DeviceSpec, WARP_SIZE};
+use crate::memory::{AtomicCell, DeviceBuffer, DeviceScalar};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shape of a kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks.
+    pub grid_dim: usize,
+    /// Threads per block (multiple of the 32-thread warp size).
+    pub block_dim: usize,
+}
+
+impl LaunchConfig {
+    /// A 1-D launch of `grid_dim` blocks × `block_dim` threads.
+    pub fn grid_1d(grid_dim: usize, block_dim: usize) -> Self {
+        LaunchConfig {
+            grid_dim,
+            block_dim,
+        }
+    }
+
+    /// A launch sized so that `grid_dim × block_dim × items_per_thread`
+    /// covers `n` elements, capped at `max_grid` blocks (grid-stride
+    /// loops handle the remainder, as CUDA kernels do).
+    pub fn for_elements(
+        n: usize,
+        block_dim: usize,
+        items_per_thread: usize,
+        max_grid: usize,
+    ) -> Self {
+        let per_block = block_dim * items_per_thread;
+        let grid = n.div_ceil(per_block.max(1)).clamp(1, max_grid.max(1));
+        LaunchConfig {
+            grid_dim: grid,
+            block_dim,
+        }
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> usize {
+        self.grid_dim * self.block_dim
+    }
+
+    /// Total warps in the launch.
+    pub fn total_warps(&self) -> usize {
+        self.grid_dim * self.block_dim.div_ceil(WARP_SIZE)
+    }
+}
+
+/// Block-scope shared-memory arena.
+///
+/// Tracks allocation against the device's per-block limit; the backing
+/// storage is ordinary host memory (shared-memory *access* is not
+/// charged to DRAM traffic, matching real hardware).
+pub struct SharedMem {
+    capacity: usize,
+    used: usize,
+}
+
+impl SharedMem {
+    /// Arena with the given capacity in bytes.
+    pub fn new(capacity: usize) -> Self {
+        SharedMem { capacity, used: 0 }
+    }
+
+    /// Allocate `len` elements of `T`, zero-initialised.
+    ///
+    /// Panics if the block's shared-memory budget is exceeded — the
+    /// equivalent of a CUDA launch failure.
+    pub fn alloc<T: Default + Clone>(&mut self, len: usize) -> Vec<T> {
+        let bytes = len * std::mem::size_of::<T>();
+        assert!(
+            self.used + bytes <= self.capacity,
+            "shared memory overflow: {} + {} > {} bytes",
+            self.used,
+            bytes,
+            self.capacity
+        );
+        self.used += bytes;
+        vec![T::default(); len]
+    }
+
+    /// Bytes allocated so far.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Per-block execution context handed to kernel closures.
+///
+/// Holds the block's coordinates, its private traffic meters (merged
+/// into the launch's [`KernelStats`] afterwards), and the shared-memory
+/// arena.
+pub struct BlockCtx<'a> {
+    /// Index of this block within the grid.
+    pub block_idx: usize,
+    /// Number of blocks in the grid.
+    pub grid_dim: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+    pub(crate) stats: KernelStats,
+    pub(crate) shared: SharedMem,
+    pub(crate) done_counter: &'a AtomicUsize,
+    pub(crate) spec: &'a DeviceSpec,
+}
+
+impl<'a> BlockCtx<'a> {
+    pub(crate) fn new(
+        block_idx: usize,
+        grid_dim: usize,
+        block_dim: usize,
+        done_counter: &'a AtomicUsize,
+        spec: &'a DeviceSpec,
+    ) -> Self {
+        BlockCtx {
+            block_idx,
+            grid_dim,
+            block_dim,
+            stats: KernelStats::default(),
+            shared: SharedMem::new(spec.shared_mem_per_block),
+            done_counter,
+            spec,
+        }
+    }
+
+    /// Number of warps in this block.
+    #[inline]
+    pub fn warps(&self) -> usize {
+        self.block_dim.div_ceil(WARP_SIZE)
+    }
+
+    /// Device spec of the GPU running this kernel.
+    #[inline]
+    pub fn spec(&self) -> &DeviceSpec {
+        self.spec
+    }
+
+    // ---- metered global-memory access ------------------------------
+
+    /// Coalesced (streaming) load.
+    #[inline(always)]
+    pub fn ld<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, idx: usize) -> T {
+        self.stats.bytes_read += T::BYTES as u64;
+        T::from_raw(buf.cell(idx).load())
+    }
+
+    /// Coalesced (streaming) store.
+    #[inline(always)]
+    pub fn st<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, idx: usize, v: T) {
+        self.stats.bytes_written += T::BYTES as u64;
+        buf.cell(idx).store(v.to_raw());
+    }
+
+    /// Uncoalesced (gather) load: charged a whole transaction sector.
+    #[inline(always)]
+    pub fn ld_gather<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, idx: usize) -> T {
+        self.stats.bytes_scattered += self.spec.transaction_bytes as u64;
+        T::from_raw(buf.cell(idx).load())
+    }
+
+    /// Uncoalesced (scatter) store: charged a whole transaction sector.
+    ///
+    /// The paper's adaptive strategy (§3.2) notes that candidate-buffer
+    /// stores "might be uncoalesced", which is why the buffering
+    /// threshold α must exceed its information-theoretic lower bound
+    /// of 4 — this accessor is what makes that trade-off visible to the
+    /// cost model.
+    #[inline(always)]
+    pub fn st_scatter<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, idx: usize, v: T) {
+        self.stats.bytes_scattered += self.spec.transaction_bytes as u64;
+        buf.cell(idx).store(v.to_raw());
+    }
+
+    /// Global-memory atomic add on an integer buffer; returns the
+    /// previous value.
+    #[inline(always)]
+    pub fn atomic_add<T>(&mut self, buf: &DeviceBuffer<T>, idx: usize, v: T) -> T
+    where
+        T: DeviceScalar,
+        T::Atom: AtomicCell<Raw = T>,
+    {
+        self.stats.atomic_ops += 1;
+        buf.cell(idx).fetch_add(v)
+    }
+
+    /// Acquire-release atomic add, for grid-level coordination through
+    /// device memory (per-problem "last block" counters in batched
+    /// kernels). The release makes this block's earlier relaxed writes
+    /// (e.g. histogram increments) visible to whichever block observes
+    /// the final count.
+    #[inline(always)]
+    pub fn atomic_add_sync<T>(&mut self, buf: &DeviceBuffer<T>, idx: usize, v: T) -> T
+    where
+        T: DeviceScalar,
+        T::Atom: AtomicCell<Raw = T>,
+    {
+        self.stats.atomic_ops += 1;
+        buf.cell(idx).fetch_add_sync(v)
+    }
+
+    /// Global-memory atomic min (unsigned raw-bit comparison).
+    #[inline(always)]
+    pub fn atomic_min_raw<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: usize,
+        v: T,
+    ) -> T {
+        self.stats.atomic_ops += 1;
+        T::from_raw(buf.cell(idx).fetch_min(v.to_raw()))
+    }
+
+    /// Global-memory atomic max (unsigned raw-bit comparison).
+    #[inline(always)]
+    pub fn atomic_max_raw<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: usize,
+        v: T,
+    ) -> T {
+        self.stats.atomic_ops += 1;
+        T::from_raw(buf.cell(idx).fetch_max(v.to_raw()))
+    }
+
+    /// Global-memory compare-and-swap; returns `Ok(previous)` when the
+    /// swap happened.
+    #[inline(always)]
+    pub fn atomic_cas<T>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: usize,
+        current: T,
+        new: T,
+    ) -> Result<T, T>
+    where
+        T: DeviceScalar,
+        T::Atom: AtomicCell<Raw = T>,
+    {
+        self.stats.atomic_ops += 1;
+        buf.cell(idx).compare_exchange(current, new)
+    }
+
+    // ---- compute + shared memory -----------------------------------
+
+    /// Charge `n` scalar compute operations to this block.
+    #[inline(always)]
+    pub fn ops(&mut self, n: u64) {
+        self.stats.compute_ops += n;
+    }
+
+    /// Allocate block shared memory (`len` elements of `T`).
+    pub fn shared_alloc<T: Default + Clone>(&mut self, len: usize) -> Vec<T> {
+        let v = self.shared.alloc::<T>(len);
+        self.stats.shared_mem_bytes = self.shared.used() as u64;
+        v
+    }
+
+    // ---- grid-level coordination ------------------------------------
+
+    /// The "last block" pattern: increments a grid-wide counter and
+    /// returns `true` in exactly one block — the one that finished
+    /// last. CUDA radix-select implementations use this (an `AcqRel`
+    /// atomic on global memory) to let the final block compute the
+    /// prefix sum of the histogram the whole grid just built, which is
+    /// the trick that makes AIR Top-K's iteration-fused kernel possible
+    /// (§3.1).
+    ///
+    /// Must be called at most once per block, after the block's global
+    /// writes.
+    pub fn mark_block_done(&mut self) -> bool {
+        self.stats.atomic_ops += 1;
+        let prev = self.done_counter.fetch_add(1, Ordering::AcqRel);
+        prev + 1 == self.grid_dim
+    }
+}
+
+/// Validate a launch configuration against device limits.
+pub fn validate_launch(spec: &DeviceSpec, cfg: &LaunchConfig) -> Result<(), crate::SimError> {
+    if cfg.grid_dim == 0 || cfg.block_dim == 0 {
+        return Err(crate::SimError::InvalidLaunch(format!(
+            "zero-sized launch {}x{}",
+            cfg.grid_dim, cfg.block_dim
+        )));
+    }
+    if cfg.block_dim > spec.max_threads_per_block {
+        return Err(crate::SimError::InvalidLaunch(format!(
+            "block_dim {} exceeds device limit {}",
+            cfg.block_dim, spec.max_threads_per_block
+        )));
+    }
+    if !cfg.block_dim.is_multiple_of(WARP_SIZE) {
+        return Err(crate::SimError::InvalidLaunch(format!(
+            "block_dim {} is not a multiple of the warp size",
+            cfg.block_dim
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    #[test]
+    fn launch_config_for_elements() {
+        let c = LaunchConfig::for_elements(10_000, 256, 4, 1 << 20);
+        assert_eq!(c.block_dim, 256);
+        assert_eq!(c.grid_dim, 10_000usize.div_ceil(1024));
+        // Capped.
+        let c = LaunchConfig::for_elements(1 << 30, 256, 1, 432);
+        assert_eq!(c.grid_dim, 432);
+        // Tiny n still launches one block.
+        let c = LaunchConfig::for_elements(1, 128, 8, 100);
+        assert_eq!(c.grid_dim, 1);
+        assert_eq!(c.total_threads(), 128);
+        assert_eq!(c.total_warps(), 4);
+    }
+
+    #[test]
+    fn shared_mem_budget_enforced() {
+        let mut sm = SharedMem::new(1024);
+        let a: Vec<u32> = sm.alloc(128); // 512 bytes
+        assert_eq!(a.len(), 128);
+        assert_eq!(sm.used(), 512);
+        let _b: Vec<u8> = sm.alloc(512);
+        assert_eq!(sm.used(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory overflow")]
+    fn shared_mem_overflow_panics() {
+        let mut sm = SharedMem::new(16);
+        let _: Vec<u64> = sm.alloc(3);
+    }
+
+    #[test]
+    fn validate_launch_limits() {
+        let spec = DeviceSpec::test_tiny();
+        assert!(validate_launch(&spec, &LaunchConfig::grid_1d(1, 256)).is_ok());
+        assert!(validate_launch(&spec, &LaunchConfig::grid_1d(0, 256)).is_err());
+        assert!(validate_launch(&spec, &LaunchConfig::grid_1d(1, 512)).is_err());
+        assert!(validate_launch(&spec, &LaunchConfig::grid_1d(1, 100)).is_err());
+    }
+
+    #[test]
+    fn block_ctx_meters_traffic() {
+        let spec = DeviceSpec::a100();
+        let done = AtomicUsize::new(0);
+        let mut ctx = BlockCtx::new(0, 1, 256, &done, &spec);
+        let buf = DeviceBuffer::from_slice("b", &[1.0f32, 2.0, 3.0]);
+        assert_eq!(ctx.ld(&buf, 1), 2.0);
+        ctx.st(&buf, 0, 9.0);
+        assert_eq!(buf.get(0), 9.0);
+        let _ = ctx.ld_gather(&buf, 2);
+        ctx.st_scatter(&buf, 2, 0.0);
+        ctx.ops(10);
+        assert_eq!(ctx.stats.bytes_read, 4);
+        assert_eq!(ctx.stats.bytes_written, 4);
+        assert_eq!(ctx.stats.bytes_scattered, 64);
+        assert_eq!(ctx.stats.compute_ops, 10);
+    }
+
+    #[test]
+    fn atomic_accessors() {
+        let spec = DeviceSpec::a100();
+        let done = AtomicUsize::new(0);
+        let mut ctx = BlockCtx::new(0, 1, 32, &done, &spec);
+        let buf = DeviceBuffer::<u32>::zeroed("a", 2);
+        assert_eq!(ctx.atomic_add(&buf, 0, 5), 0);
+        assert_eq!(ctx.atomic_add(&buf, 0, 3), 5);
+        assert_eq!(buf.get(0), 8);
+        buf.set(1, 100);
+        ctx.atomic_min_raw(&buf, 1, 42);
+        assert_eq!(buf.get(1), 42);
+        ctx.atomic_max_raw(&buf, 1, 77);
+        assert_eq!(buf.get(1), 77);
+        assert_eq!(ctx.atomic_cas(&buf, 1, 77, 1), Ok(77));
+        assert_eq!(ctx.atomic_cas(&buf, 1, 77, 2), Err(1));
+        assert_eq!(ctx.stats.atomic_ops, 6);
+    }
+
+    #[test]
+    fn last_block_fires_exactly_once() {
+        let spec = DeviceSpec::a100();
+        let done = AtomicUsize::new(0);
+        let grid = 7;
+        let mut fired = 0;
+        for b in 0..grid {
+            let mut ctx = BlockCtx::new(b, grid, 32, &done, &spec);
+            if ctx.mark_block_done() {
+                fired += 1;
+                assert_eq!(b, grid - 1, "sequential order: last index finishes last");
+            }
+        }
+        assert_eq!(fired, 1);
+    }
+}

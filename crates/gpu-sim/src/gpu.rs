@@ -1,0 +1,362 @@
+//! The [`Gpu`] device handle: allocation, transfers, launches, clock.
+//!
+//! Everything an algorithm does to the simulated device flows through
+//! this type, which advances the simulated clock using the cost model
+//! and records a [`Timeline`] plus per-kernel [`KernelReport`]s for the
+//! profiling figures (Fig. 8, Table 3).
+
+use crate::cost::{kernel_cost, memcpy_cost, CostBreakdown, KernelStats};
+use crate::device::DeviceSpec;
+use crate::error::SimError;
+use crate::exec::{validate_launch, BlockCtx, LaunchConfig};
+use crate::memory::{DeviceBuffer, DeviceScalar};
+use crate::pool::BlockPool;
+use crate::profile::{EventKind, Timeline};
+
+/// Everything recorded about one kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Kernel name as passed to [`Gpu::launch`].
+    pub name: String,
+    /// Launch shape.
+    pub cfg: LaunchConfig,
+    /// Merged traffic/compute meters from all blocks.
+    pub stats: KernelStats,
+    /// Cost-model output for the launch.
+    pub cost: CostBreakdown,
+    /// Simulated time at which the kernel started, µs.
+    pub start_us: f64,
+}
+
+/// A simulated GPU.
+///
+/// Owns the device spec, the simulated clock, the profiling state and a
+/// host thread pool used to execute thread blocks. See the crate-level
+/// docs for a usage example.
+pub struct Gpu {
+    spec: DeviceSpec,
+    pool: BlockPool,
+    clock_us: f64,
+    timeline: Timeline,
+    reports: Vec<KernelReport>,
+    mem_allocated: usize,
+    mem_high_water: usize,
+}
+
+impl Gpu {
+    /// New device with the default (environment-sized) block pool.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Gpu::with_pool(spec, BlockPool::from_env())
+    }
+
+    /// New device with an explicit block pool (e.g. `BlockPool::new(1)`
+    /// for fully deterministic sequential block order in tests).
+    pub fn with_pool(spec: DeviceSpec, pool: BlockPool) -> Self {
+        Gpu {
+            spec,
+            pool,
+            clock_us: 0.0,
+            timeline: Timeline::new(),
+            reports: Vec::new(),
+            mem_allocated: 0,
+            mem_high_water: 0,
+        }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Simulated time elapsed since construction or the last
+    /// [`Gpu::reset_profile`], µs.
+    pub fn elapsed_us(&self) -> f64 {
+        self.clock_us
+    }
+
+    /// The recorded timeline.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// All kernel reports since the last reset.
+    pub fn reports(&self) -> &[KernelReport] {
+        &self.reports
+    }
+
+    /// Device memory currently allocated, bytes.
+    pub fn mem_allocated(&self) -> usize {
+        self.mem_allocated
+    }
+
+    /// Peak device memory allocated, bytes.
+    pub fn mem_high_water(&self) -> usize {
+        self.mem_high_water
+    }
+
+    /// Zero the clock and clear the timeline/report history.
+    /// Benchmarks call this after uploading inputs so only the
+    /// algorithm under test is timed.
+    pub fn reset_profile(&mut self) {
+        self.clock_us = 0.0;
+        self.timeline.clear();
+        self.reports.clear();
+    }
+
+    // ---- memory ------------------------------------------------------
+
+    /// Allocate a zeroed device buffer, charging it against device
+    /// memory. Panics when the device is out of memory (use
+    /// [`Gpu::try_alloc`] to handle it).
+    pub fn alloc<T: DeviceScalar>(&mut self, label: &str, len: usize) -> DeviceBuffer<T> {
+        self.try_alloc(label, len).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible allocation.
+    pub fn try_alloc<T: DeviceScalar>(
+        &mut self,
+        label: &str,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, SimError> {
+        let bytes = len * T::BYTES;
+        let available =
+            self.spec.device_mem_bytes - self.mem_allocated.min(self.spec.device_mem_bytes);
+        if bytes > available {
+            return Err(SimError::OutOfDeviceMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        self.mem_allocated += bytes;
+        self.mem_high_water = self.mem_high_water.max(self.mem_allocated);
+        Ok(DeviceBuffer::zeroed(label, len))
+    }
+
+    /// Release a buffer's bytes back to the device allocator. (The
+    /// backing host memory is freed when the last handle drops; this
+    /// only updates the simulated allocator accounting.)
+    pub fn free<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>) {
+        self.mem_allocated = self.mem_allocated.saturating_sub(buf.size_bytes());
+    }
+
+    /// Copy host data to a new device buffer, paying PCIe cost.
+    pub fn htod<T: DeviceScalar>(&mut self, label: &str, data: &[T]) -> DeviceBuffer<T> {
+        let buf = self.alloc::<T>(label, data.len());
+        for (i, &v) in data.iter().enumerate() {
+            buf.set(i, v);
+        }
+        let t = memcpy_cost(&self.spec, buf.size_bytes());
+        self.timeline.push(EventKind::MemcpyHtoD, self.clock_us, t);
+        self.clock_us += t;
+        buf
+    }
+
+    /// Copy a small host payload into an *existing* device buffer
+    /// (parameter updates in host-driven loops), paying PCIe cost.
+    pub fn htod_into<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, data: &[T]) {
+        assert!(data.len() <= buf.len(), "htod_into overflows buffer");
+        for (i, &v) in data.iter().enumerate() {
+            buf.set(i, v);
+        }
+        let t = memcpy_cost(&self.spec, data.len() * T::BYTES);
+        self.timeline.push(EventKind::MemcpyHtoD, self.clock_us, t);
+        self.clock_us += t;
+    }
+
+    /// Copy a device buffer back to the host. A blocking copy: pays a
+    /// host synchronisation plus the PCIe transfer, like
+    /// `cudaMemcpy(DtoH)` on the default stream.
+    pub fn dtoh<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        self.dtoh_range(buf, 0, buf.len())
+    }
+
+    /// Copy `len` elements starting at `offset` back to the host.
+    pub fn dtoh_range<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        offset: usize,
+        len: usize,
+    ) -> Vec<T> {
+        let sync = self.spec.host_sync_us;
+        self.timeline.push(EventKind::HostSync, self.clock_us, sync);
+        self.clock_us += sync;
+        let t = memcpy_cost(&self.spec, len * T::BYTES);
+        self.timeline.push(EventKind::MemcpyDtoH, self.clock_us, t);
+        self.clock_us += t;
+        (offset..offset + len).map(|i| buf.get(i)).collect()
+    }
+
+    // ---- execution ----------------------------------------------------
+
+    /// Launch a kernel: run `kernel` once per block (possibly on
+    /// multiple host threads), meter its activity, advance the clock by
+    /// launch overhead + modelled execution time, and record a report.
+    ///
+    /// Back-to-back launches pipeline: when the immediately preceding
+    /// timeline event is another kernel (no host sync, copy or compute
+    /// in between), only the small GPU-side `kernel_gap_us` is paid
+    /// instead of the full CPU launch overhead — the asynchronous
+    /// stream behaviour that makes AIR Top-K's four enqueued kernels
+    /// nearly gapless (Fig. 8) while host-driven loops pay full price
+    /// every time.
+    pub fn launch<F>(&mut self, name: &str, cfg: LaunchConfig, kernel: F) -> &KernelReport
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        validate_launch(&self.spec, &cfg).unwrap_or_else(|e| panic!("{e}"));
+
+        let stats = self.pool.run(&self.spec, cfg, kernel);
+        let mut cost = kernel_cost(&self.spec, cfg.grid_dim, cfg.block_dim, &stats);
+        let pipelined = matches!(
+            self.timeline.events().last().map(|e| &e.kind),
+            Some(EventKind::Kernel(_))
+        );
+        if pipelined {
+            cost.launch_us = self.spec.kernel_gap_us;
+        }
+
+        self.timeline
+            .push(EventKind::LaunchOverhead, self.clock_us, cost.launch_us);
+        self.clock_us += cost.launch_us;
+        let start = self.clock_us;
+        self.timeline
+            .push(EventKind::Kernel(name.to_string()), start, cost.exec_us);
+        self.clock_us += cost.exec_us;
+
+        self.reports.push(KernelReport {
+            name: name.to_string(),
+            cfg,
+            stats,
+            cost,
+            start_us: start,
+        });
+        self.reports.last().unwrap()
+    }
+
+    // ---- host-side time -----------------------------------------------
+
+    /// Account for host-side computation between launches (the GPU sits
+    /// idle). Classic RadixSelect computes prefix sums on the host this
+    /// way; AIR Top-K never calls it.
+    pub fn host_compute(&mut self, what: &str, us: f64) {
+        self.timeline
+            .push(EventKind::HostCompute(what.to_string()), self.clock_us, us);
+        self.clock_us += us;
+    }
+
+    /// An explicit host synchronisation (stream sync).
+    pub fn host_sync(&mut self) {
+        let t = self.spec.host_sync_us;
+        self.timeline.push(EventKind::HostSync, self.clock_us, t);
+        self.clock_us += t;
+    }
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("spec", &self.spec.name)
+            .field("clock_us", &self.clock_us)
+            .field("kernels", &self.reports.len())
+            .field("mem_allocated", &self.mem_allocated)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> Gpu {
+        Gpu::with_pool(DeviceSpec::a100(), BlockPool::new(1))
+    }
+
+    #[test]
+    fn launch_advances_clock_and_records() {
+        let mut g = gpu();
+        let buf = g.htod("in", &(0..256u32).collect::<Vec<_>>());
+        let t0 = g.elapsed_us();
+        assert!(t0 > 0.0, "htod must cost time");
+        g.launch("noop_scan", LaunchConfig::grid_1d(2, 128), |ctx| {
+            for i in 0..128 {
+                let _ = ctx.ld(&buf, ctx.block_idx * 128 + i);
+            }
+        });
+        assert!(g.elapsed_us() >= t0 + g.spec().kernel_launch_us + g.spec().kernel_floor_us);
+        assert_eq!(g.reports().len(), 1);
+        let r = &g.reports()[0];
+        assert_eq!(r.stats.bytes_read, 256 * 4);
+        assert_eq!(g.timeline().kernel_count(), 1);
+    }
+
+    #[test]
+    fn dtoh_pays_sync_and_latency() {
+        let mut g = gpu();
+        let buf = g.htod("x", &[1u32, 2, 3]);
+        g.reset_profile();
+        let v = g.dtoh(&buf);
+        assert_eq!(v, vec![1, 2, 3]);
+        let expected = g.spec().host_sync_us + g.spec().pcie_latency_us;
+        assert!(g.elapsed_us() >= expected);
+        assert!(g.timeline().idle_us() >= g.spec().host_sync_us);
+    }
+
+    #[test]
+    fn reset_profile_zeroes_everything() {
+        let mut g = gpu();
+        let _ = g.htod("x", &[0u32; 16]);
+        g.host_sync();
+        assert!(g.elapsed_us() > 0.0);
+        g.reset_profile();
+        assert_eq!(g.elapsed_us(), 0.0);
+        assert!(g.timeline().events().is_empty());
+        assert!(g.reports().is_empty());
+    }
+
+    #[test]
+    fn allocator_tracks_and_frees() {
+        let mut g = Gpu::with_pool(DeviceSpec::test_tiny(), BlockPool::new(1));
+        let b = g.alloc::<u32>("a", 1024);
+        assert_eq!(g.mem_allocated(), 4096);
+        g.free(&b);
+        assert_eq!(g.mem_allocated(), 0);
+        assert_eq!(g.mem_high_water(), 4096);
+    }
+
+    #[test]
+    fn allocator_oom() {
+        let mut g = Gpu::with_pool(DeviceSpec::test_tiny(), BlockPool::new(1));
+        let too_big = g.spec().device_mem_bytes / 4 + 1;
+        assert!(matches!(
+            g.try_alloc::<u32>("big", too_big),
+            Err(SimError::OutOfDeviceMemory { .. })
+        ));
+        // A fitting allocation still works afterwards.
+        assert!(g.try_alloc::<u32>("ok", 10).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid launch")]
+    fn bad_launch_panics() {
+        let mut g = gpu();
+        g.launch("bad", LaunchConfig::grid_1d(1, 33), |_| {});
+    }
+
+    #[test]
+    fn htod_into_updates_in_place() {
+        let mut g = gpu();
+        let buf = g.alloc::<u32>("params", 4);
+        g.htod_into(&buf, &[7, 8]);
+        assert_eq!(buf.get(0), 7);
+        assert_eq!(buf.get(1), 8);
+        assert_eq!(buf.get(2), 0);
+    }
+
+    #[test]
+    fn host_compute_shows_as_idle() {
+        let mut g = gpu();
+        g.host_compute("prefix sum", 12.5);
+        assert_eq!(g.timeline().idle_us(), 12.5);
+        assert!((g.elapsed_us() - 12.5).abs() < 1e-12);
+    }
+}

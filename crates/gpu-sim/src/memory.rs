@@ -1,0 +1,353 @@
+//! Device memory: atomic-backed buffers with traffic metering hooks.
+//!
+//! CUDA kernels freely race on global memory (disjoint writes, atomics,
+//! last-write-wins). To model that soundly in Rust while still running
+//! thread blocks in parallel on host threads, every [`DeviceBuffer`]
+//! element is stored in an atomic cell (`AtomicU32`/`AtomicU64`) and
+//! accessed with `Relaxed` ordering — which on x86 compiles to plain
+//! loads and stores, so the functional simulation stays fast.
+//!
+//! Buffers are cheaply clonable handles (`Arc` internally), mirroring
+//! how device pointers are copied into kernel parameters.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An atomic storage cell for one device word.
+///
+/// Implemented by [`AtomicU32`] and [`AtomicU64`]; `Raw` is the plain
+/// integer the cell holds. All operations use `Relaxed` ordering except
+/// [`AtomicCell::fetch_add_sync`], which is `AcqRel` and used by the
+/// "last block" pattern (see [`crate::exec::BlockCtx::mark_block_done`]).
+pub trait AtomicCell: Default + Send + Sync + 'static {
+    /// The plain integer type held by the cell.
+    type Raw: Copy + Eq + Send + Sync + std::fmt::Debug + 'static;
+
+    /// Relaxed load.
+    fn load(&self) -> Self::Raw;
+    /// Relaxed store.
+    fn store(&self, v: Self::Raw);
+    /// Relaxed wrapping fetch-add; returns the previous value.
+    fn fetch_add(&self, v: Self::Raw) -> Self::Raw;
+    /// Acquire-release fetch-add for cross-block synchronisation.
+    fn fetch_add_sync(&self, v: Self::Raw) -> Self::Raw;
+    /// Relaxed fetch-min (unsigned comparison); returns previous value.
+    fn fetch_min(&self, v: Self::Raw) -> Self::Raw;
+    /// Relaxed fetch-max (unsigned comparison); returns previous value.
+    fn fetch_max(&self, v: Self::Raw) -> Self::Raw;
+    /// Relaxed compare-exchange; returns `Ok(previous)` on success.
+    fn compare_exchange(&self, current: Self::Raw, new: Self::Raw) -> Result<Self::Raw, Self::Raw>;
+}
+
+macro_rules! impl_atomic_cell {
+    ($atomic:ty, $raw:ty) => {
+        impl AtomicCell for $atomic {
+            type Raw = $raw;
+
+            #[inline(always)]
+            fn load(&self) -> $raw {
+                self.load(Ordering::Relaxed)
+            }
+            #[inline(always)]
+            fn store(&self, v: $raw) {
+                self.store(v, Ordering::Relaxed)
+            }
+            #[inline(always)]
+            fn fetch_add(&self, v: $raw) -> $raw {
+                self.fetch_add(v, Ordering::Relaxed)
+            }
+            #[inline(always)]
+            fn fetch_add_sync(&self, v: $raw) -> $raw {
+                self.fetch_add(v, Ordering::AcqRel)
+            }
+            #[inline(always)]
+            fn fetch_min(&self, v: $raw) -> $raw {
+                self.fetch_min(v, Ordering::Relaxed)
+            }
+            #[inline(always)]
+            fn fetch_max(&self, v: $raw) -> $raw {
+                self.fetch_max(v, Ordering::Relaxed)
+            }
+            #[inline(always)]
+            fn compare_exchange(&self, current: $raw, new: $raw) -> Result<$raw, $raw> {
+                self.compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+            }
+        }
+    };
+}
+
+impl_atomic_cell!(AtomicU32, u32);
+impl_atomic_cell!(AtomicU64, u64);
+
+/// A plain-old-data scalar that can live in simulated device memory.
+///
+/// Maps a value type (e.g. `f32`) to its atomic backing store and raw
+/// bit representation. `BYTES` is the *logical* element size used for
+/// traffic metering.
+pub trait DeviceScalar: Copy + Send + Sync + std::fmt::Debug + 'static {
+    /// Backing atomic cell type.
+    type Atom: AtomicCell;
+    /// Logical size in bytes (what a real GPU would move).
+    const BYTES: usize;
+    /// Convert to the raw bit representation.
+    fn to_raw(self) -> <Self::Atom as AtomicCell>::Raw;
+    /// Convert back from the raw bit representation.
+    fn from_raw(raw: <Self::Atom as AtomicCell>::Raw) -> Self;
+}
+
+impl DeviceScalar for u32 {
+    type Atom = AtomicU32;
+    const BYTES: usize = 4;
+    #[inline(always)]
+    fn to_raw(self) -> u32 {
+        self
+    }
+    #[inline(always)]
+    fn from_raw(raw: u32) -> Self {
+        raw
+    }
+}
+
+impl DeviceScalar for i32 {
+    type Atom = AtomicU32;
+    const BYTES: usize = 4;
+    #[inline(always)]
+    fn to_raw(self) -> u32 {
+        self as u32
+    }
+    #[inline(always)]
+    fn from_raw(raw: u32) -> Self {
+        raw as i32
+    }
+}
+
+impl DeviceScalar for f32 {
+    type Atom = AtomicU32;
+    const BYTES: usize = 4;
+    #[inline(always)]
+    fn to_raw(self) -> u32 {
+        self.to_bits()
+    }
+    #[inline(always)]
+    fn from_raw(raw: u32) -> Self {
+        f32::from_bits(raw)
+    }
+}
+
+impl DeviceScalar for u64 {
+    type Atom = AtomicU64;
+    const BYTES: usize = 8;
+    #[inline(always)]
+    fn to_raw(self) -> u64 {
+        self
+    }
+    #[inline(always)]
+    fn from_raw(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl DeviceScalar for i64 {
+    type Atom = AtomicU64;
+    const BYTES: usize = 8;
+    #[inline(always)]
+    fn to_raw(self) -> u64 {
+        self as u64
+    }
+    #[inline(always)]
+    fn from_raw(raw: u64) -> Self {
+        raw as i64
+    }
+}
+
+impl DeviceScalar for f64 {
+    type Atom = AtomicU64;
+    const BYTES: usize = 8;
+    #[inline(always)]
+    fn to_raw(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline(always)]
+    fn from_raw(raw: u64) -> Self {
+        f64::from_bits(raw)
+    }
+}
+
+struct BufferInner<T: DeviceScalar> {
+    cells: Box<[T::Atom]>,
+    label: String,
+}
+
+/// A buffer in simulated device memory.
+///
+/// Clonable handle (like a device pointer). Direct `get`/`set` methods
+/// exist for host-side test convenience and are *not* metered; kernels
+/// must go through [`crate::exec::BlockCtx`] accessors so traffic is
+/// counted.
+pub struct DeviceBuffer<T: DeviceScalar> {
+    inner: Arc<BufferInner<T>>,
+}
+
+impl<T: DeviceScalar> Clone for DeviceBuffer<T> {
+    fn clone(&self) -> Self {
+        DeviceBuffer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: DeviceScalar> DeviceBuffer<T> {
+    /// Allocate a zero-initialised buffer. Prefer [`crate::Gpu::alloc`],
+    /// which also charges the allocation against device memory.
+    pub fn zeroed(label: &str, len: usize) -> Self {
+        let cells: Box<[T::Atom]> = (0..len).map(|_| T::Atom::default()).collect();
+        DeviceBuffer {
+            inner: Arc::new(BufferInner {
+                cells,
+                label: label.to_string(),
+            }),
+        }
+    }
+
+    /// Allocate and fill from a host slice (unmetered; see
+    /// [`crate::Gpu::htod`] for the metered path).
+    pub fn from_slice(label: &str, data: &[T]) -> Self {
+        let buf = Self::zeroed(label, data.len());
+        for (i, &v) in data.iter().enumerate() {
+            buf.set(i, v);
+        }
+        buf
+    }
+
+    /// Number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.inner.cells.len()
+    }
+
+    /// True if the buffer holds no elements.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.inner.cells.is_empty()
+    }
+
+    /// Logical size in bytes.
+    #[inline(always)]
+    pub fn size_bytes(&self) -> usize {
+        self.len() * T::BYTES
+    }
+
+    /// Debug label given at allocation.
+    pub fn label(&self) -> &str {
+        &self.inner.label
+    }
+
+    /// Unmetered element read (host-side/testing).
+    #[inline(always)]
+    pub fn get(&self, idx: usize) -> T {
+        T::from_raw(self.inner.cells[idx].load())
+    }
+
+    /// Unmetered element write (host-side/testing).
+    #[inline(always)]
+    pub fn set(&self, idx: usize, v: T) {
+        self.inner.cells[idx].store(v.to_raw());
+    }
+
+    /// Direct access to the backing atomic cell (used by `BlockCtx`).
+    #[inline(always)]
+    pub(crate) fn cell(&self, idx: usize) -> &T::Atom {
+        &self.inner.cells[idx]
+    }
+
+    /// Copy the whole buffer out to a host `Vec` (unmetered).
+    pub fn to_vec(&self) -> Vec<T> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// Fill every element with `v` (unmetered host-side helper).
+    pub fn fill(&self, v: T) {
+        for c in self.inner.cells.iter() {
+            c.store(v.to_raw());
+        }
+    }
+}
+
+impl<T: DeviceScalar> std::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DeviceBuffer<{}>(label={:?}, len={})",
+            std::any::type_name::<T>(),
+            self.inner.label,
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_scalars() {
+        fn check<T: DeviceScalar + PartialEq>(v: T) {
+            assert_eq!(T::from_raw(v.to_raw()), v);
+        }
+        check(0u32);
+        check(u32::MAX);
+        check(-5i32);
+        check(1.5f32);
+        check(-0.0f32);
+        check(f32::INFINITY);
+        check(u64::MAX);
+        check(-7i64);
+        check(2.25f64);
+    }
+
+    #[test]
+    fn nan_roundtrips_bitwise() {
+        let nan = f32::from_bits(0x7fc0_1234);
+        assert_eq!(f32::from_raw(nan.to_raw()).to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn buffer_basics_set_get() {
+        let b = DeviceBuffer::<f32>::zeroed("t", 8);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.size_bytes(), 32);
+        assert_eq!(b.get(3), 0.0);
+        b.set(3, 42.5);
+        assert_eq!(b.get(3), 42.5);
+        b.fill(-1.0);
+        assert!(b.to_vec().iter().all(|&x| x == -1.0));
+    }
+
+    #[test]
+    fn buffer_from_slice_and_clone_shares_storage() {
+        let b = DeviceBuffer::from_slice("s", &[1u32, 2, 3]);
+        let c = b.clone();
+        c.set(0, 99);
+        assert_eq!(b.get(0), 99, "clone must alias the same device memory");
+        assert_eq!(b.label(), "s");
+    }
+
+    #[test]
+    fn atomic_min_max_cells() {
+        // Call through the trait: the inherent `AtomicU32` methods take
+        // an Ordering argument and would otherwise shadow these.
+        let b = DeviceBuffer::<u32>::zeroed("m", 1);
+        AtomicCell::store(b.cell(0), 10);
+        assert_eq!(AtomicCell::fetch_min(b.cell(0), 3), 10);
+        assert_eq!(AtomicCell::load(b.cell(0)), 3);
+        assert_eq!(AtomicCell::fetch_max(b.cell(0), 7), 3);
+        assert_eq!(AtomicCell::load(b.cell(0)), 7);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b = DeviceBuffer::<u32>::zeroed("e", 0);
+        assert!(b.is_empty());
+        assert_eq!(b.to_vec(), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,169 @@
+//! Host thread pool for executing thread blocks in parallel.
+//!
+//! The simulator's notion of time comes entirely from the cost model,
+//! so block execution order never affects simulated timings — the pool
+//! exists purely to speed up the *functional* computation on multi-core
+//! hosts. Blocks are distributed in contiguous chunks over
+//! `crossbeam::scope` workers; each worker accumulates its own
+//! [`KernelStats`] which are merged when the scope joins.
+
+use crate::cost::KernelStats;
+use crate::device::DeviceSpec;
+use crate::exec::{BlockCtx, LaunchConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Executes the blocks of a kernel launch on up to `workers` host
+/// threads.
+#[derive(Debug, Clone)]
+pub struct BlockPool {
+    workers: usize,
+}
+
+impl BlockPool {
+    /// Pool with an explicit worker count (minimum 1).
+    pub fn new(workers: usize) -> Self {
+        BlockPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Worker count from `GPU_SIM_THREADS`, falling back to the host's
+    /// available parallelism.
+    pub fn from_env() -> Self {
+        let workers = std::env::var("GPU_SIM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        BlockPool::new(workers)
+    }
+
+    /// Number of host worker threads used.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run all `cfg.grid_dim` blocks of a kernel, returning the merged
+    /// stats. The kernel closure is invoked once per block.
+    pub fn run<F>(&self, spec: &DeviceSpec, cfg: LaunchConfig, kernel: F) -> KernelStats
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        let done = AtomicUsize::new(0);
+        let grid = cfg.grid_dim;
+
+        if self.workers == 1 || grid <= 1 {
+            let mut total = KernelStats::default();
+            for b in 0..grid {
+                let mut ctx = BlockCtx::new(b, grid, cfg.block_dim, &done, spec);
+                kernel(&mut ctx);
+                total.merge(&ctx.stats);
+            }
+            return total;
+        }
+
+        let next = AtomicUsize::new(0);
+        let workers = self.workers.min(grid);
+        // Work-stealing by chunk: each worker grabs batches of blocks so
+        // imbalanced kernels (e.g. a "last block" doing extra work)
+        // don't serialize the whole launch.
+        let chunk = (grid / (workers * 4)).max(1);
+        let merged = parking_lot::Mutex::new(KernelStats::default());
+
+        crossbeam::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| {
+                    let mut local = KernelStats::default();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= grid {
+                            break;
+                        }
+                        let end = (start + chunk).min(grid);
+                        for b in start..end {
+                            let mut ctx = BlockCtx::new(b, grid, cfg.block_dim, &done, spec);
+                            kernel(&mut ctx);
+                            local.merge(&ctx.stats);
+                        }
+                    }
+                    merged.lock().merge(&local);
+                });
+            }
+        })
+        .expect("block pool worker panicked");
+
+        merged.into_inner()
+    }
+}
+
+impl Default for BlockPool {
+    fn default() -> Self {
+        BlockPool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::DeviceBuffer;
+
+    fn run_sum(workers: usize, grid: usize) -> (u32, KernelStats) {
+        let spec = DeviceSpec::a100();
+        let pool = BlockPool::new(workers);
+        let n = grid * 64;
+        let data: Vec<u32> = (0..n as u32).collect();
+        let buf = DeviceBuffer::from_slice("in", &data);
+        let out = DeviceBuffer::<u32>::zeroed("out", 1);
+        let cfg = LaunchConfig::grid_1d(grid, 64);
+        let stats = pool.run(&spec, cfg, |ctx| {
+            let start = ctx.block_idx * 64;
+            let mut acc = 0u32;
+            for i in start..start + 64 {
+                acc = acc.wrapping_add(ctx.ld(&buf, i));
+            }
+            ctx.atomic_add(&out, 0, acc);
+        });
+        (out.get(0), stats)
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let (v1, s1) = run_sum(1, 37);
+        let (v4, s4) = run_sum(4, 37);
+        let expect: u32 = (0..37u32 * 64).fold(0, u32::wrapping_add);
+        assert_eq!(v1, expect);
+        assert_eq!(v4, expect);
+        assert_eq!(s1.bytes_read, s4.bytes_read);
+        assert_eq!(s1.atomic_ops, s4.atomic_ops);
+    }
+
+    #[test]
+    fn stats_count_all_blocks() {
+        let (_, stats) = run_sum(2, 10);
+        assert_eq!(stats.bytes_read, 10 * 64 * 4);
+        assert_eq!(stats.atomic_ops, 10);
+    }
+
+    #[test]
+    fn last_block_fires_once_under_parallel_execution() {
+        let spec = DeviceSpec::a100();
+        let pool = BlockPool::new(8);
+        let grid = 200;
+        let fired = DeviceBuffer::<u32>::zeroed("fired", 1);
+        let cfg = LaunchConfig::grid_1d(grid, 32);
+        pool.run(&spec, cfg, |ctx| {
+            if ctx.mark_block_done() {
+                ctx.atomic_add(&fired, 0, 1);
+            }
+        });
+        assert_eq!(fired.get(0), 1);
+    }
+
+    #[test]
+    fn workers_minimum_one() {
+        assert_eq!(BlockPool::new(0).workers(), 1);
+    }
+}

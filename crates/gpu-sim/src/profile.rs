@@ -1,0 +1,315 @@
+//! Profiling: the simulated timeline and per-kernel utilisation report.
+//!
+//! Mirrors the two profiling artefacts the paper uses:
+//!
+//! * Fig. 8 shows Nsight *timelines* of RadixSelect vs. AIR Top-K —
+//!   kernels, `MemcpyHtoD`/`MemcpyDtoH` blocks, and the white space of
+//!   host synchronisation. [`Timeline::render_ascii`] reproduces that
+//!   view.
+//! * Table 3 lists per-kernel "Speed Of Light" throughput percentages
+//!   from Nsight Compute. [`sol_table`] builds the same table from the
+//!   recorded kernel reports.
+
+use crate::cost::CostBreakdown;
+use crate::gpu::KernelReport;
+
+/// What occupied the device (or the host) during a span of simulated
+/// time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A kernel execution (name).
+    Kernel(String),
+    /// Host→device copy.
+    MemcpyHtoD,
+    /// Device→host copy.
+    MemcpyDtoH,
+    /// Host-side synchronisation (device idle).
+    HostSync,
+    /// Host-side computation between launches (device idle).
+    HostCompute(String),
+    /// Kernel-launch overhead (CPU driver time).
+    LaunchOverhead,
+}
+
+impl EventKind {
+    /// Single-character glyph used by the ASCII renderer.
+    fn glyph(&self) -> char {
+        match self {
+            EventKind::Kernel(_) => '#',
+            EventKind::MemcpyHtoD => '>',
+            EventKind::MemcpyDtoH => '<',
+            EventKind::HostSync => '.',
+            EventKind::HostCompute(_) => '~',
+            EventKind::LaunchOverhead => '|',
+        }
+    }
+
+    /// True when the GPU itself is idle during the event.
+    pub fn device_idle(&self) -> bool {
+        matches!(
+            self,
+            EventKind::HostSync | EventKind::HostCompute(_) | EventKind::LaunchOverhead
+        )
+    }
+}
+
+/// One span on the simulated timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// Start of the span, µs from profile start.
+    pub start_us: f64,
+    /// Duration, µs.
+    pub dur_us: f64,
+}
+
+impl TimelineEvent {
+    /// End of the span, µs.
+    pub fn end_us(&self) -> f64 {
+        self.start_us + self.dur_us
+    }
+}
+
+/// An append-only record of simulated device/host activity.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, kind: EventKind, start_us: f64, dur_us: f64) {
+        self.events.push(TimelineEvent {
+            kind,
+            start_us,
+            dur_us,
+        });
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Clear all events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// End of the last event, µs (0 when empty).
+    pub fn span_us(&self) -> f64 {
+        self.events.last().map(|e| e.end_us()).unwrap_or(0.0)
+    }
+
+    /// Total device-idle time (host sync / host compute / launch
+    /// overhead) — the "notable white spaces" of Fig. 8.
+    pub fn idle_us(&self) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind.device_idle())
+            .map(|e| e.dur_us)
+            .sum()
+    }
+
+    /// Total time spent in host↔device copies.
+    pub fn memcpy_us(&self) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::MemcpyHtoD | EventKind::MemcpyDtoH))
+            .map(|e| e.dur_us)
+            .sum::<f64>()
+            + 0.0 // normalise -0.0 from empty sums for display
+    }
+
+    /// Number of kernel launches recorded.
+    pub fn kernel_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Kernel(_)))
+            .count()
+    }
+
+    /// Render the timeline as a fixed-width ASCII strip (the Fig. 8
+    /// view): `#` kernel, `>`/`<` memcpy, `.` host sync, `~` host
+    /// compute, `|` launch overhead.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let span = self.span_us();
+        if span <= 0.0 || width == 0 {
+            return String::new();
+        }
+        let mut strip = vec![' '; width];
+        for e in &self.events {
+            let a = ((e.start_us / span) * width as f64).floor() as usize;
+            let b = ((e.end_us() / span) * width as f64).ceil() as usize;
+            let g = e.kind.glyph();
+            for cell in strip.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                *cell = g;
+            }
+        }
+        let mut out: String = strip.into_iter().collect();
+        out.push_str(&format!("  ({span:.1} us total)"));
+        out
+    }
+
+    /// A per-event textual listing (name, start, duration).
+    pub fn render_list(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let name = match &e.kind {
+                EventKind::Kernel(n) => format!("kernel {n}"),
+                EventKind::MemcpyHtoD => "MemcpyHtoD".to_string(),
+                EventKind::MemcpyDtoH => "MemcpyDtoH".to_string(),
+                EventKind::HostSync => "host sync".to_string(),
+                EventKind::HostCompute(n) => format!("host {n}"),
+                EventKind::LaunchOverhead => "launch".to_string(),
+            };
+            out.push_str(&format!(
+                "{:>10.2} us  {:>10.2} us  {}\n",
+                e.start_us, e.dur_us, name
+            ));
+        }
+        out
+    }
+}
+
+/// One row of the Table 3 "Kernels Performance Analysis" report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolRow {
+    /// Kernel name with its launch ordinal, e.g.
+    /// `iteration_fused_kernel(1)`.
+    pub kernel: String,
+    /// Share of total kernel time, in percent.
+    pub time_pct: f64,
+    /// Memory Speed-Of-Light percentage.
+    pub memory_sol_pct: f64,
+    /// Compute Speed-Of-Light percentage.
+    pub compute_sol_pct: f64,
+    /// Execution time, µs.
+    pub exec_us: f64,
+}
+
+/// Build the Table 3 per-kernel utilisation rows from kernel reports.
+///
+/// Repeated launches of the same kernel name get `(1)`, `(2)`, …
+/// ordinals like the paper's listing.
+pub fn sol_table(reports: &[KernelReport]) -> Vec<SolRow> {
+    let total: f64 = reports.iter().map(|r| r.cost.exec_us).sum();
+    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    reports
+        .iter()
+        .map(|r| {
+            let n = counts.entry(r.name.as_str()).or_insert(0);
+            *n += 1;
+            SolRow {
+                kernel: format!("{}({})", r.name, n),
+                time_pct: if total > 0.0 {
+                    100.0 * r.cost.exec_us / total
+                } else {
+                    0.0
+                },
+                memory_sol_pct: 100.0 * r.cost.memory_sol,
+                compute_sol_pct: 100.0 * r.cost.compute_sol,
+                exec_us: r.cost.exec_us,
+            }
+        })
+        .collect()
+}
+
+/// Render SOL rows as an aligned text table.
+pub fn render_sol_table(rows: &[SolRow]) -> String {
+    let mut out =
+        String::from("Kernel Call                      Time%   Memory SOL   Compute SOL\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<32} {:>5.2}%      {:>6.2}%       {:>6.2}%\n",
+            r.kernel, r.time_pct, r.memory_sol_pct, r.compute_sol_pct
+        ));
+    }
+    out
+}
+
+/// Helper constructing a [`CostBreakdown`] for tests in other modules.
+#[doc(hidden)]
+pub fn test_cost(exec_us: f64, memory_sol: f64, compute_sol: f64) -> CostBreakdown {
+    CostBreakdown {
+        exec_us,
+        launch_us: 3.0,
+        mem_us: exec_us,
+        compute_us: 0.0,
+        occupancy: 1.0,
+        memory_sol,
+        compute_sol,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::LaunchConfig;
+    use crate::KernelStats;
+
+    fn mk_report(name: &str, exec_us: f64) -> KernelReport {
+        KernelReport {
+            name: name.to_string(),
+            cfg: LaunchConfig::grid_1d(1, 32),
+            stats: KernelStats::default(),
+            cost: test_cost(exec_us, 0.9, 0.4),
+            start_us: 0.0,
+        }
+    }
+
+    #[test]
+    fn timeline_aggregates() {
+        let mut t = Timeline::new();
+        t.push(EventKind::LaunchOverhead, 0.0, 3.0);
+        t.push(EventKind::Kernel("k".into()), 3.0, 10.0);
+        t.push(EventKind::MemcpyDtoH, 13.0, 9.0);
+        t.push(EventKind::HostSync, 22.0, 10.0);
+        assert_eq!(t.span_us(), 32.0);
+        assert_eq!(t.idle_us(), 13.0);
+        assert_eq!(t.memcpy_us(), 9.0);
+        assert_eq!(t.kernel_count(), 1);
+    }
+
+    #[test]
+    fn ascii_render_covers_span() {
+        let mut t = Timeline::new();
+        t.push(EventKind::Kernel("a".into()), 0.0, 50.0);
+        t.push(EventKind::HostSync, 50.0, 50.0);
+        let s = t.render_ascii(20);
+        assert!(s.starts_with("##########"));
+        assert!(s.contains(".........."));
+        assert!(t.render_list().contains("kernel a"));
+    }
+
+    #[test]
+    fn empty_timeline_renders_empty() {
+        let t = Timeline::new();
+        assert_eq!(t.render_ascii(40), "");
+        assert_eq!(t.span_us(), 0.0);
+    }
+
+    #[test]
+    fn sol_table_ordinals_and_percentages() {
+        let reports = vec![
+            mk_report("iteration_fused_kernel", 50.0),
+            mk_report("iteration_fused_kernel", 49.0),
+            mk_report("last_filter_kernel", 1.0),
+        ];
+        let rows = sol_table(&reports);
+        assert_eq!(rows[0].kernel, "iteration_fused_kernel(1)");
+        assert_eq!(rows[1].kernel, "iteration_fused_kernel(2)");
+        assert_eq!(rows[2].kernel, "last_filter_kernel(1)");
+        assert!((rows[0].time_pct - 50.0).abs() < 1e-9);
+        let total: f64 = rows.iter().map(|r| r.time_pct).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        let rendered = render_sol_table(&rows);
+        assert!(rendered.contains("iteration_fused_kernel(2)"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Chrome-trace export: view simulated timelines in `chrome://tracing`
+//! or [Perfetto](https://ui.perfetto.dev).
+//!
+//! The paper's Fig. 8 is a screenshot of Nsight Systems; this module
+//! produces the equivalent interactive artefact from a simulated run —
+//! the Trace Event Format's complete events (`"ph": "X"`), one track
+//! for device activity and one for the host. JSON is emitted by hand
+//! (a few lines) to keep the dependency set at the allow-listed
+//! crates.
+
+use crate::profile::{EventKind, Timeline};
+
+/// Trace Event Format process/track ids.
+const PID: u32 = 1;
+const TID_DEVICE: u32 = 1;
+const TID_HOST: u32 = 2;
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Serialise a timeline as a Trace Event Format JSON document.
+pub fn to_chrome_trace(timeline: &Timeline, process_name: &str) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    out.push_str(&format!(
+        "{{\"ph\":\"M\",\"pid\":{PID},\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"{}\"}}}},",
+        escape(process_name)
+    ));
+    out.push_str(&format!(
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{TID_DEVICE},\"name\":\"thread_name\",\
+         \"args\":{{\"name\":\"GPU (simulated)\"}}}},"
+    ));
+    out.push_str(&format!(
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{TID_HOST},\"name\":\"thread_name\",\
+         \"args\":{{\"name\":\"Host\"}}}}"
+    ));
+
+    for e in timeline.events() {
+        let (name, tid, cat) = match &e.kind {
+            EventKind::Kernel(n) => (n.clone(), TID_DEVICE, "kernel"),
+            EventKind::MemcpyHtoD => ("MemcpyHtoD".to_string(), TID_DEVICE, "memcpy"),
+            EventKind::MemcpyDtoH => ("MemcpyDtoH".to_string(), TID_DEVICE, "memcpy"),
+            EventKind::HostSync => ("sync".to_string(), TID_HOST, "host"),
+            EventKind::HostCompute(n) => (n.clone(), TID_HOST, "host"),
+            EventKind::LaunchOverhead => ("launch".to_string(), TID_HOST, "driver"),
+        };
+        out.push_str(&format!(
+            ",{{\"ph\":\"X\",\"pid\":{PID},\"tid\":{tid},\"cat\":\"{cat}\",\
+             \"name\":\"{}\",\"ts\":{:.3},\"dur\":{:.3}}}",
+            escape(&name),
+            e.start_us,
+            e.dur_us
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Timeline;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::new();
+        t.push(EventKind::LaunchOverhead, 0.0, 3.0);
+        t.push(
+            EventKind::Kernel("iteration_fused_kernel".into()),
+            3.0,
+            10.0,
+        );
+        t.push(EventKind::MemcpyDtoH, 13.0, 8.0);
+        t.push(EventKind::HostSync, 21.0, 10.0);
+        t.push(EventKind::HostCompute("prefix \"sum\"".into()), 31.0, 2.0);
+        t
+    }
+
+    #[test]
+    fn emits_valid_structure() {
+        let json = to_chrome_trace(&sample(), "RadixSelect run");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with('}'));
+        assert!(json.contains("\"name\":\"iteration_fused_kernel\""));
+        assert!(json.contains("\"cat\":\"memcpy\""));
+        assert!(json.contains("\"ts\":3.000"));
+        assert!(json.contains("\"dur\":10.000"));
+        // Quotes in names are escaped.
+        assert!(json.contains("prefix \\\"sum\\\""));
+        // Braces balance (cheap well-formedness check).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn host_and_device_tracks_are_separated() {
+        let json = to_chrome_trace(&sample(), "x");
+        // Kernel on device track, sync on host track.
+        assert!(json.contains(&format!("\"tid\":{TID_DEVICE},\"cat\":\"kernel\"")));
+        assert!(json.contains(&format!("\"tid\":{TID_HOST},\"cat\":\"host\"")));
+    }
+
+    #[test]
+    fn empty_timeline_is_still_valid() {
+        let json = to_chrome_trace(&Timeline::new(), "empty");
+        assert!(json.contains("traceEvents"));
+        assert!(json.matches('{').count() == json.matches('}').count());
+    }
+}

@@ -1,0 +1,265 @@
+//! Lockstep warp primitives.
+//!
+//! A CUDA warp is 32 threads executing in lockstep; warp-level
+//! collectives (`__ballot_sync`, `__shfl_sync`, reductions, scans) let
+//! lanes exchange data without shared memory. The simulator models a
+//! warp as arrays of 32 lane values processed by one host thread, and
+//! these functions reproduce the collectives' semantics exactly —
+//! including `ballot`'s bit order (lane *i* contributes bit *i*).
+//!
+//! GridSelect's parallel two-step insertion (§4, Fig. 5) is built
+//! directly on [`ballot`] + [`lane_rank`]: each lane learns its unique
+//! store position by counting qualified lanes below it.
+
+use crate::device::WARP_SIZE;
+
+/// One value per lane of a warp.
+pub type Lanes<T> = [T; WARP_SIZE];
+
+/// `__ballot_sync`: pack each lane's predicate into a 32-bit mask,
+/// lane `i` → bit `i`.
+#[inline]
+pub fn ballot(preds: &Lanes<bool>) -> u32 {
+    let mut mask = 0u32;
+    for (i, &p) in preds.iter().enumerate() {
+        mask |= (p as u32) << i;
+    }
+    mask
+}
+
+/// Number of set bits strictly below `lane` in `mask` — the rank a lane
+/// gets when qualified lanes claim consecutive slots (exclusive prefix
+/// popcount, CUDA's `__popc(mask & ((1 << lane) - 1))`).
+#[inline]
+pub fn lane_rank(mask: u32, lane: usize) -> u32 {
+    debug_assert!(lane < WARP_SIZE);
+    (mask & ((1u32 << lane) - 1)).count_ones()
+}
+
+/// `__shfl_sync`: every lane reads the value held by `src_lane`.
+#[inline]
+pub fn shfl<T: Copy>(vals: &Lanes<T>, src_lane: usize) -> T {
+    vals[src_lane & (WARP_SIZE - 1)]
+}
+
+/// `__shfl_xor_sync`: butterfly exchange; lane `i` reads lane `i ^ mask`.
+#[inline]
+pub fn shfl_xor<T: Copy + Default>(vals: &Lanes<T>, mask: usize) -> Lanes<T> {
+    std::array::from_fn(|i| vals[(i ^ mask) & (WARP_SIZE - 1)])
+}
+
+/// Warp-wide sum reduction (every lane would receive the result on GPU).
+#[inline]
+pub fn reduce_sum(vals: &Lanes<u32>) -> u32 {
+    vals.iter().copied().fold(0u32, u32::wrapping_add)
+}
+
+/// Warp-wide minimum (`PartialOrd`, NaN-free contract).
+#[inline]
+pub fn reduce_min<T: Copy + PartialOrd>(vals: &Lanes<T>) -> T {
+    let mut m = vals[0];
+    for &v in &vals[1..] {
+        if v < m {
+            m = v;
+        }
+    }
+    m
+}
+
+/// Warp-wide maximum (`PartialOrd`, NaN-free contract).
+#[inline]
+pub fn reduce_max<T: Copy + PartialOrd>(vals: &Lanes<T>) -> T {
+    let mut m = vals[0];
+    for &v in &vals[1..] {
+        if v > m {
+            m = v;
+        }
+    }
+    m
+}
+
+/// Exclusive prefix sum across lanes: output lane `i` holds the sum of
+/// lanes `0..i`.
+#[inline]
+pub fn exclusive_scan(vals: &Lanes<u32>) -> Lanes<u32> {
+    let mut out = [0u32; WARP_SIZE];
+    let mut acc = 0u32;
+    for i in 0..WARP_SIZE {
+        out[i] = acc;
+        acc = acc.wrapping_add(vals[i]);
+    }
+    out
+}
+
+/// Inclusive prefix sum across lanes: output lane `i` holds the sum of
+/// lanes `0..=i`.
+#[inline]
+pub fn inclusive_scan(vals: &Lanes<u32>) -> Lanes<u32> {
+    let mut out = [0u32; WARP_SIZE];
+    let mut acc = 0u32;
+    for i in 0..WARP_SIZE {
+        acc = acc.wrapping_add(vals[i]);
+        out[i] = acc;
+    }
+    out
+}
+
+/// Warp-wide bitonic sort of 32 `(key, payload)` lane pairs — the
+/// in-register sorting network the WarpSelect family executes when a
+/// queue flushes (§4). Each compare-exchange stage is a
+/// [`shfl_xor`]-style butterfly: lane `i` trades with lane `i ^ j` and
+/// keeps the min or max according to the bitonic direction bit.
+///
+/// Returns the number of compare-exchange operations (a fixed
+/// `16 × 15 = 240` for the full 32-lane network), so kernels can
+/// charge the cost model. Keys follow `PartialOrd` (NaN-free
+/// contract).
+pub fn bitonic_sort_lanes<K, P>(keys: &mut Lanes<K>, payload: &mut Lanes<P>, ascending: bool) -> u64
+where
+    K: Copy + PartialOrd,
+    P: Copy,
+{
+    let mut ops = 0u64;
+    let mut k = 2usize;
+    while k <= WARP_SIZE {
+        let mut j = k / 2;
+        while j >= 1 {
+            for lane in 0..WARP_SIZE {
+                let partner = lane ^ j;
+                if partner > lane {
+                    // Direction of this k-sized bitonic region.
+                    let up = (lane & k) == 0;
+                    let should_swap = if up == ascending {
+                        keys[lane] > keys[partner]
+                    } else {
+                        keys[lane] < keys[partner]
+                    };
+                    if should_swap {
+                        keys.swap(lane, partner);
+                        payload.swap(lane, partner);
+                    }
+                    ops += 1;
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballot_bit_order() {
+        let mut p = [false; WARP_SIZE];
+        p[0] = true;
+        p[5] = true;
+        p[31] = true;
+        assert_eq!(ballot(&p), 1 | (1 << 5) | (1 << 31));
+    }
+
+    #[test]
+    fn ballot_all_and_none() {
+        assert_eq!(ballot(&[true; WARP_SIZE]), u32::MAX);
+        assert_eq!(ballot(&[false; WARP_SIZE]), 0);
+    }
+
+    #[test]
+    fn lane_rank_counts_below() {
+        let mask = 0b1011_0101u32;
+        assert_eq!(lane_rank(mask, 0), 0);
+        assert_eq!(lane_rank(mask, 1), 1);
+        assert_eq!(lane_rank(mask, 2), 1);
+        assert_eq!(lane_rank(mask, 3), 2);
+        assert_eq!(lane_rank(mask, 8), 5);
+        assert_eq!(lane_rank(u32::MAX, 31), 31);
+    }
+
+    #[test]
+    fn lane_rank_assigns_unique_consecutive_slots() {
+        // The property the two-step insertion relies on: qualified lanes
+        // get distinct consecutive ranks 0..count.
+        let preds: Lanes<bool> = std::array::from_fn(|i| i % 3 == 0);
+        let mask = ballot(&preds);
+        let mut ranks: Vec<u32> = (0..WARP_SIZE)
+            .filter(|&l| preds[l])
+            .map(|l| lane_rank(mask, l))
+            .collect();
+        ranks.sort_unstable();
+        let expect: Vec<u32> = (0..mask.count_ones()).collect();
+        assert_eq!(ranks, expect);
+    }
+
+    #[test]
+    fn shfl_broadcasts() {
+        let vals: Lanes<u32> = std::array::from_fn(|i| i as u32 * 10);
+        assert_eq!(shfl(&vals, 7), 70);
+        // Wraps like CUDA (src masked to warp size).
+        assert_eq!(shfl(&vals, 32 + 3), 30);
+    }
+
+    #[test]
+    fn shfl_xor_butterfly() {
+        let vals: Lanes<u32> = std::array::from_fn(|i| i as u32);
+        let out = shfl_xor(&vals, 1);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[1], 0);
+        assert_eq!(out[30], 31);
+        assert_eq!(out[31], 30);
+    }
+
+    #[test]
+    fn reductions() {
+        let vals: Lanes<u32> = std::array::from_fn(|i| i as u32 + 1);
+        assert_eq!(reduce_sum(&vals), (1..=32).sum::<u32>());
+        assert_eq!(reduce_min(&vals), 1);
+        assert_eq!(reduce_max(&vals), 32);
+        let fv: Lanes<f32> = std::array::from_fn(|i| -(i as f32));
+        assert_eq!(reduce_min(&fv), -31.0);
+        assert_eq!(reduce_max(&fv), 0.0);
+    }
+
+    #[test]
+    fn warp_bitonic_sorts_and_carries_payload() {
+        // Deterministic pseudo-random lane values.
+        let keys_src: Lanes<u32> = std::array::from_fn(|i| (i as u32).wrapping_mul(2654435761) % 997);
+        let mut keys = keys_src;
+        let mut payload: Lanes<u32> = std::array::from_fn(|i| i as u32);
+        let ops = bitonic_sort_lanes(&mut keys, &mut payload, true);
+        assert_eq!(ops, 240, "16 comparators x 15 stages");
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        for (k, p) in keys.iter().zip(&payload) {
+            assert_eq!(keys_src[*p as usize], *k);
+        }
+        // Descending too.
+        let mut keys = keys_src;
+        let mut payload: Lanes<u32> = std::array::from_fn(|i| i as u32);
+        bitonic_sort_lanes(&mut keys, &mut payload, false);
+        assert!(keys.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn warp_bitonic_handles_floats_and_duplicates() {
+        let mut keys: Lanes<f32> = std::array::from_fn(|i| ((i % 5) as f32) - 2.0);
+        let mut payload: Lanes<u32> = std::array::from_fn(|i| i as u32);
+        bitonic_sort_lanes(&mut keys, &mut payload, true);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(keys[0], -2.0);
+        assert_eq!(keys[31], 2.0);
+    }
+
+    #[test]
+    fn scans_are_consistent() {
+        let vals: Lanes<u32> = std::array::from_fn(|i| (i as u32 * 7) % 5);
+        let ex = exclusive_scan(&vals);
+        let inc = inclusive_scan(&vals);
+        assert_eq!(ex[0], 0);
+        for i in 0..WARP_SIZE {
+            assert_eq!(inc[i], ex[i] + vals[i]);
+        }
+        assert_eq!(inc[WARP_SIZE - 1], reduce_sum(&vals));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests of the cost model and simulator invariants.
+
+use gpu_sim::cost::{kernel_cost, memcpy_cost, KernelStats};
+use gpu_sim::{BlockPool, DeviceSpec, Gpu, LaunchConfig};
+use proptest::prelude::*;
+
+fn stats_strategy() -> impl Strategy<Value = KernelStats> {
+    (
+        0u64..1 << 34,
+        0u64..1 << 32,
+        0u64..1 << 30,
+        0u64..1 << 20,
+        0u64..1 << 34,
+    )
+        .prop_map(|(r, w, s, a, c)| KernelStats {
+            bytes_read: r,
+            bytes_written: w,
+            bytes_scattered: s,
+            atomic_ops: a,
+            compute_ops: c,
+            shared_mem_bytes: 0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn kernel_time_bounded_below_by_floor(st in stats_strategy(),
+                                          grid in 1usize..10_000,
+                                          warps in 1usize..32) {
+        let spec = DeviceSpec::a100();
+        let c = kernel_cost(&spec, grid, warps * 32, &st);
+        prop_assert!(c.exec_us >= spec.kernel_floor_us);
+        prop_assert!(c.launch_us == spec.kernel_launch_us);
+        prop_assert!(c.total_us() >= c.exec_us);
+    }
+
+    #[test]
+    fn sol_metrics_are_fractions(st in stats_strategy(), grid in 1usize..10_000) {
+        let c = kernel_cost(&DeviceSpec::a100(), grid, 256, &st);
+        prop_assert!((0.0..=1.0).contains(&c.memory_sol));
+        prop_assert!((0.0..=1.0).contains(&c.compute_sol));
+        prop_assert!((0.0..=1.0).contains(&c.occupancy));
+    }
+
+    #[test]
+    fn kernel_time_monotone_in_traffic(base in stats_strategy(),
+                                       extra in 0u64..1 << 30,
+                                       grid in 1usize..5_000) {
+        let spec = DeviceSpec::a100();
+        let mut more = base;
+        more.bytes_read += extra;
+        let t1 = kernel_cost(&spec, grid, 256, &base).exec_us;
+        let t2 = kernel_cost(&spec, grid, 256, &more).exec_us;
+        prop_assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn kernel_time_weakly_improves_with_parallelism(st in stats_strategy(),
+                                                    g1 in 1usize..1_000) {
+        let spec = DeviceSpec::a100();
+        let g2 = g1 * 2;
+        let t1 = kernel_cost(&spec, g1, 256, &st).exec_us;
+        let t2 = kernel_cost(&spec, g2, 256, &st).exec_us;
+        prop_assert!(t2 <= t1 + 1e-9, "more blocks never slow the same work");
+    }
+
+    #[test]
+    fn memcpy_monotone_and_latency_floored(a in 0usize..1 << 30, b in 0usize..1 << 30) {
+        let spec = DeviceSpec::a100();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(memcpy_cost(&spec, lo) <= memcpy_cost(&spec, hi));
+        prop_assert!(memcpy_cost(&spec, lo) >= spec.pcie_latency_us);
+    }
+
+    #[test]
+    fn stats_merge_is_additive(a in stats_strategy(), b in stats_strategy()) {
+        let mut m = a;
+        m.merge(&b);
+        prop_assert_eq!(m.bytes_read, a.bytes_read + b.bytes_read);
+        prop_assert_eq!(m.compute_ops, a.compute_ops + b.compute_ops);
+        prop_assert_eq!(
+            m.total_mem_bytes(),
+            a.total_mem_bytes() + b.total_mem_bytes()
+        );
+    }
+}
+
+#[test]
+fn timeline_events_are_contiguous_and_cover_clock() {
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let data: Vec<u32> = (0..4096).collect();
+    let buf = gpu.htod("in", &data);
+    let out = gpu.alloc::<u32>("out", 1);
+    for round in 0..3 {
+        gpu.launch("work", LaunchConfig::grid_1d(8, 128), |ctx| {
+            let chunk = 4096 / 8;
+            let start = ctx.block_idx * chunk;
+            let mut acc = 0u32;
+            for i in start..start + chunk {
+                acc = acc.wrapping_add(ctx.ld(&buf, i));
+            }
+            ctx.atomic_add(&out, 0, acc);
+        });
+        if round == 1 {
+            gpu.host_sync();
+        }
+    }
+    let _ = gpu.dtoh(&out);
+
+    let events = gpu.timeline().events();
+    assert!(!events.is_empty());
+    let mut t = 0.0f64;
+    for e in events {
+        assert!(
+            (e.start_us - t).abs() < 1e-9,
+            "event starts where the previous ended"
+        );
+        assert!(e.dur_us >= 0.0);
+        t = e.end_us();
+    }
+    assert!((t - gpu.elapsed_us()).abs() < 1e-9, "clock equals span");
+}
+
+#[test]
+fn parallel_pool_atomics_are_exact_under_contention() {
+    // Many blocks hammering one counter must never lose increments,
+    // whatever the worker count.
+    for workers in [1usize, 2, 4, 8] {
+        let spec = DeviceSpec::a100();
+        let mut gpu = Gpu::with_pool(spec, BlockPool::new(workers));
+        let counter = gpu.alloc::<u32>("ctr", 1);
+        let grid = 500;
+        gpu.launch("hammer", LaunchConfig::grid_1d(grid, 32), |ctx| {
+            for _ in 0..100 {
+                ctx.atomic_add(&counter, 0, 1);
+            }
+        });
+        assert_eq!(counter.get(0), (grid * 100) as u32, "workers = {workers}");
+    }
+}
+
+#[test]
+fn pipelined_launches_cost_less_than_cold_ones() {
+    let run = |sync_between: bool| {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        for i in 0..5 {
+            gpu.launch("k", LaunchConfig::grid_1d(1, 32), |_| {});
+            if sync_between && i < 4 {
+                gpu.host_sync();
+            }
+        }
+        gpu.timeline()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, gpu_sim::EventKind::LaunchOverhead))
+            .map(|e| e.dur_us)
+            .sum::<f64>()
+    };
+    let pipelined = run(false);
+    let cold = run(true);
+    let spec = DeviceSpec::a100();
+    assert!((pipelined - (spec.kernel_launch_us + 4.0 * spec.kernel_gap_us)).abs() < 1e-9);
+    assert!((cold - 5.0 * spec.kernel_launch_us).abs() < 1e-9);
+}

@@ -1,0 +1,75 @@
+//! Criterion bench mirroring Fig. 11 (shared vs per-thread queues) and
+//! Fig. 12 (device comparison), plus a queue-length sweep ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::Distribution;
+use gpu_sim::{DeviceSpec, Gpu};
+use std::hint::black_box;
+use topk_core::{GridSelect, GridSelectConfig, QueueKind, TopKAlgorithm};
+
+fn run(alg: &GridSelect, spec: DeviceSpec, data: &[f32], k: usize) -> f64 {
+    let mut gpu = Gpu::new(spec);
+    let input = gpu.htod("in", data);
+    gpu.reset_profile();
+    black_box(alg.select(&mut gpu, &input, k).values.len());
+    gpu.elapsed_us()
+}
+
+fn bench_queue_kind(c: &mut Criterion) {
+    let n = 1 << 18;
+    let data = datagen::generate(Distribution::Normal, n, 9);
+    let mut group = c.benchmark_group("fig11_queue_ablation");
+    group.sample_size(10);
+    for k in [64usize, 512, 2048] {
+        for (name, queue) in [
+            ("shared", QueueKind::Shared { len: 32 }),
+            ("per_thread", QueueKind::PerThread { len: 2 }), // Faiss NumThreadQ
+        ] {
+            let alg = GridSelect::new(GridSelectConfig {
+                queue,
+                ..GridSelectConfig::default()
+            });
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+                b.iter(|| black_box(run(&alg, DeviceSpec::a100(), &data, k)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_queue_length(c: &mut Criterion) {
+    // DESIGN.md ablation: shared-queue capacity (32 in the paper,
+    // trading shared-memory footprint against flush frequency).
+    let n = 1 << 18;
+    let data = datagen::generate(Distribution::Uniform, n, 9);
+    let mut group = c.benchmark_group("ablation_queue_length");
+    group.sample_size(10);
+    for len in [8usize, 32, 128] {
+        let alg = GridSelect::new(GridSelectConfig {
+            queue: QueueKind::Shared { len },
+            ..GridSelectConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(run(&alg, DeviceSpec::a100(), &data, 256)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_devices(c: &mut Criterion) {
+    // Fig. 12's device dimension, exercised through GridSelect.
+    let n = 1 << 18;
+    let data = datagen::generate(Distribution::Uniform, n, 9);
+    let mut group = c.benchmark_group("fig12_devices");
+    group.sample_size(10);
+    for spec in [DeviceSpec::a10(), DeviceSpec::a100(), DeviceSpec::h100()] {
+        let alg = GridSelect::default();
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name), &spec, |b, spec| {
+            b.iter(|| black_box(run(&alg, spec.clone(), &data, 128)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_kind, bench_queue_length, bench_devices);
+criterion_main!(benches);

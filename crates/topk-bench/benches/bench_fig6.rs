@@ -1,0 +1,64 @@
+//! Criterion bench mirroring Fig. 6: time vs K at fixed N, batch 1.
+//!
+//! Criterion measures *host* wall time of the functional simulation —
+//! useful as a performance regression suite for this repository. The
+//! paper's own numbers (simulated device time) are produced by the
+//! `topk-bench fig6` binary; see EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::Distribution;
+use gpu_sim::{DeviceSpec, Gpu};
+use std::hint::black_box;
+use topk_bench::runner::{run_config, supports, BenchConfig, Workload};
+use topk_core::TopKAlgorithm;
+
+fn algorithms() -> Vec<Box<dyn TopKAlgorithm>> {
+    let mut algs = topk_baselines::all_baselines();
+    algs.push(Box::new(topk_core::AirTopK::default()));
+    algs.push(Box::new(topk_core::GridSelect::default()));
+    algs
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let n = 1 << 16;
+    let data = datagen::generate(Distribution::Uniform, n, 42);
+    let mut group = c.benchmark_group("fig6_time_vs_k_n16_uniform");
+    group.sample_size(10);
+    for k in [8usize, 256, 2048, 16384] {
+        for alg in algorithms() {
+            let cfg = BenchConfig::new(Workload::Synthetic(Distribution::Uniform), n, k, 1);
+            if !supports(alg.as_ref(), &cfg) {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(alg.name().replace(' ', "_"), k),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        let mut gpu = Gpu::new(DeviceSpec::a100());
+                        let input = gpu.htod("in", &data);
+                        gpu.reset_profile();
+                        let out = alg.select(&mut gpu, &input, k);
+                        black_box((out.values.len(), gpu.elapsed_us()))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Also report the simulated device times once, so `cargo bench`
+    // output carries the figure's actual content.
+    println!("\nsimulated device times (us), N=2^16 uniform, batch 1:");
+    for k in [8usize, 256, 2048, 16384] {
+        for alg in algorithms() {
+            let cfg = BenchConfig::new(Workload::Synthetic(Distribution::Uniform), n, k, 1);
+            if let Some(row) = run_config(alg.as_ref(), &cfg) {
+                println!("  k={k:<6} {:<14} {:>10.1}", row.algo, row.time_us);
+            }
+        }
+    }
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench mirroring Fig. 7: time vs N at fixed K, including
+//! the batch dimension. Host wall time of the simulation; simulated
+//! device times come from `topk-bench fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::Distribution;
+use gpu_sim::{DeviceSpec, Gpu};
+use std::hint::black_box;
+use topk_core::{AirTopK, GridSelect, TopKAlgorithm};
+
+fn bench_scaling_in_n(c: &mut Criterion) {
+    let k = 256;
+    let mut group = c.benchmark_group("fig7_time_vs_n_k256");
+    group.sample_size(10);
+    for e in [12u32, 14, 16, 18] {
+        let n = 1usize << e;
+        let data = datagen::generate(Distribution::Normal, n, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        let algs: Vec<Box<dyn TopKAlgorithm>> = vec![
+            Box::new(AirTopK::default()),
+            Box::new(GridSelect::default()),
+            Box::new(topk_baselines::RadixSelect),
+            Box::new(topk_baselines::SortTopK),
+        ];
+        for alg in algs {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name().replace(' ', "_"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut gpu = Gpu::new(DeviceSpec::a100());
+                        let input = gpu.htod("in", &data);
+                        gpu.reset_profile();
+                        black_box(alg.select(&mut gpu, &input, k).values.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let k = 64;
+    let n = 1 << 13;
+    let mut group = c.benchmark_group("fig7_batch_dimension");
+    group.sample_size(10);
+    for batch in [1usize, 10, 100] {
+        let datas: Vec<Vec<f32>> = (0..batch)
+            .map(|i| datagen::generate(Distribution::Uniform, n, i as u64))
+            .collect();
+        group.throughput(Throughput::Elements((batch * n) as u64));
+        for (name, alg) in [
+            (
+                "AIR_TopK",
+                Box::new(AirTopK::default()) as Box<dyn TopKAlgorithm>,
+            ),
+            ("RadixSelect", Box::new(topk_baselines::RadixSelect)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, batch), &batch, |b, _| {
+                b.iter(|| {
+                    let mut gpu = Gpu::new(DeviceSpec::a100());
+                    let inputs: Vec<_> = datas
+                        .iter()
+                        .enumerate()
+                        .map(|(i, d)| gpu.htod(&format!("p{i}"), d))
+                        .collect();
+                    gpu.reset_profile();
+                    black_box(alg.select_batch(&mut gpu, &inputs, k).len())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_in_n, bench_batch);
+criterion_main!(benches);

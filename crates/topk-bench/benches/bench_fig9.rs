@@ -1,0 +1,151 @@
+//! Criterion bench mirroring Fig. 9 (adaptive-strategy ablation) and
+//! Fig. 10 (early-stopping ablation), plus the DESIGN.md ablations the
+//! paper doesn't plot: digit width b and the α threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::Distribution;
+use gpu_sim::{DeviceSpec, Gpu};
+use std::hint::black_box;
+use topk_core::{AirConfig, AirTopK, TopKAlgorithm};
+
+fn run(alg: &AirTopK, data: &[f32], k: usize) -> f64 {
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let input = gpu.htod("in", data);
+    gpu.reset_profile();
+    black_box(alg.select(&mut gpu, &input, k).values.len());
+    gpu.elapsed_us()
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let n = 1 << 18;
+    let k = 2048;
+    let mut group = c.benchmark_group("fig9_adaptive_ablation");
+    group.sample_size(10);
+    for m in [10u32, 20] {
+        let data = datagen::generate(Distribution::RadixAdversarial { m_bits: m }, n, 5);
+        for (name, adaptive) in [("adaptive", true), ("no_adaptive", false)] {
+            let alg = AirTopK::new(AirConfig {
+                adaptive,
+                ..AirConfig::default()
+            });
+            group.bench_with_input(BenchmarkId::new(name, m), &m, |b, _| {
+                b.iter(|| black_box(run(&alg, &data, k)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_early_stop(c: &mut Criterion) {
+    let n = 1 << 18;
+    let data = datagen::generate(Distribution::Uniform, n, 5);
+    let mut group = c.benchmark_group("fig10_early_stop_ablation");
+    group.sample_size(10);
+    for (name, early) in [("early_stop", true), ("no_early_stop", false)] {
+        let alg = AirTopK::new(AirConfig {
+            early_stop: early,
+            ..AirConfig::default()
+        });
+        group.bench_function(name, |b| b.iter(|| black_box(run(&alg, &data, n))));
+    }
+    group.finish();
+}
+
+fn bench_digit_width(c: &mut Criterion) {
+    // DESIGN.md ablation: b = 11 needs 3 passes + on-device scan of
+    // 2048 buckets; b = 8 needs 4 passes of 256. The paper argues the
+    // fused on-device scan makes b = 11 affordable (§3.1).
+    let n = 1 << 18;
+    let data = datagen::generate(Distribution::Normal, n, 5);
+    let mut group = c.benchmark_group("ablation_digit_width");
+    group.sample_size(10);
+    for b_bits in [4u32, 8, 11] {
+        let alg = AirTopK::new(AirConfig {
+            bits_per_pass: b_bits,
+            ..AirConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(b_bits), &b_bits, |b, _| {
+            b.iter(|| black_box(run(&alg, &data, 2048)));
+        });
+    }
+    group.finish();
+
+    println!("\nsimulated device times (us) by digit width, N=2^18 K=2048:");
+    for b_bits in [4u32, 8, 11] {
+        let alg = AirTopK::new(AirConfig {
+            bits_per_pass: b_bits,
+            ..AirConfig::default()
+        });
+        println!("  b={b_bits:<3} {:>10.1}", run(&alg, &data, 2048));
+    }
+}
+
+fn bench_alpha(c: &mut Criterion) {
+    // DESIGN.md ablation: the α buffering threshold (paper uses 128,
+    // lower bound 4).
+    let n = 1 << 18;
+    let data = datagen::generate(Distribution::Uniform, n, 5);
+    let mut group = c.benchmark_group("ablation_alpha");
+    group.sample_size(10);
+    for alpha in [4usize, 32, 128, 1024] {
+        let alg = AirTopK::new(AirConfig {
+            alpha,
+            ..AirConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, _| {
+            b.iter(|| black_box(run(&alg, &data, 2048)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_iteration_fusion(c: &mut Criterion) {
+    // §3.1 ablation: the same device-only radix loop with and without
+    // iteration fusion (Fig. 2's 4-kernels-per-pass vs Fig. 3's one).
+    let n = 1 << 20;
+    let data = datagen::generate(Distribution::Uniform, n, 5);
+    let mut group = c.benchmark_group("ablation_iteration_fusion");
+    group.sample_size(10);
+    group.bench_function("fused_air", |b| {
+        let alg = AirTopK::default();
+        b.iter(|| black_box(run(&alg, &data, 2048)));
+    });
+    group.bench_function("unfused", |b| {
+        let alg = topk_core::UnfusedRadix::default();
+        b.iter(|| {
+            let mut gpu = Gpu::new(DeviceSpec::a100());
+            let input = gpu.htod("in", &data);
+            gpu.reset_profile();
+            black_box(alg.select(&mut gpu, &input, 2048).values.len());
+            black_box(gpu.elapsed_us())
+        });
+    });
+    group.finish();
+
+    // Report the simulated split once so `cargo bench` output carries
+    // the ablation's content.
+    let sim = |alg: &dyn TopKAlgorithm| {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let input = gpu.htod("in", &data);
+        gpu.reset_profile();
+        alg.select(&mut gpu, &input, 2048);
+        (gpu.elapsed_us(), gpu.timeline().kernel_count())
+    };
+    let (t_f, k_f) = sim(&AirTopK::default());
+    let (t_u, k_u) = sim(&topk_core::UnfusedRadix::default());
+    println!(
+        "\niteration fusion, N=2^20 K=2048: fused {t_f:.1} us / {k_f} launches, \
+         unfused {t_u:.1} us / {k_u} launches ({:.2}x)",
+        t_u / t_f
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_adaptive,
+    bench_early_stop,
+    bench_digit_width,
+    bench_alpha,
+    bench_iteration_fusion
+);
+criterion_main!(benches);

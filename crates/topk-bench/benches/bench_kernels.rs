@@ -1,0 +1,112 @@
+//! Micro-benchmarks of the simulator substrate itself: metered loads,
+//! kernel launch machinery, warp primitives and bitonic networks.
+//! These guard the host-side performance of the simulation (the
+//! functional work per element) against regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::warp::{ballot, exclusive_scan, Lanes};
+use gpu_sim::{DeviceSpec, Gpu, LaunchConfig};
+use std::hint::black_box;
+use topk_core::bitonic::{bitonic_sort, merge_into_topk};
+
+fn bench_metered_stream(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let mut group = c.benchmark_group("sim_metered_stream");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    group.bench_function("ld_sum_1M", |b| {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let buf = gpu.htod("in", &data);
+        let out = gpu.alloc::<u32>("out", 1);
+        b.iter(|| {
+            gpu.launch(
+                "sum",
+                LaunchConfig::for_elements(n, 256, 16, usize::MAX),
+                |ctx| {
+                    let chunk = 256 * 16;
+                    let start = ctx.block_idx * chunk;
+                    let end = (start + chunk).min(n);
+                    let mut acc = 0u32;
+                    for i in start..end {
+                        acc = acc.wrapping_add(ctx.ld(&buf, i).to_bits());
+                    }
+                    ctx.atomic_add(&out, 0, acc);
+                },
+            );
+            black_box(out.get(0))
+        });
+    });
+    group.finish();
+}
+
+fn bench_launch_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_launch");
+    group.sample_size(20);
+    group.bench_function("empty_kernel_128_blocks", |b| {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        b.iter(|| {
+            gpu.launch("noop", LaunchConfig::grid_1d(128, 256), |ctx| {
+                black_box(ctx.block_idx);
+            });
+            black_box(gpu.elapsed_us())
+        });
+    });
+    group.finish();
+}
+
+fn bench_warp_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warp_primitives");
+    let preds: Lanes<bool> = std::array::from_fn(|i| i % 3 == 0);
+    let vals: Lanes<u32> = std::array::from_fn(|i| i as u32);
+    group.bench_function("ballot", |b| {
+        b.iter(|| black_box(ballot(black_box(&preds))))
+    });
+    group.bench_function("exclusive_scan", |b| {
+        b.iter(|| black_box(exclusive_scan(black_box(&vals))))
+    });
+    group.finish();
+}
+
+fn bench_bitonic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitonic_networks");
+    group.sample_size(20);
+    for size in [32usize, 256, 2048] {
+        group.bench_with_input(BenchmarkId::new("sort", size), &size, |b, &size| {
+            let keys: Vec<u32> = (0..size as u32).rev().collect();
+            let payload: Vec<u32> = (0..size as u32).collect();
+            b.iter(|| {
+                let mut k = keys.clone();
+                let mut p = payload.clone();
+                black_box(bitonic_sort(&mut k, &mut p, true))
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("merge_into_topk", size),
+            &size,
+            |b, &size| {
+                let lk: Vec<u32> = (0..size as u32).map(|x| x * 2).collect();
+                let lp: Vec<u32> = (0..size as u32).collect();
+                let qk: Vec<u32> = (0..32u32).map(|x| x * 3).collect();
+                let qp: Vec<u32> = (0..32u32).collect();
+                b.iter(|| {
+                    let mut lk = lk.clone();
+                    let mut lp = lp.clone();
+                    let mut qk = qk.clone();
+                    let mut qp = qp.clone();
+                    black_box(merge_into_topk(&mut lk, &mut lp, &mut qk, &mut qp))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_metered_stream,
+    bench_launch_overhead,
+    bench_warp_primitives,
+    bench_bitonic
+);
+criterion_main!(benches);

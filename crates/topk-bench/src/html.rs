@@ -1,0 +1,365 @@
+//! Self-contained HTML report with inline SVG charts.
+//!
+//! `topk-bench report` turns the CSVs a benchmark run left in the
+//! output directory into a single `report.html` — log-log charts in
+//! the paper's figure layout, plus the Table 2/3 text — with no
+//! external dependencies (the SVG is emitted by hand). Open it in any
+//! browser.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::report::{read_csv, Row};
+
+/// One series colour per algorithm, fixed so every chart in a report
+/// uses the same encoding (10 paper algorithms + 2 ablation variants).
+const PALETTE: &[(&str, &str)] = &[
+    ("Sort", "#888888"),
+    ("WarpSelect", "#c58af9"),
+    ("BlockSelect", "#7a5fd0"),
+    ("Bitonic Top-K", "#e2a04a"),
+    ("QuickSelect", "#5aa469"),
+    ("BucketSelect", "#2e7d5b"),
+    ("SampleSelect", "#97c26a"),
+    ("RadixSelect", "#d96c6c"),
+    ("AIR Top-K", "#1f6feb"),
+    ("GridSelect", "#cf222e"),
+];
+
+fn colour_for(algo: &str, fallback_idx: usize) -> &'static str {
+    const EXTRA: &[&str] = &["#0a7ea4", "#b4581f", "#586069", "#8250df"];
+    PALETTE
+        .iter()
+        .find(|(n, _)| *n == algo)
+        .map(|(_, c)| *c)
+        .unwrap_or(EXTRA[fallback_idx % EXTRA.len()])
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Render one log-log SVG chart: x = N or K (log2), y = time µs
+/// (log10), one polyline per algorithm present in `rows`.
+pub fn svg_chart(rows: &[Row], x_axis: &str, title: &str, w: u32, h: u32) -> String {
+    let (ml, mr, mt, mb) = (64.0, 160.0, 36.0, 44.0); // margins (legend right)
+    let (pw, ph) = (w as f64 - ml - mr, h as f64 - mt - mb);
+    let xv = |r: &Row| (if x_axis == "k" { r.k } else { r.n }) as f64;
+
+    let pts: Vec<(&Row, f64, f64)> = rows
+        .iter()
+        .filter(|r| r.time_us > 0.0)
+        .map(|r| (r, xv(r).log2(), r.time_us.log10()))
+        .collect();
+    if pts.is_empty() {
+        return String::new();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    // Pad the y-range a touch; guard degenerate spans.
+    y0 = (y0 - 0.1).floor_to(0.5);
+    y1 = (y1 + 0.1).ceil_to(0.5);
+    let xs = (x1 - x0).max(1e-9);
+    let ys = (y1 - y0).max(1e-9);
+    let px = |x: f64| ml + (x - x0) / xs * pw;
+    let py = |y: f64| mt + (1.0 - (y - y0) / ys) * ph;
+
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         font-family=\"sans-serif\" font-size=\"11\">\n\
+         <text x=\"{ml}\" y=\"20\" font-size=\"13\" font-weight=\"bold\">{}</text>\n",
+        esc(title)
+    );
+
+    // Axes + gridlines: y at integer decades, x at even log2 steps.
+    let mut dec = y0.ceil() as i64;
+    while (dec as f64) <= y1 {
+        let yy = py(dec as f64);
+        svg.push_str(&format!(
+            "<line x1=\"{ml}\" y1=\"{yy:.1}\" x2=\"{:.1}\" y2=\"{yy:.1}\" stroke=\"#ddd\"/>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">1e{dec}</text>\n",
+            ml + pw,
+            ml - 6.0,
+            yy + 4.0
+        ));
+        dec += 1;
+    }
+    let mut e = x0.ceil() as i64;
+    while (e as f64) <= x1 {
+        let xx = px(e as f64);
+        svg.push_str(&format!(
+            "<line x1=\"{xx:.1}\" y1=\"{mt}\" x2=\"{xx:.1}\" y2=\"{:.1}\" stroke=\"#eee\"/>\n",
+            mt + ph
+        ));
+        if e % 2 == 0 {
+            svg.push_str(&format!(
+                "<text x=\"{xx:.1}\" y=\"{:.1}\" text-anchor=\"middle\">2^{e}</text>\n",
+                mt + ph + 16.0
+            ));
+        }
+        e += 1;
+    }
+    svg.push_str(&format!(
+        "<rect x=\"{ml}\" y=\"{mt}\" width=\"{pw:.1}\" height=\"{ph:.1}\" \
+         fill=\"none\" stroke=\"#999\"/>\n\
+         <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{} (log2)</text>\n\
+         <text x=\"14\" y=\"{:.1}\" transform=\"rotate(-90 14 {:.1})\" \
+         text-anchor=\"middle\">time us (log10)</text>\n",
+        ml + pw / 2.0,
+        mt + ph + 34.0,
+        x_axis.to_uppercase(),
+        mt + ph / 2.0,
+        mt + ph / 2.0,
+    ));
+
+    // Series.
+    let algos: Vec<String> = {
+        let mut seen = BTreeSet::new();
+        rows.iter()
+            .filter(|r| seen.insert(r.algo.clone()))
+            .map(|r| r.algo.clone())
+            .collect()
+    };
+    for (ai, algo) in algos.iter().enumerate() {
+        let colour = colour_for(algo, ai);
+        let mut series: Vec<(f64, f64)> = pts
+            .iter()
+            .filter(|(r, _, _)| &r.algo == algo)
+            .map(|&(_, x, y)| (x, y))
+            .collect();
+        series.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if series.is_empty() {
+            continue;
+        }
+        let path: Vec<String> = series
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        svg.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{colour}\" stroke-width=\"1.6\"/>\n",
+            path.join(" ")
+        ));
+        for &(x, y) in &series {
+            svg.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.4\" fill=\"{colour}\"/>\n",
+                px(x),
+                py(y)
+            ));
+        }
+        // Legend entry.
+        let ly = mt + 14.0 * ai as f64;
+        svg.push_str(&format!(
+            "<line x1=\"{:.1}\" y1=\"{ly:.1}\" x2=\"{:.1}\" y2=\"{ly:.1}\" \
+             stroke=\"{colour}\" stroke-width=\"2\"/>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\">{}</text>\n",
+            ml + pw + 10.0,
+            ml + pw + 30.0,
+            ml + pw + 36.0,
+            ly + 4.0,
+            esc(algo)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+trait Snap {
+    fn floor_to(self, step: f64) -> f64;
+    fn ceil_to(self, step: f64) -> f64;
+}
+impl Snap for f64 {
+    fn floor_to(self, step: f64) -> f64 {
+        (self / step).floor() * step
+    }
+    fn ceil_to(self, step: f64) -> f64 {
+        (self / step).ceil() * step
+    }
+}
+
+/// Build `report.html` from whatever CSVs exist in `dir`. Returns the
+/// HTML; the caller writes it.
+pub fn render_report(dir: &Path) -> std::io::Result<String> {
+    let mut html = String::from(
+        "<!doctype html><html><head><meta charset=\"utf-8\">\
+         <title>gpu-topk benchmark report</title>\
+         <style>body{font-family:sans-serif;max-width:1080px;margin:24px auto;}\
+         pre{background:#f6f8fa;padding:12px;overflow-x:auto;font-size:12px;}\
+         h2{border-bottom:1px solid #ddd;padding-bottom:4px;}</style>\
+         </head><body>\n<h1>gpu-topk benchmark report</h1>\n\
+         <p>Simulated-device results regenerating the SC '23 paper's \
+         evaluation; see EXPERIMENTS.md for the paper-vs-measured \
+         comparison. All axes log-log.</p>\n",
+    );
+
+    // Fig. 6: per (workload, n), x = k.
+    if let Ok(rows) = read_csv(&dir.join("fig6.csv")) {
+        html.push_str("<h2>Fig. 6 — time vs K (batch 1)</h2>\n");
+        let groups: BTreeSet<(String, usize)> =
+            rows.iter().map(|r| (r.workload.clone(), r.n)).collect();
+        for (wl, n) in groups {
+            let sub: Vec<Row> = rows
+                .iter()
+                .filter(|r| r.workload == wl && r.n == n)
+                .cloned()
+                .collect();
+            html.push_str(&svg_chart(
+                &sub,
+                "k",
+                &format!("{wl}, N = 2^{:.0}", (n as f64).log2()),
+                860,
+                300,
+            ));
+        }
+    }
+
+    // Fig. 7: per (workload, k, batch), x = n.
+    if let Ok(rows) = read_csv(&dir.join("fig7.csv")) {
+        html.push_str("<h2>Fig. 7 — time vs N (batch 1 and 100)</h2>\n");
+        let groups: BTreeSet<(String, usize, usize)> = rows
+            .iter()
+            .map(|r| (r.workload.clone(), r.k, r.batch))
+            .collect();
+        for (wl, k, batch) in groups {
+            let sub: Vec<Row> = rows
+                .iter()
+                .filter(|r| r.workload == wl && r.k == k && r.batch == batch)
+                .cloned()
+                .collect();
+            html.push_str(&svg_chart(
+                &sub,
+                "n",
+                &format!("{wl}, K = {k}, batch = {batch}"),
+                860,
+                300,
+            ));
+        }
+    }
+
+    // Tables as preformatted text.
+    for (file, title) in [
+        ("table2.txt", "Table 2 — speedup summary"),
+        ("table3.txt", "Table 3 — kernel SOL analysis"),
+        ("fig8.txt", "Fig. 8 — timeline breakdown"),
+    ] {
+        if let Ok(text) = std::fs::read_to_string(dir.join(file)) {
+            html.push_str(&format!("<h2>{}</h2>\n<pre>{}</pre>\n", title, esc(&text)));
+        }
+    }
+
+    // Ablations and remaining figures: simple per-figure charts.
+    for (file, x_axis, title) in [
+        ("fig9.csv", "n", "Fig. 9 — adaptive strategy ablation"),
+        ("fig10.csv", "n", "Fig. 10 — early stopping ablation"),
+        ("fig11.csv", "n", "Fig. 11 — queue ablation"),
+        ("fig12.csv", "k", "Fig. 12 — devices"),
+        ("fig13.csv", "n", "Fig. 13 — ANN distance arrays"),
+    ] {
+        if let Ok(rows) = read_csv(&dir.join(file)) {
+            html.push_str(&format!("<h2>{title}</h2>\n"));
+            // Group by the non-axis dimensions that vary.
+            let groups: BTreeSet<(String, String, usize)> = rows
+                .iter()
+                .map(|r| {
+                    (
+                        r.workload.clone(),
+                        r.device.clone(),
+                        if x_axis == "n" { r.k } else { 0 },
+                    )
+                })
+                .collect();
+            for (wl, dev, k) in groups {
+                let sub: Vec<Row> = rows
+                    .iter()
+                    .filter(|r| r.workload == wl && r.device == dev && (x_axis != "n" || r.k == k))
+                    .cloned()
+                    .collect();
+                let sub_title = if x_axis == "n" {
+                    format!("{wl} on {dev}, K = {k}")
+                } else {
+                    format!("{wl} on {dev}")
+                };
+                html.push_str(&svg_chart(&sub, x_axis, &sub_title, 860, 280));
+            }
+        }
+    }
+
+    html.push_str("</body></html>\n");
+    Ok(html)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(algo: &str, n: usize, k: usize, t: f64) -> Row {
+        Row {
+            algo: algo.into(),
+            device: "A100".into(),
+            workload: "uniform".into(),
+            n,
+            k,
+            batch: 1,
+            time_us: t,
+            mem_bytes: 0,
+            kernels: 1,
+            pcie_us: 0.0,
+            idle_us: 0.0,
+            verified: true,
+        }
+    }
+
+    #[test]
+    fn chart_has_one_polyline_per_series() {
+        let rows = vec![
+            row("AIR Top-K", 1 << 12, 8, 10.0),
+            row("AIR Top-K", 1 << 16, 8, 30.0),
+            row("Sort", 1 << 12, 8, 100.0),
+            row("Sort", 1 << 16, 8, 200.0),
+        ];
+        let svg = svg_chart(&rows, "n", "test", 860, 300);
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("#1f6feb"), "AIR colour present");
+        assert!(svg.contains("2^")); // x ticks
+        assert!(svg.contains("1e")); // y decade labels
+        assert!(svg.contains("AIR Top-K")); // legend
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn chart_handles_empty_and_escapes() {
+        assert_eq!(svg_chart(&[], "n", "x", 100, 100), "");
+        let rows = vec![row("A<b>", 1024, 8, 1.0)];
+        let svg = svg_chart(&rows, "n", "ti<tle", 400, 200);
+        assert!(svg.contains("A&lt;b&gt;"));
+        assert!(svg.contains("ti&lt;tle"));
+        assert!(!svg.contains("A<b>"));
+    }
+
+    #[test]
+    fn report_renders_from_csvs() {
+        let dir = std::env::temp_dir().join("topk_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        crate::report::write_csv(
+            &dir.join("fig6.csv"),
+            &[
+                row("AIR Top-K", 1 << 15, 8, 12.0),
+                row("Sort", 1 << 15, 8, 70.0),
+            ],
+        )
+        .unwrap();
+        std::fs::write(dir.join("table2.txt"), "speedups & ranges").unwrap();
+        let html = render_report(&dir).unwrap();
+        assert!(html.contains("<h2>Fig. 6"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("speedups &amp; ranges"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,31 @@
+//! # topk-bench — the paper's evaluation, regenerated
+//!
+//! A benchmark harness that reproduces every table and figure in §5 of
+//! *"Parallel Top-K Algorithms on GPU"* on the simulated device:
+//!
+//! | Artefact | Subcommand | What it shows |
+//! |----------|-----------|----------------|
+//! | Fig. 6 | `fig6` | time vs K at fixed N, 3 distributions |
+//! | Fig. 7 | `fig7` | time vs N at fixed K, batch 1 and 100 |
+//! | Table 2 | `table2` | speedup ranges (AIR vs RadixSelect, GridSelect vs BlockSelect, AIR vs SOTA) |
+//! | Fig. 8 | `fig8` | timeline breakdown, RadixSelect vs AIR |
+//! | Table 3 | `table3` | per-kernel Memory/Compute SOL |
+//! | Fig. 9 | `fig9` | adaptive strategy ablation (M = 10, 20) |
+//! | Fig. 10 | `fig10` | early-stopping ablation |
+//! | Fig. 11 | `fig11` | shared vs per-thread queue ablation |
+//! | Fig. 12 | `fig12` | A100 vs H100 vs A10 |
+//! | Fig. 13 | `fig13` | ANN distance arrays (DEEP1B/SIFT-like) |
+//!
+//! Simulated time is deterministic, so one run per configuration
+//! replaces the paper's 100-run averages. The default grids are scaled
+//! down from the paper's (this harness runs on a laptop-class host);
+//! `--full` selects the paper's exact grid.
+
+pub mod figures;
+pub mod html;
+pub mod report;
+pub mod runner;
+pub mod tools;
+
+pub use report::{write_csv, Row};
+pub use runner::{run_config, BenchConfig, Workload};

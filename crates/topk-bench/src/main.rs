@@ -1,0 +1,249 @@
+//! Command-line entry point: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! topk-bench <command> [--full] [--verify] [--out DIR]
+//!
+//! commands:
+//!   fig6    time vs K                    fig9    adaptive-strategy ablation
+//!   fig7    time vs N, batch 1/100       fig10   early-stopping ablation
+//!   table2  speedup summary              fig11   queue ablation
+//!   fig8    timeline breakdown           fig12   A100 / H100 / A10
+//!   table3  kernel SOL analysis          fig13   ANN distance arrays
+//!   all     every figure/table above
+//!
+//! tools:
+//!   compare --algos A,B --n N --k K --batch B --dist uniform|normal|adversarialM
+//!   tune-alpha [--n N] [--k K]
+//!   verify [--quick]      run the correctness gate over every algorithm
+//!   report [--out DIR]    build DIR/report.html (inline-SVG charts) from the CSVs
+//! ```
+//!
+//! CSV output lands in `--out` (default `bench-results/`).
+
+use std::path::PathBuf;
+use topk_bench::figures::{self, FigOpts};
+use topk_bench::report::{read_csv, write_csv, Row};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: topk-bench <fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|fig12|fig13|all> \
+         [--full] [--verify] [--quiet] [--out DIR]\n\
+       topk-bench compare [--algos A,B,..] [--n N] [--k K] [--batch B] [--dist D] [--no-verify]\n\
+       topk-bench tune-alpha [--n N] [--k K]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_dist(s: &str) -> topk_bench::runner::Workload {
+    use datagen::Distribution;
+    let d = match s {
+        "uniform" => Distribution::Uniform,
+        "normal" => Distribution::Normal,
+        other => {
+            let m: u32 = other
+                .strip_prefix("adversarial")
+                .and_then(|m| m.parse().ok())
+                .unwrap_or_else(|| usage());
+            Distribution::RadixAdversarial { m_bits: m }
+        }
+    };
+    topk_bench::runner::Workload::Synthetic(d)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args[0].clone();
+
+    // Tool subcommands take their own flags.
+    if cmd == "verify" {
+        let quick = args.iter().any(|a| a == "--quick");
+        let failures = topk_bench::tools::verify_matrix(quick);
+        std::process::exit(if failures == 0 { 0 } else { 1 });
+    }
+    if cmd == "compare" || cmd == "tune-alpha" {
+        run_tool(&cmd, &args[1..]);
+        return;
+    }
+    if cmd == "report" {
+        let mut out_dir = std::path::PathBuf::from("bench-results");
+        if args.len() >= 3 && args[1] == "--out" {
+            out_dir = std::path::PathBuf::from(&args[2]);
+        }
+        match topk_bench::html::render_report(&out_dir) {
+            Ok(html) => {
+                let p = out_dir.join("report.html");
+                std::fs::write(&p, html).expect("write report");
+                eprintln!("[topk-bench] wrote {}", p.display());
+            }
+            Err(e) => eprintln!("cannot render report: {e}"),
+        }
+        return;
+    }
+    let mut opts = FigOpts::default();
+    let mut out_dir = PathBuf::from("bench-results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => opts.full = true,
+            "--verify" => opts.verify = true,
+            "--quiet" => opts.progress = false,
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let save = |name: &str, rows: &[Row]| {
+        let path = out_dir.join(format!("{name}.csv"));
+        write_csv(&path, rows).unwrap_or_else(|e| eprintln!("cannot write {path:?}: {e}"));
+        eprintln!(
+            "[topk-bench] wrote {} rows to {}",
+            rows.len(),
+            path.display()
+        );
+    };
+
+    let run_table2 = |out_dir: &PathBuf, opts: &FigOpts| {
+        // Prefer previously measured fig6/fig7 grids; fall back to
+        // running them now.
+        let mut rows = Vec::new();
+        for f in ["fig6", "fig7"] {
+            let p = out_dir.join(format!("{f}.csv"));
+            match read_csv(&p) {
+                Ok(mut r) => rows.append(&mut r),
+                Err(_) => {
+                    eprintln!("[topk-bench] {} missing; running {f} first", p.display());
+                    let mut r = if f == "fig6" {
+                        figures::fig6(opts)
+                    } else {
+                        figures::fig7(opts)
+                    };
+                    let path = out_dir.join(format!("{f}.csv"));
+                    write_csv(&path, &r).ok();
+                    rows.append(&mut r);
+                }
+            }
+        }
+        let t = figures::table2(&rows);
+        println!("\n{t}");
+        std::fs::write(out_dir.join("table2.txt"), &t).ok();
+        // The paper artifact's `speedup.csv`.
+        std::fs::write(out_dir.join("speedup.csv"), figures::table2_csv(&rows)).ok();
+    };
+
+    match cmd.as_str() {
+        "fig6" => save("fig6", &figures::fig6(&opts)),
+        "fig7" => save("fig7", &figures::fig7(&opts)),
+        "table2" => run_table2(&out_dir, &opts),
+        "fig8" => {
+            let t = figures::fig8(&opts);
+            println!("{t}");
+            std::fs::create_dir_all(&out_dir).ok();
+            std::fs::write(out_dir.join("fig8.txt"), &t).ok();
+            for (name, json) in figures::fig8_traces(&opts) {
+                let p = out_dir.join(format!("fig8_{name}.trace.json"));
+                std::fs::write(&p, json).ok();
+                eprintln!(
+                    "[topk-bench] wrote {} (open in chrome://tracing)",
+                    p.display()
+                );
+            }
+        }
+        "table3" => {
+            let t = figures::table3(&opts);
+            println!("{t}");
+            std::fs::create_dir_all(&out_dir).ok();
+            std::fs::write(out_dir.join("table3.txt"), &t).ok();
+        }
+        "fig9" => save("fig9", &figures::fig9(&opts)),
+        "fig10" => save("fig10", &figures::fig10(&opts)),
+        "fig11" => save("fig11", &figures::fig11(&opts)),
+        "fig12" => save("fig12", &figures::fig12(&opts)),
+        "fig13" => save("fig13", &figures::fig13(&opts)),
+        "all" => {
+            save("fig6", &figures::fig6(&opts));
+            save("fig7", &figures::fig7(&opts));
+            run_table2(&out_dir, &opts);
+            let t = figures::fig8(&opts);
+            println!("{t}");
+            std::fs::write(out_dir.join("fig8.txt"), &t).ok();
+            for (name, json) in figures::fig8_traces(&opts) {
+                std::fs::write(out_dir.join(format!("fig8_{name}.trace.json")), json).ok();
+            }
+            let t = figures::table3(&opts);
+            println!("{t}");
+            std::fs::write(out_dir.join("table3.txt"), &t).ok();
+            save("fig9", &figures::fig9(&opts));
+            save("fig10", &figures::fig10(&opts));
+            save("fig11", &figures::fig11(&opts));
+            save("fig12", &figures::fig12(&opts));
+            save("fig13", &figures::fig13(&opts));
+        }
+        _ => usage(),
+    }
+}
+
+fn run_tool(cmd: &str, args: &[String]) {
+    use topk_bench::tools;
+    let mut opts = tools::CompareOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--algos" => {
+                i += 1;
+                opts.algos = args
+                    .get(i)
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--n" => {
+                i += 1;
+                opts.n = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--k" => {
+                i += 1;
+                opts.k = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--batch" => {
+                i += 1;
+                opts.batch = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--dist" => {
+                i += 1;
+                match parse_dist(args.get(i).unwrap_or_else(|| usage())) {
+                    topk_bench::runner::Workload::Synthetic(d) => opts.dist = d,
+                    _ => usage(),
+                }
+            }
+            "--no-verify" => opts.verify = false,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    match cmd {
+        "compare" => {
+            tools::compare(&opts);
+        }
+        "tune-alpha" => {
+            tools::tune_alpha(opts.n, opts.k, &[4, 16, 64, 128, 512, 4096], true);
+        }
+        _ => usage(),
+    }
+}

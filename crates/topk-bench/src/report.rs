@@ -1,0 +1,434 @@
+//! Result rows, CSV output, and the Table 2 speedup summary.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// One measured benchmark point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Algorithm name (paper spelling).
+    pub algo: String,
+    /// Device name (A100/H100/A10).
+    pub device: String,
+    /// Workload name (uniform/normal/adversarial20/deep1b-like/…).
+    pub workload: String,
+    /// Problem size.
+    pub n: usize,
+    /// Results per problem.
+    pub k: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Simulated wall time for the whole batch, µs.
+    pub time_us: f64,
+    /// Total device-memory traffic, bytes.
+    pub mem_bytes: u64,
+    /// Kernel launches.
+    pub kernels: usize,
+    /// Time in host↔device copies, µs.
+    pub pcie_us: f64,
+    /// Device-idle time (syncs, host compute, launch overhead), µs.
+    pub idle_us: f64,
+    /// Whether verification passed (true when not requested).
+    pub verified: bool,
+}
+
+/// CSV header matching [`Row::csv_line`].
+pub const CSV_HEADER: &str =
+    "algo,device,workload,n,k,batch,time_us,mem_bytes,kernels,pcie_us,idle_us,verified";
+
+impl Row {
+    /// Serialise as one CSV line (no embedded commas in our fields).
+    pub fn csv_line(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{:.3},{},{},{:.3},{:.3},{}",
+            self.algo,
+            self.device,
+            self.workload,
+            self.n,
+            self.k,
+            self.batch,
+            self.time_us,
+            self.mem_bytes,
+            self.kernels,
+            self.pcie_us,
+            self.idle_us,
+            self.verified
+        )
+    }
+
+    /// Parse a CSV line produced by [`Row::csv_line`].
+    pub fn from_csv_line(line: &str) -> Option<Row> {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 12 {
+            return None;
+        }
+        Some(Row {
+            algo: f[0].to_string(),
+            device: f[1].to_string(),
+            workload: f[2].to_string(),
+            n: f[3].parse().ok()?,
+            k: f[4].parse().ok()?,
+            batch: f[5].parse().ok()?,
+            time_us: f[6].parse().ok()?,
+            mem_bytes: f[7].parse().ok()?,
+            kernels: f[8].parse().ok()?,
+            pcie_us: f[9].parse().ok()?,
+            idle_us: f[10].parse().ok()?,
+            verified: f[11].parse().ok()?,
+        })
+    }
+}
+
+/// Write rows to a CSV file (with header).
+pub fn write_csv(path: &Path, rows: &[Row]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{CSV_HEADER}")?;
+    for r in rows {
+        writeln!(f, "{}", r.csv_line())?;
+    }
+    Ok(())
+}
+
+/// Read rows back from a CSV file.
+pub fn read_csv(path: &Path) -> std::io::Result<Vec<Row>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .skip(1)
+        .filter_map(Row::from_csv_line)
+        .collect())
+}
+
+/// The key identifying one problem configuration across algorithms.
+fn config_key(r: &Row) -> (String, String, usize, usize, usize) {
+    (r.device.clone(), r.workload.clone(), r.n, r.k, r.batch)
+}
+
+/// A min–max speedup range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupRange {
+    /// Smallest observed speedup.
+    pub min: f64,
+    /// Largest observed speedup.
+    pub max: f64,
+    /// Number of configurations compared.
+    pub count: usize,
+}
+
+impl SpeedupRange {
+    fn update(&mut self, s: f64) {
+        self.min = self.min.min(s);
+        self.max = self.max.max(s);
+        self.count += 1;
+    }
+
+    fn new() -> Self {
+        SpeedupRange {
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            count: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for SpeedupRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.count == 0 {
+            write!(f, "n/a")
+        } else {
+            write!(f, "{:.2}-{:.2}", self.min, self.max)
+        }
+    }
+}
+
+/// Compute speedup of `subject` over `baseline` on every configuration
+/// where both ran, grouped by `(batch, workload)` like Table 2.
+pub fn speedup_ranges(
+    rows: &[Row],
+    subject: &str,
+    baseline: &str,
+) -> BTreeMap<(usize, String), SpeedupRange> {
+    let mut subj: BTreeMap<_, f64> = BTreeMap::new();
+    let mut base: BTreeMap<_, f64> = BTreeMap::new();
+    for r in rows {
+        if r.algo == subject {
+            subj.insert(config_key(r), r.time_us);
+        } else if r.algo == baseline {
+            base.insert(config_key(r), r.time_us);
+        }
+    }
+    let mut out: BTreeMap<(usize, String), SpeedupRange> = BTreeMap::new();
+    for (key, &t_subj) in &subj {
+        if let Some(&t_base) = base.get(key) {
+            let group = (key.4, key.1.clone());
+            out.entry(group)
+                .or_insert_with(SpeedupRange::new)
+                .update(t_base / t_subj);
+        }
+    }
+    out
+}
+
+/// Speedup of `subject` over the per-configuration best of `baselines`
+/// — the paper's "virtual SOTA" comparison (§5.1).
+pub fn speedup_vs_sota(
+    rows: &[Row],
+    subject: &str,
+    baselines: &[&str],
+) -> BTreeMap<(usize, String), SpeedupRange> {
+    let mut subj: BTreeMap<_, f64> = BTreeMap::new();
+    let mut best: BTreeMap<_, f64> = BTreeMap::new();
+    for r in rows {
+        let key = config_key(r);
+        if r.algo == subject {
+            subj.insert(key, r.time_us);
+        } else if baselines.contains(&r.algo.as_str()) {
+            best.entry(key)
+                .and_modify(|t: &mut f64| *t = t.min(r.time_us))
+                .or_insert(r.time_us);
+        }
+    }
+    let mut out: BTreeMap<(usize, String), SpeedupRange> = BTreeMap::new();
+    for (key, &t_subj) in &subj {
+        if let Some(&t_base) = best.get(key) {
+            let group = (key.4, key.1.clone());
+            out.entry(group)
+                .or_insert_with(SpeedupRange::new)
+                .update(t_base / t_subj);
+        }
+    }
+    out
+}
+
+/// Render an aligned text table from per-series rows: one line per
+/// x-value, one column per algorithm. Used for the figure outputs.
+pub fn render_series_table(
+    rows: &[Row],
+    x_axis: &str, // "k" or "n"
+    algos: &[String],
+) -> String {
+    let mut xs: Vec<usize> = rows
+        .iter()
+        .map(|r| if x_axis == "k" { r.k } else { r.n })
+        .collect();
+    xs.sort_unstable();
+    xs.dedup();
+
+    let mut out = String::new();
+    out.push_str(&format!("{:>10}", x_axis.to_uppercase()));
+    for a in algos {
+        out.push_str(&format!(" {:>14}", a));
+    }
+    out.push('\n');
+    for &x in &xs {
+        out.push_str(&format!("{x:>10}"));
+        for a in algos {
+            let t = rows
+                .iter()
+                .find(|r| r.algo == *a && (if x_axis == "k" { r.k } else { r.n }) == x)
+                .map(|r| r.time_us);
+            match t {
+                Some(t) => out.push_str(&format!(" {t:>14.1}")),
+                None => out.push_str(&format!(" {:>14}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render rows as an ASCII log-log chart (the form of the paper's
+/// Figs. 6/7): x = log2 of N or K, y = log10 of time, one symbol per
+/// algorithm. Complements [`render_series_table`] for eyeballing
+/// crossovers.
+pub fn render_ascii_chart(
+    rows: &[Row],
+    x_axis: &str,
+    algos: &[String],
+    width: usize,
+    height: usize,
+) -> String {
+    const SYMBOLS: &[char] = &['S', 'w', 'b', 'T', 'q', 'u', 's', 'r', 'A', 'G', '*', '+'];
+    let xv = |r: &Row| if x_axis == "k" { r.k } else { r.n } as f64;
+    let pts: Vec<(f64, f64, usize)> = rows
+        .iter()
+        .filter_map(|r| {
+            let a = algos.iter().position(|n| *n == r.algo)?;
+            (r.time_us > 0.0).then(|| (xv(r).log2(), r.time_us.log10(), a))
+        })
+        .collect();
+    if pts.is_empty() || width < 8 || height < 3 {
+        return String::new();
+    }
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y, _) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    let (xs, ys) = ((x1 - x0).max(1e-9), (y1 - y0).max(1e-9));
+
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y, a) in &pts {
+        let col = (((x - x0) / xs) * (width - 1) as f64).round() as usize;
+        let rrow = height - 1 - (((y - y0) / ys) * (height - 1) as f64).round() as usize;
+        let cell = &mut grid[rrow.min(height - 1)][col.min(width - 1)];
+        let sym = SYMBOLS[a % SYMBOLS.len()];
+        // Collisions become '#' so overplotting is visible.
+        *cell = if *cell == ' ' || *cell == sym {
+            sym
+        } else {
+            '#'
+        };
+    }
+
+    let mut out = String::new();
+    for (i, line) in grid.iter().enumerate() {
+        let y = y1 - (i as f64 / (height - 1) as f64) * ys;
+        out.push_str(&format!("{:>8.1} |", 10f64.powf(y)));
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>8} +{}\n{:>10}2^{:.0}{}2^{:.0}  ({} on x, time us on y, log-log)\n",
+        "us",
+        "-".repeat(width),
+        "",
+        x0,
+        " ".repeat(width.saturating_sub(8)),
+        x1,
+        x_axis.to_uppercase()
+    ));
+    for (i, a) in algos.iter().enumerate() {
+        out.push_str(&format!("  {} = {}\n", SYMBOLS[i % SYMBOLS.len()], a));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(algo: &str, workload: &str, n: usize, k: usize, batch: usize, t: f64) -> Row {
+        Row {
+            algo: algo.into(),
+            device: "A100".into(),
+            workload: workload.into(),
+            n,
+            k,
+            batch,
+            time_us: t,
+            mem_bytes: 0,
+            kernels: 1,
+            pcie_us: 0.0,
+            idle_us: 0.0,
+            verified: true,
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let r = row("AIR Top-K", "uniform", 1024, 32, 1, 12.5);
+        let parsed = Row::from_csv_line(&r.csv_line()).unwrap();
+        assert_eq!(parsed, r);
+        assert!(Row::from_csv_line("garbage").is_none());
+    }
+
+    #[test]
+    fn csv_file_roundtrip() {
+        let dir = std::env::temp_dir().join("topk_bench_test");
+        let path = dir.join("t.csv");
+        let rows = vec![
+            row("A", "uniform", 10, 1, 1, 1.0),
+            row("B", "normal", 20, 2, 100, 2.0),
+        ];
+        write_csv(&path, &rows).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back, rows);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn speedup_grouped_by_batch_and_workload() {
+        let rows = vec![
+            row("AIR Top-K", "uniform", 1024, 32, 1, 10.0),
+            row("RadixSelect", "uniform", 1024, 32, 1, 50.0),
+            row("AIR Top-K", "uniform", 4096, 32, 1, 10.0),
+            row("RadixSelect", "uniform", 4096, 32, 1, 200.0),
+            row("AIR Top-K", "uniform", 1024, 32, 100, 10.0),
+            row("RadixSelect", "uniform", 1024, 32, 100, 1000.0),
+        ];
+        let sp = speedup_ranges(&rows, "AIR Top-K", "RadixSelect");
+        let b1 = &sp[&(1, "uniform".to_string())];
+        assert_eq!(b1.min, 5.0);
+        assert_eq!(b1.max, 20.0);
+        assert_eq!(b1.count, 2);
+        let b100 = &sp[&(100, "uniform".to_string())];
+        assert_eq!(b100.min, 100.0);
+    }
+
+    #[test]
+    fn sota_takes_per_config_best() {
+        let rows = vec![
+            row("AIR Top-K", "uniform", 1024, 32, 1, 10.0),
+            row("Sort", "uniform", 1024, 32, 1, 100.0),
+            row("BucketSelect", "uniform", 1024, 32, 1, 40.0),
+        ];
+        let sp = speedup_vs_sota(&rows, "AIR Top-K", &["Sort", "BucketSelect"]);
+        assert_eq!(sp[&(1, "uniform".to_string())].min, 4.0);
+    }
+
+    #[test]
+    fn ascii_chart_plots_all_series() {
+        let rows = vec![
+            row("AIR Top-K", "uniform", 1 << 12, 8, 1, 10.0),
+            row("AIR Top-K", "uniform", 1 << 16, 8, 1, 20.0),
+            row("AIR Top-K", "uniform", 1 << 20, 8, 1, 80.0),
+            row("Sort", "uniform", 1 << 12, 8, 1, 100.0),
+            row("Sort", "uniform", 1 << 20, 8, 1, 4000.0),
+        ];
+        let chart = render_ascii_chart(&rows, "n", &["AIR Top-K".into(), "Sort".into()], 40, 10);
+        // Both series' symbols appear (first two registry symbols).
+        assert!(chart.contains('S'), "chart:\n{chart}");
+        assert!(chart.contains("= AIR Top-K"));
+        assert!(chart.contains("log-log"));
+        // Degenerate inputs return empty rather than panicking.
+        assert_eq!(render_ascii_chart(&[], "n", &[], 40, 10), "");
+        assert_eq!(
+            render_ascii_chart(&rows, "n", &["AIR Top-K".into()], 4, 2),
+            ""
+        );
+    }
+
+    #[test]
+    fn ascii_chart_y_axis_is_monotone() {
+        let rows = vec![
+            row("A", "u", 1 << 10, 1, 1, 1.0),
+            row("A", "u", 1 << 20, 1, 1, 1000.0),
+        ];
+        let chart = render_ascii_chart(&rows, "n", &["A".into()], 30, 8);
+        let labels: Vec<f64> = chart
+            .lines()
+            .filter_map(|l| l.split('|').next()?.trim().parse::<f64>().ok())
+            .collect();
+        assert!(labels.windows(2).all(|w| w[0] >= w[1]), "{labels:?}");
+    }
+
+    #[test]
+    fn series_table_renders_missing_points() {
+        let rows = vec![
+            row("AIR Top-K", "uniform", 1024, 8, 1, 1.0),
+            row("AIR Top-K", "uniform", 1024, 16, 1, 2.0),
+            row("GridSelect", "uniform", 1024, 8, 1, 3.0),
+        ];
+        let t = render_series_table(&rows, "k", &["AIR Top-K".into(), "GridSelect".into()]);
+        assert!(t.contains('-'), "missing point shown as dash:\n{t}");
+        assert!(t.lines().count() == 3);
+    }
+}

@@ -1,0 +1,813 @@
+//! AIR Top-K: Adaptive and Iteration-fused Radix top-K (§3 of the
+//! paper, Algorithm 1).
+//!
+//! The algorithm processes keys most-significant-digit first, one
+//! radix pass per kernel. Three ideas distinguish it from classic
+//! RadixSelect:
+//!
+//! 1. **Iteration fusion (§3.1).** Each `iteration_fused_kernel` does
+//!    the *previous* pass's filtering and the *current* pass's
+//!    histogram in one data sweep, and the last thread block to finish
+//!    computes the prefix sum and target digit on-device. The host
+//!    only launches `⌈32/b⌉` fused kernels plus one `last_filter_kernel`
+//!    — no intermediate device→host copies, no synchronisation
+//!    (compare Fig. 2's 16 launches to Fig. 3's 4).
+//! 2. **Adaptive buffering (§3.2).** Writing surviving candidates to a
+//!    compact buffer pays `4C` memory accesses to save `N` reads next
+//!    pass; under radix-adversarial data `C ≈ N` and buffering is pure
+//!    waste. The last block therefore sets a per-pass flag: store
+//!    candidates only when `C·α < N`, otherwise the next pass re-reads
+//!    the original input and re-applies the accumulated digit filter.
+//!    This also caps the candidate buffer at `N/α` elements.
+//! 3. **Early stopping (§3.3).** When the updated `K` equals the
+//!    candidate count, every remaining candidate is a result; the next
+//!    kernel just copies them out and all later kernels return
+//!    immediately.
+//!
+//! Batched problems are solved by one set of launches: blocks are
+//! striped `batch × blocks_per_problem`, with per-problem control
+//! blocks, histograms and "last block" counters — this is why AIR
+//! Top-K's batch-100 advantage over loop-over-queries baselines is so
+//! large (Table 2).
+
+use crate::keys::{digit_of, digit_width_of, num_passes_of, prefix_of, RadixKey};
+use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
+use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
+
+/// Tuning knobs for [`AirTopK`]. Defaults follow the paper: 11-bit
+/// digits (3 passes over 32-bit keys), α = 128 (§5: "determined
+/// empirically"), adaptive buffering and early stopping enabled.
+#[derive(Debug, Clone)]
+pub struct AirConfig {
+    /// Digit width in bits (8 or 11 are the sensible choices; §3.1
+    /// explains why on-device prefix sums make 11 affordable).
+    pub bits_per_pass: u32,
+    /// Buffering threshold α: candidates are buffered only when
+    /// `C·α < N`. Must be ≥ 4 (the information-theoretic lower bound
+    /// derived in §3.2) for the buffering to ever pay off.
+    pub alpha: usize,
+    /// Enable the adaptive strategy (§3.2). When false, candidates are
+    /// always buffered, like classic radix top-K — the ablation of
+    /// Fig. 9.
+    pub adaptive: bool,
+    /// Enable early stopping (§3.3) — the ablation of Fig. 10.
+    pub early_stop: bool,
+    /// Threads per block.
+    pub block_dim: usize,
+    /// Input elements each thread processes per pass.
+    pub items_per_thread: usize,
+}
+
+impl Default for AirConfig {
+    fn default() -> Self {
+        AirConfig {
+            bits_per_pass: 11,
+            alpha: 128,
+            adaptive: true,
+            early_stop: true,
+            block_dim: 512,
+            items_per_thread: 16,
+        }
+    }
+}
+
+// Control-block slot offsets (per problem).
+const K_REM: usize = 0; // remaining K
+const SRC_BUFFERED: usize = 1; // current pass reads the candidate buffer
+const SRC_COUNT: usize = 2; // element count in that buffer
+const STORE_CUR: usize = 3; // current pass writes candidates
+const EARLY: usize = 4; // current pass outputs all candidates (early stop)
+const FINISHED: usize = 5; // all results emitted; later kernels no-op
+const OUT_CURSOR: usize = 6; // write position in the output lists
+const TIE_CURSOR: usize = 7; // rank counter for kth-value ties
+const CTRL_FIXED: usize = 8;
+// Then per pass: TARGET[p], BUF_CURSOR[p] (the accumulated kth
+// prefixes live in a separate u64 buffer so 64-bit keys fit).
+
+/// Problems at or below this size take the one-block fast path: the
+/// whole multi-pass selection fused into a single kernel, one thread
+/// block per problem (RAFT's `radix_topk_one_block_kernel`). A block
+/// can keep all candidates in shared memory (8 bytes each) and
+/// synchronise between passes internally, so the N-element input is
+/// read exactly once and only one launch is paid.
+pub const ONE_BLOCK_THRESHOLD: usize = 8192;
+
+/// How a batched kernel reads its per-problem inputs: either a slice
+/// of separate row buffers (the convenience API) or one contiguous
+/// row-major matrix (RAFT's `matrix::select_k` shape, zero copies).
+#[derive(Clone, Copy)]
+enum Rows<'a, T: RadixKey> {
+    Slices(&'a [DeviceBuffer<T>]),
+    Matrix(&'a crate::matrix::DeviceMatrix<T>),
+}
+
+impl<'a, T: RadixKey> Rows<'a, T> {
+    #[inline(always)]
+    fn ld(&self, ctx: &mut gpu_sim::BlockCtx<'_>, prob: usize, i: usize) -> T {
+        match self {
+            Rows::Slices(v) => ctx.ld(&v[prob], i),
+            Rows::Matrix(m) => ctx.ld(m.buffer(), prob * m.cols() + i),
+        }
+    }
+
+    fn batch(&self) -> usize {
+        match self {
+            Rows::Slices(v) => v.len(),
+            Rows::Matrix(m) => m.rows(),
+        }
+    }
+
+    fn n(&self) -> usize {
+        match self {
+            Rows::Slices(v) => v.first().map_or(0, |b| b.len()),
+            Rows::Matrix(m) => m.cols(),
+        }
+    }
+}
+
+/// AIR Top-K (Adaptive and Iteration-fused Radix top-K), §3.
+///
+/// ```
+/// use gpu_sim::{Gpu, DeviceSpec};
+/// use topk_core::{AirTopK, TopKAlgorithm, verify_topk};
+///
+/// let mut gpu = Gpu::new(DeviceSpec::a100());
+/// let data: Vec<f32> = (0..50_000).map(|i| ((i * 37) % 9973) as f32).collect();
+/// let input = gpu.htod("scores", &data);
+///
+/// let out = AirTopK::default().select(&mut gpu, &input, 25);
+/// verify_topk(&data, 25, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
+/// // Four launches (3 fused passes + last filter), zero PCIe traffic.
+/// assert_eq!(gpu.timeline().kernel_count() > 0, true);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AirTopK {
+    cfg: AirConfig,
+}
+
+impl Default for AirTopK {
+    fn default() -> Self {
+        AirTopK::new(AirConfig::default())
+    }
+}
+
+impl AirTopK {
+    /// Create with explicit configuration.
+    pub fn new(cfg: AirConfig) -> Self {
+        assert!(
+            (1..=16).contains(&cfg.bits_per_pass),
+            "bits_per_pass must be in 1..=16"
+        );
+        assert!(cfg.alpha >= 4, "alpha below its lower bound of 4 (§3.2)");
+        AirTopK { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AirConfig {
+        &self.cfg
+    }
+
+    /// Solve `inputs.len()` same-sized problems with one set of fused
+    /// launches. All problems share N and K.
+    pub fn run_batch(
+        &self,
+        gpu: &mut Gpu,
+        inputs: &[DeviceBuffer<f32>],
+        k: usize,
+    ) -> Vec<TopKOutput> {
+        self.run_batch_typed(gpu, inputs, k)
+            .into_iter()
+            .map(|(values, indices)| TopKOutput { values, indices })
+            .collect()
+    }
+
+    /// Generic-key batched selection: any [`RadixKey`] type (`f32`,
+    /// `u32`, `i32`) works — the algorithm operates on order-preserving
+    /// bits throughout, like RAFT's dtype-templated `select_k`.
+    /// Returns `(values, indices)` buffers per problem.
+    pub fn run_batch_typed<T: RadixKey>(
+        &self,
+        gpu: &mut Gpu,
+        inputs: &[DeviceBuffer<T>],
+        k: usize,
+    ) -> Vec<(DeviceBuffer<T>, DeviceBuffer<u32>)> {
+        assert!(!inputs.is_empty(), "empty batch");
+        let n = inputs[0].len();
+        assert!(
+            inputs.iter().all(|b| b.len() == n),
+            "batched problems must share N"
+        );
+        let batch = inputs.len();
+        let (out_val, out_idx) = self.run_rows(gpu, Rows::Slices(inputs), k);
+        // Split the packed outputs into per-problem buffers (zero-cost
+        // view in real CUDA; a host-side reshape here).
+        let width = out_val.len() / batch;
+        (0..batch)
+            .map(|p| {
+                (
+                    slice_buffer(&out_val, p * width, width, "air_values"),
+                    slice_buffer(&out_idx, p * width, width, "air_indices"),
+                )
+            })
+            .collect()
+    }
+
+    /// Matrix-shaped batched selection (RAFT `matrix::select_k`
+    /// parity): input is one contiguous `rows × cols` device matrix;
+    /// outputs come back as packed `rows × k` matrices with no per-row
+    /// reshaping.
+    pub fn run_matrix_typed<T: RadixKey>(
+        &self,
+        gpu: &mut Gpu,
+        input: &crate::matrix::DeviceMatrix<T>,
+        k: usize,
+    ) -> (
+        crate::matrix::DeviceMatrix<T>,
+        crate::matrix::DeviceMatrix<u32>,
+    ) {
+        let rows = input.rows();
+        assert!(rows >= 1, "empty matrix");
+        let (out_val, out_idx) = self.run_rows(gpu, Rows::Matrix(input), k);
+        let width = out_val.len() / rows;
+        (
+            crate::matrix::DeviceMatrix::from_buffer(out_val, rows, width),
+            crate::matrix::DeviceMatrix::from_buffer(out_idx, rows, width),
+        )
+    }
+
+    /// The K-th smallest value itself — the selection *threshold* —
+    /// without materialising the index list on the host. Several of
+    /// the paper's motivating applications only need this: Deep
+    /// Gradient Compression (§1) keeps every gradient whose magnitude
+    /// clears the top-0.1% threshold. Runs the normal selection, then
+    /// a tiny on-device max-reduction over the K winners (in the
+    /// ordered-bit domain) and a single-word copy back.
+    pub fn kth_value_typed<T>(&self, gpu: &mut Gpu, input: &DeviceBuffer<T>, k: usize) -> T
+    where
+        T: RadixKey,
+        T::Ordered: gpu_sim::DeviceScalar,
+    {
+        let (vals, idx) = self.run_rows(gpu, Rows::Slices(std::slice::from_ref(input)), k);
+        let acc = gpu.alloc::<T::Ordered>("kth_acc", 1);
+        acc.set(0, vals.get(0).to_ordered()); // seed with one winner
+        {
+            let vals = vals.clone();
+            let acc = acc.clone();
+            let width = vals.len();
+            gpu.launch(
+                "kth_value_reduce",
+                LaunchConfig::for_elements(width, 256, 4, usize::MAX),
+                move |ctx| {
+                    let chunk = 256 * 4;
+                    let start = ctx.block_idx * chunk;
+                    let end = (start + chunk).min(width);
+                    if start >= end {
+                        return;
+                    }
+                    let mut m = ctx.ld(&vals, start).to_ordered();
+                    for i in start + 1..end {
+                        let o = ctx.ld(&vals, i).to_ordered();
+                        m = m.max(o);
+                        ctx.ops(1);
+                    }
+                    // Unsigned raw max on ordered bits == value max.
+                    ctx.atomic_max_raw(&acc, 0, m);
+                },
+            );
+        }
+        let kth = T::from_ordered(gpu.dtoh(&acc)[0]);
+        gpu.free(&vals);
+        gpu.free(&idx);
+        gpu.free(&acc);
+        kth
+    }
+
+    /// [`AirTopK::kth_value_typed`] for `f32`.
+    pub fn kth_value(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> f32 {
+        self.kth_value_typed(gpu, input, k)
+    }
+
+    /// The shared implementation: outputs are packed row-major
+    /// `batch × k` buffers.
+    fn run_rows<T: RadixKey>(
+        &self,
+        gpu: &mut Gpu,
+        inputs: Rows<'_, T>,
+        k: usize,
+    ) -> (DeviceBuffer<T>, DeviceBuffer<u32>) {
+        let n = inputs.n();
+        check_args(self, n, k);
+
+        if k == n {
+            // Trivial selection (§3.3's observation applied at the API
+            // boundary): every element is a result, so a single copy
+            // kernel suffices. The host knows K and N, no device work
+            // is needed to decide this.
+            return Self::run_batch_copy_all(gpu, inputs);
+        }
+        if n <= ONE_BLOCK_THRESHOLD {
+            return self.run_batch_one_block(gpu, inputs, k);
+        }
+
+        let b = self.cfg.bits_per_pass;
+        let passes = num_passes_of::<T::Ordered>(b) as usize;
+        let radix = 1usize << b;
+        let batch = inputs.batch();
+        let ctrl_stride = CTRL_FIXED + 2 * passes;
+        let target_off = CTRL_FIXED;
+        let bufcur_off = CTRL_FIXED + passes;
+
+        let chunk = self.cfg.block_dim * self.cfg.items_per_thread;
+        let blocks_per_problem = n.div_ceil(chunk).max(1);
+        let grid = batch * blocks_per_problem;
+        let launch = LaunchConfig::grid_1d(grid, self.cfg.block_dim);
+
+        // Candidate-buffer capacity per problem: N/α when adaptive
+        // (§3.2's memory-footprint guarantee), N otherwise.
+        let cap = if self.cfg.adaptive {
+            (n / self.cfg.alpha).max(1)
+        } else {
+            n
+        };
+
+        // Workspace.
+        let ctrl = gpu.alloc::<u32>("air_ctrl", batch * ctrl_stride);
+        // Accumulated kth-prefix per pass; u64 so 64-bit keys fit.
+        let prefixes = gpu.alloc::<u64>("air_prefixes", batch * passes);
+        let hist = gpu.alloc::<u32>("air_hist", batch * passes * radix);
+        let done = gpu.alloc::<u32>("air_done", batch * passes);
+        let buf_val = [
+            gpu.alloc::<T>("air_buf_val0", batch * cap),
+            gpu.alloc::<T>("air_buf_val1", batch * cap),
+        ];
+        let buf_idx = [
+            gpu.alloc::<u32>("air_buf_idx0", batch * cap),
+            gpu.alloc::<u32>("air_buf_idx1", batch * cap),
+        ];
+        let out_val = gpu.alloc::<T>("air_out_val", batch * k);
+        let out_idx = gpu.alloc::<u32>("air_out_idx", batch * k);
+
+        // No init kernel: K and N are launch constants baked into the
+        // kernels (as RAFT does), and the zeroed workspace comes from
+        // the allocator (cudaMemsetAsync territory). The remaining-K
+        // control slot only becomes live once pass 0's last block
+        // writes it.
+        let adaptive = self.cfg.adaptive;
+        let early_stop = self.cfg.early_stop;
+        let alpha = self.cfg.alpha;
+
+        // ---- the fused passes --------------------------------------
+        for pass in 0..passes {
+            let kernel = |ctx: &mut gpu_sim::BlockCtx| {
+                let prob = ctx.block_idx / blocks_per_problem;
+                let blk = ctx.block_idx % blocks_per_problem;
+                let cb = prob * ctrl_stride;
+
+                if ctx.ld(&ctrl, cb + FINISHED) != 0 {
+                    return;
+                }
+
+                let early = pass > 0 && ctx.ld(&ctrl, cb + EARLY) != 0;
+                let src_is_buf = pass > 0 && ctx.ld(&ctrl, cb + SRC_BUFFERED) != 0;
+                let n_src = if src_is_buf {
+                    ctx.ld(&ctrl, cb + SRC_COUNT) as usize
+                } else {
+                    n
+                };
+                let store = !early && pass > 0 && ctx.ld(&ctrl, cb + STORE_CUR) != 0;
+                let read_sel = (pass + 1) % 2; // buffer written by pass-1
+                let write_sel = pass % 2;
+
+                // Previous pass's target digit and the accumulated
+                // prefix through pass-2 (for re-filtering from L).
+                let (target_prev, prefix_prev2, wid_prev2) = if pass > 0 {
+                    let t = ctx.ld(&ctrl, cb + target_off + pass - 1);
+                    if pass >= 2 {
+                        let w: u32 = (0..pass as u32 - 1)
+                            .map(|q| digit_width_of::<T::Ordered>(q, b))
+                            .sum();
+                        (t, ctx.ld(&prefixes, prob * passes + pass - 2), w)
+                    } else {
+                        (t, 0, 0)
+                    }
+                } else {
+                    (0, 0, 0)
+                };
+
+                let start = blk * chunk;
+                let end = (start + chunk).min(n_src);
+
+                let mut local_hist: Vec<u32> = if pass == 0 || !early {
+                    ctx.shared_alloc::<u32>(radix)
+                } else {
+                    Vec::new()
+                };
+
+                for i in start..end {
+                    let (v, idx) = if src_is_buf {
+                        (
+                            ctx.ld(&buf_val[read_sel], prob * cap + i),
+                            ctx.ld(&buf_idx[read_sel], prob * cap + i),
+                        )
+                    } else {
+                        (inputs.ld(ctx, prob, i), i as u32)
+                    };
+                    let bits = v.to_ordered();
+                    ctx.ops(4); // load index math + ordered-bit transform
+
+                    if pass == 0 {
+                        local_hist[digit_of::<T::Ordered>(bits, 0, b) as usize] += 1;
+                        ctx.ops(4); // digit extract + shared-memory histogram
+                        continue;
+                    }
+
+                    // Skip elements that diverged from the kth prefix
+                    // in an earlier pass (they were output or discarded
+                    // there already).
+                    if !src_is_buf
+                        && pass >= 2
+                        && prefix_of::<T::Ordered>(bits, wid_prev2) != prefix_prev2
+                    {
+                        ctx.ops(1);
+                        continue;
+                    }
+
+                    let d_prev = digit_of::<T::Ordered>(bits, pass as u32 - 1, b);
+                    ctx.ops(8); // digit extract + three-way filter branch logic
+                    if early {
+                        // Early-stop copy-out: committed results
+                        // (d < target) and every remaining candidate
+                        // (d == target) are all results.
+                        if d_prev <= target_prev {
+                            let pos = ctx.atomic_add(&ctrl, cb + OUT_CURSOR, 1) as usize;
+                            debug_assert!(pos < k);
+                            ctx.st_scatter(&out_val, prob * k + pos, v);
+                            ctx.st_scatter(&out_idx, prob * k + pos, idx);
+                        }
+                    } else if d_prev < target_prev {
+                        // Guaranteed result (Algorithm 1 line 22).
+                        let pos = ctx.atomic_add(&ctrl, cb + OUT_CURSOR, 1) as usize;
+                        debug_assert!(pos < k);
+                        ctx.st_scatter(&out_val, prob * k + pos, v);
+                        ctx.st_scatter(&out_idx, prob * k + pos, idx);
+                    } else if d_prev == target_prev {
+                        // Candidate: optionally buffer (line 17-18),
+                        // histogram this pass's digit (lines 19-20).
+                        if store {
+                            let pos = ctx.atomic_add(&ctrl, cb + bufcur_off + pass, 1) as usize;
+                            debug_assert!(pos < cap);
+                            ctx.st_scatter(&buf_val[write_sel], prob * cap + pos, v);
+                            ctx.st_scatter(&buf_idx[write_sel], prob * cap + pos, idx);
+                        }
+                        local_hist[digit_of::<T::Ordered>(bits, pass as u32, b) as usize] += 1;
+                        ctx.ops(2);
+                    }
+                }
+
+                // Flush the block-local histogram to the global one.
+                if !local_hist.is_empty() {
+                    let hbase = (prob * passes + pass) * radix;
+                    for (d, &c) in local_hist.iter().enumerate() {
+                        if c != 0 {
+                            ctx.atomic_add(&hist, hbase + d, c);
+                        }
+                    }
+                    ctx.ops(radix as u64);
+                }
+
+                // Last finishing block of this problem computes the
+                // prefix sum and the target digit (Algorithm 1 lines
+                // 23-28) — entirely on-device.
+                let prev = ctx.atomic_add_sync(&done, prob * passes + pass, 1);
+                if prev + 1 == blocks_per_problem as u32 {
+                    if early {
+                        ctx.st(&ctrl, cb + FINISHED, 1);
+                        ctx.st(&ctrl, cb + EARLY, 0);
+                        return;
+                    }
+                    let k_rem = if pass == 0 {
+                        k as u32 // launch constant; ctrl not yet live
+                    } else {
+                        ctx.ld(&ctrl, cb + K_REM)
+                    };
+                    let hbase = (prob * passes + pass) * radix;
+                    let width = digit_width_of::<T::Ordered>(pass as u32, b);
+                    let r_pass = 1usize << width;
+                    let mut acc: u32 = 0;
+                    let mut target: u32 = 0;
+                    let mut psum_before: u32 = 0;
+                    let mut e_next: u32 = 0;
+                    for d in 0..r_pass {
+                        let h = ctx.ld(&hist, hbase + d);
+                        if acc + h >= k_rem {
+                            target = d as u32;
+                            psum_before = acc;
+                            e_next = h;
+                            break;
+                        }
+                        acc += h;
+                    }
+                    ctx.ops(2 * r_pass as u64);
+
+                    let k_next = k_rem - psum_before;
+                    ctx.st(&ctrl, cb + target_off + pass, target);
+                    let pfx_prev = if pass > 0 {
+                        ctx.ld(&prefixes, prob * passes + pass - 1)
+                    } else {
+                        0
+                    };
+                    ctx.st(
+                        &prefixes,
+                        prob * passes + pass,
+                        (pfx_prev << width) | target as u64,
+                    );
+                    ctx.st(&ctrl, cb + K_REM, k_next);
+
+                    // Flags for the next kernel (Algorithm 1 line 7 and
+                    // the §3.2 storing rule).
+                    ctx.st(&ctrl, cb + SRC_BUFFERED, store as u32);
+                    if store {
+                        let cnt = ctx.ld(&ctrl, cb + bufcur_off + pass);
+                        ctx.st(&ctrl, cb + SRC_COUNT, cnt);
+                    }
+                    let is_early = early_stop && k_next == e_next;
+                    let store_next =
+                        !is_early && (!adaptive || (e_next as usize).saturating_mul(alpha) < n);
+                    ctx.st(&ctrl, cb + STORE_CUR, store_next as u32);
+                    ctx.st(&ctrl, cb + EARLY, is_early as u32);
+                    ctx.ops(8);
+                }
+            };
+            gpu.launch("iteration_fused_kernel", launch, kernel);
+        }
+
+        // ---- the last filter (§2.3's final "Filtering" step) --------
+        let last = passes - 1;
+        gpu.launch("last_filter_kernel", launch, |ctx| {
+            let prob = ctx.block_idx / blocks_per_problem;
+            let blk = ctx.block_idx % blocks_per_problem;
+            let cb = prob * ctrl_stride;
+
+            if ctx.ld(&ctrl, cb + FINISHED) != 0 {
+                return;
+            }
+
+            let src_is_buf = ctx.ld(&ctrl, cb + SRC_BUFFERED) != 0;
+            let n_src = if src_is_buf {
+                ctx.ld(&ctrl, cb + SRC_COUNT) as usize
+            } else {
+                n
+            };
+            let read_sel = last % 2; // buffer written by the last fused pass
+            let target = ctx.ld(&ctrl, cb + target_off + last);
+            let k_rem = ctx.ld(&ctrl, cb + K_REM);
+            let (prefix_prev2, wid_prev2) = if last >= 1 {
+                let w: u32 = (0..last as u32)
+                    .map(|q| digit_width_of::<T::Ordered>(q, b))
+                    .sum();
+                (ctx.ld(&prefixes, prob * passes + last - 1), w)
+            } else {
+                (0, 0)
+            };
+
+            let start = blk * chunk;
+            let end = (start + chunk).min(n_src);
+            for i in start..end {
+                let (v, idx) = if src_is_buf {
+                    (
+                        ctx.ld(&buf_val[read_sel], prob * cap + i),
+                        ctx.ld(&buf_idx[read_sel], prob * cap + i),
+                    )
+                } else {
+                    (inputs.ld(ctx, prob, i), i as u32)
+                };
+                let bits = v.to_ordered();
+                ctx.ops(3);
+                if !src_is_buf
+                    && last >= 1
+                    && prefix_of::<T::Ordered>(bits, wid_prev2) != prefix_prev2
+                {
+                    ctx.ops(1);
+                    continue;
+                }
+                let d = digit_of::<T::Ordered>(bits, last as u32, b);
+                ctx.ops(2);
+                if d < target {
+                    let pos = ctx.atomic_add(&ctrl, cb + OUT_CURSOR, 1) as usize;
+                    debug_assert!(pos < k);
+                    ctx.st_scatter(&out_val, prob * k + pos, v);
+                    ctx.st_scatter(&out_idx, prob * k + pos, idx);
+                } else if d == target {
+                    // Ties on the full key: admit the first k_rem by
+                    // rank, mirroring RAFT's last_filter.
+                    let rank = ctx.atomic_add(&ctrl, cb + TIE_CURSOR, 1);
+                    if rank < k_rem {
+                        let pos = ctx.atomic_add(&ctrl, cb + OUT_CURSOR, 1) as usize;
+                        debug_assert!(pos < k);
+                        ctx.st_scatter(&out_val, prob * k + pos, v);
+                        ctx.st_scatter(&out_idx, prob * k + pos, idx);
+                    }
+                }
+            }
+        });
+
+        // Release workspace accounting (output buffers live on).
+        gpu.free(&ctrl);
+        gpu.free(&prefixes);
+        gpu.free(&hist);
+        gpu.free(&done);
+        for bufs in &buf_val {
+            gpu.free(bufs);
+        }
+        for bufs in &buf_idx {
+            gpu.free(bufs);
+        }
+
+        (out_val, out_idx)
+    }
+}
+
+impl AirTopK {
+    /// K = N: copy everything out with identity indices, one coalesced
+    /// kernel for the whole batch.
+    fn run_batch_copy_all<T: RadixKey>(
+        gpu: &mut Gpu,
+        inputs: Rows<'_, T>,
+    ) -> (DeviceBuffer<T>, DeviceBuffer<u32>) {
+        let n = inputs.n();
+        let batch = inputs.batch();
+        let out_val = gpu.alloc::<T>("air_out_val", batch * n);
+        let out_idx = gpu.alloc::<u32>("air_out_idx", batch * n);
+        let chunk = 256 * 16;
+        let bpp = n.div_ceil(chunk).max(1);
+        let (ov, oi) = (out_val.clone(), out_idx.clone());
+        gpu.launch(
+            "trivial_copy_kernel",
+            LaunchConfig::grid_1d(batch * bpp, 256),
+            move |ctx| {
+                let prob = ctx.block_idx / bpp;
+                let blk = ctx.block_idx % bpp;
+                let start = blk * chunk;
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    let v = inputs.ld(ctx, prob, i);
+                    ctx.st(&ov, prob * n + i, v);
+                    ctx.st(&oi, prob * n + i, i as u32);
+                }
+                ctx.ops((end - start) as u64);
+            },
+        );
+        (out_val, out_idx)
+    }
+
+    /// The one-block fast path (see [`ONE_BLOCK_THRESHOLD`]): one
+    /// thread block per problem runs every radix pass internally,
+    /// keeping candidates in shared memory. One launch for the whole
+    /// batch, input read once, no candidate buffers in device memory.
+    fn run_batch_one_block<T: RadixKey>(
+        &self,
+        gpu: &mut Gpu,
+        inputs: Rows<'_, T>,
+        k: usize,
+    ) -> (DeviceBuffer<T>, DeviceBuffer<u32>) {
+        let n = inputs.n();
+        let b = self.cfg.bits_per_pass;
+        let passes = num_passes_of::<T::Ordered>(b) as usize;
+        let radix = 1usize << b;
+        let batch = inputs.batch();
+        let early_stop = self.cfg.early_stop;
+
+        let out_val = gpu.alloc::<T>("air_out_val", batch * k);
+        let out_idx = gpu.alloc::<u32>("air_out_idx", batch * k);
+        let block_dim = 256;
+
+        let ov = out_val.clone();
+        let oi = out_idx.clone();
+        gpu.launch(
+            "radix_topk_one_block_kernel",
+            LaunchConfig::grid_1d(batch, block_dim),
+            move |ctx| {
+                let prob = ctx.block_idx;
+
+                // Shared memory: candidate (bits, idx) pairs + the
+                // histogram. The block reads the input exactly once.
+                let mut cand_bits = ctx.shared_alloc::<T::Ordered>(n);
+                let mut cand_idx = ctx.shared_alloc::<u32>(n);
+                for i in 0..n {
+                    cand_bits[i] = inputs.ld(ctx, prob, i).to_ordered();
+                    cand_idx[i] = i as u32;
+                }
+                ctx.ops(2 * n as u64);
+
+                let mut count = n;
+                let mut k_rem = k as u32;
+                let mut out = 0usize;
+                let emit =
+                    |ctx: &mut gpu_sim::BlockCtx, bits: T::Ordered, idx: u32, out: &mut usize| {
+                        debug_assert!(*out < k);
+                        ctx.st(&ov, prob * k + *out, T::from_ordered(bits));
+                        ctx.st(&oi, prob * k + *out, idx);
+                        *out += 1;
+                    };
+
+                'passes: for pass in 0..passes {
+                    // Histogram of this pass's digit over the live
+                    // candidates (a block-internal __syncthreads()
+                    // separates these phases on real hardware).
+                    let mut hist = vec![0u32; radix];
+                    for i in 0..count {
+                        hist[digit_of::<T::Ordered>(cand_bits[i], pass as u32, b) as usize] += 1;
+                    }
+                    ctx.ops(2 * count as u64);
+
+                    // Prefix-scan for the target digit.
+                    let width = digit_width_of::<T::Ordered>(pass as u32, b);
+                    let mut acc = 0u32;
+                    let mut target = 0u32;
+                    for (d, &h) in hist.iter().enumerate().take(1 << width) {
+                        if acc + h >= k_rem {
+                            target = d as u32;
+                            break;
+                        }
+                        acc += h;
+                    }
+                    ctx.ops(2 << width);
+                    k_rem -= acc;
+
+                    // Filter in place: emit sure results, keep ties
+                    // with the target digit.
+                    let mut kept = 0usize;
+                    for i in 0..count {
+                        let d = digit_of::<T::Ordered>(cand_bits[i], pass as u32, b);
+                        if d < target {
+                            emit(ctx, cand_bits[i], cand_idx[i], &mut out);
+                        } else if d == target {
+                            cand_bits[kept] = cand_bits[i];
+                            cand_idx[kept] = cand_idx[i];
+                            kept += 1;
+                        }
+                    }
+                    ctx.ops(3 * count as u64);
+                    count = kept;
+
+                    if early_stop && k_rem as usize == count {
+                        break 'passes;
+                    }
+                }
+
+                // Remaining candidates are ties on the full key (or the
+                // early-stop set): take the first k_rem.
+                for i in 0..count.min(k_rem as usize) {
+                    emit(ctx, cand_bits[i], cand_idx[i], &mut out);
+                }
+                debug_assert_eq!(out, k);
+            },
+        );
+
+        (out_val, out_idx)
+    }
+}
+
+/// Copy `len` elements at `offset` of `src` into a fresh buffer — the
+/// host-side equivalent of taking a device-pointer offset view.
+fn slice_buffer<T: gpu_sim::DeviceScalar>(
+    src: &DeviceBuffer<T>,
+    offset: usize,
+    len: usize,
+    label: &str,
+) -> DeviceBuffer<T> {
+    let out = DeviceBuffer::<T>::zeroed(label, len);
+    for i in 0..len {
+        out.set(i, src.get(offset + i));
+    }
+    out
+}
+
+impl TopKAlgorithm for AirTopK {
+    fn name(&self) -> &'static str {
+        "AIR Top-K"
+    }
+
+    fn category(&self) -> Category {
+        Category::PartitionBased
+    }
+
+    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
+        self.run_batch(gpu, std::slice::from_ref(input), k)
+            .pop()
+            .unwrap()
+    }
+
+    fn select_batch(
+        &self,
+        gpu: &mut Gpu,
+        inputs: &[DeviceBuffer<f32>],
+        k: usize,
+    ) -> Vec<TopKOutput> {
+        self.run_batch(gpu, inputs, k)
+    }
+}
+
+#[cfg(test)]
+#[path = "air_tests.rs"]
+mod tests;

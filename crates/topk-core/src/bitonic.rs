@@ -1,0 +1,323 @@
+//! Bitonic sorting and merging networks.
+//!
+//! The partial-sorting top-K family (WarpSelect, BlockSelect, Bitonic
+//! Top-K, GridSelect) is built on bitonic networks because they are
+//! oblivious — the same compare-exchange pattern regardless of data —
+//! and therefore fully parallel on lockstep warps. Their `O(log² n)`
+//! depth is also why those algorithms slow down as K grows (§5.1,
+//! Fig. 6).
+//!
+//! Every function returns the number of compare-exchange operations
+//! performed so kernels can charge the cost model for the work a real
+//! warp would execute.
+
+/// Sort `(keys, payloads)` ascending (or descending) in place using a
+/// full bitonic network. `keys.len()` must be a power of two.
+/// Returns the number of compare-exchange operations.
+pub fn bitonic_sort<K: Ord + Copy, P: Copy>(
+    keys: &mut [K],
+    payloads: &mut [P],
+    ascending: bool,
+) -> u64 {
+    let n = keys.len();
+    assert_eq!(n, payloads.len());
+    assert!(
+        n.is_power_of_two(),
+        "bitonic network needs power-of-two size"
+    );
+    let mut ops = 0;
+    let mut k = 2;
+    while k <= n {
+        // Build bitonic sequences of length k, then merge them.
+        let mut j = k / 2;
+        while j >= 1 {
+            for i in 0..n {
+                let l = i ^ j;
+                if l > i {
+                    // Direction alternates per k-sized region to build
+                    // the bitonic sequence.
+                    let up = (i & k) == 0;
+                    let should_swap = if up == ascending {
+                        keys[i] > keys[l]
+                    } else {
+                        keys[i] < keys[l]
+                    };
+                    if should_swap {
+                        keys.swap(i, l);
+                        payloads.swap(i, l);
+                    }
+                    ops += 1;
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    ops
+}
+
+/// Merge an already-bitonic `(keys, payloads)` sequence into sorted
+/// order (ascending or descending). Used after concatenating two
+/// opposite-sorted runs. Returns compare-exchange count.
+pub fn bitonic_merge<K: Ord + Copy, P: Copy>(
+    keys: &mut [K],
+    payloads: &mut [P],
+    ascending: bool,
+) -> u64 {
+    let n = keys.len();
+    assert_eq!(n, payloads.len());
+    assert!(n.is_power_of_two());
+    let mut ops = 0;
+    let mut j = n / 2;
+    while j >= 1 {
+        for i in 0..n {
+            let l = i ^ j;
+            if l > i {
+                let should_swap = if ascending {
+                    keys[i] > keys[l]
+                } else {
+                    keys[i] < keys[l]
+                };
+                if should_swap {
+                    keys.swap(i, l);
+                    payloads.swap(i, l);
+                }
+                ops += 1;
+            }
+        }
+        j /= 2;
+    }
+    ops
+}
+
+/// Merge a sorted-ascending top-K list with a sorted-ascending buffer
+/// of new candidates, keeping the K smallest — the "merge queue into
+/// results" step of the WarpSelect family (§4, and Faiss's
+/// `warp_merge`). `list.len()` must be a power of two and
+/// `queue.len() <= list.len()`.
+///
+/// The *result* is computed with an ordinary two-pointer merge (the
+/// simulator only needs the right answer), but the returned
+/// compare-exchange count is that of the network a real warp executes:
+/// one pairwise exchange per queue slot plus a full bitonic merge of
+/// the K-long list (`K/2 · log₂K` comparators). The queue contents are
+/// consumed (left in unspecified order).
+pub fn merge_into_topk<K: Ord + Copy, P: Copy>(
+    list_keys: &mut [K],
+    list_payloads: &mut [P],
+    queue_keys: &mut [K],
+    queue_payloads: &mut [P],
+) -> u64 {
+    let k = list_keys.len();
+    let q = queue_keys.len();
+    assert!(k.is_power_of_two(), "top-K list must be power-of-two long");
+    assert!(q <= k, "queue longer than list");
+    assert_eq!(k, list_payloads.len());
+    assert_eq!(q, queue_payloads.len());
+
+    let mut out_k: Vec<K> = Vec::with_capacity(k);
+    let mut out_p: Vec<P> = Vec::with_capacity(k);
+    let (mut i, mut j) = (0usize, 0usize);
+    while out_k.len() < k {
+        if j >= q || (i < k && list_keys[i] <= queue_keys[j]) {
+            out_k.push(list_keys[i]);
+            out_p.push(list_payloads[i]);
+            i += 1;
+        } else {
+            out_k.push(queue_keys[j]);
+            out_p.push(queue_payloads[j]);
+            j += 1;
+        }
+    }
+    list_keys.copy_from_slice(&out_k);
+    list_payloads.copy_from_slice(&out_p);
+
+    // Cost of the real network: q pairwise exchanges + one bitonic
+    // merge pass over the K-long list (log2(k) rounds of k/2
+    // comparators each).
+    let log_k = k.trailing_zeros() as u64;
+    q as u64 + (k as u64 / 2) * log_k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn sorts_ascending_and_descending() {
+        let data: Vec<u32> = vec![5, 3, 8, 1, 9, 2, 7, 0];
+        let mut k = data.clone();
+        let mut p = idx(8);
+        let ops = bitonic_sort(&mut k, &mut p, true);
+        assert_eq!(k, vec![0, 1, 2, 3, 5, 7, 8, 9]);
+        // payload follows its key
+        for (key, pi) in k.iter().zip(&p) {
+            assert_eq!(data[*pi as usize], *key);
+        }
+        // n/2 * log^2 pattern: 8 elements -> 3 stages of 1+2+3 rounds = 6 rounds * 4 pairs
+        assert_eq!(ops, 24);
+
+        let mut k = data.clone();
+        let mut p = idx(8);
+        bitonic_sort(&mut k, &mut p, false);
+        assert_eq!(k, vec![9, 8, 7, 5, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn sort_handles_duplicates_and_extremes() {
+        let mut k = vec![u32::MAX, 0, 7, 7, 7, 0, u32::MAX, 1];
+        let mut p = idx(8);
+        bitonic_sort(&mut k, &mut p, true);
+        assert_eq!(k, vec![0, 0, 1, 7, 7, 7, u32::MAX, u32::MAX]);
+    }
+
+    #[test]
+    fn sort_single_element() {
+        let mut k = vec![42u32];
+        let mut p = vec![0u32];
+        assert_eq!(bitonic_sort(&mut k, &mut p, true), 0);
+        assert_eq!(k, vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn sort_rejects_non_power_of_two() {
+        let mut k = vec![1u32, 2, 3];
+        let mut p = idx(3);
+        bitonic_sort(&mut k, &mut p, true);
+    }
+
+    #[test]
+    fn merge_sorts_bitonic_input() {
+        // ascending run then descending run = bitonic
+        let mut k = vec![1u32, 4, 6, 9, 8, 5, 3, 2];
+        let mut p = idx(8);
+        bitonic_merge(&mut k, &mut p, true);
+        assert_eq!(k, vec![1, 2, 3, 4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn merge_into_topk_keeps_smallest() {
+        let mut lk = vec![2u32, 4, 6, 8];
+        let mut lp = vec![0u32, 1, 2, 3];
+        let mut qk = vec![1u32, 3, 5, 7];
+        let mut qp = vec![10u32, 11, 12, 13];
+        merge_into_topk(&mut lk, &mut lp, &mut qk, &mut qp);
+        assert_eq!(lk, vec![1, 2, 3, 4]);
+        assert_eq!(lp, vec![10, 0, 11, 1]);
+    }
+
+    #[test]
+    fn merge_into_topk_smaller_queue() {
+        let mut lk = vec![10u32, 20, 30, 40, 50, 60, 70, 80];
+        let mut lp = idx(8);
+        let mut qk = vec![5u32, 45];
+        let mut qp = vec![100u32, 101];
+        merge_into_topk(&mut lk, &mut lp, &mut qk, &mut qp);
+        assert_eq!(lk, vec![5, 10, 20, 30, 40, 45, 50, 60]);
+    }
+
+    #[test]
+    fn merge_into_topk_queue_all_larger_is_noop_on_list() {
+        let mut lk = vec![1u32, 2, 3, 4];
+        let mut lp = idx(4);
+        let mut qk = vec![9u32, 9, 9, 9];
+        let mut qp = vec![7u32; 4];
+        merge_into_topk(&mut lk, &mut lp, &mut qk, &mut qp);
+        assert_eq!(lk, vec![1, 2, 3, 4]);
+        assert_eq!(lp, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_into_topk_randomised_against_reference() {
+        // Deterministic LCG so the test needs no external RNG.
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for k_len in [4usize, 8, 32, 128] {
+            for q_len in [1usize, 2, 4].into_iter().filter(|q| *q <= k_len) {
+                let mut lk: Vec<u32> = (0..k_len).map(|_| next() % 1000).collect();
+                lk.sort_unstable();
+                let mut lp: Vec<u32> = idx(k_len);
+                let mut qk: Vec<u32> = (0..q_len).map(|_| next() % 1000).collect();
+                qk.sort_unstable();
+                let mut qp: Vec<u32> = (0..q_len as u32).map(|x| x + 1000).collect();
+
+                let mut expect: Vec<u32> = lk.iter().chain(qk.iter()).copied().collect();
+                expect.sort_unstable();
+                expect.truncate(k_len);
+
+                merge_into_topk(&mut lk, &mut lp, &mut qk, &mut qp);
+                assert_eq!(lk, expect, "k={k_len} q={q_len}");
+            }
+        }
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        fn pow2_vec() -> impl Strategy<Value = Vec<u32>> {
+            (1u32..=8).prop_flat_map(|log| prop::collection::vec(any::<u32>(), 1usize << log))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            #[test]
+            fn sort_matches_std_sort(mut keys in pow2_vec(), ascending in any::<bool>()) {
+                let mut payload: Vec<u32> = (0..keys.len() as u32).collect();
+                let original = keys.clone();
+                bitonic_sort(&mut keys, &mut payload, ascending);
+                let mut expect = original.clone();
+                expect.sort_unstable();
+                if !ascending {
+                    expect.reverse();
+                }
+                prop_assert_eq!(&keys, &expect);
+                // Payload permutation stays consistent with its key.
+                for (key, p) in keys.iter().zip(&payload) {
+                    prop_assert_eq!(original[*p as usize], *key);
+                }
+            }
+
+            #[test]
+            fn merge_into_topk_equals_sorted_truncation(
+                mut list in pow2_vec(),
+                mut queue in prop::collection::vec(any::<u32>(), 1..32),
+            ) {
+                list.sort_unstable();
+                queue.sort_unstable();
+                prop_assume!(queue.len() <= list.len());
+                let mut lp: Vec<u32> = (0..list.len() as u32).collect();
+                let mut qp: Vec<u32> = (0..queue.len() as u32).map(|x| x + 1000).collect();
+                let mut expect: Vec<u32> =
+                    list.iter().chain(queue.iter()).copied().collect();
+                expect.sort_unstable();
+                expect.truncate(list.len());
+                merge_into_topk(&mut list, &mut lp, &mut queue, &mut qp);
+                prop_assert_eq!(list, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn ops_scale_log_squared() {
+        // n/2 * (log n)(log n + 1)/2 compare-exchanges for a full sort.
+        for n in [2usize, 4, 8, 64, 256] {
+            let mut k: Vec<u32> = (0..n as u32).rev().collect();
+            let mut p = idx(n);
+            let ops = bitonic_sort(&mut k, &mut p, true);
+            let log = n.trailing_zeros() as u64;
+            assert_eq!(ops, (n as u64 / 2) * log * (log + 1) / 2);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Automatic algorithm dispatch — the production `select_k` entry
+//! point.
+//!
+//! The paper closes §5.1 with usage guidelines:
+//!
+//! 1. to process data on-the-fly, use GridSelect;
+//! 2. for large N and small K (< 256) the two contributions trade
+//!    places depending on the distribution;
+//! 3. in most other cases, use AIR Top-K.
+//!
+//! RAFT's `select_k` encodes the same study as a dispatch table (its
+//! heuristic was fitted on exactly the benchmark this repository
+//! reproduces). [`SelectK`] does likewise: small K on large inputs
+//! goes to GridSelect, everything else to AIR Top-K, with the trivial
+//! and small-N cases handled by AIR's internal fast paths.
+
+use crate::air::AirTopK;
+use crate::gridselect::{GridSelect, MAX_K as GRID_MAX_K};
+use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
+use gpu_sim::{DeviceBuffer, Gpu};
+
+/// Which algorithm the dispatcher picked (returned by
+/// [`SelectK::choice`] so callers can log / assert the routing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// Radix path: AIR Top-K.
+    Air,
+    /// Partial-sorting path: GridSelect.
+    Grid,
+}
+
+/// Auto-dispatching top-K selector.
+///
+/// ```
+/// use gpu_sim::{Gpu, DeviceSpec};
+/// use topk_core::{dispatch::SelectK, TopKAlgorithm, verify_topk};
+///
+/// let mut gpu = Gpu::new(DeviceSpec::a100());
+/// let data: Vec<f32> = (0..4096).map(|i| ((i * 37) % 4096) as f32).collect();
+/// let input = gpu.htod("in", &data);
+/// let out = SelectK::default().select(&mut gpu, &input, 10);
+/// verify_topk(&data, 10, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
+/// ```
+pub struct SelectK {
+    air: AirTopK,
+    grid: GridSelect,
+    /// K at or below which GridSelect is preferred on large inputs
+    /// (the paper's guideline 2 uses 256; the measured crossover on
+    /// this simulator sits in the same decade).
+    pub small_k_threshold: usize,
+    /// N above which the small-K rule applies (below it AIR's
+    /// one-block fast path wins outright).
+    pub large_n_threshold: usize,
+}
+
+impl Default for SelectK {
+    fn default() -> Self {
+        SelectK {
+            air: AirTopK::default(),
+            grid: GridSelect::default(),
+            small_k_threshold: 256,
+            large_n_threshold: 1 << 16,
+        }
+    }
+}
+
+impl SelectK {
+    /// Build with custom component algorithms.
+    pub fn new(air: AirTopK, grid: GridSelect) -> Self {
+        SelectK {
+            air,
+            grid,
+            ..SelectK::default()
+        }
+    }
+
+    /// The routing decision for a problem shape, without running it.
+    pub fn choice(&self, n: usize, k: usize, batch: usize) -> Choice {
+        // Guideline 2/3: GridSelect for small K on large single
+        // problems; AIR everywhere else. Batched workloads amortise
+        // AIR's launches, moving the crossover down (§5.1's batch-100
+        // results), so batching biases toward AIR.
+        if k <= self.small_k_threshold
+            && k <= GRID_MAX_K
+            && n >= self.large_n_threshold
+            && batch == 1
+        {
+            Choice::Grid
+        } else {
+            Choice::Air
+        }
+    }
+}
+
+impl TopKAlgorithm for SelectK {
+    fn name(&self) -> &'static str {
+        "SelectK (auto)"
+    }
+
+    fn category(&self) -> Category {
+        Category::PartitionBased
+    }
+
+    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
+        check_args(self, input.len(), k);
+        match self.choice(input.len(), k, 1) {
+            Choice::Grid => self.grid.select(gpu, input, k),
+            Choice::Air => self.air.select(gpu, input, k),
+        }
+    }
+
+    fn select_batch(
+        &self,
+        gpu: &mut Gpu,
+        inputs: &[DeviceBuffer<f32>],
+        k: usize,
+    ) -> Vec<TopKOutput> {
+        assert!(!inputs.is_empty());
+        match self.choice(inputs[0].len(), k, inputs.len()) {
+            Choice::Grid => self.grid.select_batch(gpu, inputs, k),
+            Choice::Air => self.air.select_batch(gpu, inputs, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_topk;
+    use datagen::{generate, Distribution};
+    use gpu_sim::DeviceSpec;
+
+    #[test]
+    fn routing_follows_the_guidelines() {
+        let s = SelectK::default();
+        // Large N, small K, single problem -> GridSelect.
+        assert_eq!(s.choice(1 << 22, 32, 1), Choice::Grid);
+        assert_eq!(s.choice(1 << 22, 256, 1), Choice::Grid);
+        // Large K -> AIR.
+        assert_eq!(s.choice(1 << 22, 2048, 1), Choice::Air);
+        assert_eq!(s.choice(1 << 22, 1 << 15, 1), Choice::Air);
+        // Small N -> AIR (one-block fast path).
+        assert_eq!(s.choice(4096, 32, 1), Choice::Air);
+        // Batched -> AIR.
+        assert_eq!(s.choice(1 << 22, 32, 100), Choice::Air);
+    }
+
+    #[test]
+    fn dispatched_selection_is_correct_both_ways() {
+        let s = SelectK::default();
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        for (n, k) in [(1 << 17, 32), (1 << 17, 4096), (2048, 7)] {
+            let data = generate(Distribution::Normal, n, k as u64);
+            let input = gpu.htod("in", &data);
+            let out = s.select(&mut gpu, &input, k);
+            verify_topk(&data, k, &out.values.to_vec(), &out.indices.to_vec())
+                .unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn dispatch_picks_the_faster_algorithm() {
+        // The routing must actually pay off at its two poles.
+        let time = |alg: &dyn TopKAlgorithm, data: &[f32], k: usize| {
+            let mut gpu = Gpu::new(DeviceSpec::a100());
+            let input = gpu.htod("in", data);
+            gpu.reset_profile();
+            alg.select(&mut gpu, &input, k);
+            gpu.elapsed_us()
+        };
+        let s = SelectK::default();
+        let data = generate(Distribution::Uniform, 1 << 21, 3);
+
+        // Small K: dispatcher ~ GridSelect <= AIR.
+        let auto = time(&s, &data, 32);
+        let air = time(&AirTopK::default(), &data, 32);
+        assert!(auto <= air * 1.05, "auto {auto} vs air {air} at K=32");
+
+        // Large K: dispatcher ~ AIR <= GridSelect.
+        let auto = time(&s, &data, 2048);
+        let grid = time(&GridSelect::default(), &data, 2048);
+        assert!(auto <= grid * 1.05, "auto {auto} vs grid {grid} at K=2048");
+    }
+
+    #[test]
+    fn batch_dispatch_is_correct() {
+        let s = SelectK::default();
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let datas: Vec<Vec<f32>> = (0..4)
+            .map(|i| generate(Distribution::Uniform, 1 << 17, i))
+            .collect();
+        let inputs: Vec<_> = datas
+            .iter()
+            .enumerate()
+            .map(|(i, d)| gpu.htod(&format!("p{i}"), d))
+            .collect();
+        let outs = s.select_batch(&mut gpu, &inputs, 32);
+        for (d, o) in datas.iter().zip(&outs) {
+            verify_topk(d, 32, &o.values.to_vec(), &o.indices.to_vec()).unwrap();
+        }
+    }
+}

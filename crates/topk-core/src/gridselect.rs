@@ -1,0 +1,665 @@
+//! GridSelect (§4): WarpSelect with a shared queue, parallel two-step
+//! insertion, and a multi-block launch.
+//!
+//! The WarpSelect family streams elements past a maintained top-K
+//! list. Each warp keeps its list sorted in fast memory; incoming
+//! elements smaller than the current kth value are staged in a queue,
+//! and when the queue fills, a bitonic sort + merge folds it into the
+//! list. GridSelect's three changes over Faiss's WarpSelect /
+//! BlockSelect:
+//!
+//! 1. **Shared queue** — one 32-entry queue per warp in shared memory
+//!    instead of 32 per-thread register queues, so the expensive
+//!    sort+merge happens only when the queue is *actually* full rather
+//!    than whenever any single thread's queue fills (§4's skew
+//!    problem). This also relieves register pressure.
+//! 2. **Parallel two-step insertion** (Fig. 5) — a warp ballot gives
+//!    every qualified lane a unique slot by prefix-popcount; lanes
+//!    whose slot fits insert immediately, the queue is flushed, and
+//!    the overflow lanes insert into the emptied queue.
+//! 3. **Multi-block launch** — BlockSelect runs one thread block (one
+//!    SM of the A100's 108); GridSelect spreads blocks across the
+//!    device and merges per-block results with a tree of merge
+//!    kernels, which is where its up-to-882× speedup at batch 1 comes
+//!    from (§5.3).
+//!
+//! This module also exposes [`select_partial_core`], the shared
+//! machinery that the WarpSelect and BlockSelect baselines instantiate
+//! with per-thread queues and a single block.
+
+use crate::bitonic::{bitonic_sort, merge_into_topk};
+use crate::keys::{OrderedBits, RadixKey};
+use crate::traits::{Category, TopKAlgorithm, TopKOutput};
+use gpu_sim::device::WARP_SIZE;
+use gpu_sim::warp::{ballot, lane_rank, Lanes};
+use gpu_sim::{BlockCtx, DeviceBuffer, DeviceScalar, Gpu, LaunchConfig};
+
+/// Largest K the WarpSelect family supports (§2.2: limited by
+/// shared-memory / register budget; 2048 in Faiss and here).
+pub const MAX_K: usize = 2048;
+
+/// Queueing strategy for the warp-select core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// One shared queue per warp with two-step ballot insertion
+    /// (GridSelect, §4).
+    Shared {
+        /// Queue capacity (32 in the paper, bounding shared-memory
+        /// footprint).
+        len: usize,
+    },
+    /// A private queue per thread; the warp flushes when *any*
+    /// thread's queue fills (WarpSelect/BlockSelect, and the Fig. 11
+    /// ablation).
+    PerThread {
+        /// Per-thread queue capacity.
+        len: usize,
+    },
+}
+
+/// Configuration for [`GridSelect`].
+#[derive(Debug, Clone)]
+pub struct GridSelectConfig {
+    /// Warps per thread block (BlockSelect uses up to 4; so do we).
+    pub warps_per_block: usize,
+    /// Cap on thread blocks per problem. GridSelect's whole point is
+    /// that this is large; set 1 to emulate BlockSelect's shape.
+    pub max_blocks_per_problem: usize,
+    /// Elements per thread per grid-stride chunk.
+    pub items_per_thread: usize,
+    /// Queue strategy (shared, or per-thread for the Fig. 11 ablation).
+    pub queue: QueueKind,
+}
+
+impl Default for GridSelectConfig {
+    fn default() -> Self {
+        GridSelectConfig {
+            warps_per_block: 4,
+            max_blocks_per_problem: 256,
+            items_per_thread: 32,
+            queue: QueueKind::Shared { len: WARP_SIZE },
+        }
+    }
+}
+
+/// GridSelect (§4). Supports K ≤ 2048 and on-the-fly processing.
+///
+/// ```
+/// use gpu_sim::{Gpu, DeviceSpec};
+/// use topk_core::{GridSelect, TopKAlgorithm, verify_topk};
+///
+/// let mut gpu = Gpu::new(DeviceSpec::a100());
+/// let data: Vec<f32> = (0..20_000).map(|i| ((i * 131) % 7919) as f32).collect();
+/// let input = gpu.htod("scores", &data);
+/// let out = GridSelect::default().select(&mut gpu, &input, 10);
+/// verify_topk(&data, 10, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
+///
+/// // Or fuse selection with the computation that produces the values:
+/// let out = GridSelect::default().select_on_the_fly(&mut gpu, 20_000, 10, |ctx, i| {
+///     ctx.ops(1);
+///     ((i * 131) % 7919) as f32
+/// });
+/// verify_topk(&data, 10, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridSelect {
+    cfg: GridSelectConfig,
+}
+
+impl Default for GridSelect {
+    fn default() -> Self {
+        GridSelect::new(GridSelectConfig::default())
+    }
+}
+
+impl GridSelect {
+    /// Create with explicit configuration.
+    pub fn new(cfg: GridSelectConfig) -> Self {
+        assert!(cfg.warps_per_block >= 1);
+        assert!(cfg.items_per_thread >= 1);
+        match cfg.queue {
+            QueueKind::Shared { len } | QueueKind::PerThread { len } => {
+                assert!(len.is_power_of_two(), "queue length must be a power of two")
+            }
+        }
+        GridSelect { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GridSelectConfig {
+        &self.cfg
+    }
+
+    /// On-the-fly selection (§4): select the K smallest of the `n`
+    /// values produced by `producer(ctx, i)`, which is invoked inside
+    /// the kernel — the values never need to exist in device memory.
+    /// Use this to fuse selection with the computation that generates
+    /// the scores (distances, model outputs, …).
+    pub fn select_on_the_fly<P>(&self, gpu: &mut Gpu, n: usize, k: usize, producer: P) -> TopKOutput
+    where
+        P: Fn(&mut BlockCtx<'_>, usize) -> f32 + Sync,
+    {
+        select_streaming_core(
+            gpu,
+            "gridselect_fused_kernel",
+            n,
+            1,
+            k,
+            &self.cfg,
+            |ctx, _prob, i| producer(ctx, i),
+        )
+        .pop()
+        .unwrap()
+    }
+
+    /// Solve a batch with a single launch set.
+    pub fn run_batch(
+        &self,
+        gpu: &mut Gpu,
+        inputs: &[DeviceBuffer<f32>],
+        k: usize,
+    ) -> Vec<TopKOutput> {
+        select_partial_core(gpu, "gridselect_kernel", inputs, k, &self.cfg)
+    }
+
+    /// Generic-key batched selection (`f32/u32/i32/f64/u64/i64`), like
+    /// [`crate::AirTopK::run_batch_typed`]. Note that 64-bit keys
+    /// double the shared-memory footprint of the per-warp lists, which
+    /// costs occupancy.
+    pub fn run_batch_typed<T>(
+        &self,
+        gpu: &mut Gpu,
+        inputs: &[DeviceBuffer<T>],
+        k: usize,
+    ) -> Vec<(DeviceBuffer<T>, DeviceBuffer<u32>)>
+    where
+        T: RadixKey,
+        T::Ordered: DeviceScalar,
+    {
+        assert!(!inputs.is_empty(), "empty batch");
+        let n = inputs[0].len();
+        assert!(inputs.iter().all(|b| b.len() == n), "batch must share N");
+        select_streaming_core_typed(
+            gpu,
+            "gridselect_kernel",
+            n,
+            inputs.len(),
+            k,
+            &self.cfg,
+            |ctx, prob, i| ctx.ld(&inputs[prob], i),
+        )
+    }
+
+    /// Matrix-shaped batched selection (RAFT `matrix::select_k`
+    /// parity): one contiguous `rows × cols` input, per-row top-K.
+    pub fn run_matrix_typed<T>(
+        &self,
+        gpu: &mut Gpu,
+        input: &crate::matrix::DeviceMatrix<T>,
+        k: usize,
+    ) -> Vec<(DeviceBuffer<T>, DeviceBuffer<u32>)>
+    where
+        T: RadixKey,
+        T::Ordered: DeviceScalar,
+    {
+        let cols = input.cols();
+        select_streaming_core_typed(
+            gpu,
+            "gridselect_kernel",
+            cols,
+            input.rows(),
+            k,
+            &self.cfg,
+            |ctx, prob, i| ctx.ld(input.buffer(), prob * cols + i),
+        )
+    }
+}
+
+impl TopKAlgorithm for GridSelect {
+    fn name(&self) -> &'static str {
+        "GridSelect"
+    }
+
+    fn category(&self) -> Category {
+        Category::PartialSorting
+    }
+
+    fn max_k(&self) -> Option<usize> {
+        Some(MAX_K)
+    }
+
+    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
+        self.run_batch(gpu, std::slice::from_ref(input), k)
+            .pop()
+            .unwrap()
+    }
+
+    fn select_batch(
+        &self,
+        gpu: &mut Gpu,
+        inputs: &[DeviceBuffer<f32>],
+        k: usize,
+    ) -> Vec<TopKOutput> {
+        self.run_batch(gpu, inputs, k)
+    }
+}
+
+/// One warp's maintained state: a sorted top-K list (padded to a power
+/// of two with the `O::MAX` sentinel) plus its staging queue. Shared with the
+/// on-the-fly [`crate::streaming::WarpSelector`] API.
+pub(crate) struct WarpState<O: OrderedBits = u32> {
+    pub(crate) list_keys: Vec<O>,
+    pub(crate) list_idx: Vec<u32>,
+    queue_keys: Vec<O>,
+    queue_idx: Vec<u32>,
+    /// Valid entries currently staged.
+    queue_fill: usize,
+    /// Per-thread fill counts (PerThread mode only).
+    lane_fill: [usize; WARP_SIZE],
+    /// Current kth-smallest ordered key (the insertion threshold).
+    pub(crate) threshold: O,
+    k: usize,
+}
+
+impl<O: OrderedBits> WarpState<O> {
+    pub(crate) fn new(ctx: &mut BlockCtx<'_>, k: usize, queue_slots: usize) -> Self {
+        let klen = k.next_power_of_two();
+        let list_keys = {
+            let mut v = ctx.shared_alloc::<O>(klen);
+            v.fill(O::MAX);
+            v
+        };
+        let list_idx = ctx.shared_alloc::<u32>(klen);
+        let queue_keys = {
+            let mut v = ctx.shared_alloc::<O>(queue_slots);
+            v.fill(O::MAX);
+            v
+        };
+        let queue_idx = ctx.shared_alloc::<u32>(queue_slots);
+        WarpState {
+            list_keys,
+            list_idx,
+            queue_keys,
+            queue_idx,
+            queue_fill: 0,
+            lane_fill: [0; WARP_SIZE],
+            threshold: O::MAX,
+            k,
+        }
+    }
+
+    /// Sort the staged queue and fold it into the top-K list; update
+    /// the threshold. The expensive operation the queueing strategies
+    /// try to call rarely.
+    pub(crate) fn flush(&mut self, ctx: &mut BlockCtx<'_>) {
+        if self.queue_fill == 0 {
+            return;
+        }
+        for slot in self.queue_fill..self.queue_keys.len() {
+            self.queue_keys[slot] = O::MAX;
+        }
+        let mut ops = bitonic_sort(&mut self.queue_keys, &mut self.queue_idx, true);
+        let q = self.queue_keys.len().min(self.list_keys.len());
+        ops += merge_into_topk(
+            &mut self.list_keys,
+            &mut self.list_idx,
+            &mut self.queue_keys[..q],
+            &mut self.queue_idx[..q],
+        );
+        ctx.ops(ops);
+        self.queue_fill = 0;
+        self.lane_fill = [0; WARP_SIZE];
+        self.threshold = self.list_keys[self.k - 1];
+    }
+
+    /// Flush for per-thread queue layout: sentinel-pad every lane's
+    /// unfilled slots (they may hold stale keys from the previous
+    /// in-place sort), then fold the whole staging area into the list.
+    fn flush_per_thread(&mut self, ctx: &mut BlockCtx<'_>) {
+        if self.lane_fill.iter().all(|&c| c == 0) {
+            return;
+        }
+        let len = self.queue_keys.len() / WARP_SIZE;
+        for lane in 0..WARP_SIZE {
+            for s in self.lane_fill[lane]..len {
+                self.queue_keys[lane * len + s] = O::MAX;
+            }
+        }
+        self.queue_fill = self.queue_keys.len();
+        self.flush(ctx);
+    }
+
+    /// Drain whatever is staged, respecting the queue layout.
+    pub(crate) fn drain(&mut self, ctx: &mut BlockCtx<'_>, queue: QueueKind) {
+        match queue {
+            QueueKind::Shared { .. } => self.flush(ctx),
+            QueueKind::PerThread { .. } => self.flush_per_thread(ctx),
+        }
+    }
+}
+
+/// The streaming warp-select core shared by GridSelect, WarpSelect and
+/// BlockSelect. Launches one processing kernel (`name`) over
+/// `batch × blocks_per_problem` blocks and, if more than one block per
+/// problem was used, a tree of `gridselect_merge_kernel` launches.
+pub fn select_partial_core(
+    gpu: &mut Gpu,
+    name: &str,
+    inputs: &[DeviceBuffer<f32>],
+    k: usize,
+    cfg: &GridSelectConfig,
+) -> Vec<TopKOutput> {
+    assert!(!inputs.is_empty(), "empty batch");
+    let n = inputs[0].len();
+    assert!(inputs.iter().all(|b| b.len() == n), "batch must share N");
+    select_streaming_core(gpu, name, n, inputs.len(), k, cfg, |ctx, prob, i| {
+        ctx.ld(&inputs[prob], i)
+    })
+}
+
+/// The fully general core: values come from a *producer* closure
+/// instead of a device buffer — the §4 "process data on-the-fly"
+/// capability as a production API. The producer is called once per
+/// element index (lockstep within warps) and may do arbitrary metered
+/// work, e.g. compute a query-to-vector distance; the produced value
+/// never needs to exist in device memory.
+pub fn select_streaming_core<P>(
+    gpu: &mut Gpu,
+    name: &str,
+    n: usize,
+    batch: usize,
+    k: usize,
+    cfg: &GridSelectConfig,
+    producer: P,
+) -> Vec<TopKOutput>
+where
+    P: Fn(&mut BlockCtx<'_>, usize, usize) -> f32 + Sync,
+{
+    select_streaming_core_typed(gpu, name, n, batch, k, cfg, producer)
+        .into_iter()
+        .map(|(values, indices)| TopKOutput { values, indices })
+        .collect()
+}
+
+/// Generic-key variant of [`select_streaming_core`]: the producer may
+/// return any [`RadixKey`] type (`f32/u32/i32/f64/u64/i64`). 64-bit
+/// keys double the per-warp shared-memory footprint, which the cost
+/// model turns into lower occupancy — the same trade a real
+/// implementation makes.
+pub fn select_streaming_core_typed<T, P>(
+    gpu: &mut Gpu,
+    name: &str,
+    n: usize,
+    batch: usize,
+    k: usize,
+    cfg: &GridSelectConfig,
+    producer: P,
+) -> Vec<(DeviceBuffer<T>, DeviceBuffer<u32>)>
+where
+    T: RadixKey,
+    T::Ordered: DeviceScalar,
+    P: Fn(&mut BlockCtx<'_>, usize, usize) -> T + Sync,
+{
+    assert!(batch >= 1, "empty batch");
+    assert!(k >= 1 && k <= n, "invalid k = {k} for n = {n}");
+    assert!(
+        k <= MAX_K,
+        "k = {k} exceeds the WarpSelect-family cap {MAX_K}"
+    );
+    let klen = k.next_power_of_two();
+    let warps = cfg.warps_per_block;
+    let block_dim = warps * WARP_SIZE;
+    let chunk = block_dim * cfg.items_per_thread;
+    // Each warp maintains a K-long list, so a warp's slice must be
+    // substantially larger than K for the threshold to do any pruning
+    // (a slice below K admits *every* element and the queue machinery
+    // is pure overhead). Real implementations scale blocks down as K
+    // grows for the same reason — which is also the §5.1 observation
+    // that partial-sorting methods lose steam at large K.
+    let k_cap = (n / (8 * k * warps)).max(1);
+    let bpp = n
+        .div_ceil(chunk)
+        .min(k_cap)
+        .clamp(1, cfg.max_blocks_per_problem.max(1));
+    let grid = batch * bpp;
+
+    // Per-block results: bpp sorted lists of klen entries per problem.
+    let mut lists = bpp;
+    let scratch_keys = gpu.alloc::<T::Ordered>("gs_scratch_keys", batch * bpp * klen);
+    let scratch_idx = gpu.alloc::<u32>("gs_scratch_idx", batch * bpp * klen);
+    let out_val: Vec<DeviceBuffer<T>> = (0..batch)
+        .map(|_| gpu.alloc::<T>("gs_out_val", k))
+        .collect();
+    let out_idx: Vec<DeviceBuffer<u32>> = (0..batch)
+        .map(|_| gpu.alloc::<u32>("gs_out_idx", k))
+        .collect();
+
+    let queue = cfg.queue;
+    let ipt = cfg.items_per_thread;
+
+    gpu.launch(name, LaunchConfig::grid_1d(grid, block_dim), |ctx| {
+        let prob = ctx.block_idx / bpp;
+        let blk = ctx.block_idx % bpp;
+
+        let queue_slots = match queue {
+            QueueKind::Shared { len } => len,
+            QueueKind::PerThread { len } => len * WARP_SIZE,
+        };
+        let mut states: Vec<WarpState<T::Ordered>> = (0..warps)
+            .map(|_| WarpState::new(ctx, k, queue_slots))
+            .collect();
+
+        // Grid-stride over this problem's chunks.
+        let mut chunk_start = blk * chunk;
+        while chunk_start < n {
+            for (w, st) in states.iter_mut().enumerate() {
+                let warp_elems = WARP_SIZE * ipt;
+                let wstart = chunk_start + w * warp_elems;
+                let wend = (wstart + warp_elems).min(n);
+                let mut g = wstart;
+                while g < wend {
+                    process_group(ctx, &producer, prob, g, wend, st, queue);
+                    g += WARP_SIZE;
+                }
+            }
+            chunk_start += bpp * chunk;
+        }
+
+        // Drain queues, merge the block's warps into warp 0's list.
+        for st in states.iter_mut() {
+            st.drain(ctx, queue);
+        }
+        let (head, rest) = states.split_at_mut(1);
+        for st in rest.iter_mut() {
+            let ops = merge_into_topk(
+                &mut head[0].list_keys,
+                &mut head[0].list_idx,
+                &mut st.list_keys,
+                &mut st.list_idx,
+            );
+            ctx.ops(ops);
+        }
+
+        if bpp == 1 {
+            // Single block per problem (WarpSelect/BlockSelect shape):
+            // write the final K directly.
+            for i in 0..k {
+                ctx.st(&out_val[prob], i, T::from_ordered(head[0].list_keys[i]));
+                ctx.st(&out_idx[prob], i, head[0].list_idx[i]);
+            }
+        } else {
+            let base = (prob * bpp + blk) * klen;
+            for i in 0..klen {
+                ctx.st(&scratch_keys, base + i, head[0].list_keys[i]);
+                ctx.st(&scratch_idx, base + i, head[0].list_idx[i]);
+            }
+        }
+    });
+
+    // Tree-merge the per-block lists: each merge block folds up to
+    // MERGE_FANIN lists into one, repeated until one list per problem
+    // remains. log_8(256) = 3 extra launches at most.
+    const MERGE_FANIN: usize = 8;
+    while lists > 1 {
+        let groups = lists.div_ceil(MERGE_FANIN);
+        let cur = lists;
+        gpu.launch(
+            "gridselect_merge_kernel",
+            LaunchConfig::grid_1d(batch * groups, 256),
+            |ctx| {
+                let prob = ctx.block_idx / groups;
+                let gidx = ctx.block_idx % groups;
+                let first = gidx * MERGE_FANIN;
+                let last = (first + MERGE_FANIN).min(cur);
+                let base0 = (prob * bpp + first) * klen;
+                let mut keys: Vec<T::Ordered> = (0..klen)
+                    .map(|i| ctx.ld(&scratch_keys, base0 + i))
+                    .collect();
+                let mut idx: Vec<u32> =
+                    (0..klen).map(|i| ctx.ld(&scratch_idx, base0 + i)).collect();
+                for l in first + 1..last {
+                    let b = (prob * bpp + l) * klen;
+                    let mut qk: Vec<T::Ordered> =
+                        (0..klen).map(|i| ctx.ld(&scratch_keys, b + i)).collect();
+                    let mut qi: Vec<u32> = (0..klen).map(|i| ctx.ld(&scratch_idx, b + i)).collect();
+                    let ops = merge_into_topk(&mut keys, &mut idx, &mut qk, &mut qi);
+                    ctx.ops(ops);
+                }
+                if groups == 1 {
+                    // Final round: emit the K results (the list is
+                    // sorted ascending; slots beyond k are sentinels).
+                    for i in 0..k {
+                        ctx.st(&out_val[prob], i, T::from_ordered(keys[i]));
+                        ctx.st(&out_idx[prob], i, idx[i]);
+                    }
+                } else {
+                    // Compact back into the scratch prefix.
+                    let dst = (prob * bpp + gidx) * klen;
+                    for i in 0..klen {
+                        ctx.st(&scratch_keys, dst + i, keys[i]);
+                        ctx.st(&scratch_idx, dst + i, idx[i]);
+                    }
+                }
+            },
+        );
+        lists = groups;
+    }
+
+    gpu.free(&scratch_keys);
+    gpu.free(&scratch_idx);
+
+    (0..batch)
+        .map(|p| (out_val[p].clone(), out_idx[p].clone()))
+        .collect()
+}
+
+/// Process one 32-element lockstep group for a warp.
+fn process_group<T, P>(
+    ctx: &mut BlockCtx<'_>,
+    producer: &P,
+    prob: usize,
+    start: usize,
+    end: usize,
+    st: &mut WarpState<T::Ordered>,
+    queue: QueueKind,
+) where
+    T: RadixKey,
+    P: Fn(&mut BlockCtx<'_>, usize, usize) -> T + Sync,
+{
+    let mut keys: Lanes<T::Ordered> = [T::Ordered::MAX; WARP_SIZE];
+    let mut idxs: Lanes<u32> = [0; WARP_SIZE];
+    let mut preds: Lanes<bool> = [false; WARP_SIZE];
+    for lane in 0..WARP_SIZE {
+        let i = start + lane;
+        if i < end {
+            let v = producer(ctx, prob, i);
+            let bits = v.to_ordered();
+            keys[lane] = bits;
+            idxs[lane] = i as u32;
+            preds[lane] = bits < st.threshold;
+        }
+    }
+    ctx.ops(2 * WARP_SIZE as u64);
+    st.insert_group(ctx, &keys, &idxs, &preds, queue);
+}
+
+impl<O: OrderedBits> WarpState<O> {
+    /// Stage one lockstep group of qualified lanes into the queue,
+    /// flushing into the top-K list when full. `preds[lane]` marks the
+    /// lanes carrying a qualified element; keys are ordered bits.
+    pub(crate) fn insert_group(
+        &mut self,
+        ctx: &mut BlockCtx<'_>,
+        keys: &Lanes<O>,
+        idxs: &Lanes<u32>,
+        preds: &Lanes<bool>,
+        queue: QueueKind,
+    ) {
+        let st = self;
+        match queue {
+            QueueKind::Shared { len } => {
+                // Parallel two-step insertion (Fig. 5).
+                let mask = ballot(preds);
+                let count = mask.count_ones() as usize;
+                ctx.ops(WARP_SIZE as u64);
+                if count == 0 {
+                    return;
+                }
+                let base = st.queue_fill;
+                // Step 1: lanes whose slot fits.
+                for lane in 0..WARP_SIZE {
+                    if preds[lane] {
+                        let pos = base + lane_rank(mask, lane) as usize;
+                        if pos < len {
+                            st.queue_keys[pos] = keys[lane];
+                            st.queue_idx[pos] = idxs[lane];
+                        }
+                    }
+                }
+                if base + count >= len {
+                    st.queue_fill = len;
+                    st.flush(ctx);
+                    // Step 2: overflow lanes insert into the emptied
+                    // queue.
+                    for lane in 0..WARP_SIZE {
+                        if preds[lane] {
+                            let pos = base + lane_rank(mask, lane) as usize;
+                            if pos >= len {
+                                st.queue_keys[pos - len] = keys[lane];
+                                st.queue_idx[pos - len] = idxs[lane];
+                            }
+                        }
+                    }
+                    st.queue_fill = base + count - len;
+                } else {
+                    st.queue_fill = base + count;
+                }
+            }
+            QueueKind::PerThread { len } => {
+                // Each lane appends to its private queue; a full queue
+                // on *any* lane forces a whole-warp flush (WarpSelect's
+                // weakness under skew, §4).
+                let mut any_full = false;
+                for lane in 0..WARP_SIZE {
+                    if preds[lane] {
+                        let slot = lane * len + st.lane_fill[lane];
+                        st.queue_keys[slot] = keys[lane];
+                        st.queue_idx[slot] = idxs[lane];
+                        st.lane_fill[lane] += 1;
+                        if st.lane_fill[lane] == len {
+                            any_full = true;
+                        }
+                    }
+                }
+                ctx.ops(WARP_SIZE as u64);
+                if any_full {
+                    st.flush_per_thread(ctx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[path = "gridselect_tests.rs"]
+mod tests;

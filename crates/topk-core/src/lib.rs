@@ -1,0 +1,50 @@
+//! # topk-core — AIR Top-K and GridSelect
+//!
+//! The SC '23 paper's two contributed parallel top-K algorithms,
+//! implemented as kernels on the [`gpu_sim`] substrate:
+//!
+//! * [`air::AirTopK`] — **A**daptive and **I**teration-fused **R**adix
+//!   top-K (§3). One fused kernel per radix pass does the previous
+//!   pass's filtering *and* this pass's histogram, the last finishing
+//!   block computes the prefix sum and target digit on-device, so the
+//!   host only launches 4 kernels and never synchronises. The adaptive
+//!   strategy (§3.2) decides per pass whether candidates are worth
+//!   buffering, and early stopping (§3.3) cuts the tail when every
+//!   remaining candidate is a result.
+//! * [`gridselect::GridSelect`] — WarpSelect evolved (§4): one shared
+//!   queue per warp with ballot-based parallel two-step insertion, and
+//!   a multi-block launch so the whole GPU participates.
+//!
+//! Plus the shared machinery: order-preserving radix key mappings
+//! ([`keys`]), bitonic sorting networks ([`bitonic`]), the
+//! [`TopKAlgorithm`](traits) interface, and a strict
+//! correctness verifier ([`verify`]).
+//!
+//! The paper's problem statement (§2.1): given a list `L` of `N`
+//! elements and `K ∈ [1, N]`, return value list `V` and index list `I`
+//! of length `K` with `L[I[i]] = V[i]` and every returned value no
+//! greater than every non-returned element. We select the *smallest* K,
+//! as the paper does.
+
+pub mod air;
+pub mod bitonic;
+pub mod dispatch;
+pub mod gridselect;
+pub mod keys;
+pub mod largest;
+pub mod matrix;
+pub mod streaming;
+pub mod traits;
+pub mod unfused;
+pub mod verify;
+
+pub use air::{AirConfig, AirTopK};
+pub use dispatch::SelectK;
+pub use gridselect::{GridSelect, GridSelectConfig, QueueKind};
+pub use keys::RadixKey;
+pub use largest::{reference_largest, SelectLargest};
+pub use matrix::DeviceMatrix;
+pub use streaming::WarpSelector;
+pub use traits::{Category, TopKAlgorithm, TopKOutput};
+pub use unfused::UnfusedRadix;
+pub use verify::{reference_topk, verify_topk, verify_topk_typed, VerifyError};

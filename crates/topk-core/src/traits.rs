@@ -1,0 +1,163 @@
+//! The common interface every top-K algorithm implements.
+
+use gpu_sim::{DeviceBuffer, Gpu};
+
+/// The paper's taxonomy of parallel top-K algorithms (§1, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Sort everything, take the first K (CUB radix sort).
+    Sorting,
+    /// Identify and sort only the best K (WarpSelect, Bitonic Top-K).
+    PartialSorting,
+    /// Recursively bucket candidates by value (RadixSelect, AIR Top-K,
+    /// QuickSelect, BucketSelect, SampleSelect).
+    PartitionBased,
+}
+
+impl Category {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Category::Sorting => "Sorting",
+            Category::PartialSorting => "Partial Sorting",
+            Category::PartitionBased => "Partition-based",
+        }
+    }
+}
+
+/// Device-resident result of a top-K selection: `values[i]` is a
+/// selected element and `indices[i]` its position in the input list
+/// (§2.1's output contract). Order within the K results is unspecified
+/// unless the algorithm documents otherwise.
+#[derive(Debug, Clone)]
+pub struct TopKOutput {
+    /// Selected values, length K.
+    pub values: DeviceBuffer<f32>,
+    /// Input positions of the selected values, length K.
+    pub indices: DeviceBuffer<u32>,
+}
+
+/// A parallel top-K algorithm (smallest-K convention, like the paper).
+///
+/// Inputs are already device-resident — the benchmark measures the
+/// selection, not the upload — and outputs stay device-resident.
+pub trait TopKAlgorithm: Send + Sync {
+    /// Algorithm name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Which family it belongs to (Table 1).
+    fn category(&self) -> Category;
+
+    /// Largest supported K, if limited. The paper notes 2048 for
+    /// WarpSelect/BlockSelect/GridSelect and 256 for Bitonic Top-K
+    /// (§2.2, §5.1).
+    fn max_k(&self) -> Option<usize> {
+        None
+    }
+
+    /// Select the K smallest elements of `input`.
+    ///
+    /// # Panics
+    /// If `k == 0`, `k > input.len()`, or `k` exceeds [`Self::max_k`].
+    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput;
+
+    /// Solve a batch of same-(N, K) problems (§5.1's batched
+    /// benchmark).
+    ///
+    /// The default loops over the batch sequentially — which is what
+    /// the single-query baseline libraries do, and exactly why the
+    /// paper's batch-100 speedups over them are so large. Natively
+    /// batched algorithms (AIR Top-K, GridSelect, the Faiss selects)
+    /// override this with a single fused launch set.
+    fn select_batch(
+        &self,
+        gpu: &mut Gpu,
+        inputs: &[DeviceBuffer<f32>],
+        k: usize,
+    ) -> Vec<TopKOutput> {
+        inputs.iter().map(|inp| self.select(gpu, inp, k)).collect()
+    }
+}
+
+/// Validate common preconditions; algorithms call this first.
+pub fn check_args(alg: &dyn TopKAlgorithm, n: usize, k: usize) {
+    assert!(k >= 1, "{}: k must be >= 1", alg.name());
+    assert!(
+        k <= n,
+        "{}: k = {k} exceeds input length n = {n}",
+        alg.name()
+    );
+    if let Some(mk) = alg.max_k() {
+        assert!(
+            k <= mk,
+            "{}: k = {k} exceeds supported max {mk}",
+            alg.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl TopKAlgorithm for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn category(&self) -> Category {
+            Category::Sorting
+        }
+        fn max_k(&self) -> Option<usize> {
+            Some(16)
+        }
+        fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
+            check_args(self, input.len(), k);
+            TopKOutput {
+                values: gpu.alloc("v", k),
+                indices: gpu.alloc("i", k),
+            }
+        }
+    }
+
+    #[test]
+    fn category_names() {
+        assert_eq!(Category::Sorting.name(), "Sorting");
+        assert_eq!(Category::PartialSorting.name(), "Partial Sorting");
+        assert_eq!(Category::PartitionBased.name(), "Partition-based");
+    }
+
+    #[test]
+    fn default_batch_loops_sequentially() {
+        let mut gpu = Gpu::new(gpu_sim::DeviceSpec::test_tiny());
+        let inputs: Vec<_> = (0..3)
+            .map(|i| gpu.htod(&format!("in{i}"), &[3.0f32, 1.0, 2.0]))
+            .collect();
+        let outs = Dummy.select_batch(&mut gpu, &inputs, 2);
+        assert_eq!(outs.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds supported max")]
+    fn check_args_enforces_max_k() {
+        let mut gpu = Gpu::new(gpu_sim::DeviceSpec::test_tiny());
+        let input = gpu.htod("in", &vec![0.0f32; 100]);
+        Dummy.select(&mut gpu, &input, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be >= 1")]
+    fn check_args_rejects_zero_k() {
+        let mut gpu = Gpu::new(gpu_sim::DeviceSpec::test_tiny());
+        let input = gpu.htod("in", &[1.0f32]);
+        Dummy.select(&mut gpu, &input, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds input length")]
+    fn check_args_rejects_k_beyond_n() {
+        let mut gpu = Gpu::new(gpu_sim::DeviceSpec::test_tiny());
+        let input = gpu.htod("in", &[1.0f32, 2.0]);
+        Dummy.select(&mut gpu, &input, 3);
+    }
+}

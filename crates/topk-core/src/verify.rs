@@ -1,0 +1,270 @@
+//! Correctness verification for top-K outputs.
+//!
+//! The paper's benchmark only records results "that passed the
+//! correctness verification" (§5.1). This module provides the strict
+//! checker used throughout the test-suite and harness: the returned
+//! values must be exactly the multiset of the K smallest input elements
+//! (ties resolved by *count*, not by position), and each index must
+//! point at its value without duplication.
+//!
+//! Floats are compared in the order-preserving bit domain
+//! ([`crate::keys::RadixKey::to_ordered`]) so that `-0.0 < +0.0` and
+//! infinities order correctly; NaNs are rejected outright (the paper's
+//! algorithms assume NaN-free input).
+
+use crate::keys::RadixKey;
+
+/// Why a verification failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Output length differs from K.
+    WrongLength {
+        /// Expected K.
+        expected: usize,
+        /// Values returned.
+        got: usize,
+    },
+    /// An index is out of `[0, N)`.
+    IndexOutOfRange {
+        /// Offending index value.
+        index: u32,
+    },
+    /// The same input position was returned twice.
+    DuplicateIndex {
+        /// The duplicated position.
+        index: u32,
+    },
+    /// `input[indices[i]] != values[i]` (bitwise).
+    IndexValueMismatch {
+        /// Output slot at fault.
+        slot: usize,
+    },
+    /// The returned value multiset is not the K smallest.
+    WrongMultiset,
+    /// Input or output contains NaN.
+    NaN,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::WrongLength { expected, got } => {
+                write!(f, "expected {expected} results, got {got}")
+            }
+            VerifyError::IndexOutOfRange { index } => write!(f, "index {index} out of range"),
+            VerifyError::DuplicateIndex { index } => write!(f, "index {index} returned twice"),
+            VerifyError::IndexValueMismatch { slot } => {
+                write!(f, "values[{slot}] != input[indices[{slot}]]")
+            }
+            VerifyError::WrongMultiset => write!(f, "returned values are not the K smallest"),
+            VerifyError::NaN => write!(f, "NaN encountered"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Reference top-K: sort a copy, return the K smallest values (in
+/// ascending order) with matching indices. Ties keep the
+/// smallest-index occurrences, but callers must not rely on *which*
+/// tied index is returned — [`verify_topk`] doesn't.
+pub fn reference_topk(input: &[f32], k: usize) -> (Vec<f32>, Vec<u32>) {
+    assert!(k <= input.len());
+    let mut order: Vec<u32> = (0..input.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| (input[i as usize].to_ordered(), i));
+    order.truncate(k);
+    let values = order.iter().map(|&i| input[i as usize]).collect();
+    (values, order)
+}
+
+/// Verify a top-K output against the input (see module docs for the
+/// contract). `values`/`indices` come from the algorithm under test.
+pub fn verify_topk(
+    input: &[f32],
+    k: usize,
+    values: &[f32],
+    indices: &[u32],
+) -> Result<(), VerifyError> {
+    if input.iter().any(|v| v.is_nan()) || values.iter().any(|v| v.is_nan()) {
+        return Err(VerifyError::NaN);
+    }
+    verify_topk_typed(input, k, values, indices)
+}
+
+/// Generic-key verifier: same contract as [`verify_topk`] for any
+/// [`RadixKey`] type (integers, 64-bit floats, …). Float NaN screening
+/// is the f32 wrapper's job; this function treats keys purely through
+/// their ordered bits.
+pub fn verify_topk_typed<T: RadixKey>(
+    input: &[T],
+    k: usize,
+    values: &[T],
+    indices: &[u32],
+) -> Result<(), VerifyError> {
+    if values.len() != k || indices.len() != k {
+        return Err(VerifyError::WrongLength {
+            expected: k,
+            got: values.len().min(indices.len()),
+        });
+    }
+
+    // Index validity: in-range, unique, pointing at the claimed value.
+    let mut seen = vec![false; input.len()];
+    for (slot, (&v, &i)) in values.iter().zip(indices).enumerate() {
+        let iu = i as usize;
+        if iu >= input.len() {
+            return Err(VerifyError::IndexOutOfRange { index: i });
+        }
+        if seen[iu] {
+            return Err(VerifyError::DuplicateIndex { index: i });
+        }
+        seen[iu] = true;
+        if input[iu].to_ordered() != v.to_ordered() {
+            return Err(VerifyError::IndexValueMismatch { slot });
+        }
+    }
+
+    // Multiset check in the ordered-bit domain.
+    let mut got: Vec<T::Ordered> = values.iter().map(|v| v.to_ordered()).collect();
+    got.sort_unstable();
+    let mut expect: Vec<T::Ordered> = input.iter().map(|v| v.to_ordered()).collect();
+    expect.sort_unstable();
+    expect.truncate(k);
+    if got != expect {
+        return Err(VerifyError::WrongMultiset);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_sorted_and_indexed() {
+        let input = [5.0f32, 1.0, 4.0, 1.5, -2.0];
+        let (v, i) = reference_topk(&input, 3);
+        assert_eq!(v, vec![-2.0, 1.0, 1.5]);
+        assert_eq!(i, vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn accepts_correct_output_any_order() {
+        let input = [5.0f32, 1.0, 4.0, 1.5, -2.0];
+        assert!(verify_topk(&input, 3, &[1.5, -2.0, 1.0], &[3, 4, 1]).is_ok());
+    }
+
+    #[test]
+    fn accepts_either_tie() {
+        let input = [2.0f32, 1.0, 2.0, 3.0];
+        // K = 2: {1.0, 2.0} where the 2.0 may come from index 0 or 2.
+        assert!(verify_topk(&input, 2, &[1.0, 2.0], &[1, 0]).is_ok());
+        assert!(verify_topk(&input, 2, &[2.0, 1.0], &[2, 1]).is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_index_even_with_tied_values() {
+        let input = [2.0f32, 1.0, 2.0, 3.0];
+        assert_eq!(
+            verify_topk(&input, 2, &[1.0, 1.0], &[1, 1]),
+            Err(VerifyError::DuplicateIndex { index: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_multiset() {
+        let input = [5.0f32, 1.0, 4.0, 1.5, -2.0];
+        assert_eq!(
+            verify_topk(&input, 2, &[1.0, 1.5], &[1, 3]),
+            Err(VerifyError::WrongMultiset)
+        );
+    }
+
+    #[test]
+    fn rejects_value_index_mismatch() {
+        let input = [5.0f32, 1.0, 4.0];
+        assert_eq!(
+            verify_topk(&input, 1, &[1.0], &[0]),
+            Err(VerifyError::IndexValueMismatch { slot: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_length() {
+        let input = [5.0f32, 1.0];
+        assert_eq!(
+            verify_topk(&input, 1, &[1.0], &[9]),
+            Err(VerifyError::IndexOutOfRange { index: 9 })
+        );
+        assert!(matches!(
+            verify_topk(&input, 2, &[1.0], &[1]),
+            Err(VerifyError::WrongLength { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_zero_ranks_below_positive_zero() {
+        let input = [0.0f32, -0.0, 1.0];
+        let (v, i) = reference_topk(&input, 1);
+        assert_eq!(i, vec![1]);
+        assert_eq!(v[0].to_bits(), (-0.0f32).to_bits());
+        // Returning +0.0 (index 0) for K = 1 is *wrong*: -0.0 < +0.0 in
+        // the total order the radix algorithms implement.
+        assert_eq!(
+            verify_topk(&input, 1, &[0.0], &[0]),
+            Err(VerifyError::WrongMultiset)
+        );
+    }
+
+    #[test]
+    fn infinities_are_legal_values() {
+        let input = [f32::INFINITY, f32::NEG_INFINITY, 0.0];
+        assert!(verify_topk(&input, 2, &[f32::NEG_INFINITY, 0.0], &[1, 2]).is_ok());
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        let input = [f32::NAN, 1.0];
+        assert_eq!(verify_topk(&input, 1, &[1.0], &[1]), Err(VerifyError::NaN));
+    }
+
+    #[test]
+    fn k_equals_n_returns_everything() {
+        let input = [3.0f32, 1.0, 2.0];
+        let (v, i) = reference_topk(&input, 3);
+        assert!(verify_topk(&input, 3, &v, &i).is_ok());
+    }
+
+    #[test]
+    fn typed_verifier_on_integer_and_64_bit_keys() {
+        let input: Vec<u64> = vec![50, 10, 40, 10, 30];
+        assert!(verify_topk_typed(&input, 2, &[10u64, 10], &[1, 3]).is_ok());
+        assert_eq!(
+            verify_topk_typed(&input, 2, &[10u64, 30], &[1, 4]),
+            Err(VerifyError::WrongMultiset)
+        );
+        let input: Vec<i64> = vec![-5, 3, -9, 0];
+        assert!(verify_topk_typed(&input, 2, &[-9i64, -5], &[2, 0]).is_ok());
+        let input: Vec<f64> = vec![1.5, -2.5, 0.0, -0.0];
+        assert!(verify_topk_typed(&input, 2, &[-2.5f64, -0.0], &[1, 3]).is_ok());
+        // +0.0 instead of -0.0 is the wrong multiset in the total order.
+        assert_eq!(
+            verify_topk_typed(&input, 2, &[-2.5f64, 0.0], &[1, 2]),
+            Err(VerifyError::WrongMultiset)
+        );
+    }
+
+    #[test]
+    fn typed_and_f32_verifiers_agree() {
+        let input = [3.0f32, 1.0, 2.0, 1.0];
+        let (v, i) = reference_topk(&input, 3);
+        assert!(verify_topk(&input, 3, &v, &i).is_ok());
+        assert!(verify_topk_typed(&input, 3, &v, &i).is_ok());
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(VerifyError::WrongMultiset.to_string().contains("smallest"));
+        assert!(VerifyError::NaN.to_string().contains("NaN"));
+    }
+}

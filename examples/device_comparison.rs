@@ -1,0 +1,49 @@
+//! Run the same selection on simulated A100, H100 and A10 devices —
+//! the paper's §5.4 / Fig. 12 experiment in miniature. Because AIR
+//! Top-K is memory-bound (§5.2.1), the runtimes should scale with the
+//! devices' memory bandwidths (0.6 / 1.55 / 3.35 TB/s).
+//!
+//! ```sh
+//! cargo run --release --example device_comparison
+//! ```
+
+use gpu_topk::prelude::*;
+
+fn main() {
+    let n = 1 << 22;
+    let k = 2048;
+    let data = datagen::generate(Distribution::Uniform, n, 11);
+    let devices = [DeviceSpec::a10(), DeviceSpec::a100(), DeviceSpec::h100()];
+
+    println!("AIR Top-K, N = 2^22, K = {k}, uniform data\n");
+    println!(
+        "{:<6} {:>10} {:>12} {:>16}",
+        "GPU", "BW TB/s", "time us", "vs A10"
+    );
+
+    let mut t_a10 = None;
+    for dev in devices {
+        let bw = dev.mem_bw_gbps / 1000.0;
+        let mut gpu = Gpu::new(dev);
+        let input = gpu.htod("in", &data);
+        gpu.reset_profile();
+        let out = AirTopK::default().select(&mut gpu, &input, k);
+        verify_topk(&data, k, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
+        let t = gpu.elapsed_us();
+        if t_a10.is_none() {
+            t_a10 = Some(t);
+        }
+        println!(
+            "{:<6} {:>10.2} {:>12.1} {:>15.2}x",
+            gpu.spec().name,
+            bw,
+            t,
+            t_a10.unwrap() / t
+        );
+    }
+
+    println!(
+        "\n§5.4's observation: speedups roughly track memory bandwidth,\n\
+         because AIR Top-K is memory-bound (Table 3)."
+    );
+}

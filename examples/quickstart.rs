@@ -1,0 +1,53 @@
+//! Quickstart: find the K smallest values (with indices) on a
+//! simulated A100, and inspect what the run cost.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_topk::prelude::*;
+
+fn main() {
+    // A simulated NVIDIA A100 — the paper's main testbed.
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+
+    // One million uniform scores; we want the 100 smallest.
+    let n = 1 << 20;
+    let k = 100;
+    let data = datagen::generate(Distribution::Uniform, n, 42);
+    let input = gpu.htod("scores", &data);
+
+    // Time only the selection, not the upload.
+    gpu.reset_profile();
+    let air = AirTopK::default();
+    let out = air.select(&mut gpu, &input, k);
+
+    let mut values = out.values.to_vec();
+    let indices = out.indices.to_vec();
+    verify_topk(&data, k, &values, &indices).expect("top-K output is correct");
+
+    values.sort_by(f32::total_cmp);
+    println!("top-{k} of {n} elements with {}:", air.name());
+    println!("  smallest three: {:?}", &values[..3]);
+    println!("  simulated time: {:.1} us", gpu.elapsed_us());
+    println!(
+        "  kernel launches: {} | PCIe traffic: {:.1} us | device idle: {:.1} us",
+        gpu.timeline().kernel_count(),
+        gpu.timeline().memcpy_us(),
+        gpu.timeline().idle_us()
+    );
+
+    // The same problem with GridSelect, which can also process data
+    // on-the-fly (§4) and wins for small K.
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let input = gpu.htod("scores", &data);
+    gpu.reset_profile();
+    let gs = GridSelect::default();
+    let out = gs.select(&mut gpu, &input, k);
+    verify_topk(&data, k, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
+    println!(
+        "\n{} solves the same problem in {:.1} us (K = {k} is small: partial sorting wins)",
+        gs.name(),
+        gpu.elapsed_us()
+    );
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerate the paper's full evaluation — the equivalent of the
+# original artifact's run-k.sh / run-n.sh / exp.sh pipeline.
+#
+#   scripts/run_all.sh [--full]
+#
+# Writes CSVs, tables, Chrome traces and report.html to bench-results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL="${1:-}"
+cargo build --release -p topk-bench
+
+./target/release/topk-bench verify --quick
+./target/release/topk-bench all $FULL --out bench-results
+./target/release/topk-bench report --out bench-results
+
+echo
+echo "done — open bench-results/report.html, and see EXPERIMENTS.md for"
+echo "the paper-vs-measured comparison."

@@ -1,0 +1,150 @@
+//! Cross-algorithm agreement and failure-injection tests.
+//!
+//! The strongest correctness statement the benchmark can make is that
+//! *twelve independent implementations agree*: the 8 baselines, the 2
+//! contributions, the hybrid layer, and the auto-dispatcher must all
+//! return the same top-K multiset on the same input. Plus the
+//! contract edges: NaN rejection, device-memory exhaustion, and
+//! shared-memory overflow.
+
+use gpu_topk::prelude::*;
+use topk_core::keys::RadixKey;
+use topk_core::UnfusedRadix;
+
+fn everything() -> Vec<Box<dyn TopKAlgorithm>> {
+    let mut algs = gpu_topk::all_algorithms();
+    algs.push(Box::new(DrTopK::new(AirTopK::default())));
+    algs.push(Box::new(topk_core::SelectK::default()));
+    algs.push(Box::new(UnfusedRadix::default()));
+    algs
+}
+
+#[test]
+fn thirteen_implementations_agree_on_the_multiset() {
+    for dist in Distribution::benchmark_set() {
+        let data = datagen::generate(dist, 30_000, 1234);
+        for k in [1usize, 100, 1024] {
+            let mut reference: Option<Vec<u32>> = None;
+            for alg in everything() {
+                if alg.max_k().is_some_and(|mk| k > mk) {
+                    continue;
+                }
+                let mut gpu = Gpu::new(DeviceSpec::a100());
+                let input = gpu.htod("in", &data);
+                let out = alg.select(&mut gpu, &input, k);
+                verify_topk(&data, k, &out.values.to_vec(), &out.indices.to_vec())
+                    .unwrap_or_else(|e| panic!("{} ({}): {e}", alg.name(), dist.name()));
+                let mut multiset: Vec<u32> =
+                    out.values.to_vec().iter().map(|v| v.to_ordered()).collect();
+                multiset.sort_unstable();
+                match &reference {
+                    None => reference = Some(multiset),
+                    Some(r) => assert_eq!(
+                        *r,
+                        multiset,
+                        "{} disagrees on {} k={k}",
+                        alg.name(),
+                        dist.name()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn largest_k_is_the_mirror_of_smallest_k() {
+    let data = datagen::generate(Distribution::Normal, 10_000, 5);
+    let k = 200;
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let input = gpu.htod("in", &data);
+
+    let largest = SelectLargest::new(AirTopK::default()).select(&mut gpu, &input, k);
+    let negated: Vec<f32> = data
+        .iter()
+        .map(|&x| f32::from_ordered(!x.to_ordered()))
+        .collect();
+    let neg_input = gpu.htod("neg", &negated);
+    let smallest_of_neg = AirTopK::default().select(&mut gpu, &neg_input, k);
+
+    let mut a: Vec<u32> = largest
+        .values
+        .to_vec()
+        .iter()
+        .map(|v| v.to_ordered())
+        .collect();
+    let mut b: Vec<u32> = smallest_of_neg
+        .values
+        .to_vec()
+        .iter()
+        .map(|v| !v.to_ordered())
+        .collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn verifier_catches_nan_poisoned_input() {
+    let mut data = datagen::generate(Distribution::Uniform, 100, 1);
+    data[50] = f32::NAN;
+    // The algorithms' contract is NaN-free input; the verifier is the
+    // backstop that refuses to bless any output computed from it.
+    assert_eq!(
+        verify_topk(&data, 10, &data[..10], &(0..10u32).collect::<Vec<_>>()),
+        Err(topk_core::VerifyError::NaN)
+    );
+}
+
+#[test]
+fn device_out_of_memory_is_reported_not_hidden() {
+    let mut gpu = Gpu::new(DeviceSpec::test_tiny());
+    // A quarter of device memory, in u32 elements.
+    let quarter = gpu.spec().device_mem_bytes / 4 / 4;
+    let _a = gpu.try_alloc::<u32>("a", quarter).unwrap();
+    let _b = gpu.try_alloc::<u32>("b", quarter).unwrap();
+    let _c = gpu.try_alloc::<u32>("c", quarter).unwrap();
+    let err = gpu.try_alloc::<u32>("d", quarter + 1).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("out of device memory"), "{msg}");
+}
+
+#[test]
+fn shared_memory_overflow_fails_loudly() {
+    // A one-block AIR selection needs n*8 bytes of shared memory;
+    // test_tiny has 16 KiB, so 4096 candidates cannot fit. The
+    // simulator must fault like an over-subscribed CUDA launch, not
+    // corrupt memory.
+    let mut gpu = Gpu::new(DeviceSpec::test_tiny());
+    let data = datagen::generate(Distribution::Uniform, 4096, 2);
+    let input = gpu.htod("in", &data);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        AirTopK::default().select(&mut gpu, &input, 10)
+    }));
+    assert!(r.is_err(), "launch exceeding shared memory must fault");
+}
+
+#[test]
+fn batch_with_mismatched_lengths_is_rejected() {
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let a = gpu.htod("a", &vec![1.0f32; 100]);
+    let b = gpu.htod("b", &vec![1.0f32; 200]);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        AirTopK::default().select_batch(&mut gpu, &[a, b], 5)
+    }));
+    assert!(r.is_err());
+}
+
+#[test]
+fn dispatcher_and_components_agree_at_the_crossover() {
+    // Right at the dispatch boundary both components must be correct
+    // and identical in result.
+    let s = topk_core::SelectK::default();
+    let data = datagen::generate(Distribution::Uniform, 1 << 16, 3);
+    for k in [255usize, 256, 257] {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let input = gpu.htod("in", &data);
+        let out = s.select(&mut gpu, &input, k);
+        verify_topk(&data, k, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
+    }
+}

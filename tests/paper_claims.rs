@@ -1,0 +1,187 @@
+//! Integration tests pinning the paper's qualitative claims — the
+//! "shape" of the evaluation that the reproduction must preserve.
+
+use gpu_topk::prelude::*;
+
+fn timed(alg: &dyn TopKAlgorithm, data: &[f32], k: usize) -> f64 {
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let input = gpu.htod("in", data);
+    gpu.reset_profile();
+    let out = alg.select(&mut gpu, &input, k);
+    let t = gpu.elapsed_us();
+    verify_topk(data, k, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
+    t
+}
+
+fn timed_batch(alg: &dyn TopKAlgorithm, datas: &[Vec<f32>], k: usize) -> f64 {
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let inputs: Vec<_> = datas
+        .iter()
+        .enumerate()
+        .map(|(i, d)| gpu.htod(&format!("p{i}"), d))
+        .collect();
+    gpu.reset_profile();
+    alg.select_batch(&mut gpu, &inputs, k);
+    gpu.elapsed_us()
+}
+
+#[test]
+fn air_never_touches_pcie_but_radixselect_does() {
+    // §3.1 / Fig. 8: AIR runs fully on-device; classic RadixSelect
+    // round-trips every iteration.
+    let data = datagen::generate(Distribution::Uniform, 1 << 18, 3);
+    let profile = |alg: &dyn TopKAlgorithm| {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let input = gpu.htod("in", &data);
+        gpu.reset_profile();
+        alg.select(&mut gpu, &input, 2048);
+        (gpu.timeline().memcpy_us(), gpu.timeline().kernel_count())
+    };
+    let (air_pcie, air_kernels) = profile(&AirTopK::default());
+    let (rs_pcie, rs_kernels) = profile(&RadixSelect);
+    assert_eq!(air_pcie, 0.0);
+    assert!(rs_pcie > 0.0);
+    assert!(air_kernels < rs_kernels);
+}
+
+#[test]
+fn air_beats_radixselect_as_in_table_2() {
+    // Table 2 batch 1: 1.98-21.48x. Accept anything comfortably > 1.
+    for dist in Distribution::benchmark_set() {
+        let data = datagen::generate(dist, 1 << 20, 11);
+        let air = timed(&AirTopK::default(), &data, 2048);
+        let rs = timed(&RadixSelect, &data, 2048);
+        let speedup = rs / air;
+        assert!(
+            speedup > 1.5,
+            "{}: AIR {air} vs RadixSelect {rs} (speedup {speedup:.2})",
+            dist.name()
+        );
+    }
+}
+
+#[test]
+fn batch_100_amplifies_airs_advantage() {
+    // Table 2: batch-100 speedups (8-574x) dwarf batch-1 speedups
+    // because the baseline loops over problems while AIR fuses them.
+    let k = 256;
+    let n = 1 << 14;
+    let one = vec![datagen::generate(Distribution::Uniform, n, 0)];
+    let hundred: Vec<Vec<f32>> = (0..100)
+        .map(|i| datagen::generate(Distribution::Uniform, n, i))
+        .collect();
+    let air = AirTopK::default();
+    let rs = RadixSelect;
+    let s1 = timed_batch(&rs, &one, k) / timed_batch(&air, &one, k);
+    let s100 = timed_batch(&rs, &hundred, k) / timed_batch(&air, &hundred, k);
+    assert!(
+        s100 > 3.0 * s1,
+        "batch-100 speedup {s100:.1} should dwarf batch-1 {s1:.1}"
+    );
+}
+
+#[test]
+fn gridselect_crushes_blockselect_at_large_n_batch_1() {
+    // §5.3: up to 882x from using the whole device instead of one SM.
+    let data = datagen::generate(Distribution::Uniform, 1 << 22, 9);
+    let gs = timed(&GridSelect::default(), &data, 128);
+    let bs = timed(&BlockSelect, &data, 128);
+    let speedup = bs / gs;
+    assert!(
+        speedup > 20.0,
+        "GridSelect {gs} vs BlockSelect {bs}: speedup {speedup:.1}"
+    );
+}
+
+#[test]
+fn blockselect_beats_warpselect() {
+    // Fig. 6/7: "BlockSelect outperforms WarpSelect consistently."
+    let data = datagen::generate(Distribution::Normal, 1 << 20, 9);
+    for k in [32usize, 512, 2048] {
+        let bs = timed(&BlockSelect, &data, k);
+        let ws = timed(&WarpSelect, &data, k);
+        assert!(bs < ws, "k={k}: BlockSelect {bs} vs WarpSelect {ws}");
+    }
+}
+
+#[test]
+fn partial_sort_methods_degrade_with_k_but_partition_methods_do_not() {
+    // §5.1's reading of Fig. 6.
+    let data = datagen::generate(Distribution::Uniform, 1 << 19, 4);
+    let bt_small = timed(&BitonicTopK, &data, 8);
+    let bt_large = timed(&BitonicTopK, &data, 256);
+    assert!(
+        bt_large > bt_small * 1.5,
+        "Bitonic Top-K should slow with K: {bt_small} -> {bt_large}"
+    );
+    let air_small = timed(&AirTopK::default(), &data, 8);
+    let air_large = timed(&AirTopK::default(), &data, 262_144);
+    assert!(
+        air_large < air_small * 3.0,
+        "AIR should be nearly K-independent: {air_small} -> {air_large}"
+    );
+}
+
+#[test]
+fn adversarial_distribution_hurts_baselines_more_than_air() {
+    // Fig. 7 row 3: partition baselines deteriorate under the
+    // radix-adversarial distribution; AIR's adaptive strategy holds.
+    let n = 1 << 20;
+    let uni = datagen::generate(Distribution::Uniform, n, 5);
+    let adv = datagen::generate(Distribution::RadixAdversarial { m_bits: 20 }, n, 5);
+    let air_ratio = timed(&AirTopK::default(), &adv, 256) / timed(&AirTopK::default(), &uni, 256);
+    let rs_ratio = timed(&RadixSelect, &adv, 256) / timed(&RadixSelect, &uni, 256);
+    assert!(
+        air_ratio < rs_ratio * 1.05,
+        "AIR degradation {air_ratio:.2} vs RadixSelect {rs_ratio:.2}"
+    );
+}
+
+#[test]
+fn air_is_fastest_at_large_n_large_k() {
+    // The paper's headline: AIR beats the virtual SOTA everywhere at
+    // batch 1 (1.44-7.34x). Check a representative large-N point.
+    let data = datagen::generate(Distribution::Normal, 1 << 21, 1);
+    let k = 32_768; // beyond the partial-sorting caps
+    let air = timed(&AirTopK::default(), &data, k);
+    for alg in topk_baselines::all_baselines() {
+        if alg.max_k().is_none_or(|mk| k <= mk) {
+            let t = timed(alg.as_ref(), &data, k);
+            assert!(
+                air < t,
+                "AIR ({air:.1}) must beat {} ({t:.1}) at N=2^21 K=32768",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn gridselect_wins_small_k_crossover() {
+    // §5.1 guideline 2: for large N and small K the contributions
+    // trade places; GridSelect should win at K <= 128 on big inputs.
+    let data = datagen::generate(Distribution::Uniform, 1 << 22, 2);
+    let gs = timed(&GridSelect::default(), &data, 32);
+    let air = timed(&AirTopK::default(), &data, 32);
+    assert!(gs < air * 1.5, "GridSelect {gs} vs AIR {air} at K=32");
+}
+
+#[test]
+fn device_scaling_tracks_memory_bandwidth() {
+    // §5.4: A100 ~3x over A10, H100 ~2x over A100 for memory-bound AIR.
+    let data = datagen::generate(Distribution::Uniform, 1 << 22, 6);
+    let time_on = |spec: DeviceSpec| {
+        let mut gpu = Gpu::new(spec);
+        let input = gpu.htod("in", &data);
+        gpu.reset_profile();
+        AirTopK::default().select(&mut gpu, &input, 2048);
+        gpu.elapsed_us()
+    };
+    let a10 = time_on(DeviceSpec::a10());
+    let a100 = time_on(DeviceSpec::a100());
+    let h100 = time_on(DeviceSpec::h100());
+    let r1 = a10 / a100;
+    let r2 = a100 / h100;
+    assert!((1.8..4.0).contains(&r1), "A100 over A10: {r1:.2}");
+    assert!((1.3..3.0).contains(&r2), "H100 over A100: {r2:.2}");
+}
