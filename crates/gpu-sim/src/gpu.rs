@@ -136,19 +136,37 @@ impl Gpu {
     /// backing host memory is freed when the last handle drops; this
     /// only updates the simulated allocator accounting.)
     pub fn free<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>) {
-        self.mem_allocated = self.mem_allocated.saturating_sub(buf.size_bytes());
+        self.free_bytes(buf.size_bytes());
     }
 
-    /// Copy host data to a new device buffer, paying PCIe cost.
+    /// Untyped counterpart of [`Gpu::free`]: release raw bytes back to
+    /// the allocator. Error-path cleanup guards use this to release a
+    /// whole workspace in one call after the typed handles are gone.
+    pub fn free_bytes(&mut self, bytes: usize) {
+        self.mem_allocated = self.mem_allocated.saturating_sub(bytes);
+    }
+
+    /// Copy host data to a new device buffer, paying PCIe cost. Panics
+    /// when the device is out of memory (use [`Gpu::try_htod`] to
+    /// handle it).
     pub fn htod<T: DeviceScalar>(&mut self, label: &str, data: &[T]) -> DeviceBuffer<T> {
-        let buf = self.alloc::<T>(label, data.len());
+        self.try_htod(label, data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible host-to-device upload.
+    pub fn try_htod<T: DeviceScalar>(
+        &mut self,
+        label: &str,
+        data: &[T],
+    ) -> Result<DeviceBuffer<T>, SimError> {
+        let buf = self.try_alloc::<T>(label, data.len())?;
         for (i, &v) in data.iter().enumerate() {
             buf.set(i, v);
         }
         let t = memcpy_cost(&self.spec, buf.size_bytes());
         self.timeline.push(EventKind::MemcpyHtoD, self.clock_us, t);
         self.clock_us += t;
-        buf
+        Ok(buf)
     }
 
     /// Copy a small host payload into an *existing* device buffer
@@ -203,7 +221,22 @@ impl Gpu {
     where
         F: Fn(&mut BlockCtx) + Sync,
     {
-        validate_launch(&self.spec, &cfg).unwrap_or_else(|e| panic!("{e}"));
+        self.try_launch(name, cfg, kernel)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible launch: reports launch-configuration errors (grid/block
+    /// limits, shared-memory overflow) instead of panicking.
+    pub fn try_launch<F>(
+        &mut self,
+        name: &str,
+        cfg: LaunchConfig,
+        kernel: F,
+    ) -> Result<&KernelReport, SimError>
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        validate_launch(&self.spec, &cfg)?;
 
         let stats = self.pool.run(&self.spec, cfg, kernel);
         let mut cost = kernel_cost(&self.spec, cfg.grid_dim, cfg.block_dim, &stats);
@@ -230,7 +263,7 @@ impl Gpu {
             cost,
             start_us: start,
         });
-        self.reports.last().unwrap()
+        Ok(self.reports.last().expect("report just pushed"))
     }
 
     // ---- host-side time -----------------------------------------------

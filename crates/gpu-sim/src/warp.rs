@@ -225,7 +225,8 @@ mod tests {
     #[test]
     fn warp_bitonic_sorts_and_carries_payload() {
         // Deterministic pseudo-random lane values.
-        let keys_src: Lanes<u32> = std::array::from_fn(|i| (i as u32).wrapping_mul(2654435761) % 997);
+        let keys_src: Lanes<u32> =
+            std::array::from_fn(|i| (i as u32).wrapping_mul(2654435761) % 997);
         let mut keys = keys_src;
         let mut payload: Lanes<u32> = std::array::from_fn(|i| i as u32);
         let ops = bitonic_sort_lanes(&mut keys, &mut payload, true);

@@ -12,7 +12,9 @@
 
 use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
 use topk_core::bitonic::{bitonic_sort, merge_into_topk};
+use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
+use topk_core::scratch::ScratchGuard;
 use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
 
 /// K limit from the paper (§2.2): 256 for Bitonic Top-K.
@@ -38,8 +40,33 @@ impl TopKAlgorithm for BitonicTopK {
         Some(MAX_K)
     }
 
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        check_args(self, input.len(), k);
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        check_args(self, input.len(), k)?;
+        let mut ws = ScratchGuard::new();
+        let mut outs = ScratchGuard::new();
+        let r = run_rounds(gpu, &mut ws, &mut outs, input, k);
+        ws.release(gpu);
+        if r.is_err() {
+            outs.release(gpu);
+        }
+        r
+    }
+}
+
+/// The full halving pipeline; workspace in `ws`, outputs in `outs`.
+fn run_rounds(
+    gpu: &mut Gpu,
+    ws: &mut ScratchGuard,
+    outs: &mut ScratchGuard,
+    input: &DeviceBuffer<f32>,
+    k: usize,
+) -> Result<TopKOutput, TopKError> {
+    {
         let n = input.len();
         let run = k.next_power_of_two();
         // Pad to a whole number of runs with sentinels.
@@ -48,12 +75,12 @@ impl TopKAlgorithm for BitonicTopK {
 
         let half = runs0.div_ceil(2).max(1) * run;
         let keys = [
-            gpu.alloc::<u32>("bt_keys0", padded),
-            gpu.alloc::<u32>("bt_keys1", half),
+            ws.alloc::<u32>(gpu, "bt_keys0", padded)?,
+            ws.alloc::<u32>(gpu, "bt_keys1", half)?,
         ];
         let idxs = [
-            gpu.alloc::<u32>("bt_idx0", padded),
-            gpu.alloc::<u32>("bt_idx1", half),
+            ws.alloc::<u32>(gpu, "bt_idx0", padded)?,
+            ws.alloc::<u32>(gpu, "bt_idx1", half)?,
         ];
 
         // Round 0: load, convert, locally sort each K-run.
@@ -62,7 +89,7 @@ impl TopKAlgorithm for BitonicTopK {
             let idx0 = idxs[0].clone();
             let input = input.clone();
             let launch = LaunchConfig::for_elements(runs0, 256, 1, usize::MAX);
-            gpu.launch("bitonic_local_sort", launch, move |ctx| {
+            gpu.try_launch("bitonic_local_sort", launch, move |ctx| {
                 let start_run = ctx.block_idx * 256;
                 let end_run = (start_run + 256).min(runs0);
                 for r in start_run..end_run {
@@ -83,7 +110,7 @@ impl TopKAlgorithm for BitonicTopK {
                         ctx.st(&idx0, base + j, ib[j]);
                     }
                 }
-            });
+            })?;
         }
 
         // Halving rounds: merge adjacent run pairs, keep the low half.
@@ -99,7 +126,7 @@ impl TopKAlgorithm for BitonicTopK {
             let keys_d = keys[dst].clone();
             let idxs_d = idxs[dst].clone();
             let launch = LaunchConfig::for_elements(out_runs, 32, PAIRS_PER_BLOCK, usize::MAX);
-            gpu.launch("bitonic_merge_round", launch, move |ctx| {
+            gpu.try_launch("bitonic_merge_round", launch, move |ctx| {
                 let start = ctx.block_idx * 32 * PAIRS_PER_BLOCK;
                 let end = (start + 32 * PAIRS_PER_BLOCK).min(out_runs);
                 for p in start..end {
@@ -119,39 +146,30 @@ impl TopKAlgorithm for BitonicTopK {
                         ctx.st(&idxs_d, out_base + j, ib[j]);
                     }
                 }
-            });
+            })?;
             runs = out_runs;
             src = dst;
         }
 
         // Emit the K smallest of the surviving run.
-        let out_val = gpu.alloc::<f32>("bt_out_val", k);
-        let out_idx = gpu.alloc::<u32>("bt_out_idx", k);
+        let out_val = outs.alloc::<f32>(gpu, "bt_out_val", k)?;
+        let out_idx = outs.alloc::<u32>(gpu, "bt_out_idx", k)?;
         {
             let keys_s = keys[src].clone();
             let idxs_s = idxs[src].clone();
             let ov = out_val.clone();
             let oi = out_idx.clone();
-            gpu.launch("bitonic_emit", LaunchConfig::grid_1d(1, 256), move |ctx| {
+            gpu.try_launch("bitonic_emit", LaunchConfig::grid_1d(1, 256), move |ctx| {
                 for i in 0..k {
                     let bits = ctx.ld(&keys_s, i);
                     let idx = ctx.ld(&idxs_s, i);
                     ctx.st(&ov, i, f32::from_ordered(bits));
                     ctx.st(&oi, i, idx);
                 }
-            });
+            })?;
         }
 
-        for b in &keys {
-            gpu.free(b);
-        }
-        for b in &idxs {
-            gpu.free(b);
-        }
-        TopKOutput {
-            values: out_val,
-            indices: out_idx,
-        }
+        Ok(TopKOutput::new(out_val, out_idx))
     }
 }
 
@@ -207,7 +225,7 @@ mod tests {
             let mut g = Gpu::new(DeviceSpec::a100());
             let input = g.htod("in", &data);
             g.reset_profile();
-            BitonicTopK.select(&mut g, &input, k);
+            let _ = BitonicTopK.select(&mut g, &input, k);
             g.elapsed_us()
         };
         assert!(time(256) > time(8));

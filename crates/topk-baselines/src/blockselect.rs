@@ -9,8 +9,9 @@
 //! headroom GridSelect recovers).
 
 use gpu_sim::{DeviceBuffer, Gpu};
+use topk_core::error::TopKError;
 use topk_core::gridselect::{select_partial_core, GridSelectConfig, QueueKind, MAX_K};
-use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
+use topk_core::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput};
 
 /// Warps per block, as in Faiss ("up to 4 warps", §4).
 pub const WARPS: usize = 4;
@@ -46,26 +47,35 @@ impl TopKAlgorithm for BlockSelect {
         Some(MAX_K)
     }
 
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        check_args(self, input.len(), k);
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        check_args(self, input.len(), k)?;
         select_partial_core(
             gpu,
             "blockselect_kernel",
             std::slice::from_ref(input),
             k,
             &self.core_config(),
-        )
+        )?
         .pop()
-        .unwrap()
+        .ok_or_else(|| TopKError::UnsupportedShape {
+            algorithm: self.name(),
+            detail: "batch of one produced no output".into(),
+        })
     }
 
-    fn select_batch(
+    fn try_select_batch(
         &self,
         gpu: &mut Gpu,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
-    ) -> Vec<TopKOutput> {
-        check_args(self, inputs[0].len(), k);
+    ) -> Result<Vec<TopKOutput>, TopKError> {
+        let n = check_batch(self, inputs)?;
+        check_args(self, n, k)?;
         select_partial_core(gpu, "blockselect_kernel", inputs, k, &self.core_config())
     }
 }
@@ -101,7 +111,7 @@ mod tests {
         let data = generate(Distribution::Uniform, 50_000, 1);
         let input = g.htod("in", &data);
         g.reset_profile();
-        BlockSelect.select(&mut g, &input, 64);
+        let _ = BlockSelect.select(&mut g, &input, 64);
         let r = &g.reports()[0];
         assert_eq!(r.cfg.grid_dim, 1);
         assert_eq!(r.cfg.block_dim, 4 * 32);
@@ -115,7 +125,7 @@ mod tests {
             let mut g = Gpu::new(DeviceSpec::a100());
             let input = g.htod("in", &data);
             g.reset_profile();
-            alg.select(&mut g, &input, 128);
+            let _ = alg.select(&mut g, &input, 128);
             g.elapsed_us()
         };
         let tw = time(&WarpSelect);

@@ -18,6 +18,7 @@ use crate::common::{
     STREAM_CHUNK,
 };
 use gpu_sim::{DeviceBuffer, Gpu};
+use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
 use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
 
@@ -46,24 +47,66 @@ impl TopKAlgorithm for BucketSelect {
         Category::PartitionBased
     }
 
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        check_args(self, input.len(), k);
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        check_args(self, input.len(), k)?;
         let n = input.len();
-        let mut st = SelectionState::new(gpu, n, k);
-        let minmax = gpu.alloc::<u32>("bs_minmax", 2);
-        let hist = gpu.alloc::<u32>("bs_hist", BUCKETS);
+        let mut st = SelectionState::new(gpu, n, k)?;
+        let mut extras = topk_core::scratch::ScratchGuard::new();
+        let stats = (|| {
+            Ok::<_, TopKError>((
+                extras.alloc::<u32>(gpu, "bs_minmax", 2)?,
+                extras.alloc::<u32>(gpu, "bs_hist", BUCKETS)?,
+            ))
+        })();
+        let (minmax, hist) = match stats {
+            Ok(pair) => pair,
+            Err(e) => {
+                extras.release(gpu);
+                st.free_all(gpu);
+                return Err(e);
+            }
+        };
+        let r = run_loop(gpu, input, &mut st, &minmax, &hist);
+        extras.release(gpu);
+        match r {
+            Ok(()) => {
+                st.free_workspace(gpu);
+                Ok(st.into_output())
+            }
+            Err(e) => {
+                st.free_all(gpu);
+                Err(e)
+            }
+        }
+    }
+}
 
+/// The host-driven iteration loop; cleanup happens in `try_select` so
+/// an error cannot strand workspace bytes.
+fn run_loop(
+    gpu: &mut Gpu,
+    input: &DeviceBuffer<f32>,
+    st: &mut SelectionState,
+    minmax: &DeviceBuffer<u32>,
+    hist: &DeviceBuffer<u32>,
+) -> Result<(), TopKError> {
+    {
         let mut first = true;
         loop {
             if st.k_rem == 0 {
                 break;
             }
             if st.n_cur == st.k_rem {
-                emit_all_candidates(gpu, input, &st);
+                emit_all_candidates(gpu, input, st)?;
                 break;
             }
             if !first && st.n_cur <= SMALL_CUTOFF.max(st.k_rem) {
-                final_small_select(gpu, input, &st);
+                final_small_select(gpu, input, st)?;
                 break;
             }
             first = false;
@@ -78,7 +121,7 @@ impl TopKAlgorithm for BucketSelect {
                 let materialised = st.materialised;
                 let input = input.clone();
                 let minmax = minmax.clone();
-                gpu.launch("bucket_minmax", stream_launch(n_cur), move |ctx| {
+                gpu.try_launch("bucket_minmax", stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     let mut lo = u32::MAX;
@@ -91,13 +134,13 @@ impl TopKAlgorithm for BucketSelect {
                     }
                     ctx.atomic_min_raw(&minmax, 0, lo);
                     ctx.atomic_max_raw(&minmax, 1, hi);
-                });
+                })?;
             }
-            let mm = gpu.dtoh(&minmax);
+            let mm = gpu.dtoh(minmax);
             let (lo, hi) = (mm[0], mm[1]);
             if lo == hi {
                 // Every candidate is identical: any K of them work.
-                final_small_select(gpu, input, &st);
+                final_small_select(gpu, input, st)?;
                 break;
             }
 
@@ -109,7 +152,7 @@ impl TopKAlgorithm for BucketSelect {
                 let materialised = st.materialised;
                 let input = input.clone();
                 let hist = hist.clone();
-                gpu.launch("bucket_histogram", stream_launch(n_cur), move |ctx| {
+                gpu.try_launch("bucket_histogram", stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     let mut local = ctx.shared_alloc::<u32>(BUCKETS);
@@ -124,9 +167,9 @@ impl TopKAlgorithm for BucketSelect {
                         }
                     }
                     ctx.ops(BUCKETS as u64);
-                });
+                })?;
             }
-            let h = gpu.dtoh(&hist);
+            let h = gpu.dtoh(hist);
             gpu.host_compute("bucket prefix sum", 1.0);
             let mut acc = 0u32;
             let mut target = BUCKETS - 1;
@@ -143,8 +186,8 @@ impl TopKAlgorithm for BucketSelect {
 
             // Kernel 3: filter — emit sure results, keep the target
             // bucket as the next candidate set.
-            let cursors = gpu.alloc::<u32>("bs_cursors", 1);
-            {
+            let cursors = gpu.try_alloc::<u32>("bs_cursors", 1)?;
+            let launched = {
                 let keys = st.cand_keys[st.cur].clone();
                 let idxs = st.cand_idx[st.cur].clone();
                 let nkeys = st.cand_keys[1 - st.cur].clone();
@@ -155,7 +198,7 @@ impl TopKAlgorithm for BucketSelect {
                 let out_idx = st.out_idx.clone();
                 let out_cursor = st.out_cursor.clone();
                 let cursors = cursors.clone();
-                gpu.launch("bucket_filter", stream_launch(n_cur), move |ctx| {
+                gpu.try_launch("bucket_filter", stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     for i in start..end {
@@ -173,7 +216,12 @@ impl TopKAlgorithm for BucketSelect {
                             ctx.st_scatter(&nidx, pos, idx);
                         }
                     }
-                });
+                })
+                .map(|_| ())
+            };
+            if let Err(e) = launched {
+                gpu.free(&cursors);
+                return Err(e.into());
             }
             gpu.free(&cursors);
 
@@ -182,11 +230,7 @@ impl TopKAlgorithm for BucketSelect {
             st.n_cur = next_n;
             st.k_rem -= below as usize;
         }
-
-        gpu.free(&minmax);
-        gpu.free(&hist);
-        st.free_workspace(gpu);
-        st.into_output()
+        Ok(())
     }
 }
 
@@ -251,7 +295,7 @@ mod tests {
         let mut g = Gpu::new(DeviceSpec::a100());
         let input = g.htod("in", &data);
         g.reset_profile();
-        BucketSelect.select(&mut g, &input, 100);
+        let _ = BucketSelect.select(&mut g, &input, 100);
         // min/max + histogram copies at least once each.
         let dtoh = g
             .timeline()

@@ -9,7 +9,9 @@
 
 use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
 use topk_core::bitonic::bitonic_sort;
+use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
+use topk_core::scratch::ScratchGuard;
 use topk_core::traits::TopKOutput;
 
 /// Device-side working state for a host-driven selection loop.
@@ -35,25 +37,34 @@ pub struct SelectionState {
 }
 
 impl SelectionState {
-    /// Allocate working state for one problem.
-    pub fn new(gpu: &mut Gpu, n: usize, k: usize) -> Self {
-        SelectionState {
-            cand_keys: [
-                gpu.alloc::<u32>("cand_keys0", n),
-                gpu.alloc::<u32>("cand_keys1", n),
-            ],
-            cand_idx: [
-                gpu.alloc::<u32>("cand_idx0", n),
-                gpu.alloc::<u32>("cand_idx1", n),
-            ],
-            cur: 0,
-            n_cur: n,
-            materialised: false,
-            k_rem: k,
-            out_val: gpu.alloc::<f32>("out_val", k),
-            out_idx: gpu.alloc::<u32>("out_idx", k),
-            out_cursor: gpu.alloc::<u32>("out_cursor", 1),
+    /// Allocate working state for one problem. If any allocation
+    /// fails, everything allocated so far is released before the error
+    /// is returned.
+    pub fn new(gpu: &mut Gpu, n: usize, k: usize) -> Result<Self, TopKError> {
+        let mut guard = ScratchGuard::new();
+        let r = (|| {
+            Ok(SelectionState {
+                cand_keys: [
+                    guard.alloc::<u32>(gpu, "cand_keys0", n)?,
+                    guard.alloc::<u32>(gpu, "cand_keys1", n)?,
+                ],
+                cand_idx: [
+                    guard.alloc::<u32>(gpu, "cand_idx0", n)?,
+                    guard.alloc::<u32>(gpu, "cand_idx1", n)?,
+                ],
+                cur: 0,
+                n_cur: n,
+                materialised: false,
+                k_rem: k,
+                out_val: guard.alloc::<f32>(gpu, "out_val", k)?,
+                out_idx: guard.alloc::<u32>(gpu, "out_idx", k)?,
+                out_cursor: guard.alloc::<u32>(gpu, "out_cursor", 1)?,
+            })
+        })();
+        if r.is_err() {
+            guard.release(gpu);
         }
+        r
     }
 
     /// Release the candidate workspace (outputs survive).
@@ -67,12 +78,18 @@ impl SelectionState {
         gpu.free(&self.out_cursor);
     }
 
+    /// Release *everything*, outputs included — the error-path
+    /// companion of [`SelectionState::free_workspace`], so a failed
+    /// query leaves `mem_allocated` exactly where it started.
+    pub fn free_all(self, gpu: &mut Gpu) {
+        self.free_workspace(gpu);
+        gpu.free(&self.out_val);
+        gpu.free(&self.out_idx);
+    }
+
     /// Take the outputs.
     pub fn into_output(self) -> TopKOutput {
-        TopKOutput {
-            values: self.out_val,
-            indices: self.out_idx,
-        }
+        TopKOutput::new(self.out_val, self.out_idx)
     }
 }
 
@@ -108,11 +125,15 @@ pub fn load_candidate(
 /// step of the GpuSelection algorithms once recursion bottoms out.
 /// Also correct (just slow) for degenerate inputs where every
 /// candidate is equal and pivot-based progress stalls.
-pub fn final_small_select(gpu: &mut Gpu, input: &DeviceBuffer<f32>, st: &SelectionState) {
+pub fn final_small_select(
+    gpu: &mut Gpu,
+    input: &DeviceBuffer<f32>,
+    st: &SelectionState,
+) -> Result<(), TopKError> {
     let n_cur = st.n_cur;
     let k_rem = st.k_rem;
     if k_rem == 0 {
-        return;
+        return Ok(());
     }
     let cur = st.cur;
     let keys = st.cand_keys[cur].clone();
@@ -123,7 +144,7 @@ pub fn final_small_select(gpu: &mut Gpu, input: &DeviceBuffer<f32>, st: &Selecti
     let out_cursor = st.out_cursor.clone();
     let input = input.clone();
 
-    gpu.launch(
+    gpu.try_launch(
         "final_small_select",
         LaunchConfig::grid_1d(1, 256),
         move |ctx| {
@@ -143,15 +164,20 @@ pub fn final_small_select(gpu: &mut Gpu, input: &DeviceBuffer<f32>, st: &Selecti
                 ctx.st_scatter(&out_idx, base + i, i_buf[i]);
             }
         },
-    );
+    )?;
+    Ok(())
 }
 
 /// Copy every remaining candidate straight to the output — used when
 /// the loop discovers `k_rem == n_cur`.
-pub fn emit_all_candidates(gpu: &mut Gpu, input: &DeviceBuffer<f32>, st: &SelectionState) {
+pub fn emit_all_candidates(
+    gpu: &mut Gpu,
+    input: &DeviceBuffer<f32>,
+    st: &SelectionState,
+) -> Result<(), TopKError> {
     let n_cur = st.n_cur;
     if n_cur == 0 {
-        return;
+        return Ok(());
     }
     let keys = st.cand_keys[st.cur].clone();
     let idxs = st.cand_idx[st.cur].clone();
@@ -161,16 +187,24 @@ pub fn emit_all_candidates(gpu: &mut Gpu, input: &DeviceBuffer<f32>, st: &Select
     let out_cursor = st.out_cursor.clone();
     let input = input.clone();
 
-    gpu.launch("emit_candidates", stream_launch(n_cur), move |ctx| {
+    gpu.try_launch("emit_candidates", stream_launch(n_cur), move |ctx| {
         let start = ctx.block_idx * STREAM_CHUNK;
         let end = (start + STREAM_CHUNK).min(n_cur);
+        if start >= end {
+            return;
+        }
+        // The block reserves its whole contiguous output span with one
+        // cursor bump instead of one atomic per element; every element
+        // already goes to the output, so the order within the span is
+        // free to follow the scan order.
+        let base = ctx.atomic_add(&out_cursor, 0, (end - start) as u32) as usize;
         for i in start..end {
             let (kk, ii) = load_candidate(ctx, &input, &keys, &idxs, materialised, i);
-            let pos = ctx.atomic_add(&out_cursor, 0, 1) as usize;
-            ctx.st_scatter(&out_val, pos, f32::from_ordered(kk));
-            ctx.st_scatter(&out_idx, pos, ii);
+            ctx.st_scatter(&out_val, base + (i - start), f32::from_ordered(kk));
+            ctx.st_scatter(&out_idx, base + (i - start), ii);
         }
-    });
+    })?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -184,8 +218,8 @@ mod tests {
         let mut gpu = Gpu::new(DeviceSpec::a100());
         let data = vec![4.0f32, -1.0, 3.5, 0.0, 9.0, -1.0, 2.0];
         let input = gpu.htod("in", &data);
-        let st = SelectionState::new(&mut gpu, data.len(), 3);
-        final_small_select(&mut gpu, &input, &st);
+        let st = SelectionState::new(&mut gpu, data.len(), 3).unwrap();
+        final_small_select(&mut gpu, &input, &st).unwrap();
         let out = st.into_output();
         verify_topk(&data, 3, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
     }
@@ -195,8 +229,8 @@ mod tests {
         let mut gpu = Gpu::new(DeviceSpec::a100());
         let data = vec![2.0f32, 1.0, 3.0];
         let input = gpu.htod("in", &data);
-        let st = SelectionState::new(&mut gpu, 3, 3);
-        emit_all_candidates(&mut gpu, &input, &st);
+        let st = SelectionState::new(&mut gpu, 3, 3).unwrap();
+        emit_all_candidates(&mut gpu, &input, &st).unwrap();
         let out = st.into_output();
         verify_topk(&data, 3, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
     }

@@ -13,6 +13,7 @@ use crate::common::{
     STREAM_CHUNK,
 };
 use gpu_sim::{DeviceBuffer, Gpu};
+use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
 use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
 
@@ -56,33 +57,68 @@ impl TopKAlgorithm for QuickSelect {
         Category::PartitionBased
     }
 
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        check_args(self, input.len(), k);
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        check_args(self, input.len(), k)?;
         let n = input.len();
-        let mut st = SelectionState::new(gpu, n, k);
+        let mut st = SelectionState::new(gpu, n, k)?;
         // counts[0] = below pivot, counts[1] = equal, plus two write
         // cursors for the partition outputs.
-        let counts = gpu.alloc::<u32>("qs_counts", 4);
+        let counts = match gpu.try_alloc::<u32>("qs_counts", 4) {
+            Ok(c) => c,
+            Err(e) => {
+                st.free_all(gpu);
+                return Err(e.into());
+            }
+        };
+        let r = self.run_loop(gpu, input, &mut st, &counts);
+        gpu.free(&counts);
+        match r {
+            Ok(()) => {
+                st.free_workspace(gpu);
+                Ok(st.into_output())
+            }
+            Err(e) => {
+                st.free_all(gpu);
+                Err(e)
+            }
+        }
+    }
+}
 
+impl QuickSelect {
+    /// The host-driven iteration loop; every exit path leaves cleanup
+    /// to `try_select` so an error cannot strand workspace bytes.
+    fn run_loop(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        st: &mut SelectionState,
+        counts: &DeviceBuffer<u32>,
+    ) -> Result<(), TopKError> {
         let mut first = true;
         loop {
             if st.k_rem == 0 {
                 break;
             }
             if st.n_cur == st.k_rem {
-                emit_all_candidates(gpu, input, &st);
+                emit_all_candidates(gpu, input, st)?;
                 break;
             }
             if !first && st.n_cur <= SMALL_CUTOFF.max(st.k_rem) {
-                final_small_select(gpu, input, &st);
+                final_small_select(gpu, input, st)?;
                 break;
             }
             first = false;
 
             // Pick the pivot: a tiny gather kernel plus a 4-byte DtoH
             // (the per-iteration sync this method cannot avoid).
-            let pivot_buf = gpu.alloc::<u32>("qs_pivot", 1);
-            {
+            let pivot_buf = gpu.try_alloc::<u32>("qs_pivot", 1)?;
+            let launched = {
                 let keys = st.cand_keys[st.cur].clone();
                 let idxs = st.cand_idx[st.cur].clone();
                 let materialised = st.materialised;
@@ -90,7 +126,7 @@ impl TopKAlgorithm for QuickSelect {
                 let pivot_buf = pivot_buf.clone();
                 let n_cur = st.n_cur;
                 let strategy = self.pivot;
-                gpu.launch(
+                gpu.try_launch(
                     "quickselect_pick_pivot",
                     gpu_sim::LaunchConfig::grid_1d(1, 32),
                     move |ctx| {
@@ -110,7 +146,12 @@ impl TopKAlgorithm for QuickSelect {
                         };
                         ctx.st(&pivot_buf, 0, bits);
                     },
-                );
+                )
+                .map(|_| ())
+            };
+            if let Err(e) = launched {
+                gpu.free(&pivot_buf);
+                return Err(e.into());
             }
             let pivot = gpu.dtoh(&pivot_buf)[0];
             gpu.free(&pivot_buf);
@@ -128,7 +169,7 @@ impl TopKAlgorithm for QuickSelect {
                 let materialised = st.materialised;
                 let input = input.clone();
                 let counts = counts.clone();
-                gpu.launch("quickselect_partition", stream_launch(n_cur), move |ctx| {
+                gpu.try_launch("quickselect_partition", stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     for i in start..end {
@@ -148,9 +189,9 @@ impl TopKAlgorithm for QuickSelect {
                             ctx.st_scatter(&nidx, pos, idx);
                         }
                     }
-                });
+                })?;
             }
-            let c = gpu.dtoh(&counts);
+            let c = gpu.dtoh(counts);
             gpu.host_compute("choose side", 0.5);
             let below = c[0] as usize;
             let equal = c[1] as usize;
@@ -176,7 +217,7 @@ impl TopKAlgorithm for QuickSelect {
                 let out_cursor = st.out_cursor.clone();
                 let counts = counts.clone();
                 gpu.htod_into(&counts, &[0, 0, 0, 0]);
-                gpu.launch("quickselect_emit", stream_launch(n_cur), move |ctx| {
+                gpu.try_launch("quickselect_emit", stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     for i in start..end {
@@ -205,7 +246,7 @@ impl TopKAlgorithm for QuickSelect {
                             ctx.st_scatter(&out_idx, pos, idx);
                         }
                     }
-                });
+                })?;
                 st.k_rem = 0;
                 break;
             } else {
@@ -221,7 +262,7 @@ impl TopKAlgorithm for QuickSelect {
                     let out_val = st.out_val.clone();
                     let out_idx = st.out_idx.clone();
                     let out_cursor = st.out_cursor.clone();
-                    gpu.launch(
+                    gpu.try_launch(
                         "quickselect_emit_left",
                         stream_launch(n_cur.max(below)),
                         move |ctx| {
@@ -248,7 +289,7 @@ impl TopKAlgorithm for QuickSelect {
                                 ctx.ops(2);
                             }
                         },
-                    );
+                    )?;
                 }
                 st.k_rem -= below + equal;
                 // The right side sits at the *back* of the ping-pong
@@ -259,7 +300,7 @@ impl TopKAlgorithm for QuickSelect {
                 let nidx = st.cand_idx[1 - st.cur].clone();
                 let dkeys = st.cand_keys[st.cur].clone();
                 let didx = st.cand_idx[st.cur].clone();
-                gpu.launch("quickselect_compact", stream_launch(above), move |ctx| {
+                gpu.try_launch("quickselect_compact", stream_launch(above), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(above);
                     for i in start..end {
@@ -268,15 +309,12 @@ impl TopKAlgorithm for QuickSelect {
                         ctx.st(&dkeys, i, bits);
                         ctx.st(&didx, i, idx);
                     }
-                });
+                })?;
                 st.materialised = true;
                 st.n_cur = above;
             }
         }
-
-        gpu.free(&counts);
-        st.free_workspace(gpu);
-        st.into_output()
+        Ok(())
     }
 }
 
@@ -369,7 +407,7 @@ mod tests {
         let mut g = Gpu::new(DeviceSpec::a100());
         let input = g.htod("in", &data);
         g.reset_profile();
-        QuickSelect::default().select(&mut g, &input, 100);
+        let _ = QuickSelect::default().select(&mut g, &input, 100);
         assert!(g.timeline().memcpy_us() > 0.0);
         assert!(g.timeline().idle_us() > g.spec().host_sync_us);
     }

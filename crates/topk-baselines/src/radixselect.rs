@@ -15,6 +15,7 @@
 
 use crate::common::{load_candidate, stream_launch, SelectionState, STREAM_CHUNK};
 use gpu_sim::{DeviceBuffer, Gpu};
+use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
 use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
 
@@ -35,12 +36,46 @@ impl TopKAlgorithm for RadixSelect {
         Category::PartitionBased
     }
 
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        check_args(self, input.len(), k);
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        check_args(self, input.len(), k)?;
         let n = input.len();
-        let mut st = SelectionState::new(gpu, n, k);
-        let hist = gpu.alloc::<u32>("rs_hist", RADIX);
+        let mut st = SelectionState::new(gpu, n, k)?;
+        let hist = match gpu.try_alloc::<u32>("rs_hist", RADIX) {
+            Ok(h) => h,
+            Err(e) => {
+                st.free_all(gpu);
+                return Err(e.into());
+            }
+        };
+        let r = run_passes(gpu, input, &mut st, &hist);
+        gpu.free(&hist);
+        match r {
+            Ok(()) => {
+                st.free_workspace(gpu);
+                Ok(st.into_output())
+            }
+            Err(e) => {
+                st.free_all(gpu);
+                Err(e)
+            }
+        }
+    }
+}
 
+/// The host-in-the-loop pass sequence; cleanup happens in `try_select`
+/// so an error cannot strand workspace bytes.
+fn run_passes(
+    gpu: &mut Gpu,
+    input: &DeviceBuffer<f32>,
+    st: &mut SelectionState,
+    hist: &DeviceBuffer<u32>,
+) -> Result<(), TopKError> {
+    {
         for pass in 0..PASSES {
             let shift = 32 - (pass + 1) * SELECT_BITS;
             let n_cur = st.n_cur;
@@ -54,7 +89,7 @@ impl TopKAlgorithm for RadixSelect {
                 let materialised = st.materialised;
                 let input = input.clone();
                 let hist = hist.clone();
-                gpu.launch("CalculateOccurrence", launch, move |ctx| {
+                gpu.try_launch("CalculateOccurrence", launch, move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     let mut local = ctx.shared_alloc::<u32>(RADIX);
@@ -69,12 +104,12 @@ impl TopKAlgorithm for RadixSelect {
                         }
                     }
                     ctx.ops(RADIX as u64);
-                });
+                })?;
             }
 
             // Host round-trip: copy the histogram back (implicit
             // device sync), scan it, choose the target digit.
-            let h = gpu.dtoh(&hist);
+            let h = gpu.dtoh(hist);
             gpu.host_compute("prefix sum + target digit", 2.0);
             let mut acc = 0u32;
             let mut target = (RADIX - 1) as u32;
@@ -93,10 +128,10 @@ impl TopKAlgorithm for RadixSelect {
             // Kernel 2: Filter — emit sure results, buffer candidates.
             // (The device re-derives write positions from its own
             // atomic cursors; the host uploads the target digit.)
-            let params = gpu.alloc::<u32>("rs_params", 2);
+            let params = gpu.try_alloc::<u32>("rs_params", 2)?;
             gpu.htod_into(&params, &[target, 0]);
             let is_last = pass + 1 == PASSES;
-            {
+            let launched = {
                 let keys = st.cand_keys[st.cur].clone();
                 let idxs = st.cand_idx[st.cur].clone();
                 let nkeys = st.cand_keys[1 - st.cur].clone();
@@ -110,7 +145,7 @@ impl TopKAlgorithm for RadixSelect {
                 // Tie quota on the final digit: result slots left after
                 // the sure (strictly-below) results are taken out.
                 let tie_quota = next_k as u32;
-                gpu.launch("Filter", launch, move |ctx| {
+                gpu.try_launch("Filter", launch, move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     let target = ctx.ld(&params, 0);
@@ -140,7 +175,12 @@ impl TopKAlgorithm for RadixSelect {
                             }
                         }
                     }
-                });
+                })
+                .map(|_| ())
+            };
+            if let Err(e) = launched {
+                gpu.free(&params);
+                return Err(e.into());
             }
             gpu.free(&params);
 
@@ -158,14 +198,11 @@ impl TopKAlgorithm for RadixSelect {
 
             if st.k_rem == st.n_cur {
                 // Everything left is a result; copy and stop.
-                crate::common::emit_all_candidates(gpu, input, &st);
+                crate::common::emit_all_candidates(gpu, input, st)?;
                 break;
             }
         }
-
-        gpu.free(&hist);
-        st.free_workspace(gpu);
-        st.into_output()
+        Ok(())
     }
 }
 
@@ -215,7 +252,7 @@ mod tests {
         let mut g = Gpu::new(DeviceSpec::a100());
         let input = g.htod("in", &data);
         g.reset_profile();
-        RadixSelect.select(&mut g, &input, 1000);
+        let _ = RadixSelect.select(&mut g, &input, 1000);
         assert!(
             g.timeline().memcpy_us() > 0.0,
             "RadixSelect must transfer histograms over PCIe"

@@ -16,7 +16,9 @@ use crate::common::{
 };
 use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
 use topk_core::bitonic::bitonic_sort;
+use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
+use topk_core::scratch::ScratchGuard;
 use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
 
 /// Number of samples (and buckets = SAMPLES + 1) per iteration.
@@ -37,13 +39,55 @@ impl TopKAlgorithm for SampleSelect {
         Category::PartitionBased
     }
 
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        check_args(self, input.len(), k);
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        check_args(self, input.len(), k)?;
         let n = input.len();
-        let mut st = SelectionState::new(gpu, n, k);
-        let splitters = gpu.alloc::<u32>("ss_splitters", SAMPLES);
-        let hist = gpu.alloc::<u32>("ss_hist", SAMPLES + 1);
+        let mut st = SelectionState::new(gpu, n, k)?;
+        let mut extras = ScratchGuard::new();
+        let stats = (|| {
+            Ok::<_, TopKError>((
+                extras.alloc::<u32>(gpu, "ss_splitters", SAMPLES)?,
+                extras.alloc::<u32>(gpu, "ss_hist", SAMPLES + 1)?,
+            ))
+        })();
+        let (splitters, hist) = match stats {
+            Ok(pair) => pair,
+            Err(e) => {
+                extras.release(gpu);
+                st.free_all(gpu);
+                return Err(e);
+            }
+        };
+        let r = run_loop(gpu, input, &mut st, &splitters, &hist);
+        extras.release(gpu);
+        match r {
+            Ok(()) => {
+                st.free_workspace(gpu);
+                Ok(st.into_output())
+            }
+            Err(e) => {
+                st.free_all(gpu);
+                Err(e)
+            }
+        }
+    }
+}
 
+/// The host-driven iteration loop; cleanup happens in `try_select` so
+/// an error cannot strand workspace bytes.
+fn run_loop(
+    gpu: &mut Gpu,
+    input: &DeviceBuffer<f32>,
+    st: &mut SelectionState,
+    splitters: &DeviceBuffer<u32>,
+    hist: &DeviceBuffer<u32>,
+) -> Result<(), TopKError> {
+    {
         let mut prev_n = usize::MAX;
         let mut first = true;
         loop {
@@ -51,14 +95,14 @@ impl TopKAlgorithm for SampleSelect {
                 break;
             }
             if st.n_cur == st.k_rem {
-                emit_all_candidates(gpu, input, &st);
+                emit_all_candidates(gpu, input, st)?;
                 break;
             }
             // Degenerate distributions (all candidates equal) stop
             // shrinking; fall back to the terminal sort. Also used for
             // genuinely small candidate sets.
             if (!first && st.n_cur <= SMALL_CUTOFF.max(st.k_rem)) || st.n_cur >= prev_n {
-                final_small_select(gpu, input, &st);
+                final_small_select(gpu, input, st)?;
                 break;
             }
             first = false;
@@ -73,7 +117,7 @@ impl TopKAlgorithm for SampleSelect {
                 let materialised = st.materialised;
                 let input = input.clone();
                 let splitters = splitters.clone();
-                gpu.launch(
+                gpu.try_launch(
                     "sample_sort_splitters",
                     LaunchConfig::grid_1d(1, 256),
                     move |ctx| {
@@ -92,7 +136,7 @@ impl TopKAlgorithm for SampleSelect {
                             ctx.st(&splitters, s, key);
                         }
                     },
-                );
+                )?;
             }
 
             // Kernel 2: histogram by binary search over the splitters.
@@ -104,7 +148,7 @@ impl TopKAlgorithm for SampleSelect {
                 let input = input.clone();
                 let splitters = splitters.clone();
                 let hist = hist.clone();
-                gpu.launch("sample_histogram", stream_launch(n_cur), move |ctx| {
+                gpu.try_launch("sample_histogram", stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     // Splitters are read once into shared memory by a
@@ -126,9 +170,9 @@ impl TopKAlgorithm for SampleSelect {
                         }
                     }
                     ctx.ops((SAMPLES + 1) as u64);
-                });
+                })?;
             }
-            let h = gpu.dtoh(&hist);
+            let h = gpu.dtoh(hist);
             gpu.host_compute("sample prefix sum", 1.0);
             let mut acc = 0u32;
             let mut target = SAMPLES;
@@ -144,8 +188,8 @@ impl TopKAlgorithm for SampleSelect {
             let next_n = h[target] as usize;
 
             // Kernel 3: filter into (results, next candidates).
-            let cursor = gpu.alloc::<u32>("ss_cursor", 1);
-            {
+            let cursor = gpu.try_alloc::<u32>("ss_cursor", 1)?;
+            let launched = {
                 let keys = st.cand_keys[st.cur].clone();
                 let idxs = st.cand_idx[st.cur].clone();
                 let nkeys = st.cand_keys[1 - st.cur].clone();
@@ -157,7 +201,7 @@ impl TopKAlgorithm for SampleSelect {
                 let out_cursor = st.out_cursor.clone();
                 let cursor = cursor.clone();
                 let splitters = splitters.clone();
-                gpu.launch("sample_filter", stream_launch(n_cur), move |ctx| {
+                gpu.try_launch("sample_filter", stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     let mut spl = ctx.shared_alloc::<u32>(SAMPLES);
@@ -179,7 +223,12 @@ impl TopKAlgorithm for SampleSelect {
                             ctx.st_scatter(&nidx, pos, idx);
                         }
                     }
-                });
+                })
+                .map(|_| ())
+            };
+            if let Err(e) = launched {
+                gpu.free(&cursor);
+                return Err(e.into());
             }
             gpu.free(&cursor);
 
@@ -188,11 +237,7 @@ impl TopKAlgorithm for SampleSelect {
             st.n_cur = next_n;
             st.k_rem -= below as usize;
         }
-
-        gpu.free(&splitters);
-        gpu.free(&hist);
-        st.free_workspace(gpu);
-        st.into_output()
+        Ok(())
     }
 }
 

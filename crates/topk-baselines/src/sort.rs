@@ -20,8 +20,10 @@
 //! behaviour.
 
 use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
+use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
-use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
+use topk_core::scratch::ScratchGuard;
+use topk_core::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput};
 
 /// Digit width of the LSD sort (CUB uses 8 on these key sizes).
 const SORT_BITS: u32 = 8;
@@ -42,19 +44,39 @@ pub struct SortTopK;
 fn segmented_sort(
     gpu: &mut Gpu,
     inputs: &[DeviceBuffer<f32>],
-) -> (DeviceBuffer<u32>, DeviceBuffer<u32>) {
+) -> Result<(DeviceBuffer<u32>, DeviceBuffer<u32>), TopKError> {
+    let mut ws = ScratchGuard::new();
+    let mut pp = ScratchGuard::new();
+    let r = segmented_sort_passes(gpu, &mut ws, &mut pp, inputs);
+    ws.release(gpu);
+    if r.is_err() {
+        pp.release(gpu);
+    }
+    r
+}
+
+/// Pass loop of [`segmented_sort`]: histogram/scan workspace in `ws`
+/// (always released), ping-pong pairs in `pp` (released on error; on
+/// success the non-surviving pair is freed directly and the sorted
+/// pair is handed to the caller).
+fn segmented_sort_passes(
+    gpu: &mut Gpu,
+    ws: &mut ScratchGuard,
+    pp: &mut ScratchGuard,
+    inputs: &[DeviceBuffer<f32>],
+) -> Result<(DeviceBuffer<u32>, DeviceBuffer<u32>), TopKError> {
     let n = inputs[0].len();
     let batch = inputs.len();
     let total = batch * n;
 
     // Ping-pong key/payload pairs (packed, segment-major).
     let keys = [
-        gpu.alloc::<u32>("sort_keys0", total),
-        gpu.alloc::<u32>("sort_keys1", total),
+        pp.alloc::<u32>(gpu, "sort_keys0", total)?,
+        pp.alloc::<u32>(gpu, "sort_keys1", total)?,
     ];
     let vals = [
-        gpu.alloc::<u32>("sort_idx0", total),
-        gpu.alloc::<u32>("sort_idx1", total),
+        pp.alloc::<u32>(gpu, "sort_idx0", total)?,
+        pp.alloc::<u32>(gpu, "sort_idx1", total)?,
     ];
 
     let bpp = n.div_ceil(CHUNK).max(1); // blocks per segment
@@ -62,8 +84,8 @@ fn segmented_sort(
     let launch = LaunchConfig::grid_1d(grid, 256);
     // (segment, digit-major, block-minor) histogram matrix: one
     // exclusive scan per segment yields every block's stable base.
-    let hist = gpu.alloc::<u32>("sort_hist", batch * RADIX * bpp);
-    let offsets = gpu.alloc::<u32>("sort_offsets", batch * RADIX * bpp);
+    let hist = ws.alloc::<u32>(gpu, "sort_hist", batch * RADIX * bpp)?;
+    let offsets = ws.alloc::<u32>(gpu, "sort_offsets", batch * RADIX * bpp)?;
 
     for pass in 0..PASSES {
         let src = (pass as usize) % 2;
@@ -77,7 +99,7 @@ fn segmented_sort(
         {
             let keys_src = keys[src].clone();
             let hist = hist.clone();
-            gpu.launch("radix_sort_histogram", launch, move |ctx| {
+            gpu.try_launch("radix_sort_histogram", launch, move |ctx| {
                 let seg = ctx.block_idx / bpp;
                 let blk = ctx.block_idx % bpp;
                 let start = blk * CHUNK;
@@ -100,14 +122,14 @@ fn segmented_sort(
                     }
                 }
                 ctx.ops(RADIX as u64);
-            });
+            })?;
         }
 
         // Kernel 2: exclusive scan, one block per segment.
         {
             let hist = hist.clone();
             let offsets = offsets.clone();
-            gpu.launch(
+            gpu.try_launch(
                 "radix_sort_scan",
                 LaunchConfig::grid_1d(batch, 256),
                 move |ctx| {
@@ -121,7 +143,7 @@ fn segmented_sort(
                     }
                     ctx.ops((RADIX * bpp) as u64 * 2);
                 },
-            );
+            )?;
         }
 
         // Kernel 3: stable scatter within each segment.
@@ -131,7 +153,7 @@ fn segmented_sort(
             let keys_dst = keys[dst].clone();
             let vals_dst = vals[dst].clone();
             let offsets = offsets.clone();
-            gpu.launch("radix_sort_scatter", launch, move |ctx| {
+            gpu.try_launch("radix_sort_scatter", launch, move |ctx| {
                 let seg = ctx.block_idx / bpp;
                 let blk = ctx.block_idx % bpp;
                 let start = blk * CHUNK;
@@ -160,16 +182,14 @@ fn segmented_sort(
                     ctx.st(&vals_dst, seg * n + pos, payload);
                     ctx.ops(6);
                 }
-            });
+            })?;
         }
     }
 
-    gpu.free(&hist);
-    gpu.free(&offsets);
     let sorted = (PASSES as usize) % 2;
     gpu.free(&keys[1 - sorted]);
     gpu.free(&vals[1 - sorted]);
-    (keys[sorted].clone(), vals[sorted].clone())
+    Ok((keys[sorted].clone(), vals[sorted].clone()))
 }
 
 /// Extract the first K of each sorted segment into per-problem outputs.
@@ -180,13 +200,14 @@ fn extract(
     n: usize,
     batch: usize,
     k: usize,
-) -> Vec<TopKOutput> {
-    let out_val = gpu.alloc::<f32>("sort_out_val", batch * k);
-    let out_idx = gpu.alloc::<u32>("sort_out_idx", batch * k);
-    {
+) -> Result<Vec<TopKOutput>, TopKError> {
+    let mut ws = ScratchGuard::new();
+    let r = (|| {
+        let out_val = ws.alloc::<f32>(gpu, "sort_out_val", batch * k)?;
+        let out_idx = ws.alloc::<u32>(gpu, "sort_out_idx", batch * k)?;
         let (sk, si) = (sorted_keys.clone(), sorted_idx.clone());
         let (ov, oi) = (out_val.clone(), out_idx.clone());
-        gpu.launch(
+        gpu.try_launch(
             "extract_topk",
             LaunchConfig::for_elements(batch * k, 256, 1, usize::MAX),
             move |ctx| {
@@ -201,19 +222,21 @@ fn extract(
                     ctx.ops(2);
                 }
             },
-        );
-    }
-    (0..batch)
-        .map(|p| {
-            let values = DeviceBuffer::<f32>::zeroed("sort_values", k);
-            let indices = DeviceBuffer::<u32>::zeroed("sort_indices", k);
-            for i in 0..k {
-                values.set(i, out_val.get(p * k + i));
-                indices.set(i, out_idx.get(p * k + i));
-            }
-            TopKOutput { values, indices }
-        })
-        .collect()
+        )?;
+        Ok((0..batch)
+            .map(|p| {
+                let values = DeviceBuffer::<f32>::zeroed("sort_values", k);
+                let indices = DeviceBuffer::<u32>::zeroed("sort_indices", k);
+                for i in 0..k {
+                    values.set(i, out_val.get(p * k + i));
+                    indices.set(i, out_idx.get(p * k + i));
+                }
+                TopKOutput::new(values, indices)
+            })
+            .collect())
+    })();
+    ws.release(gpu);
+    r
 }
 
 impl TopKAlgorithm for SortTopK {
@@ -225,24 +248,30 @@ impl TopKAlgorithm for SortTopK {
         Category::Sorting
     }
 
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        self.select_batch(gpu, std::slice::from_ref(input), k)
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        self.try_select_batch(gpu, std::slice::from_ref(input), k)?
             .pop()
-            .unwrap()
+            .ok_or_else(|| TopKError::UnsupportedShape {
+                algorithm: self.name(),
+                detail: "batch of one produced no output".into(),
+            })
     }
 
-    fn select_batch(
+    fn try_select_batch(
         &self,
         gpu: &mut Gpu,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
-    ) -> Vec<TopKOutput> {
-        assert!(!inputs.is_empty(), "empty batch");
-        let n = inputs[0].len();
-        assert!(inputs.iter().all(|b| b.len() == n), "batch must share N");
-        check_args(self, n, k);
+    ) -> Result<Vec<TopKOutput>, TopKError> {
+        let n = check_batch(self, inputs)?;
+        check_args(self, n, k)?;
         let batch = inputs.len();
-        let (sorted_keys, sorted_idx) = segmented_sort(gpu, inputs);
+        let (sorted_keys, sorted_idx) = segmented_sort(gpu, inputs)?;
         let outs = extract(gpu, &sorted_keys, &sorted_idx, n, batch, k);
         gpu.free(&sorted_keys);
         gpu.free(&sorted_idx);
@@ -309,7 +338,7 @@ mod tests {
             let mut g = Gpu::new(DeviceSpec::a100());
             let input = g.htod("in", &data);
             g.reset_profile();
-            SortTopK.select(&mut g, &input, k);
+            let _ = SortTopK.select(&mut g, &input, k);
             g.elapsed_us()
         };
         let t8 = time(8);

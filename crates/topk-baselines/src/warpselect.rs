@@ -13,8 +13,9 @@
 //! wants ~1700 to saturate).
 
 use gpu_sim::{DeviceBuffer, Gpu};
+use topk_core::error::TopKError;
 use topk_core::gridselect::{select_partial_core, GridSelectConfig, QueueKind, MAX_K};
-use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
+use topk_core::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput};
 
 /// Per-thread queue length. Faiss's `NumThreadQ` is 2 for the K range
 /// this benchmark exercises (k ≤ 1024) and grows only for the largest
@@ -55,28 +56,37 @@ impl TopKAlgorithm for WarpSelect {
         Some(MAX_K)
     }
 
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        check_args(self, input.len(), k);
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        check_args(self, input.len(), k)?;
         select_partial_core(
             gpu,
             "warpselect_kernel",
             std::slice::from_ref(input),
             k,
             &self.core_config(),
-        )
+        )?
         .pop()
-        .unwrap()
+        .ok_or_else(|| TopKError::UnsupportedShape {
+            algorithm: self.name(),
+            detail: "batch of one produced no output".into(),
+        })
     }
 
-    fn select_batch(
+    fn try_select_batch(
         &self,
         gpu: &mut Gpu,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
-    ) -> Vec<TopKOutput> {
+    ) -> Result<Vec<TopKOutput>, TopKError> {
         // Faiss processes a whole query tile in one launch: one warp
         // (block) per problem.
-        check_args(self, inputs[0].len(), k);
+        let n = check_batch(self, inputs)?;
+        check_args(self, n, k)?;
         select_partial_core(gpu, "warpselect_kernel", inputs, k, &self.core_config())
     }
 }
@@ -112,7 +122,7 @@ mod tests {
         let data = generate(Distribution::Uniform, 50_000, 1);
         let input = g.htod("in", &data);
         g.reset_profile();
-        WarpSelect.select(&mut g, &input, 64);
+        let _ = WarpSelect.select(&mut g, &input, 64);
         let r = &g.reports()[0];
         assert_eq!(r.cfg.grid_dim, 1);
         assert_eq!(r.cfg.block_dim, 32, "exactly one warp");

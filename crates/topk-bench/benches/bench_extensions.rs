@@ -72,7 +72,7 @@ fn bench_on_the_fly(c: &mut Criterion) {
                 ctx.ops(2);
                 ((i as f32) * 0.61803).fract()
             });
-            black_box((out.values.len(), gpu.elapsed_us()))
+            black_box((out.unwrap().values.len(), gpu.elapsed_us()))
         });
     });
     group.finish();
@@ -95,7 +95,7 @@ fn bench_largest_and_64bit(c: &mut Criterion) {
             let input = gpu.htod("in64", &data64);
             gpu.reset_profile();
             let out = AirTopK::default().run_batch_typed(&mut gpu, &[input], k);
-            black_box((out.len(), gpu.elapsed_us()))
+            black_box((out.unwrap().len(), gpu.elapsed_us()))
         });
     });
     group.bench_function("air_f32_keys", |b| {

@@ -128,7 +128,7 @@ fn bench_iteration_fusion(c: &mut Criterion) {
         let mut gpu = Gpu::new(DeviceSpec::a100());
         let input = gpu.htod("in", &data);
         gpu.reset_profile();
-        alg.select(&mut gpu, &input, 2048);
+        let _ = alg.select(&mut gpu, &input, 2048);
         (gpu.elapsed_us(), gpu.timeline().kernel_count())
     };
     let (t_f, k_f) = sim(&AirTopK::default());

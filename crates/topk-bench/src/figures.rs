@@ -277,7 +277,7 @@ pub fn fig8(opts: &FigOpts) -> String {
         let mut gpu = Gpu::new(DeviceSpec::a100());
         let input = gpu.htod("in", &data);
         gpu.reset_profile();
-        alg.select(&mut gpu, &input, k);
+        let _ = alg.select(&mut gpu, &input, k);
         out.push_str(&format!(
             "\n--- {name} (N=2^{:.0}, K={k}) ---\n",
             (n as f64).log2()
@@ -314,7 +314,7 @@ pub fn fig8_traces(opts: &FigOpts) -> Vec<(String, String)> {
         let mut gpu = Gpu::new(DeviceSpec::a100());
         let input = gpu.htod("in", &data);
         gpu.reset_profile();
-        alg.select(&mut gpu, &input, k);
+        let _ = alg.select(&mut gpu, &input, k);
         traces.push((
             name.to_string(),
             gpu_sim::to_chrome_trace(
@@ -335,7 +335,7 @@ pub fn table3(opts: &FigOpts) -> String {
     let mut gpu = Gpu::new(DeviceSpec::a100());
     let input = gpu.htod("in", &data);
     gpu.reset_profile();
-    AirTopK::default().select(&mut gpu, &input, k);
+    let _ = AirTopK::default().select(&mut gpu, &input, k);
     let rows = sol_table(gpu.reports());
     format!(
         "=== Table 3: Kernel Performance Analysis for AIR Top-K (N=2^{:.0}, K={k}) ===\n{}",

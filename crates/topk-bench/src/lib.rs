@@ -15,6 +15,7 @@
 //! | Fig. 11 | `fig11` | shared vs per-thread queue ablation |
 //! | Fig. 12 | `fig12` | A100 vs H100 vs A10 |
 //! | Fig. 13 | `fig13` | ANN distance arrays (DEEP1B/SIFT-like) |
+//! | — | `engine` | TopKEngine queries/sec vs coalescing window (serving layer, beyond the paper) |
 //!
 //! Simulated time is deterministic, so one run per configuration
 //! replaces the paper's 100-run averages. The default grids are scaled
@@ -25,6 +26,7 @@ pub mod figures;
 pub mod html;
 pub mod report;
 pub mod runner;
+pub mod serving;
 pub mod tools;
 
 pub use report::{write_csv, Row};

@@ -9,6 +9,7 @@
 //!   table2  speedup summary              fig11   queue ablation
 //!   fig8    timeline breakdown           fig12   A100 / H100 / A10
 //!   table3  kernel SOL analysis          fig13   ANN distance arrays
+//!   engine  TopKEngine queries/sec vs coalescing window
 //!   all     every figure/table above
 //!
 //! tools:
@@ -26,12 +27,20 @@ use topk_bench::report::{read_csv, write_csv, Row};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: topk-bench <fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|fig12|fig13|all> \
+        "usage: topk-bench <fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|fig12|fig13|engine|all> \
          [--full] [--verify] [--quiet] [--out DIR]\n\
        topk-bench compare [--algos A,B,..] [--n N] [--k K] [--batch B] [--dist D] [--no-verify]\n\
        topk-bench tune-alpha [--n N] [--k K]"
     );
     std::process::exit(2);
+}
+
+fn engine_opts(opts: &FigOpts) -> topk_bench::serving::EngineBenchOpts {
+    topk_bench::serving::EngineBenchOpts {
+        verify: opts.verify,
+        full: opts.full,
+        ..Default::default()
+    }
 }
 
 fn parse_dist(s: &str) -> topk_bench::runner::Workload {
@@ -166,6 +175,11 @@ fn main() {
         "fig11" => save("fig11", &figures::fig11(&opts)),
         "fig12" => save("fig12", &figures::fig12(&opts)),
         "fig13" => save("fig13", &figures::fig13(&opts)),
+        "engine" => {
+            let points = topk_bench::serving::engine_throughput(&engine_opts(&opts));
+            println!("\n{}", topk_bench::serving::render(&points));
+            save("engine", &topk_bench::serving::to_rows(&points, opts.full));
+        }
         "all" => {
             save("fig6", &figures::fig6(&opts));
             save("fig7", &figures::fig7(&opts));
@@ -184,6 +198,9 @@ fn main() {
             save("fig11", &figures::fig11(&opts));
             save("fig12", &figures::fig12(&opts));
             save("fig13", &figures::fig13(&opts));
+            let points = topk_bench::serving::engine_throughput(&engine_opts(&opts));
+            println!("\n{}", topk_bench::serving::render(&points));
+            save("engine", &topk_bench::serving::to_rows(&points, opts.full));
         }
         _ => usage(),
     }

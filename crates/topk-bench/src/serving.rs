@@ -1,0 +1,213 @@
+//! Serving-shaped benchmark: [`TopKEngine`] throughput versus the
+//! batch-coalescing window.
+//!
+//! The paper's figures measure one algorithm on one device solving one
+//! problem (or one pre-formed batch). A serving system sees the dual
+//! problem: a stream of mixed-shape queries and a pool of devices, and
+//! its throughput depends on how aggressively same-shape queries are
+//! fused into the paper's batch-100-style launches (§5.1). This module
+//! drains the same mixed workload through the engine at several
+//! coalescing windows and reports simulated queries/sec.
+
+use crate::report::Row;
+use topk_core::verify_topk;
+use topk_engine::{DrainReport, EngineConfig, TopKEngine};
+
+/// Options for the engine throughput sweep.
+#[derive(Debug, Clone)]
+pub struct EngineBenchOpts {
+    /// Queries in the drained workload.
+    pub queries: usize,
+    /// Devices in the pool.
+    pub devices: usize,
+    /// Coalescing windows to sweep.
+    pub windows: Vec<usize>,
+    /// Re-verify every query result against the host reference.
+    pub verify: bool,
+    /// Paper-scale problem sizes instead of the quick defaults.
+    pub full: bool,
+}
+
+impl Default for EngineBenchOpts {
+    fn default() -> Self {
+        EngineBenchOpts {
+            queries: 200,
+            devices: 2,
+            windows: vec![1, 8, 32],
+            verify: false,
+            full: false,
+        }
+    }
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct EnginePoint {
+    /// Coalescing window used.
+    pub window: usize,
+    /// Devices in the pool.
+    pub devices: usize,
+    /// Queries drained.
+    pub queries: usize,
+    /// Batches that fused ≥ 2 queries.
+    pub fused_batches: usize,
+    /// Simulated throughput, queries per second.
+    pub qps: f64,
+    /// Simulated makespan of the drain, µs.
+    pub makespan_us: f64,
+    /// Mean simulated per-query latency, µs.
+    pub mean_latency_us: f64,
+}
+
+/// The mixed query stream every sweep point drains: four interleaved
+/// `(N, K)` shapes, so each window size sees the same coalescing
+/// opportunities.
+pub fn mixed_workload(queries: usize, full: bool) -> Vec<(Vec<f32>, usize)> {
+    let shapes: [(usize, usize); 4] = if full {
+        [(1 << 18, 32), (1 << 17, 100), (1 << 18, 1), (1 << 15, 512)]
+    } else {
+        [(1 << 14, 32), (1 << 13, 100), (1 << 14, 1), (4096, 512)]
+    };
+    (0..queries)
+        .map(|q| {
+            let (n, k) = shapes[q % shapes.len()];
+            let data = datagen::generate(datagen::Distribution::Uniform, n, q as u64);
+            (data, k)
+        })
+        .collect()
+}
+
+/// Drain `workload` through a fresh engine at the given window,
+/// returning the full report.
+pub fn drain_workload(
+    workload: &[(Vec<f32>, usize)],
+    devices: usize,
+    window: usize,
+) -> DrainReport {
+    let mut engine = TopKEngine::new(
+        EngineConfig::a100_pool(devices)
+            .with_window(window)
+            .with_queue_capacity(workload.len().max(1)),
+    );
+    for (data, k) in workload {
+        engine
+            .submit(data.clone(), *k)
+            .expect("queue sized to the workload");
+    }
+    engine.drain()
+}
+
+/// Run the sweep: same workload, one drain per window.
+pub fn engine_throughput(opts: &EngineBenchOpts) -> Vec<EnginePoint> {
+    let workload = mixed_workload(opts.queries, opts.full);
+    opts.windows
+        .iter()
+        .map(|&window| {
+            let report = drain_workload(&workload, opts.devices, window);
+            if opts.verify {
+                for (r, (data, k)) in report.results.iter().zip(&workload) {
+                    let out = r
+                        .outcome
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("query {}: {e}", r.id));
+                    verify_topk(data, *k, &out.values, &out.indices)
+                        .unwrap_or_else(|e| panic!("query {}: {e}", r.id));
+                }
+            }
+            EnginePoint {
+                window,
+                devices: opts.devices,
+                queries: report.results.len(),
+                fused_batches: report.fused_batches(),
+                qps: report.queries_per_sec(),
+                makespan_us: report.makespan_us(),
+                mean_latency_us: report.mean_latency_us(),
+            }
+        })
+        .collect()
+}
+
+/// Text table of a sweep, for the CLI.
+pub fn render(points: &[EnginePoint]) -> String {
+    let mut out = String::from(
+        "=== TopKEngine throughput vs coalescing window ===\n\
+         window  devices  queries  fused  queries/sec  makespan_us  mean_latency_us\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:>6}  {:>7}  {:>7}  {:>5}  {:>11.0}  {:>11.1}  {:>15.1}\n",
+            p.window,
+            p.devices,
+            p.queries,
+            p.fused_batches,
+            p.qps,
+            p.makespan_us,
+            p.mean_latency_us
+        ));
+    }
+    out
+}
+
+/// The sweep as standard benchmark rows (`algo = TopKEngine`, `batch`
+/// = coalescing window, `time_us` = makespan) for `engine.csv`.
+pub fn to_rows(points: &[EnginePoint], full: bool) -> Vec<Row> {
+    points
+        .iter()
+        .map(|p| Row {
+            algo: "TopKEngine".into(),
+            device: format!("A100x{}", p.devices),
+            workload: if full {
+                "serving-mixed-full".into()
+            } else {
+                "serving-mixed".into()
+            },
+            n: p.queries,
+            k: 0,
+            batch: p.window,
+            time_us: p.makespan_us,
+            mem_bytes: 0,
+            kernels: 0,
+            pcie_us: 0.0,
+            idle_us: p.mean_latency_us,
+            verified: true,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_points_for_every_window() {
+        let opts = EngineBenchOpts {
+            queries: 24,
+            devices: 2,
+            windows: vec![1, 8, 32],
+            verify: true,
+            full: false,
+        };
+        let points = engine_throughput(&opts);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert_eq!(p.queries, 24);
+            assert!(p.qps > 0.0);
+        }
+        // Window 1 never fuses; wider windows must.
+        assert_eq!(points[0].fused_batches, 0);
+        assert!(points[1].fused_batches > 0);
+        // Coalescing should not hurt throughput on a same-shape-heavy
+        // mix (it amortises launches and fills the grid).
+        assert!(
+            points[1].qps >= points[0].qps * 0.9,
+            "window 8 ({:.0} qps) much slower than window 1 ({:.0} qps)",
+            points[1].qps,
+            points[0].qps
+        );
+        let table = render(&points);
+        assert!(table.contains("queries/sec"));
+        let rows = to_rows(&points, false);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].batch, 1);
+    }
+}

@@ -30,8 +30,10 @@
 //! Top-K's batch-100 advantage over loop-over-queries baselines is so
 //! large (Table 2).
 
+use crate::error::TopKError;
 use crate::keys::{digit_of, digit_width_of, num_passes_of, prefix_of, RadixKey};
-use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
+use crate::scratch::ScratchGuard;
+use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput, TypedOutput};
 use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
 
 /// Tuning knobs for [`AirTopK`]. Defaults follow the paper: 11-bit
@@ -174,11 +176,12 @@ impl AirTopK {
         gpu: &mut Gpu,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
-    ) -> Vec<TopKOutput> {
-        self.run_batch_typed(gpu, inputs, k)
+    ) -> Result<Vec<TopKOutput>, TopKError> {
+        Ok(self
+            .run_batch_typed(gpu, inputs, k)?
             .into_iter()
-            .map(|(values, indices)| TopKOutput { values, indices })
-            .collect()
+            .map(|(values, indices)| TopKOutput::new(values, indices))
+            .collect())
     }
 
     /// Generic-key batched selection: any [`RadixKey`] type (`f32`,
@@ -190,26 +193,36 @@ impl AirTopK {
         gpu: &mut Gpu,
         inputs: &[DeviceBuffer<T>],
         k: usize,
-    ) -> Vec<(DeviceBuffer<T>, DeviceBuffer<u32>)> {
-        assert!(!inputs.is_empty(), "empty batch");
-        let n = inputs[0].len();
-        assert!(
-            inputs.iter().all(|b| b.len() == n),
-            "batched problems must share N"
-        );
+    ) -> Result<Vec<TypedOutput<T>>, TopKError> {
+        let Some(first) = inputs.first() else {
+            return Err(TopKError::UnsupportedShape {
+                algorithm: self.name(),
+                detail: "empty batch".into(),
+            });
+        };
+        let n = first.len();
+        if let Some(bad) = inputs.iter().find(|b| b.len() != n) {
+            return Err(TopKError::UnsupportedShape {
+                algorithm: self.name(),
+                detail: format!(
+                    "batched inputs must share one length, got {n} and {}",
+                    bad.len()
+                ),
+            });
+        }
         let batch = inputs.len();
-        let (out_val, out_idx) = self.run_rows(gpu, Rows::Slices(inputs), k);
+        let (out_val, out_idx) = self.run_rows(gpu, Rows::Slices(inputs), k)?;
         // Split the packed outputs into per-problem buffers (zero-cost
         // view in real CUDA; a host-side reshape here).
         let width = out_val.len() / batch;
-        (0..batch)
+        Ok((0..batch)
             .map(|p| {
                 (
                     slice_buffer(&out_val, p * width, width, "air_values"),
                     slice_buffer(&out_idx, p * width, width, "air_indices"),
                 )
             })
-            .collect()
+            .collect())
     }
 
     /// Matrix-shaped batched selection (RAFT `matrix::select_k`
@@ -221,18 +234,26 @@ impl AirTopK {
         gpu: &mut Gpu,
         input: &crate::matrix::DeviceMatrix<T>,
         k: usize,
-    ) -> (
-        crate::matrix::DeviceMatrix<T>,
-        crate::matrix::DeviceMatrix<u32>,
-    ) {
-        let rows = input.rows();
-        assert!(rows >= 1, "empty matrix");
-        let (out_val, out_idx) = self.run_rows(gpu, Rows::Matrix(input), k);
-        let width = out_val.len() / rows;
+    ) -> Result<
         (
+            crate::matrix::DeviceMatrix<T>,
+            crate::matrix::DeviceMatrix<u32>,
+        ),
+        TopKError,
+    > {
+        let rows = input.rows();
+        if rows < 1 {
+            return Err(TopKError::UnsupportedShape {
+                algorithm: self.name(),
+                detail: "empty matrix".into(),
+            });
+        }
+        let (out_val, out_idx) = self.run_rows(gpu, Rows::Matrix(input), k)?;
+        let width = out_val.len() / rows;
+        Ok((
             crate::matrix::DeviceMatrix::from_buffer(out_val, rows, width),
             crate::matrix::DeviceMatrix::from_buffer(out_idx, rows, width),
-        )
+        ))
     }
 
     /// The K-th smallest value itself — the selection *threshold* —
@@ -242,19 +263,33 @@ impl AirTopK {
     /// clears the top-0.1% threshold. Runs the normal selection, then
     /// a tiny on-device max-reduction over the K winners (in the
     /// ordered-bit domain) and a single-word copy back.
-    pub fn kth_value_typed<T>(&self, gpu: &mut Gpu, input: &DeviceBuffer<T>, k: usize) -> T
+    pub fn kth_value_typed<T>(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<T>,
+        k: usize,
+    ) -> Result<T, TopKError>
     where
         T: RadixKey,
         T::Ordered: gpu_sim::DeviceScalar,
     {
-        let (vals, idx) = self.run_rows(gpu, Rows::Slices(std::slice::from_ref(input)), k);
-        let acc = gpu.alloc::<T::Ordered>("kth_acc", 1);
+        let (vals, idx) = self.run_rows(gpu, Rows::Slices(std::slice::from_ref(input)), k)?;
+        let mut ws = ScratchGuard::new();
+        ws.adopt(&vals);
+        ws.adopt(&idx);
+        let acc = match ws.alloc::<T::Ordered>(gpu, "kth_acc", 1) {
+            Ok(b) => b,
+            Err(e) => {
+                ws.release(gpu);
+                return Err(e);
+            }
+        };
         acc.set(0, vals.get(0).to_ordered()); // seed with one winner
-        {
+        let launched = {
             let vals = vals.clone();
             let acc = acc.clone();
             let width = vals.len();
-            gpu.launch(
+            gpu.try_launch(
                 "kth_value_reduce",
                 LaunchConfig::for_elements(width, 256, 4, usize::MAX),
                 move |ctx| {
@@ -273,17 +308,24 @@ impl AirTopK {
                     // Unsigned raw max on ordered bits == value max.
                     ctx.atomic_max_raw(&acc, 0, m);
                 },
-            );
+            )
+        };
+        if let Err(e) = launched {
+            ws.release(gpu);
+            return Err(e.into());
         }
         let kth = T::from_ordered(gpu.dtoh(&acc)[0]);
-        gpu.free(&vals);
-        gpu.free(&idx);
-        gpu.free(&acc);
-        kth
+        ws.release(gpu);
+        Ok(kth)
     }
 
     /// [`AirTopK::kth_value_typed`] for `f32`.
-    pub fn kth_value(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> f32 {
+    pub fn kth_value(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<f32, TopKError> {
         self.kth_value_typed(gpu, input, k)
     }
 
@@ -294,9 +336,9 @@ impl AirTopK {
         gpu: &mut Gpu,
         inputs: Rows<'_, T>,
         k: usize,
-    ) -> (DeviceBuffer<T>, DeviceBuffer<u32>) {
+    ) -> Result<(DeviceBuffer<T>, DeviceBuffer<u32>), TopKError> {
         let n = inputs.n();
-        check_args(self, n, k);
+        check_args(self, n, k)?;
 
         if k == n {
             // Trivial selection (§3.3's observation applied at the API
@@ -309,6 +351,31 @@ impl AirTopK {
             return self.run_batch_one_block(gpu, inputs, k);
         }
 
+        // Workspace is tracked by guards so every `?` below releases
+        // the simulated allocations instead of leaking them into the
+        // device's `mem_allocated` accounting.
+        let mut ws = ScratchGuard::new();
+        let mut outs = ScratchGuard::new();
+        let r = self.run_rows_multi_pass(gpu, &mut ws, &mut outs, inputs, k);
+        ws.release(gpu);
+        if r.is_err() {
+            outs.release(gpu);
+        }
+        r
+    }
+
+    /// The general multi-pass path behind [`AirTopK::run_rows`]:
+    /// allocations go through the caller's guards, so any error exit
+    /// stays leak-free.
+    fn run_rows_multi_pass<T: RadixKey>(
+        &self,
+        gpu: &mut Gpu,
+        ws: &mut ScratchGuard,
+        outs: &mut ScratchGuard,
+        inputs: Rows<'_, T>,
+        k: usize,
+    ) -> Result<(DeviceBuffer<T>, DeviceBuffer<u32>), TopKError> {
+        let n = inputs.n();
         let b = self.cfg.bits_per_pass;
         let passes = num_passes_of::<T::Ordered>(b) as usize;
         let radix = 1usize << b;
@@ -331,21 +398,21 @@ impl AirTopK {
         };
 
         // Workspace.
-        let ctrl = gpu.alloc::<u32>("air_ctrl", batch * ctrl_stride);
+        let ctrl = ws.alloc::<u32>(gpu, "air_ctrl", batch * ctrl_stride)?;
         // Accumulated kth-prefix per pass; u64 so 64-bit keys fit.
-        let prefixes = gpu.alloc::<u64>("air_prefixes", batch * passes);
-        let hist = gpu.alloc::<u32>("air_hist", batch * passes * radix);
-        let done = gpu.alloc::<u32>("air_done", batch * passes);
+        let prefixes = ws.alloc::<u64>(gpu, "air_prefixes", batch * passes)?;
+        let hist = ws.alloc::<u32>(gpu, "air_hist", batch * passes * radix)?;
+        let done = ws.alloc::<u32>(gpu, "air_done", batch * passes)?;
         let buf_val = [
-            gpu.alloc::<T>("air_buf_val0", batch * cap),
-            gpu.alloc::<T>("air_buf_val1", batch * cap),
+            ws.alloc::<T>(gpu, "air_buf_val0", batch * cap)?,
+            ws.alloc::<T>(gpu, "air_buf_val1", batch * cap)?,
         ];
         let buf_idx = [
-            gpu.alloc::<u32>("air_buf_idx0", batch * cap),
-            gpu.alloc::<u32>("air_buf_idx1", batch * cap),
+            ws.alloc::<u32>(gpu, "air_buf_idx0", batch * cap)?,
+            ws.alloc::<u32>(gpu, "air_buf_idx1", batch * cap)?,
         ];
-        let out_val = gpu.alloc::<T>("air_out_val", batch * k);
-        let out_idx = gpu.alloc::<u32>("air_out_idx", batch * k);
+        let out_val = outs.alloc::<T>(gpu, "air_out_val", batch * k)?;
+        let out_idx = outs.alloc::<u32>(gpu, "air_out_idx", batch * k)?;
 
         // No init kernel: K and N are launch constants baked into the
         // kernels (as RAFT does), and the zeroed workspace comes from
@@ -538,12 +605,12 @@ impl AirTopK {
                     ctx.ops(8);
                 }
             };
-            gpu.launch("iteration_fused_kernel", launch, kernel);
+            gpu.try_launch("iteration_fused_kernel", launch, kernel)?;
         }
 
         // ---- the last filter (§2.3's final "Filtering" step) --------
         let last = passes - 1;
-        gpu.launch("last_filter_kernel", launch, |ctx| {
+        gpu.try_launch("last_filter_kernel", launch, |ctx| {
             let prob = ctx.block_idx / blocks_per_problem;
             let blk = ctx.block_idx % blocks_per_problem;
             let cb = prob * ctrl_stride;
@@ -609,21 +676,11 @@ impl AirTopK {
                     }
                 }
             }
-        });
+        })?;
 
-        // Release workspace accounting (output buffers live on).
-        gpu.free(&ctrl);
-        gpu.free(&prefixes);
-        gpu.free(&hist);
-        gpu.free(&done);
-        for bufs in &buf_val {
-            gpu.free(bufs);
-        }
-        for bufs in &buf_idx {
-            gpu.free(bufs);
-        }
-
-        (out_val, out_idx)
+        // Workspace accounting is released by the caller's guard;
+        // output buffers live on.
+        Ok((out_val, out_idx))
     }
 }
 
@@ -633,15 +690,22 @@ impl AirTopK {
     fn run_batch_copy_all<T: RadixKey>(
         gpu: &mut Gpu,
         inputs: Rows<'_, T>,
-    ) -> (DeviceBuffer<T>, DeviceBuffer<u32>) {
+    ) -> Result<(DeviceBuffer<T>, DeviceBuffer<u32>), TopKError> {
         let n = inputs.n();
         let batch = inputs.batch();
-        let out_val = gpu.alloc::<T>("air_out_val", batch * n);
-        let out_idx = gpu.alloc::<u32>("air_out_idx", batch * n);
+        let mut outs = ScratchGuard::new();
+        let out_val = outs.alloc::<T>(gpu, "air_out_val", batch * n)?;
+        let out_idx = match outs.alloc::<u32>(gpu, "air_out_idx", batch * n) {
+            Ok(b) => b,
+            Err(e) => {
+                outs.release(gpu);
+                return Err(e);
+            }
+        };
         let chunk = 256 * 16;
         let bpp = n.div_ceil(chunk).max(1);
         let (ov, oi) = (out_val.clone(), out_idx.clone());
-        gpu.launch(
+        let launched = gpu.try_launch(
             "trivial_copy_kernel",
             LaunchConfig::grid_1d(batch * bpp, 256),
             move |ctx| {
@@ -657,7 +721,11 @@ impl AirTopK {
                 ctx.ops((end - start) as u64);
             },
         );
-        (out_val, out_idx)
+        if let Err(e) = launched {
+            outs.release(gpu);
+            return Err(e.into());
+        }
+        Ok((out_val, out_idx))
     }
 
     /// The one-block fast path (see [`ONE_BLOCK_THRESHOLD`]): one
@@ -669,7 +737,7 @@ impl AirTopK {
         gpu: &mut Gpu,
         inputs: Rows<'_, T>,
         k: usize,
-    ) -> (DeviceBuffer<T>, DeviceBuffer<u32>) {
+    ) -> Result<(DeviceBuffer<T>, DeviceBuffer<u32>), TopKError> {
         let n = inputs.n();
         let b = self.cfg.bits_per_pass;
         let passes = num_passes_of::<T::Ordered>(b) as usize;
@@ -677,13 +745,20 @@ impl AirTopK {
         let batch = inputs.batch();
         let early_stop = self.cfg.early_stop;
 
-        let out_val = gpu.alloc::<T>("air_out_val", batch * k);
-        let out_idx = gpu.alloc::<u32>("air_out_idx", batch * k);
+        let mut outs = ScratchGuard::new();
+        let out_val = outs.alloc::<T>(gpu, "air_out_val", batch * k)?;
+        let out_idx = match outs.alloc::<u32>(gpu, "air_out_idx", batch * k) {
+            Ok(b) => b,
+            Err(e) => {
+                outs.release(gpu);
+                return Err(e);
+            }
+        };
         let block_dim = 256;
 
         let ov = out_val.clone();
         let oi = out_idx.clone();
-        gpu.launch(
+        let launched = gpu.try_launch(
             "radix_topk_one_block_kernel",
             LaunchConfig::grid_1d(batch, block_dim),
             move |ctx| {
@@ -763,8 +838,12 @@ impl AirTopK {
                 debug_assert_eq!(out, k);
             },
         );
+        if let Err(e) = launched {
+            outs.release(gpu);
+            return Err(e.into());
+        }
 
-        (out_val, out_idx)
+        Ok((out_val, out_idx))
     }
 }
 
@@ -792,18 +871,25 @@ impl TopKAlgorithm for AirTopK {
         Category::PartitionBased
     }
 
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        self.run_batch(gpu, std::slice::from_ref(input), k)
-            .pop()
-            .unwrap()
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        let mut outs = self.run_batch(gpu, std::slice::from_ref(input), k)?;
+        outs.pop().ok_or_else(|| TopKError::UnsupportedShape {
+            algorithm: self.name(),
+            detail: "batch of one produced no output".into(),
+        })
     }
 
-    fn select_batch(
+    fn try_select_batch(
         &self,
         gpu: &mut Gpu,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
-    ) -> Vec<TopKOutput> {
+    ) -> Result<Vec<TopKOutput>, TopKError> {
         self.run_batch(gpu, inputs, k)
     }
 }

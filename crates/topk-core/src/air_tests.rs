@@ -197,7 +197,7 @@ fn kernel_launch_count_matches_figure_3() {
     let data = generate(Distribution::Uniform, 100_000, 1);
     let input = g.htod("in", &data);
     g.reset_profile();
-    AirTopK::default().select(&mut g, &input, 2048);
+    let _ = AirTopK::default().select(&mut g, &input, 2048);
     // Fig. 3: exactly 3 iteration-fused kernels + 1 last filter.
     let names: Vec<_> = g.reports().iter().map(|r| r.name.clone()).collect();
     assert_eq!(
@@ -297,7 +297,7 @@ fn memory_footprint_capped_by_alpha() {
     let mut g = gpu();
     let input = g.htod("in", &data);
     let base = g.mem_allocated(); // input already counted here
-    AirTopK::default().select(&mut g, &input, 100);
+    let _ = AirTopK::default().select(&mut g, &input, 100);
     // §3.2: candidate buffers are at most N/α elements each (two
     // ping-pong val+idx pairs), plus small control structures.
     let cap_bytes = (n / 128) * 4 * 4;
@@ -325,7 +325,9 @@ fn generic_u32_keys() {
     let data: Vec<u32> = (0..20_000u32).map(|i| i.wrapping_mul(2654435761)).collect();
     let input = g.htod("in", &data);
     for k in [1usize, 100, 9000] {
-        let mut out = AirTopK::default().run_batch_typed(&mut g, std::slice::from_ref(&input), k);
+        let mut out = AirTopK::default()
+            .run_batch_typed(&mut g, std::slice::from_ref(&input), k)
+            .unwrap();
         let (vals, idxs) = out.pop().unwrap();
         let mut got = vals.to_vec();
         got.sort_unstable();
@@ -352,7 +354,9 @@ fn sixty_four_bit_keys_run_six_passes() {
     let input = g.htod("in", &data);
     g.reset_profile();
     let k = 500;
-    let mut out = AirTopK::default().run_batch_typed(&mut g, &[input], k);
+    let mut out = AirTopK::default()
+        .run_batch_typed(&mut g, &[input], k)
+        .unwrap();
     let fused = g
         .reports()
         .iter()
@@ -382,6 +386,7 @@ fn u64_and_i64_keys_small_and_large_paths() {
         let iu = g.htod("u64in", &du);
         let (vals, _) = AirTopK::default()
             .run_batch_typed(&mut g, &[iu], 99)
+            .unwrap()
             .pop()
             .unwrap();
         let mut got = vals.to_vec();
@@ -395,6 +400,7 @@ fn u64_and_i64_keys_small_and_large_paths() {
         let ii = g.htod("i64in", &di);
         let (vals, _) = AirTopK::default()
             .run_batch_typed(&mut g, &[ii], 99)
+            .unwrap()
             .pop()
             .unwrap();
         let mut got = vals.to_vec();
@@ -415,7 +421,9 @@ fn generic_i32_keys_with_negatives() {
         .collect();
     let input = g.htod("in", &data);
     let k = 257;
-    let mut out = AirTopK::default().run_batch_typed(&mut g, &[input], k);
+    let mut out = AirTopK::default()
+        .run_batch_typed(&mut g, &[input], k)
+        .unwrap();
     let (vals, _) = out.pop().unwrap();
     let mut got = vals.to_vec();
     got.sort_unstable();
@@ -437,7 +445,7 @@ fn kth_value_matches_sorted_reference() {
     ] {
         let data = generate(Distribution::Normal, n, k as u64);
         let input = g.htod("in", &data);
-        let kth = AirTopK::default().kth_value(&mut g, &input, k);
+        let kth = AirTopK::default().kth_value(&mut g, &input, k).unwrap();
         let mut sorted = data.clone();
         sorted.sort_by(f32::total_cmp);
         assert_eq!(kth.to_bits(), sorted[k - 1].to_bits(), "n={n} k={k}");
@@ -449,7 +457,9 @@ fn kth_value_on_integer_keys() {
     let mut g = gpu();
     let data: Vec<u32> = (0..30_000u32).map(|i| i.wrapping_mul(2654435761)).collect();
     let input = g.htod("in", &data);
-    let kth = AirTopK::default().kth_value_typed(&mut g, &input, 1000);
+    let kth = AirTopK::default()
+        .kth_value_typed(&mut g, &input, 1000)
+        .unwrap();
     let mut sorted = data.clone();
     sorted.sort_unstable();
     assert_eq!(kth, sorted[999]);

@@ -15,8 +15,9 @@
 //! and small-N cases handled by AIR's internal fast paths.
 
 use crate::air::AirTopK;
+use crate::error::TopKError;
 use crate::gridselect::{GridSelect, MAX_K as GRID_MAX_K};
-use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
+use crate::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput};
 use gpu_sim::{DeviceBuffer, Gpu};
 
 /// Which algorithm the dispatcher picked (returned by
@@ -101,24 +102,30 @@ impl TopKAlgorithm for SelectK {
         Category::PartitionBased
     }
 
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        check_args(self, input.len(), k);
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        check_args(self, input.len(), k)?;
         match self.choice(input.len(), k, 1) {
-            Choice::Grid => self.grid.select(gpu, input, k),
-            Choice::Air => self.air.select(gpu, input, k),
+            Choice::Grid => self.grid.try_select(gpu, input, k),
+            Choice::Air => self.air.try_select(gpu, input, k),
         }
     }
 
-    fn select_batch(
+    fn try_select_batch(
         &self,
         gpu: &mut Gpu,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
-    ) -> Vec<TopKOutput> {
-        assert!(!inputs.is_empty());
-        match self.choice(inputs[0].len(), k, inputs.len()) {
-            Choice::Grid => self.grid.select_batch(gpu, inputs, k),
-            Choice::Air => self.air.select_batch(gpu, inputs, k),
+    ) -> Result<Vec<TopKOutput>, TopKError> {
+        let n = check_batch(self, inputs)?;
+        check_args(self, n, k)?;
+        match self.choice(n, k, inputs.len()) {
+            Choice::Grid => self.grid.try_select_batch(gpu, inputs, k),
+            Choice::Air => self.air.try_select_batch(gpu, inputs, k),
         }
     }
 }
@@ -165,7 +172,7 @@ mod tests {
             let mut gpu = Gpu::new(DeviceSpec::a100());
             let input = gpu.htod("in", data);
             gpu.reset_profile();
-            alg.select(&mut gpu, &input, k);
+            let _ = alg.select(&mut gpu, &input, k);
             gpu.elapsed_us()
         };
         let s = SelectK::default();

@@ -1,0 +1,170 @@
+//! Error type for fallible top-K selection.
+//!
+//! Library code reports failures through [`TopKError`] instead of
+//! panicking, so a serving layer can keep a device alive after a bad
+//! query: an invalid `k` or an over-subscribed launch is the *query's*
+//! fault, not the process's.
+
+use gpu_sim::SimError;
+use std::fmt;
+
+/// Why a top-K selection could not produce an output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopKError {
+    /// `k` violates the algorithm's preconditions: zero, larger than
+    /// the input, or beyond the algorithm's supported maximum.
+    InvalidK {
+        /// Algorithm that rejected the query.
+        algorithm: &'static str,
+        /// The offending `k`.
+        k: usize,
+        /// Input length the query was issued against.
+        n: usize,
+        /// The algorithm's `max_k` limit, when it has one.
+        max_k: Option<usize>,
+    },
+    /// The input shape is outside what the algorithm can handle (empty
+    /// batches, mismatched batch lengths, zero-length inputs).
+    UnsupportedShape {
+        /// Algorithm that rejected the query.
+        algorithm: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// Device memory exhausted while allocating workspace or outputs.
+    DeviceOom {
+        /// Bytes the failing allocation asked for.
+        requested: usize,
+        /// Bytes that were still available.
+        available: usize,
+    },
+    /// Any other simulator fault (invalid launch configuration,
+    /// shared-memory overflow, ...).
+    Sim(SimError),
+}
+
+impl TopKError {
+    /// Build the `InvalidK` variant from an algorithm's own limits;
+    /// returns `None` when `k` is acceptable.
+    pub fn check_k(
+        algorithm: &'static str,
+        n: usize,
+        k: usize,
+        max_k: Option<usize>,
+    ) -> Option<Self> {
+        if k < 1 || k > n || max_k.is_some_and(|mk| k > mk) {
+            Some(TopKError::InvalidK {
+                algorithm,
+                k,
+                n,
+                max_k,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for TopKError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopKError::InvalidK {
+                algorithm,
+                k,
+                n,
+                max_k,
+            } => {
+                if *k < 1 {
+                    write!(f, "{algorithm}: k must be >= 1")
+                } else if k > n {
+                    write!(f, "{algorithm}: k = {k} exceeds input length n = {n}")
+                } else {
+                    let mk = max_k.unwrap_or(usize::MAX);
+                    write!(f, "{algorithm}: k = {k} exceeds supported max {mk}")
+                }
+            }
+            TopKError::UnsupportedShape { algorithm, detail } => {
+                write!(f, "{algorithm}: unsupported shape: {detail}")
+            }
+            TopKError::DeviceOom {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of device memory: requested {requested} bytes, {available} available"
+            ),
+            TopKError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TopKError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TopKError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for TopKError {
+    /// Allocation failures become [`TopKError::DeviceOom`]; everything
+    /// else is carried through as [`TopKError::Sim`].
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::OutOfDeviceMemory {
+                requested,
+                available,
+            } => TopKError::DeviceOom {
+                requested,
+                available,
+            },
+            other => TopKError::Sim(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_k_accepts_and_rejects() {
+        assert!(TopKError::check_k("a", 10, 1, None).is_none());
+        assert!(TopKError::check_k("a", 10, 10, None).is_none());
+        assert!(TopKError::check_k("a", 10, 0, None).is_some());
+        assert!(TopKError::check_k("a", 10, 11, None).is_some());
+        assert!(TopKError::check_k("a", 10, 9, Some(8)).is_some());
+        assert!(TopKError::check_k("a", 10, 8, Some(8)).is_none());
+    }
+
+    #[test]
+    fn display_matches_historic_messages() {
+        let zero = TopKError::check_k("alg", 10, 0, None).unwrap();
+        assert!(zero.to_string().contains("k must be >= 1"));
+        let big = TopKError::check_k("alg", 10, 11, None).unwrap();
+        assert!(big.to_string().contains("exceeds input length"));
+        let over = TopKError::check_k("alg", 100, 50, Some(16)).unwrap();
+        assert!(over.to_string().contains("exceeds supported max 16"));
+    }
+
+    #[test]
+    fn sim_oom_maps_to_device_oom() {
+        let e: TopKError = SimError::OutOfDeviceMemory {
+            requested: 64,
+            available: 8,
+        }
+        .into();
+        assert_eq!(
+            e,
+            TopKError::DeviceOom {
+                requested: 64,
+                available: 8
+            }
+        );
+        assert!(e.to_string().contains("out of device memory"));
+        let e: TopKError = SimError::InvalidLaunch("too big".into()).into();
+        assert!(matches!(e, TopKError::Sim(_)));
+        assert!(e.to_string().contains("too big"));
+    }
+}

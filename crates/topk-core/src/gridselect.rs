@@ -28,8 +28,10 @@
 //! with per-thread queues and a single block.
 
 use crate::bitonic::{bitonic_sort, merge_into_topk};
+use crate::error::TopKError;
 use crate::keys::{OrderedBits, RadixKey};
-use crate::traits::{Category, TopKAlgorithm, TopKOutput};
+use crate::scratch::ScratchGuard;
+use crate::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput, TypedOutput};
 use gpu_sim::device::WARP_SIZE;
 use gpu_sim::warp::{ballot, lane_rank, Lanes};
 use gpu_sim::{BlockCtx, DeviceBuffer, DeviceScalar, Gpu, LaunchConfig};
@@ -37,6 +39,10 @@ use gpu_sim::{BlockCtx, DeviceBuffer, DeviceScalar, Gpu, LaunchConfig};
 /// Largest K the WarpSelect family supports (§2.2: limited by
 /// shared-memory / register budget; 2048 in Faiss and here).
 pub const MAX_K: usize = 2048;
+
+/// Algorithm label used in errors raised by the shared warp-select
+/// core functions, which serve several front-end algorithms.
+const CORE_NAME: &str = "warp-select core";
 
 /// Queueing strategy for the warp-select core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,10 +101,12 @@ impl Default for GridSelectConfig {
 /// verify_topk(&data, 10, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
 ///
 /// // Or fuse selection with the computation that produces the values:
-/// let out = GridSelect::default().select_on_the_fly(&mut gpu, 20_000, 10, |ctx, i| {
-///     ctx.ops(1);
-///     ((i * 131) % 7919) as f32
-/// });
+/// let out = GridSelect::default()
+///     .select_on_the_fly(&mut gpu, 20_000, 10, |ctx, i| {
+///         ctx.ops(1);
+///         ((i * 131) % 7919) as f32
+///     })
+///     .unwrap();
 /// verify_topk(&data, 10, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
 /// ```
 #[derive(Debug, Clone)]
@@ -135,11 +143,17 @@ impl GridSelect {
     /// the kernel — the values never need to exist in device memory.
     /// Use this to fuse selection with the computation that generates
     /// the scores (distances, model outputs, …).
-    pub fn select_on_the_fly<P>(&self, gpu: &mut Gpu, n: usize, k: usize, producer: P) -> TopKOutput
+    pub fn select_on_the_fly<P>(
+        &self,
+        gpu: &mut Gpu,
+        n: usize,
+        k: usize,
+        producer: P,
+    ) -> Result<TopKOutput, TopKError>
     where
         P: Fn(&mut BlockCtx<'_>, usize) -> f32 + Sync,
     {
-        select_streaming_core(
+        let mut outs = select_streaming_core(
             gpu,
             "gridselect_fused_kernel",
             n,
@@ -147,9 +161,11 @@ impl GridSelect {
             k,
             &self.cfg,
             |ctx, _prob, i| producer(ctx, i),
-        )
-        .pop()
-        .unwrap()
+        )?;
+        outs.pop().ok_or_else(|| TopKError::UnsupportedShape {
+            algorithm: self.name(),
+            detail: "batch of one produced no output".into(),
+        })
     }
 
     /// Solve a batch with a single launch set.
@@ -158,7 +174,9 @@ impl GridSelect {
         gpu: &mut Gpu,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
-    ) -> Vec<TopKOutput> {
+    ) -> Result<Vec<TopKOutput>, TopKError> {
+        let n = check_batch(self, inputs)?;
+        check_args(self, n, k)?;
         select_partial_core(gpu, "gridselect_kernel", inputs, k, &self.cfg)
     }
 
@@ -171,14 +189,27 @@ impl GridSelect {
         gpu: &mut Gpu,
         inputs: &[DeviceBuffer<T>],
         k: usize,
-    ) -> Vec<(DeviceBuffer<T>, DeviceBuffer<u32>)>
+    ) -> Result<Vec<TypedOutput<T>>, TopKError>
     where
         T: RadixKey,
         T::Ordered: DeviceScalar,
     {
-        assert!(!inputs.is_empty(), "empty batch");
-        let n = inputs[0].len();
-        assert!(inputs.iter().all(|b| b.len() == n), "batch must share N");
+        let Some(first) = inputs.first() else {
+            return Err(TopKError::UnsupportedShape {
+                algorithm: self.name(),
+                detail: "empty batch".into(),
+            });
+        };
+        let n = first.len();
+        if let Some(bad) = inputs.iter().find(|b| b.len() != n) {
+            return Err(TopKError::UnsupportedShape {
+                algorithm: self.name(),
+                detail: format!(
+                    "batched inputs must share one length, got {n} and {}",
+                    bad.len()
+                ),
+            });
+        }
         select_streaming_core_typed(
             gpu,
             "gridselect_kernel",
@@ -197,7 +228,7 @@ impl GridSelect {
         gpu: &mut Gpu,
         input: &crate::matrix::DeviceMatrix<T>,
         k: usize,
-    ) -> Vec<(DeviceBuffer<T>, DeviceBuffer<u32>)>
+    ) -> Result<Vec<TypedOutput<T>>, TopKError>
     where
         T: RadixKey,
         T::Ordered: DeviceScalar,
@@ -228,18 +259,25 @@ impl TopKAlgorithm for GridSelect {
         Some(MAX_K)
     }
 
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        self.run_batch(gpu, std::slice::from_ref(input), k)
-            .pop()
-            .unwrap()
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        let mut outs = self.run_batch(gpu, std::slice::from_ref(input), k)?;
+        outs.pop().ok_or_else(|| TopKError::UnsupportedShape {
+            algorithm: self.name(),
+            detail: "batch of one produced no output".into(),
+        })
     }
 
-    fn select_batch(
+    fn try_select_batch(
         &self,
         gpu: &mut Gpu,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
-    ) -> Vec<TopKOutput> {
+    ) -> Result<Vec<TopKOutput>, TopKError> {
         self.run_batch(gpu, inputs, k)
     }
 }
@@ -348,10 +386,23 @@ pub fn select_partial_core(
     inputs: &[DeviceBuffer<f32>],
     k: usize,
     cfg: &GridSelectConfig,
-) -> Vec<TopKOutput> {
-    assert!(!inputs.is_empty(), "empty batch");
-    let n = inputs[0].len();
-    assert!(inputs.iter().all(|b| b.len() == n), "batch must share N");
+) -> Result<Vec<TopKOutput>, TopKError> {
+    let Some(first) = inputs.first() else {
+        return Err(TopKError::UnsupportedShape {
+            algorithm: CORE_NAME,
+            detail: "empty batch".into(),
+        });
+    };
+    let n = first.len();
+    if let Some(bad) = inputs.iter().find(|b| b.len() != n) {
+        return Err(TopKError::UnsupportedShape {
+            algorithm: CORE_NAME,
+            detail: format!(
+                "batched inputs must share one length, got {n} and {}",
+                bad.len()
+            ),
+        });
+    }
     select_streaming_core(gpu, name, n, inputs.len(), k, cfg, |ctx, prob, i| {
         ctx.ld(&inputs[prob], i)
     })
@@ -371,14 +422,16 @@ pub fn select_streaming_core<P>(
     k: usize,
     cfg: &GridSelectConfig,
     producer: P,
-) -> Vec<TopKOutput>
+) -> Result<Vec<TopKOutput>, TopKError>
 where
     P: Fn(&mut BlockCtx<'_>, usize, usize) -> f32 + Sync,
 {
-    select_streaming_core_typed(gpu, name, n, batch, k, cfg, producer)
-        .into_iter()
-        .map(|(values, indices)| TopKOutput { values, indices })
-        .collect()
+    Ok(
+        select_streaming_core_typed(gpu, name, n, batch, k, cfg, producer)?
+            .into_iter()
+            .map(|(values, indices)| TopKOutput::new(values, indices))
+            .collect(),
+    )
 }
 
 /// Generic-key variant of [`select_streaming_core`]: the producer may
@@ -394,18 +447,51 @@ pub fn select_streaming_core_typed<T, P>(
     k: usize,
     cfg: &GridSelectConfig,
     producer: P,
-) -> Vec<(DeviceBuffer<T>, DeviceBuffer<u32>)>
+) -> Result<Vec<TypedOutput<T>>, TopKError>
 where
     T: RadixKey,
     T::Ordered: DeviceScalar,
     P: Fn(&mut BlockCtx<'_>, usize, usize) -> T + Sync,
 {
-    assert!(batch >= 1, "empty batch");
-    assert!(k >= 1 && k <= n, "invalid k = {k} for n = {n}");
-    assert!(
-        k <= MAX_K,
-        "k = {k} exceeds the WarpSelect-family cap {MAX_K}"
-    );
+    if batch < 1 {
+        return Err(TopKError::UnsupportedShape {
+            algorithm: CORE_NAME,
+            detail: "empty batch".into(),
+        });
+    }
+    if let Some(e) = TopKError::check_k(CORE_NAME, n, k, Some(MAX_K)) {
+        return Err(e);
+    }
+    let mut ws = ScratchGuard::new();
+    let mut outs = ScratchGuard::new();
+    let r = streaming_core_launches(gpu, &mut ws, &mut outs, name, n, batch, k, cfg, producer);
+    ws.release(gpu);
+    if r.is_err() {
+        outs.release(gpu);
+    }
+    r
+}
+
+/// Launch sequence behind [`select_streaming_core_typed`]; workspace
+/// goes through `ws`, result buffers through `outs`, so the caller can
+/// release either group on any exit path.
+#[allow(clippy::too_many_arguments)]
+fn streaming_core_launches<T, P>(
+    gpu: &mut Gpu,
+    ws: &mut ScratchGuard,
+    outs: &mut ScratchGuard,
+    name: &str,
+    n: usize,
+    batch: usize,
+    k: usize,
+    cfg: &GridSelectConfig,
+    producer: P,
+) -> Result<Vec<TypedOutput<T>>, TopKError>
+where
+    T: RadixKey,
+    T::Ordered: DeviceScalar,
+    P: Fn(&mut BlockCtx<'_>, usize, usize) -> T + Sync,
+{
     let klen = k.next_power_of_two();
     let warps = cfg.warps_per_block;
     let block_dim = warps * WARP_SIZE;
@@ -425,19 +511,19 @@ where
 
     // Per-block results: bpp sorted lists of klen entries per problem.
     let mut lists = bpp;
-    let scratch_keys = gpu.alloc::<T::Ordered>("gs_scratch_keys", batch * bpp * klen);
-    let scratch_idx = gpu.alloc::<u32>("gs_scratch_idx", batch * bpp * klen);
+    let scratch_keys = ws.alloc::<T::Ordered>(gpu, "gs_scratch_keys", batch * bpp * klen)?;
+    let scratch_idx = ws.alloc::<u32>(gpu, "gs_scratch_idx", batch * bpp * klen)?;
     let out_val: Vec<DeviceBuffer<T>> = (0..batch)
-        .map(|_| gpu.alloc::<T>("gs_out_val", k))
-        .collect();
+        .map(|_| outs.alloc::<T>(gpu, "gs_out_val", k))
+        .collect::<Result<_, _>>()?;
     let out_idx: Vec<DeviceBuffer<u32>> = (0..batch)
-        .map(|_| gpu.alloc::<u32>("gs_out_idx", k))
-        .collect();
+        .map(|_| outs.alloc::<u32>(gpu, "gs_out_idx", k))
+        .collect::<Result<_, _>>()?;
 
     let queue = cfg.queue;
     let ipt = cfg.items_per_thread;
 
-    gpu.launch(name, LaunchConfig::grid_1d(grid, block_dim), |ctx| {
+    gpu.try_launch(name, LaunchConfig::grid_1d(grid, block_dim), |ctx| {
         let prob = ctx.block_idx / bpp;
         let blk = ctx.block_idx % bpp;
 
@@ -494,7 +580,7 @@ where
                 ctx.st(&scratch_idx, base + i, head[0].list_idx[i]);
             }
         }
-    });
+    })?;
 
     // Tree-merge the per-block lists: each merge block folds up to
     // MERGE_FANIN lists into one, repeated until one list per problem
@@ -503,7 +589,7 @@ where
     while lists > 1 {
         let groups = lists.div_ceil(MERGE_FANIN);
         let cur = lists;
-        gpu.launch(
+        gpu.try_launch(
             "gridselect_merge_kernel",
             LaunchConfig::grid_1d(batch * groups, 256),
             |ctx| {
@@ -541,16 +627,13 @@ where
                     }
                 }
             },
-        );
+        )?;
         lists = groups;
     }
 
-    gpu.free(&scratch_keys);
-    gpu.free(&scratch_idx);
-
-    (0..batch)
+    Ok((0..batch)
         .map(|p| (out_val[p].clone(), out_idx[p].clone()))
-        .collect()
+        .collect())
 }
 
 /// Process one 32-element lockstep group for a warp.

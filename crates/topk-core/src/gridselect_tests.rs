@@ -173,10 +173,12 @@ fn on_the_fly_matches_buffered_selection() {
 
     let mut g = gpu();
     g.reset_profile();
-    let out = GridSelect::default().select_on_the_fly(&mut g, n, k, |ctx, i| {
-        ctx.ops(4); // the producer's own compute
-        score(i)
-    });
+    let out = GridSelect::default()
+        .select_on_the_fly(&mut g, n, k, |ctx, i| {
+            ctx.ops(4); // the producer's own compute
+            score(i)
+        })
+        .unwrap();
     verify_topk(&data, k, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
     // No N-sized input buffer was ever read.
     let read: u64 = g.reports().iter().map(|r| r.stats.bytes_read).sum();
@@ -200,6 +202,7 @@ fn sixty_four_bit_keys_work() {
     let k = 123;
     let (vals, idxs) = GridSelect::default()
         .run_batch_typed(&mut g, &[input], k)
+        .unwrap()
         .pop()
         .unwrap();
     let mut got = vals.to_vec();
@@ -224,6 +227,7 @@ fn u64_keys_single_block_shape() {
     };
     let (vals, _) = GridSelect::new(cfg)
         .run_batch_typed(&mut g, &[input], 50)
+        .unwrap()
         .pop()
         .unwrap();
     let mut got = vals.to_vec();
@@ -240,7 +244,7 @@ fn uses_two_kernel_types() {
     let data = generate(Distribution::Uniform, 200_000, 1);
     let input = g.htod("in", &data);
     g.reset_profile();
-    GridSelect::default().select(&mut g, &input, 128);
+    let _ = GridSelect::default().select(&mut g, &input, 128);
     let names: std::collections::HashSet<_> = g.reports().iter().map(|r| r.name.clone()).collect();
     assert!(names.contains("gridselect_kernel"));
     assert!(names.contains("gridselect_merge_kernel"));

@@ -16,6 +16,7 @@
 //! [`crate::keys::RadixKey`] if you feed it pre-negated keys. The
 //! adapter exists for composability with *any* algorithm.
 
+use crate::error::TopKError;
 use crate::keys::RadixKey;
 use crate::traits::{Category, TopKAlgorithm, TopKOutput};
 use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
@@ -56,12 +57,15 @@ impl<A: TopKAlgorithm> SelectLargest<A> {
         &self.inner
     }
 
-    fn negate_buffer(gpu: &mut Gpu, input: &DeviceBuffer<f32>) -> DeviceBuffer<f32> {
+    fn negate_buffer(
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+    ) -> Result<DeviceBuffer<f32>, TopKError> {
         let n = input.len();
-        let out = gpu.alloc::<f32>("neg_keys", n);
+        let out = gpu.try_alloc::<f32>("neg_keys", n)?;
         let inp = input.clone();
         let o = out.clone();
-        gpu.launch(
+        let launched = gpu.try_launch(
             "order_negate",
             LaunchConfig::for_elements(n, 256, 8, usize::MAX),
             move |ctx| {
@@ -75,15 +79,19 @@ impl<A: TopKAlgorithm> SelectLargest<A> {
                 }
             },
         );
-        out
+        if let Err(e) = launched {
+            gpu.free(&out);
+            return Err(e.into());
+        }
+        Ok(out)
     }
 
-    fn restore_output(gpu: &mut Gpu, out: &TopKOutput) -> TopKOutput {
+    fn restore_output(gpu: &mut Gpu, out: &TopKOutput) -> Result<TopKOutput, TopKError> {
         let k = out.values.len();
-        let fixed = gpu.alloc::<f32>("restored_values", k);
+        let fixed = gpu.try_alloc::<f32>("restored_values", k)?;
         let src = out.values.clone();
         let dst = fixed.clone();
-        gpu.launch(
+        let launched = gpu.try_launch(
             "order_negate_back",
             LaunchConfig::for_elements(k, 256, 1, usize::MAX),
             move |ctx| {
@@ -96,10 +104,11 @@ impl<A: TopKAlgorithm> SelectLargest<A> {
                 }
             },
         );
-        TopKOutput {
-            values: fixed,
-            indices: out.indices.clone(),
+        if let Err(e) = launched {
+            gpu.free(&fixed);
+            return Err(e.into());
         }
+        Ok(TopKOutput::new(fixed, out.indices.clone()))
     }
 }
 
@@ -118,26 +127,75 @@ impl<A: TopKAlgorithm> TopKAlgorithm for SelectLargest<A> {
         self.inner.max_k()
     }
 
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        let negated = Self::negate_buffer(gpu, input);
-        let out = self.inner.select(gpu, &negated, k);
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        let negated = Self::negate_buffer(gpu, input)?;
+        let out = self.inner.try_select(gpu, &negated, k);
         gpu.free(&negated);
-        Self::restore_output(gpu, &out)
+        let out = out?;
+        let restored = Self::restore_output(gpu, &out);
+        // The inner (negated-domain) values are no longer referenced
+        // either way; return their bytes so error paths stay honest.
+        gpu.free(&out.values);
+        if restored.is_err() {
+            gpu.free(&out.indices);
+        }
+        restored
     }
 
-    fn select_batch(
+    fn try_select_batch(
         &self,
         gpu: &mut Gpu,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
-    ) -> Vec<TopKOutput> {
-        let negated: Vec<DeviceBuffer<f32>> =
-            inputs.iter().map(|b| Self::negate_buffer(gpu, b)).collect();
-        let outs = self.inner.select_batch(gpu, &negated, k);
-        for b in &negated {
-            gpu.free(b);
+    ) -> Result<Vec<TopKOutput>, TopKError> {
+        let mut negated: Vec<DeviceBuffer<f32>> = Vec::with_capacity(inputs.len());
+        for b in inputs {
+            match Self::negate_buffer(gpu, b) {
+                Ok(buf) => negated.push(buf),
+                Err(e) => {
+                    for nb in &negated {
+                        gpu.free(nb);
+                    }
+                    return Err(e);
+                }
+            }
         }
-        outs.iter().map(|o| Self::restore_output(gpu, o)).collect()
+        let outs = self.inner.try_select_batch(gpu, &negated, k);
+        for nb in &negated {
+            gpu.free(nb);
+        }
+        let outs = outs?;
+        let mut restored = Vec::with_capacity(outs.len());
+        for (done, o) in outs.iter().enumerate() {
+            match Self::restore_output(gpu, o) {
+                Ok(r) => {
+                    gpu.free(&o.values);
+                    restored.push(r);
+                }
+                Err(e) => {
+                    // Release everything this call still owns: the
+                    // not-yet-restored inner outputs and the restored
+                    // values (their index buffers are shared with the
+                    // inner outputs, freed once via the inner handle).
+                    for rem in &outs[done..] {
+                        gpu.free(&rem.values);
+                    }
+                    for o in &outs {
+                        gpu.free(&o.indices);
+                    }
+                    for r in &restored {
+                        gpu.free(&r.values);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(restored)
     }
 }
 

@@ -29,10 +29,12 @@
 pub mod air;
 pub mod bitonic;
 pub mod dispatch;
+pub mod error;
 pub mod gridselect;
 pub mod keys;
 pub mod largest;
 pub mod matrix;
+pub mod scratch;
 pub mod streaming;
 pub mod traits;
 pub mod unfused;
@@ -40,11 +42,13 @@ pub mod verify;
 
 pub use air::{AirConfig, AirTopK};
 pub use dispatch::SelectK;
+pub use error::TopKError;
 pub use gridselect::{GridSelect, GridSelectConfig, QueueKind};
 pub use keys::RadixKey;
 pub use largest::{reference_largest, SelectLargest};
 pub use matrix::DeviceMatrix;
+pub use scratch::ScratchGuard;
 pub use streaming::WarpSelector;
-pub use traits::{Category, TopKAlgorithm, TopKOutput};
+pub use traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput, TypedOutput};
 pub use unfused::UnfusedRadix;
 pub use verify::{reference_topk, verify_topk, verify_topk_typed, VerifyError};

@@ -113,7 +113,9 @@ mod tests {
         let m = DeviceMatrix::htod(&mut gpu, "m", &flat, rows, cols);
 
         gpu.reset_profile();
-        let (vals, idxs) = AirTopK::default().run_matrix_typed(&mut gpu, &m, k);
+        let (vals, idxs) = AirTopK::default()
+            .run_matrix_typed(&mut gpu, &m, k)
+            .unwrap();
         assert_eq!(vals.rows(), rows);
         assert_eq!(vals.cols(), k);
         // One launch set for the whole matrix, no per-row loops.
@@ -136,7 +138,9 @@ mod tests {
         let flat: Vec<f32> = datas.iter().flatten().copied().collect();
         let m = DeviceMatrix::htod(&mut gpu, "m", &flat, rows, cols);
         gpu.reset_profile();
-        let (vals, idxs) = AirTopK::default().run_matrix_typed(&mut gpu, &m, k);
+        let (vals, idxs) = AirTopK::default()
+            .run_matrix_typed(&mut gpu, &m, k)
+            .unwrap();
         assert_eq!(gpu.timeline().kernel_count(), 1, "one-block fast path");
         for (r, d) in datas.iter().enumerate() {
             verify_topk(d, k, &vals.row_to_vec(r), &idxs.row_to_vec(r)).unwrap();
@@ -154,7 +158,9 @@ mod tests {
             .collect();
         let flat: Vec<f32> = datas.iter().flatten().copied().collect();
         let m = DeviceMatrix::htod(&mut gpu, "m", &flat, rows, cols);
-        let outs = GridSelect::default().run_matrix_typed(&mut gpu, &m, k);
+        let outs = GridSelect::default()
+            .run_matrix_typed(&mut gpu, &m, k)
+            .unwrap();
         for ((d, (v, i)), r) in datas.iter().zip(&outs).zip(0..) {
             verify_topk(d, k, &v.to_vec(), &i.to_vec()).unwrap_or_else(|e| panic!("row {r}: {e}"));
         }

@@ -1,5 +1,6 @@
 //! The common interface every top-K algorithm implements.
 
+use crate::error::TopKError;
 use gpu_sim::{DeviceBuffer, Gpu};
 
 /// The paper's taxonomy of parallel top-K algorithms (§1, Table 1).
@@ -25,16 +26,35 @@ impl Category {
     }
 }
 
+/// Device-side `(values, indices)` output pair of one problem, as
+/// returned per batch entry by the typed (non-`f32`) entry points.
+pub type TypedOutput<T> = (DeviceBuffer<T>, DeviceBuffer<u32>);
+
 /// Device-resident result of a top-K selection: `values[i]` is a
 /// selected element and `indices[i]` its position in the input list
 /// (§2.1's output contract). Order within the K results is unspecified
 /// unless the algorithm documents otherwise.
 #[derive(Debug, Clone)]
+#[must_use = "a top-K output holds live device allocations"]
 pub struct TopKOutput {
     /// Selected values, length K.
     pub values: DeviceBuffer<f32>,
     /// Input positions of the selected values, length K.
     pub indices: DeviceBuffer<u32>,
+    /// The K this output answers: `values` and `indices` have exactly
+    /// this many meaningful entries. Carried explicitly so downstream
+    /// code never has to re-derive it from buffer lengths.
+    pub k: usize,
+}
+
+impl TopKOutput {
+    /// Package a (values, indices) pair, recording its `k` from the
+    /// value buffer's length.
+    pub fn new(values: DeviceBuffer<f32>, indices: DeviceBuffer<u32>) -> Self {
+        debug_assert_eq!(values.len(), indices.len());
+        let k = values.len();
+        TopKOutput { values, indices, k }
+    }
 }
 
 /// A parallel top-K algorithm (smallest-K convention, like the paper).
@@ -57,43 +77,98 @@ pub trait TopKAlgorithm: Send + Sync {
 
     /// Select the K smallest elements of `input`.
     ///
-    /// # Panics
-    /// If `k == 0`, `k > input.len()`, or `k` exceeds [`Self::max_k`].
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput;
+    /// This is the primary entry point: invalid queries (`k == 0`,
+    /// `k > input.len()`, `k` beyond [`Self::max_k`]), exhausted device
+    /// memory, and invalid launches are reported as [`TopKError`]
+    /// values rather than panics, so a serving layer can fail one query
+    /// without losing the device.
+    #[must_use = "selection results report errors through the Result"]
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError>;
 
     /// Solve a batch of same-(N, K) problems (§5.1's batched
-    /// benchmark).
+    /// benchmark), failing on the first query the algorithm rejects.
     ///
     /// The default loops over the batch sequentially — which is what
     /// the single-query baseline libraries do, and exactly why the
     /// paper's batch-100 speedups over them are so large. Natively
     /// batched algorithms (AIR Top-K, GridSelect, the Faiss selects)
     /// override this with a single fused launch set.
+    #[must_use = "selection results report errors through the Result"]
+    fn try_select_batch(
+        &self,
+        gpu: &mut Gpu,
+        inputs: &[DeviceBuffer<f32>],
+        k: usize,
+    ) -> Result<Vec<TopKOutput>, TopKError> {
+        inputs
+            .iter()
+            .map(|inp| self.try_select(gpu, inp, k))
+            .collect()
+    }
+
+    /// Panicking convenience wrapper over [`Self::try_select`], kept
+    /// for benches, examples, and tests where an error is a bug.
+    ///
+    /// # Panics
+    /// On any [`TopKError`], with the error's message.
+    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
+        self.try_select(gpu, input, k)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Panicking convenience wrapper over [`Self::try_select_batch`].
+    ///
+    /// # Panics
+    /// On any [`TopKError`], with the error's message.
     fn select_batch(
         &self,
         gpu: &mut Gpu,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
     ) -> Vec<TopKOutput> {
-        inputs.iter().map(|inp| self.select(gpu, inp, k)).collect()
+        self.try_select_batch(gpu, inputs, k)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
-/// Validate common preconditions; algorithms call this first.
-pub fn check_args(alg: &dyn TopKAlgorithm, n: usize, k: usize) {
-    assert!(k >= 1, "{}: k must be >= 1", alg.name());
-    assert!(
-        k <= n,
-        "{}: k = {k} exceeds input length n = {n}",
-        alg.name()
-    );
-    if let Some(mk) = alg.max_k() {
-        assert!(
-            k <= mk,
-            "{}: k = {k} exceeds supported max {mk}",
-            alg.name()
-        );
+/// Validate common preconditions; algorithms call this first and
+/// propagate the error with `?`.
+#[must_use = "precondition failures are reported through the Result"]
+pub fn check_args(alg: &dyn TopKAlgorithm, n: usize, k: usize) -> Result<(), TopKError> {
+    match TopKError::check_k(alg.name(), n, k, alg.max_k()) {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
+}
+
+/// Validate that every input in a batch has the same length as the
+/// first; natively batched kernels require congruent problems.
+pub fn check_batch(
+    alg: &dyn TopKAlgorithm,
+    inputs: &[DeviceBuffer<f32>],
+) -> Result<usize, TopKError> {
+    let Some(first) = inputs.first() else {
+        return Err(TopKError::UnsupportedShape {
+            algorithm: alg.name(),
+            detail: "empty batch".into(),
+        });
+    };
+    let n = first.len();
+    if let Some(bad) = inputs.iter().find(|b| b.len() != n) {
+        return Err(TopKError::UnsupportedShape {
+            algorithm: alg.name(),
+            detail: format!(
+                "batched inputs must share one length, got {n} and {}",
+                bad.len()
+            ),
+        });
+    }
+    Ok(n)
 }
 
 #[cfg(test)]
@@ -111,12 +186,17 @@ mod tests {
         fn max_k(&self) -> Option<usize> {
             Some(16)
         }
-        fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-            check_args(self, input.len(), k);
-            TopKOutput {
-                values: gpu.alloc("v", k),
-                indices: gpu.alloc("i", k),
-            }
+        fn try_select(
+            &self,
+            gpu: &mut Gpu,
+            input: &DeviceBuffer<f32>,
+            k: usize,
+        ) -> Result<TopKOutput, TopKError> {
+            check_args(self, input.len(), k)?;
+            Ok(TopKOutput::new(
+                gpu.try_alloc("v", k)?,
+                gpu.try_alloc("i", k)?,
+            ))
         }
     }
 
@@ -138,26 +218,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds supported max")]
     fn check_args_enforces_max_k() {
         let mut gpu = Gpu::new(gpu_sim::DeviceSpec::test_tiny());
         let input = gpu.htod("in", &vec![0.0f32; 100]);
-        Dummy.select(&mut gpu, &input, 17);
+        let err = Dummy.try_select(&mut gpu, &input, 17).unwrap_err();
+        assert!(
+            matches!(err, TopKError::InvalidK { k: 17, .. }),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("exceeds supported max"));
+    }
+
+    #[test]
+    fn check_args_rejects_zero_k() {
+        let mut gpu = Gpu::new(gpu_sim::DeviceSpec::test_tiny());
+        let input = gpu.htod("in", &[1.0f32]);
+        let err = Dummy.try_select(&mut gpu, &input, 0).unwrap_err();
+        assert!(err.to_string().contains("k must be >= 1"));
+    }
+
+    #[test]
+    fn check_args_rejects_k_beyond_n() {
+        let mut gpu = Gpu::new(gpu_sim::DeviceSpec::test_tiny());
+        let input = gpu.htod("in", &[1.0f32, 2.0]);
+        let err = Dummy.try_select(&mut gpu, &input, 3).unwrap_err();
+        assert!(err.to_string().contains("exceeds input length"));
     }
 
     #[test]
     #[should_panic(expected = "k must be >= 1")]
-    fn check_args_rejects_zero_k() {
+    fn select_shim_panics_with_error_message() {
         let mut gpu = Gpu::new(gpu_sim::DeviceSpec::test_tiny());
         let input = gpu.htod("in", &[1.0f32]);
-        Dummy.select(&mut gpu, &input, 0);
+        let _ = Dummy.select(&mut gpu, &input, 0);
     }
 
     #[test]
-    #[should_panic(expected = "exceeds input length")]
-    fn check_args_rejects_k_beyond_n() {
+    fn check_batch_rejects_empty_and_mismatched() {
         let mut gpu = Gpu::new(gpu_sim::DeviceSpec::test_tiny());
-        let input = gpu.htod("in", &[1.0f32, 2.0]);
-        Dummy.select(&mut gpu, &input, 3);
+        let a = gpu.htod("a", &[1.0f32, 2.0]);
+        let b = gpu.htod("b", &[1.0f32, 2.0, 3.0]);
+        assert!(matches!(
+            check_batch(&Dummy, &[]),
+            Err(TopKError::UnsupportedShape { .. })
+        ));
+        assert!(matches!(
+            check_batch(&Dummy, &[a.clone(), b]),
+            Err(TopKError::UnsupportedShape { .. })
+        ));
+        assert_eq!(check_batch(&Dummy, &[a.clone(), a]).unwrap(), 2);
     }
 }

@@ -25,7 +25,9 @@
 //! [`RadixSelect`](../../topk_baselines/radixselect) isolates the
 //! host-round-trip cost.
 
+use crate::error::TopKError;
 use crate::keys::{digit_of, digit_width_of, num_passes_of, RadixKey};
+use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
 use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
 
@@ -63,32 +65,57 @@ impl TopKAlgorithm for UnfusedRadix {
         Category::PartitionBased
     }
 
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        check_args(self, input.len(), k);
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        check_args(self, input.len(), k)?;
+        let mut ws = ScratchGuard::new();
+        let mut outs = ScratchGuard::new();
+        let r = self.run_passes(gpu, &mut ws, &mut outs, input, k);
+        ws.release(gpu);
+        if r.is_err() {
+            outs.release(gpu);
+        }
+        r
+    }
+}
+
+impl UnfusedRadix {
+    fn run_passes(
+        &self,
+        gpu: &mut Gpu,
+        ws: &mut ScratchGuard,
+        outs: &mut ScratchGuard,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
         let n = input.len();
         let b = self.bits_per_pass;
         let passes = num_passes_of::<u32>(b) as usize;
         let radix = 1usize << b;
 
-        let ctrl = gpu.alloc::<u32>("ur_ctrl", CTRL_LEN);
+        let ctrl = ws.alloc::<u32>(gpu, "ur_ctrl", CTRL_LEN)?;
         ctrl.set(K_REM, k as u32);
         ctrl.set(COUNT, n as u32);
-        let hist = gpu.alloc::<u32>("ur_hist", radix);
-        let psum = gpu.alloc::<u32>("ur_psum", radix);
+        let hist = ws.alloc::<u32>(gpu, "ur_hist", radix)?;
+        let psum = ws.alloc::<u32>(gpu, "ur_psum", radix)?;
         // Classic candidate buffers: always used, sized N (§3.2 calls
         // out the 2× footprint this costs).
         let cand = [
             (
-                gpu.alloc::<u32>("ur_cand_bits0", n),
-                gpu.alloc::<u32>("ur_cand_idx0", n),
+                ws.alloc::<u32>(gpu, "ur_cand_bits0", n)?,
+                ws.alloc::<u32>(gpu, "ur_cand_idx0", n)?,
             ),
             (
-                gpu.alloc::<u32>("ur_cand_bits1", n),
-                gpu.alloc::<u32>("ur_cand_idx1", n),
+                ws.alloc::<u32>(gpu, "ur_cand_bits1", n)?,
+                ws.alloc::<u32>(gpu, "ur_cand_idx1", n)?,
             ),
         ];
-        let out_val = gpu.alloc::<f32>("ur_out_val", k);
-        let out_idx = gpu.alloc::<u32>("ur_out_idx", k);
+        let out_val = outs.alloc::<f32>(gpu, "ur_out_val", k)?;
+        let out_idx = outs.alloc::<u32>(gpu, "ur_out_idx", k)?;
 
         let chunk = 256 * 16;
         let launch = LaunchConfig::for_elements(n, 256, 16, usize::MAX);
@@ -104,7 +131,7 @@ impl TopKAlgorithm for UnfusedRadix {
                 let (sb, si) = (cand[src].0.clone(), cand[src].1.clone());
                 let input = input.clone();
                 let (hist, ctrl) = (hist.clone(), ctrl.clone());
-                gpu.launch("compute_histogram", launch, move |ctx| {
+                gpu.try_launch("compute_histogram", launch, move |ctx| {
                     let count = ctx.ld(&ctrl, COUNT) as usize;
                     let start = ctx.block_idx * chunk;
                     let end = (start + chunk).min(count);
@@ -125,28 +152,28 @@ impl TopKAlgorithm for UnfusedRadix {
                         }
                     }
                     ctx.ops(radix as u64);
-                });
+                })?;
             }
 
             // Kernel 2: inclusive prefix sum (one block).
             {
                 let (hist, psum) = (hist.clone(), psum.clone());
                 let width = digit_width_of::<u32>(pass as u32, b);
-                gpu.launch("prefix_sum", LaunchConfig::grid_1d(1, 256), move |ctx| {
+                gpu.try_launch("prefix_sum", LaunchConfig::grid_1d(1, 256), move |ctx| {
                     let mut acc = 0u32;
                     for d in 0..(1usize << width) {
                         acc += ctx.ld(&hist, d);
                         ctx.st(&psum, d, acc);
                     }
                     ctx.ops(2 << width);
-                });
+                })?;
             }
 
             // Kernel 3: find the target digit (one block).
             {
                 let (psum, ctrl) = (psum.clone(), ctrl.clone());
                 let width = digit_width_of::<u32>(pass as u32, b);
-                gpu.launch(
+                gpu.try_launch(
                     "find_target_digit",
                     LaunchConfig::grid_1d(1, 256),
                     move |ctx| {
@@ -162,7 +189,7 @@ impl TopKAlgorithm for UnfusedRadix {
                         }
                         ctx.ops(2 << width);
                     },
-                );
+                )?;
             }
 
             // Kernel 4: filter (second data sweep) — emit results,
@@ -174,7 +201,7 @@ impl TopKAlgorithm for UnfusedRadix {
                 let input = input.clone();
                 let (ctrl, hist) = (ctrl.clone(), hist.clone());
                 let (out_val, out_idx) = (out_val.clone(), out_idx.clone());
-                gpu.launch("filter", launch, move |ctx| {
+                gpu.try_launch("filter", launch, move |ctx| {
                     let count = ctx.ld(&ctrl, COUNT) as usize;
                     let target = ctx.ld(&ctrl, TARGET);
                     let k_rem = ctx.ld(&ctrl, K_REM);
@@ -214,21 +241,11 @@ impl TopKAlgorithm for UnfusedRadix {
                         let c = ctx.ld(&hist, target as usize);
                         ctx.st(&ctrl, COUNT, c);
                     }
-                });
+                })?;
             }
         }
 
-        gpu.free(&ctrl);
-        gpu.free(&hist);
-        gpu.free(&psum);
-        for (a, bb) in &cand {
-            gpu.free(a);
-            gpu.free(bb);
-        }
-        TopKOutput {
-            values: out_val,
-            indices: out_idx,
-        }
+        Ok(TopKOutput::new(out_val, out_idx))
     }
 }
 
@@ -272,7 +289,7 @@ mod tests {
         let data = generate(Distribution::Uniform, 100_000, 1);
         let input = g.htod("in", &data);
         g.reset_profile();
-        UnfusedRadix::default().select(&mut g, &input, 1000);
+        let _ = UnfusedRadix::default().select(&mut g, &input, 1000);
         // 3 passes (b = 11) x 4 kernels = 12 launches; with b = 8 it
         // would be Fig. 2's 16.
         assert_eq!(g.timeline().kernel_count(), 12);

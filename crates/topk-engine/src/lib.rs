@@ -1,0 +1,497 @@
+//! # topk-engine — multi-device top-K serving layer
+//!
+//! The ROADMAP's north star is a system serving heavy top-K traffic,
+//! not a benchmark loop: many concurrent queries of mixed shapes, a
+//! pool of devices, and per-query accounting. This crate supplies that
+//! layer on top of the fallible selection core:
+//!
+//! * [`TopKEngine`] owns a **bounded submission queue**
+//!   ([`TopKEngine::submit`] refuses work beyond
+//!   [`EngineConfig::queue_capacity`]) and a **pool of simulated
+//!   devices**, one worker thread per device.
+//! * [`TopKEngine::drain`] **coalesces** queued queries with the same
+//!   `(N, K)` shape into fused [`try_select_batch`] launches of up to
+//!   [`EngineConfig::coalescing_window`] queries — the paper's §5.1
+//!   batch-100 measurements show why: batching amortises launch
+//!   overhead and fills the grid, so a fused launch beats `B`
+//!   back-to-back single selections.
+//! * Every batch routes through the [`SelectK`] auto-dispatcher, and
+//!   every query comes back as its own [`QueryResult`] carrying a
+//!   `Result` (errors are per-query data, never panics) plus simulated
+//!   **queue-wait** and **latency** metrics read off the device clock.
+//!
+//! Scheduling follows the workspace's `BlockPool` idiom: workers pull
+//! the next unclaimed batch from a shared cursor, so an imbalanced mix
+//! (one huge query among many small ones) does not serialise the pool.
+//!
+//! ```
+//! use gpu_sim::DeviceSpec;
+//! use topk_engine::{EngineConfig, TopKEngine};
+//! use topk_core::verify_topk;
+//!
+//! let mut engine = TopKEngine::new(EngineConfig::new(vec![
+//!     DeviceSpec::a100(),
+//!     DeviceSpec::a100(),
+//! ]));
+//! let data: Vec<f32> = (0..10_000).map(|i| ((i * 37) % 9973) as f32).collect();
+//! for _ in 0..4 {
+//!     engine.submit(data.clone(), 8).unwrap();
+//! }
+//! let report = engine.drain();
+//! assert_eq!(report.results.len(), 4);
+//! for r in &report.results {
+//!     let out = r.outcome.as_ref().unwrap();
+//!     verify_topk(&data, 8, &out.values, &out.indices).unwrap();
+//! }
+//! ```
+//!
+//! [`try_select_batch`]: topk_core::TopKAlgorithm::try_select_batch
+
+use gpu_sim::{DeviceSpec, Gpu, KernelReport};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use topk_core::{ScratchGuard, SelectK, TopKAlgorithm, TopKError};
+
+/// Engine shape: which devices to pool and how to queue/coalesce.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// One worker thread (and one simulated device) per entry.
+    pub devices: Vec<DeviceSpec>,
+    /// Maximum queries [`TopKEngine::submit`] accepts before a drain.
+    pub queue_capacity: usize,
+    /// Maximum same-`(N, K)` queries fused into one batch launch.
+    /// `1` disables coalescing.
+    pub coalescing_window: usize,
+}
+
+impl EngineConfig {
+    /// Config over the given devices with default queue capacity
+    /// (1024) and coalescing window (8).
+    pub fn new(devices: Vec<DeviceSpec>) -> Self {
+        EngineConfig {
+            devices,
+            queue_capacity: 1024,
+            coalescing_window: 8,
+        }
+    }
+
+    /// `devices` identical A100s — the paper's testbed, pooled.
+    pub fn a100_pool(devices: usize) -> Self {
+        EngineConfig::new(vec![DeviceSpec::a100(); devices.max(1)])
+    }
+
+    /// Builder-style override of the coalescing window.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.coalescing_window = window.max(1);
+        self
+    }
+
+    /// Builder-style override of the queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+}
+
+/// Errors of the serving layer itself (selection errors travel inside
+/// each query's [`QueryResult::outcome`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The bounded submission queue is full; drain before resubmitting.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Host-side answer to one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The K selected (smallest) values.
+    pub values: Vec<f32>,
+    /// Original input positions of the selected values.
+    pub indices: Vec<u32>,
+    /// The K this query asked for.
+    pub k: usize,
+}
+
+/// One drained query: outcome plus serving metrics.
+///
+/// All queries are modelled as arriving at simulated time zero of the
+/// drain, so `latency_us = queue_wait_us + service time` on the device
+/// that ran the query's batch.
+#[derive(Debug, Clone)]
+#[must_use = "per-query outcomes report errors through their Result"]
+pub struct QueryResult {
+    /// Submission id, as returned by [`TopKEngine::submit`].
+    pub id: usize,
+    /// Which pool device served the query.
+    pub device: usize,
+    /// How many queries shared the fused launch (1 = not coalesced).
+    pub batch_size: usize,
+    /// Simulated µs the query waited while earlier batches ran.
+    pub queue_wait_us: f64,
+    /// Simulated µs from arrival to completion (wait + service).
+    pub latency_us: f64,
+    /// The selection result, or why it failed.
+    pub outcome: Result<QueryOutput, TopKError>,
+}
+
+/// One coalesced batch as executed on a device.
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// Device that executed the batch.
+    pub device: usize,
+    /// Number of queries fused into the launch set.
+    pub size: usize,
+    /// Problem length shared by the batch.
+    pub n: usize,
+    /// K shared by the batch.
+    pub k: usize,
+    /// Half-open index range into the device's
+    /// [`DeviceReport::kernel_reports`] covering this batch's launches.
+    pub report_range: (usize, usize),
+    /// Device clock when the batch started, µs.
+    pub start_us: f64,
+    /// Device clock when the batch finished, µs.
+    pub end_us: f64,
+}
+
+impl BatchRecord {
+    /// Kernel launches this batch performed.
+    pub fn kernel_launches(&self) -> usize {
+        self.report_range.1 - self.report_range.0
+    }
+}
+
+/// Everything one pool device did during a drain.
+#[derive(Debug, Clone)]
+pub struct DeviceReport {
+    /// Pool index of the device.
+    pub device: usize,
+    /// Batches the device claimed and executed.
+    pub batches: Vec<BatchRecord>,
+    /// Device clock after its last batch, µs.
+    pub elapsed_us: f64,
+    /// Peak simulated device-memory use across all batches, bytes.
+    pub mem_high_water: usize,
+    /// Bytes still allocated after the last batch — nonzero means a
+    /// query path leaked device memory.
+    pub mem_allocated_after: usize,
+    /// Every kernel launch, in execution order (batches index into
+    /// this via [`BatchRecord::report_range`]).
+    pub kernel_reports: Vec<KernelReport>,
+}
+
+/// Result of [`TopKEngine::drain`]: per-query results in submission
+/// order plus per-device execution reports.
+#[derive(Debug, Clone)]
+#[must_use = "drain reports carry every query's Result"]
+pub struct DrainReport {
+    /// One entry per drained query, sorted by submission id.
+    pub results: Vec<QueryResult>,
+    /// One entry per pool device.
+    pub devices: Vec<DeviceReport>,
+}
+
+impl DrainReport {
+    /// Simulated makespan: the busiest device's clock, µs.
+    pub fn makespan_us(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.elapsed_us)
+            .fold(0.0, f64::max)
+    }
+
+    /// Simulated throughput over the whole drain (all queries,
+    /// including failed ones, over the makespan).
+    pub fn queries_per_sec(&self) -> f64 {
+        let span = self.makespan_us();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.results.len() as f64 / (span * 1e-6)
+    }
+
+    /// Batches that actually fused ≥ 2 queries into one launch set.
+    pub fn fused_batches(&self) -> usize {
+        self.devices
+            .iter()
+            .flat_map(|d| &d.batches)
+            .filter(|b| b.size >= 2)
+            .count()
+    }
+
+    /// Mean simulated latency over successful queries, µs.
+    pub fn mean_latency_us(&self) -> f64 {
+        let ok: Vec<f64> = self
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_ok())
+            .map(|r| r.latency_us)
+            .collect();
+        if ok.is_empty() {
+            return 0.0;
+        }
+        ok.iter().sum::<f64>() / ok.len() as f64
+    }
+}
+
+/// A submitted, not-yet-drained query.
+struct Pending {
+    id: usize,
+    data: Vec<f32>,
+    k: usize,
+}
+
+/// A group of same-shape queries destined for one fused launch set.
+struct Batch {
+    n: usize,
+    k: usize,
+    queries: Vec<Pending>,
+}
+
+/// Multi-device top-K serving engine. See the crate docs for the
+/// serving model; construction is cheap (devices are created inside
+/// the drain's worker threads).
+pub struct TopKEngine {
+    config: EngineConfig,
+    pending: Vec<Pending>,
+    next_id: usize,
+}
+
+impl TopKEngine {
+    /// Engine over `config`'s device pool.
+    ///
+    /// # Panics
+    /// If the pool is empty.
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(!config.devices.is_empty(), "engine needs >= 1 device");
+        TopKEngine {
+            config,
+            pending: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Queries waiting for the next [`TopKEngine::drain`].
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Enqueue a top-K query (smallest `k` of `data`, with indices).
+    ///
+    /// Returns the query's submission id — [`DrainReport::results`] is
+    /// sorted by it. Shape problems (`k == 0`, `k > data.len()`) are
+    /// *not* rejected here; they come back as that query's
+    /// [`TopKError`] so a bad query cannot poison the queue.
+    pub fn submit(&mut self, data: Vec<f32>, k: usize) -> Result<usize, EngineError> {
+        if self.pending.len() >= self.config.queue_capacity {
+            return Err(EngineError::QueueFull {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push(Pending { id, data, k });
+        Ok(id)
+    }
+
+    /// Run every queued query across the device pool and return all
+    /// results plus per-device reports.
+    pub fn drain(&mut self) -> DrainReport {
+        let batches = coalesce(
+            std::mem::take(&mut self.pending),
+            self.config.coalescing_window,
+        );
+        let cursor = AtomicUsize::new(0);
+
+        let mut per_device: Vec<(Vec<QueryResult>, DeviceReport)> = crossbeam::scope(|s| {
+            let batches = &batches;
+            let cursor = &cursor;
+            let handles: Vec<_> = self
+                .config
+                .devices
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(dev, spec)| s.spawn(move |_| run_device(dev, spec, batches, cursor)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        })
+        .expect("engine scope failed");
+
+        per_device.sort_by_key(|(_, d)| d.device);
+        let mut results = Vec::new();
+        let mut devices = Vec::new();
+        for (rs, report) in per_device {
+            results.extend(rs);
+            devices.push(report);
+        }
+        results.sort_by_key(|r| r.id);
+        DrainReport { results, devices }
+    }
+}
+
+/// Group queries into same-`(N, K)` batches of at most `window`,
+/// preserving submission order within and across batches.
+fn coalesce(pending: Vec<Pending>, window: usize) -> Vec<Batch> {
+    let window = window.max(1);
+    let mut batches: Vec<Batch> = Vec::new();
+    // Open (not yet full) batch per shape.
+    let mut open: HashMap<(usize, usize), usize> = HashMap::new();
+    for q in pending {
+        let shape = (q.data.len(), q.k);
+        match open.get(&shape) {
+            Some(&bi) if batches[bi].queries.len() < window => batches[bi].queries.push(q),
+            _ => {
+                open.insert(shape, batches.len());
+                batches.push(Batch {
+                    n: shape.0,
+                    k: shape.1,
+                    queries: vec![q],
+                });
+            }
+        }
+    }
+    batches
+}
+
+/// One pool worker: claim batches off the shared cursor until none are
+/// left, executing each on this worker's own device.
+fn run_device(
+    dev: usize,
+    spec: DeviceSpec,
+    batches: &[Batch],
+    cursor: &AtomicUsize,
+) -> (Vec<QueryResult>, DeviceReport) {
+    let mut gpu = Gpu::new(spec);
+    let selector = SelectK::default();
+    let mut results = Vec::new();
+    let mut records = Vec::new();
+
+    loop {
+        let bi = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(batch) = batches.get(bi) else { break };
+        let start_us = gpu.elapsed_us();
+        let report_lo = gpu.reports().len();
+        let outcome = run_batch(&mut gpu, &selector, batch);
+        let end_us = gpu.elapsed_us();
+        records.push(BatchRecord {
+            device: dev,
+            size: batch.queries.len(),
+            n: batch.n,
+            k: batch.k,
+            report_range: (report_lo, gpu.reports().len()),
+            start_us,
+            end_us,
+        });
+        match outcome {
+            Ok(outs) => {
+                for (q, out) in batch.queries.iter().zip(outs) {
+                    results.push(QueryResult {
+                        id: q.id,
+                        device: dev,
+                        batch_size: batch.queries.len(),
+                        queue_wait_us: start_us,
+                        latency_us: end_us,
+                        outcome: Ok(out),
+                    });
+                }
+            }
+            Err(e) => {
+                for q in &batch.queries {
+                    results.push(QueryResult {
+                        id: q.id,
+                        device: dev,
+                        batch_size: batch.queries.len(),
+                        queue_wait_us: start_us,
+                        latency_us: end_us,
+                        outcome: Err(e.clone()),
+                    });
+                }
+            }
+        }
+    }
+
+    let report = DeviceReport {
+        device: dev,
+        batches: records,
+        elapsed_us: gpu.elapsed_us(),
+        mem_high_water: gpu.mem_high_water(),
+        mem_allocated_after: gpu.mem_allocated(),
+        kernel_reports: gpu.reports().to_vec(),
+    };
+    (results, report)
+}
+
+/// Upload, select (fused when the batch has > 1 query), download.
+/// Device-side inputs and outputs are freed on every path so the next
+/// batch on this device sees honest `mem_allocated`.
+fn run_batch(
+    gpu: &mut Gpu,
+    selector: &SelectK,
+    batch: &Batch,
+) -> Result<Vec<QueryOutput>, TopKError> {
+    let mut ws = ScratchGuard::new();
+    let r = batch_passes(gpu, &mut ws, selector, batch);
+    ws.release(gpu);
+    r
+}
+
+fn batch_passes(
+    gpu: &mut Gpu,
+    ws: &mut ScratchGuard,
+    selector: &SelectK,
+    batch: &Batch,
+) -> Result<Vec<QueryOutput>, TopKError> {
+    let mut inputs = Vec::with_capacity(batch.queries.len());
+    for q in &batch.queries {
+        let buf = gpu.try_htod(&format!("query{}", q.id), &q.data)?;
+        ws.adopt(&buf);
+        inputs.push(buf);
+    }
+    let outs = if inputs.len() == 1 {
+        vec![selector.try_select(gpu, &inputs[0], batch.k)?]
+    } else {
+        selector.try_select_batch(gpu, &inputs, batch.k)?
+    };
+    let mut host = Vec::with_capacity(outs.len());
+    for out in outs {
+        let values = gpu.dtoh(&out.values);
+        let indices = gpu.dtoh(&out.indices);
+        gpu.free(&out.values);
+        gpu.free(&out.indices);
+        host.push(QueryOutput {
+            values,
+            indices,
+            k: out.k,
+        });
+    }
+    Ok(host)
+}
+
+#[cfg(test)]
+mod tests;

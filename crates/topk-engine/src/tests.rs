@@ -1,0 +1,271 @@
+use super::*;
+use datagen::{generate, Distribution};
+use proptest::prelude::*;
+use topk_core::verify_topk;
+
+fn a100_engine(devices: usize, window: usize) -> TopKEngine {
+    TopKEngine::new(EngineConfig::a100_pool(devices).with_window(window))
+}
+
+/// Kernel launches SelectK needs for one query of this shape on a
+/// fresh device — the per-query cost coalescing is meant to amortise.
+fn single_query_launches(data: &[f32], k: usize) -> usize {
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let input = gpu.htod("ref", data);
+    gpu.reset_profile();
+    let out = SelectK::default().try_select(&mut gpu, &input, k).unwrap();
+    gpu.free(&out.values);
+    gpu.free(&out.indices);
+    gpu.reports().len()
+}
+
+#[test]
+fn mixed_200_query_workload_across_two_devices() {
+    // The acceptance workload: 200 queries of four shapes, drained on
+    // a 2-device pool with an 8-wide coalescing window.
+    let shapes: [(usize, usize); 4] = [(1 << 15, 32), (1 << 14, 100), (1 << 15, 1), (4096, 512)];
+    let mut engine = a100_engine(2, 8);
+    let mut expected = Vec::new();
+    for q in 0..200 {
+        let (n, k) = shapes[q % shapes.len()];
+        let data = generate(Distribution::Uniform, n, q as u64);
+        let id = engine.submit(data.clone(), k).unwrap();
+        assert_eq!(id, q);
+        expected.push((data, k));
+    }
+    assert_eq!(engine.pending(), 200);
+    let report = engine.drain();
+    assert_eq!(engine.pending(), 0);
+    assert_eq!(report.results.len(), 200);
+
+    // Every query verifies against its own data.
+    for (r, (data, k)) in report.results.iter().zip(&expected) {
+        let out = r
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("query {}: {e}", r.id));
+        assert_eq!(out.k, *k);
+        verify_topk(data, *k, &out.values, &out.indices)
+            .unwrap_or_else(|e| panic!("query {}: {e}", r.id));
+    }
+
+    // Both devices did real work.
+    let busy = report
+        .devices
+        .iter()
+        .filter(|d| !d.batches.is_empty())
+        .count();
+    assert!(busy >= 2, "only {busy} of 2 devices ran batches");
+
+    // At least one same-shape batch was coalesced into a fused launch
+    // set: the batch's kernel reports show far fewer launches than
+    // running its queries one by one would need.
+    let fused = report
+        .devices
+        .iter()
+        .flat_map(|d| &d.batches)
+        .find(|b| b.size >= 2)
+        .expect("an 8-wide window over 50 same-shape queries must coalesce");
+    assert!(report.fused_batches() > 0);
+    let per_query = single_query_launches(&expected[0].0, fused.k).max(1);
+    assert!(
+        fused.kernel_launches() < fused.size * per_query,
+        "batch of {} used {} launches, sequential would use {}",
+        fused.size,
+        fused.kernel_launches(),
+        fused.size * per_query
+    );
+    // The report range indexes real kernel reports on that device.
+    let dev = &report.devices[fused.device];
+    let (lo, hi) = fused.report_range;
+    assert!(hi <= dev.kernel_reports.len() && lo < hi);
+
+    // Metrics are consistent with the arrival-at-zero model.
+    for r in &report.results {
+        assert!(r.queue_wait_us >= 0.0 && r.latency_us >= r.queue_wait_us);
+    }
+    let max_wait = report
+        .results
+        .iter()
+        .map(|r| r.queue_wait_us)
+        .fold(0.0, f64::max);
+    assert!(max_wait > 0.0, "later batches must observe queue wait");
+    assert!(report.queries_per_sec() > 0.0);
+    assert!(report.makespan_us() > 0.0);
+}
+
+#[test]
+fn window_one_disables_coalescing() {
+    let mut engine = a100_engine(2, 1);
+    let data = generate(Distribution::Normal, 8192, 5);
+    for _ in 0..6 {
+        engine.submit(data.clone(), 16).unwrap();
+    }
+    let report = engine.drain();
+    assert_eq!(report.fused_batches(), 0);
+    for r in &report.results {
+        assert_eq!(r.batch_size, 1);
+        let out = r.outcome.as_ref().unwrap();
+        verify_topk(&data, 16, &out.values, &out.indices).unwrap();
+    }
+}
+
+#[test]
+fn coalescing_respects_window_and_shape() {
+    // 5 queries of shape A (window 2 -> batches of 2,2,1) interleaved
+    // with 4 of shape B (-> 2,2).
+    let a = generate(Distribution::Uniform, 4096, 1);
+    let b = generate(Distribution::Uniform, 2048, 2);
+    let mut engine = a100_engine(1, 2);
+    for i in 0..8 {
+        let (data, k) = if i % 2 == 0 { (&a, 7) } else { (&b, 9) };
+        engine.submit(data.clone(), k).unwrap();
+    }
+    engine.submit(a.clone(), 7).unwrap(); // 5th shape-A query
+    let report = engine.drain();
+    let mut sizes: Vec<(usize, usize, usize)> = report
+        .devices
+        .iter()
+        .flat_map(|d| &d.batches)
+        .map(|b| (b.n, b.k, b.size))
+        .collect();
+    sizes.sort_unstable();
+    assert_eq!(
+        sizes,
+        vec![
+            (2048, 9, 2),
+            (2048, 9, 2),
+            (4096, 7, 1),
+            (4096, 7, 2),
+            (4096, 7, 2)
+        ]
+    );
+    for r in &report.results {
+        assert!(r.outcome.is_ok());
+    }
+}
+
+#[test]
+fn bad_queries_fail_individually_without_poisoning_good_ones() {
+    let mut engine = a100_engine(2, 4);
+    let good = generate(Distribution::Uniform, 1000, 3);
+    let id_good = engine.submit(good.clone(), 10).unwrap();
+    let id_zero_k = engine.submit(good.clone(), 0).unwrap();
+    let id_k_too_big = engine.submit(good.clone(), 1001).unwrap();
+    let id_empty = engine.submit(Vec::new(), 5).unwrap();
+    let report = engine.drain();
+
+    let by_id = |id: usize| report.results.iter().find(|r| r.id == id).unwrap();
+    let out = by_id(id_good).outcome.as_ref().unwrap();
+    verify_topk(&good, 10, &out.values, &out.indices).unwrap();
+    for id in [id_zero_k, id_k_too_big, id_empty] {
+        assert!(
+            matches!(by_id(id).outcome, Err(TopKError::InvalidK { .. })),
+            "query {id} should fail with InvalidK, got {:?}",
+            by_id(id).outcome
+        );
+    }
+}
+
+#[test]
+fn submission_queue_is_bounded() {
+    let mut engine = TopKEngine::new(
+        EngineConfig::a100_pool(1)
+            .with_queue_capacity(2)
+            .with_window(4),
+    );
+    engine.submit(vec![1.0, 2.0], 1).unwrap();
+    engine.submit(vec![3.0, 4.0], 1).unwrap();
+    assert_eq!(
+        engine.submit(vec![5.0, 6.0], 1),
+        Err(EngineError::QueueFull { capacity: 2 })
+    );
+    // Draining frees capacity again.
+    let report = engine.drain();
+    assert_eq!(report.results.len(), 2);
+    engine.submit(vec![5.0, 6.0], 1).unwrap();
+    let report = engine.drain();
+    assert_eq!(report.results[0].id, 2);
+}
+
+#[test]
+fn devices_stay_leak_free_across_batches() {
+    // After a drain every device must be back at zero allocated bytes:
+    // inputs, workspace and outputs are all returned to the allocator
+    // — including on batches that fail.
+    let mut engine = a100_engine(1, 2);
+    for i in 0..4 {
+        engine
+            .submit(generate(Distribution::Uniform, 4096, i), 32)
+            .unwrap();
+    }
+    engine
+        .submit(generate(Distribution::Uniform, 512, 9), 600)
+        .unwrap(); // fails: k > n
+    let report = engine.drain();
+    for dev in &report.devices {
+        assert_eq!(dev.mem_allocated_after, 0, "device {} leaked", dev.device);
+        assert!(dev.mem_high_water > 0);
+        for b in &dev.batches {
+            assert!(b.end_us >= b.start_us);
+        }
+    }
+    assert_eq!(
+        report.results.iter().filter(|r| r.outcome.is_err()).count(),
+        1
+    );
+}
+
+/// Sequential reference: each query on its own fresh device through
+/// the same dispatcher, single-query path.
+fn sequential_reference(data: &[f32], k: usize) -> Result<QueryOutput, TopKError> {
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let input = gpu.try_htod("seq", data)?;
+    let out = SelectK::default().try_select(&mut gpu, &input, k)?;
+    let values = gpu.dtoh(&out.values);
+    let indices = gpu.dtoh(&out.indices);
+    Ok(QueryOutput { values, indices, k })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Satellite: for arbitrary query mixes, the engine's answers match
+    // running each query sequentially on a fresh device — same top-K
+    // multiset (verify_topk on both, then bitwise-equal sorted values).
+    #[test]
+    fn engine_matches_sequential_fresh_device_runs(
+        seeds in prop::collection::vec((0u64..1000, 1usize..5), 1..10),
+        window in 1usize..5,
+        devices in 1usize..4,
+    ) {
+        let queries: Vec<(Vec<f32>, usize)> = seeds
+            .iter()
+            .map(|&(seed, kf)| {
+                let n = 256 + (seed as usize % 4) * 711;
+                let data = generate(Distribution::Uniform, n, seed);
+                let k = (n * kf / 5).max(1);
+                (data, k)
+            })
+            .collect();
+        let mut engine = TopKEngine::new(
+            EngineConfig::a100_pool(devices).with_window(window),
+        );
+        for (data, k) in &queries {
+            engine.submit(data.clone(), *k).unwrap();
+        }
+        let report = engine.drain();
+        prop_assert_eq!(report.results.len(), queries.len());
+        for (r, (data, k)) in report.results.iter().zip(&queries) {
+            let got = r.outcome.as_ref().unwrap();
+            prop_assert!(verify_topk(data, *k, &got.values, &got.indices).is_ok());
+            let want = sequential_reference(data, *k).unwrap();
+            prop_assert!(verify_topk(data, *k, &want.values, &want.indices).is_ok());
+            let mut a: Vec<u32> = got.values.iter().map(|v| v.to_bits()).collect();
+            let mut b: Vec<u32> = want.values.iter().map(|v| v.to_bits()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -37,6 +37,7 @@
 
 use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
 use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
+use topk_core::{ScratchGuard, TopKError};
 
 /// Delegate-centric hybrid selection over a base algorithm.
 ///
@@ -90,41 +91,29 @@ impl<A: TopKAlgorithm> DrTopK<A> {
         self.sub_len
             .unwrap_or_else(|| (((n / k.max(1)) as f64).sqrt() as usize).clamp(16, 4096))
     }
-}
 
-impl<A: TopKAlgorithm> TopKAlgorithm for DrTopK<A> {
-    fn name(&self) -> &'static str {
-        "Dr. Top-K"
-    }
-
-    fn category(&self) -> Category {
-        self.base.category()
-    }
-
-    // The base algorithm's K cap applies to both internal selections;
-    // since both use the same K, the cap carries over unchanged.
-    fn max_k(&self) -> Option<usize> {
-        self.base.max_k()
-    }
-
-    fn select(&self, gpu: &mut Gpu, input: &DeviceBuffer<f32>, k: usize) -> TopKOutput {
-        check_args(self, input.len(), k);
+    /// The four hybrid passes. Intermediates are tracked in `ws`
+    /// (released by the caller on every path) and output buffers in
+    /// `outs` (released by the caller only on error).
+    #[allow(clippy::too_many_arguments)]
+    fn hybrid_passes(
+        &self,
+        gpu: &mut Gpu,
+        ws: &mut ScratchGuard,
+        outs: &mut ScratchGuard,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+        sub_len: usize,
+        subranges: usize,
+    ) -> Result<TopKOutput, TopKError> {
         let n = input.len();
-        let sub_len = self.sub_len_for(n, k);
-        let subranges = n.div_ceil(sub_len);
-
-        // Degenerate shapes: the delegate detour cannot pay off when K
-        // already covers most subranges.
-        if k >= subranges || subranges <= 1 {
-            return self.base.select(gpu, input, k);
-        }
 
         // --- 1. delegate reduction --------------------------------
-        let delegates = gpu.alloc::<f32>("drtopk_delegates", subranges);
+        let delegates = ws.alloc::<f32>(gpu, "drtopk_delegates", subranges)?;
         {
             let input = input.clone();
             let delegates = delegates.clone();
-            gpu.launch(
+            gpu.try_launch(
                 "drtopk_delegate_reduce",
                 LaunchConfig::for_elements(subranges, 256, 1, usize::MAX),
                 move |ctx| {
@@ -147,17 +136,18 @@ impl<A: TopKAlgorithm> TopKAlgorithm for DrTopK<A> {
                         ctx.st(&delegates, s, m);
                     }
                 },
-            );
+            )?;
         }
 
         // --- 2. first top-K over the delegates --------------------
-        let winners = self.base.select(gpu, &delegates, k);
-        gpu.free(&delegates);
+        let winners = self.base.try_select(gpu, &delegates, k)?;
+        ws.adopt(&winners.values);
+        ws.adopt(&winners.indices);
 
         // --- 3. gather the winning subranges ----------------------
         let cand_cap = k * sub_len;
-        let cand_val = gpu.alloc::<f32>("drtopk_cand_val", cand_cap);
-        let cand_src = gpu.alloc::<u32>("drtopk_cand_src", cand_cap);
+        let cand_val = ws.alloc::<f32>(gpu, "drtopk_cand_val", cand_cap)?;
+        let cand_src = ws.alloc::<u32>(gpu, "drtopk_cand_src", cand_cap)?;
         // Tail subrange may be short; pad with the paper-style +inf
         // sentinel so the candidate array length is uniform.
         {
@@ -165,7 +155,7 @@ impl<A: TopKAlgorithm> TopKAlgorithm for DrTopK<A> {
             let win_idx = winners.indices.clone();
             let cand_val = cand_val.clone();
             let cand_src = cand_src.clone();
-            gpu.launch(
+            gpu.try_launch(
                 "drtopk_gather",
                 LaunchConfig::for_elements(k, 64, 1, usize::MAX),
                 move |ctx| {
@@ -188,17 +178,19 @@ impl<A: TopKAlgorithm> TopKAlgorithm for DrTopK<A> {
                         ctx.ops(sub_len as u64);
                     }
                 },
-            );
+            )?;
         }
 
         // --- 4. second top-K + index mapping -----------------------
-        let second = self.base.select(gpu, &cand_val, k);
-        let out_idx = gpu.alloc::<u32>("drtopk_out_idx", k);
+        let second = self.base.try_select(gpu, &cand_val, k)?;
+        outs.adopt(&second.values);
+        ws.adopt(&second.indices);
+        let out_idx = outs.alloc::<u32>(gpu, "drtopk_out_idx", k)?;
         {
             let second_idx = second.indices.clone();
             let cand_src = cand_src.clone();
             let out_idx = out_idx.clone();
-            gpu.launch(
+            gpu.try_launch(
                 "drtopk_map_indices",
                 LaunchConfig::grid_1d(1, 256),
                 move |ctx| {
@@ -210,16 +202,53 @@ impl<A: TopKAlgorithm> TopKAlgorithm for DrTopK<A> {
                     }
                     ctx.ops(k as u64);
                 },
-            );
+            )?;
         }
 
-        gpu.free(&cand_val);
-        gpu.free(&cand_src);
+        Ok(TopKOutput::new(second.values, out_idx))
+    }
+}
 
-        TopKOutput {
-            values: second.values,
-            indices: out_idx,
+impl<A: TopKAlgorithm> TopKAlgorithm for DrTopK<A> {
+    fn name(&self) -> &'static str {
+        "Dr. Top-K"
+    }
+
+    fn category(&self) -> Category {
+        self.base.category()
+    }
+
+    // The base algorithm's K cap applies to both internal selections;
+    // since both use the same K, the cap carries over unchanged.
+    fn max_k(&self) -> Option<usize> {
+        self.base.max_k()
+    }
+
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        check_args(self, input.len(), k)?;
+        let n = input.len();
+        let sub_len = self.sub_len_for(n, k);
+        let subranges = n.div_ceil(sub_len);
+
+        // Degenerate shapes: the delegate detour cannot pay off when K
+        // already covers most subranges.
+        if k >= subranges || subranges <= 1 {
+            return self.base.try_select(gpu, input, k);
         }
+
+        let mut ws = ScratchGuard::new();
+        let mut outs = ScratchGuard::new();
+        let r = self.hybrid_passes(gpu, &mut ws, &mut outs, input, k, sub_len, subranges);
+        ws.release(gpu);
+        if r.is_err() {
+            outs.release(gpu);
+        }
+        r
     }
 }
 

@@ -82,19 +82,21 @@ fn main() {
         items_per_thread: 4,
         ..GridSelectConfig::default()
     });
-    let out = fused_cfg.select_on_the_fly(&mut gpu, n, k, |ctx, v| {
-        let mut acc = 0.0f32;
-        for d in 0..dim {
-            let x = ctx.ld(&vecs, v * dim + d);
-            // The query vector lives in the constant cache / registers
-            // on a real GPU (one broadcast load per block, not per
-            // element): read it unmetered.
-            let qd = q.get(d);
-            acc += (x - qd) * (x - qd);
-        }
-        ctx.ops(2 * dim as u64);
-        acc
-    });
+    let out = fused_cfg
+        .select_on_the_fly(&mut gpu, n, k, |ctx, v| {
+            let mut acc = 0.0f32;
+            for d in 0..dim {
+                let x = ctx.ld(&vecs, v * dim + d);
+                // The query vector lives in the constant cache / registers
+                // on a real GPU (one broadcast load per block, not per
+                // element): read it unmetered.
+                let qd = q.get(d);
+                acc += (x - qd) * (x - qd);
+            }
+            ctx.ops(2 * dim as u64);
+            acc
+        })
+        .unwrap();
     let t_fused = gpu.elapsed_us();
     let traffic_fused: u64 = gpu
         .reports()

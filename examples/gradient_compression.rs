@@ -84,7 +84,7 @@ fn main() {
     let mut gpu = Gpu::new(DeviceSpec::a100());
     let input = gpu.htod("neg_magnitudes", &keyed);
     gpu.reset_profile();
-    let thr = air.kth_value(&mut gpu, &input, k);
+    let thr = air.kth_value(&mut gpu, &input, k).unwrap();
     println!(
         "\n  threshold-only API: |g| >= {:.4} in {:.1} simulated us",
         -thr,

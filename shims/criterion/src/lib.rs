@@ -1,0 +1,235 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`, and
+//! `Bencher::iter`. Instead of criterion's statistical engine, each
+//! benchmark runs a fixed warm-up plus measured sample loop and prints
+//! mean wall time (and throughput when configured) — enough to compare
+//! runs by eye and to keep `cargo bench`/`--all-targets` building in an
+//! offline environment.
+
+use std::time::{Duration, Instant};
+
+/// How many measured iterations a `Bencher::iter` call performs.
+/// `CRITERION_SHIM_SAMPLES` overrides (e.g. `=1` for CI smoke runs).
+fn samples(group_hint: usize) -> usize {
+    std::env::var("CRITERION_SHIM_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(group_hint)
+        .max(1)
+}
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation for a group, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: usize,
+    /// Mean time per iteration, filled by [`Bencher::iter`].
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of samples (plus one warm-up),
+    /// recording mean wall time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed() / self.iters as u32;
+    }
+}
+
+/// A named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the measured iteration count (criterion's statistical sample
+    /// size; here simply the loop count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: samples(self.sample_size),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: samples(self.sample_size),
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Conclude the group (printing is per-benchmark; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let per_iter = b.elapsed.as_secs_f64();
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(" ({:.3e} elem/s)", n as f64 / per_iter.max(1e-12)),
+            Throughput::Bytes(n) => format!(" ({:.3e} B/s)", n as f64 / per_iter.max(1e-12)),
+        });
+        println!(
+            "{}/{}: {:>12.3} us/iter{}",
+            self.name,
+            id.id,
+            per_iter * 1e6,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in
+/// favour of `std::hint::black_box`, which the workspace uses).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3).throughput(Throughput::Elements(10));
+            g.bench_function("inc", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &p| {
+                b.iter(|| black_box(p * 2))
+            });
+            g.finish();
+        }
+        assert!(ran >= 3);
+    }
+}

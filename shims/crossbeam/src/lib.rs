@@ -1,0 +1,99 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::scope` with `Scope::spawn` and joinable handles. Built
+//! on `std::thread::scope`, which provides the same borrow-checked
+//! scoped-thread guarantee.
+//!
+//! Behavioural note: `crossbeam::scope` collects panics of unjoined
+//! children into its `Err` return; `std::thread::scope` resumes the
+//! panic instead. Every caller in this workspace either joins all
+//! handles or treats a child panic as fatal (`.expect(...)`), so the
+//! observable behaviour — a propagating panic — is identical.
+
+use std::any::Any;
+
+/// Result type of [`scope`], mirroring `crossbeam::thread::Result`.
+pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope handle passed to [`scope`]'s closure and to every spawned
+/// child (crossbeam passes it so children can spawn siblings).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the child to finish, returning its result or the panic
+    /// payload.
+    pub fn join(self) -> ScopeResult<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope (so it can
+    /// spawn siblings), matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&handle)),
+        }
+    }
+}
+
+/// Run `f` with a scope in which threads borrowing from the caller's
+/// stack can be spawned; all children are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias, for callers using the long path.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let sums: Vec<u32> = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn children_can_spawn_siblings() {
+        let v = super::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 41).join().unwrap() + 1)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline stand-in for the subset of `parking_lot` this workspace
+//! uses: `Mutex`/`RwLock` with panic-free `lock()` accessors. Built on
+//! the `std::sync` primitives; lock poisoning is deliberately ignored
+//! (parking_lot has no poisoning), which matches how the workspace
+//! treats a panicking critical section as fatal anyway.
+
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutex whose `lock()` returns the guard directly, like
+/// `parking_lot::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex guarding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the mutex, returning the guarded value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A reader-writer lock with panic-free accessors, like
+/// `parking_lot::RwLock`.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a lock guarding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquire a shared read guard, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire an exclusive write guard, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the lock, returning the guarded value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(0u32);
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+        assert_eq!(l.into_inner(), 9);
+    }
+}

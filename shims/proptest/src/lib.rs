@@ -1,0 +1,591 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses:
+//! the `proptest!` macro, range/`Just`/`any`/`prop_oneof!` strategies,
+//! `prop::collection::vec`, `prop_flat_map`/`prop_map`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Semantics: each `#[test]` runs `ProptestConfig::cases` random cases
+//! from a deterministic per-test seed. `prop_assume!` skips the case
+//! (no retry loop); there is no shrinking — a failing case reports its
+//! generated inputs via `Debug` where available in the assertion
+//! message instead. That trade-off keeps the vendored shim tiny while
+//! preserving what the test-suite relies on: broad randomized coverage
+//! with reproducible failures.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The random source threaded through strategies.
+    pub type TestRng = StdRng;
+
+    /// A generator of random values. Unlike real proptest there is no
+    /// value tree / shrinking; `generate` draws one value.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one random value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f`
+        /// builds from it (dependent generation).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Box the strategy, erasing its concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union of boxed strategies (`prop_oneof!`'s engine).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        /// Build from `(weight, strategy)` arms. Weights must sum > 0.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen::<u64>() % self.total as u64;
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    /// Full-range / all-values strategy for a primitive (`any::<T>()`).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Types with an `any::<T>()` strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value — full bit range for integers and
+        /// floats (floats may be NaN/±inf, like real proptest).
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for i32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<u32>() as i32
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<u64>() as usize
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Full bit patterns: subnormals, ±0, ±inf and NaN included.
+            f32::from_bits(rng.gen::<u32>())
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::from_bits(rng.gen::<u64>())
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    // ---- ranges as strategies -------------------------------------------
+
+    /// Primitives sampleable from half-open/inclusive ranges.
+    pub trait RangeSample: Copy + PartialOrd {
+        /// Uniform draw from `[low, high)`.
+        fn sample_half_open(rng: &mut TestRng, low: Self, high: Self) -> Self;
+        /// Uniform draw from `[low, high]`.
+        fn sample_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self;
+    }
+
+    macro_rules! impl_range_sample_int {
+        ($($t:ty),*) => {$(
+            impl RangeSample for $t {
+                fn sample_half_open(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                    assert!(low < high, "empty range");
+                    let span = (high as i128 - low as i128) as u128;
+                    (low as i128 + (rng.gen::<u64>() as u128 % span) as i128) as $t
+                }
+                fn sample_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                    assert!(low <= high, "empty range");
+                    let span = (high as i128 - low as i128) as u128 + 1;
+                    (low as i128 + (rng.gen::<u64>() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_sample_float {
+        ($($t:ty),*) => {$(
+            impl RangeSample for $t {
+                fn sample_half_open(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                    assert!(low < high, "empty range");
+                    low + (rng.gen::<f64>() as $t) * (high - low)
+                }
+                fn sample_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                    assert!(low <= high, "empty range");
+                    // Map [0,1) onto [low, high] by occasionally pinning
+                    // the endpoint so `high` is actually reachable.
+                    if rng.gen::<u64>() % 4096 == 0 {
+                        return high;
+                    }
+                    low + (rng.gen::<f64>() as $t) * (high - low)
+                }
+            }
+        )*};
+    }
+
+    impl_range_sample_float!(f32, f64);
+
+    impl<T: RangeSample> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: RangeSample> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+
+    // ---- tuples of strategies -------------------------------------------
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+    }
+}
+
+pub mod collection {
+    use super::strategy::{RangeSample, Strategy, TestRng};
+
+    /// Element-count specification for [`vec`]: an exact length or a
+    /// range of lengths.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Exact(usize),
+        /// Uniformly chosen length in `[lo, hi)`.
+        Range(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange::Range(r.start, r.end)
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange::Range(*r.start(), *r.end() + 1)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem`-generated values.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(elem, size)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::Range(lo, hi) => usize::sample_half_open(rng, lo, hi),
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Per-test configuration (`cases` is the only knob the workspace
+    /// uses).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A test-case failure (assertion or explicit rejection).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assert*` failed with this message.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs (the case is skipped).
+        Reject,
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic per-test seed: FNV-1a over the test name, so each
+    /// test explores its own reproducible sequence.
+    pub fn rng_for_test(name: &str, case: u32) -> super::strategy::TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        super::strategy::TestRng::seed_from_u64(h ^ ((case as u64) << 32))
+    }
+}
+
+/// The `proptest::prelude` re-exports the workspace imports.
+pub mod prelude {
+    pub use super::collection;
+    pub use super::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    /// `ProptestConfig` alias used in `proptest_config` attributes.
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use super::super::collection;
+    }
+}
+
+/// Assert inside a proptest case; failure aborts only this case with a
+/// propagated message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` == `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: `{:?}` != `{:?}`", a, b);
+    }};
+}
+
+/// Skip the current case when its generated inputs don't satisfy a
+/// precondition. (Real proptest retries; the shim just skips — with
+/// the workspace's generous case counts, coverage stays equivalent.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Weighted or unweighted union of strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// The `proptest!` test-defining macro: runs each body over
+/// `ProptestConfig::cases` random bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::rng_for_test(stringify!($name), case);
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(())
+                        | ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {}
+                        ::core::result::Result::Err(e) => {
+                            panic!("proptest {} case {case} failed: {e}", stringify!($name));
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10usize..20, f in -1.5f32..1.5, g in 0.0f64..=1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1.5..1.5).contains(&f));
+            prop_assert!((0.0..=1.0).contains(&g));
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u32..5, 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn flat_map_dependent(v in (1u32..=4).prop_flat_map(|n| prop::collection::vec(any::<u32>(), 1usize << n))) {
+            prop_assert!(v.len().is_power_of_two());
+        }
+
+        #[test]
+        fn oneof_weighted(x in prop_oneof![4 => 0i32..10, 1 => Just(-1i32)]) {
+            prop_assert!(x == -1 || (0..10).contains(&x));
+        }
+
+        #[test]
+        fn tuple_and_patterns((a, b) in (0u32..4, 4u32..8)) {
+            prop_assert!(a < 4 && (4..8).contains(&b));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_test() {
+        use crate::strategy::Strategy;
+        let s = 0u64..u64::MAX;
+        let mut r1 = crate::test_runner::rng_for_test("t", 3);
+        let mut r2 = crate::test_runner::rng_for_test("t", 3);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -1,0 +1,343 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace
+//! uses: `StdRng::seed_from_u64` plus `Rng::gen` for the primitive
+//! types. The registry is unavailable in the build environment, so the
+//! workspace vendors the API surface it needs (see `shims/README.md`).
+//!
+//! `StdRng` here is bit-exact with `rand` 0.8's (ChaCha12 with the
+//! `rand_core` 0.6 `seed_from_u64` expansion, plus `rand`'s `Standard`
+//! integer/float conversions), so seeded datagen streams match what the
+//! upstream crate would produce.
+
+/// Core random source, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from its standard distribution
+    /// (`[0, 1)` for floats, full range for integers).
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from `[low, high)`.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_uniform(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types sampleable from the standard distribution.
+pub trait SampleStandard {
+    /// Draw one sample.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for bool {
+    /// Sign test on the next 32-bit word, like `rand`.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl SampleStandard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision, exactly `rand`'s
+    /// multiply-based `Standard` conversion.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision, exactly `rand`'s
+    /// multiply-based `Standard` conversion.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types sampleable uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Draw one sample from `[low, high)`.
+    fn sample_uniform<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for usize {
+    fn sample_uniform<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty range");
+        let span = (high - low) as u64;
+        low + (rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_uniform<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty range");
+        low + rng.next_u64() % (high - low)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+        low + f64::sample_standard(rng) * (high - low)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const BUF_WORDS: usize = 64; // four ChaCha blocks, like rand_chacha
+
+    /// `rand::rngs::StdRng`: a ChaCha12 block generator behind the
+    /// `rand_core` `BlockRng` word buffer. Word streams (and therefore
+    /// every `gen` call) are bit-identical with the upstream crate.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        /// Key words 4..12 of the ChaCha state (little-endian seed).
+        key: [u32; 8],
+        /// 64-bit block counter (ChaCha state words 12..14).
+        counter: u64,
+        /// Buffered output: four blocks generated at a time.
+        buf: [u32; BUF_WORDS],
+        /// Next unread word in `buf`.
+        index: usize,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // rand_core 0.6's default seed expansion: a PCG32 stream
+            // fills the 32-byte ChaCha seed four bytes at a time.
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            let mut pcg32 = || {
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+                let rot = (state >> 59) as u32;
+                xorshifted.rotate_right(rot)
+            };
+            let mut key = [0u32; 8];
+            for word in key.iter_mut() {
+                // Bytes are written little-endian and re-read
+                // little-endian into state words, so the PCG output maps
+                // straight through.
+                *word = pcg32();
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS, // force a refill on first use
+            }
+        }
+    }
+
+    impl StdRng {
+        /// All-zero key, for pinning the raw cipher against published
+        /// ChaCha12 test vectors.
+        #[cfg(test)]
+        pub(crate) fn zero_keyed_for_tests() -> Self {
+            StdRng {
+                key: [0; 8],
+                counter: 0,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS,
+            }
+        }
+
+        /// One ChaCha12 block for the current key at block counter `ctr`,
+        /// appended to `out`.
+        fn block(&self, ctr: u64, out: &mut [u32]) {
+            const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+            let mut x = [0u32; 16];
+            x[..4].copy_from_slice(&CONSTANTS);
+            x[4..12].copy_from_slice(&self.key);
+            x[12] = ctr as u32;
+            x[13] = (ctr >> 32) as u32;
+            // x[14], x[15]: zero nonce (StdRng never sets a stream).
+            let input = x;
+
+            #[inline(always)]
+            fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+                x[a] = x[a].wrapping_add(x[b]);
+                x[d] = (x[d] ^ x[a]).rotate_left(16);
+                x[c] = x[c].wrapping_add(x[d]);
+                x[b] = (x[b] ^ x[c]).rotate_left(12);
+                x[a] = x[a].wrapping_add(x[b]);
+                x[d] = (x[d] ^ x[a]).rotate_left(8);
+                x[c] = x[c].wrapping_add(x[d]);
+                x[b] = (x[b] ^ x[c]).rotate_left(7);
+            }
+
+            for _ in 0..6 {
+                // 6 double rounds = 12 rounds
+                quarter(&mut x, 0, 4, 8, 12);
+                quarter(&mut x, 1, 5, 9, 13);
+                quarter(&mut x, 2, 6, 10, 14);
+                quarter(&mut x, 3, 7, 11, 15);
+                quarter(&mut x, 0, 5, 10, 15);
+                quarter(&mut x, 1, 6, 11, 12);
+                quarter(&mut x, 2, 7, 8, 13);
+                quarter(&mut x, 3, 4, 9, 14);
+            }
+            for (o, (w, i)) in out.iter_mut().zip(x.iter().zip(input.iter())) {
+                *o = w.wrapping_add(*i);
+            }
+        }
+
+        /// Refill the four-block buffer and set the read index, exactly
+        /// `BlockRng::generate_and_set`.
+        fn generate_and_set(&mut self, index: usize) {
+            for blk in 0..4 {
+                let ctr = self.counter.wrapping_add(blk as u64);
+                let mut out = [0u32; 16];
+                self.block(ctr, &mut out);
+                self.buf[blk * 16..(blk + 1) * 16].copy_from_slice(&out);
+            }
+            self.counter = self.counter.wrapping_add(4);
+            self.index = index;
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.generate_and_set(0);
+            }
+            let value = self.buf[self.index];
+            self.index += 1;
+            value
+        }
+
+        // rand_core's BlockRng reads two consecutive buffered words
+        // (little-endian), spilling across a refill when only one word
+        // remains; reproduced exactly so mixed u32/u64 draws stay
+        // aligned with upstream.
+        fn next_u64(&mut self) -> u64 {
+            let index = self.index;
+            if index < BUF_WORDS - 1 {
+                self.index += 2;
+                u64::from(self.buf[index + 1]) << 32 | u64::from(self.buf[index])
+            } else if index >= BUF_WORDS {
+                self.generate_and_set(2);
+                u64::from(self.buf[1]) << 32 | u64::from(self.buf[0])
+            } else {
+                let lo = u64::from(self.buf[BUF_WORDS - 1]);
+                self.generate_and_set(1);
+                u64::from(self.buf[0]) << 32 | lo
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// First ChaCha12 block for the all-zero key: keystream bytes
+    /// `9b f4 9a 6a 07 55 f9 53 ...` read as little-endian u32s, which
+    /// is what `next_u32` yields upstream. Pins the core cipher
+    /// (rounds, constants, counter placement) to the published stream.
+    #[test]
+    fn chacha12_zero_seed_matches_upstream_vector() {
+        let expected = [
+            0x6a9a_f49b,
+            0x53f9_5507,
+            0x12ce_1f81,
+            0xd583_265f,
+            0xbbc3_2904,
+            0x1474_e049,
+            0xa589_007e,
+            0x5f15_ae2e,
+            0x79f8_6405,
+            0xc0e3_7ad2,
+            0x3428_e82c,
+            0x798c_faac,
+            0x2c9f_623a,
+            0x1969_dea0,
+            0x2fe8_0b61,
+            0xbe26_1341,
+        ];
+        let mut rng = StdRng::zero_keyed_for_tests();
+        let got: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn float_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn uniform_moments_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn u64_spills_across_block_boundary() {
+        // Draw 63 u32s, then a u64 that must stitch the last word of
+        // one refill (low half) to the first word of the next (high
+        // half) — the `index == len - 1` branch of BlockRng::next_u64.
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..63 {
+            a.next_u32();
+            b.next_u32();
+        }
+        let spilled = a.next_u64();
+        let w63 = b.next_u32(); // last word of the first refill
+        let w64 = b.next_u32(); // first word of the second refill
+        assert_eq!(spilled, u64::from(w64) << 32 | u64::from(w63));
+    }
+}

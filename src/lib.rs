@@ -8,6 +8,8 @@
 //! * [`topk_core`] — the paper's contributions: **AIR Top-K** (§3) and
 //!   **GridSelect** (§4), plus keys/bitonic/verify machinery.
 //! * [`topk_baselines`] — the eight previous algorithms of Table 1.
+//! * [`topk_engine`] — the multi-device serving layer: bounded query
+//!   queue, same-shape batch coalescing, per-query fallible results.
 //! * [`datagen`] — the synthetic distributions of §5.1 and the
 //!   ANN-workload substitute for the §5.5 real-data experiments.
 //!
@@ -37,6 +39,7 @@ pub use ::gpu_sim;
 pub use ::topk_baselines;
 pub use ::topk_core;
 pub use ::topk_cpu;
+pub use ::topk_engine;
 pub use ::topk_hybrid;
 
 /// Everything needed to run a selection, in one import.
@@ -49,10 +52,11 @@ pub mod prelude {
     };
     pub use crate::topk_core::{
         verify_topk, verify_topk_typed, AirConfig, AirTopK, Category, DeviceMatrix, GridSelect,
-        GridSelectConfig, QueueKind, SelectK, SelectLargest, TopKAlgorithm, TopKOutput,
+        GridSelectConfig, QueueKind, SelectK, SelectLargest, TopKAlgorithm, TopKError, TopKOutput,
         UnfusedRadix, WarpSelector,
     };
     pub use crate::topk_cpu::{heap_topk, parallel_topk};
+    pub use crate::topk_engine::{DrainReport, EngineConfig, QueryResult, TopKEngine};
     pub use crate::topk_hybrid::DrTopK;
 }
 

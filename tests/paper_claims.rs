@@ -34,7 +34,7 @@ fn air_never_touches_pcie_but_radixselect_does() {
         let mut gpu = Gpu::new(DeviceSpec::a100());
         let input = gpu.htod("in", &data);
         gpu.reset_profile();
-        alg.select(&mut gpu, &input, 2048);
+        let _ = alg.select(&mut gpu, &input, 2048);
         (gpu.timeline().memcpy_us(), gpu.timeline().kernel_count())
     };
     let (air_pcie, air_kernels) = profile(&AirTopK::default());
@@ -174,7 +174,7 @@ fn device_scaling_tracks_memory_bandwidth() {
         let mut gpu = Gpu::new(spec);
         let input = gpu.htod("in", &data);
         gpu.reset_profile();
-        AirTopK::default().select(&mut gpu, &input, 2048);
+        let _ = AirTopK::default().select(&mut gpu, &input, 2048);
         gpu.elapsed_us()
     };
     let a10 = time_on(DeviceSpec::a10());

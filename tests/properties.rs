@@ -142,7 +142,7 @@ fn simulated_time_monotone_in_n_for_air() {
         let mut gpu = Gpu::new(DeviceSpec::a100());
         let input = gpu.htod("in", &data);
         gpu.reset_profile();
-        AirTopK::default().select(&mut gpu, &input, 1024);
+        let _ = AirTopK::default().select(&mut gpu, &input, 1024);
         let t = gpu.elapsed_us();
         assert!(
             t >= last,
@@ -161,7 +161,7 @@ fn traffic_metering_is_deterministic() {
         let mut gpu = Gpu::new(DeviceSpec::a100());
         let input = gpu.htod("in", &data);
         gpu.reset_profile();
-        AirTopK::default().select(&mut gpu, &input, 100);
+        let _ = AirTopK::default().select(&mut gpu, &input, 100);
         (
             gpu.elapsed_us(),
             gpu.reports()
