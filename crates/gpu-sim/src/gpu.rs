@@ -26,6 +26,11 @@ pub struct KernelReport {
     pub cost: CostBreakdown,
     /// Simulated time at which the kernel started, µs.
     pub start_us: f64,
+    /// Tracing span active when the kernel was launched (see
+    /// [`Gpu::set_span`]); `0` means unattributed. A serving layer sets
+    /// one span per coalesced batch, so every launch can be joined back
+    /// to the queries it served.
+    pub span: u64,
 }
 
 /// A simulated GPU.
@@ -41,6 +46,7 @@ pub struct Gpu {
     reports: Vec<KernelReport>,
     mem_allocated: usize,
     mem_high_water: usize,
+    current_span: u64,
 }
 
 impl Gpu {
@@ -60,6 +66,7 @@ impl Gpu {
             reports: Vec::new(),
             mem_allocated: 0,
             mem_high_water: 0,
+            current_span: 0,
         }
     }
 
@@ -92,6 +99,27 @@ impl Gpu {
     /// Peak device memory allocated, bytes.
     pub fn mem_high_water(&self) -> usize {
         self.mem_high_water
+    }
+
+    // ---- tracing spans ------------------------------------------------
+
+    /// Attribute subsequent kernel launches to tracing span `span`
+    /// (until [`Gpu::clear_span`]). `0` means unattributed. Span ids
+    /// come from the observability layer (e.g. `topk_obs::next_span_id`)
+    /// and land in every [`KernelReport::span`], linking launches back
+    /// to the query or batch that caused them.
+    pub fn set_span(&mut self, span: u64) {
+        self.current_span = span;
+    }
+
+    /// Stop attributing launches to a span.
+    pub fn clear_span(&mut self) {
+        self.current_span = 0;
+    }
+
+    /// The span currently attributed to launches (0 = none).
+    pub fn current_span(&self) -> u64 {
+        self.current_span
     }
 
     /// Zero the clock and clear the timeline/report history.
@@ -262,6 +290,7 @@ impl Gpu {
             stats,
             cost,
             start_us: start,
+            span: self.current_span,
         });
         Ok(self.reports.last().expect("report just pushed"))
     }
@@ -373,6 +402,26 @@ mod tests {
     fn bad_launch_panics() {
         let mut g = gpu();
         g.launch("bad", LaunchConfig::grid_1d(1, 33), |_| {});
+    }
+
+    #[test]
+    fn launches_carry_the_active_span() {
+        let mut g = gpu();
+        let buf = g.htod("in", &[0u32; 64]);
+        g.launch("untagged", LaunchConfig::grid_1d(1, 32), |ctx| {
+            let _ = ctx.ld(&buf, 0);
+        });
+        g.set_span(42);
+        assert_eq!(g.current_span(), 42);
+        g.launch("tagged", LaunchConfig::grid_1d(1, 32), |ctx| {
+            let _ = ctx.ld(&buf, 0);
+        });
+        g.clear_span();
+        g.launch("untagged2", LaunchConfig::grid_1d(1, 32), |ctx| {
+            let _ = ctx.ld(&buf, 0);
+        });
+        let spans: Vec<u64> = g.reports().iter().map(|r| r.span).collect();
+        assert_eq!(spans, vec![0, 42, 0]);
     }
 
     #[test]

@@ -72,4 +72,4 @@ pub use gpu::{Gpu, KernelReport};
 pub use memory::{AtomicCell, DeviceBuffer, DeviceScalar};
 pub use pool::BlockPool;
 pub use profile::{EventKind, Timeline, TimelineEvent};
-pub use trace::to_chrome_trace;
+pub use trace::{to_chrome_trace, TraceBuilder};

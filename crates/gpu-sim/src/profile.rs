@@ -261,6 +261,7 @@ mod tests {
             stats: KernelStats::default(),
             cost: test_cost(exec_us, 0.9, 0.4),
             start_us: 0.0,
+            span: 0,
         }
     }
 

@@ -28,7 +28,7 @@ use topk_bench::report::{read_csv, write_csv, Row};
 fn usage() -> ! {
     eprintln!(
         "usage: topk-bench <fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|fig12|fig13|engine|all> \
-         [--full] [--verify] [--quiet] [--out DIR]\n\
+         [--full] [--verify] [--quiet] [--out DIR] [--metrics-out FILE] [--trace-out FILE]\n\
        topk-bench compare [--algos A,B,..] [--n N] [--k K] [--batch B] [--dist D] [--no-verify]\n\
        topk-bench tune-alpha [--n N] [--k K]"
     );
@@ -93,6 +93,8 @@ fn main() {
     }
     let mut opts = FigOpts::default();
     let mut out_dir = PathBuf::from("bench-results");
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -103,10 +105,44 @@ fn main() {
                 i += 1;
                 out_dir = PathBuf::from(args.get(i).unwrap_or_else(|| usage()));
             }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
             _ => usage(),
         }
         i += 1;
     }
+
+    // `engine --metrics-out m.prom --trace-out t.json`: run one
+    // instrumented drain and export its Prometheus metrics and Chrome
+    // trace alongside the throughput sweep.
+    let save_observability = |eopts: &topk_bench::serving::EngineBenchOpts,
+                              metrics_out: &Option<PathBuf>,
+                              trace_out: &Option<PathBuf>| {
+        if metrics_out.is_none() && trace_out.is_none() {
+            return;
+        }
+        let art = topk_bench::serving::engine_observability(eopts);
+        for (path, body, what) in [
+            (metrics_out, &art.metrics, "Prometheus metrics"),
+            (trace_out, &art.trace, "Chrome trace"),
+        ] {
+            if let Some(path) = path {
+                if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(parent).ok();
+                }
+                match std::fs::write(path, body) {
+                    Ok(()) => eprintln!("[topk-bench] wrote {what} to {}", path.display()),
+                    Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+                }
+            }
+        }
+    };
 
     let save = |name: &str, rows: &[Row]| {
         let path = out_dir.join(format!("{name}.csv"));
@@ -176,9 +212,11 @@ fn main() {
         "fig12" => save("fig12", &figures::fig12(&opts)),
         "fig13" => save("fig13", &figures::fig13(&opts)),
         "engine" => {
-            let points = topk_bench::serving::engine_throughput(&engine_opts(&opts));
+            let eopts = engine_opts(&opts);
+            let points = topk_bench::serving::engine_throughput(&eopts);
             println!("\n{}", topk_bench::serving::render(&points));
             save("engine", &topk_bench::serving::to_rows(&points, opts.full));
+            save_observability(&eopts, &metrics_out, &trace_out);
         }
         "all" => {
             save("fig6", &figures::fig6(&opts));
@@ -198,9 +236,11 @@ fn main() {
             save("fig11", &figures::fig11(&opts));
             save("fig12", &figures::fig12(&opts));
             save("fig13", &figures::fig13(&opts));
-            let points = topk_bench::serving::engine_throughput(&engine_opts(&opts));
+            let eopts = engine_opts(&opts);
+            let points = topk_bench::serving::engine_throughput(&eopts);
             println!("\n{}", topk_bench::serving::render(&points));
             save("engine", &topk_bench::serving::to_rows(&points, opts.full));
+            save_observability(&eopts, &metrics_out, &trace_out);
         }
         _ => usage(),
     }

@@ -57,6 +57,12 @@ pub struct EnginePoint {
     pub makespan_us: f64,
     /// Mean simulated per-query latency, µs.
     pub mean_latency_us: f64,
+    /// Median simulated per-query latency, µs.
+    pub p50_latency_us: f64,
+    /// 99th-percentile simulated per-query latency, µs — the number a
+    /// serving SLO is written against; coalescing trades it for
+    /// throughput.
+    pub p99_latency_us: f64,
 }
 
 /// The mixed query stream every sweep point drains: four interleaved
@@ -122,6 +128,8 @@ pub fn engine_throughput(opts: &EngineBenchOpts) -> Vec<EnginePoint> {
                 qps: report.queries_per_sec(),
                 makespan_us: report.makespan_us(),
                 mean_latency_us: report.mean_latency_us(),
+                p50_latency_us: report.p50_latency_us(),
+                p99_latency_us: report.p99_latency_us(),
             }
         })
         .collect()
@@ -131,21 +139,63 @@ pub fn engine_throughput(opts: &EngineBenchOpts) -> Vec<EnginePoint> {
 pub fn render(points: &[EnginePoint]) -> String {
     let mut out = String::from(
         "=== TopKEngine throughput vs coalescing window ===\n\
-         window  devices  queries  fused  queries/sec  makespan_us  mean_latency_us\n",
+         window  devices  queries  fused  queries/sec  makespan_us  mean_lat_us  p50_lat_us  p99_lat_us\n",
     );
     for p in points {
         out.push_str(&format!(
-            "{:>6}  {:>7}  {:>7}  {:>5}  {:>11.0}  {:>11.1}  {:>15.1}\n",
+            "{:>6}  {:>7}  {:>7}  {:>5}  {:>11.0}  {:>11.1}  {:>11.1}  {:>10.1}  {:>10.1}\n",
             p.window,
             p.devices,
             p.queries,
             p.fused_batches,
             p.qps,
             p.makespan_us,
-            p.mean_latency_us
+            p.mean_latency_us,
+            p.p50_latency_us,
+            p.p99_latency_us
         ));
     }
     out
+}
+
+/// Observability artifacts from one instrumented drain: the engine's
+/// Prometheus metrics text and a Chrome trace of the drain.
+#[derive(Debug, Clone)]
+pub struct EngineArtifacts {
+    /// Prometheus text exposition (latency histograms, AIR/GridSelect
+    /// counters, per-kind error counters, device utilisation).
+    pub metrics: String,
+    /// Chrome Trace Event Format JSON (one kernel track and one query
+    /// track per device).
+    pub trace: String,
+}
+
+/// Drain the mixed workload through one instrumented engine and return
+/// its metrics and trace. The widest sweep window is used (that is the
+/// drain whose coalescing is most visible in the trace), and one
+/// deliberately invalid query rides along so the per-kind error
+/// counters show a real failure instead of all-zeros.
+pub fn engine_observability(opts: &EngineBenchOpts) -> EngineArtifacts {
+    let workload = mixed_workload(opts.queries, opts.full);
+    let window = opts.windows.iter().copied().max().unwrap_or(8);
+    let mut engine = TopKEngine::new(
+        EngineConfig::a100_pool(opts.devices)
+            .with_window(window)
+            .with_queue_capacity(workload.len() + 1),
+    );
+    for (data, k) in &workload {
+        engine
+            .submit(data.clone(), *k)
+            .expect("queue sized to the workload");
+    }
+    engine
+        .submit(vec![1.0, 2.0], 0)
+        .expect("queue sized to the workload");
+    let report = engine.drain();
+    EngineArtifacts {
+        metrics: engine.render_prometheus(),
+        trace: topk_engine::chrome_trace(&report),
+    }
 }
 
 /// The sweep as standard benchmark rows (`algo = TopKEngine`, `batch`
@@ -204,10 +254,37 @@ mod tests {
             points[1].qps,
             points[0].qps
         );
+        for p in &points {
+            assert!(p.p50_latency_us > 0.0);
+            assert!(p.p50_latency_us <= p.p99_latency_us);
+        }
         let table = render(&points);
         assert!(table.contains("queries/sec"));
+        assert!(table.contains("p99_lat_us"));
         let rows = to_rows(&points, false);
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].batch, 1);
+    }
+
+    #[test]
+    fn observability_artifacts_are_complete() {
+        let opts = EngineBenchOpts {
+            queries: 12,
+            devices: 2,
+            windows: vec![4],
+            verify: false,
+            full: false,
+        };
+        let art = engine_observability(&opts);
+        assert!(art
+            .metrics
+            .contains("topk_engine_query_latency_us_bucket{le=\"1\"}"));
+        assert!(art
+            .metrics
+            .contains("topk_engine_query_errors_total{kind=\"invalid_k\"} 1"));
+        assert!(art.metrics.contains("topk_air_adaptive_skips_total"));
+        assert!(art.trace.contains("device 0 kernels"));
+        assert!(art.trace.contains("device 1 kernels"));
+        assert!(art.trace.ends_with("]}\n") || art.trace.trim_end().ends_with('}'));
     }
 }

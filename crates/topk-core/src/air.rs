@@ -32,9 +32,11 @@
 
 use crate::error::TopKError;
 use crate::keys::{digit_of, digit_width_of, num_passes_of, prefix_of, RadixKey};
+use crate::obs;
 use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput, TypedOutput};
 use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
+use std::sync::atomic::Ordering::Relaxed;
 
 /// Tuning knobs for [`AirTopK`]. Defaults follow the paper: 11-bit
 /// digits (3 passes over 32-bit keys), α = 128 (§5: "determined
@@ -547,6 +549,10 @@ impl AirTopK {
                 // 23-28) — entirely on-device.
                 let prev = ctx.atomic_add_sync(&done, prob * passes + pass, 1);
                 if prev + 1 == blocks_per_problem as u32 {
+                    // Observability hook: one event per (problem, pass)
+                    // — the per-iteration signal the §3.2/§3.3 ablation
+                    // figures are built from, now counted at runtime.
+                    obs::counters().air_passes.fetch_add(1, Relaxed);
                     if early {
                         ctx.st(&ctrl, cb + FINISHED, 1);
                         ctx.st(&ctrl, cb + EARLY, 0);
@@ -603,6 +609,13 @@ impl AirTopK {
                     ctx.st(&ctrl, cb + STORE_CUR, store_next as u32);
                     ctx.st(&ctrl, cb + EARLY, is_early as u32);
                     ctx.ops(8);
+                    if is_early {
+                        obs::counters().air_early_stops.fetch_add(1, Relaxed);
+                    } else if store_next {
+                        obs::counters().air_buffer_writes.fetch_add(1, Relaxed);
+                    } else if adaptive {
+                        obs::counters().air_adaptive_skips.fetch_add(1, Relaxed);
+                    }
                 }
             };
             gpu.try_launch("iteration_fused_kernel", launch, kernel)?;
@@ -763,6 +776,9 @@ impl AirTopK {
             LaunchConfig::grid_1d(batch, block_dim),
             move |ctx| {
                 let prob = ctx.block_idx;
+                obs::counters()
+                    .air_one_block_selections
+                    .fetch_add(1, Relaxed);
 
                 // Shared memory: candidate (bits, idx) pairs + the
                 // histogram. The block reads the input exactly once.
@@ -825,7 +841,9 @@ impl AirTopK {
                     ctx.ops(3 * count as u64);
                     count = kept;
 
+                    obs::counters().air_passes.fetch_add(1, Relaxed);
                     if early_stop && k_rem as usize == count {
+                        obs::counters().air_early_stops.fetch_add(1, Relaxed);
                         break 'passes;
                     }
                 }

@@ -44,6 +44,23 @@ pub enum TopKError {
 }
 
 impl TopKError {
+    /// Every error kind, in [`TopKError::kind`] spelling — the label
+    /// space an observability layer pre-registers its per-kind error
+    /// counters over, so a scrape sees all series at zero before the
+    /// first failure.
+    pub const KINDS: [&'static str; 4] = ["invalid_k", "unsupported_shape", "device_oom", "sim"];
+
+    /// A stable snake_case label for the error's variant, suitable as a
+    /// metric label value (`topk_engine_query_errors_total{kind=...}`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TopKError::InvalidK { .. } => "invalid_k",
+            TopKError::UnsupportedShape { .. } => "unsupported_shape",
+            TopKError::DeviceOom { .. } => "device_oom",
+            TopKError::Sim(_) => "sim",
+        }
+    }
+
     /// Build the `InvalidK` variant from an algorithm's own limits;
     /// returns `None` when `k` is acceptable.
     pub fn check_k(
@@ -146,6 +163,24 @@ mod tests {
         assert!(big.to_string().contains("exceeds input length"));
         let over = TopKError::check_k("alg", 100, 50, Some(16)).unwrap();
         assert!(over.to_string().contains("exceeds supported max 16"));
+    }
+
+    #[test]
+    fn kind_labels_cover_every_variant() {
+        let errs = [
+            TopKError::check_k("a", 10, 0, None).unwrap(),
+            TopKError::UnsupportedShape {
+                algorithm: "a",
+                detail: "x".into(),
+            },
+            TopKError::DeviceOom {
+                requested: 1,
+                available: 0,
+            },
+            TopKError::Sim(SimError::InvalidLaunch("y".into())),
+        ];
+        let kinds: Vec<&str> = errs.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, TopKError::KINDS);
     }
 
     #[test]

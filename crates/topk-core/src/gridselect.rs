@@ -30,11 +30,13 @@
 use crate::bitonic::{bitonic_sort, merge_into_topk};
 use crate::error::TopKError;
 use crate::keys::{OrderedBits, RadixKey};
+use crate::obs;
 use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput, TypedOutput};
 use gpu_sim::device::WARP_SIZE;
 use gpu_sim::warp::{ballot, lane_rank, Lanes};
 use gpu_sim::{BlockCtx, DeviceBuffer, DeviceScalar, Gpu, LaunchConfig};
+use std::sync::atomic::Ordering::Relaxed;
 
 /// Largest K the WarpSelect family supports (§2.2: limited by
 /// shared-memory / register budget; 2048 in Faiss and here).
@@ -333,6 +335,11 @@ impl<O: OrderedBits> WarpState<O> {
         if self.queue_fill == 0 {
             return;
         }
+        // Observability hook: this sort+merge is the expensive event
+        // the shared queue exists to make rare (§4) — count it.
+        obs::counters()
+            .gridselect_queue_merges
+            .fetch_add(1, Relaxed);
         for slot in self.queue_fill..self.queue_keys.len() {
             self.queue_keys[slot] = O::MAX;
         }
@@ -564,6 +571,7 @@ where
                 &mut st.list_idx,
             );
             ctx.ops(ops);
+            obs::counters().gridselect_list_merges.fetch_add(1, Relaxed);
         }
 
         if bpp == 1 {
@@ -610,6 +618,7 @@ where
                     let mut qi: Vec<u32> = (0..klen).map(|i| ctx.ld(&scratch_idx, b + i)).collect();
                     let ops = merge_into_topk(&mut keys, &mut idx, &mut qk, &mut qi);
                     ctx.ops(ops);
+                    obs::counters().gridselect_list_merges.fetch_add(1, Relaxed);
                 }
                 if groups == 1 {
                     // Final round: emit the K results (the list is

@@ -34,6 +34,7 @@ pub mod gridselect;
 pub mod keys;
 pub mod largest;
 pub mod matrix;
+pub mod obs;
 pub mod scratch;
 pub mod streaming;
 pub mod traits;
@@ -47,6 +48,7 @@ pub use gridselect::{GridSelect, GridSelectConfig, QueueKind};
 pub use keys::RadixKey;
 pub use largest::{reference_largest, SelectLargest};
 pub use matrix::DeviceMatrix;
+pub use obs::{AlgoCounters, AlgoSnapshot};
 pub use scratch::ScratchGuard;
 pub use streaming::WarpSelector;
 pub use traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput, TypedOutput};

@@ -45,12 +45,38 @@
 //! }
 //! ```
 //!
+//! ## Observability
+//!
+//! The engine is instrumented end to end (see `DESIGN.md` §Observability):
+//!
+//! * [`TopKEngine::metrics`] exposes a [`topk_obs::MetricsRegistry`]
+//!   with latency/queue-wait histograms, per-[`TopKError::kind`] error
+//!   counters, and the algorithm-level counters from
+//!   [`topk_core::obs`]; render it with
+//!   [`TopKEngine::render_prometheus`].
+//! * Every [`TopKEngine::submit`] mints a tracing span id; the batch
+//!   it joins tags its kernel launches with its lead query's span
+//!   ([`gpu_sim::KernelReport::span`]), so each [`QueryResult`] links
+//!   back to the launches that served it via
+//!   [`QueryResult::batch_span`].
+//! * [`chrome_trace`] renders a [`DrainReport`] as a Chrome
+//!   `chrome://tracing` / Perfetto JSON file with one kernel track and
+//!   one query track per device.
+//! * [`TopKEngine::snapshot`] returns an [`EngineSnapshot`] of queue
+//!   depth, per-device utilisation and error totals.
+//!
 //! [`try_select_batch`]: topk_core::TopKAlgorithm::try_select_batch
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::EngineMetrics;
+pub use trace::chrome_trace;
 
 use gpu_sim::{DeviceSpec, Gpu, KernelReport};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use topk_core::{ScratchGuard, SelectK, TopKAlgorithm, TopKError};
+use topk_core::{AlgoSnapshot, ScratchGuard, SelectK, TopKAlgorithm, TopKError};
 
 /// Engine shape: which devices to pool and how to queue/coalesce.
 #[derive(Debug, Clone)]
@@ -139,6 +165,12 @@ pub struct QueryOutput {
 pub struct QueryResult {
     /// Submission id, as returned by [`TopKEngine::submit`].
     pub id: usize,
+    /// Tracing span id minted for this query at submission.
+    pub span: u64,
+    /// Span the fused batch's kernel launches were tagged with (the
+    /// lead query's span) — join against
+    /// [`gpu_sim::KernelReport::span`] to find this query's launches.
+    pub batch_span: u64,
     /// Which pool device served the query.
     pub device: usize,
     /// How many queries shared the fused launch (1 = not coalesced).
@@ -162,12 +194,17 @@ pub struct BatchRecord {
     pub n: usize,
     /// K shared by the batch.
     pub k: usize,
+    /// Span the batch's kernel launches were tagged with (the lead
+    /// query's span).
+    pub span: u64,
     /// Half-open index range into the device's
     /// [`DeviceReport::kernel_reports`] covering this batch's launches.
+    /// Ranges are relative to *this drain's* reports — a persistent
+    /// device's earlier history is not included.
     pub report_range: (usize, usize),
-    /// Device clock when the batch started, µs.
+    /// Drain-relative device clock when the batch started, µs.
     pub start_us: f64,
-    /// Device clock when the batch finished, µs.
+    /// Drain-relative device clock when the batch finished, µs.
     pub end_us: f64,
 }
 
@@ -185,15 +222,24 @@ pub struct DeviceReport {
     pub device: usize,
     /// Batches the device claimed and executed.
     pub batches: Vec<BatchRecord>,
-    /// Device clock after its last batch, µs.
+    /// Device clock advance over this drain, µs. Devices persist
+    /// across drains, so this is the drain's *delta*, not the device's
+    /// lifetime clock.
     pub elapsed_us: f64,
-    /// Peak simulated device-memory use across all batches, bytes.
+    /// Device clock when this drain began, µs. Kernel-report and
+    /// timeline timestamps are absolute device time; subtract this to
+    /// get drain-relative times.
+    pub clock_start_us: f64,
+    /// Peak simulated device-memory use over the device's lifetime,
+    /// bytes.
     pub mem_high_water: usize,
     /// Bytes still allocated after the last batch — nonzero means a
     /// query path leaked device memory.
     pub mem_allocated_after: usize,
-    /// Every kernel launch, in execution order (batches index into
-    /// this via [`BatchRecord::report_range`]).
+    /// Every kernel launch *of this drain*, in execution order
+    /// (batches index into this via [`BatchRecord::report_range`]).
+    /// Earlier drains' launches on the same persistent device are
+    /// deliberately excluded.
     pub kernel_reports: Vec<KernelReport>,
 }
 
@@ -206,6 +252,11 @@ pub struct DrainReport {
     pub results: Vec<QueryResult>,
     /// One entry per pool device.
     pub devices: Vec<DeviceReport>,
+    /// Algorithm-level event deltas over the drain (AIR pass /
+    /// adaptive / early-stop decisions, GridSelect merges) from
+    /// [`topk_core::obs`]. Process-wide: concurrent engines in one
+    /// process see each other's events.
+    pub algo: AlgoSnapshot,
 }
 
 impl DrainReport {
@@ -249,29 +300,123 @@ impl DrainReport {
         }
         ok.iter().sum::<f64>() / ok.len() as f64
     }
+
+    /// Exact latency percentile over successful queries (nearest-rank,
+    /// `q ∈ [0, 1]`), µs. `0.0` when no query succeeded. Unlike the
+    /// histogram estimate in [`EngineMetrics`], this is computed from
+    /// the raw per-query latencies.
+    pub fn percentile_latency_us(&self, q: f64) -> f64 {
+        let mut ok: Vec<f64> = self
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_ok())
+            .map(|r| r.latency_us)
+            .collect();
+        if ok.is_empty() {
+            return 0.0;
+        }
+        ok.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = (q.clamp(0.0, 1.0) * ok.len() as f64).ceil().max(1.0) as usize;
+        ok[rank - 1]
+    }
+
+    /// Median simulated latency over successful queries, µs.
+    pub fn p50_latency_us(&self) -> f64 {
+        self.percentile_latency_us(0.50)
+    }
+
+    /// 99th-percentile simulated latency over successful queries, µs.
+    pub fn p99_latency_us(&self) -> f64 {
+        self.percentile_latency_us(0.99)
+    }
 }
 
 /// A submitted, not-yet-drained query.
 struct Pending {
     id: usize,
+    span: u64,
     data: Vec<f32>,
     k: usize,
 }
 
 /// A group of same-shape queries destined for one fused launch set.
+/// The batch's kernel launches are tagged with `span` (the lead
+/// query's span id).
 struct Batch {
     n: usize,
     k: usize,
+    span: u64,
     queries: Vec<Pending>,
 }
 
+/// Point-in-time state of one pool device, accumulated across drains.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceSnapshot {
+    /// Pool index of the device.
+    pub device: usize,
+    /// Simulated µs the device spent executing batches, over all
+    /// drains so far.
+    pub busy_us: f64,
+    /// `busy_us` over the sum of drain makespans: 1.0 means this
+    /// device was the critical path of every drain; low values mean it
+    /// sat idle while siblings worked. 0.0 before the first drain.
+    pub utilization: f64,
+    /// Batches the device has executed.
+    pub batches: u64,
+    /// Kernel launches the device has performed.
+    pub kernel_launches: u64,
+}
+
+/// Point-in-time state of the whole engine — the scrape-friendly
+/// companion to the event-stream metrics in [`EngineMetrics`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineSnapshot {
+    /// Queries waiting for the next drain.
+    pub queue_depth: usize,
+    /// Queries accepted by [`TopKEngine::submit`] so far.
+    pub queries_submitted: u64,
+    /// Queries drained with an `Ok` outcome.
+    pub queries_completed: u64,
+    /// Queries drained with an `Err` outcome.
+    pub queries_failed: u64,
+    /// Submissions refused with [`EngineError::QueueFull`].
+    pub queue_rejections: u64,
+    /// Drains performed.
+    pub drains: u64,
+    /// Error totals keyed by [`TopKError::kind`], one entry per kind
+    /// (zeros included, in [`TopKError::KINDS`] order).
+    pub errors: Vec<(&'static str, u64)>,
+    /// One entry per pool device.
+    pub devices: Vec<DeviceSnapshot>,
+}
+
+/// Cumulative per-device tallies behind [`DeviceSnapshot`].
+#[derive(Debug, Clone, Copy, Default)]
+struct DeviceStats {
+    busy_us: f64,
+    batches: u64,
+    kernel_launches: u64,
+}
+
 /// Multi-device top-K serving engine. See the crate docs for the
-/// serving model; construction is cheap (devices are created inside
-/// the drain's worker threads).
+/// serving model. Devices are created up front and **persist across
+/// drains**: clocks, memory high-water marks and profiling history
+/// carry over, as they would on a long-lived server.
 pub struct TopKEngine {
     config: EngineConfig,
     pending: Vec<Pending>,
     next_id: usize,
+    gpus: Vec<Gpu>,
+    metrics: EngineMetrics,
+    // Cumulative tallies for EngineSnapshot.
+    queries_submitted: u64,
+    queries_completed: u64,
+    queries_failed: u64,
+    queue_rejections: u64,
+    drains: u64,
+    errors: [u64; TopKError::KINDS.len()],
+    wall_us: f64,
+    device_stats: Vec<DeviceStats>,
 }
 
 impl TopKEngine {
@@ -281,10 +426,22 @@ impl TopKEngine {
     /// If the pool is empty.
     pub fn new(config: EngineConfig) -> Self {
         assert!(!config.devices.is_empty(), "engine needs >= 1 device");
+        let gpus = config.devices.iter().cloned().map(Gpu::new).collect();
+        let device_stats = vec![DeviceStats::default(); config.devices.len()];
         TopKEngine {
             config,
             pending: Vec::new(),
             next_id: 0,
+            gpus,
+            metrics: EngineMetrics::new(),
+            queries_submitted: 0,
+            queries_completed: 0,
+            queries_failed: 0,
+            queue_rejections: 0,
+            drains: 0,
+            errors: [0; TopKError::KINDS.len()],
+            wall_us: 0.0,
+            device_stats,
         }
     }
 
@@ -298,6 +455,51 @@ impl TopKEngine {
         self.pending.len()
     }
 
+    /// The engine's metrics (histograms, counters, gauges).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Render every engine metric in the Prometheus text exposition
+    /// format — the scrape endpoint's body.
+    pub fn render_prometheus(&self) -> String {
+        self.metrics.render_prometheus()
+    }
+
+    /// Point-in-time engine state: queue depth, per-device utilisation
+    /// and error totals.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            queue_depth: self.pending.len(),
+            queries_submitted: self.queries_submitted,
+            queries_completed: self.queries_completed,
+            queries_failed: self.queries_failed,
+            queue_rejections: self.queue_rejections,
+            drains: self.drains,
+            errors: TopKError::KINDS
+                .iter()
+                .zip(self.errors)
+                .map(|(&k, n)| (k, n))
+                .collect(),
+            devices: self
+                .device_stats
+                .iter()
+                .enumerate()
+                .map(|(dev, s)| DeviceSnapshot {
+                    device: dev,
+                    busy_us: s.busy_us,
+                    utilization: if self.wall_us > 0.0 {
+                        s.busy_us / self.wall_us
+                    } else {
+                        0.0
+                    },
+                    batches: s.batches,
+                    kernel_launches: s.kernel_launches,
+                })
+                .collect(),
+        }
+    }
+
     /// Enqueue a top-K query (smallest `k` of `data`, with indices).
     ///
     /// Returns the query's submission id — [`DrainReport::results`] is
@@ -306,19 +508,26 @@ impl TopKEngine {
     /// [`TopKError`] so a bad query cannot poison the queue.
     pub fn submit(&mut self, data: Vec<f32>, k: usize) -> Result<usize, EngineError> {
         if self.pending.len() >= self.config.queue_capacity {
+            self.queue_rejections += 1;
+            self.metrics.queue_rejections.inc();
             return Err(EngineError::QueueFull {
                 capacity: self.config.queue_capacity,
             });
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.pending.push(Pending { id, data, k });
+        let span = topk_obs::next_span_id();
+        self.pending.push(Pending { id, span, data, k });
+        self.queries_submitted += 1;
+        self.metrics.queries_submitted.inc();
+        self.metrics.queue_depth.set(self.pending.len() as f64);
         Ok(id)
     }
 
     /// Run every queued query across the device pool and return all
     /// results plus per-device reports.
     pub fn drain(&mut self) -> DrainReport {
+        let algo_before = topk_core::obs::counters().snapshot();
         let batches = coalesce(
             std::mem::take(&mut self.pending),
             self.config.coalescing_window,
@@ -329,12 +538,10 @@ impl TopKEngine {
             let batches = &batches;
             let cursor = &cursor;
             let handles: Vec<_> = self
-                .config
-                .devices
-                .iter()
-                .cloned()
+                .gpus
+                .iter_mut()
                 .enumerate()
-                .map(|(dev, spec)| s.spawn(move |_| run_device(dev, spec, batches, cursor)))
+                .map(|(dev, gpu)| s.spawn(move |_| run_device(dev, gpu, batches, cursor)))
                 .collect();
             handles
                 .into_iter()
@@ -351,7 +558,62 @@ impl TopKEngine {
             devices.push(report);
         }
         results.sort_by_key(|r| r.id);
-        DrainReport { results, devices }
+        let algo = topk_core::obs::counters()
+            .snapshot()
+            .delta_since(&algo_before);
+        let report = DrainReport {
+            results,
+            devices,
+            algo,
+        };
+        self.record_drain(&report);
+        report
+    }
+
+    /// Fold one drain's outcome into the metrics registry and the
+    /// cumulative snapshot tallies.
+    fn record_drain(&mut self, report: &DrainReport) {
+        self.drains += 1;
+        self.wall_us += report.makespan_us();
+        for r in &report.results {
+            self.metrics.record_query(r);
+            match &r.outcome {
+                Ok(_) => self.queries_completed += 1,
+                Err(e) => {
+                    self.queries_failed += 1;
+                    let kind = e.kind();
+                    let slot = TopKError::KINDS
+                        .iter()
+                        .position(|&k| k == kind)
+                        .expect("kind() values come from KINDS");
+                    self.errors[slot] += 1;
+                }
+            }
+        }
+        for d in &report.devices {
+            let stats = &mut self.device_stats[d.device];
+            stats.busy_us += d.elapsed_us;
+            stats.batches += d.batches.len() as u64;
+            stats.kernel_launches += d.kernel_reports.len() as u64;
+            for b in &d.batches {
+                self.metrics.record_batch(b);
+            }
+            self.metrics
+                .kernel_launches
+                .add(d.kernel_reports.len() as u64);
+        }
+        let wall = self.wall_us;
+        for (dev, stats) in self.device_stats.iter().enumerate() {
+            let util = if wall > 0.0 {
+                stats.busy_us / wall
+            } else {
+                0.0
+            };
+            self.metrics.set_device_utilization(dev, util);
+        }
+        self.metrics.record_algo(&report.algo);
+        self.metrics.drains.inc();
+        self.metrics.queue_depth.set(0.0);
     }
 }
 
@@ -371,6 +633,7 @@ fn coalesce(pending: Vec<Pending>, window: usize) -> Vec<Batch> {
                 batches.push(Batch {
                     n: shape.0,
                     k: shape.1,
+                    span: q.span,
                     queries: vec![q],
                 });
             }
@@ -380,14 +643,21 @@ fn coalesce(pending: Vec<Pending>, window: usize) -> Vec<Batch> {
 }
 
 /// One pool worker: claim batches off the shared cursor until none are
-/// left, executing each on this worker's own device.
+/// left, executing each on this worker's persistent device.
+///
+/// The device carries clock and report history from earlier drains, so
+/// everything this drain reports is *rebased*: times are relative to
+/// the drain's start on this device, and `kernel_reports` holds only
+/// this drain's launches (with `BatchRecord::report_range` indexing
+/// into that slice, not the device's lifetime history).
 fn run_device(
     dev: usize,
-    spec: DeviceSpec,
+    gpu: &mut Gpu,
     batches: &[Batch],
     cursor: &AtomicUsize,
 ) -> (Vec<QueryResult>, DeviceReport) {
-    let mut gpu = Gpu::new(spec);
+    let drain_t0 = gpu.elapsed_us();
+    let drain_lo = gpu.reports().len();
     let selector = SelectK::default();
     let mut results = Vec::new();
     let mut records = Vec::new();
@@ -395,16 +665,19 @@ fn run_device(
     loop {
         let bi = cursor.fetch_add(1, Ordering::Relaxed);
         let Some(batch) = batches.get(bi) else { break };
-        let start_us = gpu.elapsed_us();
-        let report_lo = gpu.reports().len();
-        let outcome = run_batch(&mut gpu, &selector, batch);
-        let end_us = gpu.elapsed_us();
+        let start_us = gpu.elapsed_us() - drain_t0;
+        let report_lo = gpu.reports().len() - drain_lo;
+        gpu.set_span(batch.span);
+        let outcome = run_batch(gpu, &selector, batch);
+        gpu.clear_span();
+        let end_us = gpu.elapsed_us() - drain_t0;
         records.push(BatchRecord {
             device: dev,
             size: batch.queries.len(),
             n: batch.n,
             k: batch.k,
-            report_range: (report_lo, gpu.reports().len()),
+            span: batch.span,
+            report_range: (report_lo, gpu.reports().len() - drain_lo),
             start_us,
             end_us,
         });
@@ -413,6 +686,8 @@ fn run_device(
                 for (q, out) in batch.queries.iter().zip(outs) {
                     results.push(QueryResult {
                         id: q.id,
+                        span: q.span,
+                        batch_span: batch.span,
                         device: dev,
                         batch_size: batch.queries.len(),
                         queue_wait_us: start_us,
@@ -425,6 +700,8 @@ fn run_device(
                 for q in &batch.queries {
                     results.push(QueryResult {
                         id: q.id,
+                        span: q.span,
+                        batch_span: batch.span,
                         device: dev,
                         batch_size: batch.queries.len(),
                         queue_wait_us: start_us,
@@ -439,10 +716,11 @@ fn run_device(
     let report = DeviceReport {
         device: dev,
         batches: records,
-        elapsed_us: gpu.elapsed_us(),
+        elapsed_us: gpu.elapsed_us() - drain_t0,
+        clock_start_us: drain_t0,
         mem_high_water: gpu.mem_high_water(),
         mem_allocated_after: gpu.mem_allocated(),
-        kernel_reports: gpu.reports().to_vec(),
+        kernel_reports: gpu.reports()[drain_lo..].to_vec(),
     };
     (results, report)
 }

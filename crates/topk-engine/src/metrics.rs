@@ -1,0 +1,247 @@
+//! The engine's metric surface: a [`MetricsRegistry`] with handles for
+//! every series the serving layer maintains.
+//!
+//! [`TopKEngine`](crate::TopKEngine) owns one [`EngineMetrics`] and
+//! updates it on every submit and drain; callers scrape it with
+//! [`EngineMetrics::render_prometheus`]. Series:
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `topk_engine_queries_submitted_total` | counter | accepted submissions |
+//! | `topk_engine_queue_rejections_total` | counter | `QueueFull` refusals |
+//! | `topk_engine_queries_total` | counter | drained queries (ok + err) |
+//! | `topk_engine_query_errors_total{kind}` | counter | failures per [`TopKError::kind`] |
+//! | `topk_engine_batches_total` | counter | executed batches |
+//! | `topk_engine_fused_batches_total` | counter | batches fusing ≥ 2 queries |
+//! | `topk_engine_kernel_launches_total` | counter | kernel launches |
+//! | `topk_engine_drains_total` | counter | drains |
+//! | `topk_engine_queue_depth` | gauge | queries awaiting drain |
+//! | `topk_engine_device_utilization{device}` | gauge | busy µs / wall µs |
+//! | `topk_engine_query_latency_us` | histogram | per-query latency |
+//! | `topk_engine_queue_wait_us` | histogram | per-query queue wait |
+//! | `topk_engine_batch_size` | histogram | fused-batch sizes |
+//! | `topk_air_*_total`, `topk_gridselect_*_total` | counter | [`topk_core::obs`] deltas |
+
+use crate::{BatchRecord, QueryResult};
+use std::sync::Arc;
+use topk_core::{AlgoSnapshot, TopKError};
+use topk_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Pre-registered handles over the engine's [`MetricsRegistry`].
+///
+/// Every series exists from construction (error counters are
+/// registered over the whole [`TopKError::KINDS`] space), so the first
+/// scrape sees the full surface at zero rather than series popping
+/// into existence as events occur.
+pub struct EngineMetrics {
+    registry: MetricsRegistry,
+    pub(crate) queries_submitted: Arc<Counter>,
+    pub(crate) queue_rejections: Arc<Counter>,
+    pub(crate) queries: Arc<Counter>,
+    pub(crate) query_errors: Vec<Arc<Counter>>,
+    pub(crate) batches: Arc<Counter>,
+    pub(crate) fused_batches: Arc<Counter>,
+    pub(crate) kernel_launches: Arc<Counter>,
+    pub(crate) drains: Arc<Counter>,
+    pub(crate) queue_depth: Arc<Gauge>,
+    pub(crate) query_latency_us: Arc<Histogram>,
+    pub(crate) queue_wait_us: Arc<Histogram>,
+    pub(crate) batch_size: Arc<Histogram>,
+    air_passes: Arc<Counter>,
+    air_buffer_writes: Arc<Counter>,
+    air_adaptive_skips: Arc<Counter>,
+    air_early_stops: Arc<Counter>,
+    air_one_block_selections: Arc<Counter>,
+    gridselect_queue_merges: Arc<Counter>,
+    gridselect_list_merges: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    /// A registry with every engine series pre-registered.
+    pub fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let query_errors = TopKError::KINDS
+            .iter()
+            .map(|kind| {
+                registry.counter_with(
+                    "topk_engine_query_errors_total",
+                    "Drained queries that failed, by TopKError kind",
+                    &[("kind", kind)],
+                )
+            })
+            .collect();
+        EngineMetrics {
+            queries_submitted: registry.counter(
+                "topk_engine_queries_submitted_total",
+                "Queries accepted into the submission queue",
+            ),
+            queue_rejections: registry.counter(
+                "topk_engine_queue_rejections_total",
+                "Submissions refused because the bounded queue was full",
+            ),
+            queries: registry.counter(
+                "topk_engine_queries_total",
+                "Queries drained (successful and failed)",
+            ),
+            query_errors,
+            batches: registry.counter(
+                "topk_engine_batches_total",
+                "Coalesced batches executed on the device pool",
+            ),
+            fused_batches: registry.counter(
+                "topk_engine_fused_batches_total",
+                "Batches that fused two or more queries into one launch set",
+            ),
+            kernel_launches: registry.counter(
+                "topk_engine_kernel_launches_total",
+                "Kernel launches performed by the device pool",
+            ),
+            drains: registry.counter("topk_engine_drains_total", "Drains performed"),
+            queue_depth: registry.gauge(
+                "topk_engine_queue_depth",
+                "Queries currently awaiting the next drain",
+            ),
+            query_latency_us: registry.histogram(
+                "topk_engine_query_latency_us",
+                "Simulated per-query latency (queue wait + service), microseconds",
+            ),
+            queue_wait_us: registry.histogram(
+                "topk_engine_queue_wait_us",
+                "Simulated per-query queue wait before service, microseconds",
+            ),
+            batch_size: registry.histogram_with(
+                "topk_engine_batch_size",
+                "Queries fused per executed batch",
+                &[],
+                (0..9).map(|i| (1u64 << i) as f64).collect(),
+            ),
+            air_passes: registry.counter(
+                "topk_air_passes_total",
+                "AIR radix digit passes completed (per problem, per pass)",
+            ),
+            air_buffer_writes: registry.counter(
+                "topk_air_buffer_writes_total",
+                "AIR passes that wrote the candidate buffer for the next pass",
+            ),
+            air_adaptive_skips: registry.counter(
+                "topk_air_adaptive_skips_total",
+                "AIR passes where the adaptive strategy skipped buffering",
+            ),
+            air_early_stops: registry.counter(
+                "topk_air_early_stops_total",
+                "AIR early-stop triggers (remaining candidates == remaining K)",
+            ),
+            air_one_block_selections: registry.counter(
+                "topk_air_one_block_selections_total",
+                "Problems solved by AIR's one-block shared-memory fast path",
+            ),
+            gridselect_queue_merges: registry.counter(
+                "topk_gridselect_queue_merges_total",
+                "GridSelect shared-queue flushes (bitonic sort + merge)",
+            ),
+            gridselect_list_merges: registry.counter(
+                "topk_gridselect_list_merges_total",
+                "GridSelect list-vs-list merges (cross-warp and tree-merge)",
+            ),
+            registry,
+        }
+    }
+
+    /// The underlying registry (for callers that want to attach their
+    /// own series next to the engine's).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Render every series in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// Fold one drained query into the registry.
+    pub(crate) fn record_query(&self, r: &QueryResult) {
+        self.queries.inc();
+        self.query_latency_us.observe(r.latency_us);
+        self.queue_wait_us.observe(r.queue_wait_us);
+        if let Err(e) = &r.outcome {
+            let kind = e.kind();
+            let slot = TopKError::KINDS
+                .iter()
+                .position(|&k| k == kind)
+                .expect("kind() values come from KINDS");
+            self.query_errors[slot].inc();
+        }
+    }
+
+    /// Fold one executed batch into the registry.
+    pub(crate) fn record_batch(&self, b: &BatchRecord) {
+        self.batches.inc();
+        if b.size >= 2 {
+            self.fused_batches.inc();
+        }
+        self.batch_size.observe(b.size as f64);
+    }
+
+    /// Fold one drain's algorithm-event delta into the counters.
+    pub(crate) fn record_algo(&self, d: &AlgoSnapshot) {
+        self.air_passes.add(d.air_passes);
+        self.air_buffer_writes.add(d.air_buffer_writes);
+        self.air_adaptive_skips.add(d.air_adaptive_skips);
+        self.air_early_stops.add(d.air_early_stops);
+        self.air_one_block_selections
+            .add(d.air_one_block_selections);
+        self.gridselect_queue_merges.add(d.gridselect_queue_merges);
+        self.gridselect_list_merges.add(d.gridselect_list_merges);
+    }
+
+    /// Set the utilisation gauge for one pool device.
+    pub(crate) fn set_device_utilization(&self, device: usize, utilization: f64) {
+        self.registry
+            .gauge_with(
+                "topk_engine_device_utilization",
+                "Device busy time over total drain makespan (0..1)",
+                &[("device", &device.to_string())],
+            )
+            .set(utilization);
+    }
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        EngineMetrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_series_exist_before_any_error() {
+        let m = EngineMetrics::new();
+        let text = m.render_prometheus();
+        for kind in TopKError::KINDS {
+            assert!(
+                text.contains(&format!(
+                    "topk_engine_query_errors_total{{kind=\"{kind}\"}} 0"
+                )),
+                "missing pre-registered error series for {kind}: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn algo_deltas_accumulate() {
+        let m = EngineMetrics::new();
+        let d = AlgoSnapshot {
+            air_passes: 4,
+            air_adaptive_skips: 2,
+            ..Default::default()
+        };
+        m.record_algo(&d);
+        m.record_algo(&d);
+        let text = m.render_prometheus();
+        assert!(text.contains("topk_air_passes_total 8"), "{text}");
+        assert!(text.contains("topk_air_adaptive_skips_total 4"), "{text}");
+    }
+}

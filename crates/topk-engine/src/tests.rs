@@ -216,6 +216,157 @@ fn devices_stay_leak_free_across_batches() {
     );
 }
 
+#[test]
+fn repeated_drains_do_not_duplicate_kernel_reports() {
+    // Devices persist across drains; a drain's DeviceReport must slice
+    // out only *its* launches, not the device's lifetime history.
+    let mut engine = a100_engine(1, 2);
+    let data = generate(Distribution::Uniform, 4096, 11);
+
+    engine.submit(data.clone(), 16).unwrap();
+    engine.submit(data.clone(), 16).unwrap();
+    let first = engine.drain();
+    let first_launches = first.devices[0].kernel_reports.len();
+    assert!(first_launches > 0);
+
+    engine.submit(data.clone(), 16).unwrap();
+    engine.submit(data.clone(), 16).unwrap();
+    let second = engine.drain();
+    let dev = &second.devices[0];
+
+    // Same workload, same launch count: the second drain must not drag
+    // the first drain's reports along.
+    assert_eq!(
+        dev.kernel_reports.len(),
+        first_launches,
+        "second drain duplicated earlier report history"
+    );
+    // Ranges are rebased to the drain's slice and tile it exactly.
+    let mut covered = 0;
+    for b in &dev.batches {
+        assert_eq!(b.report_range.0, covered);
+        covered = b.report_range.1;
+    }
+    assert_eq!(covered, dev.kernel_reports.len());
+    // Times are drain-relative even though the device clock carried
+    // over: the first batch starts at 0.
+    assert_eq!(dev.batches[0].start_us, 0.0);
+    assert!(dev.clock_start_us > 0.0, "persistent clock must carry over");
+    assert!((dev.elapsed_us - dev.batches.last().unwrap().end_us).abs() < 1e-9);
+}
+
+#[test]
+fn spans_link_queries_to_their_kernel_launches() {
+    let mut engine = a100_engine(2, 4);
+    let data = generate(Distribution::Uniform, 8192, 21);
+    for _ in 0..8 {
+        engine.submit(data.clone(), 64).unwrap();
+    }
+    let report = engine.drain();
+
+    // Every query has a distinct nonzero span.
+    let mut spans: Vec<u64> = report.results.iter().map(|r| r.span).collect();
+    spans.sort_unstable();
+    spans.dedup();
+    assert_eq!(spans.len(), report.results.len());
+    assert!(spans.iter().all(|&s| s != 0));
+
+    for dev in &report.devices {
+        for b in &dev.batches {
+            assert_ne!(b.span, 0);
+            // Every launch in the batch's range is tagged with it.
+            for kr in &dev.kernel_reports[b.report_range.0..b.report_range.1] {
+                assert_eq!(kr.span, b.span, "launch {} mis-tagged", kr.name);
+            }
+        }
+    }
+    // Each query's batch_span resolves to exactly one batch, and that
+    // batch ran on the query's device.
+    for r in &report.results {
+        let owners: Vec<&BatchRecord> = report
+            .devices
+            .iter()
+            .flat_map(|d| &d.batches)
+            .filter(|b| b.span == r.batch_span)
+            .collect();
+        assert_eq!(owners.len(), 1, "query {} batch_span ambiguous", r.id);
+        assert_eq!(owners[0].device, r.device);
+    }
+}
+
+#[test]
+fn drain_reports_latency_percentiles() {
+    let mut engine = a100_engine(2, 4);
+    for i in 0..16 {
+        engine
+            .submit(
+                generate(Distribution::Uniform, 2048 + 512 * (i % 3), i as u64),
+                16,
+            )
+            .unwrap();
+    }
+    let report = engine.drain();
+    let p50 = report.p50_latency_us();
+    let p99 = report.p99_latency_us();
+    let max = report
+        .results
+        .iter()
+        .map(|r| r.latency_us)
+        .fold(0.0, f64::max);
+    assert!(p50 > 0.0);
+    assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+    assert!(p99 <= max);
+    // Nearest-rank over an even count: p100 is the max exactly.
+    assert_eq!(report.percentile_latency_us(1.0), max);
+    // Empty drains report zero, not NaN.
+    assert_eq!(engine.drain().p50_latency_us(), 0.0);
+}
+
+#[test]
+fn metrics_and_snapshot_reflect_a_mixed_drain() {
+    let mut engine = TopKEngine::new(
+        EngineConfig::a100_pool(2)
+            .with_window(4)
+            .with_queue_capacity(32),
+    );
+    let good = generate(Distribution::Uniform, 100_000, 7);
+    for _ in 0..6 {
+        engine.submit(good.clone(), 32).unwrap();
+    }
+    engine.submit(good.clone(), 0).unwrap(); // InvalidK
+    assert_eq!(engine.snapshot().queue_depth, 7);
+    let report = engine.drain();
+    assert!(report.algo.air_passes > 0, "drain must count AIR passes");
+
+    let snap = engine.snapshot();
+    assert_eq!(snap.queue_depth, 0);
+    assert_eq!(snap.queries_submitted, 7);
+    assert_eq!(snap.queries_completed, 6);
+    assert_eq!(snap.queries_failed, 1);
+    assert_eq!(snap.drains, 1);
+    let invalid_k = snap
+        .errors
+        .iter()
+        .find(|(k, _)| *k == "invalid_k")
+        .map(|(_, n)| *n)
+        .unwrap();
+    assert_eq!(invalid_k, 1);
+    assert_eq!(snap.devices.len(), 2);
+    let util_sum: f64 = snap.devices.iter().map(|d| d.utilization).sum();
+    assert!(util_sum > 0.0 && util_sum <= 2.0 + 1e-9);
+    assert!(snap.devices.iter().any(|d| d.kernel_launches > 0));
+
+    let text = engine.render_prometheus();
+    assert!(text.contains("topk_engine_queries_total 7"), "{text}");
+    assert!(text.contains("topk_engine_query_errors_total{kind=\"invalid_k\"} 1"));
+    assert!(text.contains("topk_engine_query_latency_us_bucket{le=\"1\"}"));
+    assert!(text.contains("topk_engine_query_latency_us_count 7"));
+    assert!(text.contains("# TYPE topk_engine_query_latency_us histogram"));
+    assert!(text.contains("topk_engine_device_utilization{device=\"0\"}"));
+    // The AIR counters made it through the snapshot delta.
+    assert!(!text.contains("topk_air_passes_total 0\n"), "{text}");
+}
+
 /// Sequential reference: each query on its own fresh device through
 /// the same dispatcher, single-query path.
 fn sequential_reference(data: &[f32], k: usize) -> Result<QueryOutput, TopKError> {

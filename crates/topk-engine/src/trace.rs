@@ -1,0 +1,96 @@
+//! Engine-wide Chrome-trace export: render a [`DrainReport`] as a
+//! Trace Event Format JSON string loadable in `chrome://tracing` or
+//! Perfetto.
+//!
+//! The layout mirrors how the drain actually ran: per pool device, one
+//! **kernel track** (every launch of the drain, named and tagged with
+//! its batch's span id) and one **query track** (per query, a
+//! `queue-wait` span from drain start to batch start followed by a
+//! `query` span covering service). Fused queries overlap exactly —
+//! that is the coalescing made visible.
+
+use crate::DrainReport;
+use gpu_sim::TraceBuilder;
+
+/// Render a drain as Chrome Trace Event Format JSON.
+///
+/// Timestamps are drain-relative microseconds (devices persist across
+/// drains; each device's clock is rebased to the drain's start).
+pub fn chrome_trace(report: &DrainReport) -> String {
+    let mut tb = TraceBuilder::new("topk-engine");
+    for d in &report.devices {
+        let kernels = tb.add_track(&format!("device {} kernels", d.device));
+        for kr in &d.kernel_reports {
+            tb.span_with_args(
+                kernels,
+                "kernel",
+                &kr.name,
+                kr.start_us - d.clock_start_us,
+                kr.cost.total_us(),
+                &[
+                    ("span", kr.span.to_string()),
+                    ("grid_dim", kr.cfg.grid_dim.to_string()),
+                    ("block_dim", kr.cfg.block_dim.to_string()),
+                ],
+            );
+        }
+
+        let queries = tb.add_track(&format!("device {} queries", d.device));
+        for r in report.results.iter().filter(|r| r.device == d.device) {
+            if r.queue_wait_us > 0.0 {
+                tb.span_with_args(
+                    queries,
+                    "queue",
+                    &format!("wait q{}", r.id),
+                    0.0,
+                    r.queue_wait_us,
+                    &[("span", r.span.to_string())],
+                );
+            }
+            tb.span_with_args(
+                queries,
+                "query",
+                &format!("q{}", r.id),
+                r.queue_wait_us,
+                r.latency_us - r.queue_wait_us,
+                &[
+                    ("span", r.span.to_string()),
+                    ("batch_span", r.batch_span.to_string()),
+                    ("batch_size", r.batch_size.to_string()),
+                    ("ok", r.outcome.is_ok().to_string()),
+                ],
+            );
+        }
+    }
+    tb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, TopKEngine};
+
+    #[test]
+    fn trace_covers_every_device_and_kernel() {
+        let mut engine = TopKEngine::new(EngineConfig::a100_pool(2).with_window(2));
+        let data: Vec<f32> = (0..4096).map(|i| ((i * 97) % 1013) as f32).collect();
+        for _ in 0..6 {
+            engine.submit(data.clone(), 16).unwrap();
+        }
+        let report = engine.drain();
+        let json = chrome_trace(&report);
+
+        for d in &report.devices {
+            assert!(json.contains(&format!("device {} kernels", d.device)));
+            assert!(json.contains(&format!("device {} queries", d.device)));
+        }
+        // One complete event per kernel report.
+        let kernels: usize = report.devices.iter().map(|d| d.kernel_reports.len()).sum();
+        assert_eq!(json.matches("\"cat\":\"kernel\"").count(), kernels);
+        // One service span per query.
+        assert_eq!(
+            json.matches("\"cat\":\"query\"").count(),
+            report.results.len()
+        );
+    }
+}

@@ -1,0 +1,532 @@
+//! The metrics registry: counters, gauges, log-bucketed histograms,
+//! and Prometheus text-format exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s over
+//! atomics, so the hot path (a query finishing, a kernel launching)
+//! touches no locks — the registry's mutex guards only the name table
+//! during registration and rendering.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing integer metric.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// A settable floating-point metric (queue depth, utilisation, ...).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Relaxed);
+    }
+
+    /// Current value (0.0 until first set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Relaxed))
+    }
+}
+
+/// A histogram over logarithmically spaced buckets, Prometheus-style:
+/// bucket `i` counts observations `<= bounds[i]`, plus an overflow
+/// bucket for everything beyond the last bound.
+///
+/// Quantiles ([`Histogram::percentile`]) are estimated by linear
+/// interpolation inside the target bucket — the standard
+/// `histogram_quantile` estimate, computed host-side.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Histogram over explicit ascending bucket upper bounds. An
+    /// overflow (`+Inf`) bucket is always appended.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The default latency buckets: powers of two from 1 µs to ~67 s.
+    /// Log-spaced buckets keep relative error bounded (a factor of 2)
+    /// across the six decades a coalescing queue can span.
+    pub fn default_latency_bounds() -> Vec<f64> {
+        (0..27).map(|i| (1u64 << i) as f64).collect()
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        // f64 sum via CAS loop (no AtomicF64 in std).
+        let mut cur = self.sum_bits.load(Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .sum_bits
+                .compare_exchange_weak(cur, new, Relaxed, Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Relaxed))
+    }
+
+    /// Estimated quantile `q ∈ [0, 1]` (0 when empty). Linear
+    /// interpolation inside the target bucket; observations in the
+    /// overflow bucket report the last finite bound.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let c = c.load(Relaxed);
+            if seen + c >= rank {
+                let Some(&upper) = self.bounds.get(i) else {
+                    // Overflow bucket: the last finite bound is the
+                    // best lower estimate we have.
+                    return *self.bounds.last().expect("nonempty bounds");
+                };
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let into = (rank - seen) as f64 / c as f64;
+                return lower + (upper - lower) * into;
+            }
+            seen += c;
+        }
+        *self.bounds.last().expect("nonempty bounds")
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+}
+
+/// The metric kinds a registry family can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// One metric name with its help text and per-label-set instances.
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Keyed by canonical (sorted) label pairs.
+    instances: BTreeMap<Vec<(String, String)>, Handle>,
+}
+
+/// A thread-safe registry of named metrics.
+///
+/// Registration is idempotent: asking for the same name + labels again
+/// returns the existing handle, so call sites don't need to cache
+/// handles to cooperate. Registering a name under a different kind
+/// panics — that is a programming error, not a runtime condition.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Register (or fetch) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a counter with labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, help, Kind::Counter, labels, || {
+            Handle::Counter(Arc::new(Counter::default()))
+        }) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("registry returned wrong kind"),
+        }
+    }
+
+    /// Register (or fetch) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a gauge with labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, help, Kind::Gauge, labels, || {
+            Handle::Gauge(Arc::new(Gauge::default()))
+        }) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!("registry returned wrong kind"),
+        }
+    }
+
+    /// Register (or fetch) an unlabelled histogram with the default
+    /// log-spaced latency buckets.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[], Histogram::default_latency_bounds())
+    }
+
+    /// Register (or fetch) a histogram with labels and explicit bounds.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: Vec<f64>,
+    ) -> Arc<Histogram> {
+        match self.register(name, help, Kind::Histogram, labels, || {
+            Handle::Histogram(Arc::new(Histogram::with_bounds(bounds.clone())))
+        }) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("registry returned wrong kind"),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name {k:?}");
+        }
+        let mut key: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        key.sort();
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            instances: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} already registered as {}",
+            family.kind.as_str()
+        );
+        family.instances.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Render every metric in the Prometheus text exposition format
+    /// (version 0.0.4: `# HELP` / `# TYPE` headers, `_bucket`/`_sum`/
+    /// `_count` series for histograms, cumulative `le` buckets).
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", escape_help(&family.help)));
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind.as_str()));
+            for (labels, handle) in &family.instances {
+                match handle {
+                    Handle::Counter(c) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(labels, None),
+                            c.get()
+                        ));
+                    }
+                    Handle::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            render_labels(labels, None),
+                            fmt_f64(g.get())
+                        ));
+                    }
+                    Handle::Histogram(h) => {
+                        let mut cum = 0u64;
+                        for (i, bound) in h.bounds.iter().enumerate() {
+                            cum += h.counts[i].load(Relaxed);
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cum}\n",
+                                render_labels(labels, Some(&fmt_f64(*bound)))
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}_bucket{} {}\n",
+                            render_labels(labels, Some("+Inf")),
+                            h.count()
+                        ));
+                        out.push_str(&format!(
+                            "{name}_sum{} {}\n",
+                            render_labels(labels, None),
+                            fmt_f64(h.sum())
+                        ));
+                        out.push_str(&format!(
+                            "{name}_count{} {}\n",
+                            render_labels(labels, None),
+                            h.count()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` per the Prometheus data model.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// `[a-zA-Z_][a-zA-Z0-9_]*` per the Prometheus data model.
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Render a label set (plus the optional `le` bucket label) as
+/// `{k="v",...}`, empty when there are no labels.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Shortest faithful float rendering (`1`, `0.5`, `67108864`).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("requests_total", "Requests");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same instance.
+        assert_eq!(reg.counter("requests_total", "Requests").get(), 5);
+
+        let g = reg.gauge("queue_depth", "Depth");
+        g.set(17.5);
+        assert_eq!(g.get(), 17.5);
+    }
+
+    #[test]
+    fn labelled_counters_are_distinct_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("errors_total", "Errors", &[("kind", "invalid_k")]);
+        let b = reg.counter_with("errors_total", "Errors", &[("kind", "device_oom")]);
+        a.add(2);
+        b.add(3);
+        let text = reg.render_prometheus();
+        assert!(text.contains("errors_total{kind=\"invalid_k\"} 2"));
+        assert!(text.contains("errors_total{kind=\"device_oom\"} 3"));
+        // One HELP/TYPE header for the family.
+        assert_eq!(text.matches("# TYPE errors_total counter").count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_quantiles_ordered() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with("lat_us", "Latency", &[], vec![1.0, 10.0, 100.0, 1000.0]);
+        for v in [0.5, 2.0, 3.0, 20.0, 50.0, 200.0, 5000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert!((h.sum() - 5275.5).abs() < 1e-9);
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        // p50 is rank 4 of 7 (the observation 20.0) -> (10, 100] bucket.
+        assert!(p50 > 10.0 && p50 <= 100.0, "p50 {p50}");
+        // p99 lands in the overflow bucket -> last finite bound.
+        assert_eq!(p99, 1000.0);
+
+        let text = reg.render_prometheus();
+        assert!(text.contains("lat_us_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_us_bucket{le=\"10\"} 3"));
+        assert!(text.contains("lat_us_bucket{le=\"100\"} 5"));
+        assert!(text.contains("lat_us_bucket{le=\"1000\"} 6"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 7"));
+        assert!(text.contains("lat_us_count 7"));
+        assert!(text.contains("# TYPE lat_us histogram"));
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        let h = Histogram::with_bounds(vec![1.0, 2.0]);
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn default_bounds_cover_microseconds_to_minutes() {
+        let b = Histogram::default_latency_bounds();
+        assert_eq!(b[0], 1.0);
+        assert!(b.last().copied().unwrap() > 60_000_000.0);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", "m");
+        reg.gauge("m", "m");
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_metric_name("topk_engine_latency_us"));
+        assert!(valid_metric_name("_private:scoped"));
+        assert!(!valid_metric_name("0bad"));
+        assert!(!valid_metric_name("has space"));
+        assert!(valid_label_name("kind"));
+        assert!(!valid_label_name("le:"));
+    }
+
+    #[test]
+    fn gauge_renders_floats_plainly() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("util", "Utilisation").set(0.75);
+        let text = reg.render_prometheus();
+        assert!(text.contains("util 0.75"), "{text}");
+    }
+
+    #[test]
+    fn concurrent_observation_is_lossless() {
+        let h = std::sync::Arc::new(Histogram::with_bounds(vec![10.0, 100.0]));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe((i % 150) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+}

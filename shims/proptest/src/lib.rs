@@ -294,7 +294,7 @@ pub mod strategy {
 pub mod collection {
     use super::strategy::{RangeSample, Strategy, TestRng};
 
-    /// Element-count specification for [`vec`]: an exact length or a
+    /// Element-count specification for [`vec()`](fn@vec): an exact length or a
     /// range of lengths.
     #[derive(Debug, Clone)]
     pub enum SizeRange {

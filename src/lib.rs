@@ -10,6 +10,9 @@
 //! * [`topk_baselines`] — the eight previous algorithms of Table 1.
 //! * [`topk_engine`] — the multi-device serving layer: bounded query
 //!   queue, same-shape batch coalescing, per-query fallible results.
+//! * [`topk_obs`] — the observability substrate: metrics registry with
+//!   Prometheus text exposition, and tracing span ids that link every
+//!   query to its kernel launches.
 //! * [`datagen`] — the synthetic distributions of §5.1 and the
 //!   ANN-workload substitute for the §5.5 real-data experiments.
 //!
@@ -41,6 +44,7 @@ pub use ::topk_core;
 pub use ::topk_cpu;
 pub use ::topk_engine;
 pub use ::topk_hybrid;
+pub use ::topk_obs;
 
 /// Everything needed to run a selection, in one import.
 pub mod prelude {
@@ -56,8 +60,11 @@ pub mod prelude {
         UnfusedRadix, WarpSelector,
     };
     pub use crate::topk_cpu::{heap_topk, parallel_topk};
-    pub use crate::topk_engine::{DrainReport, EngineConfig, QueryResult, TopKEngine};
+    pub use crate::topk_engine::{
+        chrome_trace, DrainReport, EngineConfig, EngineSnapshot, QueryResult, TopKEngine,
+    };
     pub use crate::topk_hybrid::DrTopK;
+    pub use crate::topk_obs::MetricsRegistry;
 }
 
 use prelude::*;

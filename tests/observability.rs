@@ -1,0 +1,247 @@
+//! End-to-end observability: drain a mixed workload through an
+//! instrumented engine and check the two export surfaces — Prometheus
+//! text metrics and the Chrome trace — against what actually ran.
+//!
+//! The trace is validated with a minimal JSON parser (no external
+//! crates in this environment), so "valid JSON" is checked for real,
+//! not by substring search.
+
+use gpu_topk::prelude::*;
+use gpu_topk::topk_engine::chrome_trace;
+
+/// Minimal JSON validity checker: consumes one JSON value and returns
+/// the rest of the input, or an error description. Enough of RFC 8259
+/// to reject anything chrome://tracing would choke on.
+mod json {
+    pub fn validate(s: &str) -> Result<(), String> {
+        let rest = value(s.trim_start())?;
+        if rest.trim_start().is_empty() {
+            Ok(())
+        } else {
+            Err(format!("trailing garbage: {:.40}", rest))
+        }
+    }
+
+    fn value(s: &str) -> Result<&str, String> {
+        let s = s.trim_start();
+        match s.chars().next() {
+            Some('{') => object(s),
+            Some('[') => array(s),
+            Some('"') => string(s),
+            Some('t') => literal(s, "true"),
+            Some('f') => literal(s, "false"),
+            Some('n') => literal(s, "null"),
+            Some(c) if c == '-' || c.is_ascii_digit() => number(s),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn literal<'a>(s: &'a str, lit: &str) -> Result<&'a str, String> {
+        s.strip_prefix(lit)
+            .ok_or_else(|| format!("bad literal at {:.20}", s))
+    }
+
+    fn number(s: &str) -> Result<&str, String> {
+        let end = s
+            .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .unwrap_or(s.len());
+        let tok = &s[..end];
+        tok.parse::<f64>()
+            .map_err(|e| format!("bad number {tok:?}: {e}"))?;
+        Ok(&s[end..])
+    }
+
+    fn string(s: &str) -> Result<&str, String> {
+        let mut chars = s.char_indices().skip(1);
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok(&s[i + 1..]),
+                '\\' => {
+                    let (_, esc) = chars.next().ok_or("truncated escape")?;
+                    if esc == 'u' {
+                        for _ in 0..4 {
+                            let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                            if !h.is_ascii_hexdigit() {
+                                return Err(format!("bad \\u digit {h:?}"));
+                            }
+                        }
+                    } else if !"\"\\/bfnrt".contains(esc) {
+                        return Err(format!("bad escape \\{esc}"));
+                    }
+                }
+                c if (c as u32) < 0x20 => return Err("raw control char in string".into()),
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn object(s: &str) -> Result<&str, String> {
+        let mut s = s[1..].trim_start();
+        if let Some(rest) = s.strip_prefix('}') {
+            return Ok(rest);
+        }
+        loop {
+            s = string(s.trim_start())?.trim_start();
+            s = s.strip_prefix(':').ok_or("missing ':' in object")?;
+            s = value(s)?.trim_start();
+            match s.chars().next() {
+                Some(',') => s = &s[1..],
+                Some('}') => return Ok(&s[1..]),
+                other => return Err(format!("bad object separator {other:?}")),
+            }
+        }
+    }
+
+    fn array(s: &str) -> Result<&str, String> {
+        let mut s = s[1..].trim_start();
+        if let Some(rest) = s.strip_prefix(']') {
+            return Ok(rest);
+        }
+        loop {
+            s = value(s)?.trim_start();
+            match s.chars().next() {
+                Some(',') => s = &s[1..],
+                Some(']') => return Ok(&s[1..]),
+                other => return Err(format!("bad array separator {other:?}")),
+            }
+        }
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate(r#"{"a": [1, 2.5e-3, "x\n", true, null], "b": {}}"#).unwrap();
+        assert!(validate(r#"{"a": }"#).is_err());
+        assert!(validate(r#"[1, 2"#).is_err());
+        assert!(validate(r#"{} extra"#).is_err());
+    }
+}
+
+/// Drain a mixed workload (including one bad query) on two devices.
+fn drained_engine() -> (TopKEngine, DrainReport) {
+    let mut engine = TopKEngine::new(EngineConfig::a100_pool(2).with_window(4));
+    for q in 0..12 {
+        let n = [40_000, 20_000, 4096][q % 3];
+        let data = datagen::generate(Distribution::Uniform, n, q as u64);
+        engine.submit(data, 64).unwrap();
+    }
+    engine.submit(vec![1.0, 2.0, 3.0], 0).unwrap(); // InvalidK
+    let report = engine.drain();
+    (engine, report)
+}
+
+#[test]
+fn prometheus_export_matches_the_acceptance_criteria() {
+    let (engine, report) = drained_engine();
+    let text = engine.render_prometheus();
+
+    // Parseable Prometheus text: every non-comment line is
+    // `name{labels} value` with a numeric value.
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (_, val) = line.rsplit_once(' ').expect("line has a value");
+        assert!(
+            val.parse::<f64>().is_ok(),
+            "non-numeric sample value in {line:?}"
+        );
+    }
+
+    // Latency histogram with buckets.
+    assert!(text.contains("# TYPE topk_engine_query_latency_us histogram"));
+    assert!(text.contains("topk_engine_query_latency_us_bucket{le=\"+Inf\"} 13"));
+    assert!(text.contains("topk_engine_query_latency_us_count 13"));
+
+    // AIR adaptive counters (present even when zero) and real passes.
+    assert!(text.contains("topk_air_adaptive_skips_total"));
+    assert!(text.contains("topk_air_buffer_writes_total"));
+    assert!(report.algo.air_passes > 0);
+    assert!(!text.contains("topk_air_passes_total 0\n"));
+
+    // Per-TopKError-kind error counters, all kinds pre-registered.
+    assert!(text.contains("topk_engine_query_errors_total{kind=\"invalid_k\"} 1"));
+    for kind in TopKError::KINDS {
+        assert!(
+            text.contains(&format!(
+                "topk_engine_query_errors_total{{kind=\"{kind}\"}}"
+            )),
+            "missing error series for kind {kind}"
+        );
+    }
+}
+
+#[test]
+fn chrome_trace_export_covers_a_real_multi_device_drain() {
+    let (_, report) = drained_engine();
+    assert!(
+        report.devices.iter().all(|d| !d.batches.is_empty()),
+        "workload must exercise both devices"
+    );
+    let trace = chrome_trace(&report);
+
+    // Valid JSON, checked structurally.
+    json::validate(&trace).unwrap_or_else(|e| panic!("invalid trace JSON: {e}"));
+
+    // One kernel track and one query track per device.
+    for d in &report.devices {
+        assert!(trace.contains(&format!("device {} kernels", d.device)));
+        assert!(trace.contains(&format!("device {} queries", d.device)));
+    }
+
+    // Kernel span count matches the KernelReport count exactly.
+    let kernel_reports: usize = report.devices.iter().map(|d| d.kernel_reports.len()).sum();
+    assert!(kernel_reports > 0);
+    assert_eq!(trace.matches("\"cat\":\"kernel\"").count(), kernel_reports);
+
+    // Every query appears as a service span, and waiting queries have
+    // queue-wait spans.
+    assert_eq!(
+        trace.matches("\"cat\":\"query\"").count(),
+        report.results.len()
+    );
+    let waiters = report
+        .results
+        .iter()
+        .filter(|r| r.queue_wait_us > 0.0)
+        .count();
+    assert_eq!(trace.matches("\"cat\":\"queue\"").count(), waiters);
+}
+
+#[test]
+fn spans_thread_from_submission_to_kernel_reports() {
+    let (_, report) = drained_engine();
+    for r in &report.results {
+        assert_ne!(r.span, 0);
+        // The query's batch span resolves to tagged kernel launches on
+        // its device.
+        let dev = &report.devices[r.device];
+        let tagged = dev
+            .kernel_reports
+            .iter()
+            .filter(|kr| kr.span == r.batch_span)
+            .count();
+        if r.outcome.is_ok() {
+            assert!(tagged > 0, "query {} has no kernel launches", r.id);
+        }
+    }
+}
+
+#[test]
+fn engine_snapshot_tracks_queue_errors_and_utilization() {
+    let (engine, _) = drained_engine();
+    let snap = engine.snapshot();
+    assert_eq!(snap.queue_depth, 0);
+    assert_eq!(snap.queries_submitted, 13);
+    assert_eq!(snap.queries_completed, 12);
+    assert_eq!(snap.queries_failed, 1);
+    assert!(snap
+        .errors
+        .iter()
+        .any(|&(kind, n)| kind == "invalid_k" && n == 1));
+    assert_eq!(snap.devices.len(), 2);
+    for d in &snap.devices {
+        assert!(d.utilization > 0.0 && d.utilization <= 1.0 + 1e-9);
+        assert!(d.kernel_launches > 0);
+    }
+}
