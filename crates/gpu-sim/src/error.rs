@@ -14,6 +14,37 @@ pub enum SimError {
     OutOfDeviceMemory { requested: usize, available: usize },
     /// Launch configuration violates a device limit.
     InvalidLaunch(String),
+    /// The driver rejected the kernel launch (injected fault). The
+    /// kernel never ran; device state is unchanged.
+    KernelLaunchFault { kernel: String },
+    /// The kernel started but aborted with a transient compute fault
+    /// (injected, modelled ECC/parity error); its outputs are
+    /// undefined and must be discarded.
+    TransientFault { kernel: String },
+    /// The kernel hung and the modelled watchdog killed it after
+    /// `timeout_us` of simulated time (injected fault). The device
+    /// burned the whole timeout.
+    DeviceHang { timeout_us: u64 },
+    /// A PCIe transfer was corrupted and abandoned (injected fault);
+    /// the destination contents are undefined.
+    TransferCorruption { bytes: usize },
+}
+
+impl SimError {
+    /// Whether this error represents a device/transport fault — the
+    /// class a serving layer retries or fails over, as opposed to a
+    /// caller mistake ([`SimError::InvalidLaunch`]) that would fail
+    /// identically anywhere.
+    pub fn is_device_fault(&self) -> bool {
+        matches!(
+            self,
+            SimError::OutOfDeviceMemory { .. }
+                | SimError::KernelLaunchFault { .. }
+                | SimError::TransientFault { .. }
+                | SimError::DeviceHang { .. }
+                | SimError::TransferCorruption { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -27,6 +58,18 @@ impl fmt::Display for SimError {
                 "out of device memory: requested {requested} bytes, {available} available"
             ),
             SimError::InvalidLaunch(msg) => write!(f, "invalid launch configuration: {msg}"),
+            SimError::KernelLaunchFault { kernel } => {
+                write!(f, "kernel launch fault: driver rejected {kernel:?}")
+            }
+            SimError::TransientFault { kernel } => {
+                write!(f, "transient compute fault in kernel {kernel:?}")
+            }
+            SimError::DeviceHang { timeout_us } => {
+                write!(f, "device hang: watchdog fired after {timeout_us} us")
+            }
+            SimError::TransferCorruption { bytes } => {
+                write!(f, "PCIe transfer corrupted ({bytes} bytes abandoned)")
+            }
         }
     }
 }
@@ -47,5 +90,21 @@ mod tests {
         assert!(s.contains("100") && s.contains("10"));
         let e = SimError::InvalidLaunch("block too big".into());
         assert!(e.to_string().contains("block too big"));
+        let e = SimError::DeviceHang { timeout_us: 50_000 };
+        assert!(e.to_string().contains("50000"));
+    }
+
+    #[test]
+    fn device_fault_classification() {
+        assert!(SimError::OutOfDeviceMemory {
+            requested: 1,
+            available: 0
+        }
+        .is_device_fault());
+        assert!(SimError::KernelLaunchFault { kernel: "k".into() }.is_device_fault());
+        assert!(SimError::TransientFault { kernel: "k".into() }.is_device_fault());
+        assert!(SimError::DeviceHang { timeout_us: 1 }.is_device_fault());
+        assert!(SimError::TransferCorruption { bytes: 8 }.is_device_fault());
+        assert!(!SimError::InvalidLaunch("bad".into()).is_device_fault());
     }
 }

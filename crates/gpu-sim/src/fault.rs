@@ -1,0 +1,537 @@
+//! Deterministic, seeded fault injection for the simulated device.
+//!
+//! A production top-K serving system must prove that every query
+//! reaches a terminal result no matter which device fails, hangs, or
+//! slows down. Real GPUs fail in a handful of well-known ways — driver
+//! launch rejections, transient ECC faults, watchdog-triggering hangs,
+//! allocator failures under fragmentation, flaky PCIe links, and
+//! straggler devices — and this module models exactly that taxonomy
+//! ([`FaultKind`]) as *injectable* faults:
+//!
+//! * A [`FaultPlan`] describes the chaos schedule: per-fault-kind
+//!   probabilities plus an explicit [`ScriptedFault`] list for
+//!   targeted tests, all derived from one seed.
+//! * [`FaultPlan::injector_for`] builds one [`FaultInjector`] per
+//!   device. Each injector owns a private PRNG seeded from
+//!   `(plan.seed, device)`, so the fault schedule of a device depends
+//!   only on the seed and the sequence of operations that device
+//!   performs — **the same seed always yields the same schedule**,
+//!   which is what lets a chaos test assert bitwise determinism.
+//! * [`Gpu`](crate::Gpu) consults its injector (when one is attached
+//!   via [`Gpu::set_fault_injector`](crate::Gpu::set_fault_injector))
+//!   on every allocation, kernel launch and PCIe transfer, and records
+//!   every injected fault as a [`FaultEvent`] for reports and traces.
+//!
+//! Injected faults surface as ordinary [`SimError`](crate::SimError)
+//! values on the fallible entry points (`try_alloc`, `try_launch`,
+//! `try_htod`, `try_dtoh`), so a serving layer handles a chaos-injected
+//! launch failure with exactly the code that would handle a real one.
+
+use std::fmt;
+
+/// The taxonomy of injectable device faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The driver rejects a kernel launch before it runs
+    /// ([`SimError::KernelLaunchFault`](crate::SimError)).
+    LaunchFail,
+    /// The kernel starts but aborts with a transient compute fault
+    /// (modelled ECC/parity error); its outputs are undefined
+    /// ([`SimError::TransientFault`](crate::SimError)).
+    TransientCompute,
+    /// The kernel never completes: the modelled watchdog fires after
+    /// [`FaultPlan::hang_timeout_us`] of simulated time
+    /// ([`SimError::DeviceHang`](crate::SimError)).
+    DeviceHang,
+    /// A device allocation fails despite apparent free memory
+    /// (fragmentation / transient allocator failure, surfaced as
+    /// [`SimError::OutOfDeviceMemory`](crate::SimError)).
+    Oom,
+    /// A PCIe transfer stalls: it completes, but
+    /// [`FaultPlan::stall_multiplier`]× slower.
+    TransferStall,
+    /// A PCIe transfer is corrupted and abandoned
+    /// ([`SimError::TransferCorruption`](crate::SimError)). Only the
+    /// fallible transfer entry points inject this; the infallible ones
+    /// downgrade it to a stall so they never have to panic.
+    TransferCorruption,
+    /// The device driver crashes mid-launch: the calling thread
+    /// panics. This is the fault a serving layer's panic-isolation
+    /// path exists for.
+    WorkerPanic,
+    /// The device is a straggler: kernel execution time is scaled by
+    /// [`FaultPlan::slow_multiplier`] for the device's whole lifetime.
+    /// Decided once at injector construction, not per launch.
+    SlowDevice,
+}
+
+impl FaultKind {
+    /// Every fault kind, in a stable order — the label space an
+    /// observability layer pre-registers fault counters over.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::LaunchFail,
+        FaultKind::TransientCompute,
+        FaultKind::DeviceHang,
+        FaultKind::Oom,
+        FaultKind::TransferStall,
+        FaultKind::TransferCorruption,
+        FaultKind::WorkerPanic,
+        FaultKind::SlowDevice,
+    ];
+
+    /// Stable snake_case label, suitable as a metric label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::LaunchFail => "launch_fail",
+            FaultKind::TransientCompute => "transient_compute",
+            FaultKind::DeviceHang => "device_hang",
+            FaultKind::Oom => "oom",
+            FaultKind::TransferStall => "transfer_stall",
+            FaultKind::TransferCorruption => "transfer_corruption",
+            FaultKind::WorkerPanic => "worker_panic",
+            FaultKind::SlowDevice => "slow_device",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The operation site a fault fires at. Each site keeps its own
+/// per-device operation counter, so a [`ScriptedFault`] can say "the
+/// 3rd allocation on device 1".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Site {
+    Alloc,
+    Launch,
+    Transfer,
+}
+
+impl FaultKind {
+    fn site(self) -> Option<Site> {
+        match self {
+            FaultKind::Oom => Some(Site::Alloc),
+            FaultKind::LaunchFail
+            | FaultKind::TransientCompute
+            | FaultKind::DeviceHang
+            | FaultKind::WorkerPanic => Some(Site::Launch),
+            FaultKind::TransferStall | FaultKind::TransferCorruption => Some(Site::Transfer),
+            FaultKind::SlowDevice => None,
+        }
+    }
+}
+
+/// A precisely targeted fault: fire `kind` on the `nth` (0-based)
+/// eligible operation of `device`. Eligible operations are counted per
+/// site: allocations for [`FaultKind::Oom`], kernel launches for
+/// launch/compute/hang/panic faults, PCIe transfers for transfer
+/// faults. A scripted [`FaultKind::SlowDevice`] marks the device slow
+/// regardless of `nth`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// Device (pool index) the fault targets.
+    pub device: usize,
+    /// Which fault to inject.
+    pub kind: FaultKind,
+    /// 0-based index of the eligible operation it fires on.
+    pub nth: u64,
+}
+
+/// A seeded chaos schedule: fault probabilities, fault parameters, and
+/// an optional scripted fault list. One plan drives a whole device
+/// pool; derive per-device injectors with [`FaultPlan::injector_for`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed. Device `d`'s schedule is a pure function of
+    /// `(seed, d)` and the operations `d` performs.
+    pub seed: u64,
+    /// Probability a kernel launch is rejected by the driver.
+    pub launch_fail_rate: f64,
+    /// Probability a kernel aborts with a transient compute fault.
+    pub transient_rate: f64,
+    /// Probability a kernel hangs until the watchdog fires.
+    pub hang_rate: f64,
+    /// Probability a launch panics the calling thread (driver crash).
+    pub panic_rate: f64,
+    /// Probability a device allocation fails.
+    pub oom_rate: f64,
+    /// Probability a PCIe transfer stalls.
+    pub transfer_stall_rate: f64,
+    /// Probability a PCIe transfer is corrupted (fallible entry points
+    /// only; infallible ones downgrade it to a stall).
+    pub transfer_corruption_rate: f64,
+    /// Probability a device is a straggler for its whole lifetime.
+    pub slow_device_rate: f64,
+    /// Execution-time multiplier of a slow device (≥ 1).
+    pub slow_multiplier: f64,
+    /// Transfer-time multiplier of a stalled transfer (≥ 1).
+    pub stall_multiplier: f64,
+    /// Simulated µs a hung kernel burns before the watchdog fires.
+    pub hang_timeout_us: u64,
+    /// Targeted faults, checked before any probabilistic roll.
+    pub scripted: Vec<ScriptedFault>,
+}
+
+impl FaultPlan {
+    /// A quiet plan (all rates zero) carrying only the seed — the
+    /// starting point for scripted-fault tests.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            launch_fail_rate: 0.0,
+            transient_rate: 0.0,
+            hang_rate: 0.0,
+            panic_rate: 0.0,
+            oom_rate: 0.0,
+            transfer_stall_rate: 0.0,
+            transfer_corruption_rate: 0.0,
+            slow_device_rate: 0.0,
+            slow_multiplier: 4.0,
+            stall_multiplier: 8.0,
+            hang_timeout_us: 50_000,
+            scripted: Vec::new(),
+        }
+    }
+
+    /// A balanced chaos mix at the given base `rate`: transient
+    /// launch/compute/allocator/transfer faults at `rate`, the severe
+    /// kinds (hang, panic) at a fraction of it, and one device in five
+    /// a straggler on average.
+    pub fn chaos(seed: u64, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        FaultPlan {
+            launch_fail_rate: rate,
+            transient_rate: rate,
+            hang_rate: rate / 5.0,
+            panic_rate: rate / 10.0,
+            oom_rate: rate,
+            transfer_stall_rate: rate,
+            transfer_corruption_rate: rate / 2.0,
+            slow_device_rate: 0.2,
+            ..FaultPlan::seeded(seed)
+        }
+    }
+
+    /// Builder-style addition of one scripted fault.
+    #[must_use]
+    pub fn with_scripted(mut self, fault: ScriptedFault) -> Self {
+        self.scripted.push(fault);
+        self
+    }
+
+    /// The injector for one pool device. Two calls with the same
+    /// `(plan, device)` produce identical injectors.
+    pub fn injector_for(&self, device: usize) -> FaultInjector {
+        FaultInjector::new(self.clone(), device)
+    }
+}
+
+/// One injected fault, as recorded in the device's fault log. The log
+/// *is* the fault schedule: diffing two runs' logs is how determinism
+/// is enforced in CI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// 0-based position in this device's fault log.
+    pub seq: u64,
+    /// Device the fault fired on.
+    pub device: usize,
+    /// What fired.
+    pub kind: FaultKind,
+    /// The operation it fired on (kernel name, buffer label, …).
+    pub context: String,
+    /// Simulated device clock when it fired, µs.
+    pub clock_us: f64,
+}
+
+/// Per-device fault source: a seeded PRNG plus the plan's rates and
+/// scripted faults (filtered to this device). Attached to a
+/// [`Gpu`](crate::Gpu) with
+/// [`Gpu::set_fault_injector`](crate::Gpu::set_fault_injector).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    device: usize,
+    rng: u64,
+    slow: bool,
+    allocs: u64,
+    launches: u64,
+    transfers: u64,
+    log: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    fn new(mut plan: FaultPlan, device: usize) -> Self {
+        plan.scripted.retain(|s| s.device == device);
+        // SplitMix64 state from (seed, device); golden-ratio stride
+        // decorrelates adjacent devices.
+        let rng = plan
+            .seed
+            .wrapping_add((device as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut inj = FaultInjector {
+            plan,
+            device,
+            rng,
+            slow: false,
+            allocs: 0,
+            launches: 0,
+            transfers: 0,
+            log: Vec::new(),
+        };
+        let scripted_slow = inj
+            .plan
+            .scripted
+            .iter()
+            .any(|s| s.kind == FaultKind::SlowDevice);
+        if scripted_slow || inj.chance(inj.plan.slow_device_rate) {
+            inj.slow = true;
+            inj.record(FaultKind::SlowDevice, "device lifetime", 0.0);
+        }
+        inj
+    }
+
+    /// The pool device this injector drives.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
+    /// The plan the injector was derived from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether this device rolled the straggler fault.
+    pub fn is_slow(&self) -> bool {
+        self.slow
+    }
+
+    /// Every fault injected so far, in firing order.
+    pub fn log(&self) -> &[FaultEvent] {
+        &self.log
+    }
+
+    /// SplitMix64 step.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` (53-bit precision).
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.uniform() < p
+    }
+
+    fn record(&mut self, kind: FaultKind, context: &str, clock_us: f64) {
+        self.log.push(FaultEvent {
+            seq: self.log.len() as u64,
+            device: self.device,
+            kind,
+            context: context.to_string(),
+            clock_us,
+        });
+    }
+
+    fn scripted_hit(&self, site: Site, nth: u64) -> Option<FaultKind> {
+        self.plan
+            .scripted
+            .iter()
+            .find(|s| s.kind.site() == Some(site) && s.nth == nth)
+            .map(|s| s.kind)
+    }
+
+    /// Consult the injector for one device allocation. `true` means
+    /// the allocation must fail with an out-of-memory error.
+    pub(crate) fn on_alloc(&mut self, label: &str, clock_us: f64) -> bool {
+        let nth = self.allocs;
+        self.allocs += 1;
+        let hit = self.scripted_hit(Site::Alloc, nth).is_some() || self.chance(self.plan.oom_rate);
+        if hit {
+            self.record(FaultKind::Oom, label, clock_us);
+        }
+        hit
+    }
+
+    /// Consult the injector for one kernel launch. A returned kind is
+    /// one of the launch-site faults.
+    pub(crate) fn on_launch(&mut self, name: &str, clock_us: f64) -> Option<FaultKind> {
+        let nth = self.launches;
+        self.launches += 1;
+        let kind = self.scripted_hit(Site::Launch, nth).or_else(|| {
+            let (panic_r, hang_r, transient_r, fail_r) = (
+                self.plan.panic_rate,
+                self.plan.hang_rate,
+                self.plan.transient_rate,
+                self.plan.launch_fail_rate,
+            );
+            let total = panic_r + hang_r + transient_r + fail_r;
+            if total <= 0.0 {
+                return None;
+            }
+            let x = self.uniform();
+            if x < panic_r {
+                Some(FaultKind::WorkerPanic)
+            } else if x < panic_r + hang_r {
+                Some(FaultKind::DeviceHang)
+            } else if x < panic_r + hang_r + transient_r {
+                Some(FaultKind::TransientCompute)
+            } else if x < total {
+                Some(FaultKind::LaunchFail)
+            } else {
+                None
+            }
+        });
+        if let Some(kind) = kind {
+            self.record(kind, name, clock_us);
+        }
+        kind
+    }
+
+    /// Consult the injector for one PCIe transfer.
+    pub(crate) fn on_transfer(&mut self, what: &str, clock_us: f64) -> Option<FaultKind> {
+        let nth = self.transfers;
+        self.transfers += 1;
+        let kind = self.scripted_hit(Site::Transfer, nth).or_else(|| {
+            let (corrupt_r, stall_r) = (
+                self.plan.transfer_corruption_rate,
+                self.plan.transfer_stall_rate,
+            );
+            let total = corrupt_r + stall_r;
+            if total <= 0.0 {
+                return None;
+            }
+            let x = self.uniform();
+            if x < corrupt_r {
+                Some(FaultKind::TransferCorruption)
+            } else if x < total {
+                Some(FaultKind::TransferStall)
+            } else {
+                None
+            }
+        });
+        if let Some(kind) = kind {
+            self.record(kind, what, clock_us);
+        }
+        kind
+    }
+
+    /// Execution-time multiplier for this device's kernels.
+    pub(crate) fn exec_multiplier(&self) -> f64 {
+        if self.slow {
+            self.plan.slow_multiplier.max(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Transfer-time multiplier of a stalled transfer.
+    pub(crate) fn stall_multiplier(&self) -> f64 {
+        self.plan.stall_multiplier.max(1.0)
+    }
+
+    /// The watchdog timeout a hung kernel burns, µs.
+    pub(crate) fn hang_timeout_us(&self) -> u64 {
+        self.plan.hang_timeout_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(inj: &mut FaultInjector, ops: usize) -> Vec<(u64, FaultKind)> {
+        for i in 0..ops {
+            inj.on_alloc("buf", i as f64);
+            inj.on_launch("kern", i as f64);
+            inj.on_transfer("copy", i as f64);
+        }
+        inj.log().iter().map(|e| (e.seq, e.kind)).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan::chaos(42, 0.2);
+        let a = drive(&mut plan.injector_for(0), 200);
+        let b = drive(&mut plan.injector_for(0), 200);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "20% chaos over 600 ops must fire");
+    }
+
+    #[test]
+    fn different_seeds_or_devices_differ() {
+        let a = drive(&mut FaultPlan::chaos(1, 0.2).injector_for(0), 200);
+        let b = drive(&mut FaultPlan::chaos(2, 0.2).injector_for(0), 200);
+        let c = drive(&mut FaultPlan::chaos(1, 0.2).injector_for(1), 200);
+        assert_ne!(a, b, "seeds must decorrelate");
+        assert_ne!(a, c, "devices must decorrelate");
+    }
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let log = drive(&mut FaultPlan::seeded(7).injector_for(0), 500);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn scripted_faults_fire_on_the_exact_operation() {
+        let plan = FaultPlan::seeded(0)
+            .with_scripted(ScriptedFault {
+                device: 0,
+                kind: FaultKind::Oom,
+                nth: 2,
+            })
+            .with_scripted(ScriptedFault {
+                device: 0,
+                kind: FaultKind::DeviceHang,
+                nth: 1,
+            })
+            .with_scripted(ScriptedFault {
+                device: 1,
+                kind: FaultKind::LaunchFail,
+                nth: 0,
+            });
+        let mut inj = plan.injector_for(0);
+        assert!(!inj.on_alloc("a0", 0.0));
+        assert!(!inj.on_alloc("a1", 0.0));
+        assert!(inj.on_alloc("a2", 0.0), "3rd alloc must OOM");
+        assert_eq!(inj.on_launch("k0", 0.0), None);
+        assert_eq!(inj.on_launch("k1", 0.0), Some(FaultKind::DeviceHang));
+        // Device 1's script does not leak onto device 0.
+        assert_eq!(inj.on_launch("k2", 0.0), None);
+        let mut other = plan.injector_for(1);
+        assert_eq!(other.on_launch("k0", 0.0), Some(FaultKind::LaunchFail));
+    }
+
+    #[test]
+    fn scripted_slow_device_scales_execution() {
+        let plan = FaultPlan::seeded(3).with_scripted(ScriptedFault {
+            device: 0,
+            kind: FaultKind::SlowDevice,
+            nth: 0,
+        });
+        let inj = plan.injector_for(0);
+        assert!(inj.is_slow());
+        assert_eq!(inj.exec_multiplier(), plan.slow_multiplier);
+        assert_eq!(inj.log().len(), 1);
+        let other = plan.injector_for(1);
+        assert!(!other.is_slow());
+        assert_eq!(other.exec_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let mut plan = FaultPlan::seeded(9);
+        plan.oom_rate = 0.5;
+        let mut inj = plan.injector_for(0);
+        let fails = (0..1000).filter(|_| inj.on_alloc("b", 0.0)).count();
+        assert!((350..650).contains(&fails), "got {fails} of ~500");
+    }
+}

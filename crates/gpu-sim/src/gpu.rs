@@ -9,6 +9,7 @@ use crate::cost::{kernel_cost, memcpy_cost, CostBreakdown, KernelStats};
 use crate::device::DeviceSpec;
 use crate::error::SimError;
 use crate::exec::{validate_launch, BlockCtx, LaunchConfig};
+use crate::fault::{FaultEvent, FaultInjector, FaultKind};
 use crate::memory::{DeviceBuffer, DeviceScalar};
 use crate::pool::BlockPool;
 use crate::profile::{EventKind, Timeline};
@@ -47,6 +48,7 @@ pub struct Gpu {
     mem_allocated: usize,
     mem_high_water: usize,
     current_span: u64,
+    injector: Option<FaultInjector>,
 }
 
 impl Gpu {
@@ -67,6 +69,7 @@ impl Gpu {
             mem_allocated: 0,
             mem_high_water: 0,
             current_span: 0,
+            injector: None,
         }
     }
 
@@ -122,6 +125,29 @@ impl Gpu {
         self.current_span
     }
 
+    // ---- fault injection ----------------------------------------------
+
+    /// Attach a [`FaultInjector`]: from now on every allocation, kernel
+    /// launch and PCIe transfer consults it and may fail with an
+    /// injected [`SimError`]. Faults surface only on the fallible entry
+    /// points (`try_*`); the panicking conveniences propagate them as
+    /// panics, and the infallible transfer paths downgrade corruption
+    /// to a stall.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The attached injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Every fault injected on this device so far, in firing order.
+    /// Empty when no injector is attached.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        self.injector.as_ref().map_or(&[], |i| i.log())
+    }
+
     /// Zero the clock and clear the timeline/report history.
     /// Benchmarks call this after uploading inputs so only the
     /// algorithm under test is timed.
@@ -155,6 +181,16 @@ impl Gpu {
                 available,
             });
         }
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.on_alloc(label, self.clock_us) {
+                // Injected allocator failure: fragmentation / transient
+                // driver refusal despite apparent free memory.
+                return Err(SimError::OutOfDeviceMemory {
+                    requested: bytes,
+                    available,
+                });
+            }
+        }
         self.mem_allocated += bytes;
         self.mem_high_water = self.mem_high_water.max(self.mem_allocated);
         Ok(DeviceBuffer::zeroed(label, len))
@@ -181,7 +217,11 @@ impl Gpu {
         self.try_htod(label, data).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible host-to-device upload.
+    /// Fallible host-to-device upload. Injected transfer faults
+    /// surface here: a stall completes the copy at a fraction of link
+    /// speed, a corruption pays the transfer cost, releases the
+    /// destination buffer and returns
+    /// [`SimError::TransferCorruption`].
     pub fn try_htod<T: DeviceScalar>(
         &mut self,
         label: &str,
@@ -191,27 +231,52 @@ impl Gpu {
         for (i, &v) in data.iter().enumerate() {
             buf.set(i, v);
         }
-        let t = memcpy_cost(&self.spec, buf.size_bytes());
+        let mut t = memcpy_cost(&self.spec, buf.size_bytes());
+        let fault = self
+            .injector
+            .as_mut()
+            .and_then(|inj| inj.on_transfer(label, self.clock_us));
+        if let Some(FaultKind::TransferStall) = fault {
+            t *= self
+                .injector
+                .as_ref()
+                .expect("fault implies injector")
+                .stall_multiplier();
+        }
         self.timeline.push(EventKind::MemcpyHtoD, self.clock_us, t);
         self.clock_us += t;
+        if let Some(FaultKind::TransferCorruption) = fault {
+            let bytes = buf.size_bytes();
+            self.free_bytes(bytes);
+            return Err(SimError::TransferCorruption { bytes });
+        }
         Ok(buf)
     }
 
     /// Copy a small host payload into an *existing* device buffer
     /// (parameter updates in host-driven loops), paying PCIe cost.
+    /// Infallible, so an injected corruption is downgraded to a stall
+    /// (modelled as the link retrying until the payload lands).
     pub fn htod_into<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, data: &[T]) {
         assert!(data.len() <= buf.len(), "htod_into overflows buffer");
         for (i, &v) in data.iter().enumerate() {
             buf.set(i, v);
         }
-        let t = memcpy_cost(&self.spec, data.len() * T::BYTES);
+        let mut t = memcpy_cost(&self.spec, data.len() * T::BYTES);
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.on_transfer("htod_into", self.clock_us).is_some() {
+                t *= inj.stall_multiplier();
+            }
+        }
         self.timeline.push(EventKind::MemcpyHtoD, self.clock_us, t);
         self.clock_us += t;
     }
 
     /// Copy a device buffer back to the host. A blocking copy: pays a
     /// host synchronisation plus the PCIe transfer, like
-    /// `cudaMemcpy(DtoH)` on the default stream.
+    /// `cudaMemcpy(DtoH)` on the default stream. Infallible: an
+    /// injected corruption is downgraded to a stall (use
+    /// [`Gpu::try_dtoh`] to observe corruption as an error).
     pub fn dtoh<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>) -> Vec<T> {
         self.dtoh_range(buf, 0, buf.len())
     }
@@ -223,13 +288,60 @@ impl Gpu {
         offset: usize,
         len: usize,
     ) -> Vec<T> {
+        match self.transfer_dtoh(buf, offset, len, false) {
+            Ok(v) => v,
+            Err(_) => unreachable!("infallible dtoh downgrades corruption"),
+        }
+    }
+
+    /// Fallible device-to-host readback: an injected stall slows the
+    /// copy, an injected corruption surfaces as
+    /// [`SimError::TransferCorruption`] (the partial host copy is
+    /// discarded; device state is untouched).
+    pub fn try_dtoh<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>) -> Result<Vec<T>, SimError> {
+        self.try_dtoh_range(buf, 0, buf.len())
+    }
+
+    /// Fallible counterpart of [`Gpu::dtoh_range`].
+    pub fn try_dtoh_range<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<T>, SimError> {
+        self.transfer_dtoh(buf, offset, len, true)
+    }
+
+    fn transfer_dtoh<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        offset: usize,
+        len: usize,
+        fallible: bool,
+    ) -> Result<Vec<T>, SimError> {
         let sync = self.spec.host_sync_us;
         self.timeline.push(EventKind::HostSync, self.clock_us, sync);
         self.clock_us += sync;
-        let t = memcpy_cost(&self.spec, len * T::BYTES);
+        let bytes = len * T::BYTES;
+        let mut t = memcpy_cost(&self.spec, bytes);
+        let fault = self
+            .injector
+            .as_mut()
+            .and_then(|inj| inj.on_transfer(buf.label(), self.clock_us));
+        let corrupted = fault == Some(FaultKind::TransferCorruption);
+        if fault == Some(FaultKind::TransferStall) || (corrupted && !fallible) {
+            t *= self
+                .injector
+                .as_ref()
+                .expect("fault implies injector")
+                .stall_multiplier();
+        }
         self.timeline.push(EventKind::MemcpyDtoH, self.clock_us, t);
         self.clock_us += t;
-        (offset..offset + len).map(|i| buf.get(i)).collect()
+        if corrupted && fallible {
+            return Err(SimError::TransferCorruption { bytes });
+        }
+        Ok((offset..offset + len).map(|i| buf.get(i)).collect())
     }
 
     // ---- execution ----------------------------------------------------
@@ -266,8 +378,19 @@ impl Gpu {
     {
         validate_launch(&self.spec, &cfg)?;
 
+        if let Some(fault) = self
+            .injector
+            .as_mut()
+            .and_then(|inj| inj.on_launch(name, self.clock_us))
+        {
+            return Err(self.launch_fault(name, fault));
+        }
+
         let stats = self.pool.run(&self.spec, cfg, kernel);
         let mut cost = kernel_cost(&self.spec, cfg.grid_dim, cfg.block_dim, &stats);
+        if let Some(inj) = self.injector.as_ref() {
+            cost.exec_us *= inj.exec_multiplier();
+        }
         let pipelined = matches!(
             self.timeline.events().last().map(|e| &e.kind),
             Some(EventKind::Kernel(_))
@@ -293,6 +416,66 @@ impl Gpu {
             span: self.current_span,
         });
         Ok(self.reports.last().expect("report just pushed"))
+    }
+
+    /// Charge the simulated cost of an injected launch-site fault and
+    /// build its error. [`FaultKind::WorkerPanic`] panics instead —
+    /// modelling a driver crash taking the calling thread down — which
+    /// is exactly what a serving layer's panic isolation must survive.
+    fn launch_fault(&mut self, name: &str, fault: FaultKind) -> SimError {
+        match fault {
+            FaultKind::WorkerPanic => {
+                panic!("injected device fault: driver crash during launch of {name:?}")
+            }
+            FaultKind::LaunchFail => {
+                // The driver rejects the launch after the host paid the
+                // submission overhead; nothing runs on the device.
+                let t = self.spec.kernel_launch_us;
+                self.timeline
+                    .push(EventKind::LaunchOverhead, self.clock_us, t);
+                self.clock_us += t;
+                SimError::KernelLaunchFault {
+                    kernel: name.to_string(),
+                }
+            }
+            FaultKind::TransientCompute => {
+                // The kernel starts and aborts partway: the device
+                // burns launch overhead plus the minimum kernel time,
+                // and the outputs are undefined (the simulated kernel
+                // body never runs, so callers must discard them).
+                let launch = self.spec.kernel_launch_us;
+                self.timeline
+                    .push(EventKind::LaunchOverhead, self.clock_us, launch);
+                self.clock_us += launch;
+                let t = self.spec.kernel_floor_us;
+                self.timeline.push(
+                    EventKind::Kernel(format!("{name} [faulted]")),
+                    self.clock_us,
+                    t,
+                );
+                self.clock_us += t;
+                SimError::TransientFault {
+                    kernel: name.to_string(),
+                }
+            }
+            FaultKind::DeviceHang => {
+                // The kernel never completes; the host blocks until the
+                // modelled watchdog kills it.
+                let timeout_us = self
+                    .injector
+                    .as_ref()
+                    .expect("hang fault implies injector")
+                    .hang_timeout_us();
+                self.timeline.push(
+                    EventKind::HostCompute(format!("watchdog timeout: {name}")),
+                    self.clock_us,
+                    timeout_us as f64,
+                );
+                self.clock_us += timeout_us as f64;
+                SimError::DeviceHang { timeout_us }
+            }
+            other => unreachable!("{other:?} is not a launch-site fault"),
+        }
     }
 
     // ---- host-side time -----------------------------------------------
@@ -440,5 +623,158 @@ mod tests {
         g.host_compute("prefix sum", 12.5);
         assert_eq!(g.timeline().idle_us(), 12.5);
         assert!((g.elapsed_us() - 12.5).abs() < 1e-12);
+    }
+
+    // ---- fault injection ----------------------------------------------
+
+    use crate::fault::{FaultPlan, ScriptedFault};
+
+    fn faulty_gpu(plan: FaultPlan) -> Gpu {
+        let mut g = gpu();
+        g.set_fault_injector(plan.injector_for(0));
+        g
+    }
+
+    #[test]
+    fn injected_oom_fails_alloc_without_leaking_accounting() {
+        let plan = FaultPlan::seeded(1).with_scripted(ScriptedFault {
+            device: 0,
+            kind: FaultKind::Oom,
+            nth: 1,
+        });
+        let mut g = faulty_gpu(plan);
+        let a = g.try_alloc::<u32>("a", 64).expect("first alloc fine");
+        let before = g.mem_allocated();
+        assert!(matches!(
+            g.try_alloc::<u32>("b", 64),
+            Err(SimError::OutOfDeviceMemory { .. })
+        ));
+        assert_eq!(g.mem_allocated(), before, "failed alloc must not charge");
+        assert_eq!(g.fault_events().len(), 1);
+        g.free(&a);
+    }
+
+    #[test]
+    fn injected_launch_faults_surface_as_errors_and_cost_time() {
+        let plan = FaultPlan::seeded(2)
+            .with_scripted(ScriptedFault {
+                device: 0,
+                kind: FaultKind::LaunchFail,
+                nth: 0,
+            })
+            .with_scripted(ScriptedFault {
+                device: 0,
+                kind: FaultKind::DeviceHang,
+                nth: 1,
+            });
+        let mut g = faulty_gpu(plan);
+        let buf = g.htod("in", &[0u32; 64]);
+        let t0 = g.elapsed_us();
+        let err = g
+            .try_launch("k", LaunchConfig::grid_1d(1, 32), |ctx| {
+                let _ = ctx.ld(&buf, 0);
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::KernelLaunchFault { .. }));
+        assert!(g.elapsed_us() > t0, "rejected launch still costs time");
+        assert!(g.reports().is_empty(), "no report for a failed launch");
+
+        let t1 = g.elapsed_us();
+        let err = g
+            .try_launch("k", LaunchConfig::grid_1d(1, 32), |ctx| {
+                let _ = ctx.ld(&buf, 0);
+            })
+            .unwrap_err();
+        assert_eq!(err, SimError::DeviceHang { timeout_us: 50_000 });
+        assert!(g.elapsed_us() >= t1 + 50_000.0, "hang burns the timeout");
+
+        // Third launch succeeds: the device recovered.
+        assert!(g
+            .try_launch("k", LaunchConfig::grid_1d(1, 32), |ctx| {
+                let _ = ctx.ld(&buf, 0);
+            })
+            .is_ok());
+        assert_eq!(g.fault_events().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected device fault")]
+    fn injected_worker_panic_panics() {
+        let plan = FaultPlan::seeded(3).with_scripted(ScriptedFault {
+            device: 0,
+            kind: FaultKind::WorkerPanic,
+            nth: 0,
+        });
+        let mut g = faulty_gpu(plan);
+        let _ = g.try_launch("k", LaunchConfig::grid_1d(1, 32), |_| {});
+    }
+
+    #[test]
+    fn corruption_fails_try_htod_and_releases_memory() {
+        let plan = FaultPlan::seeded(4).with_scripted(ScriptedFault {
+            device: 0,
+            kind: FaultKind::TransferCorruption,
+            nth: 0,
+        });
+        let mut g = faulty_gpu(plan);
+        assert!(matches!(
+            g.try_htod("in", &[0u32; 64]),
+            Err(SimError::TransferCorruption { bytes: 256 })
+        ));
+        assert_eq!(g.mem_allocated(), 0, "corrupted upload must not leak");
+        // Next transfer is clean.
+        assert!(g.try_htod("in", &[0u32; 64]).is_ok());
+    }
+
+    #[test]
+    fn corruption_downgrades_to_stall_on_infallible_dtoh() {
+        let plan = FaultPlan::seeded(5).with_scripted(ScriptedFault {
+            device: 0,
+            kind: FaultKind::TransferCorruption,
+            nth: 1, // transfer 0 is the htod below
+        });
+        let mut g = faulty_gpu(plan);
+        let buf = g.htod("x", &[7u32; 1024]);
+        let t0 = g.elapsed_us();
+        let v = g.dtoh(&buf); // must not panic
+        assert_eq!(v.len(), 1024);
+        let stalled = g.elapsed_us() - t0;
+
+        // The same copy without a fault is much cheaper.
+        let mut clean = gpu();
+        let cbuf = clean.htod("x", &[7u32; 1024]);
+        clean.reset_profile();
+        let _ = clean.dtoh(&cbuf);
+        assert!(
+            stalled > clean.elapsed_us() * 2.0,
+            "stall must be visible: {stalled} vs {}",
+            clean.elapsed_us()
+        );
+    }
+
+    #[test]
+    fn slow_device_scales_kernel_time_only() {
+        let run = |slow: bool| {
+            let mut g = gpu();
+            if slow {
+                let plan = FaultPlan::seeded(6).with_scripted(ScriptedFault {
+                    device: 0,
+                    kind: FaultKind::SlowDevice,
+                    nth: 0,
+                });
+                g.set_fault_injector(plan.injector_for(0));
+            }
+            let buf = g.htod("in", &(0..4096u32).collect::<Vec<_>>());
+            g.reset_profile();
+            g.launch("scan", LaunchConfig::grid_1d(4, 256), |ctx| {
+                for i in 0..1024 {
+                    let _ = ctx.ld(&buf, ctx.block_idx * 1024 + i);
+                }
+            });
+            g.reports()[0].cost.exec_us
+        };
+        let fast = run(false);
+        let slow = run(true);
+        assert!((slow / fast - 4.0).abs() < 1e-6, "{slow} vs {fast}");
     }
 }

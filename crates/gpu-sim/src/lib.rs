@@ -57,6 +57,7 @@ pub mod cost;
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod gpu;
 pub mod memory;
 pub mod pool;
@@ -68,6 +69,7 @@ pub use cost::{CostBreakdown, KernelStats};
 pub use device::DeviceSpec;
 pub use error::SimError;
 pub use exec::{BlockCtx, LaunchConfig, SharedMem};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, ScriptedFault};
 pub use gpu::{Gpu, KernelReport};
 pub use memory::{AtomicCell, DeviceBuffer, DeviceScalar};
 pub use pool::BlockPool;

@@ -29,18 +29,34 @@ fn usage() -> ! {
     eprintln!(
         "usage: topk-bench <fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|fig12|fig13|engine|all> \
          [--full] [--verify] [--quiet] [--out DIR] [--metrics-out FILE] [--trace-out FILE]\n\
+       topk-bench engine [--faults SEED] [--fault-rate P] [--deadline-us D] [--digest-out FILE] ...\n\
        topk-bench compare [--algos A,B,..] [--n N] [--k K] [--batch B] [--dist D] [--no-verify]\n\
        topk-bench tune-alpha [--n N] [--k K]"
     );
     std::process::exit(2);
 }
 
-fn engine_opts(opts: &FigOpts) -> topk_bench::serving::EngineBenchOpts {
-    topk_bench::serving::EngineBenchOpts {
+/// Fault-injection flags for the `engine` subcommand, folded into
+/// [`EngineBenchOpts`](topk_bench::serving::EngineBenchOpts).
+#[derive(Debug, Clone, Default)]
+struct FaultOpts {
+    fault_seed: Option<u64>,
+    fault_rate: Option<f64>,
+    deadline_us: Option<u64>,
+}
+
+fn engine_opts(opts: &FigOpts, faults: &FaultOpts) -> topk_bench::serving::EngineBenchOpts {
+    let mut e = topk_bench::serving::EngineBenchOpts {
         verify: opts.verify,
         full: opts.full,
+        fault_seed: faults.fault_seed,
+        deadline_us: faults.deadline_us,
         ..Default::default()
+    };
+    if let Some(rate) = faults.fault_rate {
+        e.fault_rate = rate;
     }
+    e
 }
 
 fn parse_dist(s: &str) -> topk_bench::runner::Workload {
@@ -95,6 +111,8 @@ fn main() {
     let mut out_dir = PathBuf::from("bench-results");
     let mut metrics_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut digest_out: Option<PathBuf> = None;
+    let mut faults = FaultOpts::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -112,6 +130,34 @@ fn main() {
             "--trace-out" => {
                 i += 1;
                 trace_out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--digest-out" => {
+                i += 1;
+                digest_out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--faults" => {
+                i += 1;
+                faults.fault_seed = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--fault-rate" => {
+                i += 1;
+                faults.fault_rate = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--deadline-us" => {
+                i += 1;
+                faults.deadline_us = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
             }
             _ => usage(),
         }
@@ -140,6 +186,22 @@ fn main() {
                     Ok(()) => eprintln!("[topk-bench] wrote {what} to {}", path.display()),
                     Err(e) => eprintln!("cannot write {}: {e}", path.display()),
                 }
+            }
+        }
+    };
+
+    // `engine --digest-out d.txt`: write the deterministic chaos
+    // digest of one drain so CI can diff two same-seed runs.
+    let save_digest = |eopts: &topk_bench::serving::EngineBenchOpts,
+                       digest_out: &Option<PathBuf>| {
+        if let Some(path) = digest_out {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent).ok();
+            }
+            let digest = topk_bench::serving::chaos_digest(eopts);
+            match std::fs::write(path, &digest) {
+                Ok(()) => eprintln!("[topk-bench] wrote chaos digest to {}", path.display()),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
             }
         }
     };
@@ -212,11 +274,12 @@ fn main() {
         "fig12" => save("fig12", &figures::fig12(&opts)),
         "fig13" => save("fig13", &figures::fig13(&opts)),
         "engine" => {
-            let eopts = engine_opts(&opts);
+            let eopts = engine_opts(&opts, &faults);
             let points = topk_bench::serving::engine_throughput(&eopts);
             println!("\n{}", topk_bench::serving::render(&points));
             save("engine", &topk_bench::serving::to_rows(&points, opts.full));
             save_observability(&eopts, &metrics_out, &trace_out);
+            save_digest(&eopts, &digest_out);
         }
         "all" => {
             save("fig6", &figures::fig6(&opts));
@@ -236,11 +299,12 @@ fn main() {
             save("fig11", &figures::fig11(&opts));
             save("fig12", &figures::fig12(&opts));
             save("fig13", &figures::fig13(&opts));
-            let eopts = engine_opts(&opts);
+            let eopts = engine_opts(&opts, &faults);
             let points = topk_bench::serving::engine_throughput(&eopts);
             println!("\n{}", topk_bench::serving::render(&points));
             save("engine", &topk_bench::serving::to_rows(&points, opts.full));
             save_observability(&eopts, &metrics_out, &trace_out);
+            save_digest(&eopts, &digest_out);
         }
         _ => usage(),
     }

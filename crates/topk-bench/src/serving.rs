@@ -11,7 +11,7 @@
 
 use crate::report::Row;
 use topk_core::verify_topk;
-use topk_engine::{DrainReport, EngineConfig, TopKEngine};
+use topk_engine::{DrainReport, EngineConfig, FaultPlan, TopKEngine};
 
 /// Options for the engine throughput sweep.
 #[derive(Debug, Clone)]
@@ -26,6 +26,12 @@ pub struct EngineBenchOpts {
     pub verify: bool,
     /// Paper-scale problem sizes instead of the quick defaults.
     pub full: bool,
+    /// Seed a chaos [`FaultPlan`] with this value (`--faults SEED`).
+    pub fault_seed: Option<u64>,
+    /// Per-operation fault probability for the chaos plan.
+    pub fault_rate: f64,
+    /// Per-query deadline applied to every submission, simulated µs.
+    pub deadline_us: Option<u64>,
 }
 
 impl Default for EngineBenchOpts {
@@ -36,7 +42,18 @@ impl Default for EngineBenchOpts {
             windows: vec![1, 8, 32],
             verify: false,
             full: false,
+            fault_seed: None,
+            fault_rate: 0.05,
+            deadline_us: None,
         }
+    }
+}
+
+impl EngineBenchOpts {
+    /// The chaos plan these options describe, if fault injection is on.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_seed
+            .map(|seed| FaultPlan::chaos(seed, self.fault_rate))
     }
 }
 
@@ -63,6 +80,14 @@ pub struct EnginePoint {
     /// serving SLO is written against; coalescing trades it for
     /// throughput.
     pub p99_latency_us: f64,
+    /// Same-device retry attempts during the drain.
+    pub retries: u64,
+    /// Batches re-landed on a different device after a fault.
+    pub failovers: u64,
+    /// Queries degraded to the host heap path.
+    pub cpu_fallbacks: u64,
+    /// Queries that terminated with `DeadlineExceeded`.
+    pub deadline_misses: u64,
 }
 
 /// The mixed query stream every sweep point drains: four interleaved
@@ -90,11 +115,28 @@ pub fn drain_workload(
     devices: usize,
     window: usize,
 ) -> DrainReport {
-    let mut engine = TopKEngine::new(
-        EngineConfig::a100_pool(devices)
-            .with_window(window)
-            .with_queue_capacity(workload.len().max(1)),
-    );
+    drain_workload_with(workload, devices, window, None, None)
+}
+
+/// [`drain_workload`] with optional fault injection and a per-query
+/// deadline — the chaos-benchmark entry point.
+pub fn drain_workload_with(
+    workload: &[(Vec<f32>, usize)],
+    devices: usize,
+    window: usize,
+    faults: Option<FaultPlan>,
+    deadline_us: Option<u64>,
+) -> DrainReport {
+    let mut cfg = EngineConfig::a100_pool(devices)
+        .with_window(window)
+        .with_queue_capacity(workload.len().max(1));
+    if let Some(plan) = faults {
+        cfg = cfg.with_faults(plan);
+    }
+    if let Some(d) = deadline_us {
+        cfg = cfg.with_deadline_us(d);
+    }
+    let mut engine = TopKEngine::new(cfg);
     for (data, k) in workload {
         engine
             .submit(data.clone(), *k)
@@ -109,15 +151,25 @@ pub fn engine_throughput(opts: &EngineBenchOpts) -> Vec<EnginePoint> {
     opts.windows
         .iter()
         .map(|&window| {
-            let report = drain_workload(&workload, opts.devices, window);
+            let report = drain_workload_with(
+                &workload,
+                opts.devices,
+                window,
+                opts.fault_plan(),
+                opts.deadline_us,
+            );
             if opts.verify {
                 for (r, (data, k)) in report.results.iter().zip(&workload) {
-                    let out = r
-                        .outcome
-                        .as_ref()
-                        .unwrap_or_else(|e| panic!("query {}: {e}", r.id));
-                    verify_topk(data, *k, &out.values, &out.indices)
-                        .unwrap_or_else(|e| panic!("query {}: {e}", r.id));
+                    // Under injected faults or deadlines, errors are
+                    // expected terminal outcomes; verify the answers
+                    // that did land.
+                    let strict = opts.fault_seed.is_none() && opts.deadline_us.is_none();
+                    match &r.outcome {
+                        Ok(out) => verify_topk(data, *k, &out.values, &out.indices)
+                            .unwrap_or_else(|e| panic!("query {}: {e}", r.id)),
+                        Err(e) if strict => panic!("query {}: {e}", r.id),
+                        Err(_) => {}
+                    }
                 }
             }
             EnginePoint {
@@ -130,6 +182,10 @@ pub fn engine_throughput(opts: &EngineBenchOpts) -> Vec<EnginePoint> {
                 mean_latency_us: report.mean_latency_us(),
                 p50_latency_us: report.p50_latency_us(),
                 p99_latency_us: report.p99_latency_us(),
+                retries: report.retries,
+                failovers: report.failovers,
+                cpu_fallbacks: report.cpu_fallbacks,
+                deadline_misses: report.deadline_misses,
             }
         })
         .collect()
@@ -139,11 +195,13 @@ pub fn engine_throughput(opts: &EngineBenchOpts) -> Vec<EnginePoint> {
 pub fn render(points: &[EnginePoint]) -> String {
     let mut out = String::from(
         "=== TopKEngine throughput vs coalescing window ===\n\
-         window  devices  queries  fused  queries/sec  makespan_us  mean_lat_us  p50_lat_us  p99_lat_us\n",
+         window  devices  queries  fused  queries/sec  makespan_us  mean_lat_us  p50_lat_us  p99_lat_us  \
+         retries  failovers  fallbacks  dl_miss\n",
     );
     for p in points {
         out.push_str(&format!(
-            "{:>6}  {:>7}  {:>7}  {:>5}  {:>11.0}  {:>11.1}  {:>11.1}  {:>10.1}  {:>10.1}\n",
+            "{:>6}  {:>7}  {:>7}  {:>5}  {:>11.0}  {:>11.1}  {:>11.1}  {:>10.1}  {:>10.1}  \
+             {:>7}  {:>9}  {:>9}  {:>7}\n",
             p.window,
             p.devices,
             p.queries,
@@ -152,7 +210,11 @@ pub fn render(points: &[EnginePoint]) -> String {
             p.makespan_us,
             p.mean_latency_us,
             p.p50_latency_us,
-            p.p99_latency_us
+            p.p99_latency_us,
+            p.retries,
+            p.failovers,
+            p.cpu_fallbacks,
+            p.deadline_misses
         ));
     }
     out
@@ -178,11 +240,16 @@ pub struct EngineArtifacts {
 pub fn engine_observability(opts: &EngineBenchOpts) -> EngineArtifacts {
     let workload = mixed_workload(opts.queries, opts.full);
     let window = opts.windows.iter().copied().max().unwrap_or(8);
-    let mut engine = TopKEngine::new(
-        EngineConfig::a100_pool(opts.devices)
-            .with_window(window)
-            .with_queue_capacity(workload.len() + 1),
-    );
+    let mut cfg = EngineConfig::a100_pool(opts.devices)
+        .with_window(window)
+        .with_queue_capacity(workload.len() + 1);
+    if let Some(plan) = opts.fault_plan() {
+        cfg = cfg.with_faults(plan);
+    }
+    if let Some(d) = opts.deadline_us {
+        cfg = cfg.with_deadline_us(d);
+    }
+    let mut engine = TopKEngine::new(cfg);
     for (data, k) in &workload {
         engine
             .submit(data.clone(), *k)
@@ -196,6 +263,23 @@ pub fn engine_observability(opts: &EngineBenchOpts) -> EngineArtifacts {
         metrics: engine.render_prometheus(),
         trace: topk_engine::chrome_trace(&report),
     }
+}
+
+/// Deterministic summary of one drain at the widest sweep window, for
+/// CI chaos-smoke diffing (`--digest-out`): two runs with the same
+/// options — including the same `--faults` seed — must produce
+/// byte-identical output.
+pub fn chaos_digest(opts: &EngineBenchOpts) -> String {
+    let workload = mixed_workload(opts.queries, opts.full);
+    let window = opts.windows.iter().copied().max().unwrap_or(8);
+    let report = drain_workload_with(
+        &workload,
+        opts.devices,
+        window,
+        opts.fault_plan(),
+        opts.deadline_us,
+    );
+    report.chaos_digest()
 }
 
 /// The sweep as standard benchmark rows (`algo = TopKEngine`, `batch`
@@ -235,7 +319,7 @@ mod tests {
             devices: 2,
             windows: vec![1, 8, 32],
             verify: true,
-            full: false,
+            ..Default::default()
         };
         let points = engine_throughput(&opts);
         assert_eq!(points.len(), 3);
@@ -272,8 +356,7 @@ mod tests {
             queries: 12,
             devices: 2,
             windows: vec![4],
-            verify: false,
-            full: false,
+            ..Default::default()
         };
         let art = engine_observability(&opts);
         assert!(art
@@ -286,5 +369,27 @@ mod tests {
         assert!(art.trace.contains("device 0 kernels"));
         assert!(art.trace.contains("device 1 kernels"));
         assert!(art.trace.ends_with("]}\n") || art.trace.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn faulted_sweep_reports_resilience_counters_and_reproduces() {
+        let opts = EngineBenchOpts {
+            queries: 32,
+            devices: 2,
+            windows: vec![4],
+            verify: true,
+            fault_seed: Some(42),
+            fault_rate: 0.10,
+            ..Default::default()
+        };
+        let points = engine_throughput(&opts);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].queries, 32, "every query stays terminal");
+        let table = render(&points);
+        assert!(table.contains("retries"));
+        assert!(table.contains("failovers"));
+        assert!(table.contains("fallbacks"));
+        // The digest is a pure function of the options.
+        assert_eq!(chaos_digest(&opts), chaos_digest(&opts));
     }
 }

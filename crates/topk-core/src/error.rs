@@ -39,8 +39,21 @@ pub enum TopKError {
         available: usize,
     },
     /// Any other simulator fault (invalid launch configuration,
-    /// shared-memory overflow, ...).
+    /// shared-memory overflow, injected device faults, ...).
     Sim(SimError),
+    /// The query's deadline passed before a result could be produced.
+    /// Terminal: a serving layer stops retrying once this fires.
+    DeadlineExceeded {
+        /// The deadline the query was submitted with, µs of simulated
+        /// time after submission.
+        deadline_us: u64,
+    },
+    /// Every device in the pool was failed or quarantined and the
+    /// degradation ladder had nowhere left to go.
+    PoolExhausted {
+        /// Service attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl TopKError {
@@ -48,16 +61,40 @@ impl TopKError {
     /// space an observability layer pre-registers its per-kind error
     /// counters over, so a scrape sees all series at zero before the
     /// first failure.
-    pub const KINDS: [&'static str; 4] = ["invalid_k", "unsupported_shape", "device_oom", "sim"];
+    pub const KINDS: [&'static str; 7] = [
+        "invalid_k",
+        "unsupported_shape",
+        "device_oom",
+        "sim",
+        "device_fault",
+        "deadline_exceeded",
+        "pool_exhausted",
+    ];
 
     /// A stable snake_case label for the error's variant, suitable as a
     /// metric label value (`topk_engine_query_errors_total{kind=...}`).
+    /// Simulator errors split into `device_fault` (retryable device
+    /// trouble) and `sim` (caller mistakes such as invalid launches).
     pub fn kind(&self) -> &'static str {
         match self {
             TopKError::InvalidK { .. } => "invalid_k",
             TopKError::UnsupportedShape { .. } => "unsupported_shape",
             TopKError::DeviceOom { .. } => "device_oom",
+            TopKError::Sim(e) if e.is_device_fault() => "device_fault",
             TopKError::Sim(_) => "sim",
+            TopKError::DeadlineExceeded { .. } => "deadline_exceeded",
+            TopKError::PoolExhausted { .. } => "pool_exhausted",
+        }
+    }
+
+    /// Whether the error is a device fault a serving layer should
+    /// retry or fail over — as opposed to a query mistake that would
+    /// fail identically on any device, or a terminal serving verdict.
+    pub fn is_device_fault(&self) -> bool {
+        match self {
+            TopKError::DeviceOom { .. } => true,
+            TopKError::Sim(e) => e.is_device_fault(),
+            _ => false,
         }
     }
 
@@ -111,6 +148,12 @@ impl fmt::Display for TopKError {
                 "out of device memory: requested {requested} bytes, {available} available"
             ),
             TopKError::Sim(e) => write!(f, "{e}"),
+            TopKError::DeadlineExceeded { deadline_us } => {
+                write!(f, "deadline exceeded: {deadline_us} us budget exhausted")
+            }
+            TopKError::PoolExhausted { attempts } => {
+                write!(f, "device pool exhausted after {attempts} service attempts")
+            }
         }
     }
 }
@@ -178,9 +221,31 @@ mod tests {
                 available: 0,
             },
             TopKError::Sim(SimError::InvalidLaunch("y".into())),
+            TopKError::Sim(SimError::DeviceHang { timeout_us: 1 }),
+            TopKError::DeadlineExceeded { deadline_us: 500 },
+            TopKError::PoolExhausted { attempts: 3 },
         ];
         let kinds: Vec<&str> = errs.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds, TopKError::KINDS);
+    }
+
+    #[test]
+    fn device_fault_classification_drives_retry_policy() {
+        // Retryable: the device, not the query, is at fault.
+        assert!(TopKError::DeviceOom {
+            requested: 1,
+            available: 0
+        }
+        .is_device_fault());
+        assert!(TopKError::Sim(SimError::TransientFault { kernel: "k".into() }).is_device_fault());
+        assert!(TopKError::Sim(SimError::DeviceHang { timeout_us: 1 }).is_device_fault());
+        // Not retryable: same failure anywhere.
+        assert!(!TopKError::check_k("a", 10, 0, None)
+            .unwrap()
+            .is_device_fault());
+        assert!(!TopKError::Sim(SimError::InvalidLaunch("bad".into())).is_device_fault());
+        assert!(!TopKError::DeadlineExceeded { deadline_us: 1 }.is_device_fault());
+        assert!(!TopKError::PoolExhausted { attempts: 1 }.is_device_fault());
     }
 
     #[test]

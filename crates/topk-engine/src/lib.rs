@@ -20,9 +20,40 @@
 //!   `Result` (errors are per-query data, never panics) plus simulated
 //!   **queue-wait** and **latency** metrics read off the device clock.
 //!
-//! Scheduling follows the workspace's `BlockPool` idiom: workers pull
-//! the next unclaimed batch from a shared cursor, so an imbalanced mix
-//! (one huge query among many small ones) does not serialise the pool.
+//! Scheduling is an **event-driven simulated-time loop**: each step
+//! dispatches the runnable batch with the earliest start time onto the
+//! device whose simulated clock frees up first. Block-level execution
+//! inside every launch still fans out across the host `BlockPool`, so
+//! the host stays parallel while the schedule itself is a pure function
+//! of the submitted workload — which is what makes chaos runs
+//! bit-for-bit reproducible.
+//!
+//! ## Resilience
+//!
+//! The engine is built to *prove* the terminal-result invariant: every
+//! submitted query reaches exactly one terminal [`QueryResult`], no
+//! matter which simulated device fails, hangs or slows down
+//! (`DESIGN.md` §Fault model & resilience):
+//!
+//! * [`EngineConfig::with_faults`] installs a seeded
+//!   [`gpu_sim::FaultPlan`] on every pool device; injected faults
+//!   surface as typed [`TopKError`]s through the fallible core.
+//! * Device faults are retried under a bounded [`RetryPolicy`] with
+//!   simulated backoff; a retry may land on another device
+//!   (**failover**).
+//! * A per-device circuit breaker ([`BreakerConfig`]) quarantines a
+//!   device after N consecutive faults and re-probes it after a
+//!   cooldown; a worker panic or a device hang marks the device
+//!   **failed** for good, and `drain` never aborts — the panic is
+//!   captured and the batch rescheduled.
+//! * When the retry budget or the device pool is exhausted, queries
+//!   degrade to the `topk-cpu` reference path (unless
+//!   [`EngineConfig::with_cpu_fallback`] disables it, in which case
+//!   they fail with a typed error).
+//! * [`QueryResult::served`] records which rung of that ladder
+//!   produced the answer; [`DrainReport::chaos_digest`] renders the
+//!   whole drain as a deterministic text summary CI can diff across
+//!   same-seed runs.
 //!
 //! ```
 //! use gpu_sim::DeviceSpec;
@@ -73,31 +104,102 @@ pub mod trace;
 pub use metrics::EngineMetrics;
 pub use trace::chrome_trace;
 
-use gpu_sim::{DeviceSpec, Gpu, KernelReport};
+// Fault-injection vocabulary, re-exported so engine users can build a
+// [`FaultPlan`] without depending on `gpu-sim` directly.
+pub use gpu_sim::{FaultEvent, FaultInjector, FaultKind, FaultPlan, ScriptedFault};
+
+use gpu_sim::{DeviceSpec, Gpu, KernelReport, SimError};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use topk_core::{AlgoSnapshot, ScratchGuard, SelectK, TopKAlgorithm, TopKError};
 
-/// Engine shape: which devices to pool and how to queue/coalesce.
+/// Bounded-retry policy for device faults, with simulated exponential
+/// backoff between attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts beyond the first before a job degrades. `0` disables
+    /// retrying entirely.
+    pub max_retries: u32,
+    /// Simulated backoff before the first retry, µs.
+    pub backoff_us: f64,
+    /// Backoff growth factor per further retry.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff_us: 100.0,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+/// Per-device circuit breaker: after `threshold` *consecutive* faults
+/// the device is quarantined for `cooldown_us` of simulated time, then
+/// re-probed (half-open) by the next batch scheduled onto it — a
+/// success closes the breaker, another fault re-opens it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive device faults that trip the breaker.
+    pub threshold: u32,
+    /// Simulated quarantine length, µs.
+    pub cooldown_us: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown_us: 5_000.0,
+        }
+    }
+}
+
+/// Engine shape: which devices to pool, how to queue/coalesce, and how
+/// to behave when devices fault.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// One worker thread (and one simulated device) per entry.
+    /// One simulated device per entry.
     pub devices: Vec<DeviceSpec>,
     /// Maximum queries [`TopKEngine::submit`] accepts before a drain.
     pub queue_capacity: usize,
     /// Maximum same-`(N, K)` queries fused into one batch launch.
     /// `1` disables coalescing.
     pub coalescing_window: usize,
+    /// Seeded chaos schedule installed on every pool device at
+    /// construction; `None` (the default) injects nothing.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry policy for device faults.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker policy for unhealthy devices.
+    pub breaker: BreakerConfig,
+    /// Default per-query deadline applied at [`TopKEngine::submit`],
+    /// µs of simulated time after drain start; `None` means no
+    /// deadline. [`TopKEngine::submit_with_deadline`] overrides it per
+    /// query.
+    pub deadline_us: Option<u64>,
+    /// Whether queries degrade to the `topk-cpu` reference path when
+    /// the retry budget or the device pool is exhausted (default
+    /// `true`); when `false` they fail with a typed error instead.
+    pub cpu_fallback: bool,
 }
 
 impl EngineConfig {
     /// Config over the given devices with default queue capacity
-    /// (1024) and coalescing window (8).
+    /// (1024), coalescing window (8), no fault injection, default
+    /// retry/breaker policies, no deadline, CPU fallback enabled.
     pub fn new(devices: Vec<DeviceSpec>) -> Self {
         EngineConfig {
             devices,
             queue_capacity: 1024,
             coalescing_window: 8,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            deadline_us: None,
+            cpu_fallback: true,
         }
     }
 
@@ -117,6 +219,42 @@ impl EngineConfig {
     #[must_use]
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Install a seeded fault plan on every pool device.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder-style override of the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder-style override of the circuit-breaker policy.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Apply a default deadline (simulated µs after drain start) to
+    /// every subsequently submitted query.
+    #[must_use]
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Enable or disable degradation to the CPU reference path.
+    #[must_use]
+    pub fn with_cpu_fallback(mut self, enabled: bool) -> Self {
+        self.cpu_fallback = enabled;
         self
     }
 }
@@ -155,6 +293,56 @@ pub struct QueryOutput {
     pub k: usize,
 }
 
+/// How a query's terminal result was produced — which rung of the
+/// degradation ladder (GPU → retry → failover → CPU fallback → typed
+/// error) answered it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// Served by the first device the query's batch was scheduled on
+    /// (`retries` > 0 means the same device faulted and recovered).
+    Gpu {
+        /// Attempts beyond the first before the answer landed.
+        retries: u32,
+    },
+    /// Served by a *different* device than first scheduled, after the
+    /// original faulted.
+    Failover {
+        /// Attempts beyond the first before the answer landed.
+        retries: u32,
+    },
+    /// Served by the host-side `topk-cpu` reference path after the
+    /// retry budget or the device pool was exhausted.
+    CpuFallback {
+        /// GPU attempts made before degrading.
+        retries: u32,
+    },
+    /// No answer: the query's [`QueryResult::outcome`] carries the
+    /// terminal [`TopKError`].
+    Failed,
+}
+
+impl Served {
+    /// Stable snake_case label, suitable as a metric/trace label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Served::Gpu { .. } => "gpu",
+            Served::Failover { .. } => "failover",
+            Served::CpuFallback { .. } => "cpu_fallback",
+            Served::Failed => "failed",
+        }
+    }
+
+    /// Attempts beyond the first (0 for [`Served::Failed`]).
+    pub fn retries(&self) -> u32 {
+        match self {
+            Served::Gpu { retries }
+            | Served::Failover { retries }
+            | Served::CpuFallback { retries } => *retries,
+            Served::Failed => 0,
+        }
+    }
+}
+
 /// One drained query: outcome plus serving metrics.
 ///
 /// All queries are modelled as arriving at simulated time zero of the
@@ -179,6 +367,8 @@ pub struct QueryResult {
     pub queue_wait_us: f64,
     /// Simulated µs from arrival to completion (wait + service).
     pub latency_us: f64,
+    /// Which rung of the degradation ladder produced the answer.
+    pub served: Served,
     /// The selection result, or why it failed.
     pub outcome: Result<QueryOutput, TopKError>,
 }
@@ -241,6 +431,18 @@ pub struct DeviceReport {
     /// Earlier drains' launches on the same persistent device are
     /// deliberately excluded.
     pub kernel_reports: Vec<KernelReport>,
+    /// Whether the device is marked failed (worker panic or device
+    /// hang) — it takes no further work for the engine's lifetime. A
+    /// failed device may legitimately hold leaked scratch bytes from
+    /// its mid-flight batch.
+    pub failed: bool,
+    /// Whether the device was still inside a circuit-breaker
+    /// quarantine when the drain finished.
+    pub quarantined: bool,
+    /// Injected faults that fired on this device *during this drain*,
+    /// in firing order. Empty without a
+    /// [`EngineConfig::fault_plan`].
+    pub fault_events: Vec<FaultEvent>,
 }
 
 /// Result of [`TopKEngine::drain`]: per-query results in submission
@@ -257,6 +459,19 @@ pub struct DrainReport {
     /// [`topk_core::obs`]. Process-wide: concurrent engines in one
     /// process see each other's events.
     pub algo: AlgoSnapshot,
+    /// Batch re-executions after a device fault (attempts beyond each
+    /// job's first).
+    pub retries: u64,
+    /// Queries ultimately served by a different device than first
+    /// scheduled.
+    pub failovers: u64,
+    /// Queries served by the CPU reference path.
+    pub cpu_fallbacks: u64,
+    /// Queries terminally failed with
+    /// [`TopKError::DeadlineExceeded`].
+    pub deadline_misses: u64,
+    /// Circuit-breaker quarantines tripped during this drain.
+    pub quarantines: u64,
 }
 
 impl DrainReport {
@@ -287,12 +502,14 @@ impl DrainReport {
             .count()
     }
 
-    /// Mean simulated latency over successful queries, µs.
+    /// Mean simulated latency over successful queries, µs. `0.0` when
+    /// no query succeeded — empty and all-errored drains report zero,
+    /// never NaN.
     pub fn mean_latency_us(&self) -> f64 {
         let ok: Vec<f64> = self
             .results
             .iter()
-            .filter(|r| r.outcome.is_ok())
+            .filter(|r| r.outcome.is_ok() && r.latency_us.is_finite())
             .map(|r| r.latency_us)
             .collect();
         if ok.is_empty() {
@@ -302,22 +519,24 @@ impl DrainReport {
     }
 
     /// Exact latency percentile over successful queries (nearest-rank,
-    /// `q ∈ [0, 1]`), µs. `0.0` when no query succeeded. Unlike the
-    /// histogram estimate in [`EngineMetrics`], this is computed from
-    /// the raw per-query latencies.
+    /// `q ∈ [0, 1]`), µs. `0.0` when no query succeeded — empty and
+    /// all-errored drains report zero, never NaN, so the value is
+    /// always safe to export to Prometheus. Unlike the histogram
+    /// estimate in [`EngineMetrics`], this is computed from the raw
+    /// per-query latencies.
     pub fn percentile_latency_us(&self, q: f64) -> f64 {
         let mut ok: Vec<f64> = self
             .results
             .iter()
-            .filter(|r| r.outcome.is_ok())
+            .filter(|r| r.outcome.is_ok() && r.latency_us.is_finite())
             .map(|r| r.latency_us)
             .collect();
         if ok.is_empty() {
             return 0.0;
         }
-        ok.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        ok.sort_by(f64::total_cmp);
         let rank = (q.clamp(0.0, 1.0) * ok.len() as f64).ceil().max(1.0) as usize;
-        ok[rank - 1]
+        ok[rank.min(ok.len()) - 1]
     }
 
     /// Median simulated latency over successful queries, µs.
@@ -329,6 +548,80 @@ impl DrainReport {
     pub fn p99_latency_us(&self) -> f64 {
         self.percentile_latency_us(0.99)
     }
+
+    /// A deterministic text summary of the whole drain: one line per
+    /// query (id, serving rung, outcome kind, an FNV-1a hash of the
+    /// answer bits and latency), one line per device (failure /
+    /// quarantine state and the injected-fault schedule), and a final
+    /// combined digest line. Two drains of the same workload under the
+    /// same [`gpu_sim::FaultPlan`] seed must render identical digests
+    /// — CI enforces exactly that by diffing two runs.
+    pub fn chaos_digest(&self) -> String {
+        fn fnv(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut out = String::new();
+        let mut total = FNV_OFFSET;
+        for r in &self.results {
+            let mut qh = FNV_OFFSET;
+            let kind = match &r.outcome {
+                Ok(o) => {
+                    for v in &o.values {
+                        fnv(&mut qh, &v.to_bits().to_le_bytes());
+                    }
+                    for i in &o.indices {
+                        fnv(&mut qh, &i.to_le_bytes());
+                    }
+                    "ok"
+                }
+                Err(e) => {
+                    fnv(&mut qh, e.kind().as_bytes());
+                    e.kind()
+                }
+            };
+            fnv(&mut qh, &r.latency_us.to_bits().to_le_bytes());
+            let line = format!(
+                "q{} served={} retries={} {} {:016x}\n",
+                r.id,
+                r.served.label(),
+                r.served.retries(),
+                kind,
+                qh
+            );
+            fnv(&mut total, line.as_bytes());
+            out.push_str(&line);
+        }
+        for d in &self.devices {
+            let faults: Vec<String> = d
+                .fault_events
+                .iter()
+                .map(|f| format!("{}@{}", f.kind.label(), f.seq))
+                .collect();
+            let line = format!(
+                "d{} failed={} quarantined={} faults=[{}]\n",
+                d.device,
+                d.failed,
+                d.quarantined,
+                faults.join(",")
+            );
+            fnv(&mut total, line.as_bytes());
+            out.push_str(&line);
+        }
+        out.push_str(&format!(
+            "retries={} failovers={} cpu_fallbacks={} deadline_misses={} quarantines={}\n",
+            self.retries,
+            self.failovers,
+            self.cpu_fallbacks,
+            self.deadline_misses,
+            self.quarantines
+        ));
+        out.push_str(&format!("digest {total:016x}\n"));
+        out
+    }
 }
 
 /// A submitted, not-yet-drained query.
@@ -337,6 +630,8 @@ struct Pending {
     span: u64,
     data: Vec<f32>,
     k: usize,
+    /// Per-query deadline, µs of simulated time after drain start.
+    deadline_us: Option<u64>,
 }
 
 /// A group of same-shape queries destined for one fused launch set.
@@ -347,6 +642,39 @@ struct Batch {
     k: usize,
     span: u64,
     queries: Vec<Pending>,
+}
+
+/// A schedulable unit of the drain: one batch plus its retry state.
+struct Job {
+    batch: Batch,
+    /// Completed service attempts (0 before the first).
+    attempts: u32,
+    /// Earliest drain-relative simulated time the job may start
+    /// (backoff after a fault).
+    not_before_us: f64,
+    /// Device of the first attempt — a final success elsewhere is a
+    /// failover.
+    first_device: Option<usize>,
+    /// The most recent device fault, reported if the job exhausts the
+    /// ladder without a CPU fallback.
+    last_error: Option<TopKError>,
+}
+
+/// Circuit-breaker state of one pool device. Persists across drains,
+/// like the device itself.
+#[derive(Debug, Clone, Default)]
+struct HealthState {
+    /// Device faults since the last success.
+    consecutive_faults: u32,
+    /// Absolute device-clock time until which the device is
+    /// quarantined.
+    quarantined_until_us: f64,
+    /// Permanently failed (worker panic or device hang).
+    failed: bool,
+    /// Lifetime device faults.
+    total_faults: u64,
+    /// Lifetime quarantine trips.
+    quarantines: u64,
 }
 
 /// Point-in-time state of one pool device, accumulated across drains.
@@ -365,6 +693,10 @@ pub struct DeviceSnapshot {
     pub batches: u64,
     /// Kernel launches the device has performed.
     pub kernel_launches: u64,
+    /// Health of the device: `"ok"`, `"quarantined"` or `"failed"`.
+    pub health: &'static str,
+    /// Lifetime injected/organic device faults observed on it.
+    pub faults: u64,
 }
 
 /// Point-in-time state of the whole engine — the scrape-friendly
@@ -386,6 +718,16 @@ pub struct EngineSnapshot {
     /// Error totals keyed by [`TopKError::kind`], one entry per kind
     /// (zeros included, in [`TopKError::KINDS`] order).
     pub errors: Vec<(&'static str, u64)>,
+    /// Batch re-executions after device faults, over all drains.
+    pub retries: u64,
+    /// Queries served by a different device than first scheduled.
+    pub failovers: u64,
+    /// Queries served by the CPU reference path.
+    pub cpu_fallbacks: u64,
+    /// Queries terminally failed on their deadline.
+    pub deadline_misses: u64,
+    /// Circuit-breaker quarantine trips.
+    pub quarantines: u64,
     /// One entry per pool device.
     pub devices: Vec<DeviceSnapshot>,
 }
@@ -407,6 +749,7 @@ pub struct TopKEngine {
     pending: Vec<Pending>,
     next_id: usize,
     gpus: Vec<Gpu>,
+    health: Vec<HealthState>,
     metrics: EngineMetrics,
     // Cumulative tallies for EngineSnapshot.
     queries_submitted: u64,
@@ -415,24 +758,37 @@ pub struct TopKEngine {
     queue_rejections: u64,
     drains: u64,
     errors: [u64; TopKError::KINDS.len()],
+    retries: u64,
+    failovers: u64,
+    cpu_fallbacks: u64,
+    deadline_misses: u64,
+    quarantines: u64,
     wall_us: f64,
     device_stats: Vec<DeviceStats>,
 }
 
 impl TopKEngine {
-    /// Engine over `config`'s device pool.
+    /// Engine over `config`'s device pool. When the config carries a
+    /// [`FaultPlan`], every device gets its seeded injector here.
     ///
     /// # Panics
     /// If the pool is empty.
     pub fn new(config: EngineConfig) -> Self {
         assert!(!config.devices.is_empty(), "engine needs >= 1 device");
-        let gpus = config.devices.iter().cloned().map(Gpu::new).collect();
+        let mut gpus: Vec<Gpu> = config.devices.iter().cloned().map(Gpu::new).collect();
+        if let Some(plan) = &config.fault_plan {
+            for (dev, gpu) in gpus.iter_mut().enumerate() {
+                gpu.set_fault_injector(plan.injector_for(dev));
+            }
+        }
         let device_stats = vec![DeviceStats::default(); config.devices.len()];
+        let health = vec![HealthState::default(); config.devices.len()];
         TopKEngine {
             config,
             pending: Vec::new(),
             next_id: 0,
             gpus,
+            health,
             metrics: EngineMetrics::new(),
             queries_submitted: 0,
             queries_completed: 0,
@@ -440,6 +796,11 @@ impl TopKEngine {
             queue_rejections: 0,
             drains: 0,
             errors: [0; TopKError::KINDS.len()],
+            retries: 0,
+            failovers: 0,
+            cpu_fallbacks: 0,
+            deadline_misses: 0,
+            quarantines: 0,
             wall_us: 0.0,
             device_stats,
         }
@@ -481,6 +842,11 @@ impl TopKEngine {
                 .zip(self.errors)
                 .map(|(&k, n)| (k, n))
                 .collect(),
+            retries: self.retries,
+            failovers: self.failovers,
+            cpu_fallbacks: self.cpu_fallbacks,
+            deadline_misses: self.deadline_misses,
+            quarantines: self.quarantines,
             devices: self
                 .device_stats
                 .iter()
@@ -495,8 +861,21 @@ impl TopKEngine {
                     },
                     batches: s.batches,
                     kernel_launches: s.kernel_launches,
+                    health: self.health_label(dev),
+                    faults: self.health[dev].total_faults,
                 })
                 .collect(),
+        }
+    }
+
+    fn health_label(&self, dev: usize) -> &'static str {
+        let h = &self.health[dev];
+        if h.failed {
+            "failed"
+        } else if h.quarantined_until_us > self.gpus[dev].elapsed_us() {
+            "quarantined"
+        } else {
+            "ok"
         }
     }
 
@@ -507,6 +886,30 @@ impl TopKEngine {
     /// *not* rejected here; they come back as that query's
     /// [`TopKError`] so a bad query cannot poison the queue.
     pub fn submit(&mut self, data: Vec<f32>, k: usize) -> Result<usize, EngineError> {
+        let deadline = self.config.deadline_us;
+        self.submit_inner(data, k, deadline)
+    }
+
+    /// [`TopKEngine::submit`] with an explicit per-query deadline (µs
+    /// of simulated time after the drain starts), overriding
+    /// [`EngineConfig::deadline_us`]. A query that cannot be answered
+    /// inside its deadline terminates with
+    /// [`TopKError::DeadlineExceeded`].
+    pub fn submit_with_deadline(
+        &mut self,
+        data: Vec<f32>,
+        k: usize,
+        deadline_us: u64,
+    ) -> Result<usize, EngineError> {
+        self.submit_inner(data, k, Some(deadline_us))
+    }
+
+    fn submit_inner(
+        &mut self,
+        data: Vec<f32>,
+        k: usize,
+        deadline_us: Option<u64>,
+    ) -> Result<usize, EngineError> {
         if self.pending.len() >= self.config.queue_capacity {
             self.queue_rejections += 1;
             self.metrics.queue_rejections.inc();
@@ -517,7 +920,13 @@ impl TopKEngine {
         let id = self.next_id;
         self.next_id += 1;
         let span = topk_obs::next_span_id();
-        self.pending.push(Pending { id, span, data, k });
+        self.pending.push(Pending {
+            id,
+            span,
+            data,
+            k,
+            deadline_us,
+        });
         self.queries_submitted += 1;
         self.metrics.queries_submitted.inc();
         self.metrics.queue_depth.set(self.pending.len() as f64);
@@ -526,45 +935,244 @@ impl TopKEngine {
 
     /// Run every queued query across the device pool and return all
     /// results plus per-device reports.
+    ///
+    /// The drain never aborts: a batch whose execution panics (e.g. an
+    /// injected driver crash) has the panic captured, the device
+    /// marked failed, and its queries rescheduled; every submitted
+    /// query reaches exactly one terminal [`QueryResult`].
     pub fn drain(&mut self) -> DrainReport {
         let algo_before = topk_core::obs::counters().snapshot();
-        let batches = coalesce(
+        let mut jobs: Vec<Job> = coalesce(
             std::mem::take(&mut self.pending),
             self.config.coalescing_window,
-        );
-        let cursor = AtomicUsize::new(0);
-
-        let mut per_device: Vec<(Vec<QueryResult>, DeviceReport)> = crossbeam::scope(|s| {
-            let batches = &batches;
-            let cursor = &cursor;
-            let handles: Vec<_> = self
-                .gpus
-                .iter_mut()
-                .enumerate()
-                .map(|(dev, gpu)| s.spawn(move |_| run_device(dev, gpu, batches, cursor)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("engine worker panicked"))
-                .collect()
+        )
+        .into_iter()
+        .map(|batch| Job {
+            batch,
+            attempts: 0,
+            not_before_us: 0.0,
+            first_device: None,
+            last_error: None,
         })
-        .expect("engine scope failed");
+        .collect();
 
-        per_device.sort_by_key(|(_, d)| d.device);
-        let mut results = Vec::new();
-        let mut devices = Vec::new();
-        for (rs, report) in per_device {
-            results.extend(rs);
-            devices.push(report);
+        let n_dev = self.gpus.len();
+        let drain_t0: Vec<f64> = self.gpus.iter().map(|g| g.elapsed_us()).collect();
+        let report_lo: Vec<usize> = self.gpus.iter().map(|g| g.reports().len()).collect();
+        let fault_lo: Vec<usize> = self.gpus.iter().map(|g| g.fault_events().len()).collect();
+        let quarantines_before: u64 = self.health.iter().map(|h| h.quarantines).sum();
+
+        let selector = SelectK::default();
+        let mut results: Vec<QueryResult> = Vec::new();
+        let mut records: Vec<Vec<BatchRecord>> = vec![Vec::new(); n_dev];
+        let mut retries: u64 = 0;
+
+        while !jobs.is_empty() {
+            // Earliest-runnable job first; stable on ties so the
+            // schedule is a pure function of the workload.
+            let ji = (0..jobs.len())
+                .min_by(|&a, &b| jobs[a].not_before_us.total_cmp(&jobs[b].not_before_us))
+                .expect("jobs is non-empty");
+            let mut job = jobs.remove(ji);
+
+            // The non-failed device that can start the job soonest.
+            // Quarantined devices compete with their quarantine-end
+            // time: being scheduled after cooldown *is* the half-open
+            // re-probe.
+            let mut best: Option<(usize, f64)> = None;
+            for (dev, &t0) in drain_t0.iter().enumerate() {
+                if self.health[dev].failed {
+                    continue;
+                }
+                let rel_clock = self.gpus[dev].elapsed_us() - t0;
+                let quarantine_rel = (self.health[dev].quarantined_until_us - t0).max(0.0);
+                let start = rel_clock.max(job.not_before_us).max(quarantine_rel);
+                if best.is_none_or(|(_, s)| start < s) {
+                    best = Some((dev, start));
+                }
+            }
+            let Some((dev, start_at)) = best else {
+                // Pool exhausted: every device failed. Degrade at the
+                // latest clock any device reached.
+                let now = (0..n_dev)
+                    .map(|d| self.gpus[d].elapsed_us() - drain_t0[d])
+                    .fold(job.not_before_us, f64::max);
+                degrade_job(job, now, &self.config, &mut results);
+                continue;
+            };
+
+            job.attempts += 1;
+            if job.first_device.is_none() {
+                job.first_device = Some(dev);
+            }
+
+            // Advance the device to the job's start (backoff and
+            // quarantine waits are simulated idle time).
+            let rel_clock = self.gpus[dev].elapsed_us() - drain_t0[dev];
+            if start_at > rel_clock {
+                self.gpus[dev].host_compute("scheduler wait", start_at - rel_clock);
+            }
+            let start_us = self.gpus[dev].elapsed_us() - drain_t0[dev];
+            let batch_report_lo = self.gpus[dev].reports().len() - report_lo[dev];
+            self.gpus[dev].set_span(job.batch.span);
+            let outcome = {
+                let gpu = &mut self.gpus[dev];
+                let batch = &job.batch;
+                catch_unwind(AssertUnwindSafe(|| run_batch(gpu, &selector, batch)))
+            };
+            self.gpus[dev].clear_span();
+            let end_us = self.gpus[dev].elapsed_us() - drain_t0[dev];
+            records[dev].push(BatchRecord {
+                device: dev,
+                size: job.batch.queries.len(),
+                n: job.batch.n,
+                k: job.batch.k,
+                span: job.batch.span,
+                report_range: (
+                    batch_report_lo,
+                    self.gpus[dev].reports().len() - report_lo[dev],
+                ),
+                start_us,
+                end_us,
+            });
+
+            match outcome {
+                Ok(Ok(outs)) => {
+                    self.health[dev].consecutive_faults = 0;
+                    let attempt_retries = job.attempts - 1;
+                    let served_ok = if job.first_device == Some(dev) {
+                        Served::Gpu {
+                            retries: attempt_retries,
+                        }
+                    } else {
+                        Served::Failover {
+                            retries: attempt_retries,
+                        }
+                    };
+                    for (q, out) in job.batch.queries.iter().zip(outs) {
+                        let (served, outcome) = match q.deadline_us {
+                            // The answer exists but arrived late: the
+                            // deadline verdict wins.
+                            Some(dl) if end_us > dl as f64 => (
+                                Served::Failed,
+                                Err(TopKError::DeadlineExceeded { deadline_us: dl }),
+                            ),
+                            _ => (served_ok, Ok(out)),
+                        };
+                        results.push(QueryResult {
+                            id: q.id,
+                            span: q.span,
+                            batch_span: job.batch.span,
+                            device: dev,
+                            batch_size: job.batch.queries.len(),
+                            queue_wait_us: start_us,
+                            latency_us: end_us,
+                            served,
+                            outcome,
+                        });
+                    }
+                }
+                Ok(Err(e)) if !e.is_device_fault() => {
+                    // The query's own fault (bad k, bad shape): it
+                    // would fail identically on any device, so it is
+                    // terminal and does not count against the device.
+                    for q in &job.batch.queries {
+                        results.push(QueryResult {
+                            id: q.id,
+                            span: q.span,
+                            batch_span: job.batch.span,
+                            device: dev,
+                            batch_size: job.batch.queries.len(),
+                            queue_wait_us: start_us,
+                            latency_us: end_us,
+                            served: Served::Failed,
+                            outcome: Err(e.clone()),
+                        });
+                    }
+                }
+                Ok(Err(e)) => {
+                    // Device fault: update the breaker, then retry,
+                    // fail over or degrade.
+                    let severe = matches!(&e, TopKError::Sim(SimError::DeviceHang { .. }));
+                    let clock = self.gpus[dev].elapsed_us();
+                    note_fault(&mut self.health[dev], severe, &self.config.breaker, clock);
+                    job.last_error = Some(e);
+                    requeue_or_degrade(
+                        job,
+                        end_us,
+                        &self.config,
+                        &mut jobs,
+                        &mut results,
+                        &mut retries,
+                    );
+                }
+                Err(_panic) => {
+                    // Worker panic (injected driver crash or a real
+                    // bug): isolate it — mark the device failed and
+                    // reschedule the batch. The device keeps whatever
+                    // scratch its mid-flight batch held; it is out of
+                    // the pool for good.
+                    let clock = self.gpus[dev].elapsed_us();
+                    note_fault(&mut self.health[dev], true, &self.config.breaker, clock);
+                    requeue_or_degrade(
+                        job,
+                        end_us,
+                        &self.config,
+                        &mut jobs,
+                        &mut results,
+                        &mut retries,
+                    );
+                }
+            }
         }
+
+        let devices: Vec<DeviceReport> = records
+            .into_iter()
+            .enumerate()
+            .map(|(dev, batches)| {
+                let gpu = &self.gpus[dev];
+                DeviceReport {
+                    device: dev,
+                    batches,
+                    elapsed_us: gpu.elapsed_us() - drain_t0[dev],
+                    clock_start_us: drain_t0[dev],
+                    mem_high_water: gpu.mem_high_water(),
+                    mem_allocated_after: gpu.mem_allocated(),
+                    kernel_reports: gpu.reports()[report_lo[dev]..].to_vec(),
+                    failed: self.health[dev].failed,
+                    quarantined: self.health[dev].quarantined_until_us > gpu.elapsed_us(),
+                    fault_events: gpu.fault_events()[fault_lo[dev]..].to_vec(),
+                }
+            })
+            .collect();
+
         results.sort_by_key(|r| r.id);
         let algo = topk_core::obs::counters()
             .snapshot()
             .delta_since(&algo_before);
+        let failovers = results
+            .iter()
+            .filter(|r| matches!(r.served, Served::Failover { .. }))
+            .count() as u64;
+        let cpu_fallbacks = results
+            .iter()
+            .filter(|r| matches!(r.served, Served::CpuFallback { .. }))
+            .count() as u64;
+        let deadline_misses = results
+            .iter()
+            .filter(|r| matches!(r.outcome, Err(TopKError::DeadlineExceeded { .. })))
+            .count() as u64;
+        let quarantines =
+            self.health.iter().map(|h| h.quarantines).sum::<u64>() - quarantines_before;
         let report = DrainReport {
             results,
             devices,
             algo,
+            retries,
+            failovers,
+            cpu_fallbacks,
+            deadline_misses,
+            quarantines,
         };
         self.record_drain(&report);
         report
@@ -611,9 +1219,148 @@ impl TopKEngine {
             };
             self.metrics.set_device_utilization(dev, util);
         }
+        self.retries += report.retries;
+        self.failovers += report.failovers;
+        self.cpu_fallbacks += report.cpu_fallbacks;
+        self.deadline_misses += report.deadline_misses;
+        self.quarantines += report.quarantines;
+        self.metrics.record_resilience(report);
+        let quarantined = (0..self.gpus.len())
+            .filter(|&d| self.health_label(d) == "quarantined")
+            .count();
+        let failed = self.health.iter().filter(|h| h.failed).count();
+        self.metrics.set_health_gauges(quarantined, failed);
         self.metrics.record_algo(&report.algo);
         self.metrics.drains.inc();
         self.metrics.queue_depth.set(0.0);
+    }
+}
+
+/// Fold one device fault into the breaker state: severe faults (hang,
+/// panic) fail the device outright; otherwise `threshold` consecutive
+/// faults trip a quarantine until `cooldown_us` past `clock_us`.
+fn note_fault(health: &mut HealthState, severe: bool, breaker: &BreakerConfig, clock_us: f64) {
+    health.total_faults += 1;
+    health.consecutive_faults += 1;
+    if severe {
+        health.failed = true;
+    } else if health.consecutive_faults >= breaker.threshold {
+        health.quarantined_until_us = clock_us + breaker.cooldown_us;
+        health.quarantines += 1;
+    }
+}
+
+/// After a device fault: requeue the job with backoff if it has retry
+/// budget left (expiring queries whose deadline the backoff already
+/// overruns), otherwise degrade it.
+fn requeue_or_degrade(
+    mut job: Job,
+    now_us: f64,
+    config: &EngineConfig,
+    jobs: &mut Vec<Job>,
+    results: &mut Vec<QueryResult>,
+    retries: &mut u64,
+) {
+    if job.attempts > config.retry.max_retries {
+        degrade_job(job, now_us, config, results);
+        return;
+    }
+    let backoff = config.retry.backoff_us
+        * config
+            .retry
+            .backoff_multiplier
+            .powi(job.attempts.saturating_sub(1) as i32);
+    job.not_before_us = now_us + backoff.max(0.0);
+
+    // A retry cannot start before `not_before_us`; queries whose
+    // deadline is already behind it are hopeless — terminate them now
+    // instead of burning a device attempt on them.
+    let not_before = job.not_before_us;
+    let (expired, live): (Vec<Pending>, Vec<Pending>) = job
+        .batch
+        .queries
+        .into_iter()
+        .partition(|q| q.deadline_us.is_some_and(|dl| (dl as f64) < not_before));
+    job.batch.queries = live;
+    for q in expired {
+        let dl = q.deadline_us.expect("partition keeps only deadlined");
+        results.push(QueryResult {
+            id: q.id,
+            span: q.span,
+            batch_span: job.batch.span,
+            device: job.first_device.unwrap_or(0),
+            batch_size: 1,
+            queue_wait_us: now_us,
+            latency_us: now_us,
+            served: Served::Failed,
+            outcome: Err(TopKError::DeadlineExceeded { deadline_us: dl }),
+        });
+    }
+    if job.batch.queries.is_empty() {
+        return;
+    }
+    *retries += 1;
+    jobs.push(job);
+}
+
+/// Simulated host cost of the CPU reference selection, µs: a fixed
+/// dispatch overhead plus a linear scan term. Deliberately far slower
+/// per element than a healthy device — degradation trades latency for
+/// a terminal answer.
+fn cpu_select_us(n: usize) -> f64 {
+    20.0 + n as f64 * 0.002
+}
+
+/// Last rung of the ladder: serve every query of the job on the CPU
+/// reference path (when enabled and the shape allows), otherwise
+/// terminate it with the job's last device error or
+/// [`TopKError::PoolExhausted`].
+fn degrade_job(job: Job, now_us: f64, config: &EngineConfig, results: &mut Vec<QueryResult>) {
+    let device = job.first_device.unwrap_or(0);
+    let batch_size = job.batch.queries.len();
+    for q in &job.batch.queries {
+        let (served, latency_us, outcome) = if !config.cpu_fallback {
+            let err = job.last_error.clone().unwrap_or(TopKError::PoolExhausted {
+                attempts: job.attempts,
+            });
+            (Served::Failed, now_us, Err(err))
+        } else if let Some(err) = TopKError::check_k("cpu-fallback", q.data.len(), q.k, None) {
+            (Served::Failed, now_us, Err(err))
+        } else {
+            let end = now_us + cpu_select_us(q.data.len());
+            match q.deadline_us {
+                Some(dl) if end > dl as f64 => (
+                    Served::Failed,
+                    end,
+                    Err(TopKError::DeadlineExceeded { deadline_us: dl }),
+                ),
+                _ => {
+                    let (values, indices) = topk_cpu::heap_topk(&q.data, q.k);
+                    (
+                        Served::CpuFallback {
+                            retries: job.attempts,
+                        },
+                        end,
+                        Ok(QueryOutput {
+                            values,
+                            indices,
+                            k: q.k,
+                        }),
+                    )
+                }
+            }
+        };
+        results.push(QueryResult {
+            id: q.id,
+            span: q.span,
+            batch_span: job.batch.span,
+            device,
+            batch_size,
+            queue_wait_us: now_us,
+            latency_us,
+            served,
+            outcome,
+        });
     }
 }
 
@@ -642,92 +1389,10 @@ fn coalesce(pending: Vec<Pending>, window: usize) -> Vec<Batch> {
     batches
 }
 
-/// One pool worker: claim batches off the shared cursor until none are
-/// left, executing each on this worker's persistent device.
-///
-/// The device carries clock and report history from earlier drains, so
-/// everything this drain reports is *rebased*: times are relative to
-/// the drain's start on this device, and `kernel_reports` holds only
-/// this drain's launches (with `BatchRecord::report_range` indexing
-/// into that slice, not the device's lifetime history).
-fn run_device(
-    dev: usize,
-    gpu: &mut Gpu,
-    batches: &[Batch],
-    cursor: &AtomicUsize,
-) -> (Vec<QueryResult>, DeviceReport) {
-    let drain_t0 = gpu.elapsed_us();
-    let drain_lo = gpu.reports().len();
-    let selector = SelectK::default();
-    let mut results = Vec::new();
-    let mut records = Vec::new();
-
-    loop {
-        let bi = cursor.fetch_add(1, Ordering::Relaxed);
-        let Some(batch) = batches.get(bi) else { break };
-        let start_us = gpu.elapsed_us() - drain_t0;
-        let report_lo = gpu.reports().len() - drain_lo;
-        gpu.set_span(batch.span);
-        let outcome = run_batch(gpu, &selector, batch);
-        gpu.clear_span();
-        let end_us = gpu.elapsed_us() - drain_t0;
-        records.push(BatchRecord {
-            device: dev,
-            size: batch.queries.len(),
-            n: batch.n,
-            k: batch.k,
-            span: batch.span,
-            report_range: (report_lo, gpu.reports().len() - drain_lo),
-            start_us,
-            end_us,
-        });
-        match outcome {
-            Ok(outs) => {
-                for (q, out) in batch.queries.iter().zip(outs) {
-                    results.push(QueryResult {
-                        id: q.id,
-                        span: q.span,
-                        batch_span: batch.span,
-                        device: dev,
-                        batch_size: batch.queries.len(),
-                        queue_wait_us: start_us,
-                        latency_us: end_us,
-                        outcome: Ok(out),
-                    });
-                }
-            }
-            Err(e) => {
-                for q in &batch.queries {
-                    results.push(QueryResult {
-                        id: q.id,
-                        span: q.span,
-                        batch_span: batch.span,
-                        device: dev,
-                        batch_size: batch.queries.len(),
-                        queue_wait_us: start_us,
-                        latency_us: end_us,
-                        outcome: Err(e.clone()),
-                    });
-                }
-            }
-        }
-    }
-
-    let report = DeviceReport {
-        device: dev,
-        batches: records,
-        elapsed_us: gpu.elapsed_us() - drain_t0,
-        clock_start_us: drain_t0,
-        mem_high_water: gpu.mem_high_water(),
-        mem_allocated_after: gpu.mem_allocated(),
-        kernel_reports: gpu.reports()[drain_lo..].to_vec(),
-    };
-    (results, report)
-}
-
 /// Upload, select (fused when the batch has > 1 query), download.
-/// Device-side inputs and outputs are freed on every path so the next
-/// batch on this device sees honest `mem_allocated`.
+/// Device-side inputs and outputs are freed on every non-panicking
+/// path — including injected-fault errors — so the next batch on this
+/// device sees honest `mem_allocated`.
 fn run_batch(
     gpu: &mut Gpu,
     selector: &SelectK,
@@ -756,19 +1421,32 @@ fn batch_passes(
     } else {
         selector.try_select_batch(gpu, &inputs, batch.k)?
     };
+    // Read back through the fallible path (an injected corruption must
+    // surface, not panic), but keep freeing every output buffer even
+    // when an earlier readback failed.
     let mut host = Vec::with_capacity(outs.len());
+    let mut first_err: Option<TopKError> = None;
     for out in outs {
-        let values = gpu.dtoh(&out.values);
-        let indices = gpu.dtoh(&out.indices);
+        if first_err.is_none() {
+            let read = gpu
+                .try_dtoh(&out.values)
+                .and_then(|values| gpu.try_dtoh(&out.indices).map(|indices| (values, indices)));
+            match read {
+                Ok((values, indices)) => host.push(QueryOutput {
+                    values,
+                    indices,
+                    k: out.k,
+                }),
+                Err(e) => first_err = Some(e.into()),
+            }
+        }
         gpu.free(&out.values);
         gpu.free(&out.indices);
-        host.push(QueryOutput {
-            values,
-            indices,
-            k: out.k,
-        });
     }
-    Ok(host)
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(host),
+    }
 }
 
 #[cfg(test)]

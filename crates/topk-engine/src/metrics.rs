@@ -20,9 +20,18 @@
 //! | `topk_engine_query_latency_us` | histogram | per-query latency |
 //! | `topk_engine_queue_wait_us` | histogram | per-query queue wait |
 //! | `topk_engine_batch_size` | histogram | fused-batch sizes |
+//! | `topk_engine_retries_total` | counter | batch re-executions after faults |
+//! | `topk_engine_failovers_total` | counter | queries served by another device |
+//! | `topk_engine_cpu_fallbacks_total` | counter | queries served by `topk-cpu` |
+//! | `topk_engine_deadline_misses_total` | counter | terminal deadline failures |
+//! | `topk_engine_quarantines_total` | counter | circuit-breaker trips |
+//! | `topk_engine_faults_injected_total{kind}` | counter | injected faults per [`FaultKind`] |
+//! | `topk_engine_quarantined_devices` | gauge | devices currently quarantined |
+//! | `topk_engine_failed_devices` | gauge | devices permanently failed |
 //! | `topk_air_*_total`, `topk_gridselect_*_total` | counter | [`topk_core::obs`] deltas |
 
-use crate::{BatchRecord, QueryResult};
+use crate::{BatchRecord, DrainReport, QueryResult};
+use gpu_sim::FaultKind;
 use std::sync::Arc;
 use topk_core::{AlgoSnapshot, TopKError};
 use topk_obs::{Counter, Gauge, Histogram, MetricsRegistry};
@@ -47,6 +56,14 @@ pub struct EngineMetrics {
     pub(crate) query_latency_us: Arc<Histogram>,
     pub(crate) queue_wait_us: Arc<Histogram>,
     pub(crate) batch_size: Arc<Histogram>,
+    pub(crate) retries: Arc<Counter>,
+    pub(crate) failovers: Arc<Counter>,
+    pub(crate) cpu_fallbacks: Arc<Counter>,
+    pub(crate) deadline_misses: Arc<Counter>,
+    pub(crate) quarantines: Arc<Counter>,
+    pub(crate) faults_injected: Vec<Arc<Counter>>,
+    pub(crate) quarantined_devices: Arc<Gauge>,
+    pub(crate) failed_devices: Arc<Gauge>,
     air_passes: Arc<Counter>,
     air_buffer_writes: Arc<Counter>,
     air_adaptive_skips: Arc<Counter>,
@@ -114,6 +131,44 @@ impl EngineMetrics {
                 "Queries fused per executed batch",
                 &[],
                 (0..9).map(|i| (1u64 << i) as f64).collect(),
+            ),
+            retries: registry.counter(
+                "topk_engine_retries_total",
+                "Batch re-executions scheduled after a device fault",
+            ),
+            failovers: registry.counter(
+                "topk_engine_failovers_total",
+                "Queries ultimately served by a different device than first scheduled",
+            ),
+            cpu_fallbacks: registry.counter(
+                "topk_engine_cpu_fallbacks_total",
+                "Queries served by the topk-cpu reference path after pool/retry exhaustion",
+            ),
+            deadline_misses: registry.counter(
+                "topk_engine_deadline_misses_total",
+                "Queries terminally failed with DeadlineExceeded",
+            ),
+            quarantines: registry.counter(
+                "topk_engine_quarantines_total",
+                "Circuit-breaker quarantines tripped on pool devices",
+            ),
+            faults_injected: FaultKind::ALL
+                .iter()
+                .map(|kind| {
+                    registry.counter_with(
+                        "topk_engine_faults_injected_total",
+                        "Injected device faults observed, by FaultKind",
+                        &[("kind", kind.label())],
+                    )
+                })
+                .collect(),
+            quarantined_devices: registry.gauge(
+                "topk_engine_quarantined_devices",
+                "Pool devices currently inside a circuit-breaker quarantine",
+            ),
+            failed_devices: registry.gauge(
+                "topk_engine_failed_devices",
+                "Pool devices permanently failed (panic or hang)",
             ),
             air_passes: registry.counter(
                 "topk_air_passes_total",
@@ -192,6 +247,30 @@ impl EngineMetrics {
             .add(d.air_one_block_selections);
         self.gridselect_queue_merges.add(d.gridselect_queue_merges);
         self.gridselect_list_merges.add(d.gridselect_list_merges);
+    }
+
+    /// Fold one drain's resilience tallies into the counters.
+    pub(crate) fn record_resilience(&self, report: &DrainReport) {
+        self.retries.add(report.retries);
+        self.failovers.add(report.failovers);
+        self.cpu_fallbacks.add(report.cpu_fallbacks);
+        self.deadline_misses.add(report.deadline_misses);
+        self.quarantines.add(report.quarantines);
+        for d in &report.devices {
+            for fe in &d.fault_events {
+                let slot = FaultKind::ALL
+                    .iter()
+                    .position(|k| *k == fe.kind)
+                    .expect("fault kinds come from ALL");
+                self.faults_injected[slot].inc();
+            }
+        }
+    }
+
+    /// Set the pool-health gauges.
+    pub(crate) fn set_health_gauges(&self, quarantined: usize, failed: usize) {
+        self.quarantined_devices.set(quarantined as f64);
+        self.failed_devices.set(failed as f64);
     }
 
     /// Set the utilisation gauge for one pool device.

@@ -1,5 +1,6 @@
 use super::*;
 use datagen::{generate, Distribution};
+use gpu_sim::{FaultKind, ScriptedFault};
 use proptest::prelude::*;
 use topk_core::verify_topk;
 
@@ -419,4 +420,254 @@ proptest! {
             prop_assert_eq!(a, b);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: fault injection, retry/failover, breaker, degradation.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn worker_panic_is_isolated_and_survivors_finish() {
+    // A scripted driver crash on device 0's first launch must not
+    // abort the drain: the panic is captured, the device is retired,
+    // and the surviving device answers every query.
+    let plan = FaultPlan::seeded(7).with_scripted(ScriptedFault {
+        device: 0,
+        kind: FaultKind::WorkerPanic,
+        nth: 0,
+    });
+    let mut engine = TopKEngine::new(EngineConfig::a100_pool(2).with_window(1).with_faults(plan));
+    let mut expected = Vec::new();
+    for q in 0..6 {
+        let data = generate(Distribution::Uniform, 4096, q as u64);
+        engine.submit(data.clone(), 64).unwrap();
+        expected.push(data);
+    }
+    let report = engine.drain();
+
+    assert_eq!(
+        report.results.len(),
+        6,
+        "every query reaches a terminal result"
+    );
+    assert!(report.devices[0].failed, "panicked device is retired");
+    assert!(!report.devices[1].failed);
+    for (r, data) in report.results.iter().zip(&expected) {
+        let got = r.outcome.as_ref().expect("survivor serves every query");
+        verify_topk(data, 64, &got.values, &got.indices).unwrap();
+        assert_eq!(r.device, 1, "answers come from the surviving device");
+    }
+    assert!(
+        report.failovers >= 1,
+        "the panicked batch re-lands on the survivor: {report:?}"
+    );
+    assert!(report.devices[0]
+        .fault_events
+        .iter()
+        .any(|fe| fe.kind == FaultKind::WorkerPanic));
+}
+
+#[test]
+fn transient_fault_is_retried_on_the_same_device() {
+    // One transient compute fault on a single-device pool: the batch
+    // is retried after backoff and succeeds on the same device.
+    let plan = FaultPlan::seeded(11).with_scripted(ScriptedFault {
+        device: 0,
+        kind: FaultKind::TransientCompute,
+        nth: 0,
+    });
+    let mut engine = TopKEngine::new(EngineConfig::a100_pool(1).with_faults(plan));
+    let data = generate(Distribution::Uniform, 8192, 3);
+    engine.submit(data.clone(), 32).unwrap();
+    let report = engine.drain();
+
+    let r = &report.results[0];
+    let got = r.outcome.as_ref().expect("retry recovers the query");
+    verify_topk(&data, 32, &got.values, &got.indices).unwrap();
+    assert_eq!(r.served, Served::Gpu { retries: 1 });
+    assert_eq!(report.retries, 1);
+    assert_eq!(report.failovers, 0);
+    assert_eq!(report.cpu_fallbacks, 0);
+}
+
+#[test]
+fn breaker_quarantines_after_consecutive_faults() {
+    // Three consecutive launch failures on device 0 trip the breaker;
+    // the drain still answers everything via device 1.
+    let mut plan = FaultPlan::seeded(13);
+    for nth in 0..3 {
+        plan = plan.with_scripted(ScriptedFault {
+            device: 0,
+            kind: FaultKind::LaunchFail,
+            nth,
+        });
+    }
+    let cfg = EngineConfig::a100_pool(2)
+        .with_window(1)
+        .with_faults(plan)
+        .with_breaker(BreakerConfig {
+            threshold: 3,
+            cooldown_us: 50_000.0,
+        });
+    let mut engine = TopKEngine::new(cfg);
+    for q in 0..8 {
+        let data = generate(Distribution::Uniform, 4096, 100 + q as u64);
+        engine.submit(data, 64).unwrap();
+    }
+    let report = engine.drain();
+
+    assert_eq!(report.results.len(), 8);
+    assert!(report.results.iter().all(|r| r.outcome.is_ok()));
+    assert!(
+        report.quarantines >= 1,
+        "breaker trips after {} consecutive faults: {report:?}",
+        3
+    );
+    assert!(report.devices[0].quarantined);
+    assert!(!report.devices[0].failed, "quarantine is not retirement");
+    let snap = engine.snapshot();
+    assert!(snap.quarantines >= 1);
+    assert_eq!(snap.devices[0].health, "quarantined");
+}
+
+#[test]
+fn pool_exhaustion_degrades_to_cpu_fallback() {
+    // A hang retires the only device; the query degrades to the host
+    // heap path and still returns a verified answer.
+    let plan = FaultPlan::seeded(17).with_scripted(ScriptedFault {
+        device: 0,
+        kind: FaultKind::DeviceHang,
+        nth: 0,
+    });
+    let mut engine = TopKEngine::new(EngineConfig::a100_pool(1).with_faults(plan));
+    let data = generate(Distribution::Uniform, 4096, 9);
+    engine.submit(data.clone(), 48).unwrap();
+    let report = engine.drain();
+
+    let r = &report.results[0];
+    assert!(matches!(r.served, Served::CpuFallback { .. }));
+    let got = r.outcome.as_ref().expect("CPU fallback serves the query");
+    verify_topk(&data, 48, &got.values, &got.indices).unwrap();
+    assert_eq!(report.cpu_fallbacks, 1);
+    assert!(report.devices[0].failed, "hung device is retired");
+}
+
+#[test]
+fn disabled_cpu_fallback_yields_typed_terminal_error() {
+    let plan = FaultPlan::seeded(19).with_scripted(ScriptedFault {
+        device: 0,
+        kind: FaultKind::DeviceHang,
+        nth: 0,
+    });
+    let mut engine = TopKEngine::new(
+        EngineConfig::a100_pool(1)
+            .with_faults(plan)
+            .with_cpu_fallback(false),
+    );
+    let data = generate(Distribution::Uniform, 2048, 21);
+    engine.submit(data, 16).unwrap();
+    let report = engine.drain();
+
+    let r = &report.results[0];
+    assert_eq!(r.served, Served::Failed);
+    let err = r.outcome.as_ref().unwrap_err();
+    assert!(
+        err.is_device_fault(),
+        "terminal error keeps the fault: {err}"
+    );
+}
+
+#[test]
+fn missed_deadline_is_a_terminal_deadline_error() {
+    // A 1µs deadline cannot be met by any rung of the ladder.
+    let mut engine = TopKEngine::new(EngineConfig::a100_pool(1));
+    let data = generate(Distribution::Uniform, 4096, 2);
+    engine.submit_with_deadline(data, 32, 1).unwrap();
+    let report = engine.drain();
+
+    let r = &report.results[0];
+    assert_eq!(r.served, Served::Failed);
+    assert!(matches!(
+        r.outcome,
+        Err(TopKError::DeadlineExceeded { deadline_us: 1 })
+    ));
+    assert_eq!(report.deadline_misses, 1);
+}
+
+#[test]
+fn chaos_digest_is_identical_across_same_seed_runs() {
+    let run = || {
+        let plan = FaultPlan::chaos(42, 0.08);
+        let mut engine =
+            TopKEngine::new(EngineConfig::a100_pool(3).with_window(4).with_faults(plan));
+        for q in 0..24 {
+            let n = 1024 + (q % 5) * 777;
+            let data = generate(Distribution::Uniform, n, q as u64);
+            engine.submit(data, (q % 7) + 1).unwrap();
+        }
+        engine.drain().chaos_digest()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must reproduce the drain bit-for-bit");
+    assert!(a.lines().last().unwrap().starts_with("digest "));
+}
+
+// ---------------------------------------------------------------------------
+// Latency-statistic hardening (empty / single / all-errored reports).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn latency_stats_on_empty_drain_are_zero_not_nan() {
+    let mut engine = a100_engine(1, 4);
+    let report = engine.drain();
+    assert!(report.results.is_empty());
+    assert_eq!(report.mean_latency_us(), 0.0);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        let p = report.percentile_latency_us(q);
+        assert_eq!(p, 0.0, "p{q} on an empty report");
+        assert!(!p.is_nan());
+    }
+}
+
+#[test]
+fn latency_stats_on_single_result_report() {
+    let mut engine = a100_engine(1, 4);
+    let data = generate(Distribution::Uniform, 2048, 5);
+    engine.submit(data, 16).unwrap();
+    let report = engine.drain();
+    assert_eq!(report.results.len(), 1);
+    let lat = report.results[0].latency_us;
+    assert!(lat.is_finite() && lat > 0.0);
+    assert_eq!(report.mean_latency_us(), lat);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(report.percentile_latency_us(q), lat);
+    }
+}
+
+#[test]
+fn latency_stats_ignore_errored_results() {
+    // All queries errored (hang, no fallback): the stats must stay
+    // finite zeros rather than averaging error placeholders.
+    let plan = FaultPlan::seeded(23).with_scripted(ScriptedFault {
+        device: 0,
+        kind: FaultKind::DeviceHang,
+        nth: 0,
+    });
+    let mut engine = TopKEngine::new(
+        EngineConfig::a100_pool(1)
+            .with_window(1)
+            .with_faults(plan)
+            .with_cpu_fallback(false),
+    );
+    for q in 0..3 {
+        let data = generate(Distribution::Uniform, 1024, 50 + q as u64);
+        engine.submit(data, 8).unwrap();
+    }
+    let report = engine.drain();
+    assert!(report.results.iter().all(|r| r.outcome.is_err()));
+    assert_eq!(report.mean_latency_us(), 0.0);
+    let p = report.percentile_latency_us(0.5);
+    assert_eq!(p, 0.0);
+    assert!(!p.is_nan());
 }

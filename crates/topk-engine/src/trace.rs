@@ -4,10 +4,13 @@
 //!
 //! The layout mirrors how the drain actually ran: per pool device, one
 //! **kernel track** (every launch of the drain, named and tagged with
-//! its batch's span id) and one **query track** (per query, a
+//! its batch's span id), one **query track** (per query, a
 //! `queue-wait` span from drain start to batch start followed by a
-//! `query` span covering service). Fused queries overlap exactly —
-//! that is the coalescing made visible.
+//! `query` span covering service, with a `served` arg recording the
+//! degradation-ladder rung), and — when fault injection is active — a
+//! **fault track** marking every injected fault at the simulated time
+//! it fired. Fused queries overlap exactly; retried batches appear
+//! once per attempt.
 
 use crate::DrainReport;
 use gpu_sim::TraceBuilder;
@@ -58,8 +61,24 @@ pub fn chrome_trace(report: &DrainReport) -> String {
                     ("batch_span", r.batch_span.to_string()),
                     ("batch_size", r.batch_size.to_string()),
                     ("ok", r.outcome.is_ok().to_string()),
+                    ("served", r.served.label().to_string()),
+                    ("retries", r.served.retries().to_string()),
                 ],
             );
+        }
+
+        if !d.fault_events.is_empty() {
+            let faults = tb.add_track(&format!("device {} faults", d.device));
+            for fe in &d.fault_events {
+                tb.span_with_args(
+                    faults,
+                    "fault",
+                    fe.kind.label(),
+                    (fe.clock_us - d.clock_start_us).max(0.0),
+                    1.0,
+                    &[("context", fe.context.clone()), ("seq", fe.seq.to_string())],
+                );
+            }
         }
     }
     tb.finish()

@@ -61,7 +61,8 @@ pub mod prelude {
     };
     pub use crate::topk_cpu::{heap_topk, parallel_topk};
     pub use crate::topk_engine::{
-        chrome_trace, DrainReport, EngineConfig, EngineSnapshot, QueryResult, TopKEngine,
+        chrome_trace, BreakerConfig, DrainReport, EngineConfig, EngineSnapshot, FaultKind,
+        FaultPlan, QueryResult, RetryPolicy, ScriptedFault, Served, TopKEngine,
     };
     pub use crate::topk_hybrid::DrTopK;
     pub use crate::topk_obs::MetricsRegistry;

@@ -110,6 +110,74 @@ fn device_out_of_memory_is_reported_not_hidden() {
 }
 
 #[test]
+fn injected_oom_mid_selection_leaks_no_scratch() {
+    // Sweep a scripted device-OOM across every algorithm's allocation
+    // sites: whichever scratch allocation fails, `try_select` must
+    // surface the fault AND release everything it allocated before
+    // the failure — the engine's retry path re-runs selections on the
+    // same device, so a single leaked block per fault would
+    // accumulate into a real OOM.
+    let data = datagen::generate(Distribution::Uniform, 30_000, 77);
+    let k = 100;
+    for alg in everything() {
+        if alg.max_k().is_some_and(|mk| k > mk) {
+            continue;
+        }
+        let mut fired = 0u32;
+        for nth in 0..24u64 {
+            let mut gpu = Gpu::new(DeviceSpec::a100());
+            let input = gpu.htod("in", &data);
+            // Install the injector after the upload so the scripted
+            // OOM targets the selection's allocations, not the input.
+            let baseline = gpu.mem_allocated();
+            let plan = FaultPlan::seeded(0xB0F).with_scripted(ScriptedFault {
+                device: 0,
+                kind: FaultKind::Oom,
+                nth,
+            });
+            gpu.set_fault_injector(plan.injector_for(0));
+            match alg.try_select(&mut gpu, &input, k) {
+                Ok(out) => {
+                    // Success may hand back device-accounted output
+                    // buffers (algorithm-dependent); scratch beyond
+                    // them must still be gone.
+                    let out_bytes = (out.values.len() + out.indices.len()) * 4;
+                    assert!(
+                        gpu.mem_allocated() <= baseline + out_bytes,
+                        "{} leaked scratch on a successful selection",
+                        alg.name()
+                    );
+                    if gpu.fault_events().is_empty() {
+                        // nth is past the algorithm's allocation
+                        // count; larger values cannot fire either.
+                        break;
+                    }
+                }
+                Err(e) => {
+                    fired += 1;
+                    assert!(
+                        e.is_device_fault(),
+                        "{}: expected a device fault, got {e}",
+                        alg.name()
+                    );
+                    assert_eq!(
+                        gpu.mem_allocated(),
+                        baseline,
+                        "{} leaked scratch after injected OOM at allocation #{nth}",
+                        alg.name()
+                    );
+                }
+            }
+        }
+        assert!(
+            fired > 0,
+            "{}: the OOM sweep never hit an allocation site",
+            alg.name()
+        );
+    }
+}
+
+#[test]
 fn shared_memory_overflow_fails_loudly() {
     // A one-block AIR selection needs n*8 bytes of shared memory;
     // test_tiny has 16 KiB, so 4096 candidates cannot fit. The
