@@ -28,6 +28,22 @@ pub enum SimError {
     /// A PCIe transfer was corrupted and abandoned (injected fault);
     /// the destination contents are undefined.
     TransferCorruption { bytes: usize },
+    /// An access to a device buffer fell outside its bounds. Carries
+    /// the buffer's label so the diagnostic names *which* allocation
+    /// was overrun instead of a bare index panic.
+    OutOfBounds {
+        buffer: String,
+        idx: usize,
+        len: usize,
+    },
+    /// A block allocated more shared memory than the device allows per
+    /// block — the simulator's equivalent of a CUDA launch failure for
+    /// an over-subscribed `__shared__` footprint.
+    SharedMemExceeded {
+        used: usize,
+        requested: usize,
+        capacity: usize,
+    },
 }
 
 impl SimError {
@@ -69,6 +85,23 @@ impl fmt::Display for SimError {
             }
             SimError::TransferCorruption { bytes } => {
                 write!(f, "PCIe transfer corrupted ({bytes} bytes abandoned)")
+            }
+            SimError::OutOfBounds { buffer, idx, len } => {
+                write!(
+                    f,
+                    "out-of-bounds access to buffer {buffer:?}: index {idx} >= len {len}"
+                )
+            }
+            SimError::SharedMemExceeded {
+                used,
+                requested,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "shared memory overflow: block already uses {used} of {capacity} bytes, \
+                     requested {requested} more"
+                )
             }
         }
     }

@@ -14,6 +14,8 @@
 use crate::cost::KernelStats;
 use crate::device::{DeviceSpec, WARP_SIZE};
 use crate::memory::{AtomicCell, DeviceBuffer, DeviceScalar};
+use crate::sanitizer::{AccessKind, LaunchScope};
+use crate::SimError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Shape of a kernel launch.
@@ -81,18 +83,29 @@ impl SharedMem {
     /// Allocate `len` elements of `T`, zero-initialised.
     ///
     /// Panics if the block's shared-memory budget is exceeded — the
-    /// equivalent of a CUDA launch failure.
+    /// equivalent of a CUDA launch failure. Use
+    /// [`SharedMem::try_alloc`] to handle over-subscription instead.
     pub fn alloc<T: Default + Clone>(&mut self, len: usize) -> Vec<T> {
+        match self.try_alloc(len) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible allocation: over-capacity returns
+    /// [`SimError::SharedMemExceeded`] with the block's usage and the
+    /// device capacity instead of panicking.
+    pub fn try_alloc<T: Default + Clone>(&mut self, len: usize) -> Result<Vec<T>, SimError> {
         let bytes = len * std::mem::size_of::<T>();
-        assert!(
-            self.used + bytes <= self.capacity,
-            "shared memory overflow: {} + {} > {} bytes",
-            self.used,
-            bytes,
-            self.capacity
-        );
+        if self.used + bytes > self.capacity {
+            return Err(SimError::SharedMemExceeded {
+                used: self.used,
+                requested: bytes,
+                capacity: self.capacity,
+            });
+        }
         self.used += bytes;
-        vec![T::default(); len]
+        Ok(vec![T::default(); len])
     }
 
     /// Bytes allocated so far.
@@ -122,6 +135,16 @@ pub struct BlockCtx<'a> {
     pub(crate) shared: SharedMem,
     pub(crate) done_counter: &'a AtomicUsize,
     pub(crate) spec: &'a DeviceSpec,
+    /// Sanitizer scope of the enclosing launch, if one is armed.
+    pub(crate) san: Option<&'a LaunchScope<'a>>,
+    /// True once this block passed an acquire-release grid sync
+    /// ([`BlockCtx::mark_block_done`] returning `true`, or any
+    /// [`BlockCtx::atomic_add_sync`]): its subsequent accesses are
+    /// ordered after the rest of the grid's earlier writes, so
+    /// racecheck stands down for it. Over-approximate for blocks that
+    /// did not observe the *final* counter value — a documented
+    /// suppression, never a false positive.
+    pub(crate) synced: bool,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -131,6 +154,7 @@ impl<'a> BlockCtx<'a> {
         block_dim: usize,
         done_counter: &'a AtomicUsize,
         spec: &'a DeviceSpec,
+        san: Option<&'a LaunchScope<'a>>,
     ) -> Self {
         BlockCtx {
             block_idx,
@@ -140,7 +164,45 @@ impl<'a> BlockCtx<'a> {
             shared: SharedMem::new(spec.shared_mem_per_block),
             done_counter,
             spec,
+            san,
+            synced: false,
         }
+    }
+
+    /// Validate one device access against the armed sanitizer; `false`
+    /// means "squash" (out-of-bounds under memcheck). Without a
+    /// sanitizer, out-of-bounds aborts the launch with a labeled
+    /// [`SimError::OutOfBounds`] payload that
+    /// [`Gpu::try_launch`](crate::Gpu::try_launch) surfaces as an `Err`.
+    #[inline(always)]
+    fn guard<T: DeviceScalar>(&self, buf: &DeviceBuffer<T>, idx: usize, kind: AccessKind) -> bool {
+        match self.san {
+            Some(scope) => scope.check_access(
+                buf.shadow(),
+                buf.label(),
+                buf.len(),
+                idx,
+                kind,
+                self.block_idx,
+                self.synced,
+            ),
+            None => {
+                if idx >= buf.len() {
+                    std::panic::panic_any(SimError::OutOfBounds {
+                        buffer: buf.label().to_string(),
+                        idx,
+                        len: buf.len(),
+                    });
+                }
+                true
+            }
+        }
+    }
+
+    /// Zero of `T` for squashed loads.
+    #[inline(always)]
+    fn squashed<T: DeviceScalar>() -> T {
+        T::from_raw(T::Atom::default().load())
     }
 
     /// Number of warps in this block.
@@ -161,20 +223,67 @@ impl<'a> BlockCtx<'a> {
     #[inline(always)]
     pub fn ld<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, idx: usize) -> T {
         self.stats.bytes_read += T::BYTES as u64;
+        if !self.guard(buf, idx, AccessKind::Read) {
+            return Self::squashed();
+        }
         T::from_raw(buf.cell(idx).load())
+    }
+
+    /// Fallible coalesced load: out-of-bounds returns a labeled
+    /// [`SimError::OutOfBounds`] instead of aborting the launch.
+    #[inline(always)]
+    pub fn try_ld<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: usize,
+    ) -> Result<T, SimError> {
+        if idx >= buf.len() {
+            return Err(SimError::OutOfBounds {
+                buffer: buf.label().to_string(),
+                idx,
+                len: buf.len(),
+            });
+        }
+        Ok(self.ld(buf, idx))
     }
 
     /// Coalesced (streaming) store.
     #[inline(always)]
     pub fn st<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, idx: usize, v: T) {
         self.stats.bytes_written += T::BYTES as u64;
+        if !self.guard(buf, idx, AccessKind::Write) {
+            return;
+        }
         buf.cell(idx).store(v.to_raw());
+    }
+
+    /// Fallible coalesced store: out-of-bounds returns a labeled
+    /// [`SimError::OutOfBounds`] instead of aborting the launch.
+    #[inline(always)]
+    pub fn try_st<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        idx: usize,
+        v: T,
+    ) -> Result<(), SimError> {
+        if idx >= buf.len() {
+            return Err(SimError::OutOfBounds {
+                buffer: buf.label().to_string(),
+                idx,
+                len: buf.len(),
+            });
+        }
+        self.st(buf, idx, v);
+        Ok(())
     }
 
     /// Uncoalesced (gather) load: charged a whole transaction sector.
     #[inline(always)]
     pub fn ld_gather<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, idx: usize) -> T {
         self.stats.bytes_scattered += self.spec.transaction_bytes as u64;
+        if !self.guard(buf, idx, AccessKind::Read) {
+            return Self::squashed();
+        }
         T::from_raw(buf.cell(idx).load())
     }
 
@@ -188,6 +297,9 @@ impl<'a> BlockCtx<'a> {
     #[inline(always)]
     pub fn st_scatter<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, idx: usize, v: T) {
         self.stats.bytes_scattered += self.spec.transaction_bytes as u64;
+        if !self.guard(buf, idx, AccessKind::Write) {
+            return;
+        }
         buf.cell(idx).store(v.to_raw());
     }
 
@@ -200,6 +312,9 @@ impl<'a> BlockCtx<'a> {
         T::Atom: AtomicCell<Raw = T>,
     {
         self.stats.atomic_ops += 1;
+        if !self.guard(buf, idx, AccessKind::Atomic) {
+            return Self::squashed();
+        }
         buf.cell(idx).fetch_add(v)
     }
 
@@ -215,6 +330,13 @@ impl<'a> BlockCtx<'a> {
         T::Atom: AtomicCell<Raw = T>,
     {
         self.stats.atomic_ops += 1;
+        // Acquire side of the grid sync: later accesses by this block
+        // are ordered after the releases it observed, so racecheck
+        // stands down for the rest of the block (see `synced`).
+        self.synced = true;
+        if !self.guard(buf, idx, AccessKind::Atomic) {
+            return Self::squashed();
+        }
         buf.cell(idx).fetch_add_sync(v)
     }
 
@@ -227,6 +349,9 @@ impl<'a> BlockCtx<'a> {
         v: T,
     ) -> T {
         self.stats.atomic_ops += 1;
+        if !self.guard(buf, idx, AccessKind::Atomic) {
+            return Self::squashed();
+        }
         T::from_raw(buf.cell(idx).fetch_min(v.to_raw()))
     }
 
@@ -239,6 +364,9 @@ impl<'a> BlockCtx<'a> {
         v: T,
     ) -> T {
         self.stats.atomic_ops += 1;
+        if !self.guard(buf, idx, AccessKind::Atomic) {
+            return Self::squashed();
+        }
         T::from_raw(buf.cell(idx).fetch_max(v.to_raw()))
     }
 
@@ -257,6 +385,9 @@ impl<'a> BlockCtx<'a> {
         T::Atom: AtomicCell<Raw = T>,
     {
         self.stats.atomic_ops += 1;
+        if !self.guard(buf, idx, AccessKind::Atomic) {
+            return Err(current);
+        }
         buf.cell(idx).compare_exchange(current, new)
     }
 
@@ -268,11 +399,24 @@ impl<'a> BlockCtx<'a> {
         self.stats.compute_ops += n;
     }
 
-    /// Allocate block shared memory (`len` elements of `T`).
+    /// Allocate block shared memory (`len` elements of `T`). An
+    /// over-subscribed block aborts the launch with a
+    /// [`SimError::SharedMemExceeded`] payload that
+    /// [`Gpu::try_launch`](crate::Gpu::try_launch) surfaces as an
+    /// `Err` — the simulator's equivalent of a CUDA launch failure.
     pub fn shared_alloc<T: Default + Clone>(&mut self, len: usize) -> Vec<T> {
-        let v = self.shared.alloc::<T>(len);
+        match self.try_shared_alloc(len) {
+            Ok(v) => v,
+            Err(e) => std::panic::panic_any(e),
+        }
+    }
+
+    /// Fallible shared-memory allocation.
+    pub fn try_shared_alloc<T: Default + Clone>(&mut self, len: usize) -> Result<Vec<T>, SimError> {
+        let v = self.shared.try_alloc::<T>(len)?;
+        // Peak per-block footprint; the pool max-merges across blocks.
         self.stats.shared_mem_bytes = self.shared.used() as u64;
-        v
+        Ok(v)
     }
 
     // ---- grid-level coordination ------------------------------------
@@ -290,7 +434,13 @@ impl<'a> BlockCtx<'a> {
     pub fn mark_block_done(&mut self) -> bool {
         self.stats.atomic_ops += 1;
         let prev = self.done_counter.fetch_add(1, Ordering::AcqRel);
-        prev + 1 == self.grid_dim
+        let last = prev + 1 == self.grid_dim;
+        if last {
+            // The last block's subsequent reads are ordered after every
+            // other block's release: exempt it from racecheck.
+            self.synced = true;
+        }
+        last
     }
 }
 
@@ -355,6 +505,43 @@ mod tests {
     }
 
     #[test]
+    fn shared_mem_try_alloc_reports_usage() {
+        let mut sm = SharedMem::new(16);
+        let _: Vec<u64> = sm.try_alloc(2).unwrap();
+        let err = sm.try_alloc::<u64>(3).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::SharedMemExceeded {
+                used: 16,
+                requested: 24,
+                capacity: 16,
+            }
+        );
+        assert_eq!(sm.used(), 16, "failed alloc must not charge the arena");
+    }
+
+    #[test]
+    fn try_ld_st_label_out_of_bounds() {
+        let spec = DeviceSpec::a100();
+        let done = AtomicUsize::new(0);
+        let mut ctx = BlockCtx::new(0, 1, 32, &done, &spec, None);
+        let buf = DeviceBuffer::<u32>::zeroed("small", 4);
+        assert_eq!(ctx.try_ld(&buf, 3), Ok(0));
+        let err = ctx.try_ld(&buf, 4).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::OutOfBounds {
+                buffer: "small".into(),
+                idx: 4,
+                len: 4,
+            }
+        );
+        assert!(ctx.try_st(&buf, 9, 1).is_err());
+        assert!(ctx.try_st(&buf, 0, 7).is_ok());
+        assert_eq!(buf.get(0), 7);
+    }
+
+    #[test]
     fn validate_launch_limits() {
         let spec = DeviceSpec::test_tiny();
         assert!(validate_launch(&spec, &LaunchConfig::grid_1d(1, 256)).is_ok());
@@ -367,7 +554,7 @@ mod tests {
     fn block_ctx_meters_traffic() {
         let spec = DeviceSpec::a100();
         let done = AtomicUsize::new(0);
-        let mut ctx = BlockCtx::new(0, 1, 256, &done, &spec);
+        let mut ctx = BlockCtx::new(0, 1, 256, &done, &spec, None);
         let buf = DeviceBuffer::from_slice("b", &[1.0f32, 2.0, 3.0]);
         assert_eq!(ctx.ld(&buf, 1), 2.0);
         ctx.st(&buf, 0, 9.0);
@@ -385,7 +572,7 @@ mod tests {
     fn atomic_accessors() {
         let spec = DeviceSpec::a100();
         let done = AtomicUsize::new(0);
-        let mut ctx = BlockCtx::new(0, 1, 32, &done, &spec);
+        let mut ctx = BlockCtx::new(0, 1, 32, &done, &spec, None);
         let buf = DeviceBuffer::<u32>::zeroed("a", 2);
         assert_eq!(ctx.atomic_add(&buf, 0, 5), 0);
         assert_eq!(ctx.atomic_add(&buf, 0, 3), 5);
@@ -407,7 +594,7 @@ mod tests {
         let grid = 7;
         let mut fired = 0;
         for b in 0..grid {
-            let mut ctx = BlockCtx::new(b, grid, 32, &done, &spec);
+            let mut ctx = BlockCtx::new(b, grid, 32, &done, &spec, None);
             if ctx.mark_block_done() {
                 fired += 1;
                 assert_eq!(b, grid - 1, "sequential order: last index finishes last");

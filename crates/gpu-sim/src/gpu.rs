@@ -13,6 +13,7 @@ use crate::fault::{FaultEvent, FaultInjector, FaultKind};
 use crate::memory::{DeviceBuffer, DeviceScalar};
 use crate::pool::BlockPool;
 use crate::profile::{EventKind, Timeline};
+use crate::sanitizer::{LaunchScope, Sanitizer, SanitizerMode, SanitizerReport};
 
 /// Everything recorded about one kernel launch.
 #[derive(Debug, Clone)]
@@ -32,6 +33,11 @@ pub struct KernelReport {
     /// one span per coalesced batch, so every launch can be joined back
     /// to the queries it served.
     pub span: u64,
+    /// Sanitizer occurrences attributed to this launch (0 when no
+    /// sanitizer is armed). Deduplicated findings live in
+    /// [`Gpu::sanitizer_report`]; this is the per-launch delta of the
+    /// occurrence counters so a hot kernel can be singled out.
+    pub sanitizer_findings: u64,
 }
 
 /// A simulated GPU.
@@ -49,6 +55,7 @@ pub struct Gpu {
     mem_high_water: usize,
     current_span: u64,
     injector: Option<FaultInjector>,
+    sanitizer: Option<Sanitizer>,
 }
 
 impl Gpu {
@@ -70,6 +77,7 @@ impl Gpu {
             mem_high_water: 0,
             current_span: 0,
             injector: None,
+            sanitizer: None,
         }
     }
 
@@ -148,6 +156,30 @@ impl Gpu {
         self.injector.as_ref().map_or(&[], |i| i.log())
     }
 
+    // ---- sanitizer ----------------------------------------------------
+
+    /// Arm the sanitizer: buffers allocated from now on get shadow
+    /// state, and every launch runs the enabled analyses. Buffers that
+    /// already exist stay unshadowed (bounds are still checked). The
+    /// sanitizer never touches [`KernelStats`] or the cost model, so
+    /// simulated timings are identical with it on or off.
+    pub fn enable_sanitizer(&mut self, mode: SanitizerMode) {
+        self.sanitizer = mode.enabled().then(|| Sanitizer::new(mode));
+    }
+
+    /// The armed analyses (all-off when no sanitizer is attached).
+    pub fn sanitizer_mode(&self) -> SanitizerMode {
+        self.sanitizer
+            .as_ref()
+            .map_or(SanitizerMode::off(), |s| s.mode())
+    }
+
+    /// Snapshot of everything the sanitizer observed, or `None` when
+    /// no sanitizer is armed.
+    pub fn sanitizer_report(&self) -> Option<SanitizerReport> {
+        self.sanitizer.as_ref().map(|s| s.report())
+    }
+
     /// Zero the clock and clear the timeline/report history.
     /// Benchmarks call this after uploading inputs so only the
     /// algorithm under test is timed.
@@ -193,13 +225,21 @@ impl Gpu {
         }
         self.mem_allocated += bytes;
         self.mem_high_water = self.mem_high_water.max(self.mem_allocated);
-        Ok(DeviceBuffer::zeroed(label, len))
+        Ok(match self.sanitizer.as_ref() {
+            Some(san) => DeviceBuffer::zeroed_with_shadow(label, len, san.shadow_for(len)),
+            None => DeviceBuffer::zeroed(label, len),
+        })
     }
 
     /// Release a buffer's bytes back to the device allocator. (The
     /// backing host memory is freed when the last handle drops; this
-    /// only updates the simulated allocator accounting.)
+    /// only updates the simulated allocator accounting.) Under the
+    /// sanitizer's memcheck, later accesses through any surviving
+    /// handle are use-after-free findings.
     pub fn free<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>) {
+        if let Some(sh) = buf.shadow() {
+            sh.mark_freed();
+        }
         self.free_bytes(buf.size_bytes());
     }
 
@@ -319,6 +359,18 @@ impl Gpu {
         len: usize,
         fallible: bool,
     ) -> Result<Vec<T>, SimError> {
+        if let (Some(san), Some(sh)) = (self.sanitizer.as_ref(), buf.shadow()) {
+            if sh.is_freed() {
+                san.record_host_uaf(buf.label(), "device-to-host readback");
+            }
+        }
+        if fallible && offset + len > buf.len() {
+            return Err(SimError::OutOfBounds {
+                buffer: buf.label().to_string(),
+                idx: offset + len - 1,
+                len: buf.len(),
+            });
+        }
         let sync = self.spec.host_sync_us;
         self.timeline.push(EventKind::HostSync, self.clock_us, sync);
         self.clock_us += sync;
@@ -386,7 +438,18 @@ impl Gpu {
             return Err(self.launch_fault(name, fault));
         }
 
-        let stats = self.pool.run(&self.spec, cfg, kernel);
+        let findings_before = self.sanitizer.as_ref().map_or(0, |s| s.counts().total());
+        let stats = {
+            let scope = self
+                .sanitizer
+                .as_ref()
+                .map(|san| LaunchScope::new(san, name));
+            self.pool.run(&self.spec, cfg, scope.as_ref(), kernel)?
+        };
+        let sanitizer_findings = self
+            .sanitizer
+            .as_ref()
+            .map_or(0, |s| s.counts().total() - findings_before);
         let mut cost = kernel_cost(&self.spec, cfg.grid_dim, cfg.block_dim, &stats);
         if let Some(inj) = self.injector.as_ref() {
             cost.exec_us *= inj.exec_multiplier();
@@ -414,6 +477,7 @@ impl Gpu {
             cost,
             start_us: start,
             span: self.current_span,
+            sanitizer_findings,
         });
         Ok(self.reports.last().expect("report just pushed"))
     }

@@ -24,6 +24,10 @@
 //!   bandwidth for PCIe. The paper's speedups are all explained by
 //!   these counted quantities, which is what makes the reproduction's
 //!   *shapes* faithful even though absolute microseconds are not.
+//! * [`sanitizer`] is a compute-sanitizer analogue: racecheck,
+//!   initcheck and memcheck analyses run over every kernel via the
+//!   same metered accessors, behind a zero-cost-when-off
+//!   [`SanitizerMode`] (`gpu.enable_sanitizer(SanitizerMode::full())`).
 //!
 //! ## Quick example
 //!
@@ -62,6 +66,7 @@ pub mod gpu;
 pub mod memory;
 pub mod pool;
 pub mod profile;
+pub mod sanitizer;
 pub mod trace;
 pub mod warp;
 
@@ -74,4 +79,8 @@ pub use gpu::{Gpu, KernelReport};
 pub use memory::{AtomicCell, DeviceBuffer, DeviceScalar};
 pub use pool::BlockPool;
 pub use profile::{EventKind, Timeline, TimelineEvent};
+pub use sanitizer::{
+    AccessKind, Analysis, SanitizerCounts, SanitizerFinding, SanitizerMode, SanitizerReport,
+    ShadowToken,
+};
 pub use trace::{to_chrome_trace, TraceBuilder};

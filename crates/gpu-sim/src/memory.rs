@@ -13,6 +13,9 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::sanitizer::{BufferShadow, ShadowToken};
+use crate::SimError;
+
 /// An atomic storage cell for one device word.
 ///
 /// Implemented by [`AtomicU32`] and [`AtomicU64`]; `Raw` is the plain
@@ -176,6 +179,9 @@ impl DeviceScalar for f64 {
 struct BufferInner<T: DeviceScalar> {
     cells: Box<[T::Atom]>,
     label: String,
+    /// Sanitizer shadow state; present only when the buffer was
+    /// allocated through a [`crate::Gpu`] with an armed sanitizer.
+    shadow: Option<Arc<BufferShadow>>,
 }
 
 /// A buffer in simulated device memory.
@@ -205,8 +211,39 @@ impl<T: DeviceScalar> DeviceBuffer<T> {
             inner: Arc::new(BufferInner {
                 cells,
                 label: label.to_string(),
+                shadow: None,
             }),
         }
+    }
+
+    /// Allocate with sanitizer shadow state attached (the path
+    /// [`crate::Gpu::alloc`] takes when a sanitizer is armed).
+    pub(crate) fn zeroed_with_shadow(label: &str, len: usize, shadow: BufferShadow) -> Self {
+        let cells: Box<[T::Atom]> = (0..len).map(|_| T::Atom::default()).collect();
+        DeviceBuffer {
+            inner: Arc::new(BufferInner {
+                cells,
+                label: label.to_string(),
+                shadow: Some(Arc::new(shadow)),
+            }),
+        }
+    }
+
+    /// The attached sanitizer shadow, if any.
+    #[inline(always)]
+    pub(crate) fn shadow(&self) -> Option<&BufferShadow> {
+        self.inner.shadow.as_deref()
+    }
+
+    /// A clonable handle onto this buffer's sanitizer shadow, or `None`
+    /// when no sanitizer was armed at allocation. Lets owners of
+    /// recycled memory (e.g. a scratch pool) mark the buffer freed for
+    /// use-after-free detection after the typed handle is gone.
+    pub fn sanitizer_token(&self) -> Option<ShadowToken> {
+        self.inner
+            .shadow
+            .clone()
+            .map(|shadow| ShadowToken { shadow })
     }
 
     /// Allocate and fill from a host slice (unmetered; see
@@ -242,16 +279,58 @@ impl<T: DeviceScalar> DeviceBuffer<T> {
         &self.inner.label
     }
 
-    /// Unmetered element read (host-side/testing).
+    /// Unmetered element read (host-side/testing). Panics with a
+    /// labeled [`SimError::OutOfBounds`] description when `idx` is out
+    /// of range; use [`DeviceBuffer::try_get`] to handle that case.
     #[inline(always)]
     pub fn get(&self, idx: usize) -> T {
-        T::from_raw(self.inner.cells[idx].load())
+        match self.try_get(idx) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    /// Unmetered element write (host-side/testing).
+    /// Fallible unmetered element read.
+    #[inline(always)]
+    pub fn try_get(&self, idx: usize) -> Result<T, SimError> {
+        match self.inner.cells.get(idx) {
+            Some(cell) => Ok(T::from_raw(cell.load())),
+            None => Err(self.oob(idx)),
+        }
+    }
+
+    /// Unmetered element write (host-side/testing). Panics with a
+    /// labeled [`SimError::OutOfBounds`] description when `idx` is out
+    /// of range; use [`DeviceBuffer::try_set`] to handle that case.
     #[inline(always)]
     pub fn set(&self, idx: usize, v: T) {
-        self.inner.cells[idx].store(v.to_raw());
+        if let Err(e) = self.try_set(idx, v) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible unmetered element write.
+    #[inline(always)]
+    pub fn try_set(&self, idx: usize, v: T) -> Result<(), SimError> {
+        match self.inner.cells.get(idx) {
+            Some(cell) => {
+                cell.store(v.to_raw());
+                if let Some(sh) = self.shadow() {
+                    sh.mark_valid(idx);
+                }
+                Ok(())
+            }
+            None => Err(self.oob(idx)),
+        }
+    }
+
+    #[cold]
+    fn oob(&self, idx: usize) -> SimError {
+        SimError::OutOfBounds {
+            buffer: self.inner.label.clone(),
+            idx,
+            len: self.len(),
+        }
     }
 
     /// Direct access to the backing atomic cell (used by `BlockCtx`).
@@ -265,10 +344,15 @@ impl<T: DeviceScalar> DeviceBuffer<T> {
         (0..self.len()).map(|i| self.get(i)).collect()
     }
 
-    /// Fill every element with `v` (unmetered host-side helper).
+    /// Fill every element with `v` (unmetered host-side helper; the
+    /// simulator's `cudaMemset`). Marks the whole buffer initialised
+    /// for the sanitizer's initcheck analysis.
     pub fn fill(&self, v: T) {
         for c in self.inner.cells.iter() {
             c.store(v.to_raw());
+        }
+        if let Some(sh) = self.shadow() {
+            sh.mark_valid_all();
         }
     }
 }

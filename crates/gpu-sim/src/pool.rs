@@ -10,7 +10,10 @@
 use crate::cost::KernelStats;
 use crate::device::DeviceSpec;
 use crate::exec::{BlockCtx, LaunchConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sanitizer::LaunchScope;
+use crate::SimError;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Executes the blocks of a kernel launch on up to `workers` host
 /// threads.
@@ -47,8 +50,20 @@ impl BlockPool {
     }
 
     /// Run all `cfg.grid_dim` blocks of a kernel, returning the merged
-    /// stats. The kernel closure is invoked once per block.
-    pub fn run<F>(&self, spec: &DeviceSpec, cfg: LaunchConfig, kernel: F) -> KernelStats
+    /// stats. The kernel closure is invoked once per block; `scope` is
+    /// the launch's sanitizer context, if one is armed.
+    ///
+    /// A block that aborts with a [`SimError`] payload (labeled
+    /// out-of-bounds, shared-memory overflow) surfaces as `Err`; any
+    /// other panic (a kernel's own assertion, an injected worker panic)
+    /// propagates unchanged.
+    pub fn run<F>(
+        &self,
+        spec: &DeviceSpec,
+        cfg: LaunchConfig,
+        scope: Option<&LaunchScope<'_>>,
+        kernel: F,
+    ) -> Result<KernelStats, SimError>
     where
         F: Fn(&mut BlockCtx) + Sync,
     {
@@ -58,11 +73,16 @@ impl BlockPool {
         if self.workers == 1 || grid <= 1 {
             let mut total = KernelStats::default();
             for b in 0..grid {
-                let mut ctx = BlockCtx::new(b, grid, cfg.block_dim, &done, spec);
-                kernel(&mut ctx);
-                total.merge(&ctx.stats);
+                let mut ctx = BlockCtx::new(b, grid, cfg.block_dim, &done, spec, scope);
+                match catch_unwind(AssertUnwindSafe(|| kernel(&mut ctx))) {
+                    Ok(()) => total.merge(&ctx.stats),
+                    Err(payload) => match payload.downcast::<SimError>() {
+                        Ok(e) => return Err(*e),
+                        Err(other) => resume_unwind(other),
+                    },
+                }
             }
-            return total;
+            return Ok(total);
         }
 
         let next = AtomicUsize::new(0);
@@ -72,21 +92,36 @@ impl BlockPool {
         // don't serialize the whole launch.
         let chunk = (grid / (workers * 4)).max(1);
         let merged = parking_lot::Mutex::new(KernelStats::default());
+        // First panic payload wins; later blocks bail out early.
+        let failed = AtomicBool::new(false);
+        let first_panic = parking_lot::Mutex::new(None::<Box<dyn std::any::Any + Send>>);
 
         crossbeam::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|_| {
                     let mut local = KernelStats::default();
                     loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let start = next.fetch_add(chunk, Ordering::Relaxed);
                         if start >= grid {
                             break;
                         }
                         let end = (start + chunk).min(grid);
                         for b in start..end {
-                            let mut ctx = BlockCtx::new(b, grid, cfg.block_dim, &done, spec);
-                            kernel(&mut ctx);
-                            local.merge(&ctx.stats);
+                            let mut ctx = BlockCtx::new(b, grid, cfg.block_dim, &done, spec, scope);
+                            match catch_unwind(AssertUnwindSafe(|| kernel(&mut ctx))) {
+                                Ok(()) => local.merge(&ctx.stats),
+                                Err(payload) => {
+                                    let mut slot = first_panic.lock();
+                                    if slot.is_none() {
+                                        *slot = Some(payload);
+                                    }
+                                    failed.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
                         }
                     }
                     merged.lock().merge(&local);
@@ -95,7 +130,13 @@ impl BlockPool {
         })
         .expect("block pool worker panicked");
 
-        merged.into_inner()
+        if let Some(payload) = first_panic.into_inner() {
+            return match payload.downcast::<SimError>() {
+                Ok(e) => Err(*e),
+                Err(other) => resume_unwind(other),
+            };
+        }
+        Ok(merged.into_inner())
     }
 }
 
@@ -118,14 +159,16 @@ mod tests {
         let buf = DeviceBuffer::from_slice("in", &data);
         let out = DeviceBuffer::<u32>::zeroed("out", 1);
         let cfg = LaunchConfig::grid_1d(grid, 64);
-        let stats = pool.run(&spec, cfg, |ctx| {
-            let start = ctx.block_idx * 64;
-            let mut acc = 0u32;
-            for i in start..start + 64 {
-                acc = acc.wrapping_add(ctx.ld(&buf, i));
-            }
-            ctx.atomic_add(&out, 0, acc);
-        });
+        let stats = pool
+            .run(&spec, cfg, None, |ctx| {
+                let start = ctx.block_idx * 64;
+                let mut acc = 0u32;
+                for i in start..start + 64 {
+                    acc = acc.wrapping_add(ctx.ld(&buf, i));
+                }
+                ctx.atomic_add(&out, 0, acc);
+            })
+            .unwrap();
         (out.get(0), stats)
     }
 
@@ -154,16 +197,48 @@ mod tests {
         let grid = 200;
         let fired = DeviceBuffer::<u32>::zeroed("fired", 1);
         let cfg = LaunchConfig::grid_1d(grid, 32);
-        pool.run(&spec, cfg, |ctx| {
+        pool.run(&spec, cfg, None, |ctx| {
             if ctx.mark_block_done() {
                 ctx.atomic_add(&fired, 0, 1);
             }
-        });
+        })
+        .unwrap();
         assert_eq!(fired.get(0), 1);
     }
 
     #[test]
     fn workers_minimum_one() {
         assert_eq!(BlockPool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn sim_error_payload_becomes_err_sequential_and_parallel() {
+        let spec = DeviceSpec::a100();
+        let buf = DeviceBuffer::<u32>::zeroed("tiny", 8);
+        for workers in [1, 8] {
+            let pool = BlockPool::new(workers);
+            let cfg = LaunchConfig::grid_1d(64, 32);
+            let err = pool
+                .run(&spec, cfg, None, |ctx| {
+                    // Every block overruns the 8-element buffer.
+                    let _ = ctx.ld(&buf, 8 + ctx.block_idx);
+                })
+                .unwrap_err();
+            assert!(
+                matches!(&err, SimError::OutOfBounds { buffer, len: 8, .. } if buffer == "tiny"),
+                "workers={workers}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn non_sim_error_panic_propagates() {
+        let spec = DeviceSpec::a100();
+        let pool = BlockPool::new(4);
+        let cfg = LaunchConfig::grid_1d(16, 32);
+        let _ = pool.run(&spec, cfg, None, |ctx| {
+            assert!(ctx.block_idx < 8, "deliberate");
+        });
     }
 }

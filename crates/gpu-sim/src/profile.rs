@@ -262,6 +262,7 @@ mod tests {
             cost: test_cost(exec_us, 0.9, 0.4),
             start_us: 0.0,
             span: 0,
+            sanitizer_findings: 0,
         }
     }
 

@@ -1,0 +1,808 @@
+//! A compute-sanitizer-style correctness layer for the simulator.
+//!
+//! NVIDIA's `compute-sanitizer` ships four tools; this module
+//! reproduces the three that make sense for the simulator's execution
+//! model, behind a zero-cost-when-off [`SanitizerMode`]:
+//!
+//! * **racecheck** — every device word carries a shadow record of the
+//!   last access (launch id, block, access kinds). Two accesses to the
+//!   same word from *different blocks of the same launch* are flagged
+//!   when at least one is a non-atomic write, or when atomic and
+//!   non-atomic accesses mix. Kernel boundaries are synchronisation
+//!   points (a new launch id resets the record), and a block that has
+//!   executed an acquire-release grid sync
+//!   ([`BlockCtx::mark_block_done`](crate::exec::BlockCtx::mark_block_done)
+//!   or
+//!   [`BlockCtx::atomic_add_sync`](crate::exec::BlockCtx::atomic_add_sync))
+//!   is exempt afterwards — that is exactly the "last block" pattern
+//!   AIR Top-K's fused kernel relies on, where the final block's reads
+//!   of the grid's histogram are ordered by the release-acquire done
+//!   counter.
+//! * **initcheck** — a shadow valid bitmap per buffer. Allocation does
+//!   *not* initialise (real `cudaMalloc` returns garbage even though
+//!   the simulator zeroes for convenience); words become valid through
+//!   `st`/`st_scatter`/atomic RMWs, host `set`/`fill`, and H2D copies.
+//!   A kernel read of a never-written word is flagged — including the
+//!   stale-scratch shape where code relies on data surviving a
+//!   free/re-alloc cycle.
+//! * **memcheck** — out-of-bounds kernel accesses are squashed and
+//!   reported as structured findings (instead of aborting the host
+//!   thread), and any access to a buffer whose bytes were returned to
+//!   the device allocator ([`Gpu::free`](crate::Gpu::free) or a
+//!   released scratch guard) is a use-after-free finding.
+//!
+//! Findings are deduplicated by (analysis, buffer, kernel) with an
+//! occurrence count, so a racy loop over a million words produces one
+//! legible [`SanitizerFinding`], not a million. The sanitizer never
+//! touches [`KernelStats`](crate::cost::KernelStats) or the cost model:
+//! simulated timings are bit-identical with the sanitizer on or off.
+//!
+//! What it cannot catch (vs. the real tool): intra-block hazards
+//! (a block closure is sequential host code, so there is no
+//! `synccheck` analogue until intra-block interleaving exists), shared
+//! -memory races (same reason), and device-side alignment faults (the
+//! simulator has no pointer arithmetic).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Which analyses are armed. The default is everything off, which
+/// costs one `Option` branch per device access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SanitizerMode {
+    /// Flag conflicting cross-block accesses within one launch.
+    pub racecheck: bool,
+    /// Flag kernel reads of never-written device words.
+    pub initcheck: bool,
+    /// Flag out-of-bounds and use-after-free accesses.
+    pub memcheck: bool,
+}
+
+impl SanitizerMode {
+    /// Every analysis disabled.
+    pub fn off() -> Self {
+        SanitizerMode::default()
+    }
+
+    /// Every analysis armed — what `topk-bench sanitize` and CI run.
+    pub fn full() -> Self {
+        SanitizerMode {
+            racecheck: true,
+            initcheck: true,
+            memcheck: true,
+        }
+    }
+
+    /// Only the race analysis.
+    pub fn racecheck_only() -> Self {
+        SanitizerMode {
+            racecheck: true,
+            ..Self::off()
+        }
+    }
+
+    /// Only the initialisation analysis.
+    pub fn initcheck_only() -> Self {
+        SanitizerMode {
+            initcheck: true,
+            ..Self::off()
+        }
+    }
+
+    /// Only the memory analysis.
+    pub fn memcheck_only() -> Self {
+        SanitizerMode {
+            memcheck: true,
+            ..Self::off()
+        }
+    }
+
+    /// True when at least one analysis is armed.
+    pub fn enabled(&self) -> bool {
+        self.racecheck || self.initcheck || self.memcheck
+    }
+}
+
+/// Which analysis produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Analysis {
+    /// Conflicting cross-block access within one launch.
+    Racecheck,
+    /// Read of a never-written device word.
+    Initcheck,
+    /// Out-of-bounds access (squashed).
+    MemcheckOob,
+    /// Access to a buffer after its bytes were freed.
+    MemcheckUseAfterFree,
+}
+
+impl Analysis {
+    /// Short tool-style label (`racecheck` / `initcheck` / `memcheck`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Analysis::Racecheck => "racecheck",
+            Analysis::Initcheck => "initcheck",
+            Analysis::MemcheckOob | Analysis::MemcheckUseAfterFree => "memcheck",
+        }
+    }
+}
+
+/// How the flagged word was touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Non-atomic load (`ld` / `ld_gather`).
+    Read,
+    /// Non-atomic store (`st` / `st_scatter`).
+    Write,
+    /// Atomic read-modify-write (`atomic_*`).
+    Atomic,
+}
+
+impl AccessKind {
+    /// Human label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Atomic => "atomic",
+        }
+    }
+
+    fn bit(self) -> u64 {
+        match self {
+            AccessKind::Read => 1,
+            AccessKind::Write => 2,
+            AccessKind::Atomic => 4,
+        }
+    }
+}
+
+fn kinds_label(mask: u64) -> String {
+    let mut parts = Vec::new();
+    if mask & 1 != 0 {
+        parts.push("read");
+    }
+    if mask & 2 != 0 {
+        parts.push("write");
+    }
+    if mask & 4 != 0 {
+        parts.push("atomic");
+    }
+    parts.join("+")
+}
+
+/// One deduplicated sanitizer diagnostic: the first occurrence's full
+/// attribution plus a count of how many accesses folded into it.
+#[derive(Debug, Clone)]
+pub struct SanitizerFinding {
+    /// Which analysis fired.
+    pub analysis: Analysis,
+    /// Label of the buffer involved.
+    pub buffer: String,
+    /// Kernel that performed the access (`"<host>"` for host-side
+    /// transfer checks).
+    pub kernel: String,
+    /// Sanitizer launch sequence number of the first occurrence
+    /// (monotonic per device, 1-based; 0 = host-side).
+    pub launch: u64,
+    /// Block index of the first occurrence.
+    pub block: usize,
+    /// Element index of the first occurrence.
+    pub index: usize,
+    /// Access kind of the first occurrence.
+    pub access: AccessKind,
+    /// Total flagged accesses folded into this finding.
+    pub count: u64,
+    /// Analysis-specific explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for SanitizerFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} of {:?}[{}] in kernel {:?} (launch {}, block {}): {} ({} occurrence{})",
+            self.analysis.label(),
+            self.access.label(),
+            self.buffer,
+            self.index,
+            self.kernel,
+            self.launch,
+            self.block,
+            self.detail,
+            self.count,
+            if self.count == 1 { "" } else { "s" },
+        )
+    }
+}
+
+/// Per-analysis totals of flagged accesses (occurrences, not deduped
+/// findings).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SanitizerCounts {
+    /// Racecheck occurrences.
+    pub racecheck: u64,
+    /// Initcheck occurrences.
+    pub initcheck: u64,
+    /// Memcheck occurrences (out-of-bounds + use-after-free).
+    pub memcheck: u64,
+}
+
+impl SanitizerCounts {
+    /// Sum over all analyses.
+    pub fn total(&self) -> u64 {
+        self.racecheck + self.initcheck + self.memcheck
+    }
+
+    /// Element-wise saturating difference (for drain-relative deltas on
+    /// persistent devices).
+    pub fn delta_since(&self, earlier: &SanitizerCounts) -> SanitizerCounts {
+        SanitizerCounts {
+            racecheck: self.racecheck.saturating_sub(earlier.racecheck),
+            initcheck: self.initcheck.saturating_sub(earlier.initcheck),
+            memcheck: self.memcheck.saturating_sub(earlier.memcheck),
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, other: &SanitizerCounts) {
+        self.racecheck += other.racecheck;
+        self.initcheck += other.initcheck;
+        self.memcheck += other.memcheck;
+    }
+}
+
+/// Everything the sanitizer observed on one device.
+#[derive(Debug, Clone)]
+pub struct SanitizerReport {
+    /// Analyses that were armed.
+    pub mode: SanitizerMode,
+    /// Occurrence totals per analysis.
+    pub counts: SanitizerCounts,
+    /// Kernel launches the sanitizer observed.
+    pub launches: u64,
+    /// Deduplicated findings (capped at [`MAX_FINDINGS`]; see
+    /// [`SanitizerReport::dropped`]).
+    pub findings: Vec<SanitizerFinding>,
+    /// Distinct findings discarded after the cap was reached (their
+    /// occurrences still count toward [`SanitizerReport::counts`]).
+    pub dropped: u64,
+}
+
+impl SanitizerReport {
+    /// True when no analysis flagged anything.
+    pub fn is_clean(&self) -> bool {
+        self.counts.total() == 0
+    }
+}
+
+/// Cap on stored deduplicated findings per device; occurrence counters
+/// keep running past it.
+pub const MAX_FINDINGS: usize = 512;
+
+#[derive(Default)]
+struct FindingStore {
+    by_key: HashMap<(Analysis, String, String), usize>,
+    findings: Vec<SanitizerFinding>,
+    dropped: u64,
+}
+
+/// Per-device sanitizer state: the armed mode, the launch sequence,
+/// occurrence counters, and the deduplicated finding store. Owned by
+/// [`Gpu`](crate::Gpu); shared with in-flight launches by reference.
+pub struct Sanitizer {
+    mode: SanitizerMode,
+    launch_seq: AtomicU64,
+    race_count: AtomicU64,
+    init_count: AtomicU64,
+    mem_count: AtomicU64,
+    store: Mutex<FindingStore>,
+}
+
+impl fmt::Debug for Sanitizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sanitizer")
+            .field("mode", &self.mode)
+            .field("launches", &self.launch_seq.load(Ordering::Relaxed))
+            .field("counts", &self.counts())
+            .finish()
+    }
+}
+
+impl Sanitizer {
+    /// New sanitizer with the given analyses armed.
+    pub fn new(mode: SanitizerMode) -> Self {
+        Sanitizer {
+            mode,
+            launch_seq: AtomicU64::new(0),
+            race_count: AtomicU64::new(0),
+            init_count: AtomicU64::new(0),
+            mem_count: AtomicU64::new(0),
+            store: Mutex::new(FindingStore::default()),
+        }
+    }
+
+    /// The armed analyses.
+    pub fn mode(&self) -> SanitizerMode {
+        self.mode
+    }
+
+    /// Occurrence totals so far.
+    pub fn counts(&self) -> SanitizerCounts {
+        SanitizerCounts {
+            racecheck: self.race_count.load(Ordering::Relaxed),
+            initcheck: self.init_count.load(Ordering::Relaxed),
+            memcheck: self.mem_count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot the full report.
+    pub fn report(&self) -> SanitizerReport {
+        let store = self.store.lock().expect("sanitizer store poisoned");
+        SanitizerReport {
+            mode: self.mode,
+            counts: self.counts(),
+            launches: self.launch_seq.load(Ordering::Relaxed),
+            findings: store.findings.clone(),
+            dropped: store.dropped,
+        }
+    }
+
+    /// Build the shadow for a fresh allocation of `len` elements.
+    pub(crate) fn shadow_for(&self, len: usize) -> BufferShadow {
+        BufferShadow::new(len, self.mode)
+    }
+
+    pub(crate) fn next_launch(&self) -> u64 {
+        self.launch_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn record(&self, finding: SanitizerFinding) {
+        match finding.analysis {
+            Analysis::Racecheck => &self.race_count,
+            Analysis::Initcheck => &self.init_count,
+            Analysis::MemcheckOob | Analysis::MemcheckUseAfterFree => &self.mem_count,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+
+        let mut store = self.store.lock().expect("sanitizer store poisoned");
+        let key = (
+            finding.analysis,
+            finding.buffer.clone(),
+            finding.kernel.clone(),
+        );
+        if let Some(&i) = store.by_key.get(&key) {
+            store.findings[i].count += 1;
+            return;
+        }
+        if store.findings.len() >= MAX_FINDINGS {
+            store.dropped += 1;
+            return;
+        }
+        let idx = store.findings.len();
+        store.findings.push(finding);
+        store.by_key.insert(key, idx);
+    }
+
+    /// Record a host-side (non-kernel) memcheck finding, e.g. a D2H
+    /// readback of a freed buffer.
+    pub(crate) fn record_host_uaf(&self, buffer: &str, what: &str) {
+        if !self.mode.memcheck {
+            return;
+        }
+        self.record(SanitizerFinding {
+            analysis: Analysis::MemcheckUseAfterFree,
+            buffer: buffer.to_string(),
+            kernel: "<host>".to_string(),
+            launch: 0,
+            block: 0,
+            index: 0,
+            access: AccessKind::Read,
+            count: 1,
+            detail: format!("{what} of a buffer whose bytes were returned to the allocator"),
+        });
+    }
+}
+
+// ---- per-buffer shadow state ------------------------------------------
+
+// Race-shadow word layout (one AtomicU64 per device word):
+//   bits  0..32  launch id (truncated; 0 = never accessed)
+//   bits 32..56  block index + 1 (0 = none, BLOCK_MULTI = several blocks)
+//   bits 56..59  access kinds seen this launch (read=1, write=2, atomic=4)
+const BLOCK_SHIFT: u32 = 32;
+const KIND_SHIFT: u32 = 56;
+const BLOCK_MASK: u64 = 0xFF_FFFF;
+const BLOCK_MULTI: u64 = BLOCK_MASK;
+
+fn pack(launch: u64, block_plus1: u64, kinds: u64) -> u64 {
+    (launch & 0xFFFF_FFFF) | (block_plus1 << BLOCK_SHIFT) | (kinds << KIND_SHIFT)
+}
+
+/// Shadow state attached to a [`DeviceBuffer`](crate::DeviceBuffer)
+/// allocated while a sanitizer is armed.
+pub struct BufferShadow {
+    /// One bit per element: has this word ever been written?
+    /// Empty when initcheck is off.
+    valid: Box<[AtomicU64]>,
+    /// One record per element for racecheck. Empty when racecheck is
+    /// off.
+    race: Box<[AtomicU64]>,
+    /// Nonzero once the buffer's bytes were returned to the allocator.
+    freed: AtomicU64,
+}
+
+impl fmt::Debug for BufferShadow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferShadow")
+            .field("tracks_valid", &!self.valid.is_empty())
+            .field("tracks_races", &!self.race.is_empty())
+            .field("freed", &self.is_freed())
+            .finish()
+    }
+}
+
+impl BufferShadow {
+    fn new(len: usize, mode: SanitizerMode) -> Self {
+        let valid: Box<[AtomicU64]> = if mode.initcheck {
+            (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect()
+        } else {
+            Box::new([])
+        };
+        let race: Box<[AtomicU64]> = if mode.racecheck {
+            (0..len).map(|_| AtomicU64::new(0)).collect()
+        } else {
+            Box::new([])
+        };
+        BufferShadow {
+            valid,
+            race,
+            freed: AtomicU64::new(0),
+        }
+    }
+
+    /// Mark one word as initialised.
+    pub(crate) fn mark_valid(&self, idx: usize) {
+        if let Some(cell) = self.valid.get(idx / 64) {
+            cell.fetch_or(1 << (idx % 64), Ordering::Relaxed);
+        }
+    }
+
+    /// Mark every word initialised (`fill`, full H2D copies).
+    pub(crate) fn mark_valid_all(&self) {
+        for cell in self.valid.iter() {
+            cell.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    fn is_valid(&self, idx: usize) -> bool {
+        match self.valid.get(idx / 64) {
+            Some(cell) => cell.load(Ordering::Relaxed) & (1 << (idx % 64)) != 0,
+            // initcheck off: everything counts as valid.
+            None => true,
+        }
+    }
+
+    /// Record that the buffer's bytes were returned to the allocator.
+    pub(crate) fn mark_freed(&self) {
+        self.freed.store(1, Ordering::Relaxed);
+    }
+
+    /// True once [`BufferShadow::mark_freed`] ran.
+    pub(crate) fn is_freed(&self) -> bool {
+        self.freed.load(Ordering::Relaxed) != 0
+    }
+
+    /// Update the race record for `idx` and return the conflicting
+    /// (kinds, block-plus-one) pair if this access races with an
+    /// earlier one in the same launch.
+    fn race_check(
+        &self,
+        idx: usize,
+        launch: u64,
+        block: usize,
+        kind: AccessKind,
+    ) -> Option<(u64, u64)> {
+        let cell = self.race.get(idx)?;
+        let kbit = kind.bit();
+        let launch32 = launch & 0xFFFF_FFFF;
+        let block_plus1 = (block as u64 + 1).min(BLOCK_MULTI - 1);
+        loop {
+            let prev = cell.load(Ordering::Relaxed);
+            let prev_launch = prev & 0xFFFF_FFFF;
+            let prev_block = (prev >> BLOCK_SHIFT) & BLOCK_MASK;
+            let prev_kinds = prev >> KIND_SHIFT;
+
+            let (next, conflict) = if prev_launch != launch32 || prev_block == 0 {
+                // First access of this launch (or first ever).
+                (pack(launch32, block_plus1, kbit), None)
+            } else if prev_block == block_plus1 {
+                // Same block touching its own word again: no hazard.
+                (pack(launch32, block_plus1, prev_kinds | kbit), None)
+            } else {
+                // Cross-block access within one launch.
+                let hazard = match kind {
+                    AccessKind::Read => prev_kinds & (2 | 4) != 0,
+                    AccessKind::Write => prev_kinds != 0,
+                    AccessKind::Atomic => prev_kinds & (1 | 2) != 0,
+                };
+                (
+                    pack(launch32, BLOCK_MULTI, prev_kinds | kbit),
+                    hazard.then_some((prev_kinds, prev_block)),
+                )
+            };
+            if cell
+                .compare_exchange_weak(prev, next, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return conflict;
+            }
+        }
+    }
+}
+
+/// A cheap, clonable handle onto one buffer's shadow, letting code
+/// that no longer holds the typed buffer (e.g. a scratch guard whose
+/// buffers moved into kernel closures) mark it freed for memcheck.
+#[derive(Debug, Clone)]
+pub struct ShadowToken {
+    pub(crate) shadow: std::sync::Arc<BufferShadow>,
+}
+
+impl ShadowToken {
+    /// Record that the buffer's bytes were returned to the allocator;
+    /// later accesses become use-after-free findings.
+    pub fn mark_freed(&self) {
+        self.shadow.mark_freed();
+    }
+}
+
+// ---- per-launch scope --------------------------------------------------
+
+/// Sanitizer context of one kernel launch, shared by every block.
+pub struct LaunchScope<'g> {
+    san: &'g Sanitizer,
+    launch: u64,
+    kernel: &'g str,
+}
+
+impl<'g> LaunchScope<'g> {
+    pub(crate) fn new(san: &'g Sanitizer, kernel: &'g str) -> Self {
+        LaunchScope {
+            san,
+            launch: san.next_launch(),
+            kernel,
+        }
+    }
+
+    /// Validate one device-memory access. Returns `false` when the
+    /// access must be squashed (out of bounds under memcheck). When
+    /// memcheck is off, out-of-bounds panics with a labeled
+    /// [`SimError::OutOfBounds`](crate::SimError::OutOfBounds) payload
+    /// that the block pool converts into a launch error.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn check_access(
+        &self,
+        shadow: Option<&BufferShadow>,
+        label: &str,
+        len: usize,
+        idx: usize,
+        kind: AccessKind,
+        block: usize,
+        synced: bool,
+    ) -> bool {
+        if idx >= len {
+            if self.san.mode.memcheck {
+                self.san.record(SanitizerFinding {
+                    analysis: Analysis::MemcheckOob,
+                    buffer: label.to_string(),
+                    kernel: self.kernel.to_string(),
+                    launch: self.launch,
+                    block,
+                    index: idx,
+                    access: kind,
+                    count: 1,
+                    detail: format!("index {idx} outside length {len}; access squashed"),
+                });
+                return false;
+            }
+            std::panic::panic_any(crate::SimError::OutOfBounds {
+                buffer: label.to_string(),
+                idx,
+                len,
+            });
+        }
+        let Some(sh) = shadow else {
+            // Buffer allocated before the sanitizer was armed (or
+            // constructed host-side): only bounds are checkable.
+            return true;
+        };
+        if self.san.mode.memcheck && sh.is_freed() {
+            self.san.record(SanitizerFinding {
+                analysis: Analysis::MemcheckUseAfterFree,
+                buffer: label.to_string(),
+                kernel: self.kernel.to_string(),
+                launch: self.launch,
+                block,
+                index: idx,
+                access: kind,
+                count: 1,
+                detail: "buffer bytes were returned to the allocator before this access".into(),
+            });
+        }
+        if self.san.mode.initcheck {
+            match kind {
+                AccessKind::Read => {
+                    if !sh.is_valid(idx) {
+                        self.san.record(SanitizerFinding {
+                            analysis: Analysis::Initcheck,
+                            buffer: label.to_string(),
+                            kernel: self.kernel.to_string(),
+                            launch: self.launch,
+                            block,
+                            index: idx,
+                            access: kind,
+                            count: 1,
+                            detail: "read of a never-written device word".into(),
+                        });
+                    }
+                }
+                AccessKind::Write => sh.mark_valid(idx),
+                AccessKind::Atomic => {
+                    if !sh.is_valid(idx) {
+                        self.san.record(SanitizerFinding {
+                            analysis: Analysis::Initcheck,
+                            buffer: label.to_string(),
+                            kernel: self.kernel.to_string(),
+                            launch: self.launch,
+                            block,
+                            index: idx,
+                            access: kind,
+                            count: 1,
+                            detail: "atomic read-modify-write of a never-written device word"
+                                .into(),
+                        });
+                    }
+                    sh.mark_valid(idx);
+                }
+            }
+        }
+        if self.san.mode.racecheck && !synced {
+            if let Some((prev_kinds, prev_block)) = sh.race_check(idx, self.launch, block, kind) {
+                let who = if prev_block == BLOCK_MULTI {
+                    "several blocks".to_string()
+                } else {
+                    format!("block {}", prev_block - 1)
+                };
+                self.san.record(SanitizerFinding {
+                    analysis: Analysis::Racecheck,
+                    buffer: label.to_string(),
+                    kernel: self.kernel.to_string(),
+                    launch: self.launch,
+                    block,
+                    index: idx,
+                    access: kind,
+                    count: 1,
+                    detail: format!(
+                        "{} conflicts with unsynchronised {} by {} in the same launch",
+                        kind.label(),
+                        kinds_label(prev_kinds),
+                        who
+                    ),
+                });
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_flags() {
+        assert!(!SanitizerMode::off().enabled());
+        assert!(SanitizerMode::full().enabled());
+        assert!(SanitizerMode::racecheck_only().racecheck);
+        assert!(!SanitizerMode::racecheck_only().memcheck);
+    }
+
+    #[test]
+    fn findings_dedup_by_buffer_and_kernel() {
+        let san = Sanitizer::new(SanitizerMode::full());
+        for i in 0..5 {
+            san.record(SanitizerFinding {
+                analysis: Analysis::Initcheck,
+                buffer: "b".into(),
+                kernel: "k".into(),
+                launch: 1,
+                block: 0,
+                index: i,
+                access: AccessKind::Read,
+                count: 1,
+                detail: "d".into(),
+            });
+        }
+        let r = san.report();
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].count, 5);
+        assert_eq!(r.findings[0].index, 0, "first occurrence wins");
+        assert_eq!(r.counts.initcheck, 5);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn race_shadow_flags_cross_block_write_write() {
+        let sh = BufferShadow::new(4, SanitizerMode::full());
+        assert!(sh.race_check(0, 1, 0, AccessKind::Write).is_none());
+        let c = sh.race_check(0, 1, 1, AccessKind::Write);
+        assert_eq!(c, Some((2, 1)), "write by block 0 conflicts");
+        // A new launch resets the record.
+        assert!(sh.race_check(0, 2, 5, AccessKind::Write).is_none());
+    }
+
+    #[test]
+    fn race_shadow_allows_read_read_and_atomic_atomic() {
+        let sh = BufferShadow::new(1, SanitizerMode::full());
+        assert!(sh.race_check(0, 1, 0, AccessKind::Read).is_none());
+        assert!(sh.race_check(0, 1, 1, AccessKind::Read).is_none());
+        // ... but a later write conflicts with the multi-block reads.
+        let c = sh.race_check(0, 1, 2, AccessKind::Write).unwrap();
+        assert_eq!(c.1, BLOCK_MULTI);
+
+        let sh = BufferShadow::new(1, SanitizerMode::full());
+        assert!(sh.race_check(0, 3, 0, AccessKind::Atomic).is_none());
+        assert!(sh.race_check(0, 3, 1, AccessKind::Atomic).is_none());
+        // Mixed atomic / non-atomic flags.
+        assert!(sh.race_check(0, 3, 2, AccessKind::Read).is_some());
+    }
+
+    #[test]
+    fn race_shadow_same_block_is_silent() {
+        let sh = BufferShadow::new(1, SanitizerMode::full());
+        assert!(sh.race_check(0, 1, 7, AccessKind::Write).is_none());
+        assert!(sh.race_check(0, 1, 7, AccessKind::Read).is_none());
+        assert!(sh.race_check(0, 1, 7, AccessKind::Atomic).is_none());
+    }
+
+    #[test]
+    fn valid_bitmap_tracks_words() {
+        let sh = BufferShadow::new(130, SanitizerMode::full());
+        assert!(!sh.is_valid(0));
+        assert!(!sh.is_valid(129));
+        sh.mark_valid(129);
+        assert!(sh.is_valid(129));
+        assert!(!sh.is_valid(128));
+        sh.mark_valid_all();
+        assert!(sh.is_valid(0) && sh.is_valid(128));
+    }
+
+    #[test]
+    fn finding_display_names_everything() {
+        let f = SanitizerFinding {
+            analysis: Analysis::Racecheck,
+            buffer: "hist".into(),
+            kernel: "histogram_kernel".into(),
+            launch: 3,
+            block: 7,
+            index: 42,
+            access: AccessKind::Write,
+            count: 2,
+            detail: "x".into(),
+        };
+        let s = f.to_string();
+        for needle in [
+            "racecheck",
+            "hist",
+            "histogram_kernel",
+            "42",
+            "block 7",
+            "2 occurrences",
+        ] {
+            assert!(s.contains(needle), "{s:?} missing {needle:?}");
+        }
+    }
+}

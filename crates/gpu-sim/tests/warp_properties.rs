@@ -1,0 +1,181 @@
+//! Property tests for the warp primitives: every collective is checked
+//! against an independent scalar reference over many seeded random lane
+//! vectors. The warp module's own unit tests pin down bit-order and
+//! edge cases; these tests pin down the *algebra* (prefix-sum laws,
+//! permutation invariants, rank uniqueness) that GridSelect's two-step
+//! insertion and the WarpSelect sorting networks rely on.
+
+use gpu_sim::warp::{
+    ballot, bitonic_sort_lanes, exclusive_scan, inclusive_scan, lane_rank, reduce_max, reduce_min,
+    reduce_sum, shfl, shfl_xor, Lanes,
+};
+
+const WARP: usize = 32;
+const ROUNDS: usize = 200;
+
+/// SplitMix64 — the same tiny deterministic generator the fault module
+/// uses for seed-matrix tests; no external dependencies.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn lanes_u32(&mut self) -> Lanes<u32> {
+        std::array::from_fn(|_| self.next() as u32)
+    }
+
+    fn lanes_bool(&mut self) -> Lanes<bool> {
+        std::array::from_fn(|_| self.next() & 1 == 1)
+    }
+}
+
+#[test]
+fn ballot_matches_scalar_reference() {
+    let mut rng = SplitMix64(0xB41107);
+    for _ in 0..ROUNDS {
+        let preds = rng.lanes_bool();
+        let mask = ballot(&preds);
+        let expect = preds
+            .iter()
+            .enumerate()
+            .fold(0u32, |m, (i, &p)| m | ((p as u32) << i));
+        assert_eq!(mask, expect);
+        assert_eq!(
+            mask.count_ones() as usize,
+            preds.iter().filter(|&&p| p).count()
+        );
+    }
+}
+
+#[test]
+fn lane_rank_is_a_bijection_onto_consecutive_slots() {
+    // The invariant GridSelect's parallel two-step insertion depends
+    // on (§4): qualified lanes receive exactly the ranks 0..count, each
+    // once, in lane order.
+    let mut rng = SplitMix64(0x7A9E);
+    for _ in 0..ROUNDS {
+        let preds = rng.lanes_bool();
+        let mask = ballot(&preds);
+        let ranks: Vec<u32> = (0..WARP)
+            .filter(|&l| preds[l])
+            .map(|l| lane_rank(mask, l))
+            .collect();
+        // Lane order already yields 0,1,2,... — strictly consecutive.
+        let expect: Vec<u32> = (0..ranks.len() as u32).collect();
+        assert_eq!(ranks, expect, "mask {mask:#034b}");
+    }
+}
+
+#[test]
+fn scans_obey_prefix_sum_laws() {
+    let mut rng = SplitMix64(0x5CA4);
+    for _ in 0..ROUNDS {
+        let vals = rng.lanes_u32();
+        let ex = exclusive_scan(&vals);
+        let inc = inclusive_scan(&vals);
+        // Scalar reference.
+        let mut acc = 0u32;
+        for i in 0..WARP {
+            assert_eq!(ex[i], acc, "exclusive lane {i}");
+            acc = acc.wrapping_add(vals[i]);
+            assert_eq!(inc[i], acc, "inclusive lane {i}");
+        }
+        // Cross-law: inc = ex + vals, last inclusive = total sum.
+        for i in 0..WARP {
+            assert_eq!(inc[i], ex[i].wrapping_add(vals[i]));
+        }
+        assert_eq!(inc[WARP - 1], reduce_sum(&vals));
+    }
+}
+
+#[test]
+fn reductions_match_scalar_references() {
+    let mut rng = SplitMix64(0xDEC0DE);
+    for _ in 0..ROUNDS {
+        let vals = rng.lanes_u32();
+        assert_eq!(
+            reduce_sum(&vals),
+            vals.iter().copied().fold(0u32, u32::wrapping_add)
+        );
+        assert_eq!(reduce_min(&vals), *vals.iter().min().unwrap());
+        assert_eq!(reduce_max(&vals), *vals.iter().max().unwrap());
+
+        // Floats (finite): compare against the ordered extremes.
+        let fvals: Lanes<f32> =
+            std::array::from_fn(|i| (vals[i] as f32 / u32::MAX as f32) * 2000.0 - 1000.0);
+        let mut sorted = fvals;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(reduce_min(&fvals), sorted[0]);
+        assert_eq!(reduce_max(&fvals), sorted[WARP - 1]);
+    }
+}
+
+#[test]
+fn shuffles_are_permutation_reads() {
+    let mut rng = SplitMix64(0x5501F);
+    for _ in 0..ROUNDS {
+        let vals = rng.lanes_u32();
+        let src = (rng.next() as usize) % (2 * WARP); // includes wrapping srcs
+        assert_eq!(shfl(&vals, src), vals[src % WARP]);
+
+        let mask = (rng.next() as usize) % WARP;
+        let out = shfl_xor(&vals, mask);
+        for i in 0..WARP {
+            assert_eq!(out[i], vals[i ^ mask], "lane {i} mask {mask}");
+        }
+        // A butterfly is an involution: applying it twice is identity.
+        assert_eq!(shfl_xor(&out, mask), vals);
+    }
+}
+
+#[test]
+fn bitonic_sort_matches_scalar_sort_with_payload() {
+    let mut rng = SplitMix64(0xB170);
+    for round in 0..ROUNDS {
+        let keys_src = rng.lanes_u32();
+        let ascending = round % 2 == 0;
+
+        let mut keys = keys_src;
+        let mut payload: Lanes<u32> = std::array::from_fn(|i| i as u32);
+        let ops = bitonic_sort_lanes(&mut keys, &mut payload, ascending);
+        assert_eq!(ops, 240, "full 32-lane network is fixed-size");
+
+        // Keys equal the scalar-sorted reference.
+        let mut expect = keys_src;
+        expect.sort_unstable();
+        if !ascending {
+            expect.reverse();
+        }
+        assert_eq!(keys, expect);
+
+        // Payload still pairs every key with its original lane.
+        for (k, p) in keys.iter().zip(&payload) {
+            assert_eq!(keys_src[*p as usize], *k, "payload must travel with key");
+        }
+        // And payload is a permutation of 0..32.
+        let mut lanes: Vec<u32> = payload.to_vec();
+        lanes.sort_unstable();
+        assert_eq!(lanes, (0..WARP as u32).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn bitonic_sort_handles_heavy_duplicates() {
+    let mut rng = SplitMix64(0xD0B1E5);
+    for _ in 0..ROUNDS {
+        let keys_src: Lanes<u32> = std::array::from_fn(|_| (rng.next() % 4) as u32);
+        let mut keys = keys_src;
+        let mut payload: Lanes<u32> = std::array::from_fn(|i| i as u32);
+        bitonic_sort_lanes(&mut keys, &mut payload, true);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let mut expect = keys_src;
+        expect.sort_unstable();
+        assert_eq!(keys, expect);
+    }
+}

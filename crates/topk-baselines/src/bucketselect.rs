@@ -187,6 +187,7 @@ fn run_loop(
             // Kernel 3: filter — emit sure results, keep the target
             // bucket as the next candidate set.
             let cursors = gpu.try_alloc::<u32>("bs_cursors", 1)?;
+            cursors.fill(0); // memset before the filter's first atomic bump
             let launched = {
                 let keys = st.cand_keys[st.cur].clone();
                 let idxs = st.cand_idx[st.cur].clone();

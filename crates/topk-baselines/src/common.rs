@@ -58,7 +58,15 @@ impl SelectionState {
                 k_rem: k,
                 out_val: guard.alloc::<f32>(gpu, "out_val", k)?,
                 out_idx: guard.alloc::<u32>(gpu, "out_idx", k)?,
-                out_cursor: guard.alloc::<u32>(gpu, "out_cursor", 1)?,
+                out_cursor: {
+                    // The emit kernels bump this cursor with atomics
+                    // before anything ever stores to it; memset it like
+                    // the CUDA originals do so the first bump reads a
+                    // defined zero.
+                    let cursor = guard.alloc::<u32>(gpu, "out_cursor", 1)?;
+                    cursor.fill(0);
+                    cursor
+                },
             })
         })();
         if r.is_err() {

@@ -189,6 +189,7 @@ fn run_loop(
 
             // Kernel 3: filter into (results, next candidates).
             let cursor = gpu.try_alloc::<u32>("ss_cursor", 1)?;
+            cursor.fill(0); // memset before the filter's first atomic bump
             let launched = {
                 let keys = st.cand_keys[st.cur].clone();
                 let idxs = st.cand_idx[st.cur].clone();

@@ -26,6 +26,7 @@ pub mod figures;
 pub mod html;
 pub mod report;
 pub mod runner;
+pub mod sanitize;
 pub mod serving;
 pub mod tools;
 

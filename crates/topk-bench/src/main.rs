@@ -16,6 +16,7 @@
 //!   compare --algos A,B --n N --k K --batch B --dist uniform|normal|adversarialM
 //!   tune-alpha [--n N] [--k K]
 //!   verify [--quick]      run the correctness gate over every algorithm
+//!   sanitize [--matrix smoke|full]  run every algorithm under the gpu-sim sanitizer
 //!   report [--out DIR]    build DIR/report.html (inline-SVG charts) from the CSVs
 //! ```
 //!
@@ -31,7 +32,8 @@ fn usage() -> ! {
          [--full] [--verify] [--quiet] [--out DIR] [--metrics-out FILE] [--trace-out FILE]\n\
        topk-bench engine [--faults SEED] [--fault-rate P] [--deadline-us D] [--digest-out FILE] ...\n\
        topk-bench compare [--algos A,B,..] [--n N] [--k K] [--batch B] [--dist D] [--no-verify]\n\
-       topk-bench tune-alpha [--n N] [--k K]"
+       topk-bench tune-alpha [--n N] [--k K]\n\
+       topk-bench sanitize [--matrix smoke|full]"
     );
     std::process::exit(2);
 }
@@ -87,6 +89,18 @@ fn main() {
         let quick = args.iter().any(|a| a == "--quick");
         let failures = topk_bench::tools::verify_matrix(quick);
         std::process::exit(if failures == 0 { 0 } else { 1 });
+    }
+    if cmd == "sanitize" {
+        let matrix = match args.iter().position(|a| a == "--matrix") {
+            None => topk_bench::sanitize::SanitizeMatrix::full(),
+            Some(i) => match args.get(i + 1).map(String::as_str) {
+                Some("smoke") => topk_bench::sanitize::SanitizeMatrix::smoke(),
+                Some("full") => topk_bench::sanitize::SanitizeMatrix::full(),
+                _ => usage(),
+            },
+        };
+        let summary = topk_bench::sanitize::run(&matrix);
+        std::process::exit(if summary.findings == 0 { 0 } else { 1 });
     }
     if cmd == "compare" || cmd == "tune-alpha" {
         run_tool(&cmd, &args[1..]);

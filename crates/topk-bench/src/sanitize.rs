@@ -1,0 +1,262 @@
+//! `topk-bench sanitize` — the correctness gate that runs every
+//! algorithm under the gpu-sim sanitizer (racecheck + initcheck +
+//! memcheck) and fails on any finding.
+//!
+//! The §5.1 `verify` gate proves the *answers* are right; this gate
+//! proves the *executions* are clean: no cross-block data races, no
+//! reads of never-written device words, no out-of-bounds or
+//! use-after-free accesses. Both can disagree — a racy kernel can
+//! still produce correct output on the simulator's schedule — which is
+//! exactly why real GPU projects run compute-sanitizer in CI next to
+//! their unit tests.
+//!
+//! Two matrices:
+//!
+//! * `full` — every algorithm (the eight baselines, AIR Top-K,
+//!   GridSelect) × N ∈ {2^16, 2^20} × K ∈ {32, 1024} × batch ∈ {1, 32},
+//!   plus a chaos seed-matrix over the serving engine.
+//! * `smoke` — the same sweep at N = 2^16 with batch ∈ {1, 8} and a
+//!   single chaos seed; the CI-sized variant.
+
+use datagen::Distribution;
+use gpu_sim::{DeviceSpec, Gpu, SanitizerMode};
+use topk_core::{AirTopK, TopKAlgorithm};
+use topk_engine::{EngineConfig, FaultPlan, TopKEngine};
+
+/// One sweep's shape grid.
+#[derive(Debug, Clone)]
+pub struct SanitizeMatrix {
+    /// Problem sizes.
+    pub ns: Vec<usize>,
+    /// Results per problem.
+    pub ks: Vec<usize>,
+    /// Batch sizes (1 = the single-query path).
+    pub batches: Vec<usize>,
+    /// Seeds for the engine chaos pass (empty = skip the engine pass).
+    pub chaos_seeds: Vec<u64>,
+    /// Queries per chaos drain.
+    pub chaos_queries: usize,
+}
+
+impl SanitizeMatrix {
+    /// The acceptance-gate grid: every algorithm over both problem
+    /// sizes, both K extremes, both batch shapes, plus a three-seed
+    /// chaos matrix on the engine.
+    pub fn full() -> Self {
+        SanitizeMatrix {
+            ns: vec![1 << 16, 1 << 20],
+            ks: vec![32, 1024],
+            batches: vec![1, 32],
+            chaos_seeds: vec![11, 42, 1337],
+            chaos_queries: 48,
+        }
+    }
+
+    /// CI-sized grid: one N, small batches, one chaos seed.
+    pub fn smoke() -> Self {
+        SanitizeMatrix {
+            ns: vec![1 << 16],
+            ks: vec![32, 1024],
+            batches: vec![1, 8],
+            chaos_seeds: vec![42],
+            chaos_queries: 24,
+        }
+    }
+}
+
+/// Outcome of one sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SanitizeSummary {
+    /// Algorithm configurations executed (skips excluded).
+    pub configs: usize,
+    /// Engine chaos drains executed.
+    pub chaos_drains: usize,
+    /// Total flagged accesses across every run (0 on a healthy build).
+    pub findings: u64,
+    /// Rendered findings, one line per deduplicated finding, prefixed
+    /// with the configuration that produced it.
+    pub details: Vec<String>,
+}
+
+/// The algorithm set the gate covers: the eight baselines plus the
+/// paper's two new methods.
+fn gate_algorithms() -> Vec<Box<dyn TopKAlgorithm>> {
+    let mut algs = topk_baselines::all_baselines();
+    algs.push(Box::new(AirTopK::default()));
+    algs.push(Box::new(topk_core::GridSelect::default()));
+    algs
+}
+
+/// Run one algorithm configuration under the full sanitizer and fold
+/// its findings into the summary.
+fn sanitize_config(
+    alg: &dyn TopKAlgorithm,
+    n: usize,
+    k: usize,
+    batch: usize,
+    summary: &mut SanitizeSummary,
+) {
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    gpu.enable_sanitizer(SanitizerMode::full());
+
+    let tag = format!("{} N={n} K={k} batch={batch}", alg.name());
+    let result = if batch == 1 {
+        let data = datagen::generate(Distribution::Uniform, n, (n + k) as u64);
+        let input = gpu.htod("in", &data);
+        alg.try_select(&mut gpu, &input, k).map(|_| ())
+    } else {
+        let inputs: Vec<_> = (0..batch)
+            .map(|b| {
+                let data = datagen::generate(Distribution::Uniform, n, (n + k + b) as u64);
+                gpu.htod(&format!("in{b}"), &data)
+            })
+            .collect();
+        alg.try_select_batch(&mut gpu, &inputs, k).map(|_| ())
+    };
+    if let Err(e) = result {
+        // A selection error here is a bug in its own right; surface it
+        // through the same failure channel as a finding.
+        summary.findings += 1;
+        summary.details.push(format!("{tag}: selection error: {e}"));
+    }
+
+    let report = gpu.sanitizer_report().expect("sanitizer was armed");
+    summary.configs += 1;
+    summary.findings += report.counts.total();
+    for f in &report.findings {
+        summary.details.push(format!("{tag}: {f}"));
+    }
+    println!(
+        "{:<16} {:>9} {:>6} {:>6}  {}",
+        alg.name(),
+        n,
+        k,
+        batch,
+        if report.is_clean() {
+            "clean".to_string()
+        } else {
+            format!("{} flagged accesses", report.counts.total())
+        }
+    );
+}
+
+/// Drain a faulted mixed workload through a sanitized engine: the
+/// retry/failover/deadline machinery must stay clean too, because those
+/// are exactly the paths that re-use devices after mid-flight aborts.
+fn sanitize_chaos_drain(seed: u64, queries: usize, summary: &mut SanitizeSummary) {
+    let workload = crate::serving::mixed_workload(queries, false);
+    let cfg = EngineConfig::a100_pool(2)
+        .with_window(8)
+        .with_queue_capacity(workload.len().max(1))
+        .with_faults(FaultPlan::chaos(seed, 0.10))
+        .with_sanitizer(SanitizerMode::full());
+    let mut engine = TopKEngine::new(cfg);
+    for (data, k) in &workload {
+        engine
+            .submit(data.clone(), *k)
+            .expect("queue sized to the workload");
+    }
+    let report = engine.drain();
+    summary.chaos_drains += 1;
+    summary.findings += report.sanitizer.total();
+    for (dev, findings) in engine.sanitizer_findings().into_iter().enumerate() {
+        for f in findings {
+            summary
+                .details
+                .push(format!("engine chaos seed={seed} device {dev}: {f}"));
+        }
+    }
+    println!(
+        "{:<16} {:>9} {:>6} {:>6}  {}",
+        "engine-chaos",
+        queries,
+        seed,
+        2,
+        if report.sanitizer.total() == 0 {
+            "clean".to_string()
+        } else {
+            format!("{} flagged accesses", report.sanitizer.total())
+        }
+    );
+}
+
+/// Run the sweep and print a per-configuration grid plus every finding.
+pub fn run(matrix: &SanitizeMatrix) -> SanitizeSummary {
+    let mut summary = SanitizeSummary::default();
+    println!(
+        "{:<16} {:>9} {:>6} {:>6}  result",
+        "algorithm", "n", "k", "batch"
+    );
+    for alg in gate_algorithms() {
+        for &n in &matrix.ns {
+            for &k in &matrix.ks {
+                if k > n || alg.max_k().is_some_and(|mk| k > mk) {
+                    continue;
+                }
+                for &batch in &matrix.batches {
+                    sanitize_config(alg.as_ref(), n, k, batch, &mut summary);
+                }
+            }
+        }
+    }
+    for &seed in &matrix.chaos_seeds {
+        sanitize_chaos_drain(seed, matrix.chaos_queries, &mut summary);
+    }
+
+    if summary.findings == 0 {
+        println!(
+            "sanitizer clean: {} configurations + {} chaos drains, 0 findings",
+            summary.configs, summary.chaos_drains
+        );
+    } else {
+        println!(
+            "sanitizer FAILED: {} flagged accesses over {} configurations + {} chaos drains",
+            summary.findings, summary.configs, summary.chaos_drains
+        );
+        for d in &summary.details {
+            println!("  {d}");
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_matrix_is_clean() {
+        // A scaled-down grid that still touches every algorithm's
+        // single and batched paths; the full/smoke grids are the same
+        // loop at larger N. Zero findings is the contract the CI
+        // `sanitize` job enforces.
+        let matrix = SanitizeMatrix {
+            ns: vec![4096],
+            ks: vec![32],
+            batches: vec![1, 2],
+            chaos_seeds: vec![7],
+            chaos_queries: 8,
+        };
+        let summary = run(&matrix);
+        assert!(summary.configs > 0);
+        assert_eq!(summary.chaos_drains, 1);
+        assert_eq!(
+            summary.findings,
+            0,
+            "sanitizer findings:\n{}",
+            summary.details.join("\n")
+        );
+    }
+
+    #[test]
+    fn matrices_have_expected_shapes() {
+        let full = SanitizeMatrix::full();
+        assert_eq!(full.ns, vec![1 << 16, 1 << 20]);
+        assert_eq!(full.ks, vec![32, 1024]);
+        assert_eq!(full.batches, vec![1, 32]);
+        assert_eq!(full.chaos_seeds.len(), 3);
+        let smoke = SanitizeMatrix::smoke();
+        assert_eq!(smoke.ns, vec![1 << 16]);
+        assert_eq!(smoke.batches, vec![1, 8]);
+    }
+}

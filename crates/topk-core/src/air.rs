@@ -417,10 +417,14 @@ impl AirTopK {
         let out_idx = outs.alloc::<u32>(gpu, "air_out_idx", batch * k)?;
 
         // No init kernel: K and N are launch constants baked into the
-        // kernels (as RAFT does), and the zeroed workspace comes from
-        // the allocator (cudaMemsetAsync territory). The remaining-K
-        // control slot only becomes live once pass 0's last block
-        // writes it.
+        // kernels (as RAFT does). Control words, histograms, and done
+        // counters start from an explicit host memset (cudaMemsetAsync
+        // territory — allocation contents are garbage on a real
+        // device). The remaining-K control slot only becomes live once
+        // pass 0's last block writes it.
+        ctrl.fill(0);
+        hist.fill(0);
+        done.fill(0);
         let adaptive = self.cfg.adaptive;
         let early_stop = self.cfg.early_stop;
         let alpha = self.cfg.alpha;

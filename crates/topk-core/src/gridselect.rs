@@ -594,9 +594,19 @@ where
     // MERGE_FANIN lists into one, repeated until one list per problem
     // remains. log_8(256) = 3 extra launches at most.
     const MERGE_FANIN: usize = 8;
+    // Surviving list `l` lives at scratch slot `l * stride`; merged
+    // results stay in each group's *first input slot* rather than
+    // compacting to the scratch prefix. Compaction would race: with
+    // several merge blocks in one launch, group 0 still reads slot 1
+    // (its second input) while group 1 writes its result there.
+    // Leaving results in place keeps every block's reads and writes on
+    // its own disjoint slot set, at the cost of a stride multiplier
+    // per round.
+    let mut stride = 1usize;
     while lists > 1 {
         let groups = lists.div_ceil(MERGE_FANIN);
         let cur = lists;
+        let step = stride;
         gpu.try_launch(
             "gridselect_merge_kernel",
             LaunchConfig::grid_1d(batch * groups, 256),
@@ -605,14 +615,14 @@ where
                 let gidx = ctx.block_idx % groups;
                 let first = gidx * MERGE_FANIN;
                 let last = (first + MERGE_FANIN).min(cur);
-                let base0 = (prob * bpp + first) * klen;
+                let base0 = (prob * bpp + first * step) * klen;
                 let mut keys: Vec<T::Ordered> = (0..klen)
                     .map(|i| ctx.ld(&scratch_keys, base0 + i))
                     .collect();
                 let mut idx: Vec<u32> =
                     (0..klen).map(|i| ctx.ld(&scratch_idx, base0 + i)).collect();
                 for l in first + 1..last {
-                    let b = (prob * bpp + l) * klen;
+                    let b = (prob * bpp + l * step) * klen;
                     let mut qk: Vec<T::Ordered> =
                         (0..klen).map(|i| ctx.ld(&scratch_keys, b + i)).collect();
                     let mut qi: Vec<u32> = (0..klen).map(|i| ctx.ld(&scratch_idx, b + i)).collect();
@@ -628,16 +638,18 @@ where
                         ctx.st(&out_idx[prob], i, idx[i]);
                     }
                 } else {
-                    // Compact back into the scratch prefix.
-                    let dst = (prob * bpp + gidx) * klen;
+                    // Write back to this group's own first slot (the
+                    // list was fully read above, and no other block
+                    // touches it this launch).
                     for i in 0..klen {
-                        ctx.st(&scratch_keys, dst + i, keys[i]);
-                        ctx.st(&scratch_idx, dst + i, idx[i]);
+                        ctx.st(&scratch_keys, base0 + i, keys[i]);
+                        ctx.st(&scratch_idx, base0 + i, idx[i]);
                     }
                 }
             },
         )?;
         lists = groups;
+        stride *= MERGE_FANIN;
     }
 
     Ok((0..batch)

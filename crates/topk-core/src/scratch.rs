@@ -10,7 +10,7 @@
 //! into kernel closures.
 
 use crate::error::TopKError;
-use gpu_sim::{DeviceBuffer, DeviceScalar, Gpu};
+use gpu_sim::{DeviceBuffer, DeviceScalar, Gpu, ShadowToken};
 
 /// Accumulates the byte total of a group of device allocations so they
 /// can be released together on success *or* error.
@@ -29,6 +29,10 @@ use gpu_sim::{DeviceBuffer, DeviceScalar, Gpu};
 #[derive(Debug, Default)]
 pub struct ScratchGuard {
     bytes: usize,
+    /// Sanitizer shadows of the tracked buffers (empty when no
+    /// sanitizer is armed); marked freed on release so stale-scratch
+    /// reuse shows up as use-after-free.
+    tokens: Vec<ShadowToken>,
 }
 
 impl ScratchGuard {
@@ -47,12 +51,14 @@ impl ScratchGuard {
     ) -> Result<DeviceBuffer<T>, TopKError> {
         let buf = gpu.try_alloc::<T>(label, len)?;
         self.bytes += buf.size_bytes();
+        self.tokens.extend(buf.sanitizer_token());
         Ok(buf)
     }
 
     /// Track a buffer that was allocated elsewhere.
     pub fn adopt<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>) {
         self.bytes += buf.size_bytes();
+        self.tokens.extend(buf.sanitizer_token());
     }
 
     /// Bytes currently tracked.
@@ -60,8 +66,13 @@ impl ScratchGuard {
         self.bytes
     }
 
-    /// Release every tracked byte back to the device allocator.
+    /// Release every tracked byte back to the device allocator. Under
+    /// the sanitizer's memcheck, any later access to a released buffer
+    /// is reported as a use-after-free.
     pub fn release(self, gpu: &mut Gpu) {
+        for token in &self.tokens {
+            token.mark_freed();
+        }
         gpu.free_bytes(self.bytes);
     }
 }

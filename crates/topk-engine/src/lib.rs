@@ -106,7 +106,9 @@ pub use trace::chrome_trace;
 
 // Fault-injection vocabulary, re-exported so engine users can build a
 // [`FaultPlan`] without depending on `gpu-sim` directly.
-pub use gpu_sim::{FaultEvent, FaultInjector, FaultKind, FaultPlan, ScriptedFault};
+pub use gpu_sim::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, SanitizerCounts, SanitizerMode, ScriptedFault,
+};
 
 use gpu_sim::{DeviceSpec, Gpu, KernelReport, SimError};
 use std::collections::HashMap;
@@ -184,6 +186,12 @@ pub struct EngineConfig {
     /// the retry budget or the device pool is exhausted (default
     /// `true`); when `false` they fail with a typed error instead.
     pub cpu_fallback: bool,
+    /// Sanitizer analyses armed on every pool device (default all-off).
+    /// The sanitizer never perturbs simulated costs, so serving
+    /// latencies and [`DrainReport::chaos_digest`] are unchanged;
+    /// findings surface in [`DeviceReport::sanitizer`] and
+    /// [`DrainReport::sanitizer`].
+    pub sanitizer: SanitizerMode,
 }
 
 impl EngineConfig {
@@ -200,6 +208,7 @@ impl EngineConfig {
             breaker: BreakerConfig::default(),
             deadline_us: None,
             cpu_fallback: true,
+            sanitizer: SanitizerMode::off(),
         }
     }
 
@@ -255,6 +264,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_cpu_fallback(mut self, enabled: bool) -> Self {
         self.cpu_fallback = enabled;
+        self
+    }
+
+    /// Arm sanitizer analyses on every pool device.
+    #[must_use]
+    pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
+        self.sanitizer = mode;
         self
     }
 }
@@ -443,6 +459,11 @@ pub struct DeviceReport {
     /// in firing order. Empty without a
     /// [`EngineConfig::fault_plan`].
     pub fault_events: Vec<FaultEvent>,
+    /// Sanitizer occurrences flagged on this device *during this
+    /// drain* (zero without [`EngineConfig::sanitizer`]). Deduplicated
+    /// findings accumulate on the device; read them via the engine's
+    /// [`TopKEngine::sanitizer_findings`].
+    pub sanitizer: SanitizerCounts,
 }
 
 /// Result of [`TopKEngine::drain`]: per-query results in submission
@@ -472,6 +493,12 @@ pub struct DrainReport {
     pub deadline_misses: u64,
     /// Circuit-breaker quarantines tripped during this drain.
     pub quarantines: u64,
+    /// Sanitizer occurrences over all pool devices during this drain
+    /// (sum of every [`DeviceReport::sanitizer`]). Deliberately *not*
+    /// folded into [`DrainReport::chaos_digest`]: digests stay
+    /// comparable between sanitized and unsanitized runs, which is how
+    /// CI proves the sanitizer is cost-invisible.
+    pub sanitizer: SanitizerCounts,
 }
 
 impl DrainReport {
@@ -781,6 +808,11 @@ impl TopKEngine {
                 gpu.set_fault_injector(plan.injector_for(dev));
             }
         }
+        if config.sanitizer.enabled() {
+            for gpu in &mut gpus {
+                gpu.enable_sanitizer(config.sanitizer);
+            }
+        }
         let device_stats = vec![DeviceStats::default(); config.devices.len()];
         let health = vec![HealthState::default(); config.devices.len()];
         TopKEngine {
@@ -809,6 +841,16 @@ impl TopKEngine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Deduplicated sanitizer findings over the engine's lifetime, one
+    /// list per pool device (empty lists when
+    /// [`EngineConfig::sanitizer`] is off).
+    pub fn sanitizer_findings(&self) -> Vec<Vec<gpu_sim::SanitizerFinding>> {
+        self.gpus
+            .iter()
+            .map(|g| g.sanitizer_report().map_or_else(Vec::new, |r| r.findings))
+            .collect()
     }
 
     /// Queries waiting for the next [`TopKEngine::drain`].
@@ -960,6 +1002,14 @@ impl TopKEngine {
         let drain_t0: Vec<f64> = self.gpus.iter().map(|g| g.elapsed_us()).collect();
         let report_lo: Vec<usize> = self.gpus.iter().map(|g| g.reports().len()).collect();
         let fault_lo: Vec<usize> = self.gpus.iter().map(|g| g.fault_events().len()).collect();
+        let san_lo: Vec<SanitizerCounts> = self
+            .gpus
+            .iter()
+            .map(|g| {
+                g.sanitizer_report()
+                    .map_or_else(SanitizerCounts::default, |r| r.counts)
+            })
+            .collect();
         let quarantines_before: u64 = self.health.iter().map(|h| h.quarantines).sum();
 
         let selector = SelectK::default();
@@ -1142,6 +1192,10 @@ impl TopKEngine {
                     failed: self.health[dev].failed,
                     quarantined: self.health[dev].quarantined_until_us > gpu.elapsed_us(),
                     fault_events: gpu.fault_events()[fault_lo[dev]..].to_vec(),
+                    sanitizer: gpu
+                        .sanitizer_report()
+                        .map_or_else(SanitizerCounts::default, |r| r.counts)
+                        .delta_since(&san_lo[dev]),
                 }
             })
             .collect();
@@ -1164,6 +1218,10 @@ impl TopKEngine {
             .count() as u64;
         let quarantines =
             self.health.iter().map(|h| h.quarantines).sum::<u64>() - quarantines_before;
+        let mut sanitizer = SanitizerCounts::default();
+        for d in &devices {
+            sanitizer.add(&d.sanitizer);
+        }
         let report = DrainReport {
             results,
             devices,
@@ -1173,6 +1231,7 @@ impl TopKEngine {
             cpu_fallbacks,
             deadline_misses,
             quarantines,
+            sanitizer,
         };
         self.record_drain(&report);
         report

@@ -671,3 +671,52 @@ fn latency_stats_ignore_errored_results() {
     assert_eq!(p, 0.0);
     assert!(!p.is_nan());
 }
+
+#[test]
+fn sanitized_drain_is_clean_and_digest_matches_unsanitized() {
+    let run = |sanitize: bool| {
+        let mut cfg = EngineConfig::a100_pool(2).with_window(4);
+        if sanitize {
+            cfg = cfg.with_sanitizer(SanitizerMode::full());
+        }
+        let mut engine = TopKEngine::new(cfg);
+        for q in 0..12 {
+            let n = if q % 2 == 0 { 2048 } else { 4096 };
+            let data = generate(Distribution::Uniform, n, 900 + q as u64);
+            engine.submit(data, 32).unwrap();
+        }
+        let report = engine.drain();
+        assert!(report.results.iter().all(|r| r.outcome.is_ok()));
+        (report.sanitizer, report.chaos_digest(), engine)
+    };
+
+    let (san_off, digest_off, _) = run(false);
+    let (san_on, digest_on, engine_on) = run(true);
+    assert_eq!(san_off.total(), 0, "off mode never counts");
+    assert_eq!(
+        san_on.total(),
+        0,
+        "serving path must be sanitizer-clean: {:?}",
+        engine_on.sanitizer_findings()
+    );
+    assert_eq!(
+        digest_off, digest_on,
+        "sanitizer must not perturb the chaos digest"
+    );
+}
+
+#[test]
+fn sanitizer_counts_are_drain_relative() {
+    let mut engine =
+        TopKEngine::new(EngineConfig::a100_pool(1).with_sanitizer(SanitizerMode::full()));
+    let data = generate(Distribution::Uniform, 1024, 7);
+    engine.submit(data.clone(), 16).unwrap();
+    let first = engine.drain();
+    engine.submit(data, 16).unwrap();
+    let second = engine.drain();
+    // Clean drains: both deltas are zero even though the device (and
+    // its cumulative counters) persists between them.
+    assert_eq!(first.sanitizer.total(), 0);
+    assert_eq!(second.sanitizer.total(), 0);
+    assert_eq!(second.devices[0].sanitizer, SanitizerCounts::default());
+}

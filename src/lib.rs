@@ -49,7 +49,10 @@ pub use ::topk_obs;
 /// Everything needed to run a selection, in one import.
 pub mod prelude {
     pub use crate::datagen::{self, AnnDataset, AnnKind, Distribution};
-    pub use crate::gpu_sim::{DeviceSpec, Gpu, LaunchConfig};
+    pub use crate::gpu_sim::{
+        DeviceSpec, Gpu, LaunchConfig, SanitizerCounts, SanitizerFinding, SanitizerMode,
+        SanitizerReport,
+    };
     pub use crate::topk_baselines::{
         BitonicTopK, BlockSelect, BucketSelect, QuickSelect, RadixSelect, SampleSelect, SortTopK,
         WarpSelect,
