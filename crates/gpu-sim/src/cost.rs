@@ -152,6 +152,43 @@ pub fn memcpy_cost(spec: &DeviceSpec, bytes: usize) -> f64 {
     spec.pcie_latency_us + bytes as f64 / spec.pcie_bw_bytes_per_us()
 }
 
+/// One launch of a *hypothetical* kernel: the launch shape plus the
+/// activity it is predicted to meter. This is the planning-side mirror
+/// of what [`kernel_cost`] receives after a real (simulated) run —
+/// an autotuner can describe a candidate algorithm as a sequence of
+/// these and price it without executing anything.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlannedLaunch {
+    /// Thread blocks in the launch.
+    pub grid_dim: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+    /// Predicted metered activity across all blocks.
+    pub stats: KernelStats,
+}
+
+impl PlannedLaunch {
+    /// Price this launch alone (no inter-launch gap).
+    pub fn cost(&self, spec: &DeviceSpec) -> CostBreakdown {
+        kernel_cost(spec, self.grid_dim, self.block_dim, &self.stats)
+    }
+}
+
+/// Price a back-to-back sequence of asynchronous launches, µs: each
+/// launch pays its full [`kernel_cost`] (exec + launch overhead), and
+/// consecutive launches are separated by the device-side scheduling
+/// gap. This is the quantity an end-to-end trace of one algorithm
+/// invocation shows (Fig. 8's bars without the host-sync white space),
+/// and the objective the `topk-core` planner minimises.
+pub fn sequence_cost(spec: &DeviceSpec, launches: &[PlannedLaunch]) -> f64 {
+    let gaps = spec.kernel_gap_us * launches.len().saturating_sub(1) as f64;
+    launches
+        .iter()
+        .map(|l| l.cost(spec).total_us())
+        .sum::<f64>()
+        + gaps
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +322,40 @@ mod tests {
         let expect = (s.sm_count * 4) as f64 / s.warps_to_saturate as f64;
         assert!((heavy.occupancy - expect).abs() < 1e-9);
         assert!(heavy.exec_us > light.exec_us * 3.0);
+    }
+
+    #[test]
+    fn sequence_cost_sums_launches_and_gaps() {
+        let s = spec();
+        let empty = PlannedLaunch {
+            grid_dim: 1,
+            block_dim: 32,
+            ..PlannedLaunch::default()
+        };
+        // Empty sequence costs nothing; one launch pays no gap.
+        assert_eq!(sequence_cost(&s, &[]), 0.0);
+        let one = sequence_cost(&s, &[empty]);
+        assert!((one - (s.kernel_floor_us + s.kernel_launch_us)).abs() < 1e-9);
+        // Three launches: 3 × (floor + launch) + 2 gaps.
+        let three = sequence_cost(&s, &[empty, empty, empty]);
+        assert!((three - (3.0 * one + 2.0 * s.kernel_gap_us)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planned_launch_matches_kernel_cost() {
+        let s = spec();
+        let st = KernelStats {
+            bytes_read: 1_000_000,
+            compute_ops: 500_000,
+            shared_mem_bytes: 4096,
+            ..KernelStats::default()
+        };
+        let planned = PlannedLaunch {
+            grid_dim: 256,
+            block_dim: 128,
+            stats: st,
+        };
+        assert_eq!(planned.cost(&s), kernel_cost(&s, 256, 128, &st));
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod sanitizer;
 pub mod trace;
 pub mod warp;
 
-pub use cost::{CostBreakdown, KernelStats};
+pub use cost::{sequence_cost, CostBreakdown, KernelStats, PlannedLaunch};
 pub use device::DeviceSpec;
 pub use error::SimError;
 pub use exec::{BlockCtx, LaunchConfig, SharedMem};

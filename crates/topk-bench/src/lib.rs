@@ -22,6 +22,7 @@
 //! down from the paper's (this harness runs on a laptop-class host);
 //! `--full` selects the paper's exact grid.
 
+pub mod baseline;
 pub mod figures;
 pub mod html;
 pub mod report;

@@ -17,6 +17,9 @@
 //!   tune-alpha [--n N] [--k K]
 //!   verify [--quick]      run the correctness gate over every algorithm
 //!   sanitize [--matrix smoke|full]  run every algorithm under the gpu-sim sanitizer
+//!   baseline [--out FILE] | baseline --check [--file FILE]
+//!                         run the adversarial shape matrix through static and
+//!                         tuned dispatch; write or check BENCH_6.json
 //!   report [--out DIR]    build DIR/report.html (inline-SVG charts) from the CSVs
 //! ```
 //!
@@ -33,7 +36,8 @@ fn usage() -> ! {
        topk-bench engine [--faults SEED] [--fault-rate P] [--deadline-us D] [--digest-out FILE] ...\n\
        topk-bench compare [--algos A,B,..] [--n N] [--k K] [--batch B] [--dist D] [--no-verify]\n\
        topk-bench tune-alpha [--n N] [--k K]\n\
-       topk-bench sanitize [--matrix smoke|full]"
+       topk-bench sanitize [--matrix smoke|full]\n\
+       topk-bench baseline [--out FILE] | baseline --check [--file FILE]"
     );
     std::process::exit(2);
 }
@@ -101,6 +105,45 @@ fn main() {
         };
         let summary = topk_bench::sanitize::run(&matrix);
         std::process::exit(if summary.findings == 0 { 0 } else { 1 });
+    }
+    if cmd == "baseline" {
+        // `baseline [--out FILE]` writes the digest; `baseline --check
+        // [--file FILE]` compares against the committed one and fails
+        // on >5% regressions. `BENCH_REGRESSION_OK=1` downgrades check
+        // failures to warnings (the documented override for intentional
+        // tradeoffs — regenerate and commit the file to record them).
+        let check_mode = args.iter().any(|a| a == "--check");
+        let mut file = PathBuf::from("BENCH_6.json");
+        for flag in ["--out", "--file"] {
+            if let Some(i) = args.iter().position(|a| a == flag) {
+                file = PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage()));
+            }
+        }
+        let report = topk_bench::baseline::run();
+        topk_bench::baseline::render(&report);
+        if check_mode {
+            let committed = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+                eprintln!("cannot read baseline {}: {e}", file.display());
+                std::process::exit(2);
+            });
+            let failures = topk_bench::baseline::check(&report, &committed);
+            if failures.is_empty() {
+                eprintln!("[topk-bench] baseline check passed vs {}", file.display());
+                std::process::exit(0);
+            }
+            for f in &failures {
+                eprintln!("[topk-bench] REGRESSION: {f}");
+            }
+            if std::env::var_os("BENCH_REGRESSION_OK").is_some() {
+                eprintln!("[topk-bench] BENCH_REGRESSION_OK set; not failing");
+                std::process::exit(0);
+            }
+            std::process::exit(1);
+        }
+        let json = topk_bench::baseline::to_json(&report);
+        std::fs::write(&file, json).expect("write baseline");
+        eprintln!("[topk-bench] wrote {}", file.display());
+        return;
     }
     if cmd == "compare" || cmd == "tune-alpha" {
         run_tool(&cmd, &args[1..]);

@@ -13,8 +13,10 @@
 //! Two matrices:
 //!
 //! * `full` — every algorithm (the eight baselines, AIR Top-K,
-//!   GridSelect) × N ∈ {2^16, 2^20} × K ∈ {32, 1024} × batch ∈ {1, 32},
-//!   plus a chaos seed-matrix over the serving engine.
+//!   GridSelect, UnfusedRadix, StreamingSelect, the DrTopK hybrid,
+//!   RadiK, RowWise, and the SelectK dispatcher) × N ∈ {2^16, 2^20} ×
+//!   K ∈ {32, 1024} × batch ∈ {1, 32}, plus a chaos seed-matrix over
+//!   the serving engine.
 //! * `smoke` — the same sweep at N = 2^16 with batch ∈ {1, 8} and a
 //!   single chaos seed; the CI-sized variant.
 
@@ -22,6 +24,7 @@ use datagen::Distribution;
 use gpu_sim::{DeviceSpec, Gpu, SanitizerMode};
 use topk_core::{AirTopK, TopKAlgorithm};
 use topk_engine::{EngineConfig, FaultPlan, TopKEngine};
+use topk_hybrid::DrTopK;
 
 /// One sweep's shape grid.
 #[derive(Debug, Clone)]
@@ -78,12 +81,20 @@ pub struct SanitizeSummary {
     pub details: Vec<String>,
 }
 
-/// The algorithm set the gate covers: the eight baselines plus the
-/// paper's two new methods.
+/// The algorithm set the gate covers: the eight baselines, the paper's
+/// two new methods, the extension algorithms (UnfusedRadix, the
+/// streaming adapter, the DrTopK hybrid, RadiK, RowWise), and the
+/// adaptive dispatcher itself — everything a query can route through.
 fn gate_algorithms() -> Vec<Box<dyn TopKAlgorithm>> {
     let mut algs = topk_baselines::all_baselines();
     algs.push(Box::new(AirTopK::default()));
     algs.push(Box::new(topk_core::GridSelect::default()));
+    algs.push(Box::new(topk_core::UnfusedRadix::default()));
+    algs.push(Box::new(topk_core::StreamingSelect::default()));
+    algs.push(Box::new(DrTopK::new(AirTopK::default())));
+    algs.push(Box::new(topk_core::RadiK::default()));
+    algs.push(Box::new(topk_core::RowWiseTopK::default()));
+    algs.push(Box::new(topk_core::SelectK::default()));
     algs
 }
 

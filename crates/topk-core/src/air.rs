@@ -99,29 +99,31 @@ pub const ONE_BLOCK_THRESHOLD: usize = 8192;
 /// How a batched kernel reads its per-problem inputs: either a slice
 /// of separate row buffers (the convenience API) or one contiguous
 /// row-major matrix (RAFT's `matrix::select_k` shape, zero copies).
+/// Shared with the other batched radix kernels in this crate
+/// ([`crate::radik`], [`crate::rowwise`]).
 #[derive(Clone, Copy)]
-enum Rows<'a, T: RadixKey> {
+pub(crate) enum Rows<'a, T: RadixKey> {
     Slices(&'a [DeviceBuffer<T>]),
     Matrix(&'a crate::matrix::DeviceMatrix<T>),
 }
 
 impl<'a, T: RadixKey> Rows<'a, T> {
     #[inline(always)]
-    fn ld(&self, ctx: &mut gpu_sim::BlockCtx<'_>, prob: usize, i: usize) -> T {
+    pub(crate) fn ld(&self, ctx: &mut gpu_sim::BlockCtx<'_>, prob: usize, i: usize) -> T {
         match self {
             Rows::Slices(v) => ctx.ld(&v[prob], i),
             Rows::Matrix(m) => ctx.ld(m.buffer(), prob * m.cols() + i),
         }
     }
 
-    fn batch(&self) -> usize {
+    pub(crate) fn batch(&self) -> usize {
         match self {
             Rows::Slices(v) => v.len(),
             Rows::Matrix(m) => m.rows(),
         }
     }
 
-    fn n(&self) -> usize {
+    pub(crate) fn n(&self) -> usize {
         match self {
             Rows::Slices(v) => v.first().map_or(0, |b| b.len()),
             Rows::Matrix(m) => m.cols(),
@@ -871,7 +873,7 @@ impl AirTopK {
 
 /// Copy `len` elements at `offset` of `src` into a fresh buffer — the
 /// host-side equivalent of taking a device-pointer offset view.
-fn slice_buffer<T: gpu_sim::DeviceScalar>(
+pub(crate) fn slice_buffer<T: gpu_sim::DeviceScalar>(
     src: &DeviceBuffer<T>,
     offset: usize,
     len: usize,

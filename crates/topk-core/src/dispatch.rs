@@ -1,26 +1,43 @@
 //! Automatic algorithm dispatch — the production `select_k` entry
 //! point.
 //!
-//! The paper closes §5.1 with usage guidelines:
+//! Dispatch is two-tiered:
 //!
-//! 1. to process data on-the-fly, use GridSelect;
-//! 2. for large N and small K (< 256) the two contributions trade
-//!    places depending on the distribution;
-//! 3. in most other cases, use AIR Top-K.
+//! * **Static prior.** The paper closes §5.1 with usage guidelines —
+//!   GridSelect for small K on large single inputs, AIR Top-K in most
+//!   other cases — and [`SelectK::choice`] encodes them verbatim (the
+//!   same study RAFT's `select_k` dispatch table was fitted on). This
+//!   is the zero-knowledge routing: correct on average, blind to value
+//!   distribution and batch geometry.
+//! * **Cost-model-guided tuner.** By default [`SelectK`] consults a
+//!   [`Tuner`]: the problem shape — `(n, k,
+//!   batch)` plus an optional [`DistSketch`] of the values — is priced
+//!   against every viable configuration (AIR and
+//!   [`RadiK`] at both digit widths,
+//!   [`GridSelect`], the fused [`RowWiseTopK`](crate::rowwise)) using
+//!   the simulator's own analytic roofline, and the cheapest plan wins.
+//!   Plans are cached per quantised shape and self-correct as observed
+//!   latencies flow back through [`SelectK::observe`]. The static prior
+//!   remains both the fallback when tuning is disabled
+//!   ([`SelectK::static_prior`]) and the safety net if a tuned
+//!   configuration reports an unsupported shape.
 //!
-//! RAFT's `select_k` encodes the same study as a dispatch table (its
-//! heuristic was fitted on exactly the benchmark this repository
-//! reproduces). [`SelectK`] does likewise: small K on large inputs
-//! goes to GridSelect, everything else to AIR Top-K, with the trivial
-//! and small-N cases handled by AIR's internal fast paths.
+//! The sketch-aware entry points ([`SelectK::try_select_with_sketch`],
+//! [`SelectK::try_select_batch_with_sketch`]) are what the serving
+//! engine calls: a per-query distribution sketch routes adversarially
+//! skewed inputs away from AIR's degenerate histogram passes and
+//! many-small-row batches onto the single-launch row-wise path.
 
-use crate::air::AirTopK;
+use crate::air::{AirConfig, AirTopK};
 use crate::error::TopKError;
 use crate::gridselect::{GridSelect, MAX_K as GRID_MAX_K};
+use crate::radik::{RadiK, RadiKConfig};
+use crate::rowwise::RowWiseTopK;
 use crate::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput};
-use gpu_sim::{DeviceBuffer, Gpu};
+use crate::tuner::{DistSketch, Plan, ProblemShape, TunedAlgo, Tuner};
+use gpu_sim::{DeviceBuffer, DeviceSpec, Gpu};
 
-/// Which algorithm the dispatcher picked (returned by
+/// Which algorithm the static prior picked (returned by
 /// [`SelectK::choice`] so callers can log / assert the routing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Choice {
@@ -45,6 +62,9 @@ pub enum Choice {
 pub struct SelectK {
     air: AirTopK,
     grid: GridSelect,
+    radik: RadiK,
+    rowwise: RowWiseTopK,
+    tuner: Option<Tuner>,
     /// K at or below which GridSelect is preferred on large inputs
     /// (the paper's guideline 2 uses 256; the measured crossover on
     /// this simulator sits in the same decade).
@@ -59,6 +79,9 @@ impl Default for SelectK {
         SelectK {
             air: AirTopK::default(),
             grid: GridSelect::default(),
+            radik: RadiK::default(),
+            rowwise: RowWiseTopK::default(),
+            tuner: Some(Tuner::new()),
             small_k_threshold: 256,
             large_n_threshold: 1 << 16,
         }
@@ -75,7 +98,33 @@ impl SelectK {
         }
     }
 
-    /// The routing decision for a problem shape, without running it.
+    /// A dispatcher that uses only the static §5.1 guidelines — no
+    /// plan table, no cost model. This is the pre-tuner behaviour and
+    /// the baseline the benchmarks compare against.
+    pub fn static_prior() -> Self {
+        SelectK {
+            tuner: None,
+            ..SelectK::default()
+        }
+    }
+
+    /// Seed the dispatcher with an existing tuner (for example one
+    /// whose plan table was loaded from disk).
+    pub fn with_tuner(tuner: Tuner) -> Self {
+        SelectK {
+            tuner: Some(tuner),
+            ..SelectK::default()
+        }
+    }
+
+    /// The tuner, if adaptive dispatch is enabled.
+    pub fn tuner(&self) -> Option<&Tuner> {
+        self.tuner.as_ref()
+    }
+
+    /// The static routing decision for a problem shape, without
+    /// running it. This is the zero-knowledge prior; the tuned path
+    /// may override it.
     pub fn choice(&self, n: usize, k: usize, batch: usize) -> Choice {
         // Guideline 2/3: GridSelect for small K on large single
         // problems; AIR everywhere else. Batched workloads amortise
@@ -89,6 +138,159 @@ impl SelectK {
             Choice::Grid
         } else {
             Choice::Air
+        }
+    }
+
+    /// The tuned plan for a shape, if adaptive dispatch is enabled.
+    pub fn plan(&self, spec: &DeviceSpec, shape: &ProblemShape) -> Option<Plan> {
+        self.tuner.as_ref().map(|t| t.plan(spec, shape))
+    }
+
+    /// Feed an observed latency back into the tuner (no-op for a
+    /// static dispatcher). The serving engine calls this with measured
+    /// per-query kernel time so mispredicted plans self-correct.
+    pub fn observe(&self, spec: &DeviceSpec, shape: &ProblemShape, observed_us: f64) {
+        if let Some(tuner) = &self.tuner {
+            tuner.observe(spec, shape, observed_us);
+        }
+    }
+
+    fn static_algo(&self, n: usize, k: usize, batch: usize) -> TunedAlgo {
+        match self.choice(n, k, batch) {
+            Choice::Air => TunedAlgo::Air {
+                bits_per_pass: AirConfig::default().bits_per_pass,
+            },
+            Choice::Grid => TunedAlgo::Grid,
+        }
+    }
+
+    fn route(&self, spec: &DeviceSpec, shape: &ProblemShape) -> TunedAlgo {
+        match &self.tuner {
+            Some(tuner) => tuner.plan(spec, shape).algo,
+            None => self.static_algo(shape.n, shape.k, shape.batch),
+        }
+    }
+
+    fn run_single(
+        &self,
+        algo: TunedAlgo,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        match algo {
+            TunedAlgo::Air { bits_per_pass } => {
+                if bits_per_pass == AirConfig::default().bits_per_pass {
+                    self.air.try_select(gpu, input, k)
+                } else {
+                    AirTopK::new(AirConfig {
+                        bits_per_pass,
+                        ..AirConfig::default()
+                    })
+                    .try_select(gpu, input, k)
+                }
+            }
+            TunedAlgo::Grid => self.grid.try_select(gpu, input, k),
+            TunedAlgo::RadiK { bits_per_pass } => {
+                if bits_per_pass == RadiKConfig::default().bits_per_pass {
+                    self.radik.try_select(gpu, input, k)
+                } else {
+                    RadiK::new(RadiKConfig {
+                        bits_per_pass,
+                        ..RadiKConfig::default()
+                    })
+                    .try_select(gpu, input, k)
+                }
+            }
+            TunedAlgo::RowWise => self.rowwise.try_select(gpu, input, k),
+        }
+    }
+
+    fn run_batch(
+        &self,
+        algo: TunedAlgo,
+        gpu: &mut Gpu,
+        inputs: &[DeviceBuffer<f32>],
+        k: usize,
+    ) -> Result<Vec<TopKOutput>, TopKError> {
+        match algo {
+            TunedAlgo::Air { bits_per_pass } => {
+                if bits_per_pass == AirConfig::default().bits_per_pass {
+                    self.air.try_select_batch(gpu, inputs, k)
+                } else {
+                    AirTopK::new(AirConfig {
+                        bits_per_pass,
+                        ..AirConfig::default()
+                    })
+                    .try_select_batch(gpu, inputs, k)
+                }
+            }
+            TunedAlgo::Grid => self.grid.try_select_batch(gpu, inputs, k),
+            TunedAlgo::RadiK { bits_per_pass } => {
+                if bits_per_pass == RadiKConfig::default().bits_per_pass {
+                    self.radik.try_select_batch(gpu, inputs, k)
+                } else {
+                    RadiK::new(RadiKConfig {
+                        bits_per_pass,
+                        ..RadiKConfig::default()
+                    })
+                    .try_select_batch(gpu, inputs, k)
+                }
+            }
+            TunedAlgo::RowWise => self.rowwise.try_select_batch(gpu, inputs, k),
+        }
+    }
+
+    /// Single-problem selection with a caller-provided distribution
+    /// sketch (see [`DistSketch::from_sample`]).
+    pub fn try_select_with_sketch(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+        sketch: DistSketch,
+    ) -> Result<TopKOutput, TopKError> {
+        check_args(self, input.len(), k)?;
+        let shape = ProblemShape::new(input.len(), k, 1).with_sketch(sketch);
+        let algo = self.route(gpu.spec(), &shape);
+        match self.run_single(algo, gpu, input, k) {
+            // The candidate gates make this unreachable in practice,
+            // but if a tuned pick ever reports a shape it cannot
+            // handle we fall back to the static prior rather than
+            // failing the query.
+            Err(TopKError::UnsupportedShape { .. } | TopKError::InvalidK { .. })
+                if self.tuner.is_some() =>
+            {
+                let fallback = self.static_algo(input.len(), k, 1);
+                self.run_single(fallback, gpu, input, k)
+            }
+            result => result,
+        }
+    }
+
+    /// Batched selection with a caller-provided distribution sketch.
+    pub fn try_select_batch_with_sketch(
+        &self,
+        gpu: &mut Gpu,
+        inputs: &[DeviceBuffer<f32>],
+        k: usize,
+        sketch: DistSketch,
+    ) -> Result<Vec<TopKOutput>, TopKError> {
+        let n = check_batch(self, inputs)?;
+        check_args(self, n, k)?;
+        // Route on the *real* batch size: batching amortises launch
+        // overhead differently for every algorithm, and collapsing it
+        // to 1 here would silently re-route every coalesced query.
+        let shape = ProblemShape::new(n, k, inputs.len()).with_sketch(sketch);
+        let algo = self.route(gpu.spec(), &shape);
+        match self.run_batch(algo, gpu, inputs, k) {
+            Err(TopKError::UnsupportedShape { .. } | TopKError::InvalidK { .. })
+                if self.tuner.is_some() =>
+            {
+                let fallback = self.static_algo(n, k, inputs.len());
+                self.run_batch(fallback, gpu, inputs, k)
+            }
+            result => result,
         }
     }
 }
@@ -108,11 +310,7 @@ impl TopKAlgorithm for SelectK {
         input: &DeviceBuffer<f32>,
         k: usize,
     ) -> Result<TopKOutput, TopKError> {
-        check_args(self, input.len(), k)?;
-        match self.choice(input.len(), k, 1) {
-            Choice::Grid => self.grid.try_select(gpu, input, k),
-            Choice::Air => self.air.try_select(gpu, input, k),
-        }
+        self.try_select_with_sketch(gpu, input, k, DistSketch::uniform())
     }
 
     fn try_select_batch(
@@ -121,12 +319,7 @@ impl TopKAlgorithm for SelectK {
         inputs: &[DeviceBuffer<f32>],
         k: usize,
     ) -> Result<Vec<TopKOutput>, TopKError> {
-        let n = check_batch(self, inputs)?;
-        check_args(self, n, k)?;
-        match self.choice(n, k, inputs.len()) {
-            Choice::Grid => self.grid.try_select_batch(gpu, inputs, k),
-            Choice::Air => self.air.try_select_batch(gpu, inputs, k),
-        }
+        self.try_select_batch_with_sketch(gpu, inputs, k, DistSketch::uniform())
     }
 }
 
@@ -205,5 +398,87 @@ mod tests {
         for (d, o) in datas.iter().zip(&outs) {
             verify_topk(d, 32, &o.values.to_vec(), &o.indices.to_vec()).unwrap();
         }
+    }
+
+    #[test]
+    fn sketch_aware_dispatch_stays_correct_on_skew() {
+        let s = SelectK::default();
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        for (n, k) in [(70_000, 64), (16 * 1024, 500), (1 << 18, 4096)] {
+            let data = generate(Distribution::RadixAdversarial { m_bits: 24 }, n, 11);
+            let sketch = DistSketch::from_sample(&data);
+            let input = gpu.htod("in", &data);
+            let out = s
+                .try_select_with_sketch(&mut gpu, &input, k, sketch)
+                .unwrap();
+            verify_topk(&data, k, &out.values.to_vec(), &out.indices.to_vec())
+                .unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn tuned_dispatch_beats_static_on_adversarial_batches() {
+        // A skewed, batched workload: the static prior routes it to
+        // AIR, whose histogram passes degenerate on the shared prefix.
+        // The tuner must find a materially faster plan.
+        let n = 1 << 18;
+        let k = 128;
+        let batch = 8;
+        let datas: Vec<Vec<f32>> = (0..batch)
+            .map(|i| generate(Distribution::RadixAdversarial { m_bits: 24 }, n, i as u64))
+            .collect();
+        let sketch = DistSketch::from_sample(&datas[0]);
+        assert!(sketch.dist_class() >= 2, "sketch: {sketch:?}");
+
+        let time = |s: &SelectK| {
+            let mut gpu = Gpu::new(DeviceSpec::a100());
+            let inputs: Vec<_> = datas
+                .iter()
+                .enumerate()
+                .map(|(i, d)| gpu.htod(&format!("p{i}"), d))
+                .collect();
+            gpu.reset_profile();
+            let outs = s
+                .try_select_batch_with_sketch(&mut gpu, &inputs, k, sketch)
+                .unwrap();
+            for (d, o) in datas.iter().zip(&outs) {
+                verify_topk(d, k, &o.values.to_vec(), &o.indices.to_vec()).unwrap();
+            }
+            gpu.elapsed_us()
+        };
+
+        let static_us = time(&SelectK::static_prior());
+        let tuned_us = time(&SelectK::default());
+        assert!(
+            tuned_us < static_us,
+            "tuned {tuned_us:.1}µs vs static {static_us:.1}µs"
+        );
+    }
+
+    #[test]
+    fn unsupported_tuned_pick_falls_back_to_the_static_prior() {
+        // Force a plan that is invalid for the actual shape by loading
+        // a poisoned table: RowWise caps k at 2048, so a RowWise plan
+        // for a k=4096 bucket must fall back rather than fail.
+        let tuner = Tuner::new();
+        let shape = ProblemShape::new(16 * 1024, 4096, 1);
+        let key = crate::tuner::PlanKey::of(&shape);
+        let mut table = crate::tuner::PlanTable::new();
+        table.insert(
+            key,
+            Plan {
+                algo: TunedAlgo::RowWise,
+                predicted_us: 1.0,
+                raw_us: 1.0,
+            },
+        );
+        tuner.load_table_text(&table.to_text()).unwrap();
+        let s = SelectK::with_tuner(tuner);
+
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let data = generate(Distribution::Uniform, 16 * 1024, 5);
+        let input = gpu.htod("in", &data);
+        let out = s.select(&mut gpu, &input, 4096);
+        verify_topk(&data, 4096, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
     }
 }

@@ -253,6 +253,33 @@ pub fn digit(bits: u32, pass: u32, bits_per_pass: u32) -> u32 {
     (bits >> shift) & (((1u64 << width) - 1) as u32)
 }
 
+/// Extract an arbitrary-position digit: the `width` bits of `bits`
+/// starting `offset` bits from the most-significant end. Unlike
+/// [`digit_of`], the field is not tied to a fixed pass grid — this is
+/// what RadiK-style *adaptive digit ordering* needs, where each pass's
+/// bit window starts wherever the previous pass's surviving candidates
+/// stopped sharing a prefix.
+#[inline(always)]
+pub fn digit_at<O: OrderedBits>(bits: O, offset: u32, width: u32) -> u32 {
+    debug_assert!(offset + width <= O::BITS, "digit window out of range");
+    debug_assert!((1..=16).contains(&width), "digit width out of range");
+    (bits.shr(O::BITS - offset - width).to_u64() & ((1u64 << width) - 1)) as u32
+}
+
+/// Length of the common most-significant-bit prefix of two keys:
+/// `O::BITS` when they are equal. Two radix-adversarial keys sharing
+/// their top `m` bits return at least `m` — the quantity a
+/// skew-resistant selector uses to skip degenerate passes.
+#[inline(always)]
+pub fn common_prefix_len_of<O: OrderedBits>(a: O, b: O) -> u32 {
+    let x = a.to_u64() ^ b.to_u64();
+    if x == 0 {
+        O::BITS
+    } else {
+        x.leading_zeros() - (64 - O::BITS)
+    }
+}
+
 /// The high `n` bits of `bits` (the accumulated prefix after `n` bits
 /// have been processed), widened to `u64`. `prefix_of(bits, 0) == 0`.
 #[inline(always)]
@@ -438,6 +465,35 @@ mod tests {
         let bits = 0b0111u32 << 28;
         assert_eq!(digit(bits, 0, 2), 0b01);
         assert_eq!(digit(bits, 1, 2), 0b11);
+    }
+
+    #[test]
+    fn digit_at_reads_arbitrary_windows() {
+        let bits = 0xABCD_1234u32;
+        // Aligned windows agree with the pass-grid extraction.
+        for b in [8u32, 11] {
+            for p in 0..num_passes(b) {
+                let off = p * b;
+                let w = digit_width(p, b);
+                assert_eq!(digit_at::<u32>(bits, off, w), digit(bits, p, b));
+            }
+        }
+        // Unaligned windows: bits 4..12 of 0xABCD_1234 are 0xBC.
+        assert_eq!(digit_at::<u32>(bits, 4, 8), 0xBC);
+        assert_eq!(digit_at::<u64>(0xABCD_0000_0000_0000u64, 4, 8), 0xBC);
+    }
+
+    #[test]
+    fn common_prefix_len_counts_shared_top_bits() {
+        assert_eq!(common_prefix_len_of::<u32>(0, 0), 32);
+        assert_eq!(common_prefix_len_of::<u32>(u32::MAX, u32::MAX), 32);
+        assert_eq!(common_prefix_len_of::<u32>(0, 1 << 31), 0);
+        assert_eq!(common_prefix_len_of::<u32>(0xFF00_0000, 0xFF80_0000), 8);
+        assert_eq!(common_prefix_len_of::<u64>(0, 1), 63);
+        // §3.2 adversarial floats: top 20 ordered bits shared.
+        let a = 1.0f32.to_ordered();
+        let b = f32::from_bits(0x3F80_0FFF).to_ordered();
+        assert!(common_prefix_len_of::<u32>(a, b) >= 20);
     }
 
     #[test]

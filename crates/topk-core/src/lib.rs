@@ -35,9 +35,12 @@ pub mod keys;
 pub mod largest;
 pub mod matrix;
 pub mod obs;
+pub mod radik;
+pub mod rowwise;
 pub mod scratch;
 pub mod streaming;
 pub mod traits;
+pub mod tuner;
 pub mod unfused;
 pub mod verify;
 
@@ -49,8 +52,11 @@ pub use keys::RadixKey;
 pub use largest::{reference_largest, SelectLargest};
 pub use matrix::DeviceMatrix;
 pub use obs::{AlgoCounters, AlgoSnapshot};
+pub use radik::{RadiK, RadiKConfig};
+pub use rowwise::{RowWiseConfig, RowWiseTopK, ROWWISE_MAX_K};
 pub use scratch::ScratchGuard;
-pub use streaming::WarpSelector;
+pub use streaming::{StreamingSelect, WarpSelector};
 pub use traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput, TypedOutput};
+pub use tuner::{DistSketch, Plan, PlanKey, PlanTable, ProblemShape, TunedAlgo, Tuner};
 pub use unfused::UnfusedRadix;
 pub use verify::{reference_topk, verify_topk, verify_topk_typed, VerifyError};

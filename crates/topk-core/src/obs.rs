@@ -53,6 +53,23 @@ pub struct AlgoCounters {
     /// GridSelect: list-vs-list merges (cross-warp merges inside a
     /// block plus the tree-merge kernel's folds).
     pub gridselect_list_merges: AtomicU64,
+    /// RadiK: radix rounds completed (one per problem per round,
+    /// counted by the last finishing block).
+    pub radik_rounds: AtomicU64,
+    /// RadiK: total key bits skipped by adaptive digit ordering — the
+    /// shared-prefix bits the sketch pass and per-round min/max
+    /// tracking let the selector jump over instead of histogramming.
+    pub radik_skipped_bits: AtomicU64,
+    /// RowWise: shared-memory candidate-buffer compactions (the fused
+    /// row-wise path's only non-streaming work).
+    pub rowwise_compactions: AtomicU64,
+    /// Tuner: dispatches served from a cached plan.
+    pub tuner_plan_hits: AtomicU64,
+    /// Tuner: dispatches that had to run the offline planner first.
+    pub tuner_plan_misses: AtomicU64,
+    /// Tuner: plans re-planned because observed latency contradicted
+    /// the cost model's prediction.
+    pub tuner_refinements: AtomicU64,
 }
 
 impl AlgoCounters {
@@ -65,6 +82,12 @@ impl AlgoCounters {
             air_one_block_selections: AtomicU64::new(0),
             gridselect_queue_merges: AtomicU64::new(0),
             gridselect_list_merges: AtomicU64::new(0),
+            radik_rounds: AtomicU64::new(0),
+            radik_skipped_bits: AtomicU64::new(0),
+            rowwise_compactions: AtomicU64::new(0),
+            tuner_plan_hits: AtomicU64::new(0),
+            tuner_plan_misses: AtomicU64::new(0),
+            tuner_refinements: AtomicU64::new(0),
         }
     }
 
@@ -78,6 +101,12 @@ impl AlgoCounters {
             air_one_block_selections: self.air_one_block_selections.load(Relaxed),
             gridselect_queue_merges: self.gridselect_queue_merges.load(Relaxed),
             gridselect_list_merges: self.gridselect_list_merges.load(Relaxed),
+            radik_rounds: self.radik_rounds.load(Relaxed),
+            radik_skipped_bits: self.radik_skipped_bits.load(Relaxed),
+            rowwise_compactions: self.rowwise_compactions.load(Relaxed),
+            tuner_plan_hits: self.tuner_plan_hits.load(Relaxed),
+            tuner_plan_misses: self.tuner_plan_misses.load(Relaxed),
+            tuner_refinements: self.tuner_refinements.load(Relaxed),
         }
     }
 }
@@ -107,6 +136,18 @@ pub struct AlgoSnapshot {
     pub gridselect_queue_merges: u64,
     /// See [`AlgoCounters::gridselect_list_merges`].
     pub gridselect_list_merges: u64,
+    /// See [`AlgoCounters::radik_rounds`].
+    pub radik_rounds: u64,
+    /// See [`AlgoCounters::radik_skipped_bits`].
+    pub radik_skipped_bits: u64,
+    /// See [`AlgoCounters::rowwise_compactions`].
+    pub rowwise_compactions: u64,
+    /// See [`AlgoCounters::tuner_plan_hits`].
+    pub tuner_plan_hits: u64,
+    /// See [`AlgoCounters::tuner_plan_misses`].
+    pub tuner_plan_misses: u64,
+    /// See [`AlgoCounters::tuner_refinements`].
+    pub tuner_refinements: u64,
 }
 
 impl AlgoSnapshot {
@@ -131,6 +172,20 @@ impl AlgoSnapshot {
             gridselect_list_merges: self
                 .gridselect_list_merges
                 .saturating_sub(earlier.gridselect_list_merges),
+            radik_rounds: self.radik_rounds.saturating_sub(earlier.radik_rounds),
+            radik_skipped_bits: self
+                .radik_skipped_bits
+                .saturating_sub(earlier.radik_skipped_bits),
+            rowwise_compactions: self
+                .rowwise_compactions
+                .saturating_sub(earlier.rowwise_compactions),
+            tuner_plan_hits: self.tuner_plan_hits.saturating_sub(earlier.tuner_plan_hits),
+            tuner_plan_misses: self
+                .tuner_plan_misses
+                .saturating_sub(earlier.tuner_plan_misses),
+            tuner_refinements: self
+                .tuner_refinements
+                .saturating_sub(earlier.tuner_refinements),
         }
     }
 }

@@ -19,11 +19,14 @@
 //! the tests below demonstrate the traffic difference on the §5.5 ANN
 //! workload.
 
+use crate::error::TopKError;
 use crate::gridselect::{QueueKind, WarpState};
 use crate::keys::RadixKey;
+use crate::scratch::ScratchGuard;
+use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
 use gpu_sim::device::WARP_SIZE;
 use gpu_sim::warp::Lanes;
-use gpu_sim::BlockCtx;
+use gpu_sim::{BlockCtx, DeviceBuffer, Gpu, LaunchConfig};
 
 /// Maximum supported K, same as the rest of the WarpSelect family.
 pub use crate::gridselect::MAX_K;
@@ -124,6 +127,209 @@ impl WarpSelector {
             payloads.push(self.state.list_idx[i]);
         }
         (values, payloads)
+    }
+}
+
+/// Elements one phase-1 block streams through its [`WarpSelector`].
+const STREAM_CHUNK: usize = 1 << 16;
+
+/// The streaming device function wrapped as a standalone
+/// [`TopKAlgorithm`], so the on-the-fly path runs under the same
+/// correctness and sanitizer gates as the materialised algorithms
+/// (`topk-bench sanitize` / `verify`).
+///
+/// Two phases, both pure [`WarpSelector`] streams: phase 1 launches one
+/// warp per `STREAM_CHUNK`-element chunk, each maintaining a local
+/// top-K and emitting at most K `(value, index)` candidates; phase 2
+/// streams the candidate lists through a single warp to produce the
+/// global top-K. A single-chunk input skips phase 2.
+pub struct StreamingSelect {
+    /// Queueing strategy for every selector (shared queue by default,
+    /// like GridSelect).
+    pub queue: QueueKind,
+}
+
+impl Default for StreamingSelect {
+    fn default() -> Self {
+        StreamingSelect {
+            queue: QueueKind::Shared { len: WARP_SIZE },
+        }
+    }
+}
+
+impl StreamingSelect {
+    /// One phase: stream `src[start..start+len]` (per block) through a
+    /// selector and write each block's results + count to the outputs.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_stream(
+        &self,
+        gpu: &mut Gpu,
+        label: &str,
+        blocks: usize,
+        chunk: usize,
+        n: usize,
+        k: usize,
+        src_val: DeviceBuffer<f32>,
+        out_val: DeviceBuffer<f32>,
+        out_idx: DeviceBuffer<u32>,
+        out_len: DeviceBuffer<u32>,
+    ) -> Result<(), TopKError> {
+        let queue = self.queue;
+        gpu.try_launch(
+            label,
+            LaunchConfig::grid_1d(blocks, WARP_SIZE),
+            move |ctx| {
+                let start = ctx.block_idx * chunk;
+                let end = (start + chunk).min(n);
+                let mut sel = WarpSelector::with_queue(ctx, k, queue);
+                let mut g = start;
+                while g < end {
+                    let mut vals = [0.0f32; WARP_SIZE];
+                    let mut pays = [0u32; WARP_SIZE];
+                    let mut valid = [false; WARP_SIZE];
+                    for lane in 0..WARP_SIZE {
+                        let i = g + lane;
+                        if i < end {
+                            vals[lane] = ctx.ld(&src_val, i);
+                            pays[lane] = i as u32;
+                            valid[lane] = true;
+                        }
+                    }
+                    sel.push(ctx, &vals, &pays, &valid);
+                    g += WARP_SIZE;
+                }
+                let (v, p) = sel.finish(ctx);
+                let base = ctx.block_idx * k;
+                ctx.st(&out_len, ctx.block_idx, v.len() as u32);
+                for (i, (vv, pp)) in v.iter().zip(&p).enumerate() {
+                    ctx.st(&out_val, base + i, *vv);
+                    ctx.st(&out_idx, base + i, *pp);
+                }
+            },
+        )?;
+        Ok(())
+    }
+
+    fn run(
+        &self,
+        gpu: &mut Gpu,
+        ws: &mut ScratchGuard,
+        outs: &mut ScratchGuard,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        let n = input.len();
+        // Full chunks must hold at least K elements so every block but
+        // the last emits exactly K candidates.
+        let chunk = STREAM_CHUNK.max(k);
+        let blocks = n.div_ceil(chunk);
+
+        let out_val = outs.alloc::<f32>(gpu, "ss_out_val", k)?;
+        let out_idx = outs.alloc::<u32>(gpu, "ss_out_idx", k)?;
+        if blocks == 1 {
+            // n >= k, so the lone block emits exactly K results.
+            let count = ws.alloc::<u32>(gpu, "ss_count", 1)?;
+            self.launch_stream(
+                gpu,
+                "stream_select",
+                1,
+                chunk,
+                n,
+                k,
+                input.clone(),
+                out_val.clone(),
+                out_idx.clone(),
+                count,
+            )?;
+            return Ok(TopKOutput::new(out_val, out_idx));
+        }
+
+        // Phase 1: per-chunk local top-K into the candidate lists.
+        let cand_val = ws.alloc::<f32>(gpu, "ss_cand_val", blocks * k)?;
+        let cand_idx = ws.alloc::<u32>(gpu, "ss_cand_idx", blocks * k)?;
+        let cand_len = ws.alloc::<u32>(gpu, "ss_cand_len", blocks)?;
+        self.launch_stream(
+            gpu,
+            "stream_local",
+            blocks,
+            chunk,
+            n,
+            k,
+            input.clone(),
+            cand_val.clone(),
+            cand_idx.clone(),
+            cand_len.clone(),
+        )?;
+
+        // Phase 2: one warp streams the (ragged) candidate lists. Total
+        // candidates >= K because every full chunk contributes K.
+        let count = ws.alloc::<u32>(gpu, "ss_count", 1)?;
+        let queue = self.queue;
+        let (ovc, oic, occ) = (out_val.clone(), out_idx.clone(), count);
+        gpu.try_launch(
+            "stream_merge",
+            LaunchConfig::grid_1d(1, WARP_SIZE),
+            move |ctx| {
+                let mut sel = WarpSelector::with_queue(ctx, k, queue);
+                for b in 0..blocks {
+                    let len = ctx.ld(&cand_len, b) as usize;
+                    let base = b * k;
+                    let mut j = 0;
+                    while j < len {
+                        let mut vals = [0.0f32; WARP_SIZE];
+                        let mut pays = [0u32; WARP_SIZE];
+                        let mut valid = [false; WARP_SIZE];
+                        for lane in 0..WARP_SIZE {
+                            if j + lane < len {
+                                vals[lane] = ctx.ld(&cand_val, base + j + lane);
+                                pays[lane] = ctx.ld(&cand_idx, base + j + lane);
+                                valid[lane] = true;
+                            }
+                        }
+                        sel.push(ctx, &vals, &pays, &valid);
+                        j += WARP_SIZE;
+                    }
+                }
+                let (v, p) = sel.finish(ctx);
+                ctx.st(&occ, 0, v.len() as u32);
+                for (i, (vv, pp)) in v.iter().zip(&p).enumerate() {
+                    ctx.st(&ovc, i, *vv);
+                    ctx.st(&oic, i, *pp);
+                }
+            },
+        )?;
+        Ok(TopKOutput::new(out_val, out_idx))
+    }
+}
+
+impl TopKAlgorithm for StreamingSelect {
+    fn name(&self) -> &'static str {
+        "StreamingSelect"
+    }
+
+    fn category(&self) -> Category {
+        Category::PartialSorting
+    }
+
+    fn max_k(&self) -> Option<usize> {
+        Some(MAX_K)
+    }
+
+    fn try_select(
+        &self,
+        gpu: &mut Gpu,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        check_args(self, input.len(), k)?;
+        let mut ws = ScratchGuard::new();
+        let mut outs = ScratchGuard::new();
+        let r = self.run(gpu, &mut ws, &mut outs, input, k);
+        ws.release(gpu);
+        if r.is_err() {
+            outs.release(gpu);
+        }
+        r
     }
 }
 
@@ -240,6 +446,37 @@ mod tests {
             ctx.st(&oc, 1, v[1]);
         });
         assert_eq!(out.to_vec(), vec![-1.0, 0.5]);
+    }
+
+    #[test]
+    fn streaming_select_algorithm_matches_reference() {
+        // The standalone adapter, both the single-chunk path and the
+        // two-phase (local + merge) path across a chunk boundary.
+        let alg = StreamingSelect::default();
+        for dist in Distribution::benchmark_set() {
+            for (n, k) in [
+                (5000, 33),
+                (STREAM_CHUNK + 1234, 500),
+                (3 * STREAM_CHUNK, 2048),
+            ] {
+                let data = datagen::generate(dist, n, (n + k) as u64);
+                let mut gpu = Gpu::new(DeviceSpec::a100());
+                let input = gpu.htod("in", &data);
+                let out = alg.try_select(&mut gpu, &input, k).unwrap();
+                verify_topk(&data, k, &out.values.to_vec(), &out.indices.to_vec())
+                    .unwrap_or_else(|e| panic!("StreamingSelect n={n} k={k}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_select_rejects_oversized_k() {
+        let alg = StreamingSelect::default();
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let data = datagen::generate(Distribution::Uniform, 10_000, 7);
+        let input = gpu.htod("in", &data);
+        let err = alg.try_select(&mut gpu, &input, MAX_K + 1).unwrap_err();
+        assert!(matches!(err, TopKError::InvalidK { .. }), "{err}");
     }
 
     #[test]

@@ -100,6 +100,11 @@ impl UnfusedRadix {
         let ctrl = ws.alloc::<u32>(gpu, "ur_ctrl", CTRL_LEN)?;
         ctrl.set(K_REM, k as u32);
         ctrl.set(COUNT, n as u32);
+        // The output and tie cursors are only ever advanced by device
+        // atomics; give them defined initial values (initcheck flags
+        // the read-modify-write of a never-written word otherwise).
+        ctrl.set(OUT_CURSOR, 0);
+        ctrl.set(TIE_CURSOR, 0);
         let hist = ws.alloc::<u32>(gpu, "ur_hist", radix)?;
         let psum = ws.alloc::<u32>(gpu, "ur_psum", radix)?;
         // Classic candidate buffers: always used, sized N (§3.2 calls

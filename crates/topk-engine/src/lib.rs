@@ -15,10 +15,16 @@
 //!   batch-100 measurements show why: batching amortises launch
 //!   overhead and fills the grid, so a fused launch beats `B`
 //!   back-to-back single selections.
-//! * Every batch routes through the [`SelectK`] auto-dispatcher, and
-//!   every query comes back as its own [`QueryResult`] carrying a
-//!   `Result` (errors are per-query data, never panics) plus simulated
-//!   **queue-wait** and **latency** metrics read off the device clock.
+//! * Every batch routes through the [`SelectK`] **adaptive
+//!   dispatcher**: each query's distribution sketch (computed at
+//!   submission, merged per batch) and the batch's real `(N, K, B)`
+//!   shape are priced through the cost-model-guided tuner
+//!   ([`topk_core::tuner`]), measured batch latencies feed back via
+//!   `SelectK::observe`, and the warmed plan table persists across
+//!   drains ([`TopKEngine::plan_table_text`]). Every query comes back
+//!   as its own [`QueryResult`] carrying a `Result` (errors are
+//!   per-query data, never panics) plus simulated **queue-wait** and
+//!   **latency** metrics read off the device clock.
 //!
 //! Scheduling is an **event-driven simulated-time loop**: each step
 //! dispatches the runnable batch with the earliest start time onto the
@@ -113,7 +119,8 @@ pub use gpu_sim::{
 use gpu_sim::{DeviceSpec, Gpu, KernelReport, SimError};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use topk_core::{AlgoSnapshot, ScratchGuard, SelectK, TopKAlgorithm, TopKError};
+use topk_core::tuner::{DistSketch, ProblemShape};
+use topk_core::{AlgoSnapshot, ScratchGuard, SelectK, TopKError};
 
 /// Bounded-retry policy for device faults, with simulated exponential
 /// backoff between attempts.
@@ -659,6 +666,9 @@ struct Pending {
     k: usize,
     /// Per-query deadline, µs of simulated time after drain start.
     deadline_us: Option<u64>,
+    /// Distribution sketch computed at submission; routes the query's
+    /// batch through the adaptive dispatcher.
+    sketch: DistSketch,
 }
 
 /// A group of same-shape queries destined for one fused launch set.
@@ -668,6 +678,10 @@ struct Batch {
     n: usize,
     k: usize,
     span: u64,
+    /// Most conservative member sketch (fewest shared prefix bits):
+    /// every row in the fused launch has at least this much skew, which
+    /// is the property the per-row radix passes depend on.
+    sketch: DistSketch,
     queries: Vec<Pending>,
 }
 
@@ -777,6 +791,10 @@ pub struct TopKEngine {
     next_id: usize,
     gpus: Vec<Gpu>,
     health: Vec<HealthState>,
+    /// The adaptive dispatcher. Persists across drains so its plan
+    /// table warms up and its calibration keeps learning from observed
+    /// batch latencies.
+    selector: SelectK,
     metrics: EngineMetrics,
     // Cumulative tallies for EngineSnapshot.
     queries_submitted: u64,
@@ -821,6 +839,7 @@ impl TopKEngine {
             next_id: 0,
             gpus,
             health,
+            selector: SelectK::default(),
             metrics: EngineMetrics::new(),
             queries_submitted: 0,
             queries_completed: 0,
@@ -841,6 +860,19 @@ impl TopKEngine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The engine's adaptive dispatcher (its tuner carries the plan
+    /// table and calibration state accumulated over drains).
+    pub fn selector(&self) -> &SelectK {
+        &self.selector
+    }
+
+    /// The dispatcher's current plan table rendered as text (see
+    /// [`topk_core::tuner::PlanTable::to_text`]) — a warm table can be
+    /// persisted and loaded into a future deployment.
+    pub fn plan_table_text(&self) -> Option<String> {
+        self.selector.tuner().map(|t| t.table_text())
     }
 
     /// Deduplicated sanitizer findings over the engine's lifetime, one
@@ -962,12 +994,17 @@ impl TopKEngine {
         let id = self.next_id;
         self.next_id += 1;
         let span = topk_obs::next_span_id();
+        // One O(n) min/max pass over the host data buys the dispatcher
+        // a distribution sketch: skewed queries route away from AIR's
+        // degenerate histogram passes.
+        let sketch = DistSketch::from_sample(&data);
         self.pending.push(Pending {
             id,
             span,
             data,
             k,
             deadline_us,
+            sketch,
         });
         self.queries_submitted += 1;
         self.metrics.queries_submitted.inc();
@@ -1012,7 +1049,10 @@ impl TopKEngine {
             .collect();
         let quarantines_before: u64 = self.health.iter().map(|h| h.quarantines).sum();
 
-        let selector = SelectK::default();
+        // Take the persistent selector out of `self` for the duration
+        // of the drain (the loop needs `&mut self.gpus[dev]` alongside
+        // it); restored before returning.
+        let selector = std::mem::replace(&mut self.selector, SelectK::static_prior());
         let mut results: Vec<QueryResult> = Vec::new();
         let mut records: Vec<Vec<BatchRecord>> = vec![Vec::new(); n_dev];
         let mut retries: u64 = 0;
@@ -1089,6 +1129,12 @@ impl TopKEngine {
             match outcome {
                 Ok(Ok(outs)) => {
                     self.health[dev].consecutive_faults = 0;
+                    // Close the tuning loop: the batch's measured
+                    // service time recalibrates its plan bucket.
+                    let shape =
+                        ProblemShape::new(job.batch.n, job.batch.k, job.batch.queries.len())
+                            .with_sketch(job.batch.sketch);
+                    selector.observe(self.gpus[dev].spec(), &shape, end_us - start_us);
                     let attempt_retries = job.attempts - 1;
                     let served_ok = if job.first_device == Some(dev) {
                         Served::Gpu {
@@ -1233,6 +1279,7 @@ impl TopKEngine {
             quarantines,
             sanitizer,
         };
+        self.selector = selector;
         self.record_drain(&report);
         report
     }
@@ -1433,13 +1480,22 @@ fn coalesce(pending: Vec<Pending>, window: usize) -> Vec<Batch> {
     for q in pending {
         let shape = (q.data.len(), q.k);
         match open.get(&shape) {
-            Some(&bi) if batches[bi].queries.len() < window => batches[bi].queries.push(q),
+            Some(&bi) if batches[bi].queries.len() < window => {
+                // The fused batch routes on its least-skewed member:
+                // every row then has at least the claimed prefix.
+                batches[bi].sketch.shared_prefix_bits = batches[bi]
+                    .sketch
+                    .shared_prefix_bits
+                    .min(q.sketch.shared_prefix_bits);
+                batches[bi].queries.push(q);
+            }
             _ => {
                 open.insert(shape, batches.len());
                 batches.push(Batch {
                     n: shape.0,
                     k: shape.1,
                     span: q.span,
+                    sketch: q.sketch,
                     queries: vec![q],
                 });
             }
@@ -1476,9 +1532,9 @@ fn batch_passes(
         inputs.push(buf);
     }
     let outs = if inputs.len() == 1 {
-        vec![selector.try_select(gpu, &inputs[0], batch.k)?]
+        vec![selector.try_select_with_sketch(gpu, &inputs[0], batch.k, batch.sketch)?]
     } else {
-        selector.try_select_batch(gpu, &inputs, batch.k)?
+        selector.try_select_batch_with_sketch(gpu, &inputs, batch.k, batch.sketch)?
     };
     // Read back through the fallible path (an injected corruption must
     // surface, not panic), but keep freeing every output buffer even

@@ -29,6 +29,9 @@
 //! | `topk_engine_quarantined_devices` | gauge | devices currently quarantined |
 //! | `topk_engine_failed_devices` | gauge | devices permanently failed |
 //! | `topk_air_*_total`, `topk_gridselect_*_total` | counter | [`topk_core::obs`] deltas |
+//! | `topk_radik_*_total`, `topk_rowwise_*_total` | counter | new-algorithm [`topk_core::obs`] deltas |
+//! | `topk_tuner_plan_{hits,misses}_total` | counter | adaptive-dispatch plan-table traffic |
+//! | `topk_tuner_refinements_total` | counter | plans replaced by observed-latency feedback |
 
 use crate::{BatchRecord, DrainReport, QueryResult};
 use gpu_sim::FaultKind;
@@ -71,6 +74,12 @@ pub struct EngineMetrics {
     air_one_block_selections: Arc<Counter>,
     gridselect_queue_merges: Arc<Counter>,
     gridselect_list_merges: Arc<Counter>,
+    radik_rounds: Arc<Counter>,
+    radik_skipped_bits: Arc<Counter>,
+    rowwise_compactions: Arc<Counter>,
+    tuner_plan_hits: Arc<Counter>,
+    tuner_plan_misses: Arc<Counter>,
+    tuner_refinements: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -198,6 +207,30 @@ impl EngineMetrics {
                 "topk_gridselect_list_merges_total",
                 "GridSelect list-vs-list merges (cross-warp and tree-merge)",
             ),
+            radik_rounds: registry.counter(
+                "topk_radik_rounds_total",
+                "RadiK radix rounds completed after the sketch pass",
+            ),
+            radik_skipped_bits: registry.counter(
+                "topk_radik_skipped_bits_total",
+                "Key bits RadiK's sketch and adaptive ordering skipped outright",
+            ),
+            rowwise_compactions: registry.counter(
+                "topk_rowwise_compactions_total",
+                "Row-wise shared-buffer compactions (threshold tightenings)",
+            ),
+            tuner_plan_hits: registry.counter(
+                "topk_tuner_plan_hits_total",
+                "Dispatch decisions served from the tuner's plan table",
+            ),
+            tuner_plan_misses: registry.counter(
+                "topk_tuner_plan_misses_total",
+                "Dispatch decisions that required a fresh cost-model planning pass",
+            ),
+            tuner_refinements: registry.counter(
+                "topk_tuner_refinements_total",
+                "Plans replaced after observed latencies recalibrated the cost model",
+            ),
             registry,
         }
     }
@@ -247,6 +280,12 @@ impl EngineMetrics {
             .add(d.air_one_block_selections);
         self.gridselect_queue_merges.add(d.gridselect_queue_merges);
         self.gridselect_list_merges.add(d.gridselect_list_merges);
+        self.radik_rounds.add(d.radik_rounds);
+        self.radik_skipped_bits.add(d.radik_skipped_bits);
+        self.rowwise_compactions.add(d.rowwise_compactions);
+        self.tuner_plan_hits.add(d.tuner_plan_hits);
+        self.tuner_plan_misses.add(d.tuner_plan_misses);
+        self.tuner_refinements.add(d.tuner_refinements);
     }
 
     /// Fold one drain's resilience tallies into the counters.

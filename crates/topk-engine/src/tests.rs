@@ -2,7 +2,7 @@ use super::*;
 use datagen::{generate, Distribution};
 use gpu_sim::{FaultKind, ScriptedFault};
 use proptest::prelude::*;
-use topk_core::verify_topk;
+use topk_core::{verify_topk, TopKAlgorithm};
 
 fn a100_engine(devices: usize, window: usize) -> TopKEngine {
     TopKEngine::new(EngineConfig::a100_pool(devices).with_window(window))
