@@ -137,14 +137,16 @@ pub struct BlockCtx<'a> {
     pub(crate) spec: &'a DeviceSpec,
     /// Sanitizer scope of the enclosing launch, if one is armed.
     pub(crate) san: Option<&'a LaunchScope<'a>>,
-    /// True once this block passed an acquire-release grid sync
-    /// ([`BlockCtx::mark_block_done`] returning `true`, or any
-    /// [`BlockCtx::atomic_add_sync`]): its subsequent accesses are
-    /// ordered after the rest of the grid's earlier writes, so
-    /// racecheck stands down for it. Over-approximate for blocks that
+    /// Launch-global epoch at which this block last passed an
+    /// acquire-release grid sync ([`BlockCtx::mark_block_done`]
+    /// returning `true`, or any [`BlockCtx::atomic_add_sync`]); 0 =
+    /// never. Racecheck suppresses conflicts with accesses recorded
+    /// *before* this epoch (they are ordered by the acquire) but still
+    /// flags accesses made at or after it — a per-word refinement of
+    /// the old whole-block exemption. Over-approximate for blocks that
     /// did not observe the *final* counter value — a documented
     /// suppression, never a false positive.
-    pub(crate) synced: bool,
+    pub(crate) sync_epoch: u64,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -165,7 +167,7 @@ impl<'a> BlockCtx<'a> {
             done_counter,
             spec,
             san,
-            synced: false,
+            sync_epoch: 0,
         }
     }
 
@@ -184,7 +186,7 @@ impl<'a> BlockCtx<'a> {
                 idx,
                 kind,
                 self.block_idx,
-                self.synced,
+                self.sync_epoch,
             ),
             None => {
                 if idx >= buf.len() {
@@ -332,8 +334,11 @@ impl<'a> BlockCtx<'a> {
         self.stats.atomic_ops += 1;
         // Acquire side of the grid sync: later accesses by this block
         // are ordered after the releases it observed, so racecheck
-        // stands down for the rest of the block (see `synced`).
-        self.synced = true;
+        // suppresses conflicts with pre-acquire accesses (see
+        // `sync_epoch`).
+        if let Some(scope) = self.san {
+            self.sync_epoch = scope.advance_epoch();
+        }
         if !self.guard(buf, idx, AccessKind::Atomic) {
             return Self::squashed();
         }
@@ -437,8 +442,11 @@ impl<'a> BlockCtx<'a> {
         let last = prev + 1 == self.grid_dim;
         if last {
             // The last block's subsequent reads are ordered after every
-            // other block's release: exempt it from racecheck.
-            self.synced = true;
+            // other block's release: suppress racecheck conflicts with
+            // everything recorded before this acquire.
+            if let Some(scope) = self.san {
+                self.sync_epoch = scope.advance_epoch();
+            }
         }
         last
     }

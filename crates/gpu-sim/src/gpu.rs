@@ -4,7 +4,15 @@
 //! this type, which advances the simulated clock using the cost model
 //! and records a [`Timeline`] plus per-kernel [`KernelReport`]s for the
 //! profiling figures (Fig. 8, Table 3).
+//!
+//! `Gpu` is the **reference implementation** of the
+//! [`Backend`] trait: the inherent methods
+//! below keep their historical signatures (so concrete-`Gpu` callers
+//! compile unchanged) but are thin wrappers over the trait surface, and
+//! the trait impl at the bottom of this file is where the cost model,
+//! fault injector and sanitizer actually plug in.
 
+use crate::backend::{AllocGrant, Backend, BackendExt};
 use crate::cost::{kernel_cost, memcpy_cost, CostBreakdown, KernelStats};
 use crate::device::DeviceSpec;
 use crate::error::SimError;
@@ -13,7 +21,7 @@ use crate::fault::{FaultEvent, FaultInjector, FaultKind};
 use crate::memory::{DeviceBuffer, DeviceScalar};
 use crate::pool::BlockPool;
 use crate::profile::{EventKind, Timeline};
-use crate::sanitizer::{LaunchScope, Sanitizer, SanitizerMode, SanitizerReport};
+use crate::sanitizer::{LaunchScope, Sanitizer, SanitizerMode, SanitizerReport, ShadowToken};
 
 /// Everything recorded about one kernel launch.
 #[derive(Debug, Clone)]
@@ -180,6 +188,21 @@ impl Gpu {
         self.sanitizer.as_ref().map(|s| s.report())
     }
 
+    /// Run the sanitizer's leakcheck sweep now: allocations whose last
+    /// handle dropped without being freed become `leakcheck` findings,
+    /// and allocator accounting that diverged from the tracked buffers
+    /// is flagged once. Runs automatically when the device drops (with
+    /// a summary on stderr, since the report is unreadable after
+    /// drop); call it explicitly to assert on the findings. No-op
+    /// unless a sanitizer with
+    /// [`SanitizerMode::leakcheck`] is armed — note leakcheck only
+    /// tracks buffers allocated *after* it was armed.
+    pub fn run_leakcheck(&mut self) {
+        if let Some(san) = self.sanitizer.as_ref() {
+            san.run_leakcheck(self.mem_allocated);
+        }
+    }
+
     /// Zero the clock and clear the timeline/report history.
     /// Benchmarks call this after uploading inputs so only the
     /// algorithm under test is timed.
@@ -204,31 +227,7 @@ impl Gpu {
         label: &str,
         len: usize,
     ) -> Result<DeviceBuffer<T>, SimError> {
-        let bytes = len * T::BYTES;
-        let available =
-            self.spec.device_mem_bytes - self.mem_allocated.min(self.spec.device_mem_bytes);
-        if bytes > available {
-            return Err(SimError::OutOfDeviceMemory {
-                requested: bytes,
-                available,
-            });
-        }
-        if let Some(inj) = self.injector.as_mut() {
-            if inj.on_alloc(label, self.clock_us) {
-                // Injected allocator failure: fragmentation / transient
-                // driver refusal despite apparent free memory.
-                return Err(SimError::OutOfDeviceMemory {
-                    requested: bytes,
-                    available,
-                });
-            }
-        }
-        self.mem_allocated += bytes;
-        self.mem_high_water = self.mem_high_water.max(self.mem_allocated);
-        Ok(match self.sanitizer.as_ref() {
-            Some(san) => DeviceBuffer::zeroed_with_shadow(label, len, san.shadow_for(len)),
-            None => DeviceBuffer::zeroed(label, len),
-        })
+        BackendExt::try_alloc(self, label, len)
     }
 
     /// Release a buffer's bytes back to the device allocator. (The
@@ -237,10 +236,7 @@ impl Gpu {
     /// sanitizer's memcheck, later accesses through any surviving
     /// handle are use-after-free findings.
     pub fn free<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>) {
-        if let Some(sh) = buf.shadow() {
-            sh.mark_freed();
-        }
-        self.free_bytes(buf.size_bytes());
+        BackendExt::free(self, buf);
     }
 
     /// Untyped counterpart of [`Gpu::free`]: release raw bytes back to
@@ -267,30 +263,7 @@ impl Gpu {
         label: &str,
         data: &[T],
     ) -> Result<DeviceBuffer<T>, SimError> {
-        let buf = self.try_alloc::<T>(label, data.len())?;
-        for (i, &v) in data.iter().enumerate() {
-            buf.set(i, v);
-        }
-        let mut t = memcpy_cost(&self.spec, buf.size_bytes());
-        let fault = self
-            .injector
-            .as_mut()
-            .and_then(|inj| inj.on_transfer(label, self.clock_us));
-        if let Some(FaultKind::TransferStall) = fault {
-            t *= self
-                .injector
-                .as_ref()
-                .expect("fault implies injector")
-                .stall_multiplier();
-        }
-        self.timeline.push(EventKind::MemcpyHtoD, self.clock_us, t);
-        self.clock_us += t;
-        if let Some(FaultKind::TransferCorruption) = fault {
-            let bytes = buf.size_bytes();
-            self.free_bytes(bytes);
-            return Err(SimError::TransferCorruption { bytes });
-        }
-        Ok(buf)
+        BackendExt::try_htod(self, label, data)
     }
 
     /// Copy a small host payload into an *existing* device buffer
@@ -298,18 +271,7 @@ impl Gpu {
     /// Infallible, so an injected corruption is downgraded to a stall
     /// (modelled as the link retrying until the payload lands).
     pub fn htod_into<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, data: &[T]) {
-        assert!(data.len() <= buf.len(), "htod_into overflows buffer");
-        for (i, &v) in data.iter().enumerate() {
-            buf.set(i, v);
-        }
-        let mut t = memcpy_cost(&self.spec, data.len() * T::BYTES);
-        if let Some(inj) = self.injector.as_mut() {
-            if inj.on_transfer("htod_into", self.clock_us).is_some() {
-                t *= inj.stall_multiplier();
-            }
-        }
-        self.timeline.push(EventKind::MemcpyHtoD, self.clock_us, t);
-        self.clock_us += t;
+        BackendExt::htod_into(self, buf, data);
     }
 
     /// Copy a device buffer back to the host. A blocking copy: pays a
@@ -328,10 +290,7 @@ impl Gpu {
         offset: usize,
         len: usize,
     ) -> Vec<T> {
-        match self.transfer_dtoh(buf, offset, len, false) {
-            Ok(v) => v,
-            Err(_) => unreachable!("infallible dtoh downgrades corruption"),
-        }
+        BackendExt::dtoh_range(self, buf, offset, len)
     }
 
     /// Fallible device-to-host readback: an injected stall slows the
@@ -349,51 +308,7 @@ impl Gpu {
         offset: usize,
         len: usize,
     ) -> Result<Vec<T>, SimError> {
-        self.transfer_dtoh(buf, offset, len, true)
-    }
-
-    fn transfer_dtoh<T: DeviceScalar>(
-        &mut self,
-        buf: &DeviceBuffer<T>,
-        offset: usize,
-        len: usize,
-        fallible: bool,
-    ) -> Result<Vec<T>, SimError> {
-        if let (Some(san), Some(sh)) = (self.sanitizer.as_ref(), buf.shadow()) {
-            if sh.is_freed() {
-                san.record_host_uaf(buf.label(), "device-to-host readback");
-            }
-        }
-        if fallible && offset + len > buf.len() {
-            return Err(SimError::OutOfBounds {
-                buffer: buf.label().to_string(),
-                idx: offset + len - 1,
-                len: buf.len(),
-            });
-        }
-        let sync = self.spec.host_sync_us;
-        self.timeline.push(EventKind::HostSync, self.clock_us, sync);
-        self.clock_us += sync;
-        let bytes = len * T::BYTES;
-        let mut t = memcpy_cost(&self.spec, bytes);
-        let fault = self
-            .injector
-            .as_mut()
-            .and_then(|inj| inj.on_transfer(buf.label(), self.clock_us));
-        let corrupted = fault == Some(FaultKind::TransferCorruption);
-        if fault == Some(FaultKind::TransferStall) || (corrupted && !fallible) {
-            t *= self
-                .injector
-                .as_ref()
-                .expect("fault implies injector")
-                .stall_multiplier();
-        }
-        self.timeline.push(EventKind::MemcpyDtoH, self.clock_us, t);
-        self.clock_us += t;
-        if corrupted && fallible {
-            return Err(SimError::TransferCorruption { bytes });
-        }
-        Ok((offset..offset + len).map(|i| buf.get(i)).collect())
+        BackendExt::try_dtoh_range(self, buf, offset, len)
     }
 
     // ---- execution ----------------------------------------------------
@@ -428,6 +343,15 @@ impl Gpu {
     where
         F: Fn(&mut BlockCtx) + Sync,
     {
+        self.launch_impl(name, cfg, &kernel)
+    }
+
+    fn launch_impl(
+        &mut self,
+        name: &str,
+        cfg: LaunchConfig,
+        kernel: &(dyn Fn(&mut BlockCtx) + Sync),
+    ) -> Result<&KernelReport, SimError> {
         validate_launch(&self.spec, &cfg)?;
 
         if let Some(fault) = self
@@ -561,6 +485,229 @@ impl Gpu {
     }
 }
 
+/// The reference [`Backend`]: fully metered against the cost model,
+/// with fault injection, sanitizer, tracing spans and a profiling
+/// timeline. Every capability hook is overridden.
+impl Backend for Gpu {
+    fn backend_name(&self) -> &'static str {
+        "gpu-sim"
+    }
+
+    fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    fn elapsed_us(&self) -> f64 {
+        self.clock_us
+    }
+
+    fn host_compute(&mut self, what: &str, us: f64) {
+        Gpu::host_compute(self, what, us);
+    }
+
+    fn host_sync(&mut self) {
+        Gpu::host_sync(self);
+    }
+
+    fn reset_profile(&mut self) {
+        Gpu::reset_profile(self);
+    }
+
+    fn grant_alloc(
+        &mut self,
+        label: &str,
+        len: usize,
+        elem_bytes: usize,
+    ) -> Result<AllocGrant, SimError> {
+        let bytes = len * elem_bytes;
+        let available =
+            self.spec.device_mem_bytes - self.mem_allocated.min(self.spec.device_mem_bytes);
+        if bytes > available {
+            return Err(SimError::OutOfDeviceMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.on_alloc(label, self.clock_us) {
+                // Injected allocator failure: fragmentation / transient
+                // driver refusal despite apparent free memory.
+                return Err(SimError::OutOfDeviceMemory {
+                    requested: bytes,
+                    available,
+                });
+            }
+        }
+        self.mem_allocated += bytes;
+        self.mem_high_water = self.mem_high_water.max(self.mem_allocated);
+        Ok(AllocGrant {
+            shadow: self.sanitizer.as_ref().map(|san| san.shadow_for(len)),
+        })
+    }
+
+    fn note_buffer(&mut self, label: &str, bytes: usize, token: Option<ShadowToken>) {
+        if let (Some(san), Some(tok)) = (self.sanitizer.as_ref(), token) {
+            san.register_alloc(label, bytes, tok.shadow);
+        }
+    }
+
+    fn free_bytes(&mut self, bytes: usize) {
+        Gpu::free_bytes(self, bytes);
+    }
+
+    fn mem_allocated(&self) -> usize {
+        self.mem_allocated
+    }
+
+    fn mem_high_water(&self) -> usize {
+        self.mem_high_water
+    }
+
+    fn charge_htod(&mut self, label: &str, bytes: usize, fallible: bool) -> Result<(), SimError> {
+        let mut t = memcpy_cost(&self.spec, bytes);
+        let fault = self
+            .injector
+            .as_mut()
+            .and_then(|inj| inj.on_transfer(label, self.clock_us));
+        let corrupted = fault == Some(FaultKind::TransferCorruption);
+        if fault == Some(FaultKind::TransferStall) || (corrupted && !fallible) {
+            t *= self
+                .injector
+                .as_ref()
+                .expect("fault implies injector")
+                .stall_multiplier();
+        }
+        self.timeline.push(EventKind::MemcpyHtoD, self.clock_us, t);
+        self.clock_us += t;
+        if corrupted && fallible {
+            return Err(SimError::TransferCorruption { bytes });
+        }
+        Ok(())
+    }
+
+    fn charge_dtoh(
+        &mut self,
+        label: &str,
+        bytes: usize,
+        fallible: bool,
+        token: Option<&ShadowToken>,
+    ) -> Result<(), SimError> {
+        if let (Some(san), Some(tok)) = (self.sanitizer.as_ref(), token) {
+            if tok.shadow.is_freed() {
+                san.record_host_uaf(label, "device-to-host readback");
+            }
+        }
+        let sync = self.spec.host_sync_us;
+        self.timeline.push(EventKind::HostSync, self.clock_us, sync);
+        self.clock_us += sync;
+        let mut t = memcpy_cost(&self.spec, bytes);
+        let fault = self
+            .injector
+            .as_mut()
+            .and_then(|inj| inj.on_transfer(label, self.clock_us));
+        let corrupted = fault == Some(FaultKind::TransferCorruption);
+        if fault == Some(FaultKind::TransferStall) || (corrupted && !fallible) {
+            t *= self
+                .injector
+                .as_ref()
+                .expect("fault implies injector")
+                .stall_multiplier();
+        }
+        self.timeline.push(EventKind::MemcpyDtoH, self.clock_us, t);
+        self.clock_us += t;
+        if corrupted && fallible {
+            return Err(SimError::TransferCorruption { bytes });
+        }
+        Ok(())
+    }
+
+    fn launch_dyn(
+        &mut self,
+        name: &str,
+        cfg: LaunchConfig,
+        kernel: &(dyn Fn(&mut BlockCtx) + Sync),
+    ) -> Result<&KernelReport, SimError> {
+        self.launch_impl(name, cfg, kernel)
+    }
+
+    fn set_span(&mut self, span: u64) {
+        Gpu::set_span(self, span);
+    }
+
+    fn clear_span(&mut self) {
+        Gpu::clear_span(self);
+    }
+
+    fn current_span(&self) -> u64 {
+        self.current_span
+    }
+
+    fn reports(&self) -> &[KernelReport] {
+        &self.reports
+    }
+
+    fn timeline(&self) -> Option<&Timeline> {
+        Some(&self.timeline)
+    }
+
+    fn enable_sanitizer(&mut self, mode: SanitizerMode) {
+        Gpu::enable_sanitizer(self, mode);
+    }
+
+    fn sanitizer_mode(&self) -> SanitizerMode {
+        Gpu::sanitizer_mode(self)
+    }
+
+    fn sanitizer_report(&self) -> Option<SanitizerReport> {
+        Gpu::sanitizer_report(self)
+    }
+
+    fn run_leakcheck(&mut self) {
+        Gpu::run_leakcheck(self);
+    }
+
+    fn set_fault_injector(&mut self, injector: FaultInjector) {
+        Gpu::set_fault_injector(self, injector);
+    }
+
+    fn fault_events(&self) -> &[FaultEvent] {
+        Gpu::fault_events(self)
+    }
+}
+
+impl Drop for Gpu {
+    /// Final leakcheck sweep: buffers that went out of scope without a
+    /// free are reported to stderr (the structured report can no
+    /// longer be read once the device is gone). Buffers still held by
+    /// live handles at this point are reclaimed by device teardown,
+    /// like a real driver context, and are not leaks.
+    fn drop(&mut self) {
+        let Some(san) = self.sanitizer.as_ref() else {
+            return;
+        };
+        if !san.mode().leakcheck {
+            return;
+        }
+        let before = san.counts().leakcheck;
+        san.run_leakcheck(self.mem_allocated);
+        let report = san.report();
+        if report.counts.leakcheck > before {
+            eprintln!(
+                "gpu-sim leakcheck: {} finding(s) at drop of device {:?}:",
+                report.counts.leakcheck - before,
+                self.spec.name
+            );
+            for f in report
+                .findings
+                .iter()
+                .filter(|f| f.analysis == crate::sanitizer::Analysis::Leakcheck)
+            {
+                eprintln!("  {f}");
+            }
+        }
+    }
+}
+
 impl std::fmt::Debug for Gpu {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Gpu")
@@ -687,6 +834,56 @@ mod tests {
         g.host_compute("prefix sum", 12.5);
         assert_eq!(g.timeline().idle_us(), 12.5);
         assert!((g.elapsed_us() - 12.5).abs() < 1e-12);
+    }
+
+    // ---- leakcheck -----------------------------------------------------
+
+    #[test]
+    fn leakcheck_flags_dropped_buffer_and_stays_quiet_on_freed() {
+        let mut g = Gpu::with_pool(DeviceSpec::test_tiny(), BlockPool::new(1));
+        g.enable_sanitizer(SanitizerMode::full().with_leakcheck());
+        {
+            let leaked = g.alloc::<u32>("leaked", 64);
+            let freed = g.alloc::<u32>("freed", 64);
+            g.free(&freed);
+            let _ = leaked; // dropped here without a free
+        }
+        g.run_leakcheck();
+        let report = g.sanitizer_report().expect("armed");
+        assert_eq!(report.counts.leakcheck, 1);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].buffer, "leaked");
+        assert!(report.findings[0].detail.contains("256 bytes"));
+        // Sweep is idempotent, and drop won't re-report.
+        g.run_leakcheck();
+        assert_eq!(
+            g.sanitizer_report().expect("armed").counts.leakcheck,
+            1,
+            "second sweep reports nothing new"
+        );
+    }
+
+    #[test]
+    fn leakcheck_live_handles_are_not_leaks() {
+        let mut g = Gpu::with_pool(DeviceSpec::test_tiny(), BlockPool::new(1));
+        g.enable_sanitizer(SanitizerMode::leakcheck_only());
+        let held = g.alloc::<u32>("held", 16);
+        g.run_leakcheck();
+        assert_eq!(g.sanitizer_report().expect("armed").counts.leakcheck, 0);
+        g.free(&held);
+        g.run_leakcheck();
+        assert_eq!(g.sanitizer_report().expect("armed").counts.leakcheck, 0);
+    }
+
+    #[test]
+    fn leakcheck_not_armed_by_full_mode() {
+        let mut g = Gpu::with_pool(DeviceSpec::test_tiny(), BlockPool::new(1));
+        g.enable_sanitizer(SanitizerMode::full());
+        {
+            let _dropped = g.alloc::<u32>("dropped", 16);
+        }
+        g.run_leakcheck();
+        assert_eq!(g.sanitizer_report().expect("armed").counts.leakcheck, 0);
     }
 
     // ---- fault injection ----------------------------------------------

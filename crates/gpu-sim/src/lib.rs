@@ -57,6 +57,8 @@
 //! assert!(gpu.elapsed_us() > 0.0);
 //! ```
 
+pub mod backend;
+pub mod conformance;
 pub mod cost;
 pub mod device;
 pub mod error;
@@ -70,6 +72,7 @@ pub mod sanitizer;
 pub mod trace;
 pub mod warp;
 
+pub use backend::{AllocGrant, Backend, BackendExt};
 pub use cost::{sequence_cost, CostBreakdown, KernelStats, PlannedLaunch};
 pub use device::DeviceSpec;
 pub use error::SimError;

@@ -9,15 +9,19 @@
 //!   same word from *different blocks of the same launch* are flagged
 //!   when at least one is a non-atomic write, or when atomic and
 //!   non-atomic accesses mix. Kernel boundaries are synchronisation
-//!   points (a new launch id resets the record), and a block that has
-//!   executed an acquire-release grid sync
+//!   points (a new launch id resets the record). Grid syncs are
+//!   tracked per word through a launch-global *epoch* counter: every
+//!   access is stamped with the current epoch, and an acquire-release
+//!   grid sync
 //!   ([`BlockCtx::mark_block_done`](crate::exec::BlockCtx::mark_block_done)
 //!   or
 //!   [`BlockCtx::atomic_add_sync`](crate::exec::BlockCtx::atomic_add_sync))
-//!   is exempt afterwards — that is exactly the "last block" pattern
-//!   AIR Top-K's fused kernel relies on, where the final block's reads
-//!   of the grid's histogram are ordered by the release-acquire done
-//!   counter.
+//!   bumps it — so the acquiring block's later accesses stop
+//!   conflicting with accesses made *before* its acquire (that is
+//!   exactly the "last block" pattern AIR Top-K's fused kernel relies
+//!   on, where the final block's reads of the grid's histogram are
+//!   ordered by the release-acquire done counter) while conflicts with
+//!   accesses made *after* it are still caught.
 //! * **initcheck** — a shadow valid bitmap per buffer. Allocation does
 //!   *not* initialise (real `cudaMalloc` returns garbage even though
 //!   the simulator zeroes for convenience); words become valid through
@@ -30,6 +34,12 @@
 //!   thread), and any access to a buffer whose bytes were returned to
 //!   the device allocator ([`Gpu::free`](crate::Gpu::free) or a
 //!   released scratch guard) is a use-after-free finding.
+//! * **leakcheck** (opt-in, not part of [`SanitizerMode::full`]) —
+//!   every allocation is tracked; a sweep
+//!   ([`Gpu::run_leakcheck`](crate::Gpu::run_leakcheck), run
+//!   automatically when the device drops) flags allocations whose last
+//!   handle dropped without the bytes being freed, and allocator
+//!   accounting that drifted from the tracked buffers.
 //!
 //! Findings are deduplicated by (analysis, buffer, kernel) with an
 //! occurrence count, so a racy loop over a million words produces one
@@ -58,6 +68,12 @@ pub struct SanitizerMode {
     pub initcheck: bool,
     /// Flag out-of-bounds and use-after-free accesses.
     pub memcheck: bool,
+    /// Flag device allocations whose last handle dropped without the
+    /// bytes ever being returned to the allocator (plus allocator
+    /// accounting drift). Runs on demand
+    /// ([`Gpu::run_leakcheck`](crate::Gpu::run_leakcheck)) and
+    /// automatically when the device drops.
+    pub leakcheck: bool,
 }
 
 impl SanitizerMode {
@@ -66,12 +82,32 @@ impl SanitizerMode {
         SanitizerMode::default()
     }
 
-    /// Every analysis armed — what `topk-bench sanitize` and CI run.
+    /// Every *access* analysis armed — what `topk-bench sanitize` and
+    /// CI run. Leakcheck is deliberately not included: selection
+    /// outputs are device-resident [`DeviceBuffer`](crate::DeviceBuffer)s
+    /// whose lifetime belongs to the caller, so sweep harnesses that
+    /// drop them without an explicit free would self-flag. Opt in with
+    /// [`SanitizerMode::with_leakcheck`].
     pub fn full() -> Self {
         SanitizerMode {
             racecheck: true,
             initcheck: true,
             memcheck: true,
+            leakcheck: false,
+        }
+    }
+
+    /// Builder: arm leakcheck on top of the current mode.
+    pub fn with_leakcheck(mut self) -> Self {
+        self.leakcheck = true;
+        self
+    }
+
+    /// Only the leak analysis.
+    pub fn leakcheck_only() -> Self {
+        SanitizerMode {
+            leakcheck: true,
+            ..Self::off()
         }
     }
 
@@ -101,7 +137,7 @@ impl SanitizerMode {
 
     /// True when at least one analysis is armed.
     pub fn enabled(&self) -> bool {
-        self.racecheck || self.initcheck || self.memcheck
+        self.racecheck || self.initcheck || self.memcheck || self.leakcheck
     }
 }
 
@@ -116,15 +152,20 @@ pub enum Analysis {
     MemcheckOob,
     /// Access to a buffer after its bytes were freed.
     MemcheckUseAfterFree,
+    /// Allocation whose last handle dropped without a free, or
+    /// allocator accounting that diverged from the tracked buffers.
+    Leakcheck,
 }
 
 impl Analysis {
-    /// Short tool-style label (`racecheck` / `initcheck` / `memcheck`).
+    /// Short tool-style label (`racecheck` / `initcheck` / `memcheck`
+    /// / `leakcheck`).
     pub fn label(&self) -> &'static str {
         match self {
             Analysis::Racecheck => "racecheck",
             Analysis::Initcheck => "initcheck",
             Analysis::MemcheckOob | Analysis::MemcheckUseAfterFree => "memcheck",
+            Analysis::Leakcheck => "leakcheck",
         }
     }
 }
@@ -228,12 +269,14 @@ pub struct SanitizerCounts {
     pub initcheck: u64,
     /// Memcheck occurrences (out-of-bounds + use-after-free).
     pub memcheck: u64,
+    /// Leakcheck occurrences (leaked allocations + accounting drift).
+    pub leakcheck: u64,
 }
 
 impl SanitizerCounts {
     /// Sum over all analyses.
     pub fn total(&self) -> u64 {
-        self.racecheck + self.initcheck + self.memcheck
+        self.racecheck + self.initcheck + self.memcheck + self.leakcheck
     }
 
     /// Element-wise saturating difference (for drain-relative deltas on
@@ -243,6 +286,7 @@ impl SanitizerCounts {
             racecheck: self.racecheck.saturating_sub(earlier.racecheck),
             initcheck: self.initcheck.saturating_sub(earlier.initcheck),
             memcheck: self.memcheck.saturating_sub(earlier.memcheck),
+            leakcheck: self.leakcheck.saturating_sub(earlier.leakcheck),
         }
     }
 
@@ -251,6 +295,7 @@ impl SanitizerCounts {
         self.racecheck += other.racecheck;
         self.initcheck += other.initcheck;
         self.memcheck += other.memcheck;
+        self.leakcheck += other.leakcheck;
     }
 }
 
@@ -289,6 +334,28 @@ struct FindingStore {
     dropped: u64,
 }
 
+/// One tracked allocation for leakcheck: the registry's own handle on
+/// the buffer's shadow. While any [`DeviceBuffer`](crate::DeviceBuffer)
+/// clone (or [`ShadowToken`]) is alive, the shadow's strong count
+/// exceeds the registry's single reference — so a count of exactly one
+/// on an unfreed record means the last handle dropped without the bytes
+/// ever being returned to the allocator.
+struct AllocRecord {
+    label: String,
+    bytes: usize,
+    shadow: std::sync::Arc<BufferShadow>,
+}
+
+#[derive(Default)]
+struct AllocRegistry {
+    records: Vec<AllocRecord>,
+    /// Bytes already reported as leaked: still outstanding in the
+    /// allocator, but accounted for so the drift check stays quiet and
+    /// repeat sweeps stay idempotent.
+    leaked_bytes: usize,
+    drift_reported: bool,
+}
+
 /// Per-device sanitizer state: the armed mode, the launch sequence,
 /// occurrence counters, and the deduplicated finding store. Owned by
 /// [`Gpu`](crate::Gpu); shared with in-flight launches by reference.
@@ -298,7 +365,9 @@ pub struct Sanitizer {
     race_count: AtomicU64,
     init_count: AtomicU64,
     mem_count: AtomicU64,
+    leak_count: AtomicU64,
     store: Mutex<FindingStore>,
+    allocs: Mutex<AllocRegistry>,
 }
 
 impl fmt::Debug for Sanitizer {
@@ -320,7 +389,9 @@ impl Sanitizer {
             race_count: AtomicU64::new(0),
             init_count: AtomicU64::new(0),
             mem_count: AtomicU64::new(0),
+            leak_count: AtomicU64::new(0),
             store: Mutex::new(FindingStore::default()),
+            allocs: Mutex::new(AllocRegistry::default()),
         }
     }
 
@@ -335,6 +406,7 @@ impl Sanitizer {
             racecheck: self.race_count.load(Ordering::Relaxed),
             initcheck: self.init_count.load(Ordering::Relaxed),
             memcheck: self.mem_count.load(Ordering::Relaxed),
+            leakcheck: self.leak_count.load(Ordering::Relaxed),
         }
     }
 
@@ -364,6 +436,7 @@ impl Sanitizer {
             Analysis::Racecheck => &self.race_count,
             Analysis::Initcheck => &self.init_count,
             Analysis::MemcheckOob | Analysis::MemcheckUseAfterFree => &self.mem_count,
+            Analysis::Leakcheck => &self.leak_count,
         }
         .fetch_add(1, Ordering::Relaxed);
 
@@ -404,21 +477,128 @@ impl Sanitizer {
             detail: format!("{what} of a buffer whose bytes were returned to the allocator"),
         });
     }
+
+    /// Track a fresh allocation for leakcheck. No-op unless leakcheck
+    /// is armed.
+    pub(crate) fn register_alloc(
+        &self,
+        label: &str,
+        bytes: usize,
+        shadow: std::sync::Arc<BufferShadow>,
+    ) {
+        if !self.mode.leakcheck {
+            return;
+        }
+        self.allocs
+            .lock()
+            .expect("alloc registry poisoned")
+            .records
+            .push(AllocRecord {
+                label: label.to_string(),
+                bytes,
+                shadow,
+            });
+    }
+
+    /// Sweep the allocation registry against the allocator's current
+    /// accounting (`mem_allocated`). Two finding shapes:
+    ///
+    /// * **leaked allocation** — an unfreed record whose shadow the
+    ///   registry is the last owner of: every buffer handle and token
+    ///   dropped, but the bytes were never returned via
+    ///   [`Gpu::free`](crate::Gpu::free) / `free_bytes`.
+    /// * **accounting drift** — `mem_allocated` disagrees with the sum
+    ///   of live tracked buffers (+ already-reported leaks): someone
+    ///   released bytes without marking the shadow freed, or allocated
+    ///   outside the tracked path.
+    ///
+    /// Buffers still held by live handles are *not* leaks (device
+    /// teardown reclaims them, as a real driver context does). The
+    /// sweep is idempotent: flagged records are retired so a later
+    /// drop-time sweep reports nothing new.
+    pub(crate) fn run_leakcheck(&self, mem_allocated: usize) {
+        if !self.mode.leakcheck {
+            return;
+        }
+        let mut reg = self.allocs.lock().expect("alloc registry poisoned");
+        reg.records.retain(|r| !r.shadow.is_freed());
+        let mut live_bytes = 0usize;
+        let mut newly_leaked = 0usize;
+        let mut kept = Vec::with_capacity(reg.records.len());
+        for r in reg.records.drain(..) {
+            if std::sync::Arc::strong_count(&r.shadow) == 1 {
+                newly_leaked += r.bytes;
+                self.record(SanitizerFinding {
+                    analysis: Analysis::Leakcheck,
+                    buffer: r.label.clone(),
+                    kernel: "<leakcheck>".to_string(),
+                    launch: 0,
+                    block: 0,
+                    index: 0,
+                    access: AccessKind::Write,
+                    count: 1,
+                    detail: format!(
+                        "{} bytes allocated but never freed; last handle dropped",
+                        r.bytes
+                    ),
+                });
+            } else {
+                live_bytes += r.bytes;
+                kept.push(r);
+            }
+        }
+        reg.records = kept;
+        reg.leaked_bytes += newly_leaked;
+        let tracked = live_bytes + reg.leaked_bytes;
+        if mem_allocated != tracked && !reg.drift_reported {
+            reg.drift_reported = true;
+            self.record(SanitizerFinding {
+                analysis: Analysis::Leakcheck,
+                buffer: "<allocator>".to_string(),
+                kernel: "<leakcheck>".to_string(),
+                launch: 0,
+                block: 0,
+                index: 0,
+                access: AccessKind::Write,
+                count: 1,
+                detail: format!(
+                    "allocator reports {mem_allocated} bytes outstanding but tracked \
+                     buffers account for {tracked} (bytes released without marking the \
+                     shadow freed, or allocated outside the tracked path)"
+                ),
+            });
+        }
+    }
 }
 
 // ---- per-buffer shadow state ------------------------------------------
 
 // Race-shadow word layout (one AtomicU64 per device word):
-//   bits  0..32  launch id (truncated; 0 = never accessed)
-//   bits 32..56  block index + 1 (0 = none, BLOCK_MULTI = several blocks)
+//   bits  0..24  launch id (truncated; 0 = never accessed)
+//   bits 24..40  grid-sync epoch of the latest access (saturating)
+//   bits 40..56  block index + 1 (0 = none, BLOCK_MULTI = several blocks)
 //   bits 56..59  access kinds seen this launch (read=1, write=2, atomic=4)
-const BLOCK_SHIFT: u32 = 32;
+//
+// The epoch field is what lets `atomic_add_sync` / `mark_block_done`
+// suppress only the conflicts they actually order: every access is
+// stamped with the launch's global epoch counter, an acquire bumps it,
+// and a conflict is suppressed only when the earlier access's epoch
+// predates the accessor's acquire. Launch ids are truncated to 24 bits
+// (aliasing needs 16.7M launches touching the same word); epochs
+// saturate at 65535 acquires per launch (beyond any real grid).
+const LAUNCH_MASK: u64 = 0xFF_FFFF;
+const EPOCH_SHIFT: u32 = 24;
+const EPOCH_MASK: u64 = 0xFFFF;
+const BLOCK_SHIFT: u32 = 40;
 const KIND_SHIFT: u32 = 56;
-const BLOCK_MASK: u64 = 0xFF_FFFF;
+const BLOCK_MASK: u64 = 0xFFFF;
 const BLOCK_MULTI: u64 = BLOCK_MASK;
 
-fn pack(launch: u64, block_plus1: u64, kinds: u64) -> u64 {
-    (launch & 0xFFFF_FFFF) | (block_plus1 << BLOCK_SHIFT) | (kinds << KIND_SHIFT)
+fn pack(launch: u64, epoch: u64, block_plus1: u64, kinds: u64) -> u64 {
+    (launch & LAUNCH_MASK)
+        | (epoch.min(EPOCH_MASK) << EPOCH_SHIFT)
+        | (block_plus1 << BLOCK_SHIFT)
+        | (kinds << KIND_SHIFT)
 }
 
 /// Shadow state attached to a [`DeviceBuffer`](crate::DeviceBuffer)
@@ -498,39 +678,70 @@ impl BufferShadow {
     /// Update the race record for `idx` and return the conflicting
     /// (kinds, block-plus-one) pair if this access races with an
     /// earlier one in the same launch.
+    ///
+    /// `now_epoch` is the launch's global epoch counter at access time;
+    /// `sync_epoch` is the epoch at which the accessing *block* last
+    /// performed an acquire grid sync (0 = never). An earlier access
+    /// whose recorded epoch predates `sync_epoch` is ordered-before the
+    /// acquire and cannot conflict — a per-word refinement of the old
+    /// "synced block is exempt forever" rule, so a synced block's
+    /// conflicts with accesses made *after* its acquire are still
+    /// caught. Treating every smaller-epoch access as ordered is an
+    /// over-approximation (suppression, never a false positive) for
+    /// blocks that raced with the acquire itself.
     fn race_check(
         &self,
         idx: usize,
         launch: u64,
         block: usize,
         kind: AccessKind,
+        now_epoch: u64,
+        sync_epoch: u64,
     ) -> Option<(u64, u64)> {
         let cell = self.race.get(idx)?;
         let kbit = kind.bit();
-        let launch32 = launch & 0xFFFF_FFFF;
+        let launch24 = launch & LAUNCH_MASK;
         let block_plus1 = (block as u64 + 1).min(BLOCK_MULTI - 1);
         loop {
             let prev = cell.load(Ordering::Relaxed);
-            let prev_launch = prev & 0xFFFF_FFFF;
+            let prev_launch = prev & LAUNCH_MASK;
+            let prev_epoch = (prev >> EPOCH_SHIFT) & EPOCH_MASK;
             let prev_block = (prev >> BLOCK_SHIFT) & BLOCK_MASK;
             let prev_kinds = prev >> KIND_SHIFT;
 
-            let (next, conflict) = if prev_launch != launch32 || prev_block == 0 {
+            let (next, conflict) = if prev_launch != launch24 || prev_block == 0 {
                 // First access of this launch (or first ever).
-                (pack(launch32, block_plus1, kbit), None)
+                (pack(launch24, now_epoch, block_plus1, kbit), None)
             } else if prev_block == block_plus1 {
                 // Same block touching its own word again: no hazard.
-                (pack(launch32, block_plus1, prev_kinds | kbit), None)
+                (
+                    pack(
+                        launch24,
+                        now_epoch.max(prev_epoch),
+                        block_plus1,
+                        prev_kinds | kbit,
+                    ),
+                    None,
+                )
             } else {
-                // Cross-block access within one launch.
+                // Cross-block access within one launch. The stored
+                // epoch is the max over contributors, so a merged
+                // multi-block record stays conservative: suppression
+                // requires *every* contributor to predate the acquire.
                 let hazard = match kind {
                     AccessKind::Read => prev_kinds & (2 | 4) != 0,
                     AccessKind::Write => prev_kinds != 0,
                     AccessKind::Atomic => prev_kinds & (1 | 2) != 0,
                 };
+                let ordered = sync_epoch != 0 && prev_epoch < sync_epoch.min(EPOCH_MASK);
                 (
-                    pack(launch32, BLOCK_MULTI, prev_kinds | kbit),
-                    hazard.then_some((prev_kinds, prev_block)),
+                    pack(
+                        launch24,
+                        now_epoch.max(prev_epoch),
+                        BLOCK_MULTI,
+                        prev_kinds | kbit,
+                    ),
+                    (hazard && !ordered).then_some((prev_kinds, prev_block)),
                 )
             };
             if cell
@@ -566,6 +777,12 @@ pub struct LaunchScope<'g> {
     san: &'g Sanitizer,
     launch: u64,
     kernel: &'g str,
+    /// Global grid-sync epoch for this launch: starts at 1, bumped by
+    /// every acquire ([`BlockCtx::atomic_add_sync`](crate::exec::BlockCtx::atomic_add_sync),
+    /// last-block [`BlockCtx::mark_block_done`](crate::exec::BlockCtx::mark_block_done)).
+    /// Accesses are stamped with it so racecheck can order them against
+    /// acquires per word instead of exempting whole blocks.
+    epoch: AtomicU64,
 }
 
 impl<'g> LaunchScope<'g> {
@@ -574,7 +791,14 @@ impl<'g> LaunchScope<'g> {
             san,
             launch: san.next_launch(),
             kernel,
+            epoch: AtomicU64::new(1),
         }
+    }
+
+    /// Bump the global epoch for an acquire grid sync and return the
+    /// acquirer's new sync epoch.
+    pub(crate) fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Validate one device-memory access. Returns `false` when the
@@ -591,7 +815,7 @@ impl<'g> LaunchScope<'g> {
         idx: usize,
         kind: AccessKind,
         block: usize,
-        synced: bool,
+        sync_epoch: u64,
     ) -> bool {
         if idx >= len {
             if self.san.mode.memcheck {
@@ -669,8 +893,11 @@ impl<'g> LaunchScope<'g> {
                 }
             }
         }
-        if self.san.mode.racecheck && !synced {
-            if let Some((prev_kinds, prev_block)) = sh.race_check(idx, self.launch, block, kind) {
+        if self.san.mode.racecheck {
+            let now = self.epoch.load(Ordering::Relaxed);
+            if let Some((prev_kinds, prev_block)) =
+                sh.race_check(idx, self.launch, block, kind, now, sync_epoch)
+            {
                 let who = if prev_block == BLOCK_MULTI {
                     "several blocks".to_string()
                 } else {
@@ -708,6 +935,10 @@ mod tests {
         assert!(SanitizerMode::full().enabled());
         assert!(SanitizerMode::racecheck_only().racecheck);
         assert!(!SanitizerMode::racecheck_only().memcheck);
+        assert!(!SanitizerMode::full().leakcheck, "leakcheck is opt-in");
+        assert!(SanitizerMode::full().with_leakcheck().leakcheck);
+        assert!(SanitizerMode::leakcheck_only().enabled());
+        assert!(!SanitizerMode::leakcheck_only().racecheck);
     }
 
     #[test]
@@ -737,35 +968,119 @@ mod tests {
     #[test]
     fn race_shadow_flags_cross_block_write_write() {
         let sh = BufferShadow::new(4, SanitizerMode::full());
-        assert!(sh.race_check(0, 1, 0, AccessKind::Write).is_none());
-        let c = sh.race_check(0, 1, 1, AccessKind::Write);
+        assert!(sh.race_check(0, 1, 0, AccessKind::Write, 1, 0).is_none());
+        let c = sh.race_check(0, 1, 1, AccessKind::Write, 1, 0);
         assert_eq!(c, Some((2, 1)), "write by block 0 conflicts");
         // A new launch resets the record.
-        assert!(sh.race_check(0, 2, 5, AccessKind::Write).is_none());
+        assert!(sh.race_check(0, 2, 5, AccessKind::Write, 1, 0).is_none());
     }
 
     #[test]
     fn race_shadow_allows_read_read_and_atomic_atomic() {
         let sh = BufferShadow::new(1, SanitizerMode::full());
-        assert!(sh.race_check(0, 1, 0, AccessKind::Read).is_none());
-        assert!(sh.race_check(0, 1, 1, AccessKind::Read).is_none());
+        assert!(sh.race_check(0, 1, 0, AccessKind::Read, 1, 0).is_none());
+        assert!(sh.race_check(0, 1, 1, AccessKind::Read, 1, 0).is_none());
         // ... but a later write conflicts with the multi-block reads.
-        let c = sh.race_check(0, 1, 2, AccessKind::Write).unwrap();
+        let c = sh.race_check(0, 1, 2, AccessKind::Write, 1, 0).unwrap();
         assert_eq!(c.1, BLOCK_MULTI);
 
         let sh = BufferShadow::new(1, SanitizerMode::full());
-        assert!(sh.race_check(0, 3, 0, AccessKind::Atomic).is_none());
-        assert!(sh.race_check(0, 3, 1, AccessKind::Atomic).is_none());
+        assert!(sh.race_check(0, 3, 0, AccessKind::Atomic, 1, 0).is_none());
+        assert!(sh.race_check(0, 3, 1, AccessKind::Atomic, 1, 0).is_none());
         // Mixed atomic / non-atomic flags.
-        assert!(sh.race_check(0, 3, 2, AccessKind::Read).is_some());
+        assert!(sh.race_check(0, 3, 2, AccessKind::Read, 1, 0).is_some());
     }
 
     #[test]
     fn race_shadow_same_block_is_silent() {
         let sh = BufferShadow::new(1, SanitizerMode::full());
-        assert!(sh.race_check(0, 1, 7, AccessKind::Write).is_none());
-        assert!(sh.race_check(0, 1, 7, AccessKind::Read).is_none());
-        assert!(sh.race_check(0, 1, 7, AccessKind::Atomic).is_none());
+        assert!(sh.race_check(0, 1, 7, AccessKind::Write, 1, 0).is_none());
+        assert!(sh.race_check(0, 1, 7, AccessKind::Read, 1, 0).is_none());
+        assert!(sh.race_check(0, 1, 7, AccessKind::Atomic, 1, 0).is_none());
+    }
+
+    #[test]
+    fn sync_epoch_orders_only_earlier_accesses() {
+        let sh = BufferShadow::new(2, SanitizerMode::full());
+        // Block 0 writes word 0 at epoch 1, then block 1 acquires
+        // (sync epoch 2): its read of word 0 is ordered, not a race.
+        assert!(sh.race_check(0, 1, 0, AccessKind::Write, 1, 0).is_none());
+        assert!(sh.race_check(0, 1, 1, AccessKind::Read, 2, 2).is_none());
+
+        // But a write made AT or AFTER the acquire epoch still
+        // conflicts with the acquirer: block 2 writes word 1 at epoch
+        // 2, and block 1 (sync epoch 2) reads it — unordered.
+        assert!(sh.race_check(1, 1, 2, AccessKind::Write, 2, 0).is_none());
+        assert!(sh.race_check(1, 1, 1, AccessKind::Read, 2, 2).is_some());
+    }
+
+    #[test]
+    fn sync_epoch_no_longer_exempts_whole_block() {
+        // The old rule exempted a synced block from racecheck forever.
+        // Now: block 1 acquires at epoch 2, then block 0 writes the
+        // word at epoch 2 (after the acquire), then block 1 reads it —
+        // a real unordered conflict that must be flagged.
+        let sh = BufferShadow::new(1, SanitizerMode::full());
+        assert!(sh.race_check(0, 1, 0, AccessKind::Write, 2, 0).is_none());
+        assert!(sh.race_check(0, 1, 1, AccessKind::Read, 2, 2).is_some());
+    }
+
+    #[test]
+    fn merged_multi_block_record_keeps_latest_epoch() {
+        let sh = BufferShadow::new(1, SanitizerMode::full());
+        // Reads at epochs 1 and 3 merge; an acquirer at sync epoch 2
+        // must still conflict (one contributor postdates its acquire).
+        assert!(sh.race_check(0, 1, 0, AccessKind::Read, 1, 0).is_none());
+        assert!(sh.race_check(0, 1, 1, AccessKind::Read, 3, 0).is_none());
+        assert!(sh.race_check(0, 1, 2, AccessKind::Write, 3, 2).is_some());
+        // ... while an acquirer past every contributor is ordered.
+        let sh = BufferShadow::new(1, SanitizerMode::full());
+        assert!(sh.race_check(0, 1, 0, AccessKind::Read, 1, 0).is_none());
+        assert!(sh.race_check(0, 1, 1, AccessKind::Read, 2, 0).is_none());
+        assert!(sh.race_check(0, 1, 2, AccessKind::Write, 3, 3).is_none());
+    }
+
+    #[test]
+    fn leakcheck_flags_dropped_unfreed_allocations() {
+        let san = Sanitizer::new(SanitizerMode::leakcheck_only());
+        let sh = std::sync::Arc::new(BufferShadow::new(4, san.mode()));
+        san.register_alloc("lost", 16, sh.clone());
+        // Handle still alive: not a leak.
+        san.run_leakcheck(16);
+        assert_eq!(san.counts().leakcheck, 0);
+        drop(sh);
+        // Handle gone, bytes never freed: leak.
+        san.run_leakcheck(16);
+        assert_eq!(san.counts().leakcheck, 1);
+        let f = &san.report().findings[0];
+        assert_eq!(f.analysis, Analysis::Leakcheck);
+        assert_eq!(f.buffer, "lost");
+        assert!(f.detail.contains("16 bytes"));
+        // Idempotent: a second sweep reports nothing new.
+        san.run_leakcheck(16);
+        assert_eq!(san.counts().leakcheck, 1);
+    }
+
+    #[test]
+    fn leakcheck_freed_buffers_are_clean() {
+        let san = Sanitizer::new(SanitizerMode::leakcheck_only());
+        let sh = std::sync::Arc::new(BufferShadow::new(4, san.mode()));
+        san.register_alloc("ok", 16, sh.clone());
+        sh.mark_freed();
+        drop(sh);
+        san.run_leakcheck(0);
+        assert_eq!(san.counts().leakcheck, 0);
+    }
+
+    #[test]
+    fn leakcheck_reports_accounting_drift_once() {
+        let san = Sanitizer::new(SanitizerMode::leakcheck_only());
+        // 64 bytes outstanding in the allocator, nothing tracked.
+        san.run_leakcheck(64);
+        assert_eq!(san.counts().leakcheck, 1);
+        assert_eq!(san.report().findings[0].buffer, "<allocator>");
+        san.run_leakcheck(64);
+        assert_eq!(san.counts().leakcheck, 1, "drift reported once");
     }
 
     #[test]

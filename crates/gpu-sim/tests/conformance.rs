@@ -1,0 +1,28 @@
+//! The simulator is the reference backend: it must pass its own
+//! conformance contract, with and without the sanitizer armed.
+
+use gpu_sim::{conformance, DeviceSpec, Gpu, SanitizerMode};
+
+#[test]
+fn gpu_sim_passes_backend_conformance() {
+    let mut gpu = Gpu::new(DeviceSpec::test_tiny());
+    conformance::run_all(&mut gpu);
+}
+
+#[test]
+fn gpu_sim_passes_conformance_on_every_preset() {
+    for spec in [DeviceSpec::a100(), DeviceSpec::h100(), DeviceSpec::a10()] {
+        let mut gpu = Gpu::new(spec);
+        conformance::run_all(&mut gpu);
+    }
+}
+
+#[test]
+fn conformance_holds_under_full_sanitizer() {
+    // The contract checks deliberately include error paths (OOB loads,
+    // failed allocations); the sanitizer must observe them without
+    // changing the behaviour the contract asserts.
+    let mut gpu = Gpu::new(DeviceSpec::test_tiny());
+    gpu.enable_sanitizer(SanitizerMode::full());
+    conformance::run_all(&mut gpu);
+}

@@ -14,7 +14,7 @@
 //! and what this baseline exists to measure.
 
 use crate::common::{load_candidate, stream_launch, SelectionState, STREAM_CHUNK};
-use gpu_sim::{DeviceBuffer, Gpu};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer};
 use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
 use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
@@ -38,7 +38,7 @@ impl TopKAlgorithm for RadixSelect {
 
     fn try_select(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
         k: usize,
     ) -> Result<TopKOutput, TopKError> {
@@ -70,7 +70,7 @@ impl TopKAlgorithm for RadixSelect {
 /// The host-in-the-loop pass sequence; cleanup happens in `try_select`
 /// so an error cannot strand workspace bytes.
 fn run_passes(
-    gpu: &mut Gpu,
+    gpu: &mut dyn Backend,
     input: &DeviceBuffer<f32>,
     st: &mut SelectionState,
     hist: &DeviceBuffer<u32>,
@@ -210,7 +210,7 @@ fn run_passes(
 mod tests {
     use super::*;
     use datagen::{generate, Distribution};
-    use gpu_sim::DeviceSpec;
+    use gpu_sim::{DeviceSpec, Gpu};
     use topk_core::verify::verify_topk;
 
     fn run_case(data: &[f32], k: usize) {

@@ -12,7 +12,7 @@
 //! two orders of magnitude (still only 100 warps on a device that
 //! wants ~1700 to saturate).
 
-use gpu_sim::{DeviceBuffer, Gpu};
+use gpu_sim::{Backend, DeviceBuffer};
 use topk_core::error::TopKError;
 use topk_core::gridselect::{select_partial_core, GridSelectConfig, QueueKind, MAX_K};
 use topk_core::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput};
@@ -58,7 +58,7 @@ impl TopKAlgorithm for WarpSelect {
 
     fn try_select(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
         k: usize,
     ) -> Result<TopKOutput, TopKError> {
@@ -79,7 +79,7 @@ impl TopKAlgorithm for WarpSelect {
 
     fn try_select_batch(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
     ) -> Result<Vec<TopKOutput>, TopKError> {
@@ -95,7 +95,7 @@ impl TopKAlgorithm for WarpSelect {
 mod tests {
     use super::*;
     use datagen::{generate, Distribution};
-    use gpu_sim::DeviceSpec;
+    use gpu_sim::{DeviceSpec, Gpu};
     use topk_core::verify::verify_topk;
 
     fn run_case(data: &[f32], k: usize) {

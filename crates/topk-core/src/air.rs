@@ -35,7 +35,7 @@ use crate::keys::{digit_of, digit_width_of, num_passes_of, prefix_of, RadixKey};
 use crate::obs;
 use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput, TypedOutput};
-use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
 use std::sync::atomic::Ordering::Relaxed;
 
 /// Tuning knobs for [`AirTopK`]. Defaults follow the paper: 11-bit
@@ -177,7 +177,7 @@ impl AirTopK {
     /// launches. All problems share N and K.
     pub fn run_batch(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
     ) -> Result<Vec<TopKOutput>, TopKError> {
@@ -194,7 +194,7 @@ impl AirTopK {
     /// Returns `(values, indices)` buffers per problem.
     pub fn run_batch_typed<T: RadixKey>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: &[DeviceBuffer<T>],
         k: usize,
     ) -> Result<Vec<TypedOutput<T>>, TopKError> {
@@ -235,7 +235,7 @@ impl AirTopK {
     /// reshaping.
     pub fn run_matrix_typed<T: RadixKey>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &crate::matrix::DeviceMatrix<T>,
         k: usize,
     ) -> Result<
@@ -269,7 +269,7 @@ impl AirTopK {
     /// ordered-bit domain) and a single-word copy back.
     pub fn kth_value_typed<T>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<T>,
         k: usize,
     ) -> Result<T, TopKError>
@@ -326,7 +326,7 @@ impl AirTopK {
     /// [`AirTopK::kth_value_typed`] for `f32`.
     pub fn kth_value(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
         k: usize,
     ) -> Result<f32, TopKError> {
@@ -337,7 +337,7 @@ impl AirTopK {
     /// `batch × k` buffers.
     fn run_rows<T: RadixKey>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: Rows<'_, T>,
         k: usize,
     ) -> Result<(DeviceBuffer<T>, DeviceBuffer<u32>), TopKError> {
@@ -373,7 +373,7 @@ impl AirTopK {
     /// stays leak-free.
     fn run_rows_multi_pass<T: RadixKey>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         ws: &mut ScratchGuard,
         outs: &mut ScratchGuard,
         inputs: Rows<'_, T>,
@@ -707,7 +707,7 @@ impl AirTopK {
     /// K = N: copy everything out with identity indices, one coalesced
     /// kernel for the whole batch.
     fn run_batch_copy_all<T: RadixKey>(
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: Rows<'_, T>,
     ) -> Result<(DeviceBuffer<T>, DeviceBuffer<u32>), TopKError> {
         let n = inputs.n();
@@ -753,7 +753,7 @@ impl AirTopK {
     /// batch, input read once, no candidate buffers in device memory.
     fn run_batch_one_block<T: RadixKey>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: Rows<'_, T>,
         k: usize,
     ) -> Result<(DeviceBuffer<T>, DeviceBuffer<u32>), TopKError> {
@@ -897,7 +897,7 @@ impl TopKAlgorithm for AirTopK {
 
     fn try_select(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
         k: usize,
     ) -> Result<TopKOutput, TopKError> {
@@ -910,7 +910,7 @@ impl TopKAlgorithm for AirTopK {
 
     fn try_select_batch(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
     ) -> Result<Vec<TopKOutput>, TopKError> {

@@ -4,7 +4,7 @@
 use super::*;
 use crate::verify::verify_topk;
 use datagen::{generate, Distribution};
-use gpu_sim::DeviceSpec;
+use gpu_sim::{DeviceSpec, Gpu};
 
 fn gpu() -> Gpu {
     Gpu::new(DeviceSpec::a100())

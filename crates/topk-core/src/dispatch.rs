@@ -35,7 +35,7 @@ use crate::radik::{RadiK, RadiKConfig};
 use crate::rowwise::RowWiseTopK;
 use crate::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput};
 use crate::tuner::{DistSketch, Plan, ProblemShape, TunedAlgo, Tuner};
-use gpu_sim::{DeviceBuffer, DeviceSpec, Gpu};
+use gpu_sim::{Backend, DeviceBuffer, DeviceSpec};
 
 /// Which algorithm the static prior picked (returned by
 /// [`SelectK::choice`] so callers can log / assert the routing).
@@ -174,7 +174,7 @@ impl SelectK {
     fn run_single(
         &self,
         algo: TunedAlgo,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
         k: usize,
     ) -> Result<TopKOutput, TopKError> {
@@ -209,7 +209,7 @@ impl SelectK {
     fn run_batch(
         &self,
         algo: TunedAlgo,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
     ) -> Result<Vec<TopKOutput>, TopKError> {
@@ -245,7 +245,7 @@ impl SelectK {
     /// sketch (see [`DistSketch::from_sample`]).
     pub fn try_select_with_sketch(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
         k: usize,
         sketch: DistSketch,
@@ -271,7 +271,7 @@ impl SelectK {
     /// Batched selection with a caller-provided distribution sketch.
     pub fn try_select_batch_with_sketch(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
         sketch: DistSketch,
@@ -306,7 +306,7 @@ impl TopKAlgorithm for SelectK {
 
     fn try_select(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
         k: usize,
     ) -> Result<TopKOutput, TopKError> {
@@ -315,7 +315,7 @@ impl TopKAlgorithm for SelectK {
 
     fn try_select_batch(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
     ) -> Result<Vec<TopKOutput>, TopKError> {
@@ -328,7 +328,7 @@ mod tests {
     use super::*;
     use crate::verify::verify_topk;
     use datagen::{generate, Distribution};
-    use gpu_sim::DeviceSpec;
+    use gpu_sim::{DeviceSpec, Gpu};
 
     #[test]
     fn routing_follows_the_guidelines() {

@@ -35,7 +35,7 @@ use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput, TypedOutput};
 use gpu_sim::device::WARP_SIZE;
 use gpu_sim::warp::{ballot, lane_rank, Lanes};
-use gpu_sim::{BlockCtx, DeviceBuffer, DeviceScalar, Gpu, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, BlockCtx, DeviceBuffer, DeviceScalar, LaunchConfig};
 use std::sync::atomic::Ordering::Relaxed;
 
 /// Largest K the WarpSelect family supports (§2.2: limited by
@@ -147,7 +147,7 @@ impl GridSelect {
     /// the scores (distances, model outputs, …).
     pub fn select_on_the_fly<P>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         n: usize,
         k: usize,
         producer: P,
@@ -173,7 +173,7 @@ impl GridSelect {
     /// Solve a batch with a single launch set.
     pub fn run_batch(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
     ) -> Result<Vec<TopKOutput>, TopKError> {
@@ -188,7 +188,7 @@ impl GridSelect {
     /// costs occupancy.
     pub fn run_batch_typed<T>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: &[DeviceBuffer<T>],
         k: usize,
     ) -> Result<Vec<TypedOutput<T>>, TopKError>
@@ -227,7 +227,7 @@ impl GridSelect {
     /// parity): one contiguous `rows × cols` input, per-row top-K.
     pub fn run_matrix_typed<T>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &crate::matrix::DeviceMatrix<T>,
         k: usize,
     ) -> Result<Vec<TypedOutput<T>>, TopKError>
@@ -263,7 +263,7 @@ impl TopKAlgorithm for GridSelect {
 
     fn try_select(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
         k: usize,
     ) -> Result<TopKOutput, TopKError> {
@@ -276,7 +276,7 @@ impl TopKAlgorithm for GridSelect {
 
     fn try_select_batch(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
     ) -> Result<Vec<TopKOutput>, TopKError> {
@@ -388,7 +388,7 @@ impl<O: OrderedBits> WarpState<O> {
 /// `batch × blocks_per_problem` blocks and, if more than one block per
 /// problem was used, a tree of `gridselect_merge_kernel` launches.
 pub fn select_partial_core(
-    gpu: &mut Gpu,
+    gpu: &mut dyn Backend,
     name: &str,
     inputs: &[DeviceBuffer<f32>],
     k: usize,
@@ -422,7 +422,7 @@ pub fn select_partial_core(
 /// work, e.g. compute a query-to-vector distance; the produced value
 /// never needs to exist in device memory.
 pub fn select_streaming_core<P>(
-    gpu: &mut Gpu,
+    gpu: &mut dyn Backend,
     name: &str,
     n: usize,
     batch: usize,
@@ -447,7 +447,7 @@ where
 /// model turns into lower occupancy — the same trade a real
 /// implementation makes.
 pub fn select_streaming_core_typed<T, P>(
-    gpu: &mut Gpu,
+    gpu: &mut dyn Backend,
     name: &str,
     n: usize,
     batch: usize,
@@ -484,7 +484,7 @@ where
 /// release either group on any exit path.
 #[allow(clippy::too_many_arguments)]
 fn streaming_core_launches<T, P>(
-    gpu: &mut Gpu,
+    gpu: &mut dyn Backend,
     ws: &mut ScratchGuard,
     outs: &mut ScratchGuard,
     name: &str,

@@ -19,7 +19,7 @@
 use crate::error::TopKError;
 use crate::keys::RadixKey;
 use crate::traits::{Category, TopKAlgorithm, TopKOutput};
-use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
 
 /// Total-order negation on f32: maps x so that the smallest-K of the
 /// mapped values are the largest-K of the originals, bijectively.
@@ -58,7 +58,7 @@ impl<A: TopKAlgorithm> SelectLargest<A> {
     }
 
     fn negate_buffer(
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
     ) -> Result<DeviceBuffer<f32>, TopKError> {
         let n = input.len();
@@ -86,7 +86,7 @@ impl<A: TopKAlgorithm> SelectLargest<A> {
         Ok(out)
     }
 
-    fn restore_output(gpu: &mut Gpu, out: &TopKOutput) -> Result<TopKOutput, TopKError> {
+    fn restore_output(gpu: &mut dyn Backend, out: &TopKOutput) -> Result<TopKOutput, TopKError> {
         let k = out.values.len();
         let fixed = gpu.try_alloc::<f32>("restored_values", k)?;
         let src = out.values.clone();
@@ -129,7 +129,7 @@ impl<A: TopKAlgorithm> TopKAlgorithm for SelectLargest<A> {
 
     fn try_select(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
         k: usize,
     ) -> Result<TopKOutput, TopKError> {
@@ -149,7 +149,7 @@ impl<A: TopKAlgorithm> TopKAlgorithm for SelectLargest<A> {
 
     fn try_select_batch(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
     ) -> Result<Vec<TopKOutput>, TopKError> {
@@ -214,7 +214,7 @@ mod tests {
     use super::*;
     use crate::air::AirTopK;
     use crate::gridselect::GridSelect;
-    use gpu_sim::DeviceSpec;
+    use gpu_sim::{DeviceSpec, Gpu};
 
     fn check_largest(out: &TopKOutput, input: &[f32], k: usize) {
         let got: Vec<u32> = {

@@ -8,7 +8,7 @@
 //! writes its `rows × k` outputs packed — how the real library works,
 //! as opposed to the `&[DeviceBuffer]` convenience API.
 
-use gpu_sim::{DeviceBuffer, DeviceScalar, Gpu};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, DeviceScalar};
 
 /// A row-major `rows × cols` matrix in device memory.
 #[derive(Debug, Clone)]
@@ -33,7 +33,7 @@ impl<T: DeviceScalar> DeviceMatrix<T> {
     }
 
     /// Allocate a zeroed matrix on the device.
-    pub fn zeroed(gpu: &mut Gpu, label: &str, rows: usize, cols: usize) -> Self {
+    pub fn zeroed(gpu: &mut dyn Backend, label: &str, rows: usize, cols: usize) -> Self {
         DeviceMatrix {
             buf: gpu.alloc::<T>(label, rows * cols),
             rows,
@@ -42,7 +42,7 @@ impl<T: DeviceScalar> DeviceMatrix<T> {
     }
 
     /// Upload host data (`rows × cols`, row-major) to a new matrix.
-    pub fn htod(gpu: &mut Gpu, label: &str, data: &[T], rows: usize, cols: usize) -> Self {
+    pub fn htod(gpu: &mut dyn Backend, label: &str, data: &[T], rows: usize, cols: usize) -> Self {
         assert_eq!(data.len(), rows * cols);
         DeviceMatrix {
             buf: gpu.htod(label, data),
@@ -78,7 +78,7 @@ impl<T: DeviceScalar> DeviceMatrix<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_sim::DeviceSpec;
+    use gpu_sim::{DeviceSpec, Gpu};
 
     #[test]
     fn shape_and_rows() {

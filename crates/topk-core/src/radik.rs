@@ -37,7 +37,7 @@ use crate::keys::{common_prefix_len_of, digit_at, num_passes_of, OrderedBits, Ra
 use crate::obs;
 use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput, TypedOutput};
-use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
 use std::sync::atomic::Ordering::Relaxed;
 
 /// Tuning knobs for [`RadiK`]. Defaults match [`crate::air::AirConfig`]
@@ -144,7 +144,7 @@ impl RadiK {
     /// Generic-key batched selection, packed per-problem outputs.
     pub fn run_batch_typed<T>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: &[DeviceBuffer<T>],
         k: usize,
     ) -> Result<Vec<TypedOutput<T>>, TopKError>
@@ -184,7 +184,7 @@ impl RadiK {
     /// Matrix-shaped batched selection (packed `rows × k` outputs).
     pub fn run_matrix_typed<T>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &crate::matrix::DeviceMatrix<T>,
         k: usize,
     ) -> Result<
@@ -215,7 +215,7 @@ impl RadiK {
 
     fn run_rows<T>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: Rows<'_, T>,
         k: usize,
     ) -> Result<(DeviceBuffer<T>, DeviceBuffer<u32>), TopKError>
@@ -253,7 +253,7 @@ impl RadiK {
     #[allow(clippy::too_many_lines)]
     fn run_rows_multi_round<T>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         ws: &mut ScratchGuard,
         outs: &mut ScratchGuard,
         inputs: Rows<'_, T>,
@@ -714,7 +714,7 @@ impl TopKAlgorithm for RadiK {
 
     fn try_select(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
         k: usize,
     ) -> Result<TopKOutput, TopKError> {
@@ -727,7 +727,7 @@ impl TopKAlgorithm for RadiK {
 
     fn try_select_batch(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         inputs: &[DeviceBuffer<f32>],
         k: usize,
     ) -> Result<Vec<TopKOutput>, TopKError> {
@@ -744,7 +744,7 @@ mod tests {
     use super::*;
     use crate::verify::verify_topk;
     use datagen::Distribution;
-    use gpu_sim::DeviceSpec;
+    use gpu_sim::{DeviceSpec, Gpu};
 
     #[test]
     fn agrees_with_cpu_reference_on_all_distributions() {
@@ -847,7 +847,8 @@ mod tests {
                 )
             })
             .collect();
-        let time = |run: &dyn Fn(&mut Gpu, &[DeviceBuffer<f32>])| {
+        type BatchRun<'a> = dyn Fn(&mut dyn Backend, &[DeviceBuffer<f32>]) + 'a;
+        let time = |run: &BatchRun<'_>| {
             let mut gpu = Gpu::new(DeviceSpec::a100());
             let bufs: Vec<_> = datas
                 .iter()

@@ -10,7 +10,7 @@
 //! into kernel closures.
 
 use crate::error::TopKError;
-use gpu_sim::{DeviceBuffer, DeviceScalar, Gpu, ShadowToken};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, DeviceScalar, ShadowToken};
 
 /// Accumulates the byte total of a group of device allocations so they
 /// can be released together on success *or* error.
@@ -45,7 +45,7 @@ impl ScratchGuard {
     /// when [`ScratchGuard::release`] runs.
     pub fn alloc<T: DeviceScalar>(
         &mut self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         label: &str,
         len: usize,
     ) -> Result<DeviceBuffer<T>, TopKError> {
@@ -69,7 +69,7 @@ impl ScratchGuard {
     /// Release every tracked byte back to the device allocator. Under
     /// the sanitizer's memcheck, any later access to a released buffer
     /// is reported as a use-after-free.
-    pub fn release(self, gpu: &mut Gpu) {
+    pub fn release(self, gpu: &mut dyn Backend) {
         for token in &self.tokens {
             token.mark_freed();
         }
@@ -80,7 +80,7 @@ impl ScratchGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_sim::DeviceSpec;
+    use gpu_sim::{DeviceSpec, Gpu};
 
     #[test]
     fn release_returns_all_tracked_bytes() {

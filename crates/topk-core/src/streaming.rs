@@ -26,7 +26,7 @@ use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
 use gpu_sim::device::WARP_SIZE;
 use gpu_sim::warp::Lanes;
-use gpu_sim::{BlockCtx, DeviceBuffer, Gpu, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, BlockCtx, DeviceBuffer, LaunchConfig};
 
 /// Maximum supported K, same as the rest of the WarpSelect family.
 pub use crate::gridselect::MAX_K;
@@ -163,7 +163,7 @@ impl StreamingSelect {
     #[allow(clippy::too_many_arguments)]
     fn launch_stream(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         label: &str,
         blocks: usize,
         chunk: usize,
@@ -212,7 +212,7 @@ impl StreamingSelect {
 
     fn run(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         ws: &mut ScratchGuard,
         outs: &mut ScratchGuard,
         input: &DeviceBuffer<f32>,
@@ -317,7 +317,7 @@ impl TopKAlgorithm for StreamingSelect {
 
     fn try_select(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
         k: usize,
     ) -> Result<TopKOutput, TopKError> {

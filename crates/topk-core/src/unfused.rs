@@ -29,7 +29,7 @@ use crate::error::TopKError;
 use crate::keys::{digit_of, digit_width_of, num_passes_of, RadixKey};
 use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
-use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
 
 // Device control-block slots.
 const K_REM: usize = 0;
@@ -67,7 +67,7 @@ impl TopKAlgorithm for UnfusedRadix {
 
     fn try_select(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
         k: usize,
     ) -> Result<TopKOutput, TopKError> {
@@ -86,7 +86,7 @@ impl TopKAlgorithm for UnfusedRadix {
 impl UnfusedRadix {
     fn run_passes(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         ws: &mut ScratchGuard,
         outs: &mut ScratchGuard,
         input: &DeviceBuffer<f32>,
@@ -260,7 +260,7 @@ mod tests {
     use crate::air::AirTopK;
     use crate::verify::verify_topk;
     use datagen::{generate, Distribution};
-    use gpu_sim::DeviceSpec;
+    use gpu_sim::{DeviceSpec, Gpu};
 
     fn run_case(data: &[f32], k: usize) {
         let mut g = Gpu::new(DeviceSpec::a100());

@@ -116,9 +116,10 @@ pub use gpu_sim::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, SanitizerCounts, SanitizerMode, ScriptedFault,
 };
 
-use gpu_sim::{DeviceSpec, Gpu, KernelReport, SimError};
+use gpu_sim::{Backend, BackendExt, DeviceSpec, Gpu, KernelReport, SimError};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use topk_core::tuner::{DistSketch, ProblemShape};
 use topk_core::{AlgoSnapshot, ScratchGuard, SelectK, TopKError};
 
@@ -166,6 +167,34 @@ impl Default for BreakerConfig {
     }
 }
 
+/// Closure signature a [`BackendFactory`] wraps: device spec in,
+/// boxed backend out.
+pub type BackendCtor = dyn Fn(&DeviceSpec) -> Box<dyn Backend> + Send + Sync;
+
+/// Constructor for the pool's device backends, letting an engine run
+/// on any [`Backend`] implementation (the simulator by default; a
+/// `wgpu` device, a mock, …). Cheap to clone — the closure is shared.
+#[derive(Clone)]
+pub struct BackendFactory(Arc<BackendCtor>);
+
+impl BackendFactory {
+    /// Wrap a constructor closure.
+    pub fn new(f: impl Fn(&DeviceSpec) -> Box<dyn Backend> + Send + Sync + 'static) -> Self {
+        BackendFactory(Arc::new(f))
+    }
+
+    /// Build one backend for `spec`.
+    pub fn build(&self, spec: &DeviceSpec) -> Box<dyn Backend> {
+        (self.0)(spec)
+    }
+}
+
+impl std::fmt::Debug for BackendFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BackendFactory(..)")
+    }
+}
+
 /// Engine shape: which devices to pool, how to queue/coalesce, and how
 /// to behave when devices fault.
 #[derive(Debug, Clone)]
@@ -199,6 +228,9 @@ pub struct EngineConfig {
     /// findings surface in [`DeviceReport::sanitizer`] and
     /// [`DrainReport::sanitizer`].
     pub sanitizer: SanitizerMode,
+    /// How pool devices are constructed; `None` (the default) builds a
+    /// [`gpu_sim::Gpu`] simulator per [`DeviceSpec`] entry.
+    pub backend_factory: Option<BackendFactory>,
 }
 
 impl EngineConfig {
@@ -216,6 +248,7 @@ impl EngineConfig {
             deadline_us: None,
             cpu_fallback: true,
             sanitizer: SanitizerMode::off(),
+            backend_factory: None,
         }
     }
 
@@ -278,6 +311,17 @@ impl EngineConfig {
     #[must_use]
     pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
         self.sanitizer = mode;
+        self
+    }
+
+    /// Construct pool devices through `factory` instead of the default
+    /// [`gpu_sim::Gpu`] simulator — one call per [`DeviceSpec`] entry.
+    #[must_use]
+    pub fn with_backend_factory(
+        mut self,
+        factory: impl Fn(&DeviceSpec) -> Box<dyn Backend> + Send + Sync + 'static,
+    ) -> Self {
+        self.backend_factory = Some(BackendFactory::new(factory));
         self
     }
 }
@@ -789,7 +833,7 @@ pub struct TopKEngine {
     config: EngineConfig,
     pending: Vec<Pending>,
     next_id: usize,
-    gpus: Vec<Gpu>,
+    gpus: Vec<Box<dyn Backend>>,
     health: Vec<HealthState>,
     /// The adaptive dispatcher. Persists across drains so its plan
     /// table warms up and its calibration keeps learning from observed
@@ -820,7 +864,14 @@ impl TopKEngine {
     /// If the pool is empty.
     pub fn new(config: EngineConfig) -> Self {
         assert!(!config.devices.is_empty(), "engine needs >= 1 device");
-        let mut gpus: Vec<Gpu> = config.devices.iter().cloned().map(Gpu::new).collect();
+        let mut gpus: Vec<Box<dyn Backend>> = config
+            .devices
+            .iter()
+            .map(|spec| match &config.backend_factory {
+                Some(factory) => factory.build(spec),
+                None => Box::new(Gpu::new(spec.clone())) as Box<dyn Backend>,
+            })
+            .collect();
         if let Some(plan) = &config.fault_plan {
             for (dev, gpu) in gpus.iter_mut().enumerate() {
                 gpu.set_fault_injector(plan.injector_for(dev));
@@ -1106,7 +1157,7 @@ impl TopKEngine {
             let batch_report_lo = self.gpus[dev].reports().len() - report_lo[dev];
             self.gpus[dev].set_span(job.batch.span);
             let outcome = {
-                let gpu = &mut self.gpus[dev];
+                let gpu = self.gpus[dev].as_mut();
                 let batch = &job.batch;
                 catch_unwind(AssertUnwindSafe(|| run_batch(gpu, &selector, batch)))
             };
@@ -1509,7 +1560,7 @@ fn coalesce(pending: Vec<Pending>, window: usize) -> Vec<Batch> {
 /// path — including injected-fault errors — so the next batch on this
 /// device sees honest `mem_allocated`.
 fn run_batch(
-    gpu: &mut Gpu,
+    gpu: &mut dyn Backend,
     selector: &SelectK,
     batch: &Batch,
 ) -> Result<Vec<QueryOutput>, TopKError> {
@@ -1520,7 +1571,7 @@ fn run_batch(
 }
 
 fn batch_passes(
-    gpu: &mut Gpu,
+    gpu: &mut dyn Backend,
     ws: &mut ScratchGuard,
     selector: &SelectK,
     batch: &Batch,

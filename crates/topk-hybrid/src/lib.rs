@@ -35,7 +35,7 @@
 //! selection cannot lose a needed duplicate: each selected subrange
 //! supplies one element `≤ t` of its own.)
 
-use gpu_sim::{DeviceBuffer, Gpu, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
 use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
 use topk_core::{ScratchGuard, TopKError};
 
@@ -98,7 +98,7 @@ impl<A: TopKAlgorithm> DrTopK<A> {
     #[allow(clippy::too_many_arguments)]
     fn hybrid_passes(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         ws: &mut ScratchGuard,
         outs: &mut ScratchGuard,
         input: &DeviceBuffer<f32>,
@@ -226,7 +226,7 @@ impl<A: TopKAlgorithm> TopKAlgorithm for DrTopK<A> {
 
     fn try_select(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut dyn Backend,
         input: &DeviceBuffer<f32>,
         k: usize,
     ) -> Result<TopKOutput, TopKError> {
@@ -256,7 +256,7 @@ impl<A: TopKAlgorithm> TopKAlgorithm for DrTopK<A> {
 mod tests {
     use super::*;
     use datagen::{generate, Distribution};
-    use gpu_sim::DeviceSpec;
+    use gpu_sim::{DeviceSpec, Gpu};
     use topk_baselines::{RadixSelect, SortTopK};
     use topk_core::verify::verify_topk;
     use topk_core::{AirTopK, GridSelect};

@@ -1,0 +1,471 @@
+//! WGSL compute kernels for the radix-select family, plus exact host
+//! golden models of each kernel's semantics.
+//!
+//! The kernel set implements the paper's partition-based top-K recipe
+//! (§2.3: RadixSelect / RadiK) as a host-driven pass loop, the shape
+//! every WebGPU radix pipeline takes because WGSL has no grid-wide
+//! sync — each pass is one dispatch and the host reads back a 256-entry
+//! digit table between passes:
+//!
+//! 1. [`CAST_KEYS_WGSL`] — map `f32` bit patterns to `u32` keys whose
+//!    unsigned order matches the float order (ascending).
+//! 2. [`HISTOGRAM_WGSL`] — count the 8-bit digit at the current bit
+//!    offset over the live candidate range.
+//! 3. [`SCAN_WGSL`] — exclusive prefix-sum of the 256 digit counts in
+//!    one workgroup.
+//! 4. [`PARTITION_WGSL`] — split candidates against the digit bucket
+//!    holding the k-th key: smaller digits are emitted as winners,
+//!    equal digits survive into the next (less significant) pass.
+//!
+//! Four passes over 8-bit digits cover the 32-bit key; survivors after
+//! the last pass all equal the threshold key.
+//!
+//! The host functions here are not conveniences — they are the
+//! reference the conformance suite holds the shaders to, and they are
+//! what headless CI can still execute. Each mirrors its WGSL kernel
+//! statement-for-statement so a divergence is a bug in exactly one
+//! place.
+
+/// Digit width in bits; 8 gives a 256-entry table, the classic choice
+/// (RadiK uses 11 on CUDA; 8 keeps the WGSL scan a single workgroup).
+pub const RADIX_BITS: u32 = 8;
+
+/// Number of digit buckets per pass (`2^RADIX_BITS`).
+pub const RADIX: usize = 1 << RADIX_BITS;
+
+/// Workgroup size shared by all kernels — equal to [`RADIX`] so the
+/// scan kernel owns exactly one digit per invocation.
+pub const WORKGROUP_SIZE: u32 = RADIX as u32;
+
+/// Bit offsets of the four passes, most-significant digit first.
+pub const PASS_OFFSETS: [u32; 4] = [24, 16, 8, 0];
+
+/// `(monotone key, input index)` pairs, the currency of the host
+/// golden models.
+pub type KeyIdPairs = Vec<(u32, u32)>;
+
+/// Map `f32` bit patterns (bound as `u32`) to order-preserving keys.
+pub const CAST_KEYS_WGSL: &str = r#"
+// f32 -> monotone u32: flip all bits of negatives, set the sign bit of
+// non-negatives. Unsigned compare on the result matches float order.
+
+// [N] IEEE-754 bit patterns of the input values
+@group(0) @binding(0) var<storage, read_write>
+values: array<u32>;
+// [N] order-preserving keys
+@group(0) @binding(1) var<storage, read_write>
+keys: array<u32>;
+
+const WORKGROUP_SIZE: u32 = 256u;
+
+@compute @workgroup_size(WORKGROUP_SIZE, 1, 1)
+fn main(@builtin(global_invocation_id) global_id: vec3<u32>) {
+    let index = global_id.x;
+    if index < arrayLength(&values) {
+        let bits = values[index];
+        let mask = select(0x80000000u, 0xFFFFFFFFu, (bits >> 31u) == 1u);
+        keys[index] = bits ^ mask;
+    }
+}
+"#;
+
+/// Count the digit at `radix_bit_offset` over the live candidates.
+pub const HISTOGRAM_WGSL: &str = r#"
+struct Arguments {
+    // bit offset of this pass's digit (24, 16, 8, 0)
+    radix_bit_offset: u32,
+    // live candidate count (the buffer is reused across passes, so
+    // arrayLength would over-read)
+    count: u32,
+}
+
+@group(0) @binding(0) var<storage, read>
+arguments: Arguments;
+// [N] candidate keys
+@group(0) @binding(1) var<storage, read_write>
+keys: array<u32>;
+// [2^R] digit counts, zeroed by the host before dispatch
+@group(0) @binding(2) var<storage, read_write>
+digit_counts: array<atomic<u32>, RADIX>;
+
+// R
+const RADIX_BIT_COUNT: u32 = 8u;
+// 2^R
+const RADIX: u32 = 1u << RADIX_BIT_COUNT;
+// 2^R - 1
+const RADIX_BIT_MASK: u32 = RADIX - 1u;
+
+@compute @workgroup_size(RADIX, 1, 1)
+fn main(@builtin(global_invocation_id) global_id: vec3<u32>) {
+    let index = global_id.x;
+    if index < arguments.count {
+        let digit = (keys[index] >> arguments.radix_bit_offset) & RADIX_BIT_MASK;
+        atomicAdd(&digit_counts[digit], 1u);
+    }
+}
+"#;
+
+/// Exclusive prefix-sum of the 256 digit counts, one workgroup.
+pub const SCAN_WGSL: &str = r#"
+// [2^R] this pass's digit counts
+@group(0) @binding(0) var<storage, read_write>
+digit_counts: array<u32, RADIX>;
+// [2^R] exclusive prefix sums of digit_counts
+@group(0) @binding(1) var<storage, read_write>
+digit_offsets: array<u32, RADIX>;
+
+const RADIX: u32 = 256u;
+
+var<workgroup> scratch: array<u32, RADIX>;
+
+@compute @workgroup_size(RADIX, 1, 1)
+fn main(@builtin(local_invocation_id) local_id: vec3<u32>) {
+    let i = local_id.x;
+    scratch[i] = digit_counts[i];
+    workgroupBarrier();
+
+    // Hillis-Steele inclusive scan: log2(RADIX) rounds.
+    for (var stride = 1u; stride < RADIX; stride = stride << 1u) {
+        var v = scratch[i];
+        if i >= stride {
+            v = v + scratch[i - stride];
+        }
+        workgroupBarrier();
+        scratch[i] = v;
+        workgroupBarrier();
+    }
+
+    // Shift right to make it exclusive.
+    if i == 0u {
+        digit_offsets[0] = 0u;
+    } else {
+        digit_offsets[i] = scratch[i - 1u];
+    }
+}
+"#;
+
+/// Split candidates against the target digit: `< target` are winners,
+/// `== target` survive into the next pass, `> target` are discarded.
+pub const PARTITION_WGSL: &str = r#"
+struct Arguments {
+    // bit offset of this pass's digit
+    radix_bit_offset: u32,
+    // digit bucket holding the k-th smallest key
+    target_digit: u32,
+    // live candidate count
+    count: u32,
+}
+
+@group(0) @binding(0) var<storage, read>
+arguments: Arguments;
+// [N] candidate keys in
+@group(0) @binding(1) var<storage, read_write>
+keys_input: array<u32>;
+// [N] original input positions of the candidates
+@group(0) @binding(2) var<storage, read_write>
+ids_input: array<u32>;
+// [N] surviving candidates (digit == target) out
+@group(0) @binding(3) var<storage, read_write>
+keys_output: array<u32>;
+@group(0) @binding(4) var<storage, read_write>
+ids_output: array<u32>;
+// [K] keys already known to be in the top K (digit < target)
+@group(0) @binding(5) var<storage, read_write>
+winner_keys: array<u32>;
+@group(0) @binding(6) var<storage, read_write>
+winner_ids: array<u32>;
+// [2] append cursors: [0] survivors (host zeroes it each pass),
+// [1] winners (accumulates across passes)
+@group(0) @binding(7) var<storage, read_write>
+cursors: array<atomic<u32>, 2>;
+
+// R
+const RADIX_BIT_COUNT: u32 = 8u;
+// 2^R
+const RADIX: u32 = 1u << RADIX_BIT_COUNT;
+// 2^R - 1
+const RADIX_BIT_MASK: u32 = RADIX - 1u;
+
+@compute @workgroup_size(RADIX, 1, 1)
+fn main(@builtin(global_invocation_id) global_id: vec3<u32>) {
+    let index = global_id.x;
+    if index < arguments.count {
+        let key = keys_input[index];
+        let id = ids_input[index];
+        let digit = (key >> arguments.radix_bit_offset) & RADIX_BIT_MASK;
+        if digit < arguments.target_digit {
+            let slot = atomicAdd(&cursors[1], 1u);
+            winner_keys[slot] = key;
+            winner_ids[slot] = id;
+        } else if digit == arguments.target_digit {
+            let slot = atomicAdd(&cursors[0], 1u);
+            keys_output[slot] = key;
+            ids_output[slot] = id;
+        }
+    }
+}
+"#;
+
+// ---------------------------------------------------------------------
+// Host golden models — the semantics the shaders are held to
+// ---------------------------------------------------------------------
+
+/// [`CAST_KEYS_WGSL`]'s per-element map: `f32` bits to a `u32` whose
+/// unsigned order equals the float order. NaNs with a clear sign bit
+/// land above `+inf` (and negative NaNs below `-inf`), the usual radix
+/// convention.
+pub fn monotone_key(v: f32) -> u32 {
+    let bits = v.to_bits();
+    let mask = if bits >> 31 == 1 {
+        0xFFFF_FFFF
+    } else {
+        0x8000_0000
+    };
+    bits ^ mask
+}
+
+/// Inverse of [`monotone_key`].
+pub fn key_to_f32(key: u32) -> f32 {
+    let mask = if key >> 31 == 1 {
+        0x8000_0000
+    } else {
+        0xFFFF_FFFF
+    };
+    f32::from_bits(key ^ mask)
+}
+
+/// [`HISTOGRAM_WGSL`]'s result: counts of the digit at `bit_offset`.
+pub fn histogram_host(keys: &[u32], bit_offset: u32) -> Vec<u32> {
+    let mut counts = vec![0u32; RADIX];
+    for &key in keys {
+        counts[((key >> bit_offset) as usize) & (RADIX - 1)] += 1;
+    }
+    counts
+}
+
+/// [`SCAN_WGSL`]'s result: exclusive prefix sums of `counts`.
+pub fn exclusive_scan_host(counts: &[u32]) -> Vec<u32> {
+    let mut offsets = Vec::with_capacity(counts.len());
+    let mut running = 0u32;
+    for &c in counts {
+        offsets.push(running);
+        running += c;
+    }
+    offsets
+}
+
+/// [`PARTITION_WGSL`]'s result: `(survivors, winners)` where survivors
+/// carry digit `== target` and winners digit `< target` at
+/// `bit_offset`. Order within each side is unspecified on the device
+/// (atomic append); the host model keeps input order, which is one
+/// valid interleaving.
+pub fn partition_host(
+    keys: &[u32],
+    ids: &[u32],
+    bit_offset: u32,
+    target: u32,
+) -> (KeyIdPairs, KeyIdPairs) {
+    let mut survivors = Vec::new();
+    let mut winners = Vec::new();
+    for (&key, &id) in keys.iter().zip(ids) {
+        let digit = (key >> bit_offset) & (RADIX as u32 - 1);
+        if digit < target {
+            winners.push((key, id));
+        } else if digit == target {
+            survivors.push((key, id));
+        }
+    }
+    (survivors, winners)
+}
+
+/// The digit bucket holding the `k`-th smallest key (1-based `k`),
+/// given this pass's exclusive digit offsets — the host-side decision
+/// between dispatches.
+pub fn target_digit(offsets: &[u32], k: u32) -> u32 {
+    debug_assert!(k >= 1);
+    // Largest digit whose exclusive offset is still below k.
+    let mut digit = 0u32;
+    for (d, &off) in offsets.iter().enumerate().skip(1) {
+        if off < k {
+            digit = d as u32;
+        } else {
+            break;
+        }
+    }
+    digit
+}
+
+/// Full golden model of the device pipeline: the k smallest values of
+/// `values` as `(value, input position)` pairs, via the same
+/// cast → (histogram → scan → partition)×4 pass loop the shaders run.
+/// Ties at the threshold resolve by input order, matching the device's
+/// first-come atomic append up to schedule nondeterminism.
+pub fn radix_select_smallest_host(values: &[f32], k: usize) -> Vec<(f32, u32)> {
+    assert!(k >= 1 && k <= values.len(), "k out of range");
+    let mut keys: Vec<u32> = values.iter().map(|&v| monotone_key(v)).collect();
+    let mut ids: Vec<u32> = (0..values.len() as u32).collect();
+    let mut winners: Vec<(u32, u32)> = Vec::with_capacity(k);
+    let mut remaining = k as u32;
+
+    for bit_offset in PASS_OFFSETS {
+        let counts = histogram_host(&keys, bit_offset);
+        let offsets = exclusive_scan_host(&counts);
+        let target = target_digit(&offsets, remaining);
+        let (survivors, mut pass_winners) = partition_host(&keys, &ids, bit_offset, target);
+        winners.append(&mut pass_winners);
+        remaining -= offsets[target as usize];
+        (keys, ids) = survivors.into_iter().unzip();
+    }
+
+    // Everything left ties the threshold key exactly; take what's
+    // needed to fill k.
+    winners.extend(
+        keys.iter()
+            .zip(&ids)
+            .take(remaining as usize)
+            .map(|(&k, &i)| (k, i)),
+    );
+    winners
+        .into_iter()
+        .map(|(key, id)| (key_to_f32(key), id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn monotone_key_preserves_order() {
+        let vals = [
+            f32::NEG_INFINITY,
+            -3.5e30,
+            -2.0,
+            -1.0,
+            -0.0,
+            0.0,
+            f32::MIN_POSITIVE,
+            1.0,
+            2.5,
+            7.0e20,
+            f32::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                monotone_key(w[0]) <= monotone_key(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        // -0.0 and 0.0 map to adjacent keys, negatives below positives.
+        assert!(monotone_key(-0.0) < monotone_key(0.0));
+    }
+
+    #[test]
+    fn key_roundtrip_is_exact() {
+        for v in [-7.25f32, -0.0, 0.0, 1.5, 3.0e12, f32::INFINITY] {
+            let back = key_to_f32(monotone_key(v));
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+    }
+
+    #[test]
+    fn histogram_counts_every_key_once() {
+        let keys = [0x0100_0000u32, 0x01FF_0000, 0x0203_0405, 0xFF00_0000];
+        let counts = histogram_host(&keys, 24);
+        assert_eq!(counts[0x01], 2);
+        assert_eq!(counts[0x02], 1);
+        assert_eq!(counts[0xFF], 1);
+        assert_eq!(counts.iter().sum::<u32>() as usize, keys.len());
+    }
+
+    #[test]
+    fn exclusive_scan_matches_definition() {
+        let counts = [3u32, 0, 5, 1];
+        assert_eq!(exclusive_scan_host(&counts), vec![0, 3, 3, 8]);
+    }
+
+    #[test]
+    fn target_digit_brackets_k() {
+        // counts 3,0,5,1 -> offsets 0,3,3,8: k=3 sits in digit 0
+        // (offsets[1]=3 is not < 3), k=4 in digit 2, k=9 in digit 3.
+        let offsets = vec![0u32, 3, 3, 8];
+        assert_eq!(target_digit(&offsets, 3), 0);
+        assert_eq!(target_digit(&offsets, 4), 2);
+        assert_eq!(target_digit(&offsets, 9), 3);
+    }
+
+    #[test]
+    fn partition_splits_by_digit() {
+        let keys = [0x0500_0000u32, 0x0300_0000, 0x0500_0001, 0x0900_0000];
+        let ids = [0u32, 1, 2, 3];
+        let (survivors, winners) = partition_host(&keys, &ids, 24, 5);
+        assert_eq!(winners, vec![(0x0300_0000, 1)]);
+        assert_eq!(survivors, vec![(0x0500_0000, 0), (0x0500_0001, 2)]);
+    }
+
+    #[test]
+    fn golden_select_matches_sort_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for &(n, k) in &[
+            (1usize, 1usize),
+            (100, 1),
+            (100, 100),
+            (1000, 7),
+            (4096, 256),
+        ] {
+            let values: Vec<f32> = (0..n).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect();
+            let got = radix_select_smallest_host(&values, k);
+            assert_eq!(got.len(), k);
+
+            let mut expect = values.clone();
+            expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut got_sorted: Vec<f32> = got.iter().map(|&(v, _)| v).collect();
+            got_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(got_sorted, expect[..k], "n={n} k={k}");
+
+            // Reported indices must point at the reported values.
+            for &(v, id) in &got {
+                assert_eq!(values[id as usize].to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn golden_select_handles_duplicate_threshold() {
+        // 5 copies of the threshold value, k cuts through them.
+        let values = [2.0f32, 1.0, 2.0, 2.0, 0.5, 2.0, 2.0, 9.0];
+        let got = radix_select_smallest_host(&values, 4);
+        let mut vs: Vec<f32> = got.iter().map(|&(v, _)| v).collect();
+        vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vs, vec![0.5, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn wgsl_sources_declare_expected_interfaces() {
+        for (src, bindings) in [
+            (CAST_KEYS_WGSL, 2usize),
+            (HISTOGRAM_WGSL, 3),
+            (SCAN_WGSL, 2),
+            (PARTITION_WGSL, 8),
+        ] {
+            assert!(src.contains("@compute"), "missing @compute");
+            assert!(src.contains("fn main"), "missing entry point");
+            for b in 0..bindings {
+                assert!(
+                    src.contains(&format!("@binding({b})")),
+                    "missing @binding({b})"
+                );
+            }
+            assert!(
+                !src.contains(&format!("@binding({bindings})")),
+                "unexpected extra binding"
+            );
+        }
+        // The digit width the host loop assumes.
+        assert!(HISTOGRAM_WGSL.contains("RADIX_BIT_COUNT: u32 = 8u"));
+        assert!(PARTITION_WGSL.contains("RADIX_BIT_COUNT: u32 = 8u"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # topk-wgpu — WebGPU backend for the top-K workspace
+//!
+//! This crate carries the workspace's first real-device [`Backend`]
+//! implementation: WGSL compute kernels for the radix-select family
+//! ([`kernels`]), a device pipeline driver ([`pipeline`]), and
+//! [`WgpuBackend`], which exposes both through the same
+//! [`gpu_sim::Backend`] trait the simulator implements.
+//!
+//! Built behind the workspace's `wgpu` cargo feature. The build
+//! environment vendors an offline `wgpu` stand-in (`shims/wgpu`) whose
+//! adapter probe honestly returns `None`, so here:
+//!
+//! * everything **compiles** (the shim types mirror the real API), and
+//! * adapter-dependent tests **skip** rather than fail, while the host
+//!   golden models in [`kernels`] keep the shader semantics under test
+//!   on every machine.
+//!
+//! [`Backend`]: gpu_sim::Backend
+
+pub mod kernels;
+pub mod pipeline;
+
+mod backend;
+
+pub use backend::WgpuBackend;
+
+/// Errors from the WebGPU layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WgpuError {
+    /// No usable adapter on this machine (headless CI, or the offline
+    /// `wgpu` shim). Treated as "skip", never "fail".
+    NoAdapter,
+    /// The device rejected an operation.
+    Device(String),
+}
+
+impl std::fmt::Display for WgpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WgpuError::NoAdapter => f.write_str("no usable wgpu adapter on this machine"),
+            WgpuError::Device(detail) => write!(f, "wgpu device error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WgpuError {}

@@ -1,0 +1,311 @@
+//! Device-side driver for the radix-select kernel set.
+//!
+//! [`RadixSelectPipeline`] owns the four compiled compute pipelines
+//! and runs the host-driven pass loop from [`crate::kernels`] against
+//! a real `wgpu` device: dispatch histogram, read back the 256-entry
+//! digit table, pick the target digit on the host, dispatch the
+//! partition, repeat at the next bit offset. This mirrors
+//! [`kernels::radix_select_smallest_host`] exactly — that function is
+//! the conformance oracle for this one.
+//!
+//! On the vendored offline `wgpu` shim no adapter exists, so nothing
+//! here can execute; the module still compiles against the identical
+//! API surface, which is what keeps it honest for a build against the
+//! real crate.
+
+use crate::kernels::{self, PASS_OFFSETS, RADIX, WORKGROUP_SIZE};
+use crate::WgpuError;
+use std::borrow::Cow;
+
+/// Ceiling division for dispatch sizing.
+fn workgroups_for(items: u32) -> u32 {
+    items.div_ceil(WORKGROUP_SIZE)
+}
+
+/// Compile one WGSL source into a compute pipeline.
+fn compile(device: &wgpu::Device, label: &str, source: &'static str) -> wgpu::ComputePipeline {
+    let module = device.create_shader_module(wgpu::ShaderModuleDescriptor {
+        label: Some(label),
+        source: wgpu::ShaderSource::Wgsl(Cow::Borrowed(source)),
+    });
+    device.create_compute_pipeline(&wgpu::ComputePipelineDescriptor {
+        label: Some(label),
+        layout: None,
+        module: &module,
+        entry_point: "main",
+    })
+}
+
+/// A storage buffer usable as copy source/destination.
+fn storage_buffer(device: &wgpu::Device, label: &str, size: u64) -> wgpu::Buffer {
+    device.create_buffer(&wgpu::BufferDescriptor {
+        label: Some(label),
+        size,
+        usage: wgpu::BufferUsages::STORAGE
+            | wgpu::BufferUsages::COPY_DST
+            | wgpu::BufferUsages::COPY_SRC,
+        mapped_at_creation: false,
+    })
+}
+
+/// Synchronously read `count` u32 words back from `buffer`.
+fn read_back_u32(
+    device: &wgpu::Device,
+    queue: &wgpu::Queue,
+    buffer: &wgpu::Buffer,
+    count: usize,
+) -> Result<Vec<u32>, WgpuError> {
+    let bytes = (count * 4) as u64;
+    let staging = device.create_buffer(&wgpu::BufferDescriptor {
+        label: Some("staging"),
+        size: bytes,
+        usage: wgpu::BufferUsages::COPY_DST | wgpu::BufferUsages::MAP_READ,
+        mapped_at_creation: false,
+    });
+    let mut encoder = device.create_command_encoder(&wgpu::CommandEncoderDescriptor {
+        label: Some("readback"),
+    });
+    encoder.copy_buffer_to_buffer(buffer, 0, &staging, 0, bytes);
+    queue.submit(Some(encoder.finish()));
+
+    let slice = staging.slice(..);
+    let (tx, rx) = std::sync::mpsc::channel();
+    slice.map_async(wgpu::MapMode::Read, move |r| {
+        let _ = tx.send(r);
+    });
+    device.poll(wgpu::Maintain::Wait);
+    match rx.recv() {
+        Ok(Ok(())) => {}
+        _ => return Err(WgpuError::Device("buffer mapping failed".into())),
+    }
+    let words = {
+        let view = slice.get_mapped_range();
+        view.chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    };
+    staging.unmap();
+    Ok(words)
+}
+
+/// Bind `buffers` to slots `0..buffers.len()` of `pipeline`'s group 0.
+fn bind(
+    device: &wgpu::Device,
+    pipeline: &wgpu::ComputePipeline,
+    buffers: &[&wgpu::Buffer],
+) -> wgpu::BindGroup {
+    let entries: Vec<wgpu::BindGroupEntry> = buffers
+        .iter()
+        .enumerate()
+        .map(|(i, buf)| wgpu::BindGroupEntry {
+            binding: i as u32,
+            resource: buf.as_entire_binding(),
+        })
+        .collect();
+    device.create_bind_group(&wgpu::BindGroupDescriptor {
+        label: None,
+        layout: &pipeline.get_bind_group_layout(0),
+        entries: &entries,
+    })
+}
+
+/// Run `pipeline` over `workgroups` workgroups with `bind_group`.
+fn dispatch(
+    device: &wgpu::Device,
+    queue: &wgpu::Queue,
+    label: &str,
+    pipeline: &wgpu::ComputePipeline,
+    bind_group: &wgpu::BindGroup,
+    workgroups: u32,
+) {
+    let mut encoder =
+        device.create_command_encoder(&wgpu::CommandEncoderDescriptor { label: Some(label) });
+    {
+        let mut pass =
+            encoder.begin_compute_pass(&wgpu::ComputePassDescriptor { label: Some(label) });
+        pass.set_pipeline(pipeline);
+        pass.set_bind_group(0, bind_group, &[]);
+        pass.dispatch_workgroups(workgroups, 1, 1);
+    }
+    queue.submit(Some(encoder.finish()));
+}
+
+/// The four radix-select pipelines, compiled once per device.
+pub struct RadixSelectPipeline {
+    cast: wgpu::ComputePipeline,
+    histogram: wgpu::ComputePipeline,
+    scan: wgpu::ComputePipeline,
+    partition: wgpu::ComputePipeline,
+}
+
+impl RadixSelectPipeline {
+    /// Compile the kernel set for `device`.
+    pub fn new(device: &wgpu::Device) -> Self {
+        RadixSelectPipeline {
+            cast: compile(device, "topk cast_keys", kernels::CAST_KEYS_WGSL),
+            histogram: compile(device, "topk histogram", kernels::HISTOGRAM_WGSL),
+            scan: compile(device, "topk scan", kernels::SCAN_WGSL),
+            partition: compile(device, "topk partition", kernels::PARTITION_WGSL),
+        }
+    }
+
+    /// Select the `k` smallest of `values` on the device, returning
+    /// `(value, input position)` pairs — the device twin of
+    /// [`kernels::radix_select_smallest_host`].
+    pub fn select_smallest(
+        &self,
+        device: &wgpu::Device,
+        queue: &wgpu::Queue,
+        values: &[f32],
+        k: usize,
+    ) -> Result<Vec<(f32, u32)>, WgpuError> {
+        if k == 0 || k > values.len() {
+            return Err(WgpuError::Device(format!(
+                "k={k} out of range for n={}",
+                values.len()
+            )));
+        }
+        let n = values.len() as u32;
+        let elem_bytes = (values.len() * 4) as u64;
+
+        // Device state: double-buffered candidates, winner region,
+        // digit table, cursors.
+        let values_buf = storage_buffer(device, "values", elem_bytes);
+        let keys_a = storage_buffer(device, "keys_a", elem_bytes);
+        let keys_b = storage_buffer(device, "keys_b", elem_bytes);
+        let ids_a = storage_buffer(device, "ids_a", elem_bytes);
+        let ids_b = storage_buffer(device, "ids_b", elem_bytes);
+        let winner_keys = storage_buffer(device, "winner_keys", (k * 4) as u64);
+        let winner_ids = storage_buffer(device, "winner_ids", (k * 4) as u64);
+        let digit_counts = storage_buffer(device, "digit_counts", (RADIX * 4) as u64);
+        let digit_offsets = storage_buffer(device, "digit_offsets", (RADIX * 4) as u64);
+        let cursors = storage_buffer(device, "cursors", 8);
+        let histo_args = storage_buffer(device, "histo_args", 8);
+        let part_args = storage_buffer(device, "part_args", 12);
+
+        let value_bits: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
+        queue.write_buffer(&values_buf, 0, &value_bits);
+        let id_init: Vec<u8> = (0..n).flat_map(|i| i.to_le_bytes()).collect();
+        queue.write_buffer(&ids_a, 0, &id_init);
+        queue.write_buffer(&cursors, 0, &[0u8; 8]);
+
+        // Pass 0: cast f32 bits to monotone keys.
+        let cast_bind = bind(device, &self.cast, &[&values_buf, &keys_a]);
+        dispatch(
+            device,
+            queue,
+            "cast",
+            &self.cast,
+            &cast_bind,
+            workgroups_for(n),
+        );
+
+        let mut live = n;
+        let mut remaining = k as u32;
+        let mut flip = false; // false: A holds candidates, B receives
+        for bit_offset in PASS_OFFSETS {
+            let (keys_in, ids_in, keys_out, ids_out) = if flip {
+                (&keys_b, &ids_b, &keys_a, &ids_a)
+            } else {
+                (&keys_a, &ids_a, &keys_b, &ids_b)
+            };
+
+            queue.write_buffer(&digit_counts, 0, &[0u8; RADIX * 4]);
+            let mut args = Vec::with_capacity(8);
+            args.extend_from_slice(&bit_offset.to_le_bytes());
+            args.extend_from_slice(&live.to_le_bytes());
+            queue.write_buffer(&histo_args, 0, &args);
+            let histo_bind = bind(
+                device,
+                &self.histogram,
+                &[&histo_args, keys_in, &digit_counts],
+            );
+            dispatch(
+                device,
+                queue,
+                "histogram",
+                &self.histogram,
+                &histo_bind,
+                workgroups_for(live.max(1)),
+            );
+
+            let scan_bind = bind(device, &self.scan, &[&digit_counts, &digit_offsets]);
+            dispatch(device, queue, "scan", &self.scan, &scan_bind, 1);
+
+            let offsets = read_back_u32(device, queue, &digit_offsets, RADIX)?;
+            let target = kernels::target_digit(&offsets, remaining);
+
+            // Zero the survivor cursor, keep the winner cursor.
+            queue.write_buffer(&cursors, 0, &[0u8; 4]);
+            let mut args = Vec::with_capacity(12);
+            args.extend_from_slice(&bit_offset.to_le_bytes());
+            args.extend_from_slice(&target.to_le_bytes());
+            args.extend_from_slice(&live.to_le_bytes());
+            queue.write_buffer(&part_args, 0, &args);
+            let part_bind = bind(
+                device,
+                &self.partition,
+                &[
+                    &part_args,
+                    keys_in,
+                    ids_in,
+                    keys_out,
+                    ids_out,
+                    &winner_keys,
+                    &winner_ids,
+                    &cursors,
+                ],
+            );
+            dispatch(
+                device,
+                queue,
+                "partition",
+                &self.partition,
+                &part_bind,
+                workgroups_for(live.max(1)),
+            );
+
+            let cursor_now = read_back_u32(device, queue, &cursors, 2)?;
+            live = cursor_now[0];
+            remaining -= offsets[target as usize];
+            flip = !flip;
+        }
+
+        // Winners plus enough threshold-tied survivors to fill k.
+        let cursor_now = read_back_u32(device, queue, &cursors, 2)?;
+        let winner_count = cursor_now[1] as usize;
+        let mut out_keys = read_back_u32(device, queue, &winner_keys, winner_count)?;
+        let mut out_ids = read_back_u32(device, queue, &winner_ids, winner_count)?;
+        let (tie_keys_buf, tie_ids_buf) = if flip {
+            (&keys_b, &ids_b)
+        } else {
+            (&keys_a, &ids_a)
+        };
+        let tie_keys = read_back_u32(device, queue, tie_keys_buf, remaining as usize)?;
+        let tie_ids = read_back_u32(device, queue, tie_ids_buf, remaining as usize)?;
+        out_keys.extend(tie_keys);
+        out_ids.extend(tie_ids);
+
+        Ok(out_keys
+            .into_iter()
+            .zip(out_ids)
+            .map(|(key, id)| (kernels::key_to_f32(key), id))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workgroup_sizing_covers_all_items() {
+        assert_eq!(workgroups_for(1), 1);
+        assert_eq!(workgroups_for(256), 1);
+        assert_eq!(workgroups_for(257), 2);
+        assert_eq!(workgroups_for(0), 0);
+    }
+}

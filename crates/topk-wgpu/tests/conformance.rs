@@ -1,0 +1,67 @@
+//! The wgpu backend against the shared [`gpu_sim::conformance`]
+//! contract, plus the WGSL-vs-golden-model device checks.
+//!
+//! Adapter-dependent tests *skip* (return early, with a note on
+//! stderr) when no adapter exists — headless CI and the offline wgpu
+//! shim — and run for real when one does. The sim-backed handle always
+//! runs the trait contract, so plumbing regressions surface
+//! everywhere.
+
+use gpu_sim::{conformance, DeviceSpec};
+use topk_wgpu::{kernels, WgpuBackend, WgpuError};
+
+#[test]
+fn sim_backed_wgpu_backend_passes_conformance() {
+    let mut backend = WgpuBackend::sim_backed(DeviceSpec::test_tiny());
+    conformance::run_all(&mut backend);
+}
+
+#[test]
+fn adapter_backed_wgpu_backend_passes_conformance() {
+    let mut backend = match WgpuBackend::new(DeviceSpec::test_tiny()) {
+        Ok(b) => b,
+        Err(WgpuError::NoAdapter) => {
+            eprintln!("skipping: no wgpu adapter on this machine");
+            return;
+        }
+        Err(e) => panic!("adapter probe failed: {e}"),
+    };
+    conformance::run_all(&mut backend);
+}
+
+#[test]
+fn wgsl_radix_select_matches_golden_model() {
+    let backend = match WgpuBackend::new(DeviceSpec::test_tiny()) {
+        Ok(b) => b,
+        Err(WgpuError::NoAdapter) => {
+            eprintln!("skipping: no wgpu adapter on this machine");
+            return;
+        }
+        Err(e) => panic!("adapter probe failed: {e}"),
+    };
+
+    // Deterministic pseudo-random inputs; values hand-rolled so the
+    // test needs no RNG crate at the integration-test level.
+    let mut state = 0x9E37_79B9u32;
+    let values: Vec<f32> = (0..2048)
+        .map(|_| {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (state as f32 / u32::MAX as f32) * 2.0 - 1.0
+        })
+        .collect();
+
+    for k in [1usize, 7, 100, 512] {
+        let device = backend
+            .device_select_smallest(&values, k)
+            .expect("device select");
+        let golden = kernels::radix_select_smallest_host(&values, k);
+
+        // The device's atomic-append order is schedule-dependent, so
+        // compare as sorted multisets of (value bits, index).
+        let norm = |mut v: Vec<(f32, u32)>| {
+            v.sort_by_key(|&(val, id)| (val.to_bits(), id));
+            v
+        };
+        assert_eq!(norm(device), norm(golden), "k={k}");
+    }
+}

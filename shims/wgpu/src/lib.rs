@@ -1,0 +1,479 @@
+//! Offline stand-in for the `wgpu` WebGPU API (see `shims/README.md`).
+//!
+//! The build environment has no crates.io access and no GPU, so this
+//! shim provides exactly the slice of the wgpu 0.20 surface that
+//! `topk-wgpu` compiles against. Its one behavioural commitment is
+//! honest: [`Instance::request_adapter`] always returns `None`, the
+//! same answer real wgpu gives on a headless machine with no usable
+//! GPU driver. Everything downstream of an [`Adapter`] is therefore
+//! statically unreachable here — those types wrap an uninhabited
+//! `Void` so their method bodies are `match self.0 {}`, not `todo!()`
+//! placeholders — while still typechecking the exact call sequences
+//! (`request_device` → pipelines → bind groups → dispatch → readback)
+//! that run against the real crate.
+//!
+//! Divergence from upstream, chosen for a no-async-runtime build:
+//! `request_adapter` and `request_device` return their values
+//! directly instead of futures. `topk-wgpu` isolates both calls in
+//! one adapter-probe function so swapping the real crate back in only
+//! means re-adding the `pollster::block_on` wrappers there.
+
+use std::borrow::Cow;
+use std::marker::PhantomData;
+use std::ops::{Deref, RangeFull};
+
+/// Uninhabited: no value of any `Void`-wrapping type can exist, which
+/// is the shim's proof that device-path methods never run.
+#[derive(Debug)]
+enum Void {}
+
+impl Void {
+    fn absurd<T>(&self) -> T {
+        match *self {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Instance / adapter probing (the only live code path)
+// ---------------------------------------------------------------------
+
+/// Entry point to the API. The shim's instance enumerates no backends.
+#[derive(Debug, Default)]
+pub struct Instance {}
+
+impl Instance {
+    /// Create an instance; the descriptor is accepted for call-site
+    /// compatibility and ignored.
+    pub fn new(_desc: InstanceDescriptor) -> Self {
+        Instance {}
+    }
+
+    /// Probe for a physical device. Always `None` here — the build
+    /// environment is headless — which is exactly what callers must
+    /// already handle with real wgpu.
+    pub fn request_adapter(&self, _options: &RequestAdapterOptions) -> Option<Adapter> {
+        None
+    }
+}
+
+/// Instance configuration; all fields are defaulted and ignored.
+#[derive(Debug, Default)]
+pub struct InstanceDescriptor {
+    /// Which native APIs to enumerate.
+    pub backends: Backends,
+}
+
+/// Bitset of native graphics APIs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Backends(u32);
+
+impl Backends {
+    /// Every backend wgpu knows about.
+    pub const PRIMARY: Backends = Backends(0x1F);
+    /// No backends (what this shim effectively enumerates).
+    pub const NONE: Backends = Backends(0);
+}
+
+/// Adapter-selection preferences.
+#[derive(Debug, Default)]
+pub struct RequestAdapterOptions {
+    /// Power/performance trade-off hint.
+    pub power_preference: PowerPreference,
+    /// Reject software rasterizers when `false`.
+    pub force_fallback_adapter: bool,
+}
+
+/// Adapter power/performance hint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PowerPreference {
+    /// No preference.
+    #[default]
+    None,
+    /// Prefer integrated/low-power adapters.
+    LowPower,
+    /// Prefer discrete/high-performance adapters.
+    HighPerformance,
+}
+
+// ---------------------------------------------------------------------
+// Device path (uninhabited beyond this point)
+// ---------------------------------------------------------------------
+
+/// A physical device handle. Unobtainable from this shim.
+#[derive(Debug)]
+pub struct Adapter(Void);
+
+impl Adapter {
+    /// Identifying information about the adapter.
+    pub fn get_info(&self) -> AdapterInfo {
+        self.0.absurd()
+    }
+
+    /// Open a logical device and its submission queue.
+    #[allow(clippy::result_unit_err)]
+    pub fn request_device(
+        &self,
+        _desc: &DeviceDescriptor,
+        _trace_path: Option<&std::path::Path>,
+    ) -> Result<(Device, Queue), RequestDeviceError> {
+        self.0.absurd()
+    }
+}
+
+/// Adapter identity as reported by the driver.
+#[derive(Debug, Clone)]
+pub struct AdapterInfo {
+    /// Human-readable adapter name.
+    pub name: String,
+    /// Which native API backs the adapter.
+    pub backend: Backends,
+}
+
+/// Logical-device configuration; all fields defaulted and ignored.
+#[derive(Debug, Default)]
+pub struct DeviceDescriptor<'a> {
+    /// Debug label.
+    pub label: Option<&'a str>,
+}
+
+/// Device creation failed.
+#[derive(Debug, Clone)]
+pub struct RequestDeviceError;
+
+impl std::fmt::Display for RequestDeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("requesting a device from the wgpu shim")
+    }
+}
+
+impl std::error::Error for RequestDeviceError {}
+
+/// An open logical device.
+#[derive(Debug)]
+pub struct Device(Void);
+
+impl Device {
+    /// Compile a shader module from WGSL source.
+    pub fn create_shader_module(&self, _desc: ShaderModuleDescriptor) -> ShaderModule {
+        self.0.absurd()
+    }
+
+    /// Build a compute pipeline around one shader entry point.
+    pub fn create_compute_pipeline(&self, _desc: &ComputePipelineDescriptor) -> ComputePipeline {
+        self.0.absurd()
+    }
+
+    /// Allocate a device buffer.
+    pub fn create_buffer(&self, _desc: &BufferDescriptor) -> Buffer {
+        self.0.absurd()
+    }
+
+    /// Bind buffers to a pipeline's binding slots.
+    pub fn create_bind_group(&self, _desc: &BindGroupDescriptor) -> BindGroup {
+        self.0.absurd()
+    }
+
+    /// Start recording GPU commands.
+    pub fn create_command_encoder(&self, _desc: &CommandEncoderDescriptor) -> CommandEncoder {
+        self.0.absurd()
+    }
+
+    /// Drive the device; `Maintain::Wait` blocks until submitted work
+    /// (including map callbacks) completes.
+    pub fn poll(&self, _maintain: Maintain) {
+        self.0.absurd()
+    }
+}
+
+/// The device's command-submission queue.
+#[derive(Debug)]
+pub struct Queue(Void);
+
+impl Queue {
+    /// Schedule a host→device write into `buffer` at `offset`.
+    pub fn write_buffer(&self, _buffer: &Buffer, _offset: u64, _data: &[u8]) {
+        self.0.absurd()
+    }
+
+    /// Submit recorded command buffers for execution.
+    pub fn submit<I: IntoIterator<Item = CommandBuffer>>(&self, _command_buffers: I) {
+        self.0.absurd()
+    }
+}
+
+/// How hard [`Device::poll`] should work.
+#[derive(Debug, Clone, Copy)]
+pub enum Maintain {
+    /// Block until the queue is empty.
+    Wait,
+    /// Process outstanding work without blocking.
+    Poll,
+}
+
+// --- shaders and pipelines -------------------------------------------
+
+/// Shader source + label.
+pub struct ShaderModuleDescriptor<'a> {
+    /// Debug label.
+    pub label: Option<&'a str>,
+    /// The source text.
+    pub source: ShaderSource<'a>,
+}
+
+/// Shader source languages the workspace uses (WGSL only).
+pub enum ShaderSource<'a> {
+    /// WGSL source text.
+    Wgsl(Cow<'a, str>),
+}
+
+/// A compiled shader module.
+#[derive(Debug)]
+pub struct ShaderModule(Void);
+
+/// Compute-pipeline configuration.
+pub struct ComputePipelineDescriptor<'a> {
+    /// Debug label.
+    pub label: Option<&'a str>,
+    /// `None` infers the layout from the shader.
+    pub layout: Option<&'a PipelineLayout>,
+    /// The compiled shader holding the entry point.
+    pub module: &'a ShaderModule,
+    /// Name of the `@compute` entry function.
+    pub entry_point: &'a str,
+}
+
+/// An explicit pipeline layout (the workspace always infers layouts).
+#[derive(Debug)]
+pub struct PipelineLayout(Void);
+
+/// A ready-to-dispatch compute pipeline.
+#[derive(Debug)]
+pub struct ComputePipeline(Void);
+
+impl ComputePipeline {
+    /// The inferred layout of bind group `index`.
+    pub fn get_bind_group_layout(&self, _index: u32) -> BindGroupLayout {
+        self.0.absurd()
+    }
+}
+
+/// Layout one bind group must conform to.
+#[derive(Debug)]
+pub struct BindGroupLayout(Void);
+
+// --- buffers ----------------------------------------------------------
+
+/// Buffer allocation parameters.
+#[derive(Debug)]
+pub struct BufferDescriptor<'a> {
+    /// Debug label.
+    pub label: Option<&'a str>,
+    /// Size in bytes.
+    pub size: u64,
+    /// Allowed usages.
+    pub usage: BufferUsages,
+    /// Whether the buffer starts host-mapped.
+    pub mapped_at_creation: bool,
+}
+
+/// Bitset of buffer usages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferUsages(u32);
+
+impl BufferUsages {
+    /// Readable/writable from shaders as a storage buffer.
+    pub const STORAGE: BufferUsages = BufferUsages(1 << 0);
+    /// Valid destination of copies / `write_buffer`.
+    pub const COPY_DST: BufferUsages = BufferUsages(1 << 1);
+    /// Valid source of buffer-to-buffer copies.
+    pub const COPY_SRC: BufferUsages = BufferUsages(1 << 2);
+    /// Host-mappable for reading.
+    pub const MAP_READ: BufferUsages = BufferUsages(1 << 3);
+}
+
+impl std::ops::BitOr for BufferUsages {
+    type Output = BufferUsages;
+    fn bitor(self, rhs: BufferUsages) -> BufferUsages {
+        BufferUsages(self.0 | rhs.0)
+    }
+}
+
+/// A device buffer.
+#[derive(Debug)]
+pub struct Buffer(Void);
+
+impl Buffer {
+    /// Reference the whole buffer as a binding resource.
+    pub fn as_entire_binding(&self) -> BindingResource<'_> {
+        self.0.absurd()
+    }
+
+    /// View a byte range (only `..` is used by the workspace).
+    pub fn slice(&self, _bounds: RangeFull) -> BufferSlice<'_> {
+        self.0.absurd()
+    }
+
+    /// Release a host mapping established by `map_async`.
+    pub fn unmap(&self) {
+        self.0.absurd()
+    }
+}
+
+/// A view over part of a [`Buffer`].
+#[derive(Debug)]
+pub struct BufferSlice<'a>(Void, PhantomData<&'a Buffer>);
+
+impl<'a> BufferSlice<'a> {
+    /// Begin mapping the slice into host memory; `callback` fires from
+    /// [`Device::poll`] when the mapping is ready.
+    pub fn map_async(
+        &self,
+        _mode: MapMode,
+        _callback: impl FnOnce(Result<(), BufferAsyncError>) + Send + 'static,
+    ) {
+        self.0.absurd()
+    }
+
+    /// Access the mapped bytes.
+    pub fn get_mapped_range(&self) -> BufferView<'a> {
+        self.0.absurd()
+    }
+}
+
+/// Mapping direction.
+#[derive(Debug, Clone, Copy)]
+pub enum MapMode {
+    /// Map for host reads.
+    Read,
+}
+
+/// Asynchronous buffer mapping failed.
+#[derive(Debug, Clone)]
+pub struct BufferAsyncError;
+
+/// Host view of mapped buffer bytes.
+#[derive(Debug)]
+pub struct BufferView<'a>(Void, PhantomData<&'a Buffer>);
+
+impl Deref for BufferView<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.0.absurd()
+    }
+}
+
+// --- bind groups ------------------------------------------------------
+
+/// Bind-group contents.
+pub struct BindGroupDescriptor<'a> {
+    /// Debug label.
+    pub label: Option<&'a str>,
+    /// Layout the entries must match.
+    pub layout: &'a BindGroupLayout,
+    /// One entry per `@binding` slot.
+    pub entries: &'a [BindGroupEntry<'a>],
+}
+
+/// One binding-slot assignment.
+pub struct BindGroupEntry<'a> {
+    /// The shader-side `@binding` index.
+    pub binding: u32,
+    /// What to bind there.
+    pub resource: BindingResource<'a>,
+}
+
+/// A bindable resource (buffers only, for this workspace).
+#[derive(Debug)]
+pub struct BindingResource<'a>(Void, PhantomData<&'a Buffer>);
+
+/// Buffers bound to a pipeline's slots.
+#[derive(Debug)]
+pub struct BindGroup(Void);
+
+// --- command recording ------------------------------------------------
+
+/// Command-encoder configuration.
+#[derive(Debug, Default)]
+pub struct CommandEncoderDescriptor<'a> {
+    /// Debug label.
+    pub label: Option<&'a str>,
+}
+
+/// Records GPU commands for one submission.
+#[derive(Debug)]
+pub struct CommandEncoder(Void);
+
+impl CommandEncoder {
+    /// Open a compute pass; dispatches record until it is dropped.
+    pub fn begin_compute_pass(&mut self, _desc: &ComputePassDescriptor) -> ComputePass<'_> {
+        self.0.absurd()
+    }
+
+    /// Record a device-to-device byte copy.
+    pub fn copy_buffer_to_buffer(
+        &mut self,
+        _source: &Buffer,
+        _source_offset: u64,
+        _destination: &Buffer,
+        _destination_offset: u64,
+        _copy_size: u64,
+    ) {
+        self.0.absurd()
+    }
+
+    /// Finish recording.
+    pub fn finish(self) -> CommandBuffer {
+        self.0.absurd()
+    }
+}
+
+/// Compute-pass configuration.
+#[derive(Debug, Default)]
+pub struct ComputePassDescriptor<'a> {
+    /// Debug label.
+    pub label: Option<&'a str>,
+}
+
+/// An open compute pass.
+#[derive(Debug)]
+pub struct ComputePass<'a>(Void, PhantomData<&'a mut CommandEncoder>);
+
+impl ComputePass<'_> {
+    /// Select the pipeline for subsequent dispatches.
+    pub fn set_pipeline(&mut self, _pipeline: &ComputePipeline) {
+        self.0.absurd()
+    }
+
+    /// Bind `bind_group` at `index`.
+    pub fn set_bind_group(&mut self, _index: u32, _bind_group: &BindGroup, _offsets: &[u32]) {
+        self.0.absurd()
+    }
+
+    /// Launch `x * y * z` workgroups of the bound pipeline.
+    pub fn dispatch_workgroups(&mut self, _x: u32, _y: u32, _z: u32) {
+        self.0.absurd()
+    }
+}
+
+/// A finished, submittable command sequence.
+#[derive(Debug)]
+pub struct CommandBuffer(Void);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headless_probe_finds_no_adapter() {
+        let instance = Instance::new(InstanceDescriptor::default());
+        assert!(instance
+            .request_adapter(&RequestAdapterOptions::default())
+            .is_none());
+    }
+
+    #[test]
+    fn buffer_usages_compose() {
+        let u = BufferUsages::STORAGE | BufferUsages::COPY_SRC;
+        assert_ne!(u, BufferUsages::STORAGE);
+    }
+}
