@@ -81,7 +81,9 @@ pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, ScriptedFault};
 pub use gpu::{Gpu, KernelReport};
 pub use memory::{AtomicCell, DeviceBuffer, DeviceScalar};
 pub use pool::BlockPool;
-pub use profile::{EventKind, Timeline, TimelineEvent};
+pub use profile::{
+    render_roofline, roofline, Bound, EventKind, RooflineRow, Timeline, TimelineEvent,
+};
 pub use sanitizer::{
     AccessKind, Analysis, SanitizerCounts, SanitizerFinding, SanitizerMode, SanitizerReport,
     ShadowToken,

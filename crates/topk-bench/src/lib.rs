@@ -25,6 +25,7 @@
 pub mod baseline;
 pub mod figures;
 pub mod html;
+pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod sanitize;

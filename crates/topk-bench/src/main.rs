@@ -10,6 +10,8 @@
 //!   fig8    timeline breakdown           fig12   A100 / H100 / A10
 //!   table3  kernel SOL analysis          fig13   ANN distance arrays
 //!   engine  TopKEngine queries/sec vs coalescing window
+//!   profile continuous-profiler report: per-kernel rooflines, stage
+//!           attribution, cost-model drift, flight-recorder post-mortems
 //!   all     every figure/table above
 //!
 //! tools:
@@ -31,9 +33,13 @@ use topk_bench::report::{read_csv, write_csv, Row};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: topk-bench <fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|fig12|fig13|engine|all> \
+        "usage: topk-bench <fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|fig12|fig13|engine|profile|all> \
          [--full] [--verify] [--quiet] [--out DIR] [--metrics-out FILE] [--trace-out FILE]\n\
-       topk-bench engine [--faults SEED] [--fault-rate P] [--deadline-us D] [--digest-out FILE] ...\n\
+       topk-bench engine [--faults SEED] [--fault-rate P] [--deadline-us D] [--digest-out FILE]\n\
+                         [--profile-out FILE] [--postmortem-dir DIR] ...\n\
+       topk-bench profile [--out DIR] [--faults SEED] [--fault-rate P] [--deadline-us D]\n\
+                         write DIR/profile.html (roofline + drift + stage report) and any\n\
+                         flight-recorder post-mortem JSON dumps to DIR/postmortems/\n\
        topk-bench compare [--algos A,B,..] [--n N] [--k K] [--batch B] [--dist D] [--no-verify]\n\
        topk-bench tune-alpha [--n N] [--k K]\n\
        topk-bench sanitize [--matrix smoke|full]\n\
@@ -169,6 +175,8 @@ fn main() {
     let mut metrics_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut digest_out: Option<PathBuf> = None;
+    let mut profile_out: Option<PathBuf> = None;
+    let mut postmortem_dir: Option<PathBuf> = None;
     let mut faults = FaultOpts::default();
     let mut i = 1;
     while i < args.len() {
@@ -191,6 +199,14 @@ fn main() {
             "--digest-out" => {
                 i += 1;
                 digest_out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--profile-out" => {
+                i += 1;
+                profile_out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--postmortem-dir" => {
+                i += 1;
+                postmortem_dir = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
             }
             "--faults" => {
                 i += 1;
@@ -260,6 +276,30 @@ fn main() {
                 Ok(()) => eprintln!("[topk-bench] wrote chaos digest to {}", path.display()),
                 Err(e) => eprintln!("cannot write {}: {e}", path.display()),
             }
+        }
+    };
+
+    // `engine --profile-out p.html --postmortem-dir pm/`: run the
+    // continuous-profiler drain and export the HTML roofline report
+    // and any triggered flight-recorder post-mortems.
+    let save_profile = |eopts: &topk_bench::serving::EngineBenchOpts,
+                        profile_out: &Option<PathBuf>,
+                        postmortem_dir: &Option<PathBuf>| {
+        if profile_out.is_none() && postmortem_dir.is_none() {
+            return;
+        }
+        let art = topk_bench::profile::profile_report(eopts);
+        if let Some(path) = profile_out {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent).ok();
+            }
+            match std::fs::write(path, &art.html) {
+                Ok(()) => eprintln!("[topk-bench] wrote profile report to {}", path.display()),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+            }
+        }
+        if let Some(dir) = postmortem_dir {
+            write_post_mortems(dir, &art.post_mortems);
         }
     };
 
@@ -337,6 +377,37 @@ fn main() {
             save("engine", &topk_bench::serving::to_rows(&points, opts.full));
             save_observability(&eopts, &metrics_out, &trace_out);
             save_digest(&eopts, &digest_out);
+            save_profile(&eopts, &profile_out, &postmortem_dir);
+        }
+        "profile" => {
+            let eopts = engine_opts(&opts, &faults);
+            let art = topk_bench::profile::profile_report(&eopts);
+            println!("\n{}", art.text);
+            std::fs::create_dir_all(&out_dir).ok();
+            let html_path = profile_out.unwrap_or_else(|| out_dir.join("profile.html"));
+            match std::fs::write(&html_path, &art.html) {
+                Ok(()) => eprintln!(
+                    "[topk-bench] wrote profile report to {}",
+                    html_path.display()
+                ),
+                Err(e) => eprintln!("cannot write {}: {e}", html_path.display()),
+            }
+            let pm_dir = postmortem_dir.unwrap_or_else(|| out_dir.join("postmortems"));
+            write_post_mortems(&pm_dir, &art.post_mortems);
+            if let Some(path) = &metrics_out {
+                if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(parent).ok();
+                }
+                match std::fs::write(path, &art.metrics) {
+                    Ok(()) => {
+                        eprintln!(
+                            "[topk-bench] wrote Prometheus metrics to {}",
+                            path.display()
+                        )
+                    }
+                    Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+                }
+            }
         }
         "all" => {
             save("fig6", &figures::fig6(&opts));
@@ -362,8 +433,25 @@ fn main() {
             save("engine", &topk_bench::serving::to_rows(&points, opts.full));
             save_observability(&eopts, &metrics_out, &trace_out);
             save_digest(&eopts, &digest_out);
+            save_profile(&eopts, &profile_out, &postmortem_dir);
         }
         _ => usage(),
+    }
+}
+
+/// Write each post-mortem JSON document to `dir/postmortem-N.json`.
+fn write_post_mortems(dir: &PathBuf, post_mortems: &[String]) {
+    if post_mortems.is_empty() {
+        eprintln!("[topk-bench] no flight-recorder post-mortems triggered");
+        return;
+    }
+    std::fs::create_dir_all(dir).ok();
+    for (i, pm) in post_mortems.iter().enumerate() {
+        let path = dir.join(format!("postmortem-{i}.json"));
+        match std::fs::write(&path, pm) {
+            Ok(()) => eprintln!("[topk-bench] wrote post-mortem to {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
     }
 }
 

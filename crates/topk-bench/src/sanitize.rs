@@ -16,13 +16,15 @@
 //!   GridSelect, UnfusedRadix, StreamingSelect, the DrTopK hybrid,
 //!   RadiK, RowWise, and the SelectK dispatcher) × N ∈ {2^16, 2^20} ×
 //!   K ∈ {32, 1024} × batch ∈ {1, 32}, plus a chaos seed-matrix over
-//!   the serving engine.
-//! * `smoke` — the same sweep at N = 2^16 with batch ∈ {1, 8} and a
-//!   single chaos seed; the CI-sized variant.
+//!   the serving engine and a sliding-window sweep over the
+//!   [`WarpSelector`] device-function path.
+//! * `smoke` — the same sweep at N = 2^16 with batch ∈ {1, 8}, a
+//!   single chaos seed and a single window; the CI-sized variant.
 
 use datagen::Distribution;
-use gpu_sim::{DeviceSpec, Gpu, SanitizerMode};
-use topk_core::{AirTopK, TopKAlgorithm};
+use gpu_sim::device::WARP_SIZE;
+use gpu_sim::{DeviceSpec, Gpu, LaunchConfig, SanitizerMode};
+use topk_core::{AirTopK, TopKAlgorithm, WarpSelector};
 use topk_engine::{EngineConfig, FaultPlan, TopKEngine};
 use topk_hybrid::DrTopK;
 
@@ -39,6 +41,10 @@ pub struct SanitizeMatrix {
     pub chaos_seeds: Vec<u64>,
     /// Queries per chaos drain.
     pub chaos_queries: usize,
+    /// Window sizes for the sliding-window streaming pass: the
+    /// [`WarpSelector`] driven as a device function over consecutive
+    /// windows of a stream (empty = skip the pass).
+    pub streaming_windows: Vec<usize>,
 }
 
 impl SanitizeMatrix {
@@ -52,10 +58,11 @@ impl SanitizeMatrix {
             batches: vec![1, 32],
             chaos_seeds: vec![11, 42, 1337],
             chaos_queries: 48,
+            streaming_windows: vec![1 << 12, 1 << 16],
         }
     }
 
-    /// CI-sized grid: one N, small batches, one chaos seed.
+    /// CI-sized grid: one N, small batches, one chaos seed, one window.
     pub fn smoke() -> Self {
         SanitizeMatrix {
             ns: vec![1 << 16],
@@ -63,6 +70,7 @@ impl SanitizeMatrix {
             batches: vec![1, 8],
             chaos_seeds: vec![42],
             chaos_queries: 24,
+            streaming_windows: vec![1 << 12],
         }
     }
 }
@@ -74,6 +82,8 @@ pub struct SanitizeSummary {
     pub configs: usize,
     /// Engine chaos drains executed.
     pub chaos_drains: usize,
+    /// Sliding-window streaming runs executed.
+    pub streaming_runs: usize,
     /// Total flagged accesses across every run (0 on a healthy build).
     pub findings: u64,
     /// Rendered findings, one line per deduplicated finding, prefixed
@@ -191,6 +201,101 @@ fn sanitize_chaos_drain(seed: u64, queries: usize, summary: &mut SanitizeSummary
     );
 }
 
+/// The §4 sliding-window streaming path: one warp per window drives
+/// the [`WarpSelector`] device function over its slice of the stream
+/// on-the-fly — values are consumed as produced, pruned against the
+/// live admission threshold, never materialised per window. The
+/// adapter in [`gate_algorithms`] cannot reach this fused-producer
+/// usage, so it gets its own sanitized pass, answer-checked against a
+/// host sort of each window.
+fn sanitize_streaming_window(window: usize, k: usize, summary: &mut SanitizeSummary) {
+    let hops = 3usize;
+    let n = hops * window;
+    let k = k.min(window);
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    gpu.enable_sanitizer(SanitizerMode::full());
+    let data = datagen::generate(Distribution::Uniform, n, window as u64);
+    let input = gpu.htod("stream", &data);
+    let out_val = gpu.alloc::<f32>("win_val", hops * k);
+    let out_idx = gpu.alloc::<u32>("win_idx", hops * k);
+    let (ovc, oic) = (out_val.clone(), out_idx.clone());
+    gpu.launch(
+        "stream_window",
+        LaunchConfig::grid_1d(hops, WARP_SIZE),
+        move |ctx| {
+            let start = ctx.block_idx * window;
+            let end = start + window;
+            let mut sel = WarpSelector::new(ctx, k);
+            let mut g = start;
+            while g < end {
+                let mut vals = [0.0f32; WARP_SIZE];
+                let mut pays = [0u32; WARP_SIZE];
+                let mut valid = [false; WARP_SIZE];
+                for lane in 0..WARP_SIZE {
+                    let i = g + lane;
+                    if i < end {
+                        let v = ctx.ld(&input, i);
+                        // Prune against the live threshold (values ≥
+                        // the Kth smallest seen cannot enter); the
+                        // comparison is written so the NaN/+∞-like
+                        // initial threshold never prunes.
+                        let thr = sel.threshold();
+                        if !matches!(
+                            v.partial_cmp(&thr),
+                            Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                        ) {
+                            vals[lane] = v;
+                            pays[lane] = i as u32;
+                            valid[lane] = true;
+                        }
+                    }
+                }
+                sel.push(ctx, &vals, &pays, &valid);
+                g += WARP_SIZE;
+            }
+            let (v, p) = sel.finish(ctx);
+            let base = ctx.block_idx * k;
+            for (i, (vv, pp)) in v.iter().zip(&p).enumerate() {
+                ctx.st(&ovc, base + i, *vv);
+                ctx.st(&oic, base + i, *pp);
+            }
+        },
+    );
+
+    let tag = format!("stream-window W={window} K={k}");
+    let got = out_val.to_vec();
+    for h in 0..hops {
+        let mut expect: Vec<f32> = data[h * window..(h + 1) * window].to_vec();
+        expect.sort_by(f32::total_cmp);
+        expect.truncate(k);
+        if got[h * k..(h + 1) * k] != expect[..] {
+            summary.findings += 1;
+            summary
+                .details
+                .push(format!("{tag}: window {h} top-{k} mismatch"));
+        }
+    }
+
+    let report = gpu.sanitizer_report().expect("sanitizer was armed");
+    summary.streaming_runs += 1;
+    summary.findings += report.counts.total();
+    for f in &report.findings {
+        summary.details.push(format!("{tag}: {f}"));
+    }
+    println!(
+        "{:<16} {:>9} {:>6} {:>6}  {}",
+        "stream-window",
+        window,
+        k,
+        hops,
+        if report.is_clean() {
+            "clean".to_string()
+        } else {
+            format!("{} flagged accesses", report.counts.total())
+        }
+    );
+}
+
 /// Run the sweep and print a per-configuration grid plus every finding.
 pub fn run(matrix: &SanitizeMatrix) -> SanitizeSummary {
     let mut summary = SanitizeSummary::default();
@@ -213,16 +318,19 @@ pub fn run(matrix: &SanitizeMatrix) -> SanitizeSummary {
     for &seed in &matrix.chaos_seeds {
         sanitize_chaos_drain(seed, matrix.chaos_queries, &mut summary);
     }
+    for &window in &matrix.streaming_windows {
+        sanitize_streaming_window(window, 32, &mut summary);
+    }
 
     if summary.findings == 0 {
         println!(
-            "sanitizer clean: {} configurations + {} chaos drains, 0 findings",
-            summary.configs, summary.chaos_drains
+            "sanitizer clean: {} configurations + {} chaos drains + {} streaming windows, 0 findings",
+            summary.configs, summary.chaos_drains, summary.streaming_runs
         );
     } else {
         println!(
-            "sanitizer FAILED: {} flagged accesses over {} configurations + {} chaos drains",
-            summary.findings, summary.configs, summary.chaos_drains
+            "sanitizer FAILED: {} flagged accesses over {} configurations + {} chaos drains + {} streaming windows",
+            summary.findings, summary.configs, summary.chaos_drains, summary.streaming_runs
         );
         for d in &summary.details {
             println!("  {d}");
@@ -247,10 +355,12 @@ mod tests {
             batches: vec![1, 2],
             chaos_seeds: vec![7],
             chaos_queries: 8,
+            streaming_windows: vec![256],
         };
         let summary = run(&matrix);
         assert!(summary.configs > 0);
         assert_eq!(summary.chaos_drains, 1);
+        assert_eq!(summary.streaming_runs, 1);
         assert_eq!(
             summary.findings,
             0,
@@ -266,8 +376,10 @@ mod tests {
         assert_eq!(full.ks, vec![32, 1024]);
         assert_eq!(full.batches, vec![1, 32]);
         assert_eq!(full.chaos_seeds.len(), 3);
+        assert_eq!(full.streaming_windows, vec![1 << 12, 1 << 16]);
         let smoke = SanitizeMatrix::smoke();
         assert_eq!(smoke.ns, vec![1 << 16]);
         assert_eq!(smoke.batches, vec![1, 8]);
+        assert_eq!(smoke.streaming_windows, vec![1 << 12]);
     }
 }

@@ -88,6 +88,12 @@ pub struct EnginePoint {
     pub cpu_fallbacks: u64,
     /// Queries that terminated with `DeadlineExceeded`.
     pub deadline_misses: u64,
+    /// Dispatches served from the tuner's cached plan table.
+    pub plan_hits: u64,
+    /// Dispatches that re-planned (cold bucket or invalidated entry).
+    pub plan_misses: u64,
+    /// Cached plans replaced by observed-latency feedback.
+    pub refinements: u64,
 }
 
 /// The mixed query stream every sweep point drains: four interleaved
@@ -186,6 +192,9 @@ pub fn engine_throughput(opts: &EngineBenchOpts) -> Vec<EnginePoint> {
                 failovers: report.failovers,
                 cpu_fallbacks: report.cpu_fallbacks,
                 deadline_misses: report.deadline_misses,
+                plan_hits: report.algo.tuner_plan_hits,
+                plan_misses: report.algo.tuner_plan_misses,
+                refinements: report.algo.tuner_refinements,
             }
         })
         .collect()
@@ -196,12 +205,12 @@ pub fn render(points: &[EnginePoint]) -> String {
     let mut out = String::from(
         "=== TopKEngine throughput vs coalescing window ===\n\
          window  devices  queries  fused  queries/sec  makespan_us  mean_lat_us  p50_lat_us  p99_lat_us  \
-         retries  failovers  fallbacks  dl_miss\n",
+         retries  failovers  fallbacks  dl_miss  plan_hit  replan  refine\n",
     );
     for p in points {
         out.push_str(&format!(
             "{:>6}  {:>7}  {:>7}  {:>5}  {:>11.0}  {:>11.1}  {:>11.1}  {:>10.1}  {:>10.1}  \
-             {:>7}  {:>9}  {:>9}  {:>7}\n",
+             {:>7}  {:>9}  {:>9}  {:>7}  {:>8}  {:>6}  {:>6}\n",
             p.window,
             p.devices,
             p.queries,
@@ -214,7 +223,10 @@ pub fn render(points: &[EnginePoint]) -> String {
             p.retries,
             p.failovers,
             p.cpu_fallbacks,
-            p.deadline_misses
+            p.deadline_misses,
+            p.plan_hits,
+            p.plan_misses,
+            p.refinements
         ));
     }
     out
@@ -345,6 +357,9 @@ mod tests {
         let table = render(&points);
         assert!(table.contains("queries/sec"));
         assert!(table.contains("p99_lat_us"));
+        assert!(table.contains("plan_hit"));
+        // The tuner consults its plan table on every dispatch.
+        assert!(points.iter().all(|p| p.plan_hits + p.plan_misses > 0));
         let rows = to_rows(&points, false);
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].batch, 1);

@@ -552,6 +552,28 @@ impl Tuner {
             .unwrap_or(1.0)
     }
 
+    /// Snapshot every family's EMA calibration factor, in family order.
+    /// Families the refiner has never touched are absent (their
+    /// implicit factor is 1.0).
+    pub fn calibration_snapshot(&self) -> Vec<(&'static str, f64)> {
+        self.calibration
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(family, factor)| (*family, *factor))
+            .collect()
+    }
+
+    /// Counter-neutral table lookup: the cached plan for a shape's
+    /// bucket, if one exists. Unlike [`Self::plan`] this neither plans
+    /// on a miss nor touches the `tuner_plan_hits`/`tuner_plan_misses`
+    /// observability counters, so a profiler can read the prediction a
+    /// dispatch is about to use without perturbing the hit-rate it is
+    /// trying to measure.
+    pub fn peek(&self, shape: &ProblemShape) -> Option<Plan> {
+        self.table.lock().unwrap().get(&PlanKey::of(shape)).copied()
+    }
+
     /// Feed back an observed latency for a shape that was dispatched
     /// through [`Self::plan`]. Updates the winning family's calibration
     /// EMA and re-plans the bucket under the new calibration; if the
@@ -1067,6 +1089,41 @@ mod tests {
         );
         assert!(!cands.contains(&TunedAlgo::RowWise));
         assert!(cands.iter().any(|c| matches!(c, TunedAlgo::RadiK { .. })));
+    }
+
+    #[test]
+    fn peek_is_counter_neutral_and_miss_safe() {
+        let tuner = Tuner::new();
+        let shape = ProblemShape::new(1 << 14, 32, 1);
+        let before = counters().snapshot();
+        // Cold table: peek neither plans nor counts.
+        assert!(tuner.peek(&shape).is_none());
+        let plan = tuner.plan(&a100(), &shape);
+        let after_plan = counters().snapshot();
+        // Warm table: peek returns exactly the cached plan, still
+        // without touching the hit/miss counters.
+        assert_eq!(tuner.peek(&shape), Some(plan));
+        let after_peek = counters().snapshot();
+        let d_plan = after_plan.delta_since(&before);
+        let d_peek = after_peek.delta_since(&after_plan);
+        assert_eq!(d_plan.tuner_plan_misses, 1);
+        assert_eq!(d_peek.tuner_plan_hits, 0);
+        assert_eq!(d_peek.tuner_plan_misses, 0);
+    }
+
+    #[test]
+    fn calibration_snapshot_reflects_observations() {
+        let tuner = Tuner::new();
+        assert!(tuner.calibration_snapshot().is_empty());
+        let shape = ProblemShape::new(1 << 16, 64, 1);
+        let plan = tuner.plan(&a100(), &shape);
+        // Observe double the raw prediction: EMA moves toward 2.0.
+        tuner.observe(&a100(), &shape, plan.raw_us * 2.0);
+        let snap = tuner.calibration_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, plan.algo.family());
+        assert!(snap[0].1 > 1.0 && snap[0].1 < 2.0, "factor {}", snap[0].1);
+        assert_eq!(tuner.calibration_factor(plan.algo.family()), snap[0].1);
     }
 
     #[test]

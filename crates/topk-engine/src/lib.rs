@@ -104,10 +104,14 @@
 //!
 //! [`try_select_batch`]: topk_core::TopKAlgorithm::try_select_batch
 
+pub mod flight;
 pub mod metrics;
+pub mod profiler;
 pub mod trace;
 
+pub use flight::{FlightEvent, FlightRecorder};
 pub use metrics::EngineMetrics;
+pub use profiler::{DriftEntry, DriftTracker};
 pub use trace::chrome_trace;
 
 // Fault-injection vocabulary, re-exported so engine users can build a
@@ -116,12 +120,18 @@ pub use gpu_sim::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, SanitizerCounts, SanitizerMode, ScriptedFault,
 };
 
-use gpu_sim::{Backend, BackendExt, DeviceSpec, Gpu, KernelReport, SimError};
+use crate::flight::PmDevice;
+use gpu_sim::{Backend, BackendExt, DeviceSpec, EventKind, Gpu, KernelReport, SimError};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use topk_core::tuner::{DistSketch, ProblemShape};
+use topk_core::tuner::{DistSketch, PlanKey, ProblemShape};
 use topk_core::{AlgoSnapshot, ScratchGuard, SelectK, TopKError};
+
+/// Post-mortem JSON documents retained per engine; once full, further
+/// triggers only bump [`TopKEngine::post_mortems_dropped`] — an
+/// anomaly storm must not turn the recorder into a memory leak.
+pub const POST_MORTEM_CAP: usize = 16;
 
 /// Bounded-retry policy for device faults, with simulated exponential
 /// backoff between attempts.
@@ -231,6 +241,10 @@ pub struct EngineConfig {
     /// How pool devices are constructed; `None` (the default) builds a
     /// [`gpu_sim::Gpu`] simulator per [`DeviceSpec`] entry.
     pub backend_factory: Option<BackendFactory>,
+    /// Events the always-on [`FlightRecorder`] ring buffer retains
+    /// (default 256, min 16). Recording is host-side bookkeeping only
+    /// and never perturbs simulated time.
+    pub flight_capacity: usize,
 }
 
 impl EngineConfig {
@@ -249,6 +263,7 @@ impl EngineConfig {
             cpu_fallback: true,
             sanitizer: SanitizerMode::off(),
             backend_factory: None,
+            flight_capacity: 256,
         }
     }
 
@@ -311,6 +326,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_sanitizer(mut self, mode: SanitizerMode) -> Self {
         self.sanitizer = mode;
+        self
+    }
+
+    /// Builder-style override of the flight-recorder ring capacity.
+    #[must_use]
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight_capacity = capacity.max(16);
         self
     }
 
@@ -440,6 +462,55 @@ pub struct QueryResult {
     pub outcome: Result<QueryOutput, TopKError>,
 }
 
+/// Stage-level latency attribution: where a batch's (or a whole
+/// drain's) simulated time went. Filled from the device [`Timeline`]
+/// when the backend keeps one, otherwise reconstructed from the
+/// batch's [`KernelReport`]s; either way the attribution is pure
+/// post-hoc bookkeeping and never perturbs the schedule it measures.
+///
+/// [`Timeline`]: gpu_sim::Timeline
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Simulated µs spent queued before the batch (for a drain
+    /// aggregate: summed over queries) — scheduling, earlier batches,
+    /// backoff and quarantine waits.
+    pub queue_wait_us: f64,
+    /// Host↔device copy time, µs.
+    pub transfer_us: f64,
+    /// Selection-kernel execution time (histogram/filter/scan passes),
+    /// µs.
+    pub kernel_us: f64,
+    /// Merge-kernel execution time (GridSelect-style block-merge
+    /// phases), µs.
+    pub merge_us: f64,
+    /// Simulated backoff injected between fault retries, µs. Zero on
+    /// per-batch rows; accumulated on the drain aggregate.
+    pub retry_penalty_us: f64,
+    /// Launch overhead, host sync and host compute, µs.
+    pub other_us: f64,
+}
+
+impl StageBreakdown {
+    /// Device-side service time: everything except queueing and retry
+    /// backoff.
+    pub fn device_us(&self) -> f64 {
+        self.transfer_us + self.kernel_us + self.merge_us + self.other_us
+    }
+
+    /// The attribution as `(stage label, µs)` rows, in a stable order
+    /// — ready for metric labels and trace args.
+    pub fn rows(&self) -> [(&'static str, f64); 6] {
+        [
+            ("queue_wait", self.queue_wait_us),
+            ("transfer", self.transfer_us),
+            ("kernel", self.kernel_us),
+            ("merge", self.merge_us),
+            ("retry_penalty", self.retry_penalty_us),
+            ("other", self.other_us),
+        ]
+    }
+}
+
 /// One coalesced batch as executed on a device.
 #[derive(Debug, Clone)]
 pub struct BatchRecord {
@@ -463,6 +534,9 @@ pub struct BatchRecord {
     pub start_us: f64,
     /// Drain-relative device clock when the batch finished, µs.
     pub end_us: f64,
+    /// Where the batch's device time went (transfer vs. kernel vs.
+    /// merge vs. overhead); `queue_wait_us` is the batch's start time.
+    pub stages: StageBreakdown,
 }
 
 impl BatchRecord {
@@ -550,6 +624,13 @@ pub struct DrainReport {
     /// comparable between sanitized and unsanitized runs, which is how
     /// CI proves the sanitizer is cost-invisible.
     pub sanitizer: SanitizerCounts,
+    /// Drain-wide stage-level latency attribution: per-batch device
+    /// stages summed over every batch, `queue_wait_us` summed over
+    /// every query, and the simulated retry backoff in
+    /// `retry_penalty_us`. Deliberately *not* folded into
+    /// [`DrainReport::chaos_digest`], so digests stay comparable with
+    /// profiling consumers on or off.
+    pub stages: StageBreakdown,
 }
 
 impl DrainReport {
@@ -813,6 +894,15 @@ pub struct EngineSnapshot {
     pub deadline_misses: u64,
     /// Circuit-breaker quarantine trips.
     pub quarantines: u64,
+    /// Tuner plan-table hits over every drain — batches priced from a
+    /// warm plan without re-running the cost model.
+    pub tuner_plan_hits: u64,
+    /// Tuner plan-table misses over every drain (cold buckets priced
+    /// through the full cost model).
+    pub tuner_plan_misses: u64,
+    /// Tuner replans: observations drifted far enough from a bucket's
+    /// prediction that the plan was re-derived.
+    pub tuner_refinements: u64,
     /// One entry per pool device.
     pub devices: Vec<DeviceSnapshot>,
 }
@@ -840,6 +930,18 @@ pub struct TopKEngine {
     /// batch latencies.
     selector: SelectK,
     metrics: EngineMetrics,
+    /// Always-on bounded event ring; see [`crate::flight`].
+    flight: FlightRecorder,
+    /// Predicted-vs-observed cost accounting per plan bucket; persists
+    /// across drains like the tuner it audits.
+    drift: DriftTracker,
+    /// Post-mortem JSON documents dumped by anomaly triggers, oldest
+    /// first, capped at [`POST_MORTEM_CAP`].
+    post_mortems: Vec<String>,
+    post_mortems_dropped: u64,
+    tuner_plan_hits: u64,
+    tuner_plan_misses: u64,
+    tuner_refinements: u64,
     // Cumulative tallies for EngineSnapshot.
     queries_submitted: u64,
     queries_completed: u64,
@@ -884,6 +986,7 @@ impl TopKEngine {
         }
         let device_stats = vec![DeviceStats::default(); config.devices.len()];
         let health = vec![HealthState::default(); config.devices.len()];
+        let flight = FlightRecorder::new(config.flight_capacity);
         TopKEngine {
             config,
             pending: Vec::new(),
@@ -892,6 +995,13 @@ impl TopKEngine {
             health,
             selector: SelectK::default(),
             metrics: EngineMetrics::new(),
+            flight,
+            drift: DriftTracker::new(),
+            post_mortems: Vec::new(),
+            post_mortems_dropped: 0,
+            tuner_plan_hits: 0,
+            tuner_plan_misses: 0,
+            tuner_refinements: 0,
             queries_submitted: 0,
             queries_completed: 0,
             queries_failed: 0,
@@ -952,6 +1062,51 @@ impl TopKEngine {
         self.metrics.render_prometheus()
     }
 
+    /// The always-on flight recorder: the last
+    /// [`EngineConfig::flight_capacity`] engine events.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Post-mortem JSON documents dumped so far (oldest first), one
+    /// per anomaly trigger — terminal query failure, deadline miss,
+    /// breaker trip or device retirement. At most [`POST_MORTEM_CAP`]
+    /// are retained; see [`TopKEngine::post_mortems_dropped`].
+    pub fn post_mortems(&self) -> &[String] {
+        &self.post_mortems
+    }
+
+    /// Drain the retained post-mortems (e.g. after writing them to
+    /// disk), freeing their slots for future triggers.
+    pub fn take_post_mortems(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.post_mortems)
+    }
+
+    /// Triggers that fired after the post-mortem store was full.
+    pub fn post_mortems_dropped(&self) -> u64 {
+        self.post_mortems_dropped
+    }
+
+    /// Cost-model drift accounting: predicted vs. observed latency per
+    /// plan-table bucket, accumulated over every drain.
+    pub fn drift(&self) -> &DriftTracker {
+        &self.drift
+    }
+
+    /// The drift table rendered as an aligned text block.
+    pub fn drift_table_text(&self) -> String {
+        self.drift.render_text()
+    }
+
+    /// The tuner's per-family EMA calibration factors (empty when the
+    /// dispatcher runs without a tuner).
+    pub fn calibration(&self) -> Vec<(&'static str, f64)> {
+        self.selector
+            .tuner()
+            .map(|t| t.calibration_snapshot())
+            .unwrap_or_default()
+    }
+
     /// Point-in-time engine state: queue depth, per-device utilisation
     /// and error totals.
     pub fn snapshot(&self) -> EngineSnapshot {
@@ -972,6 +1127,9 @@ impl TopKEngine {
             cpu_fallbacks: self.cpu_fallbacks,
             deadline_misses: self.deadline_misses,
             quarantines: self.quarantines,
+            tuner_plan_hits: self.tuner_plan_hits,
+            tuner_plan_misses: self.tuner_plan_misses,
+            tuner_refinements: self.tuner_refinements,
             devices: self
                 .device_stats
                 .iter()
@@ -1038,6 +1196,13 @@ impl TopKEngine {
         if self.pending.len() >= self.config.queue_capacity {
             self.queue_rejections += 1;
             self.metrics.queue_rejections.inc();
+            self.flight.record(
+                "queue_reject",
+                None,
+                None,
+                0.0,
+                format!("capacity={}", self.config.queue_capacity),
+            );
             return Err(EngineError::QueueFull {
                 capacity: self.config.queue_capacity,
             });
@@ -1049,6 +1214,13 @@ impl TopKEngine {
         // a distribution sketch: skewed queries route away from AIR's
         // degenerate histogram passes.
         let sketch = DistSketch::from_sample(&data);
+        self.flight.record(
+            "submit",
+            None,
+            Some(span),
+            0.0,
+            format!("id={id} n={} k={k}", data.len()),
+        );
         self.pending.push(Pending {
             id,
             span,
@@ -1085,6 +1257,20 @@ impl TopKEngine {
             last_error: None,
         })
         .collect();
+        for job in &jobs {
+            self.flight.record(
+                "coalesce",
+                None,
+                Some(job.batch.span),
+                0.0,
+                format!(
+                    "size={} n={} k={}",
+                    job.batch.queries.len(),
+                    job.batch.n,
+                    job.batch.k
+                ),
+            );
+        }
 
         let n_dev = self.gpus.len();
         let drain_t0: Vec<f64> = self.gpus.iter().map(|g| g.elapsed_us()).collect();
@@ -1107,6 +1293,7 @@ impl TopKEngine {
         let mut results: Vec<QueryResult> = Vec::new();
         let mut records: Vec<Vec<BatchRecord>> = vec![Vec::new(); n_dev];
         let mut retries: u64 = 0;
+        let mut retry_penalty_us: f64 = 0.0;
 
         while !jobs.is_empty() {
             // Earliest-runnable job first; stable on ties so the
@@ -1138,7 +1325,11 @@ impl TopKEngine {
                 let now = (0..n_dev)
                     .map(|d| self.gpus[d].elapsed_us() - drain_t0[d])
                     .fold(job.not_before_us, f64::max);
-                degrade_job(job, now, &self.config, &mut results);
+                let step_seq = self.flight.recorded();
+                degrade_job(job, now, &self.config, &mut results, &mut self.flight);
+                self.maybe_post_mortem(
+                    step_seq, &selector, &records, &drain_t0, &fault_lo, &san_lo,
+                );
                 continue;
             };
 
@@ -1146,6 +1337,20 @@ impl TopKEngine {
             if job.first_device.is_none() {
                 job.first_device = Some(dev);
             }
+            let step_seq = self.flight.recorded();
+            self.flight.record(
+                "launch",
+                Some(dev),
+                Some(job.batch.span),
+                start_at,
+                format!(
+                    "attempt={} size={} n={} k={}",
+                    job.attempts,
+                    job.batch.queries.len(),
+                    job.batch.n,
+                    job.batch.k
+                ),
+            );
 
             // Advance the device to the job's start (backoff and
             // quarantine waits are simulated idle time).
@@ -1155,6 +1360,7 @@ impl TopKEngine {
             }
             let start_us = self.gpus[dev].elapsed_us() - drain_t0[dev];
             let batch_report_lo = self.gpus[dev].reports().len() - report_lo[dev];
+            let timeline_lo = self.gpus[dev].timeline().map(|t| t.events().len());
             self.gpus[dev].set_span(job.batch.span);
             let outcome = {
                 let gpu = self.gpus[dev].as_mut();
@@ -1163,6 +1369,15 @@ impl TopKEngine {
             };
             self.gpus[dev].clear_span();
             let end_us = self.gpus[dev].elapsed_us() - drain_t0[dev];
+            let stages = batch_stages(
+                self.gpus[dev].as_ref(),
+                timeline_lo,
+                (
+                    report_lo[dev] + batch_report_lo,
+                    self.gpus[dev].reports().len(),
+                ),
+                start_us,
+            );
             records[dev].push(BatchRecord {
                 device: dev,
                 size: job.batch.queries.len(),
@@ -1175,6 +1390,7 @@ impl TopKEngine {
                 ),
                 start_us,
                 end_us,
+                stages,
             });
 
             match outcome {
@@ -1185,7 +1401,31 @@ impl TopKEngine {
                     let shape =
                         ProblemShape::new(job.batch.n, job.batch.k, job.batch.queries.len())
                             .with_sketch(job.batch.sketch);
+                    // Drift accounting reads the plan this dispatch was
+                    // priced with *before* observe() can replan the
+                    // bucket — counter-neutrally, so plan-table
+                    // hit/miss metrics are unperturbed.
+                    if let Some(plan) = selector.tuner().and_then(|t| t.peek(&shape)) {
+                        self.drift
+                            .observe(PlanKey::of(&shape), &plan, end_us - start_us);
+                    }
                     selector.observe(self.gpus[dev].spec(), &shape, end_us - start_us);
+                    self.flight.record(
+                        "batch_ok",
+                        Some(dev),
+                        Some(job.batch.span),
+                        end_us,
+                        format!("size={} attempt={}", job.batch.queries.len(), job.attempts),
+                    );
+                    if job.first_device != Some(dev) {
+                        self.flight.record(
+                            "failover",
+                            Some(dev),
+                            Some(job.batch.span),
+                            end_us,
+                            format!("first_device={}", job.first_device.unwrap_or(dev)),
+                        );
+                    }
                     let attempt_retries = job.attempts - 1;
                     let served_ok = if job.first_device == Some(dev) {
                         Served::Gpu {
@@ -1200,10 +1440,19 @@ impl TopKEngine {
                         let (served, outcome) = match q.deadline_us {
                             // The answer exists but arrived late: the
                             // deadline verdict wins.
-                            Some(dl) if end_us > dl as f64 => (
-                                Served::Failed,
-                                Err(TopKError::DeadlineExceeded { deadline_us: dl }),
-                            ),
+                            Some(dl) if end_us > dl as f64 => {
+                                self.flight.record(
+                                    "deadline_miss",
+                                    Some(dev),
+                                    Some(q.span),
+                                    end_us,
+                                    format!("id={} deadline_us={dl}", q.id),
+                                );
+                                (
+                                    Served::Failed,
+                                    Err(TopKError::DeadlineExceeded { deadline_us: dl }),
+                                )
+                            }
                             _ => (served_ok, Ok(out)),
                         };
                         results.push(QueryResult {
@@ -1224,6 +1473,13 @@ impl TopKEngine {
                     // would fail identically on any device, so it is
                     // terminal and does not count against the device.
                     for q in &job.batch.queries {
+                        self.flight.record(
+                            "query_failed",
+                            Some(dev),
+                            Some(q.span),
+                            end_us,
+                            format!("id={} kind={}", q.id, e.kind()),
+                        );
                         results.push(QueryResult {
                             id: q.id,
                             span: q.span,
@@ -1242,7 +1498,37 @@ impl TopKEngine {
                     // fail over or degrade.
                     let severe = matches!(&e, TopKError::Sim(SimError::DeviceHang { .. }));
                     let clock = self.gpus[dev].elapsed_us();
+                    self.flight.record(
+                        "device_fault",
+                        Some(dev),
+                        Some(job.batch.span),
+                        end_us,
+                        format!("kind={} severe={severe}", e.kind()),
+                    );
+                    let was_failed = self.health[dev].failed;
+                    let was_quarantines = self.health[dev].quarantines;
                     note_fault(&mut self.health[dev], severe, &self.config.breaker, clock);
+                    if self.health[dev].failed && !was_failed {
+                        self.flight.record(
+                            "device_failed",
+                            Some(dev),
+                            None,
+                            end_us,
+                            format!("kind={}", e.kind()),
+                        );
+                    } else if self.health[dev].quarantines > was_quarantines {
+                        self.flight.record(
+                            "breaker_open",
+                            Some(dev),
+                            None,
+                            end_us,
+                            format!(
+                                "consecutive={} cooldown_us={:.0}",
+                                self.health[dev].consecutive_faults,
+                                self.config.breaker.cooldown_us
+                            ),
+                        );
+                    }
                     job.last_error = Some(e);
                     requeue_or_degrade(
                         job,
@@ -1251,6 +1537,8 @@ impl TopKEngine {
                         &mut jobs,
                         &mut results,
                         &mut retries,
+                        &mut retry_penalty_us,
+                        &mut self.flight,
                     );
                 }
                 Err(_panic) => {
@@ -1260,7 +1548,24 @@ impl TopKEngine {
                     // scratch its mid-flight batch held; it is out of
                     // the pool for good.
                     let clock = self.gpus[dev].elapsed_us();
+                    self.flight.record(
+                        "worker_panic",
+                        Some(dev),
+                        Some(job.batch.span),
+                        end_us,
+                        String::new(),
+                    );
+                    let was_failed = self.health[dev].failed;
                     note_fault(&mut self.health[dev], true, &self.config.breaker, clock);
+                    if !was_failed {
+                        self.flight.record(
+                            "device_failed",
+                            Some(dev),
+                            None,
+                            end_us,
+                            "worker panic".to_string(),
+                        );
+                    }
                     requeue_or_degrade(
                         job,
                         end_us,
@@ -1268,9 +1573,12 @@ impl TopKEngine {
                         &mut jobs,
                         &mut results,
                         &mut retries,
+                        &mut retry_penalty_us,
+                        &mut self.flight,
                     );
                 }
             }
+            self.maybe_post_mortem(step_seq, &selector, &records, &drain_t0, &fault_lo, &san_lo);
         }
 
         let devices: Vec<DeviceReport> = records
@@ -1319,6 +1627,22 @@ impl TopKEngine {
         for d in &devices {
             sanitizer.add(&d.sanitizer);
         }
+        // Stage attribution: device stages summed over batches,
+        // queue-wait summed over queries, retry backoff from the
+        // requeue path.
+        let mut stages = StageBreakdown::default();
+        for b in devices.iter().flat_map(|d| &d.batches) {
+            stages.transfer_us += b.stages.transfer_us;
+            stages.kernel_us += b.stages.kernel_us;
+            stages.merge_us += b.stages.merge_us;
+            stages.other_us += b.stages.other_us;
+        }
+        stages.queue_wait_us = results
+            .iter()
+            .map(|r| r.queue_wait_us)
+            .filter(|w| w.is_finite())
+            .sum();
+        stages.retry_penalty_us = retry_penalty_us;
         let report = DrainReport {
             results,
             devices,
@@ -1329,10 +1653,75 @@ impl TopKEngine {
             deadline_misses,
             quarantines,
             sanitizer,
+            stages,
         };
         self.selector = selector;
         self.record_drain(&report);
         report
+    }
+
+    /// If a trigger-kind event landed at or after `step_seq`, snapshot
+    /// the flight recorder — plus per-device state, the drift table and
+    /// the tuner calibration — into a post-mortem JSON document.
+    /// Bounded: once [`POST_MORTEM_CAP`] documents are retained,
+    /// further triggers only count
+    /// [`TopKEngine::post_mortems_dropped`].
+    fn maybe_post_mortem(
+        &mut self,
+        step_seq: u64,
+        selector: &SelectK,
+        records: &[Vec<BatchRecord>],
+        drain_t0: &[f64],
+        fault_lo: &[usize],
+        san_lo: &[SanitizerCounts],
+    ) {
+        let Some((trigger, trigger_seq)) =
+            self.flight.trigger_since(step_seq).map(|e| (e.kind, e.seq))
+        else {
+            return;
+        };
+        if self.post_mortems.len() >= POST_MORTEM_CAP {
+            self.post_mortems_dropped += 1;
+            return;
+        }
+        let clock_us = (0..self.gpus.len())
+            .map(|d| self.gpus[d].elapsed_us() - drain_t0[d])
+            .fold(0.0, f64::max);
+        let devices: Vec<PmDevice> = (0..self.gpus.len())
+            .map(|d| {
+                let gpu = &self.gpus[d];
+                PmDevice {
+                    device: d,
+                    health: self.health_label(d),
+                    elapsed_us: gpu.elapsed_us() - drain_t0[d],
+                    batches: records[d].len(),
+                    faults: self.health[d].total_faults,
+                    fault_events: gpu.fault_events()[fault_lo[d]..]
+                        .iter()
+                        .map(|f| format!("{}@{}", f.kind.label(), f.seq))
+                        .collect(),
+                    sanitizer_occurrences: gpu
+                        .sanitizer_report()
+                        .map_or_else(SanitizerCounts::default, |r| r.counts)
+                        .delta_since(&san_lo[d])
+                        .total(),
+                }
+            })
+            .collect();
+        let calibration = selector
+            .tuner()
+            .map(|t| t.calibration_snapshot())
+            .unwrap_or_default();
+        let json = flight::render_post_mortem(
+            trigger,
+            trigger_seq,
+            clock_us,
+            &self.flight,
+            &devices,
+            &self.drift.rows(),
+            &calibration,
+        );
+        self.post_mortems.push(json);
     }
 
     /// Fold one drain's outcome into the metrics registry and the
@@ -1388,6 +1777,25 @@ impl TopKEngine {
         let failed = self.health.iter().filter(|h| h.failed).count();
         self.metrics.set_health_gauges(quarantined, failed);
         self.metrics.record_algo(&report.algo);
+        self.tuner_plan_hits += report.algo.tuner_plan_hits;
+        self.tuner_plan_misses += report.algo.tuner_plan_misses;
+        self.tuner_refinements += report.algo.tuner_refinements;
+        // Continuous profiling exports: per-kernel roofline rows, the
+        // drain's stage attribution, cost-model drift and the tuner's
+        // calibration state — all derived from data the drain already
+        // collected, so exporting them costs no simulated time.
+        for d in &report.devices {
+            let rows = gpu_sim::roofline(&self.config.devices[d.device], &d.kernel_reports);
+            self.metrics.record_roofline(d.device, &rows);
+        }
+        self.metrics.record_stages(&report.stages);
+        for (key, entry) in self.drift.iter() {
+            self.metrics
+                .record_drift(&profiler::plan_key_label(key), entry);
+        }
+        for (family, factor) in self.calibration() {
+            self.metrics.record_calibration(family, factor);
+        }
         self.metrics.drains.inc();
         self.metrics.queue_depth.set(0.0);
     }
@@ -1410,6 +1818,7 @@ fn note_fault(health: &mut HealthState, severe: bool, breaker: &BreakerConfig, c
 /// After a device fault: requeue the job with backoff if it has retry
 /// budget left (expiring queries whose deadline the backoff already
 /// overruns), otherwise degrade it.
+#[allow(clippy::too_many_arguments)]
 fn requeue_or_degrade(
     mut job: Job,
     now_us: f64,
@@ -1417,9 +1826,11 @@ fn requeue_or_degrade(
     jobs: &mut Vec<Job>,
     results: &mut Vec<QueryResult>,
     retries: &mut u64,
+    retry_penalty_us: &mut f64,
+    flight: &mut FlightRecorder,
 ) {
     if job.attempts > config.retry.max_retries {
-        degrade_job(job, now_us, config, results);
+        degrade_job(job, now_us, config, results, flight);
         return;
     }
     let backoff = config.retry.backoff_us
@@ -1441,6 +1852,13 @@ fn requeue_or_degrade(
     job.batch.queries = live;
     for q in expired {
         let dl = q.deadline_us.expect("partition keeps only deadlined");
+        flight.record(
+            "deadline_miss",
+            job.first_device,
+            Some(q.span),
+            now_us,
+            format!("id={} deadline_us={dl} expired during backoff", q.id),
+        );
         results.push(QueryResult {
             id: q.id,
             span: q.span,
@@ -1457,6 +1875,18 @@ fn requeue_or_degrade(
         return;
     }
     *retries += 1;
+    *retry_penalty_us += backoff.max(0.0);
+    flight.record(
+        "retry",
+        job.first_device,
+        Some(job.batch.span),
+        now_us,
+        format!(
+            "attempt={} backoff_us={:.1}",
+            job.attempts,
+            backoff.max(0.0)
+        ),
+    );
     jobs.push(job);
 }
 
@@ -1472,7 +1902,13 @@ fn cpu_select_us(n: usize) -> f64 {
 /// reference path (when enabled and the shape allows), otherwise
 /// terminate it with the job's last device error or
 /// [`TopKError::PoolExhausted`].
-fn degrade_job(job: Job, now_us: f64, config: &EngineConfig, results: &mut Vec<QueryResult>) {
+fn degrade_job(
+    job: Job,
+    now_us: f64,
+    config: &EngineConfig,
+    results: &mut Vec<QueryResult>,
+    flight: &mut FlightRecorder,
+) {
     let device = job.first_device.unwrap_or(0);
     let batch_size = job.batch.queries.len();
     for q in &job.batch.queries {
@@ -1507,6 +1943,35 @@ fn degrade_job(job: Job, now_us: f64, config: &EngineConfig, results: &mut Vec<Q
                 }
             }
         };
+        match &outcome {
+            Err(TopKError::DeadlineExceeded { deadline_us }) => {
+                flight.record(
+                    "deadline_miss",
+                    Some(device),
+                    Some(q.span),
+                    latency_us,
+                    format!("id={} deadline_us={deadline_us}", q.id),
+                );
+            }
+            Err(e) => {
+                flight.record(
+                    "query_failed",
+                    Some(device),
+                    Some(q.span),
+                    latency_us,
+                    format!("id={} kind={}", q.id, e.kind()),
+                );
+            }
+            Ok(_) => {
+                flight.record(
+                    "fallback",
+                    Some(device),
+                    Some(q.span),
+                    latency_us,
+                    format!("id={} cpu attempts={}", q.id, job.attempts),
+                );
+            }
+        }
         results.push(QueryResult {
             id: q.id,
             span: q.span,
@@ -1519,6 +1984,53 @@ fn degrade_job(job: Job, now_us: f64, config: &EngineConfig, results: &mut Vec<Q
             outcome,
         });
     }
+}
+
+/// Attribute one batch's device time to stages. The primary source is
+/// the device [`Timeline`](gpu_sim::Timeline) slice the batch appended
+/// (`timeline_lo..`); backends that keep no timeline fall back to the
+/// batch's kernel reports (`abs_report_range` indexes the device's
+/// lifetime report list), which still split kernel vs. merge exec time
+/// and launch overhead but cannot see transfers.
+fn batch_stages(
+    gpu: &dyn Backend,
+    timeline_lo: Option<usize>,
+    abs_report_range: (usize, usize),
+    queue_wait_us: f64,
+) -> StageBreakdown {
+    let mut s = StageBreakdown {
+        queue_wait_us,
+        ..StageBreakdown::default()
+    };
+    let is_merge = |name: &str| name.contains("merge");
+    match (timeline_lo, gpu.timeline()) {
+        (Some(lo), Some(tl)) => {
+            for e in &tl.events()[lo..] {
+                match &e.kind {
+                    EventKind::Kernel(name) => {
+                        if is_merge(name) {
+                            s.merge_us += e.dur_us;
+                        } else {
+                            s.kernel_us += e.dur_us;
+                        }
+                    }
+                    EventKind::MemcpyHtoD | EventKind::MemcpyDtoH => s.transfer_us += e.dur_us,
+                    _ => s.other_us += e.dur_us,
+                }
+            }
+        }
+        _ => {
+            for r in &gpu.reports()[abs_report_range.0..abs_report_range.1] {
+                if is_merge(&r.name) {
+                    s.merge_us += r.cost.exec_us;
+                } else {
+                    s.kernel_us += r.cost.exec_us;
+                }
+                s.other_us += r.cost.launch_us;
+            }
+        }
+    }
+    s
 }
 
 /// Group queries into same-`(N, K)` batches of at most `window`,

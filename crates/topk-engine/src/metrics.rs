@@ -32,9 +32,20 @@
 //! | `topk_radik_*_total`, `topk_rowwise_*_total` | counter | new-algorithm [`topk_core::obs`] deltas |
 //! | `topk_tuner_plan_{hits,misses}_total` | counter | adaptive-dispatch plan-table traffic |
 //! | `topk_tuner_refinements_total` | counter | plans replaced by observed-latency feedback |
+//! | `topk_engine_stage_us{stage}` | gauge | last drain's stage-level latency attribution |
+//! | `topk_profile_peak_bw_frac{device,kernel}` | gauge | achieved / peak memory bandwidth per kernel |
+//! | `topk_profile_peak_ops_frac{device,kernel}` | gauge | achieved / peak compute throughput per kernel |
+//! | `topk_profile_occupancy{device,kernel}` | gauge | exec-time-weighted mean occupancy per kernel |
+//! | `topk_profile_kernel_launches_total{device,kernel}` | counter | roofline-folded launches per kernel |
+//! | `topk_profile_kernel_bytes_total{device,kernel}` | counter | memory traffic folded per kernel |
+//! | `topk_tuner_drift_ratio{bucket,algo}` | gauge | mean observed/predicted cost ratio per plan bucket |
+//! | `topk_tuner_drift_samples{bucket,algo}` | gauge | observations behind each drift ratio |
+//! | `topk_tuner_calibration{family}` | gauge | tuner EMA calibration factor per algorithm family |
 
-use crate::{BatchRecord, DrainReport, QueryResult};
+use crate::profiler::DriftEntry;
+use crate::{BatchRecord, DrainReport, QueryResult, StageBreakdown};
 use gpu_sim::FaultKind;
+use gpu_sim::RooflineRow;
 use std::sync::Arc;
 use topk_core::{AlgoSnapshot, TopKError};
 use topk_obs::{Counter, Gauge, Histogram, MetricsRegistry};
@@ -321,6 +332,95 @@ impl EngineMetrics {
                 &[("device", &device.to_string())],
             )
             .set(utilization);
+    }
+
+    /// Export one device's roofline aggregation: per-kernel achieved
+    /// vs. peak fractions as gauges (latest drain wins) and
+    /// launch/byte tallies as counters.
+    pub(crate) fn record_roofline(&self, device: usize, rows: &[RooflineRow]) {
+        let dev = device.to_string();
+        for row in rows {
+            let labels = [("device", dev.as_str()), ("kernel", row.kernel.as_str())];
+            self.registry
+                .gauge_with(
+                    "topk_profile_peak_bw_frac",
+                    "Achieved memory bandwidth over DeviceSpec peak, per kernel (0..1)",
+                    &labels,
+                )
+                .set(row.peak_bw_frac);
+            self.registry
+                .gauge_with(
+                    "topk_profile_peak_ops_frac",
+                    "Achieved compute throughput over DeviceSpec peak, per kernel (0..1)",
+                    &labels,
+                )
+                .set(row.peak_ops_frac);
+            self.registry
+                .gauge_with(
+                    "topk_profile_occupancy",
+                    "Exec-time-weighted mean occupancy per kernel (0..1)",
+                    &labels,
+                )
+                .set(row.occupancy);
+            self.registry
+                .counter_with(
+                    "topk_profile_kernel_launches_total",
+                    "Kernel launches folded into the roofline profile",
+                    &labels,
+                )
+                .add(row.launches);
+            self.registry
+                .counter_with(
+                    "topk_profile_kernel_bytes_total",
+                    "Memory traffic (read + written + scattered + atomics) folded into the roofline profile",
+                    &labels,
+                )
+                .add(row.mem_bytes);
+        }
+    }
+
+    /// Export a drain's stage-level latency attribution (gauges: the
+    /// last drain's split, scrape-to-scrape).
+    pub(crate) fn record_stages(&self, stages: &StageBreakdown) {
+        for (stage, us) in stages.rows() {
+            self.registry
+                .gauge_with(
+                    "topk_engine_stage_us",
+                    "Last drain's simulated time by stage (queue wait, transfer, kernel, merge, retry penalty, other)",
+                    &[("stage", stage)],
+                )
+                .set(us);
+        }
+    }
+
+    /// Export one plan bucket's cost-model drift state.
+    pub(crate) fn record_drift(&self, bucket: &str, entry: &DriftEntry) {
+        let labels = [("bucket", bucket), ("algo", entry.algo.as_str())];
+        self.registry
+            .gauge_with(
+                "topk_tuner_drift_ratio",
+                "Mean observed/predicted batch-cost ratio per plan bucket (1.0 = calibrated)",
+                &labels,
+            )
+            .set(entry.mean_ratio());
+        self.registry
+            .gauge_with(
+                "topk_tuner_drift_samples",
+                "Observations folded into each plan bucket's drift ratio",
+                &labels,
+            )
+            .set(entry.samples as f64);
+    }
+
+    /// Export one algorithm family's EMA calibration factor.
+    pub(crate) fn record_calibration(&self, family: &'static str, factor: f64) {
+        self.registry
+            .gauge_with(
+                "topk_tuner_calibration",
+                "Tuner EMA calibration factor per algorithm family (observed/predicted)",
+                &[("family", family)],
+            )
+            .set(factor);
     }
 }
 

@@ -1,0 +1,182 @@
+//! Cost-model drift detection: predicted vs. observed latency per
+//! plan-table bucket.
+//!
+//! The tuner prices every dispatch through the analytic cost model
+//! (`gpu_sim::sequence_cost` over `PlannedLaunch` sequences) and
+//! refines a per-family EMA calibration from observed batch latencies
+//! — but until now nothing *reported* how wrong the model currently
+//! is. [`DriftTracker`] closes that gap: at every successful batch the
+//! engine reads the plan the dispatch used (counter-neutrally, via
+//! [`topk_core::tuner::Tuner::peek`]) and folds the observed/predicted
+//! ratio into a per-[`PlanKey`] row. A ratio near 1.0 means the model
+//! is honest; sustained drift shows up in the
+//! `topk_tuner_drift_ratio` gauges and in every flight-recorder
+//! post-mortem *before* it costs tail latency.
+
+use crate::flight::PmDrift;
+use std::collections::BTreeMap;
+use topk_core::tuner::{Plan, PlanKey};
+
+/// Accumulated drift state for one plan-table bucket.
+#[derive(Debug, Clone, Default)]
+pub struct DriftEntry {
+    /// Winning configuration label (`air:11`, `grid`, …) of the most
+    /// recent dispatch.
+    pub algo: String,
+    /// Observations folded in.
+    pub samples: u64,
+    /// Sum of observed/predicted ratios (mean = sum / samples).
+    pub sum_ratio: f64,
+    /// Calibrated prediction of the most recent dispatch, µs.
+    pub predicted_us: f64,
+    /// Most recent observed batch latency, µs.
+    pub observed_us: f64,
+}
+
+impl DriftEntry {
+    /// Mean observed/predicted ratio (0.0 before the first sample).
+    pub fn mean_ratio(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum_ratio / self.samples as f64
+        }
+    }
+}
+
+/// Stable text label for a plan-key bucket, e.g. `n2^14 k2^5 b2^3 d0`.
+pub fn plan_key_label(key: &PlanKey) -> String {
+    format!(
+        "n2^{} k2^{} b2^{} d{}",
+        key.n_log2, key.k_log2, key.batch_log2, key.dist_class
+    )
+}
+
+/// Predicted-vs-observed accounting over every plan bucket the engine
+/// has dispatched. Purely host-side: observing never touches a device
+/// clock, so profiling cannot perturb the schedule it measures.
+#[derive(Debug, Default)]
+pub struct DriftTracker {
+    entries: BTreeMap<PlanKey, DriftEntry>,
+}
+
+impl DriftTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        DriftTracker::default()
+    }
+
+    /// Fold one observation: the plan a dispatch used (peeked from the
+    /// tuner's table) against the batch latency the device reported.
+    pub fn observe(&mut self, key: PlanKey, plan: &Plan, observed_us: f64) {
+        if !(observed_us.is_finite() && observed_us > 0.0 && plan.predicted_us > 0.0) {
+            return;
+        }
+        let e = self.entries.entry(key).or_default();
+        e.algo = plan.algo.encode();
+        e.samples += 1;
+        e.sum_ratio += observed_us / plan.predicted_us;
+        e.predicted_us = plan.predicted_us;
+        e.observed_us = observed_us;
+    }
+
+    /// Number of tracked buckets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no bucket has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate tracked buckets in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&PlanKey, &DriftEntry)> {
+        self.entries.iter()
+    }
+
+    /// The drift table as post-mortem rows, in key order.
+    pub fn rows(&self) -> Vec<PmDrift> {
+        self.entries
+            .iter()
+            .map(|(key, e)| PmDrift {
+                key: plan_key_label(key),
+                algo: e.algo.clone(),
+                samples: e.samples,
+                predicted_us: e.predicted_us,
+                observed_us: e.observed_us,
+                mean_ratio: e.mean_ratio(),
+            })
+            .collect()
+    }
+
+    /// Render the drift table as an aligned text block (one row per
+    /// bucket) — the human-readable companion of the JSON rows.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from(
+            "Plan bucket            Algo        Samples   Predicted us   Observed us   Ratio\n",
+        );
+        for (key, e) in &self.entries {
+            out.push_str(&format!(
+                "{:<22} {:<11} {:>7} {:>14.2} {:>13.2} {:>7.3}\n",
+                plan_key_label(key),
+                e.algo,
+                e.samples,
+                e.predicted_us,
+                e.observed_us,
+                e.mean_ratio(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_core::tuner::TunedAlgo;
+
+    fn key(n: u8, k: u8) -> PlanKey {
+        PlanKey {
+            n_log2: n,
+            k_log2: k,
+            batch_log2: 0,
+            dist_class: 0,
+        }
+    }
+
+    fn plan(predicted_us: f64) -> Plan {
+        Plan {
+            algo: TunedAlgo::Air { bits_per_pass: 11 },
+            predicted_us,
+            raw_us: predicted_us,
+        }
+    }
+
+    #[test]
+    fn drift_accumulates_mean_ratio_per_bucket() {
+        let mut t = DriftTracker::new();
+        t.observe(key(14, 5), &plan(100.0), 110.0);
+        t.observe(key(14, 5), &plan(100.0), 130.0);
+        t.observe(key(20, 10), &plan(500.0), 400.0);
+        assert_eq!(t.len(), 2);
+        let rows = t.rows();
+        assert_eq!(rows[0].key, "n2^14 k2^5 b2^0 d0");
+        assert_eq!(rows[0].samples, 2);
+        assert!((rows[0].mean_ratio - 1.2).abs() < 1e-9);
+        assert!((rows[1].mean_ratio - 0.8).abs() < 1e-9);
+        let text = t.render_text();
+        assert!(text.contains("n2^20"), "{text}");
+        assert!(text.contains("air:11"));
+    }
+
+    #[test]
+    fn degenerate_observations_are_ignored() {
+        let mut t = DriftTracker::new();
+        t.observe(key(10, 3), &plan(0.0), 10.0);
+        t.observe(key(10, 3), &plan(10.0), f64::NAN);
+        t.observe(key(10, 3), &plan(10.0), -1.0);
+        assert!(t.is_empty());
+        assert_eq!(DriftEntry::default().mean_ratio(), 0.0);
+    }
+}

@@ -7,10 +7,12 @@
 //! its batch's span id), one **query track** (per query, a
 //! `queue-wait` span from drain start to batch start followed by a
 //! `query` span covering service, with a `served` arg recording the
-//! degradation-ladder rung), and — when fault injection is active — a
-//! **fault track** marking every injected fault at the simulated time
-//! it fired. Fused queries overlap exactly; retried batches appear
-//! once per attempt.
+//! degradation-ladder rung), one **stage track** (per batch, a span
+//! whose args carry the stage-level latency attribution — transfer /
+//! kernel / merge / other µs from [`crate::StageBreakdown`]), and —
+//! when fault injection is active — a **fault track** marking every
+//! injected fault at the simulated time it fired. Fused queries
+//! overlap exactly; retried batches appear once per attempt.
 
 use crate::DrainReport;
 use gpu_sim::TraceBuilder;
@@ -67,6 +69,26 @@ pub fn chrome_trace(report: &DrainReport) -> String {
             );
         }
 
+        if !d.batches.is_empty() {
+            let stages = tb.add_track(&format!("device {} stages", d.device));
+            for b in &d.batches {
+                tb.span_with_args(
+                    stages,
+                    "stage",
+                    &format!("batch n={} k={} x{}", b.n, b.k, b.size),
+                    b.start_us,
+                    (b.end_us - b.start_us).max(0.0),
+                    &[
+                        ("span", b.span.to_string()),
+                        ("transfer_us", format!("{:.3}", b.stages.transfer_us)),
+                        ("kernel_us", format!("{:.3}", b.stages.kernel_us)),
+                        ("merge_us", format!("{:.3}", b.stages.merge_us)),
+                        ("other_us", format!("{:.3}", b.stages.other_us)),
+                    ],
+                );
+            }
+        }
+
         if !d.fault_events.is_empty() {
             let faults = tb.add_track(&format!("device {} faults", d.device));
             for fe in &d.fault_events {
@@ -111,5 +133,10 @@ mod tests {
             json.matches("\"cat\":\"query\"").count(),
             report.results.len()
         );
+        // One stage-attribution span per executed batch, carrying the
+        // kernel/transfer split in its args.
+        let batches: usize = report.devices.iter().map(|d| d.batches.len()).sum();
+        assert_eq!(json.matches("\"cat\":\"stage\"").count(), batches);
+        assert!(json.contains("kernel_us"), "{json}");
     }
 }

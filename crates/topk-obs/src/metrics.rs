@@ -477,7 +477,56 @@ mod tests {
     fn empty_histogram_percentile_is_zero() {
         let h = Histogram::with_bounds(vec![1.0, 2.0]);
         assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.percentile(0.0), 0.0);
+        assert_eq!(h.percentile(1.0), 0.0);
         assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_exact_at_log_bucket_boundaries() {
+        // Observations landing exactly on the power-of-two bounds fill
+        // their bucket completely, so linear interpolation reaches the
+        // upper bound exactly: each quartile IS a boundary value.
+        let h = Histogram::with_bounds(Histogram::default_latency_bounds());
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(0.25), 1.0);
+        assert_eq!(h.percentile(0.50), 2.0);
+        assert_eq!(h.percentile(0.75), 4.0);
+        assert_eq!(h.percentile(1.00), 8.0);
+        // A boundary value belongs to the bucket it bounds (v <= b),
+        // never the one above.
+        let h2 = Histogram::with_bounds(vec![1.0, 2.0, 4.0]);
+        h2.observe(2.0);
+        assert_eq!(h2.percentile(1.0), 2.0);
+    }
+
+    #[test]
+    fn single_sample_reports_its_bucket_upper_bound_at_every_quantile() {
+        let h = Histogram::with_bounds(vec![1.0, 2.0, 4.0, 8.0]);
+        h.observe(3.0); // (2, 4] bucket
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 4.0, "q = {q}");
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 3.0);
+    }
+
+    #[test]
+    fn log_buckets_bound_relative_error_by_a_factor_of_two() {
+        // The default_latency_bounds() doc promise: the estimate never
+        // strays more than 2x from the true value, across the decades.
+        for v in [1.5, 3.0, 6.0, 100.0, 5_000.0, 1.0e6] {
+            let h = Histogram::with_bounds(Histogram::default_latency_bounds());
+            h.observe(v);
+            let est = h.percentile(0.5);
+            assert!(
+                est / v <= 2.0 + 1e-9 && v / est <= 2.0 + 1e-9,
+                "estimate {est} strays more than 2x from {v}"
+            );
+        }
     }
 
     #[test]

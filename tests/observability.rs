@@ -227,6 +227,177 @@ fn spans_thread_from_submission_to_kernel_reports() {
     }
 }
 
+/// Every integer value of `"<key>": N` in `json`, in order of
+/// appearance.
+fn int_values(json: &str, key: &str) -> Vec<u64> {
+    let pat = format!("\"{key}\": ");
+    json.match_indices(&pat)
+        .filter_map(|(i, _)| {
+            let rest = &json[i + pat.len()..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        })
+        .collect()
+}
+
+/// Every string value of `"<key>": "..."` in `json`, in order.
+fn str_values<'a>(json: &'a str, key: &str) -> Vec<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    json.match_indices(&pat)
+        .filter_map(|(i, _)| {
+            let rest = &json[i + pat.len()..];
+            rest.find('"').map(|end| &rest[..end])
+        })
+        .collect()
+}
+
+#[test]
+fn scripted_fault_produces_a_parseable_post_mortem() {
+    // The acceptance scenario: a fault scripted via FaultPlan kills the
+    // only batch of the only device; retries and the CPU fallback are
+    // disabled so the failure is terminal and the flight recorder must
+    // dump a post-mortem.
+    let plan = FaultPlan::seeded(7).with_scripted(ScriptedFault {
+        device: 0,
+        kind: FaultKind::LaunchFail,
+        nth: 0,
+    });
+    let mut engine = TopKEngine::new(
+        EngineConfig::a100_pool(1)
+            .with_faults(plan)
+            .with_retry(RetryPolicy {
+                max_retries: 0,
+                ..Default::default()
+            })
+            .with_cpu_fallback(false),
+    );
+    let data = datagen::generate(Distribution::Uniform, 4096, 1);
+    engine.submit(data, 32).unwrap();
+    let report = engine.drain();
+    assert!(report.results[0].outcome.is_err());
+
+    let pms = engine.take_post_mortems();
+    assert_eq!(pms.len(), 1, "exactly one trigger step");
+    let pm = &pms[0];
+    json::validate(pm).unwrap_or_else(|e| panic!("invalid post-mortem JSON: {e}\n{pm}"));
+
+    assert!(pm.contains("\"trigger\": \"query_failed\""), "{pm}");
+    for section in ["\"events\"", "\"devices\"", "\"drift\"", "\"calibration\""] {
+        assert!(pm.contains(section), "missing {section}:\n{pm}");
+    }
+    // Device snapshot: the scripted fault is in the fault log and the
+    // lifetime fault counter.
+    assert!(pm.contains("launch_fail@"), "{pm}");
+    assert!(pm.contains("\"faults\": 1"), "{pm}");
+
+    // The event window tells the story in order: sequence numbers are
+    // strictly increasing and the causal chain submit → launch →
+    // device_fault → query_failed appears in that order.
+    let seqs = int_values(pm, "seq");
+    assert!(seqs.len() >= 4, "{pm}");
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "events out of order: {seqs:?}"
+    );
+    let kinds = str_values(pm, "kind");
+    let pos = |k: &str| {
+        kinds
+            .iter()
+            .position(|x| *x == k)
+            .unwrap_or_else(|| panic!("no {k} event in {kinds:?}"))
+    };
+    assert!(pos("submit") < pos("launch"));
+    assert!(pos("launch") < pos("device_fault"));
+    assert!(pos("device_fault") < pos("query_failed"));
+}
+
+#[test]
+fn post_mortem_after_successful_batches_carries_the_drift_table() {
+    let mut engine = TopKEngine::new(EngineConfig::a100_pool(1).with_window(4));
+    for q in 0..8 {
+        let data = datagen::generate(Distribution::Uniform, 20_000, q);
+        engine.submit(data, 64).unwrap();
+    }
+    let _ = engine.drain();
+    assert!(
+        !engine.drift().is_empty(),
+        "successful batches populate the drift tracker"
+    );
+    assert!(engine.take_post_mortems().is_empty(), "clean drain");
+
+    // Now trigger a dump; it must carry the accumulated drift table
+    // and the tuner calibration state.
+    engine.submit(vec![1.0, 2.0, 3.0], 0).unwrap(); // InvalidK
+    let _ = engine.drain();
+    let pms = engine.take_post_mortems();
+    assert_eq!(pms.len(), 1);
+    let pm = &pms[0];
+    json::validate(pm).unwrap_or_else(|e| panic!("invalid post-mortem JSON: {e}\n{pm}"));
+    let samples = int_values(pm, "samples");
+    assert!(
+        samples.iter().any(|&s| s > 0),
+        "drift rows must be populated:\n{pm}"
+    );
+    assert!(pm.contains("\"family\""), "calibration rows present:\n{pm}");
+    // A second take returns nothing — the dump buffer drains.
+    assert!(engine.take_post_mortems().is_empty());
+}
+
+#[test]
+fn drain_report_attributes_stage_latency() {
+    let (_, report) = drained_engine();
+    let s = &report.stages;
+    assert!(s.kernel_us > 0.0, "kernel time attributed: {s:?}");
+    assert!(
+        s.queue_wait_us > 0.0,
+        "coalescing makes queries wait: {s:?}"
+    );
+    let total: f64 = s.rows().iter().map(|(_, v)| v).sum();
+    assert!(total.is_finite() && total > 0.0);
+    // Per-batch attribution is consistent with the per-device records.
+    for d in &report.devices {
+        for b in &d.batches {
+            assert!(b.stages.device_us() >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn chaos_digest_is_bit_identical_with_profiling_consumed_or_ignored() {
+    // The profiling subsystem is host-side bookkeeping: draining its
+    // artifacts (metrics, drift, flight recorder, post-mortems, trace)
+    // or changing the recorder capacity must not move a single bit of
+    // the same-seed chaos digest.
+    let run = |consume: bool, flight_capacity: usize| -> String {
+        let mut engine = TopKEngine::new(
+            EngineConfig::a100_pool(2)
+                .with_window(4)
+                .with_faults(FaultPlan::chaos(42, 0.10))
+                .with_flight_capacity(flight_capacity),
+        );
+        for q in 0..24 {
+            let n = [40_000, 20_000, 4096][q % 3];
+            let data = datagen::generate(Distribution::Uniform, n, q as u64);
+            engine.submit(data, 64).unwrap();
+        }
+        let report = engine.drain();
+        if consume {
+            let _ = engine.render_prometheus();
+            let _ = engine.drift_table_text();
+            let _ = engine.calibration();
+            let _ = engine.flight_recorder().len();
+            let _ = engine.take_post_mortems();
+            let _ = chrome_trace(&report);
+        }
+        report.chaos_digest()
+    };
+    let baseline = run(false, 256);
+    assert_eq!(baseline, run(true, 256), "consuming profiling artifacts");
+    assert_eq!(baseline, run(true, 32), "smaller flight recorder");
+}
+
 #[test]
 fn engine_snapshot_tracks_queue_errors_and_utilization() {
     let (engine, _) = drained_engine();
@@ -239,6 +410,10 @@ fn engine_snapshot_tracks_queue_errors_and_utilization() {
         .errors
         .iter()
         .any(|&(kind, n)| kind == "invalid_k" && n == 1));
+    assert!(
+        snap.tuner_plan_hits + snap.tuner_plan_misses > 0,
+        "the tuner consults its plan table on every dispatch"
+    );
     assert_eq!(snap.devices.len(), 2);
     for d in &snap.devices {
         assert!(d.utilization > 0.0 && d.utilization <= 1.0 + 1e-9);
