@@ -21,6 +21,16 @@ pub enum Distribution {
         /// Number of leading shared bits, 2..=31.
         m_bits: u32,
     },
+    /// Zipf-like power-law values: heavy-tailed magnitudes drawn by
+    /// inverse-CDF from a Pareto with shape `exponent_tenths / 10`
+    /// (`11` ⇒ the classic α ≈ 1.1 web/ANN skew). Samples stay i.i.d.
+    /// — only the *value* distribution is skewed — so the approximate
+    /// selectors' binomial recall model still applies, which is
+    /// exactly what the recall property tests exercise.
+    Zipf {
+        /// Pareto shape in tenths, 11..=40 (α = 1.1 to 4.0).
+        exponent_tenths: u32,
+    },
 }
 
 impl Distribution {
@@ -30,6 +40,7 @@ impl Distribution {
             Distribution::Uniform => "uniform".to_string(),
             Distribution::Normal => "normal".to_string(),
             Distribution::RadixAdversarial { m_bits } => format!("adversarial{m_bits}"),
+            Distribution::Zipf { exponent_tenths } => format!("zipf{exponent_tenths}"),
         }
     }
 
@@ -78,6 +89,22 @@ pub fn generate(dist: Distribution, n: usize, seed: u64) -> Vec<f32> {
                 })
                 .collect()
         }
+        Distribution::Zipf { exponent_tenths } => {
+            assert!(
+                (11..=40).contains(&exponent_tenths),
+                "exponent_tenths must be in 11..=40, got {exponent_tenths}"
+            );
+            let alpha = exponent_tenths as f64 / 10.0;
+            // Pareto inverse-CDF: x = u^(-1/α) with u in (0, 1], so
+            // every sample is a finite float ≥ 1 and the tail index is
+            // α. Continuous draws keep ties negligible.
+            (0..n)
+                .map(|_| {
+                    let u = 1.0 - rng.gen::<f64>();
+                    u.powf(-1.0 / alpha) as f32
+                })
+                .collect()
+        }
     }
 }
 
@@ -116,6 +143,9 @@ mod tests {
             Distribution::Uniform,
             Distribution::Normal,
             Distribution::RadixAdversarial { m_bits: 20 },
+            Distribution::Zipf {
+                exponent_tenths: 11,
+            },
         ] {
             let a = generate(dist, 1000, 42);
             let b = generate(dist, 1000, 42);
@@ -184,12 +214,51 @@ mod tests {
     }
 
     #[test]
+    fn zipf_is_heavy_tailed_finite_and_at_least_one() {
+        let v = generate(
+            Distribution::Zipf {
+                exponent_tenths: 11,
+            },
+            100_000,
+            13,
+        );
+        assert!(v.iter().all(|&x| x.is_finite() && x >= 1.0));
+        // α ≈ 1.1 is genuinely heavy-tailed: the maximum dwarfs the
+        // median by orders of magnitude.
+        let mut sorted = v.clone();
+        sorted.sort_by(f32::total_cmp);
+        let median = sorted[v.len() / 2];
+        let max = sorted[v.len() - 1];
+        assert!(median < 2.5, "median = {median}");
+        assert!(max > 1000.0 * median, "max = {max}, median = {median}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent_tenths")]
+    fn zipf_rejects_shape_out_of_range() {
+        generate(
+            Distribution::Zipf {
+                exponent_tenths: 10,
+            },
+            10,
+            0,
+        );
+    }
+
+    #[test]
     fn names_for_reports() {
         assert_eq!(Distribution::Uniform.name(), "uniform");
         assert_eq!(Distribution::Normal.name(), "normal");
         assert_eq!(
             Distribution::RadixAdversarial { m_bits: 20 }.name(),
             "adversarial20"
+        );
+        assert_eq!(
+            Distribution::Zipf {
+                exponent_tenths: 11
+            }
+            .name(),
+            "zipf11"
         );
         assert_eq!(Distribution::benchmark_set().len(), 3);
     }

@@ -15,7 +15,7 @@
 //!   all     every figure/table above
 //!
 //! tools:
-//!   compare --algos A,B --n N --k K --batch B --dist uniform|normal|adversarialM
+//!   compare --algos A,B --n N --k K --batch B --dist uniform|normal|adversarialM|zipfT
 //!   tune-alpha [--n N] [--k K]
 //!   verify [--quick]      run the correctness gate over every algorithm
 //!   sanitize [--matrix smoke|full]  run every algorithm under the gpu-sim sanitizer
@@ -35,8 +35,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: topk-bench <fig6|fig7|table2|fig8|table3|fig9|fig10|fig11|fig12|fig13|engine|profile|all> \
          [--full] [--verify] [--quiet] [--out DIR] [--metrics-out FILE] [--trace-out FILE]\n\
-       topk-bench engine [--faults SEED] [--fault-rate P] [--deadline-us D] [--digest-out FILE]\n\
-                         [--profile-out FILE] [--postmortem-dir DIR] ...\n\
+       topk-bench engine [--faults SEED] [--fault-rate P] [--deadline-us D] [--recall-target T]\n\
+                         [--digest-out FILE] [--profile-out FILE] [--postmortem-dir DIR] ...\n\
+                         --recall-target T (< 1.0) permits the approximate degradation rungs\n\
+                         and exits non-zero if the drain's recall falls below T\n\
        topk-bench profile [--out DIR] [--faults SEED] [--fault-rate P] [--deadline-us D]\n\
                          write DIR/profile.html (roofline + drift + stage report) and any\n\
                          flight-recorder post-mortem JSON dumps to DIR/postmortems/\n\
@@ -55,6 +57,7 @@ struct FaultOpts {
     fault_seed: Option<u64>,
     fault_rate: Option<f64>,
     deadline_us: Option<u64>,
+    recall_target: Option<f64>,
 }
 
 fn engine_opts(opts: &FigOpts, faults: &FaultOpts) -> topk_bench::serving::EngineBenchOpts {
@@ -63,6 +66,7 @@ fn engine_opts(opts: &FigOpts, faults: &FaultOpts) -> topk_bench::serving::Engin
         full: opts.full,
         fault_seed: faults.fault_seed,
         deadline_us: faults.deadline_us,
+        recall_target: faults.recall_target,
         ..Default::default()
     };
     if let Some(rate) = faults.fault_rate {
@@ -77,11 +81,15 @@ fn parse_dist(s: &str) -> topk_bench::runner::Workload {
         "uniform" => Distribution::Uniform,
         "normal" => Distribution::Normal,
         other => {
-            let m: u32 = other
-                .strip_prefix("adversarial")
-                .and_then(|m| m.parse().ok())
-                .unwrap_or_else(|| usage());
-            Distribution::RadixAdversarial { m_bits: m }
+            if let Some(t) = other.strip_prefix("zipf").and_then(|t| t.parse().ok()) {
+                Distribution::Zipf { exponent_tenths: t }
+            } else {
+                let m: u32 = other
+                    .strip_prefix("adversarial")
+                    .and_then(|m| m.parse().ok())
+                    .unwrap_or_else(|| usage());
+                Distribution::RadixAdversarial { m_bits: m }
+            }
         }
     };
     topk_bench::runner::Workload::Synthetic(d)
@@ -232,6 +240,15 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--recall-target" => {
+                i += 1;
+                let t: f64 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t| (0.0..=1.0).contains(t))
+                    .unwrap_or_else(|| usage());
+                faults.recall_target = Some(t);
+            }
             _ => usage(),
         }
         i += 1;
@@ -378,6 +395,18 @@ fn main() {
             save_observability(&eopts, &metrics_out, &trace_out);
             save_digest(&eopts, &digest_out);
             save_profile(&eopts, &profile_out, &postmortem_dir);
+            // `--recall-target T` doubles as the recall floor: the CI
+            // chaos-degrade job relies on this exit code.
+            if let Some(target) = eopts.recall_target {
+                let violations = topk_bench::serving::recall_floor_violations(&points, target);
+                for v in &violations {
+                    eprintln!("[topk-bench] RECALL FLOOR: {v}");
+                }
+                if !violations.is_empty() {
+                    std::process::exit(1);
+                }
+                eprintln!("[topk-bench] recall floor {target} held across the sweep");
+            }
         }
         "profile" => {
             let eopts = engine_opts(&opts, &faults);

@@ -14,7 +14,8 @@
 //!
 //! * `full` — every algorithm (the eight baselines, AIR Top-K,
 //!   GridSelect, UnfusedRadix, StreamingSelect, the DrTopK hybrid,
-//!   RadiK, RowWise, and the SelectK dispatcher) × N ∈ {2^16, 2^20} ×
+//!   RadiK, RowWise, the approximate BucketedTopK and TwoStageTopK
+//!   rungs, and the SelectK dispatcher) × N ∈ {2^16, 2^20} ×
 //!   K ∈ {32, 1024} × batch ∈ {1, 32}, plus a chaos seed-matrix over
 //!   the serving engine and a sliding-window sweep over the
 //!   [`WarpSelector`] device-function path.
@@ -93,8 +94,14 @@ pub struct SanitizeSummary {
 
 /// The algorithm set the gate covers: the eight baselines, the paper's
 /// two new methods, the extension algorithms (UnfusedRadix, the
-/// streaming adapter, the DrTopK hybrid, RadiK, RowWise), and the
+/// streaming adapter, the DrTopK hybrid, RadiK, RowWise), the two
+/// approximate degradation rungs (bucketed and two-stage), and the
 /// adaptive dispatcher itself — everything a query can route through.
+///
+/// The approximate selectors use fixed configurations feasible across
+/// the whole matrix: bucketed keeps 16 winners per bucket, two-stage
+/// keeps 256 candidates in each of 8 partitions (covering K up to
+/// 2048 without starving any partition down to N = 4096).
 fn gate_algorithms() -> Vec<Box<dyn TopKAlgorithm>> {
     let mut algs = topk_baselines::all_baselines();
     algs.push(Box::new(AirTopK::default()));
@@ -104,6 +111,8 @@ fn gate_algorithms() -> Vec<Box<dyn TopKAlgorithm>> {
     algs.push(Box::new(DrTopK::new(AirTopK::default())));
     algs.push(Box::new(topk_core::RadiK::default()));
     algs.push(Box::new(topk_core::RowWiseTopK::default()));
+    algs.push(Box::new(topk_core::BucketedTopK::default()));
+    algs.push(Box::new(topk_core::TwoStageTopK::new(8, 256)));
     algs.push(Box::new(topk_core::SelectK::default()));
     algs
 }
@@ -164,12 +173,16 @@ fn sanitize_config(
 /// Drain a faulted mixed workload through a sanitized engine: the
 /// retry/failover/deadline machinery must stay clean too, because those
 /// are exactly the paths that re-use devices after mid-flight aborts.
+/// The drain runs with a sub-unit recall target so the approximate
+/// degradation rungs are sanitized on the same chaotic schedules that
+/// trigger them in production.
 fn sanitize_chaos_drain(seed: u64, queries: usize, summary: &mut SanitizeSummary) {
     let workload = crate::serving::mixed_workload(queries, false);
     let cfg = EngineConfig::a100_pool(2)
         .with_window(8)
         .with_queue_capacity(workload.len().max(1))
         .with_faults(FaultPlan::chaos(seed, 0.10))
+        .with_recall_target(0.95)
         .with_sanitizer(SanitizerMode::full());
     let mut engine = TopKEngine::new(cfg);
     for (data, k) in &workload {

@@ -10,7 +10,7 @@
 //! coalescing windows and reports simulated queries/sec.
 
 use crate::report::Row;
-use topk_core::verify_topk;
+use topk_core::{measured_recall, verify_topk};
 use topk_engine::{DrainReport, EngineConfig, FaultPlan, TopKEngine};
 
 /// Options for the engine throughput sweep.
@@ -32,6 +32,11 @@ pub struct EngineBenchOpts {
     pub fault_rate: f64,
     /// Per-query deadline applied to every submission, simulated µs.
     pub deadline_us: Option<u64>,
+    /// Per-query recall target (`--recall-target T`): values below 1.0
+    /// let the engine degrade exact → two-stage → bucketed under
+    /// deadline risk or capacity loss. `None` keeps the exact-only
+    /// default.
+    pub recall_target: Option<f64>,
 }
 
 impl Default for EngineBenchOpts {
@@ -45,6 +50,7 @@ impl Default for EngineBenchOpts {
             fault_seed: None,
             fault_rate: 0.05,
             deadline_us: None,
+            recall_target: None,
         }
     }
 }
@@ -94,6 +100,19 @@ pub struct EnginePoint {
     pub plan_misses: u64,
     /// Cached plans replaced by observed-latency feedback.
     pub refinements: u64,
+    /// Queries served by the two-stage approximate rung.
+    pub approx_two_stage: u64,
+    /// Queries served by the bucketed approximate rung.
+    pub approx_bucketed: u64,
+    /// Median estimated recall across terminal queries.
+    pub p50_recall: f64,
+    /// 99th-percentile estimated recall (worst 1% excluded).
+    pub p99_recall: f64,
+    /// Mean estimated recall across terminal queries.
+    pub mean_est_recall: f64,
+    /// Mean *measured* recall over successful queries, re-checked on
+    /// the host — only computed under `--verify` (`None` otherwise).
+    pub mean_measured_recall: Option<f64>,
 }
 
 /// The mixed query stream every sweep point drains: four interleaved
@@ -121,17 +140,19 @@ pub fn drain_workload(
     devices: usize,
     window: usize,
 ) -> DrainReport {
-    drain_workload_with(workload, devices, window, None, None)
+    drain_workload_with(workload, devices, window, None, None, None)
 }
 
-/// [`drain_workload`] with optional fault injection and a per-query
-/// deadline — the chaos-benchmark entry point.
+/// [`drain_workload`] with optional fault injection, a per-query
+/// deadline, and a per-query recall target — the chaos-benchmark entry
+/// point.
 pub fn drain_workload_with(
     workload: &[(Vec<f32>, usize)],
     devices: usize,
     window: usize,
     faults: Option<FaultPlan>,
     deadline_us: Option<u64>,
+    recall_target: Option<f64>,
 ) -> DrainReport {
     let mut cfg = EngineConfig::a100_pool(devices)
         .with_window(window)
@@ -141,6 +162,9 @@ pub fn drain_workload_with(
     }
     if let Some(d) = deadline_us {
         cfg = cfg.with_deadline_us(d);
+    }
+    if let Some(t) = recall_target {
+        cfg = cfg.with_recall_target(t);
     }
     let mut engine = TopKEngine::new(cfg);
     for (data, k) in workload {
@@ -163,16 +187,26 @@ pub fn engine_throughput(opts: &EngineBenchOpts) -> Vec<EnginePoint> {
                 window,
                 opts.fault_plan(),
                 opts.deadline_us,
+                opts.recall_target,
             );
+            let mut measured: Vec<f64> = Vec::new();
             if opts.verify {
                 for (r, (data, k)) in report.results.iter().zip(&workload) {
                     // Under injected faults or deadlines, errors are
                     // expected terminal outcomes; verify the answers
                     // that did land.
                     let strict = opts.fault_seed.is_none() && opts.deadline_us.is_none();
+                    let approx = r.served.label().starts_with("approx");
                     match &r.outcome {
-                        Ok(out) => verify_topk(data, *k, &out.values, &out.indices)
-                            .unwrap_or_else(|e| panic!("query {}: {e}", r.id)),
+                        // Approximate rungs do not promise the exact
+                        // multiset; re-check them as measured recall
+                        // against the host reference instead.
+                        Ok(out) if approx => measured.push(measured_recall(data, *k, &out.values)),
+                        Ok(out) => {
+                            verify_topk(data, *k, &out.values, &out.indices)
+                                .unwrap_or_else(|e| panic!("query {}: {e}", r.id));
+                            measured.push(1.0);
+                        }
                         Err(e) if strict => panic!("query {}: {e}", r.id),
                         Err(_) => {}
                     }
@@ -195,6 +229,16 @@ pub fn engine_throughput(opts: &EngineBenchOpts) -> Vec<EnginePoint> {
                 plan_hits: report.algo.tuner_plan_hits,
                 plan_misses: report.algo.tuner_plan_misses,
                 refinements: report.algo.tuner_refinements,
+                approx_two_stage: report.approx_two_stage,
+                approx_bucketed: report.approx_bucketed,
+                p50_recall: report.p50_recall(),
+                p99_recall: report.p99_recall(),
+                mean_est_recall: report.mean_est_recall(),
+                mean_measured_recall: if measured.is_empty() {
+                    None
+                } else {
+                    Some(measured.iter().sum::<f64>() / measured.len() as f64)
+                },
             }
         })
         .collect()
@@ -205,12 +249,14 @@ pub fn render(points: &[EnginePoint]) -> String {
     let mut out = String::from(
         "=== TopKEngine throughput vs coalescing window ===\n\
          window  devices  queries  fused  queries/sec  makespan_us  mean_lat_us  p50_lat_us  p99_lat_us  \
-         retries  failovers  fallbacks  dl_miss  plan_hit  replan  refine\n",
+         retries  failovers  fallbacks  dl_miss  plan_hit  replan  refine  \
+         2stage  bucket  rec_p50  rec_p99  rec_meas\n",
     );
     for p in points {
         out.push_str(&format!(
             "{:>6}  {:>7}  {:>7}  {:>5}  {:>11.0}  {:>11.1}  {:>11.1}  {:>10.1}  {:>10.1}  \
-             {:>7}  {:>9}  {:>9}  {:>7}  {:>8}  {:>6}  {:>6}\n",
+             {:>7}  {:>9}  {:>9}  {:>7}  {:>8}  {:>6}  {:>6}  \
+             {:>6}  {:>6}  {:>7.4}  {:>7.4}  {:>8}\n",
             p.window,
             p.devices,
             p.queries,
@@ -226,10 +272,44 @@ pub fn render(points: &[EnginePoint]) -> String {
             p.deadline_misses,
             p.plan_hits,
             p.plan_misses,
-            p.refinements
+            p.refinements,
+            p.approx_two_stage,
+            p.approx_bucketed,
+            p.p50_recall,
+            p.p99_recall,
+            p.mean_measured_recall
+                .map_or_else(|| "-".to_string(), |r| format!("{r:.4}")),
         ));
     }
     out
+}
+
+/// Check a sweep against a recall floor: every point's estimated and
+/// (when `--verify` measured them) host-measured recall must clear
+/// `target`. Returns one message per violation; the CLI exits non-zero
+/// on any — the contract the CI `chaos-degrade` job enforces.
+pub fn recall_floor_violations(points: &[EnginePoint], target: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for p in points {
+        if p.mean_est_recall + 1e-9 < target {
+            violations.push(format!(
+                "window {}: mean estimated recall {:.4} below target {:.4}",
+                p.window, p.mean_est_recall, target
+            ));
+        }
+        // Measured recall is a statistical quantity (the analytic bound
+        // holds in expectation over i.i.d. inputs), so the floor gets a
+        // small tolerance.
+        if let Some(m) = p.mean_measured_recall {
+            if m + 0.05 < target {
+                violations.push(format!(
+                    "window {}: mean measured recall {:.4} below target {:.4}",
+                    p.window, m, target
+                ));
+            }
+        }
+    }
+    violations
 }
 
 /// Observability artifacts from one instrumented drain: the engine's
@@ -261,6 +341,9 @@ pub fn engine_observability(opts: &EngineBenchOpts) -> EngineArtifacts {
     if let Some(d) = opts.deadline_us {
         cfg = cfg.with_deadline_us(d);
     }
+    if let Some(t) = opts.recall_target {
+        cfg = cfg.with_recall_target(t);
+    }
     let mut engine = TopKEngine::new(cfg);
     for (data, k) in &workload {
         engine
@@ -290,6 +373,7 @@ pub fn chaos_digest(opts: &EngineBenchOpts) -> String {
         window,
         opts.fault_plan(),
         opts.deadline_us,
+        opts.recall_target,
     );
     report.chaos_digest()
 }
@@ -358,6 +442,14 @@ mod tests {
         assert!(table.contains("queries/sec"));
         assert!(table.contains("p99_lat_us"));
         assert!(table.contains("plan_hit"));
+        assert!(table.contains("rec_p99"));
+        // Exact-only defaults: no approximate rungs, unit recall.
+        for p in &points {
+            assert_eq!(p.approx_two_stage + p.approx_bucketed, 0);
+            assert_eq!(p.mean_est_recall, 1.0);
+            assert_eq!(p.mean_measured_recall, Some(1.0));
+        }
+        assert!(recall_floor_violations(&points, 0.95).is_empty());
         // The tuner consults its plan table on every dispatch.
         assert!(points.iter().all(|p| p.plan_hits + p.plan_misses > 0));
         let rows = to_rows(&points, false);
@@ -406,5 +498,36 @@ mod tests {
         assert!(table.contains("fallbacks"));
         // The digest is a pure function of the options.
         assert_eq!(chaos_digest(&opts), chaos_digest(&opts));
+    }
+
+    #[test]
+    fn recall_target_sweep_accounts_recall_and_reproduces() {
+        // Severe chaos on a two-device pool with a sub-unit recall
+        // target: the drain must stay terminal for every query, the
+        // recall aggregates must respect the target, and the digest
+        // (which now carries the recall counters) must reproduce.
+        let opts = EngineBenchOpts {
+            queries: 32,
+            devices: 2,
+            windows: vec![4],
+            verify: true,
+            fault_seed: Some(29),
+            fault_rate: 0.10,
+            recall_target: Some(0.9),
+            ..Default::default()
+        };
+        let points = engine_throughput(&opts);
+        assert_eq!(points.len(), 1);
+        let p = &points[0];
+        assert_eq!(p.queries, 32, "every query stays terminal");
+        // Whatever mix of exact and approximate served, the estimated
+        // recall the engine accounts must clear the target.
+        assert!(recall_floor_violations(&points, 0.9).is_empty());
+        let digest = chaos_digest(&opts);
+        assert_eq!(digest, chaos_digest(&opts));
+        assert!(digest.contains("recall_p50="), "{digest}");
+        let table = render(&points);
+        assert!(table.contains("2stage"));
+        assert!(table.contains("bucket"));
     }
 }

@@ -58,6 +58,15 @@ pub fn compare(opts: &CompareOpts) -> Vec<Row> {
     let mut algs: Vec<Box<dyn TopKAlgorithm>> = topk_baselines::all_baselines();
     algs.push(Box::new(AirTopK::default()));
     algs.push(Box::new(topk_core::GridSelect::default()));
+    // The approximate rungs, planned for a 0.95 expected recall on the
+    // requested shape. Exact verification is expected to flag them —
+    // pair with `--no-verify` when comparing their speed.
+    algs.push(Box::new(topk_core::BucketedTopK::for_recall(
+        opts.n, opts.k, 0.95,
+    )));
+    algs.push(Box::new(topk_core::TwoStageTopK::for_recall(
+        opts.n, opts.k, 0.95,
+    )));
     if !opts.algos.is_empty() {
         let wanted: Vec<String> = opts.algos.iter().map(|a| norm(a)).collect();
         algs.retain(|a| wanted.contains(&norm(a.name())));
@@ -253,7 +262,9 @@ mod tests {
             ..CompareOpts::default()
         };
         let rows = compare(&opts);
-        assert_eq!(rows.len(), 10);
+        // 8 baselines + AIR + GridSelect + the two approximate rungs.
+        assert_eq!(rows.len(), 12);
+        assert!(rows.iter().any(|r| r.algo.contains("approx")));
     }
 
     #[test]

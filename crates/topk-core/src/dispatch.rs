@@ -29,12 +29,14 @@
 //! many-small-row batches onto the single-launch row-wise path.
 
 use crate::air::{AirConfig, AirTopK};
+use crate::bucketed::BucketedTopK;
 use crate::error::TopKError;
 use crate::gridselect::{GridSelect, MAX_K as GRID_MAX_K};
 use crate::radik::{RadiK, RadiKConfig};
 use crate::rowwise::RowWiseTopK;
 use crate::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput};
 use crate::tuner::{DistSketch, Plan, ProblemShape, TunedAlgo, Tuner};
+use crate::twostage::TwoStageTopK;
 use gpu_sim::{Backend, DeviceBuffer, DeviceSpec};
 
 /// Which algorithm the static prior picked (returned by
@@ -203,6 +205,13 @@ impl SelectK {
                 }
             }
             TunedAlgo::RowWise => self.rowwise.try_select(gpu, input, k),
+            TunedAlgo::Bucketed { per_bucket } => {
+                BucketedTopK::new(per_bucket as usize).try_select(gpu, input, k)
+            }
+            TunedAlgo::TwoStage {
+                partitions,
+                k_prime,
+            } => TwoStageTopK::new(partitions as usize, k_prime as usize).try_select(gpu, input, k),
         }
     }
 
@@ -238,6 +247,14 @@ impl SelectK {
                 }
             }
             TunedAlgo::RowWise => self.rowwise.try_select_batch(gpu, inputs, k),
+            TunedAlgo::Bucketed { per_bucket } => {
+                BucketedTopK::new(per_bucket as usize).try_select_batch(gpu, inputs, k)
+            }
+            TunedAlgo::TwoStage {
+                partitions,
+                k_prime,
+            } => TwoStageTopK::new(partitions as usize, k_prime as usize)
+                .try_select_batch(gpu, inputs, k),
         }
     }
 

@@ -28,6 +28,7 @@
 
 pub mod air;
 pub mod bitonic;
+pub mod bucketed;
 pub mod dispatch;
 pub mod error;
 pub mod gridselect;
@@ -36,15 +37,18 @@ pub mod largest;
 pub mod matrix;
 pub mod obs;
 pub mod radik;
+pub mod recall;
 pub mod rowwise;
 pub mod scratch;
 pub mod streaming;
 pub mod traits;
 pub mod tuner;
+pub mod twostage;
 pub mod unfused;
 pub mod verify;
 
 pub use air::{AirConfig, AirTopK};
+pub use bucketed::BucketedTopK;
 pub use dispatch::SelectK;
 pub use error::TopKError;
 pub use gridselect::{GridSelect, GridSelectConfig, QueueKind};
@@ -53,10 +57,14 @@ pub use largest::{reference_largest, SelectLargest};
 pub use matrix::DeviceMatrix;
 pub use obs::{AlgoCounters, AlgoSnapshot};
 pub use radik::{RadiK, RadiKConfig};
+pub use recall::{
+    expected_recall, measured_recall, plan_bucketed, plan_two_stage, BucketedPlan, TwoStagePlan,
+};
 pub use rowwise::{RowWiseConfig, RowWiseTopK, ROWWISE_MAX_K};
 pub use scratch::ScratchGuard;
 pub use streaming::{StreamingSelect, WarpSelector};
 pub use traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput, TypedOutput};
 pub use tuner::{DistSketch, Plan, PlanKey, PlanTable, ProblemShape, TunedAlgo, Tuner};
+pub use twostage::TwoStageTopK;
 pub use unfused::UnfusedRadix;
 pub use verify::{reference_topk, verify_topk, verify_topk_typed, VerifyError};

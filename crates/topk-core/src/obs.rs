@@ -63,6 +63,11 @@ pub struct AlgoCounters {
     /// RowWise: shared-memory candidate-buffer compactions (the fused
     /// row-wise path's only non-streaming work).
     pub rowwise_compactions: AtomicU64,
+    /// Bucketed: approximate single-pass selections launched.
+    pub bucketed_selections: AtomicU64,
+    /// Two-stage: exact candidate reduces launched (one per
+    /// approximate two-stage selection).
+    pub twostage_reduces: AtomicU64,
     /// Tuner: dispatches served from a cached plan.
     pub tuner_plan_hits: AtomicU64,
     /// Tuner: dispatches that had to run the offline planner first.
@@ -85,6 +90,8 @@ impl AlgoCounters {
             radik_rounds: AtomicU64::new(0),
             radik_skipped_bits: AtomicU64::new(0),
             rowwise_compactions: AtomicU64::new(0),
+            bucketed_selections: AtomicU64::new(0),
+            twostage_reduces: AtomicU64::new(0),
             tuner_plan_hits: AtomicU64::new(0),
             tuner_plan_misses: AtomicU64::new(0),
             tuner_refinements: AtomicU64::new(0),
@@ -104,6 +111,8 @@ impl AlgoCounters {
             radik_rounds: self.radik_rounds.load(Relaxed),
             radik_skipped_bits: self.radik_skipped_bits.load(Relaxed),
             rowwise_compactions: self.rowwise_compactions.load(Relaxed),
+            bucketed_selections: self.bucketed_selections.load(Relaxed),
+            twostage_reduces: self.twostage_reduces.load(Relaxed),
             tuner_plan_hits: self.tuner_plan_hits.load(Relaxed),
             tuner_plan_misses: self.tuner_plan_misses.load(Relaxed),
             tuner_refinements: self.tuner_refinements.load(Relaxed),
@@ -142,6 +151,10 @@ pub struct AlgoSnapshot {
     pub radik_skipped_bits: u64,
     /// See [`AlgoCounters::rowwise_compactions`].
     pub rowwise_compactions: u64,
+    /// See [`AlgoCounters::bucketed_selections`].
+    pub bucketed_selections: u64,
+    /// See [`AlgoCounters::twostage_reduces`].
+    pub twostage_reduces: u64,
     /// See [`AlgoCounters::tuner_plan_hits`].
     pub tuner_plan_hits: u64,
     /// See [`AlgoCounters::tuner_plan_misses`].
@@ -179,6 +192,12 @@ impl AlgoSnapshot {
             rowwise_compactions: self
                 .rowwise_compactions
                 .saturating_sub(earlier.rowwise_compactions),
+            bucketed_selections: self
+                .bucketed_selections
+                .saturating_sub(earlier.bucketed_selections),
+            twostage_reduces: self
+                .twostage_reduces
+                .saturating_sub(earlier.twostage_reduces),
             tuner_plan_hits: self.tuner_plan_hits.saturating_sub(earlier.tuner_plan_hits),
             tuner_plan_misses: self
                 .tuner_plan_misses

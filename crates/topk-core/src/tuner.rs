@@ -261,6 +261,24 @@ pub enum TunedAlgo {
     },
     /// Fused one-launch row-wise selection.
     RowWise,
+    /// Approximate bucketed single-pass selection keeping `per_bucket`
+    /// winners per contiguous bucket. Never enumerated by the
+    /// exact-only [`Tuner::candidates`]; offered through
+    /// [`Tuner::approx_candidates`] when the caller trades recall for
+    /// latency.
+    Bucketed {
+        /// Winners kept per bucket (`c`).
+        per_bucket: u32,
+    },
+    /// Approximate generalized two-stage selection: `partitions`
+    /// blocks each keep `k_prime` candidates, one exact reduce
+    /// finishes. Approx-only, like [`TunedAlgo::Bucketed`].
+    TwoStage {
+        /// Stage-one partition count.
+        partitions: u32,
+        /// Candidates each partition keeps (k′).
+        k_prime: u32,
+    },
 }
 
 impl TunedAlgo {
@@ -271,17 +289,25 @@ impl TunedAlgo {
             TunedAlgo::Grid => "grid",
             TunedAlgo::RadiK { .. } => "radik",
             TunedAlgo::RowWise => "rowwise",
+            TunedAlgo::Bucketed { .. } => "bucketed",
+            TunedAlgo::TwoStage { .. } => "twostage",
         }
     }
 
-    /// Stable text label (`air:11`, `grid`, `radik:8`, `rowwise`) used
-    /// by the plan-table format and the bench baseline digest.
+    /// Stable text label (`air:11`, `grid`, `radik:8`, `rowwise`,
+    /// `bucketed:16`, `twostage:8x32`) used by the plan-table format
+    /// and the bench baseline digest.
     pub fn encode(&self) -> String {
         match self {
             TunedAlgo::Air { bits_per_pass } => format!("air:{bits_per_pass}"),
             TunedAlgo::Grid => "grid".to_string(),
             TunedAlgo::RadiK { bits_per_pass } => format!("radik:{bits_per_pass}"),
             TunedAlgo::RowWise => "rowwise".to_string(),
+            TunedAlgo::Bucketed { per_bucket } => format!("bucketed:{per_bucket}"),
+            TunedAlgo::TwoStage {
+                partitions,
+                k_prime,
+            } => format!("twostage:{partitions}x{k_prime}"),
         }
     }
 
@@ -291,11 +317,24 @@ impl TunedAlgo {
             "rowwise" => return Some(TunedAlgo::RowWise),
             _ => {}
         }
-        let (family, bits) = text.split_once(':')?;
-        let bits_per_pass: u32 = bits.parse().ok()?;
+        let (family, params) = text.split_once(':')?;
         match family {
-            "air" => Some(TunedAlgo::Air { bits_per_pass }),
-            "radik" => Some(TunedAlgo::RadiK { bits_per_pass }),
+            "air" => Some(TunedAlgo::Air {
+                bits_per_pass: params.parse().ok()?,
+            }),
+            "radik" => Some(TunedAlgo::RadiK {
+                bits_per_pass: params.parse().ok()?,
+            }),
+            "bucketed" => Some(TunedAlgo::Bucketed {
+                per_bucket: params.parse().ok()?,
+            }),
+            "twostage" => {
+                let (p, kp) = params.split_once('x')?;
+                Some(TunedAlgo::TwoStage {
+                    partitions: p.parse().ok()?,
+                    k_prime: kp.parse().ok()?,
+                })
+            }
             _ => None,
         }
     }
@@ -506,6 +545,12 @@ impl Tuner {
     /// AIR (both digit widths) is always present; the others are gated
     /// by their structural limits so a plan can never pick an
     /// unsupported configuration.
+    ///
+    /// Deliberately **exact-only**: the approximate families never
+    /// appear here, so default dispatch, cached plan tables and the
+    /// committed bench baselines are untouched by their existence.
+    /// Callers that can spend recall ask [`Self::approx_candidates`]
+    /// explicitly.
     pub fn candidates(spec: &DeviceSpec, shape: &ProblemShape) -> Vec<TunedAlgo> {
         let mut out = vec![
             TunedAlgo::Air { bits_per_pass: 8 },
@@ -525,6 +570,47 @@ impl Tuner {
             && rowwise_shared_bytes(shape.k) <= spec.shared_mem_per_block as u64
         {
             out.push(TunedAlgo::RowWise);
+        }
+        out
+    }
+
+    /// The approximate configurations clearing `recall_target` on this
+    /// shape, cheapest-parameter first per family (two-stage before
+    /// bucketed: at equal partitioning it keeps more candidates, so it
+    /// is the gentler rung). Parameters come from the analytic recall
+    /// planners in [`crate::recall`]; configurations the device or
+    /// shape cannot support are dropped. Empty for `recall_target >=
+    /// 1.0` — approximation is strictly opt-in.
+    pub fn approx_candidates(
+        spec: &DeviceSpec,
+        shape: &ProblemShape,
+        recall_target: f64,
+    ) -> Vec<TunedAlgo> {
+        if recall_target >= 1.0 || shape.k == 0 || shape.k > shape.n {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let ts = crate::recall::plan_two_stage(shape.n, shape.k, recall_target);
+        let algo = TunedAlgo::TwoStage {
+            partitions: ts.partitions as u32,
+            k_prime: ts.k_prime as u32,
+        };
+        // The planners fall back to their most faithful feasible
+        // parameters when the shape cannot reach the target (e.g.
+        // n < 2K caps k'); such plans are not offered.
+        if ts.expected_recall(shape.k) >= recall_target
+            && predict_raw_us(spec, shape, algo).is_some()
+        {
+            out.push(algo);
+        }
+        let b = crate::recall::plan_bucketed(shape.n, shape.k, recall_target);
+        let algo = TunedAlgo::Bucketed {
+            per_bucket: b.per_bucket as u32,
+        };
+        if b.expected_recall(shape.k) >= recall_target
+            && predict_raw_us(spec, shape, algo).is_some()
+        {
+            out.push(algo);
         }
         out
     }
@@ -657,6 +743,11 @@ fn predict_raw_us(spec: &DeviceSpec, shape: &ProblemShape, algo: TunedAlgo) -> O
         TunedAlgo::Grid => predict_grid(spec, shape)?,
         TunedAlgo::RadiK { bits_per_pass } => predict_radik(spec, shape, bits_per_pass)?,
         TunedAlgo::RowWise => predict_rowwise(spec, shape)?,
+        TunedAlgo::Bucketed { per_bucket } => predict_bucketed(spec, shape, per_bucket)?,
+        TunedAlgo::TwoStage {
+            partitions,
+            k_prime,
+        } => predict_twostage(spec, shape, partitions, k_prime)?,
     };
     Some(sequence_cost(spec, &launches))
 }
@@ -1020,6 +1111,89 @@ fn predict_rowwise(spec: &DeviceSpec, shape: &ProblemShape) -> Option<Vec<Planne
     )])
 }
 
+fn predict_bucketed(
+    spec: &DeviceSpec,
+    shape: &ProblemShape,
+    per_bucket: u32,
+) -> Option<Vec<PlannedLaunch>> {
+    let ProblemShape { n, k, batch, .. } = *shape;
+    let pb = (per_bucket as usize).min(k);
+    if pb == 0 {
+        return None;
+    }
+    let buckets = k.div_ceil(pb);
+    if n / buckets < pb {
+        return None;
+    }
+    let shared = (2 * pb).max(64) as u64 * (KEY_BYTES + 4);
+    if shared > spec.shared_mem_per_block as u64 {
+        return None;
+    }
+    let batch_u = batch as u64;
+    // Same streaming-filter cost model as row-wise, but the read and
+    // the admission work are spread over `buckets` blocks — that
+    // parallelism is the entire point of the family.
+    Some(vec![launch(
+        batch * buckets,
+        ROWWISE_BLOCK,
+        KernelStats {
+            bytes_read: n as u64 * KEY_BYTES * batch_u,
+            bytes_written: k as u64 * PAIR_BYTES * batch_u,
+            compute_ops: 4 * n as u64 * batch_u,
+            shared_mem_bytes: shared,
+            ..KernelStats::default()
+        },
+    )])
+}
+
+fn predict_twostage(
+    spec: &DeviceSpec,
+    shape: &ProblemShape,
+    partitions: u32,
+    k_prime: u32,
+) -> Option<Vec<PlannedLaunch>> {
+    let ProblemShape { n, k, batch, .. } = *shape;
+    let (parts, kp) = (partitions as usize, k_prime as usize);
+    if parts == 0 || kp == 0 || parts * kp < k || n / parts < kp {
+        return None;
+    }
+    let shared1 = (2 * kp).max(64) as u64 * (KEY_BYTES + 4);
+    let shared2 = (2 * k).max(64) as u64 * (KEY_BYTES + 4);
+    if shared1.max(shared2) > spec.shared_mem_per_block as u64 {
+        return None;
+    }
+    let batch_u = batch as u64;
+    let m = (parts * kp) as u64;
+    Some(vec![
+        // Stage 1: every partition streams its slice into a k'-filter
+        // and writes (key, index) candidates.
+        launch(
+            batch * parts,
+            ROWWISE_BLOCK,
+            KernelStats {
+                bytes_read: n as u64 * KEY_BYTES * batch_u,
+                bytes_written: m * PAIR_BYTES * batch_u,
+                compute_ops: 4 * n as u64 * batch_u,
+                shared_mem_bytes: shared1,
+                ..KernelStats::default()
+            },
+        ),
+        // Stage 2: one block per problem exactly reduces the
+        // candidates.
+        launch(
+            batch,
+            ROWWISE_BLOCK,
+            KernelStats {
+                bytes_read: m * PAIR_BYTES * batch_u,
+                bytes_written: k as u64 * PAIR_BYTES * batch_u,
+                compute_ops: 4 * m * batch_u,
+                shared_mem_bytes: shared2,
+                ..KernelStats::default()
+            },
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1303,6 +1477,51 @@ mod tests {
                     TunedAlgo::Air { bits_per_pass } => {
                         prop_assert!((1..=16).contains(&bits_per_pass));
                     }
+                    // The approximate families are opt-in only: the
+                    // default planner must never pick them.
+                    TunedAlgo::Bucketed { .. } | TunedAlgo::TwoStage { .. } => {
+                        prop_assert!(false, "exact planner picked an approximate family");
+                    }
+                }
+            }
+
+            /// Approximate candidates are opt-in, clear their recall
+            /// target analytically, and price finitely.
+            #[test]
+            fn approx_candidates_clear_their_target(
+                shape in shapes(),
+                target_pct in 50u32..100,
+            ) {
+                let spec = DeviceSpec::a100();
+                prop_assert!(Tuner::approx_candidates(&spec, &shape, 1.0).is_empty());
+                let target = target_pct as f64 / 100.0;
+                for algo in Tuner::approx_candidates(&spec, &shape, target) {
+                    let recall = match algo {
+                        TunedAlgo::Bucketed { per_bucket } => {
+                            crate::bucketed::BucketedTopK::new(per_bucket as usize)
+                                .expected_recall(shape.k)
+                        }
+                        TunedAlgo::TwoStage { partitions, k_prime } => {
+                            crate::twostage::TwoStageTopK::new(
+                                partitions as usize,
+                                k_prime as usize,
+                            )
+                            .expected_recall(shape.k)
+                        }
+                        other => {
+                            prop_assert!(false, "unexpected exact candidate {other:?}");
+                            unreachable!()
+                        }
+                    };
+                    // plan_two_stage can fall short only when its gate
+                    // (k' <= n/P) binds; those configs are filtered by
+                    // the predictor, so survivors clear the target.
+                    prop_assert!(
+                        recall >= target - 1e-9,
+                        "{algo:?} recall {recall} < target {target}"
+                    );
+                    let raw = predict_raw_us(&spec, &shape, algo);
+                    prop_assert!(raw.is_some_and(|us| us.is_finite() && us > 0.0));
                 }
             }
 

@@ -1,0 +1,462 @@
+//! Generalized two-stage approximate top-K ("A Faster Generalized
+//! Two-Stage Approximate Top-K", PAPERS.md).
+//!
+//! Stage one cuts the input into `P` contiguous partitions and every
+//! partition independently keeps its k′ smallest elements — `P`
+//! blocks, no cross-block traffic, the same embarrassingly parallel
+//! shape as [`crate::bucketed`]. Stage two then runs an *exact*
+//! single-block top-K over the `P·k′ ≥ K` surviving candidates. The
+//! exact reduce never drops a true top-K member that survived stage
+//! one, so the stage-one survival probability *is* the recall —
+//! priced by [`crate::recall::expected_recall`] — and at equal
+//! partitioning the two-stage family strictly dominates bucketed
+//! recall because it keeps `P·k′` candidates where bucketed keeps
+//! exactly K. The price is a second (small) launch and the candidate
+//! round-trip through device memory.
+//!
+//! Both stages reuse the [`crate::rowwise`] streaming-filter kernel
+//! shape; stage two carries the stage-one *global* indices as payload
+//! so the output indices point into the original input.
+
+use crate::air::Rows;
+use crate::error::TopKError;
+use crate::keys::{OrderedBits, RadixKey};
+use crate::obs;
+use crate::recall::TwoStagePlan;
+use crate::scratch::ScratchGuard;
+use crate::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
+use std::sync::atomic::Ordering::Relaxed;
+
+/// The two-stage approximate selector (see module docs).
+///
+/// ```
+/// use gpu_sim::{Gpu, DeviceSpec};
+/// use topk_core::{TwoStageTopK, TopKAlgorithm};
+///
+/// let mut gpu = Gpu::new(DeviceSpec::a100());
+/// let data: Vec<f32> = (0..65536).map(|i| ((i * 193) % 65536) as f32).collect();
+/// let input = gpu.htod("scores", &data);
+/// let out = TwoStageTopK::new(8, 24).select(&mut gpu, &input, 100);
+/// assert_eq!(out.values.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoStageTopK {
+    /// Stage-one partition count `P`.
+    partitions: usize,
+    /// Candidates each partition keeps (k′).
+    k_prime: usize,
+    /// Threads per block.
+    block_dim: usize,
+}
+
+impl Default for TwoStageTopK {
+    fn default() -> Self {
+        TwoStageTopK::new(8, 32)
+    }
+}
+
+impl TwoStageTopK {
+    /// Selector with `partitions` stage-one blocks each keeping
+    /// `k_prime` candidates.
+    pub fn new(partitions: usize, k_prime: usize) -> Self {
+        assert!(partitions >= 1, "partitions must be >= 1");
+        assert!(k_prime >= 1, "k_prime must be >= 1");
+        TwoStageTopK {
+            partitions,
+            k_prime,
+            block_dim: 256,
+        }
+    }
+
+    /// The cheapest selector whose expected recall on i.i.d. inputs
+    /// of this shape clears `target`.
+    pub fn for_recall(n: usize, k: usize, target: f64) -> Self {
+        let plan = crate::recall::plan_two_stage(n, k, target);
+        TwoStageTopK::new(plan.partitions, plan.k_prime)
+    }
+
+    /// The partitioning this selector uses.
+    pub fn plan(&self) -> TwoStagePlan {
+        TwoStagePlan {
+            partitions: self.partitions,
+            k_prime: self.k_prime,
+        }
+    }
+
+    /// Expected recall on i.i.d. inputs for a given K (exact in
+    /// expectation, see [`crate::recall`]).
+    pub fn expected_recall(&self, k: usize) -> f64 {
+        self.plan().expected_recall(k)
+    }
+
+    /// Shared-memory bytes the larger of the two stages needs.
+    pub fn shared_bytes_for<T: RadixKey>(&self, k: usize) -> usize {
+        let cap = (2 * self.k_prime.max(k)).max(64);
+        cap * (std::mem::size_of::<T::Ordered>() + 4)
+    }
+
+    /// Two launches over the whole batch: stage one is
+    /// `batch · partitions` blocks filtering partitions down to k′
+    /// candidates each, stage two is `batch` blocks exactly reducing
+    /// the candidates; packed `batch × k` outputs.
+    pub(crate) fn run_rows<T: RadixKey>(
+        &self,
+        gpu: &mut dyn Backend,
+        inputs: Rows<'_, T>,
+        k: usize,
+    ) -> Result<(DeviceBuffer<T>, DeviceBuffer<u32>), TopKError> {
+        let n = inputs.n();
+        check_args(self, n, k)?;
+        let (parts, kp) = (self.partitions, self.k_prime);
+        if parts * kp < k {
+            return Err(TopKError::UnsupportedShape {
+                algorithm: self.name(),
+                detail: format!("{parts} partitions x {kp} candidates cannot yield K={k}"),
+            });
+        }
+        if n / parts < kp {
+            return Err(TopKError::UnsupportedShape {
+                algorithm: self.name(),
+                detail: format!(
+                    "{parts} partitions of {n} elements cannot each yield {kp} candidates"
+                ),
+            });
+        }
+        let shared_needed = self.shared_bytes_for::<T>(k);
+        if shared_needed > gpu.spec().shared_mem_per_block {
+            return Err(TopKError::UnsupportedShape {
+                algorithm: self.name(),
+                detail: format!(
+                    "candidate buffer needs {shared_needed} shared bytes, device offers {}",
+                    gpu.spec().shared_mem_per_block
+                ),
+            });
+        }
+        let batch = inputs.batch();
+        let m = parts * kp; // stage-two candidates per problem
+
+        type Buffers<T> = (
+            DeviceBuffer<T>,
+            DeviceBuffer<u32>,
+            DeviceBuffer<T>,
+            DeviceBuffer<u32>,
+        );
+        let mut tmps = ScratchGuard::new();
+        let mut outs = ScratchGuard::new();
+        let alloc_all = |gpu: &mut dyn Backend,
+                         tmps: &mut ScratchGuard,
+                         outs: &mut ScratchGuard|
+         -> Result<Buffers<T>, TopKError> {
+            let cand_val = tmps.alloc::<T>(gpu, "twostage_cand_val", batch * m)?;
+            let cand_idx = tmps.alloc::<u32>(gpu, "twostage_cand_idx", batch * m)?;
+            let out_val = outs.alloc::<T>(gpu, "twostage_out_val", batch * k)?;
+            let out_idx = outs.alloc::<u32>(gpu, "twostage_out_idx", batch * k)?;
+            Ok((cand_val, cand_idx, out_val, out_idx))
+        };
+        let (cand_val, cand_idx, out_val, out_idx) = match alloc_all(gpu, &mut tmps, &mut outs) {
+            Ok(bufs) => bufs,
+            Err(e) => {
+                tmps.release(gpu);
+                outs.release(gpu);
+                return Err(e);
+            }
+        };
+
+        // Stage 1: every partition keeps its k' smallest, with global
+        // indices, packed (row * parts + part) * kp into the
+        // candidate buffers.
+        let cap1 = (2 * kp).max(64);
+        let (cv, ci) = (cand_val.clone(), cand_idx.clone());
+        let stage1 = gpu.try_launch(
+            "twostage_partition_kernel",
+            LaunchConfig::grid_1d(batch * parts, self.block_dim),
+            move |ctx| {
+                let row = ctx.block_idx / parts;
+                let part = ctx.block_idx % parts;
+                let lo = part * n / parts;
+                let hi = (part + 1) * n / parts;
+                let mut cand_bits = ctx.shared_alloc::<T::Ordered>(cap1);
+                let mut cand_pos = ctx.shared_alloc::<u32>(cap1);
+                let mut len = 0usize;
+                let mut thr = T::Ordered::MAX;
+                let mut have_thr = false;
+
+                let compact = |ctx: &mut gpu_sim::BlockCtx,
+                               bits: &mut [T::Ordered],
+                               idx: &mut [u32],
+                               len: usize|
+                 -> T::Ordered {
+                    let mut pairs: Vec<(T::Ordered, u32)> =
+                        (0..len).map(|i| (bits[i], idx[i])).collect();
+                    pairs.select_nth_unstable(kp - 1);
+                    for (i, (b, x)) in pairs.iter().take(kp).enumerate() {
+                        bits[i] = *b;
+                        idx[i] = *x;
+                    }
+                    ctx.ops(2 * len as u64);
+                    pairs[kp - 1].0
+                };
+
+                for i in lo..hi {
+                    let bits = inputs.ld(ctx, row, i).to_ordered();
+                    ctx.ops(2);
+                    if !have_thr || bits < thr {
+                        cand_bits[len] = bits;
+                        cand_pos[len] = i as u32;
+                        len += 1;
+                        ctx.ops(1);
+                        if len == cap1 {
+                            thr = compact(ctx, &mut cand_bits, &mut cand_pos, len);
+                            len = kp;
+                            have_thr = true;
+                        }
+                    }
+                }
+                if len > kp {
+                    compact(ctx, &mut cand_bits, &mut cand_pos, len);
+                    len = kp;
+                }
+                debug_assert_eq!(len, kp, "partition covers >= k' elements");
+                let base = (row * parts + part) * kp;
+                for j in 0..kp {
+                    ctx.st(&cv, base + j, T::from_ordered(cand_bits[j]));
+                    ctx.st(&ci, base + j, cand_pos[j]);
+                }
+            },
+        );
+        if let Err(e) = stage1 {
+            tmps.release(gpu);
+            outs.release(gpu);
+            return Err(e.into());
+        }
+
+        // Stage 2: one block per problem exactly reduces the m
+        // candidates to K, carrying the stage-one global indices.
+        let cap2 = (2 * k).max(64);
+        let (cv, ci) = (cand_val.clone(), cand_idx.clone());
+        let (ov, oi) = (out_val.clone(), out_idx.clone());
+        let stage2 = gpu.try_launch(
+            "twostage_reduce_kernel",
+            LaunchConfig::grid_1d(batch, self.block_dim),
+            move |ctx| {
+                let row = ctx.block_idx;
+                let mut cand_bits = ctx.shared_alloc::<T::Ordered>(cap2);
+                let mut cand_pos = ctx.shared_alloc::<u32>(cap2);
+                let mut len = 0usize;
+                let mut thr = T::Ordered::MAX;
+                let mut have_thr = false;
+
+                let compact = |ctx: &mut gpu_sim::BlockCtx,
+                               bits: &mut [T::Ordered],
+                               idx: &mut [u32],
+                               len: usize|
+                 -> T::Ordered {
+                    let mut pairs: Vec<(T::Ordered, u32)> =
+                        (0..len).map(|i| (bits[i], idx[i])).collect();
+                    pairs.select_nth_unstable(k - 1);
+                    for (i, (b, x)) in pairs.iter().take(k).enumerate() {
+                        bits[i] = *b;
+                        idx[i] = *x;
+                    }
+                    ctx.ops(2 * len as u64);
+                    pairs[k - 1].0
+                };
+
+                for i in 0..m {
+                    let bits = ctx.ld(&cv, row * m + i).to_ordered();
+                    let pos = ctx.ld(&ci, row * m + i);
+                    ctx.ops(2);
+                    if !have_thr || bits < thr {
+                        cand_bits[len] = bits;
+                        cand_pos[len] = pos;
+                        len += 1;
+                        ctx.ops(1);
+                        if len == cap2 {
+                            thr = compact(ctx, &mut cand_bits, &mut cand_pos, len);
+                            len = k;
+                            have_thr = true;
+                        }
+                    }
+                }
+                if len > k {
+                    compact(ctx, &mut cand_bits, &mut cand_pos, len);
+                    len = k;
+                }
+                debug_assert_eq!(len, k, "m >= k guarantees a full result");
+                for j in 0..k {
+                    ctx.st(&ov, row * k + j, T::from_ordered(cand_bits[j]));
+                    ctx.st(&oi, row * k + j, cand_pos[j]);
+                }
+            },
+        );
+        // Drop the launch report borrow before touching the device
+        // again.
+        let stage2 = stage2.map(|_| ());
+        tmps.release(gpu);
+        if let Err(e) = stage2 {
+            outs.release(gpu);
+            return Err(e.into());
+        }
+        obs::counters().twostage_reduces.fetch_add(1, Relaxed);
+        Ok((out_val, out_idx))
+    }
+}
+
+impl TopKAlgorithm for TwoStageTopK {
+    fn name(&self) -> &'static str {
+        "Two-Stage Top-K (approx)"
+    }
+
+    fn category(&self) -> Category {
+        Category::PartitionBased
+    }
+
+    fn try_select(
+        &self,
+        gpu: &mut dyn Backend,
+        input: &DeviceBuffer<f32>,
+        k: usize,
+    ) -> Result<TopKOutput, TopKError> {
+        let (v, i) = self.run_rows(gpu, Rows::Slices(std::slice::from_ref(input)), k)?;
+        Ok(TopKOutput::new(v, i))
+    }
+
+    fn try_select_batch(
+        &self,
+        gpu: &mut dyn Backend,
+        inputs: &[DeviceBuffer<f32>],
+        k: usize,
+    ) -> Result<Vec<TopKOutput>, TopKError> {
+        let n = check_batch(self, inputs)?;
+        check_args(self, n, k)?;
+        let batch = inputs.len();
+        let (out_val, out_idx) = self.run_rows(gpu, Rows::Slices(inputs), k)?;
+        Ok((0..batch)
+            .map(|p| {
+                TopKOutput::new(
+                    crate::air::slice_buffer(&out_val, p * k, k, "twostage_values"),
+                    crate::air::slice_buffer(&out_idx, p * k, k, "twostage_indices"),
+                )
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recall::measured_recall;
+    use crate::verify::verify_topk;
+    use datagen::Distribution;
+    use gpu_sim::{DeviceSpec, Gpu};
+
+    #[test]
+    fn outputs_are_real_input_elements() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let data = datagen::generate(Distribution::Normal, 1 << 15, 3);
+        let input = gpu.htod("in", &data);
+        let out = TwoStageTopK::new(8, 20).select(&mut gpu, &input, 100);
+        assert_eq!(out.k, 100);
+        let vals = out.values.to_vec();
+        let idxs = out.indices.to_vec();
+        for (v, i) in vals.iter().zip(&idxs) {
+            assert_eq!(data[*i as usize], *v, "index {i} does not hold {v}");
+        }
+        let uniq: std::collections::HashSet<u32> = idxs.iter().copied().collect();
+        assert_eq!(uniq.len(), 100);
+    }
+
+    #[test]
+    fn generous_k_prime_is_exact() {
+        // k' = k per partition can never lose a true member.
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let data = datagen::generate(Distribution::Uniform, 1 << 14, 7);
+        let input = gpu.htod("in", &data);
+        let alg = TwoStageTopK::new(4, 64);
+        assert_eq!(alg.expected_recall(64), 1.0);
+        let out = alg.select(&mut gpu, &input, 64);
+        verify_topk(&data, 64, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
+    }
+
+    #[test]
+    fn batch_is_two_launches_and_recall_tracks_the_model() {
+        let (n, k, batch) = (1 << 15, 128, 6);
+        let alg = TwoStageTopK::for_recall(n, k, 0.95);
+        let expected = alg.expected_recall(k);
+        assert!(expected >= 0.95);
+        let datas: Vec<Vec<f32>> = (0..batch)
+            .map(|i| datagen::generate(Distribution::Normal, n, 200 + i as u64))
+            .collect();
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let inputs: Vec<_> = datas
+            .iter()
+            .enumerate()
+            .map(|(i, d)| gpu.htod(&format!("p{i}"), d))
+            .collect();
+        gpu.reset_profile();
+        let outs = alg.select_batch(&mut gpu, &inputs, k);
+        assert_eq!(gpu.timeline().kernel_count(), 2, "two launches total");
+        let mean: f64 = datas
+            .iter()
+            .zip(&outs)
+            .map(|(d, o)| measured_recall(d, k, &o.values.to_vec()))
+            .sum::<f64>()
+            / batch as f64;
+        assert!(
+            mean >= expected - 0.05,
+            "measured {mean:.3} vs expected {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn dominates_bucketed_recall_at_equal_partitioning() {
+        let (n, k) = (1 << 15, 128);
+        let mut ts_mean = 0.0;
+        let mut b_mean = 0.0;
+        let trials = 8;
+        for t in 0..trials {
+            let data = datagen::generate(Distribution::Uniform, n, 400 + t);
+            let mut gpu = Gpu::new(DeviceSpec::a100());
+            let input = gpu.htod("in", &data);
+            let ts = TwoStageTopK::new(16, 8).select(&mut gpu, &input, k);
+            let b = crate::BucketedTopK::new(8).select(&mut gpu, &input, k);
+            ts_mean += measured_recall(&data, k, &ts.values.to_vec());
+            b_mean += measured_recall(&data, k, &b.values.to_vec());
+        }
+        ts_mean /= trials as f64;
+        b_mean /= trials as f64;
+        assert!(
+            ts_mean >= b_mean - 0.02,
+            "two-stage {ts_mean:.3} vs bucketed {b_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn rejects_underfed_reduces_and_starved_partitions() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let data: Vec<f32> = (0..4096).map(|i| i as f32).collect();
+        let input = gpu.htod("in", &data);
+        // 4 x 8 = 32 candidates cannot yield K = 100.
+        let err = TwoStageTopK::new(4, 8)
+            .try_select(&mut gpu, &input, 100)
+            .unwrap_err();
+        assert!(matches!(err, TopKError::UnsupportedShape { .. }), "{err}");
+        // 64 partitions of 4096 elements are 64 long — cannot keep 100.
+        let err = TwoStageTopK::new(64, 100)
+            .try_select(&mut gpu, &input, 100)
+            .unwrap_err();
+        assert!(matches!(err, TopKError::UnsupportedShape { .. }), "{err}");
+    }
+
+    #[test]
+    fn reduce_counter_moves() {
+        let before = obs::counters().snapshot();
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let data = datagen::generate(Distribution::Uniform, 1 << 14, 5);
+        let input = gpu.htod("in", &data);
+        let _ = TwoStageTopK::new(4, 32).select(&mut gpu, &input, 64);
+        let d = obs::counters().snapshot().delta_since(&before);
+        assert!(d.twostage_reduces >= 1);
+    }
+}

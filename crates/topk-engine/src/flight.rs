@@ -39,9 +39,15 @@ pub struct FlightEvent {
     /// (0.0 for submissions, which precede the drain clock).
     pub t_us: f64,
     /// Stable snake_case event kind (`submit`, `coalesce`, `launch`,
-    /// `batch_ok`, `device_fault`, `retry`, `deadline_miss`,
-    /// `query_failed`, `fallback`, `breaker_open`, `device_failed`,
-    /// `worker_panic`, `queue_reject`).
+    /// `degrade_rung`, `batch_ok`, `device_fault`, `retry`,
+    /// `deadline_miss`, `query_failed`, `fallback`, `breaker_open`,
+    /// `device_failed`, `worker_panic`, `queue_reject`).
+    /// `degrade_rung` records an accuracy-ladder transition — its
+    /// detail carries the chosen rung, the triggering cause
+    /// (`deadline_risk` or `capacity_loss`), the batch's recall target
+    /// and the configuration's expected recall. It is deliberately
+    /// *not* a trigger kind: degrading is the plan working, not an
+    /// anomaly.
     pub kind: &'static str,
     /// Pool device involved, if any.
     pub device: Option<usize>,

@@ -125,13 +125,21 @@ use gpu_sim::{Backend, BackendExt, DeviceSpec, EventKind, Gpu, KernelReport, Sim
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use topk_core::tuner::{DistSketch, PlanKey, ProblemShape};
-use topk_core::{AlgoSnapshot, ScratchGuard, SelectK, TopKError};
+use topk_core::tuner::{DistSketch, PlanKey, ProblemShape, TunedAlgo, Tuner};
+use topk_core::{
+    AlgoSnapshot, BucketedTopK, ScratchGuard, SelectK, TopKAlgorithm, TopKError, TwoStageTopK,
+};
 
 /// Post-mortem JSON documents retained per engine; once full, further
 /// triggers only bump [`TopKEngine::post_mortems_dropped`] — an
 /// anomaly storm must not turn the recorder into a memory leak.
 pub const POST_MORTEM_CAP: usize = 16;
+
+/// Safety factor applied to cost predictions when deciding whether a
+/// batch's earliest member deadline is at risk: a predicted finish
+/// within `deadline / DEADLINE_SAFETY` of the deadline already counts
+/// as risky, absorbing cost-model error before it becomes a miss.
+pub const DEADLINE_SAFETY: f64 = 1.5;
 
 /// Bounded-retry policy for device faults, with simulated exponential
 /// backoff between attempts.
@@ -245,6 +253,15 @@ pub struct EngineConfig {
     /// (default 256, min 16). Recording is host-side bookkeeping only
     /// and never perturbs simulated time.
     pub flight_capacity: usize,
+    /// Default per-query recall target applied at
+    /// [`TopKEngine::submit`]. `1.0` (the default) means exact-only:
+    /// the scheduler never considers the approximate rungs. Values
+    /// below 1.0 let a batch whose deadline is at risk — or whose
+    /// device pool has been halved by chaos — degrade to the
+    /// two-stage or bucketed approximate algorithms, as long as the
+    /// chosen configuration's analytic expected recall stays at or
+    /// above the target.
+    pub default_recall_target: f64,
 }
 
 impl EngineConfig {
@@ -264,6 +281,7 @@ impl EngineConfig {
             sanitizer: SanitizerMode::off(),
             backend_factory: None,
             flight_capacity: 256,
+            default_recall_target: 1.0,
         }
     }
 
@@ -336,6 +354,16 @@ impl EngineConfig {
         self
     }
 
+    /// Apply a default per-query recall target to every subsequently
+    /// submitted query (clamped to `[0, 1]`). Below 1.0, queries may
+    /// be served by the approximate rungs when the scheduler sees
+    /// deadline risk or pool-capacity loss.
+    #[must_use]
+    pub fn with_recall_target(mut self, target: f64) -> Self {
+        self.default_recall_target = target.clamp(0.0, 1.0);
+        self
+    }
+
     /// Construct pool devices through `factory` instead of the default
     /// [`gpu_sim::Gpu`] simulator — one call per [`DeviceSpec`] entry.
     #[must_use]
@@ -399,6 +427,19 @@ pub enum Served {
         /// Attempts beyond the first before the answer landed.
         retries: u32,
     },
+    /// Served on a device, but by an *approximate* algorithm: the
+    /// scheduler traded recall for latency because the query's batch
+    /// carried a recall target below 1.0 and either its deadline was
+    /// at risk or chaos had halved the pool.
+    /// [`QueryResult::est_recall`] carries the configuration's
+    /// analytic expected recall (≥ the batch's target by
+    /// construction).
+    Approx {
+        /// Which approximate algorithm answered.
+        rung: ApproxRung,
+        /// Attempts beyond the first before the answer landed.
+        retries: u32,
+    },
     /// Served by the host-side `topk-cpu` reference path after the
     /// retry budget or the device pool was exhausted.
     CpuFallback {
@@ -410,12 +451,36 @@ pub enum Served {
     Failed,
 }
 
+/// The approximate rungs of the degradation ladder, in descending
+/// preference order: two-stage (per-partition top-k′ then an exact
+/// reduce — higher recall, two launches) before bucketed (one fused
+/// launch keeping a few candidates per contiguous bucket — cheapest,
+/// loosest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApproxRung {
+    /// [`topk_core::TwoStageTopK`]: partition top-k′ + exact reduce.
+    TwoStage,
+    /// [`topk_core::BucketedTopK`]: single-pass per-bucket selection.
+    Bucketed,
+}
+
+impl ApproxRung {
+    /// Stable snake_case label, suitable as a metric/trace label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ApproxRung::TwoStage => "approx_two_stage",
+            ApproxRung::Bucketed => "approx_bucketed",
+        }
+    }
+}
+
 impl Served {
     /// Stable snake_case label, suitable as a metric/trace label.
     pub fn label(&self) -> &'static str {
         match self {
             Served::Gpu { .. } => "gpu",
             Served::Failover { .. } => "failover",
+            Served::Approx { rung, .. } => rung.label(),
             Served::CpuFallback { .. } => "cpu_fallback",
             Served::Failed => "failed",
         }
@@ -426,6 +491,7 @@ impl Served {
         match self {
             Served::Gpu { retries }
             | Served::Failover { retries }
+            | Served::Approx { retries, .. }
             | Served::CpuFallback { retries } => *retries,
             Served::Failed => 0,
         }
@@ -458,6 +524,11 @@ pub struct QueryResult {
     pub latency_us: f64,
     /// Which rung of the degradation ladder produced the answer.
     pub served: Served,
+    /// Estimated recall of the answer: the analytic expected recall of
+    /// the approximate configuration that served it, `1.0` for every
+    /// exact rung (GPU, failover, CPU fallback), `0.0` for failed
+    /// queries. Aggregated by [`DrainReport::percentile_recall`].
+    pub est_recall: f64,
     /// The selection result, or why it failed.
     pub outcome: Result<QueryOutput, TopKError>,
 }
@@ -613,6 +684,12 @@ pub struct DrainReport {
     pub failovers: u64,
     /// Queries served by the CPU reference path.
     pub cpu_fallbacks: u64,
+    /// Queries served by the two-stage approximate rung
+    /// ([`Served::Approx`] with [`ApproxRung::TwoStage`]).
+    pub approx_two_stage: u64,
+    /// Queries served by the bucketed approximate rung
+    /// ([`Served::Approx`] with [`ApproxRung::Bucketed`]).
+    pub approx_bucketed: u64,
     /// Queries terminally failed with
     /// [`TopKError::DeadlineExceeded`].
     pub deadline_misses: u64,
@@ -708,6 +785,53 @@ impl DrainReport {
         self.percentile_latency_us(0.99)
     }
 
+    /// Estimated-recall floor met by a `q` fraction of successful
+    /// queries (nearest-rank over the *descending* recall
+    /// distribution): `percentile_recall(0.99)` is the recall all but
+    /// the worst 1% of queries meet or exceed. Exact-only drains
+    /// report `1.0`; drains with no successful query report `0.0`
+    /// (never NaN).
+    pub fn percentile_recall(&self, q: f64) -> f64 {
+        let mut ok: Vec<f64> = self
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_ok() && r.est_recall.is_finite())
+            .map(|r| r.est_recall)
+            .collect();
+        if ok.is_empty() {
+            return 0.0;
+        }
+        ok.sort_by(|a, b| b.total_cmp(a));
+        let rank = (q.clamp(0.0, 1.0) * ok.len() as f64).ceil().max(1.0) as usize;
+        ok[rank.min(ok.len()) - 1]
+    }
+
+    /// Median estimated recall over successful queries.
+    pub fn p50_recall(&self) -> f64 {
+        self.percentile_recall(0.50)
+    }
+
+    /// Estimated-recall floor all but the worst 1% of successful
+    /// queries meet.
+    pub fn p99_recall(&self) -> f64 {
+        self.percentile_recall(0.99)
+    }
+
+    /// Mean estimated recall over successful queries (`0.0` when none
+    /// succeeded, never NaN).
+    pub fn mean_est_recall(&self) -> f64 {
+        let ok: Vec<f64> = self
+            .results
+            .iter()
+            .filter(|r| r.outcome.is_ok() && r.est_recall.is_finite())
+            .map(|r| r.est_recall)
+            .collect();
+        if ok.is_empty() {
+            return 0.0;
+        }
+        ok.iter().sum::<f64>() / ok.len() as f64
+    }
+
     /// A deterministic text summary of the whole drain: one line per
     /// query (id, serving rung, outcome kind, an FNV-1a hash of the
     /// answer bits and latency), one line per device (failure /
@@ -778,6 +902,16 @@ impl DrainReport {
             self.deadline_misses,
             self.quarantines
         ));
+        // Recall accounting rides in the digest too: fixed-precision
+        // renders of deterministic analytic values, so same-seed runs
+        // still match bit-for-bit.
+        out.push_str(&format!(
+            "approx_two_stage={} approx_bucketed={} recall_p50={:.4} recall_p99={:.4}\n",
+            self.approx_two_stage,
+            self.approx_bucketed,
+            self.p50_recall(),
+            self.p99_recall()
+        ));
         out.push_str(&format!("digest {total:016x}\n"));
         out
     }
@@ -791,6 +925,8 @@ struct Pending {
     k: usize,
     /// Per-query deadline, µs of simulated time after drain start.
     deadline_us: Option<u64>,
+    /// Per-query recall target (`1.0` = exact-only).
+    recall_target: f64,
     /// Distribution sketch computed at submission; routes the query's
     /// batch through the adaptive dispatcher.
     sketch: DistSketch,
@@ -807,6 +943,9 @@ struct Batch {
     /// every row in the fused launch has at least this much skew, which
     /// is the property the per-row radix passes depend on.
     sketch: DistSketch,
+    /// Strictest member recall target (the max): an approximate rung
+    /// may serve the fused batch only if every member tolerates it.
+    recall_target: f64,
     queries: Vec<Pending>,
 }
 
@@ -890,6 +1029,12 @@ pub struct EngineSnapshot {
     pub failovers: u64,
     /// Queries served by the CPU reference path.
     pub cpu_fallbacks: u64,
+    /// Queries served by the two-stage approximate rung, over all
+    /// drains.
+    pub approx_two_stage: u64,
+    /// Queries served by the bucketed approximate rung, over all
+    /// drains.
+    pub approx_bucketed: u64,
     /// Queries terminally failed on their deadline.
     pub deadline_misses: u64,
     /// Circuit-breaker quarantine trips.
@@ -952,6 +1097,8 @@ pub struct TopKEngine {
     retries: u64,
     failovers: u64,
     cpu_fallbacks: u64,
+    approx_two_stage: u64,
+    approx_bucketed: u64,
     deadline_misses: u64,
     quarantines: u64,
     wall_us: f64,
@@ -1011,6 +1158,8 @@ impl TopKEngine {
             retries: 0,
             failovers: 0,
             cpu_fallbacks: 0,
+            approx_two_stage: 0,
+            approx_bucketed: 0,
             deadline_misses: 0,
             quarantines: 0,
             wall_us: 0.0,
@@ -1125,6 +1274,8 @@ impl TopKEngine {
             retries: self.retries,
             failovers: self.failovers,
             cpu_fallbacks: self.cpu_fallbacks,
+            approx_two_stage: self.approx_two_stage,
+            approx_bucketed: self.approx_bucketed,
             deadline_misses: self.deadline_misses,
             quarantines: self.quarantines,
             tuner_plan_hits: self.tuner_plan_hits,
@@ -1170,7 +1321,8 @@ impl TopKEngine {
     /// [`TopKError`] so a bad query cannot poison the queue.
     pub fn submit(&mut self, data: Vec<f32>, k: usize) -> Result<usize, EngineError> {
         let deadline = self.config.deadline_us;
-        self.submit_inner(data, k, deadline)
+        let recall = self.config.default_recall_target;
+        self.submit_inner(data, k, deadline, recall)
     }
 
     /// [`TopKEngine::submit`] with an explicit per-query deadline (µs
@@ -1184,7 +1336,25 @@ impl TopKEngine {
         k: usize,
         deadline_us: u64,
     ) -> Result<usize, EngineError> {
-        self.submit_inner(data, k, Some(deadline_us))
+        let recall = self.config.default_recall_target;
+        self.submit_inner(data, k, Some(deadline_us), recall)
+    }
+
+    /// [`TopKEngine::submit`] with an explicit per-query recall target
+    /// (clamped to `[0, 1]`), overriding
+    /// [`EngineConfig::default_recall_target`]. Below 1.0 the query
+    /// consents to being served by an approximate rung whose analytic
+    /// expected recall is at least `recall_target`, but only when the
+    /// scheduler sees deadline risk or pool-capacity loss — a healthy
+    /// pool still serves it exactly.
+    pub fn submit_with_recall(
+        &mut self,
+        data: Vec<f32>,
+        k: usize,
+        recall_target: f64,
+    ) -> Result<usize, EngineError> {
+        let deadline = self.config.deadline_us;
+        self.submit_inner(data, k, deadline, recall_target)
     }
 
     fn submit_inner(
@@ -1192,6 +1362,7 @@ impl TopKEngine {
         data: Vec<f32>,
         k: usize,
         deadline_us: Option<u64>,
+        recall_target: f64,
     ) -> Result<usize, EngineError> {
         if self.pending.len() >= self.config.queue_capacity {
             self.queue_rejections += 1;
@@ -1227,6 +1398,7 @@ impl TopKEngine {
             data,
             k,
             deadline_us,
+            recall_target: recall_target.clamp(0.0, 1.0),
             sketch,
         });
         self.queries_submitted += 1;
@@ -1352,6 +1524,41 @@ impl TopKEngine {
                 ),
             );
 
+            // Accuracy-ladder decision for this attempt: batches whose
+            // recall target is below 1.0 may degrade to an approximate
+            // rung when the deadline is at risk or chaos has halved
+            // the healthy pool. Re-decided per attempt — a retry after
+            // a fault sees the shrunken pool.
+            let healthy = (0..n_dev)
+                .filter(|&d| {
+                    !self.health[d].failed
+                        && self.health[d].quarantined_until_us <= self.gpus[d].elapsed_us()
+                })
+                .count();
+            let rung = decide_rung(
+                &job.batch,
+                self.gpus[dev].spec(),
+                &selector,
+                start_at,
+                healthy,
+                n_dev,
+            );
+            if let Some(choice) = &rung {
+                self.flight.record(
+                    "degrade_rung",
+                    Some(dev),
+                    Some(job.batch.span),
+                    start_at,
+                    format!(
+                        "rung={} cause={} recall_target={:.4} est_recall={:.4}",
+                        choice.rung().label(),
+                        choice.cause,
+                        job.batch.recall_target,
+                        choice.est_recall
+                    ),
+                );
+            }
+
             // Advance the device to the job's start (backoff and
             // quarantine waits are simulated idle time).
             let rel_clock = self.gpus[dev].elapsed_us() - drain_t0[dev];
@@ -1365,7 +1572,10 @@ impl TopKEngine {
             let outcome = {
                 let gpu = self.gpus[dev].as_mut();
                 let batch = &job.batch;
-                catch_unwind(AssertUnwindSafe(|| run_batch(gpu, &selector, batch)))
+                let approx = rung.as_ref().map(|c| c.algo);
+                catch_unwind(AssertUnwindSafe(|| {
+                    run_batch(gpu, &selector, batch, approx)
+                }))
             };
             self.gpus[dev].clear_span();
             let end_us = self.gpus[dev].elapsed_us() - drain_t0[dev];
@@ -1397,19 +1607,24 @@ impl TopKEngine {
                 Ok(Ok(outs)) => {
                     self.health[dev].consecutive_faults = 0;
                     // Close the tuning loop: the batch's measured
-                    // service time recalibrates its plan bucket.
-                    let shape =
-                        ProblemShape::new(job.batch.n, job.batch.k, job.batch.queries.len())
-                            .with_sketch(job.batch.sketch);
-                    // Drift accounting reads the plan this dispatch was
-                    // priced with *before* observe() can replan the
-                    // bucket — counter-neutrally, so plan-table
-                    // hit/miss metrics are unperturbed.
-                    if let Some(plan) = selector.tuner().and_then(|t| t.peek(&shape)) {
-                        self.drift
-                            .observe(PlanKey::of(&shape), &plan, end_us - start_us);
+                    // service time recalibrates its plan bucket —
+                    // exact attempts only, so approximate timings
+                    // never pollute the exact cost model they were
+                    // chosen to undercut.
+                    if rung.is_none() {
+                        let shape =
+                            ProblemShape::new(job.batch.n, job.batch.k, job.batch.queries.len())
+                                .with_sketch(job.batch.sketch);
+                        // Drift accounting reads the plan this dispatch
+                        // was priced with *before* observe() can replan
+                        // the bucket — counter-neutrally, so plan-table
+                        // hit/miss metrics are unperturbed.
+                        if let Some(plan) = selector.tuner().and_then(|t| t.peek(&shape)) {
+                            self.drift
+                                .observe(PlanKey::of(&shape), &plan, end_us - start_us);
+                        }
+                        selector.observe(self.gpus[dev].spec(), &shape, end_us - start_us);
                     }
-                    selector.observe(self.gpus[dev].spec(), &shape, end_us - start_us);
                     self.flight.record(
                         "batch_ok",
                         Some(dev),
@@ -1427,17 +1642,24 @@ impl TopKEngine {
                         );
                     }
                     let attempt_retries = job.attempts - 1;
-                    let served_ok = if job.first_device == Some(dev) {
-                        Served::Gpu {
+                    // Approximation is the serving rung even when the
+                    // attempt also failed over: the accuracy trade is
+                    // the fact the caller must see.
+                    let served_ok = match &rung {
+                        Some(choice) => Served::Approx {
+                            rung: choice.rung(),
                             retries: attempt_retries,
-                        }
-                    } else {
-                        Served::Failover {
+                        },
+                        None if job.first_device == Some(dev) => Served::Gpu {
                             retries: attempt_retries,
-                        }
+                        },
+                        None => Served::Failover {
+                            retries: attempt_retries,
+                        },
                     };
+                    let est_recall = rung.as_ref().map_or(1.0, |c| c.est_recall);
                     for (q, out) in job.batch.queries.iter().zip(outs) {
-                        let (served, outcome) = match q.deadline_us {
+                        let (served, est_recall, outcome) = match q.deadline_us {
                             // The answer exists but arrived late: the
                             // deadline verdict wins.
                             Some(dl) if end_us > dl as f64 => {
@@ -1450,10 +1672,11 @@ impl TopKEngine {
                                 );
                                 (
                                     Served::Failed,
+                                    0.0,
                                     Err(TopKError::DeadlineExceeded { deadline_us: dl }),
                                 )
                             }
-                            _ => (served_ok, Ok(out)),
+                            _ => (served_ok, est_recall, Ok(out)),
                         };
                         results.push(QueryResult {
                             id: q.id,
@@ -1464,6 +1687,7 @@ impl TopKEngine {
                             queue_wait_us: start_us,
                             latency_us: end_us,
                             served,
+                            est_recall,
                             outcome,
                         });
                     }
@@ -1489,6 +1713,7 @@ impl TopKEngine {
                             queue_wait_us: start_us,
                             latency_us: end_us,
                             served: Served::Failed,
+                            est_recall: 0.0,
                             outcome: Err(e.clone()),
                         });
                     }
@@ -1617,6 +1842,30 @@ impl TopKEngine {
             .iter()
             .filter(|r| matches!(r.served, Served::CpuFallback { .. }))
             .count() as u64;
+        let approx_two_stage = results
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.served,
+                    Served::Approx {
+                        rung: ApproxRung::TwoStage,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        let approx_bucketed = results
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.served,
+                    Served::Approx {
+                        rung: ApproxRung::Bucketed,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
         let deadline_misses = results
             .iter()
             .filter(|r| matches!(r.outcome, Err(TopKError::DeadlineExceeded { .. })))
@@ -1650,6 +1899,8 @@ impl TopKEngine {
             retries,
             failovers,
             cpu_fallbacks,
+            approx_two_stage,
+            approx_bucketed,
             deadline_misses,
             quarantines,
             sanitizer,
@@ -1768,6 +2019,8 @@ impl TopKEngine {
         self.retries += report.retries;
         self.failovers += report.failovers;
         self.cpu_fallbacks += report.cpu_fallbacks;
+        self.approx_two_stage += report.approx_two_stage;
+        self.approx_bucketed += report.approx_bucketed;
         self.deadline_misses += report.deadline_misses;
         self.quarantines += report.quarantines;
         self.metrics.record_resilience(report);
@@ -1799,6 +2052,114 @@ impl TopKEngine {
         self.metrics.drains.inc();
         self.metrics.queue_depth.set(0.0);
     }
+}
+
+/// An approximate rung the scheduler chose for one batch attempt.
+#[derive(Debug, Clone, Copy)]
+struct RungChoice {
+    /// The approximate configuration to execute (always a
+    /// [`TunedAlgo::TwoStage`] or [`TunedAlgo::Bucketed`]).
+    algo: TunedAlgo,
+    /// Analytic expected recall of that configuration — ≥ the batch's
+    /// recall target by construction.
+    est_recall: f64,
+    /// What triggered the degradation: `"deadline_risk"` or
+    /// `"capacity_loss"`.
+    cause: &'static str,
+}
+
+impl RungChoice {
+    fn rung(&self) -> ApproxRung {
+        match self.algo {
+            TunedAlgo::Bucketed { .. } => ApproxRung::Bucketed,
+            _ => ApproxRung::TwoStage,
+        }
+    }
+}
+
+/// Decide which rung of the accuracy ladder a batch attempt runs on.
+///
+/// Exact (`None`) is the default. A batch is considered for the
+/// approximate rungs only when its coalesced (strictest-member) recall
+/// target is below 1.0 *and* the scheduler sees trouble ahead:
+///
+/// * **deadline risk** — the predicted exact-path cost (the tuner's
+///   cached plan for this shape bucket, or the cheapest cold
+///   prediction over the exact candidate set), scaled by
+///   [`DEADLINE_SAFETY`], overruns the batch's earliest member
+///   deadline from `start_us`; or
+/// * **capacity loss** — at most half the pool is healthy
+///   (non-failed, non-quarantined), so queue pressure concentrates on
+///   the survivors.
+///
+/// The ladder is exact → two-stage → bucketed:
+/// [`Tuner::approx_candidates`] offers two-stage first (higher
+/// recall), and the decision descends to bucketed only when the
+/// two-stage prediction *still* overruns the deadline. Every offered
+/// candidate already clears the recall target analytically, so the
+/// choice can never violate it. Purely a function of simulated state —
+/// same workload and fault seed, same rungs.
+fn decide_rung(
+    batch: &Batch,
+    spec: &DeviceSpec,
+    selector: &SelectK,
+    start_us: f64,
+    healthy: usize,
+    pool: usize,
+) -> Option<RungChoice> {
+    if batch.recall_target >= 1.0 {
+        return None;
+    }
+    let shape = ProblemShape::new(batch.n, batch.k, batch.queries.len()).with_sketch(batch.sketch);
+    let capacity_loss = healthy * 2 <= pool;
+    let earliest_deadline = batch.queries.iter().filter_map(|q| q.deadline_us).min();
+    let exact_us = selector.tuner().and_then(|t| {
+        t.peek(&shape).map(|p| p.predicted_us).or_else(|| {
+            Tuner::candidates(spec, &shape)
+                .into_iter()
+                .filter_map(|a| t.predict_us(spec, &shape, a))
+                .min_by(f64::total_cmp)
+        })
+    });
+    let misses = |predicted: Option<f64>| match (earliest_deadline, predicted) {
+        (Some(dl), Some(us)) => start_us + us * DEADLINE_SAFETY > dl as f64,
+        _ => false,
+    };
+    let deadline_risk = misses(exact_us);
+    if !deadline_risk && !capacity_loss {
+        return None;
+    }
+    let cause = if deadline_risk {
+        "deadline_risk"
+    } else {
+        "capacity_loss"
+    };
+    let mut chosen = None;
+    for algo in Tuner::approx_candidates(spec, &shape, batch.recall_target) {
+        chosen = Some(algo);
+        let predicted = selector
+            .tuner()
+            .and_then(|t| t.predict_us(spec, &shape, algo));
+        if !misses(predicted) {
+            break;
+        }
+    }
+    let algo = chosen?;
+    let est_recall = match algo {
+        TunedAlgo::Bucketed { per_bucket } => {
+            BucketedTopK::new(per_bucket as usize).expected_recall(batch.k)
+        }
+        TunedAlgo::TwoStage {
+            partitions,
+            k_prime,
+        } => TwoStageTopK::new(partitions as usize, k_prime as usize).expected_recall(batch.k),
+        _ => 1.0,
+    };
+    Some(RungChoice {
+        algo,
+        est_recall,
+        cause,
+    })
 }
 
 /// Fold one device fault into the breaker state: severe faults (hang,
@@ -1868,6 +2229,7 @@ fn requeue_or_degrade(
             queue_wait_us: now_us,
             latency_us: now_us,
             served: Served::Failed,
+            est_recall: 0.0,
             outcome: Err(TopKError::DeadlineExceeded { deadline_us: dl }),
         });
     }
@@ -1981,6 +2343,8 @@ fn degrade_job(
             queue_wait_us: now_us,
             latency_us,
             served,
+            // The CPU reference path is exact; failures carry none.
+            est_recall: if outcome.is_ok() { 1.0 } else { 0.0 },
             outcome,
         });
     }
@@ -2050,6 +2414,9 @@ fn coalesce(pending: Vec<Pending>, window: usize) -> Vec<Batch> {
                     .sketch
                     .shared_prefix_bits
                     .min(q.sketch.shared_prefix_bits);
+                // …and degrades on its strictest member: the fused
+                // launch may only approximate if every query agreed.
+                batches[bi].recall_target = batches[bi].recall_target.max(q.recall_target);
                 batches[bi].queries.push(q);
             }
             _ => {
@@ -2059,6 +2426,7 @@ fn coalesce(pending: Vec<Pending>, window: usize) -> Vec<Batch> {
                     k: shape.1,
                     span: q.span,
                     sketch: q.sketch,
+                    recall_target: q.recall_target,
                     queries: vec![q],
                 });
             }
@@ -2071,13 +2439,19 @@ fn coalesce(pending: Vec<Pending>, window: usize) -> Vec<Batch> {
 /// Device-side inputs and outputs are freed on every non-panicking
 /// path — including injected-fault errors — so the next batch on this
 /// device sees honest `mem_allocated`.
+///
+/// `approx` carries the scheduler's accuracy-ladder decision: `None`
+/// routes through the exact adaptive dispatcher; a
+/// [`TunedAlgo::TwoStage`] or [`TunedAlgo::Bucketed`] executes that
+/// approximate configuration directly.
 fn run_batch(
     gpu: &mut dyn Backend,
     selector: &SelectK,
     batch: &Batch,
+    approx: Option<TunedAlgo>,
 ) -> Result<Vec<QueryOutput>, TopKError> {
     let mut ws = ScratchGuard::new();
-    let r = batch_passes(gpu, &mut ws, selector, batch);
+    let r = batch_passes(gpu, &mut ws, selector, batch, approx);
     ws.release(gpu);
     r
 }
@@ -2087,6 +2461,7 @@ fn batch_passes(
     ws: &mut ScratchGuard,
     selector: &SelectK,
     batch: &Batch,
+    approx: Option<TunedAlgo>,
 ) -> Result<Vec<QueryOutput>, TopKError> {
     let mut inputs = Vec::with_capacity(batch.queries.len());
     for q in &batch.queries {
@@ -2094,10 +2469,30 @@ fn batch_passes(
         ws.adopt(&buf);
         inputs.push(buf);
     }
-    let outs = if inputs.len() == 1 {
-        vec![selector.try_select_with_sketch(gpu, &inputs[0], batch.k, batch.sketch)?]
-    } else {
-        selector.try_select_batch_with_sketch(gpu, &inputs, batch.k, batch.sketch)?
+    let outs = match approx {
+        Some(TunedAlgo::Bucketed { per_bucket }) => {
+            let algo = BucketedTopK::new(per_bucket as usize);
+            if inputs.len() == 1 {
+                vec![algo.try_select(gpu, &inputs[0], batch.k)?]
+            } else {
+                algo.try_select_batch(gpu, &inputs, batch.k)?
+            }
+        }
+        Some(TunedAlgo::TwoStage {
+            partitions,
+            k_prime,
+        }) => {
+            let algo = TwoStageTopK::new(partitions as usize, k_prime as usize);
+            if inputs.len() == 1 {
+                vec![algo.try_select(gpu, &inputs[0], batch.k)?]
+            } else {
+                algo.try_select_batch(gpu, &inputs, batch.k)?
+            }
+        }
+        _ if inputs.len() == 1 => {
+            vec![selector.try_select_with_sketch(gpu, &inputs[0], batch.k, batch.sketch)?]
+        }
+        _ => selector.try_select_batch_with_sketch(gpu, &inputs, batch.k, batch.sketch)?,
     };
     // Read back through the fallible path (an injected corruption must
     // surface, not panic), but keep freeing every output buffer even

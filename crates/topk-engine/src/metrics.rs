@@ -23,6 +23,8 @@
 //! | `topk_engine_retries_total` | counter | batch re-executions after faults |
 //! | `topk_engine_failovers_total` | counter | queries served by another device |
 //! | `topk_engine_cpu_fallbacks_total` | counter | queries served by `topk-cpu` |
+//! | `topk_engine_approx_served_total{rung}` | counter | queries served by an approximate rung |
+//! | `topk_engine_est_recall` | histogram | per-query estimated recall (successful queries) |
 //! | `topk_engine_deadline_misses_total` | counter | terminal deadline failures |
 //! | `topk_engine_quarantines_total` | counter | circuit-breaker trips |
 //! | `topk_engine_faults_injected_total{kind}` | counter | injected faults per [`FaultKind`] |
@@ -30,6 +32,7 @@
 //! | `topk_engine_failed_devices` | gauge | devices permanently failed |
 //! | `topk_air_*_total`, `topk_gridselect_*_total` | counter | [`topk_core::obs`] deltas |
 //! | `topk_radik_*_total`, `topk_rowwise_*_total` | counter | new-algorithm [`topk_core::obs`] deltas |
+//! | `topk_bucketed_selections_total`, `topk_twostage_reduces_total` | counter | approximate-algorithm [`topk_core::obs`] deltas |
 //! | `topk_tuner_plan_{hits,misses}_total` | counter | adaptive-dispatch plan-table traffic |
 //! | `topk_tuner_refinements_total` | counter | plans replaced by observed-latency feedback |
 //! | `topk_engine_stage_us{stage}` | gauge | last drain's stage-level latency attribution |
@@ -73,6 +76,9 @@ pub struct EngineMetrics {
     pub(crate) retries: Arc<Counter>,
     pub(crate) failovers: Arc<Counter>,
     pub(crate) cpu_fallbacks: Arc<Counter>,
+    pub(crate) approx_two_stage: Arc<Counter>,
+    pub(crate) approx_bucketed: Arc<Counter>,
+    pub(crate) est_recall: Arc<Histogram>,
     pub(crate) deadline_misses: Arc<Counter>,
     pub(crate) quarantines: Arc<Counter>,
     pub(crate) faults_injected: Vec<Arc<Counter>>,
@@ -88,6 +94,8 @@ pub struct EngineMetrics {
     radik_rounds: Arc<Counter>,
     radik_skipped_bits: Arc<Counter>,
     rowwise_compactions: Arc<Counter>,
+    bucketed_selections: Arc<Counter>,
+    twostage_reduces: Arc<Counter>,
     tuner_plan_hits: Arc<Counter>,
     tuner_plan_misses: Arc<Counter>,
     tuner_refinements: Arc<Counter>,
@@ -164,6 +172,22 @@ impl EngineMetrics {
                 "topk_engine_cpu_fallbacks_total",
                 "Queries served by the topk-cpu reference path after pool/retry exhaustion",
             ),
+            approx_two_stage: registry.counter_with(
+                "topk_engine_approx_served_total",
+                "Queries served by an approximate rung of the accuracy ladder",
+                &[("rung", "approx_two_stage")],
+            ),
+            approx_bucketed: registry.counter_with(
+                "topk_engine_approx_served_total",
+                "Queries served by an approximate rung of the accuracy ladder",
+                &[("rung", "approx_bucketed")],
+            ),
+            est_recall: registry.histogram_with(
+                "topk_engine_est_recall",
+                "Per-query estimated recall (analytic expectation; 1.0 on exact rungs)",
+                &[],
+                vec![0.5, 0.8, 0.9, 0.95, 0.99, 0.999, 1.0],
+            ),
             deadline_misses: registry.counter(
                 "topk_engine_deadline_misses_total",
                 "Queries terminally failed with DeadlineExceeded",
@@ -230,6 +254,14 @@ impl EngineMetrics {
                 "topk_rowwise_compactions_total",
                 "Row-wise shared-buffer compactions (threshold tightenings)",
             ),
+            bucketed_selections: registry.counter(
+                "topk_bucketed_selections_total",
+                "Bucketed approximate top-K fused launches completed",
+            ),
+            twostage_reduces: registry.counter(
+                "topk_twostage_reduces_total",
+                "Two-stage approximate top-K exact-reduce launches completed",
+            ),
             tuner_plan_hits: registry.counter(
                 "topk_tuner_plan_hits_total",
                 "Dispatch decisions served from the tuner's plan table",
@@ -262,6 +294,9 @@ impl EngineMetrics {
         self.queries.inc();
         self.query_latency_us.observe(r.latency_us);
         self.queue_wait_us.observe(r.queue_wait_us);
+        if r.outcome.is_ok() {
+            self.est_recall.observe(r.est_recall);
+        }
         if let Err(e) = &r.outcome {
             let kind = e.kind();
             let slot = TopKError::KINDS
@@ -294,6 +329,8 @@ impl EngineMetrics {
         self.radik_rounds.add(d.radik_rounds);
         self.radik_skipped_bits.add(d.radik_skipped_bits);
         self.rowwise_compactions.add(d.rowwise_compactions);
+        self.bucketed_selections.add(d.bucketed_selections);
+        self.twostage_reduces.add(d.twostage_reduces);
         self.tuner_plan_hits.add(d.tuner_plan_hits);
         self.tuner_plan_misses.add(d.tuner_plan_misses);
         self.tuner_refinements.add(d.tuner_refinements);
@@ -304,6 +341,8 @@ impl EngineMetrics {
         self.retries.add(report.retries);
         self.failovers.add(report.failovers);
         self.cpu_fallbacks.add(report.cpu_fallbacks);
+        self.approx_two_stage.add(report.approx_two_stage);
+        self.approx_bucketed.add(report.approx_bucketed);
         self.deadline_misses.add(report.deadline_misses);
         self.quarantines.add(report.quarantines);
         for d in &report.devices {

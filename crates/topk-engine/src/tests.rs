@@ -705,6 +705,253 @@ fn sanitized_drain_is_clean_and_digest_matches_unsanitized() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// The accuracy ladder: recall targets, approximate rungs, recall accounting.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn default_recall_target_never_approximates() {
+    // Without an explicit target, chaos may retry/failover/fallback but
+    // must never trade accuracy: the approximate rungs stay untouched.
+    let plan = FaultPlan::chaos(42, 0.08);
+    let mut engine = TopKEngine::new(EngineConfig::a100_pool(3).with_window(4).with_faults(plan));
+    for q in 0..24 {
+        let n = 1024 + (q % 5) * 777;
+        let data = generate(Distribution::Uniform, n, q as u64);
+        engine.submit(data, (q % 7) + 1).unwrap();
+    }
+    let report = engine.drain();
+    assert_eq!(report.approx_two_stage + report.approx_bucketed, 0);
+    assert!(report
+        .results
+        .iter()
+        .all(|r| !matches!(r.served, Served::Approx { .. })));
+    for r in &report.results {
+        if r.outcome.is_ok() {
+            assert_eq!(r.est_recall, 1.0, "exact rungs report full recall");
+        }
+    }
+    assert_eq!(report.p50_recall(), 1.0);
+    assert!(report
+        .chaos_digest()
+        .contains("approx_two_stage=0 approx_bucketed=0 recall_p50=1.0000"));
+}
+
+#[test]
+fn capacity_loss_triggers_approx_rungs_with_recall_accounting() {
+    // A hang retires one of two devices: from then on the healthy half
+    // of the pool is gone (healthy*2 <= pool), and queries that opted
+    // into recall 0.9 degrade to an approximate rung — recorded in
+    // Served, in the per-rung counts and in the flight recorder.
+    let plan = FaultPlan::seeded(29).with_scripted(ScriptedFault {
+        device: 0,
+        kind: FaultKind::DeviceHang,
+        nth: 0,
+    });
+    let mut engine = TopKEngine::new(
+        EngineConfig::a100_pool(2)
+            .with_window(1)
+            .with_faults(plan)
+            .with_recall_target(0.9),
+    );
+    let mut inputs = Vec::new();
+    for q in 0..8 {
+        let data = generate(Distribution::Uniform, 1 << 14, 300 + q as u64);
+        engine.submit(data.clone(), 64).unwrap();
+        inputs.push(data);
+    }
+    let report = engine.drain();
+
+    assert!(report.results.iter().all(|r| r.outcome.is_ok()));
+    let approx: Vec<&QueryResult> = report
+        .results
+        .iter()
+        .filter(|r| matches!(r.served, Served::Approx { .. }))
+        .collect();
+    assert!(
+        !approx.is_empty(),
+        "capacity loss must engage the approximate rungs: {report:?}"
+    );
+    assert_eq!(
+        report.approx_two_stage + report.approx_bucketed,
+        approx.len() as u64
+    );
+    for r in &approx {
+        assert!(
+            r.est_recall >= 0.9 && r.est_recall < 1.0,
+            "q{} est_recall {} outside (target, 1.0)",
+            r.id,
+            r.est_recall
+        );
+        // The answer really is an approximation of this query's data:
+        // measured value-multiset recall clears the analytic target's
+        // neighbourhood.
+        let out = r.outcome.as_ref().unwrap();
+        let measured = topk_core::measured_recall(&inputs[r.id], 64, &out.values);
+        assert!(
+            measured >= 0.6,
+            "q{} measured recall {measured} implausibly low",
+            r.id
+        );
+    }
+    // Aggregates see the trade.
+    assert!(report.p99_recall() < 1.0);
+    assert!(report.p99_recall() >= 0.9);
+    // The transition was flight-recorded with its cause.
+    let degrade = engine
+        .flight_recorder()
+        .events()
+        .find(|e| e.kind == "degrade_rung")
+        .expect("rung transition must be flight-recorded");
+    assert!(
+        degrade.detail.contains("cause=capacity_loss"),
+        "detail: {}",
+        degrade.detail
+    );
+    assert!(degrade.detail.contains("recall_target=0.9000"));
+    // Metrics exported the rung counters and the recall histogram.
+    let text = engine.render_prometheus();
+    assert!(text.contains("topk_engine_approx_served_total"), "{text}");
+    assert!(text.contains("topk_engine_est_recall_count"), "{text}");
+}
+
+/// The chaos acceptance scenario: 4 devices, scripted worker panics
+/// retire two of them, every query carries a tight deadline.
+/// Exact-only serving must demonstrably miss deadlines;
+/// `recall_target = 0.95` must serve *every* query inside its deadline
+/// via the approximate rungs at ≥ 0.95 aggregate measured recall,
+/// reproducibly.
+fn chaos_scenario(recall_target: f64, deadline_us: Option<u64>) -> (DrainReport, Vec<Vec<f32>>) {
+    let plan = FaultPlan::seeded(31)
+        .with_scripted(ScriptedFault {
+            device: 0,
+            kind: FaultKind::WorkerPanic,
+            nth: 0,
+        })
+        .with_scripted(ScriptedFault {
+            device: 1,
+            kind: FaultKind::WorkerPanic,
+            nth: 0,
+        });
+    let mut cfg = EngineConfig::a100_pool(4)
+        .with_window(2)
+        .with_faults(plan)
+        .with_recall_target(recall_target);
+    if let Some(dl) = deadline_us {
+        cfg = cfg.with_deadline_us(dl);
+    }
+    let mut engine = TopKEngine::new(cfg);
+    let mut inputs = Vec::new();
+    for q in 0..32 {
+        let data = generate(Distribution::Uniform, 1 << 16, 500 + q as u64);
+        engine.submit(data.clone(), 128).unwrap();
+        inputs.push(data);
+    }
+    (engine.drain(), inputs)
+}
+
+#[test]
+fn chaos_degradation_serves_every_query_within_deadline() {
+    // Deadline-free pilots bound the two serving modes; the simulator
+    // is deterministic, so these are exact, not flaky estimates.
+    let (exact_pilot, _) = chaos_scenario(1.0, None);
+    let (approx_pilot, _) = chaos_scenario(0.95, None);
+    assert!(approx_pilot
+        .results
+        .iter()
+        .any(|r| matches!(r.served, Served::Approx { .. })));
+    let max_lat = |rep: &DrainReport| rep.results.iter().map(|r| r.latency_us).fold(0.0, f64::max);
+    let exact_max = max_lat(&exact_pilot);
+    let approx_max = max_lat(&approx_pilot);
+    assert!(
+        approx_max * 1.1 < exact_max,
+        "approximation must buy real headroom: approx {approx_max} vs exact {exact_max}"
+    );
+    // A deadline the approximate ladder clears but exact serving
+    // cannot.
+    let deadline = (approx_max * 1.05).ceil() as u64;
+
+    // Exact-only: the deadline verdict lands on real queries.
+    let (exact_run, _) = chaos_scenario(1.0, Some(deadline));
+    assert!(
+        exact_run.deadline_misses > 0 || exact_run.results.iter().any(|r| r.outcome.is_err()),
+        "exact-only serving must demonstrably fail this scenario"
+    );
+
+    // recall 0.95: zero terminal failures, zero deadline misses, every
+    // answer inside its deadline, served largely by approximate rungs.
+    let (approx_run, inputs) = chaos_scenario(0.95, Some(deadline));
+    assert_eq!(approx_run.deadline_misses, 0, "{approx_run:?}");
+    for r in &approx_run.results {
+        assert!(
+            r.outcome.is_ok(),
+            "q{} failed: {:?}",
+            r.id,
+            r.outcome.as_ref().err()
+        );
+        assert_ne!(r.served, Served::Failed);
+        assert!(r.latency_us <= deadline as f64);
+    }
+    assert!(approx_run.approx_two_stage + approx_run.approx_bucketed > 0);
+
+    // Aggregate *measured* recall (value-multiset vs. the true top-K)
+    // clears the target, not just the analytic estimate.
+    let mut measured_sum = 0.0;
+    for r in &approx_run.results {
+        let out = r.outcome.as_ref().unwrap();
+        measured_sum += topk_core::measured_recall(&inputs[r.id], 128, &out.values);
+    }
+    let measured_mean = measured_sum / approx_run.results.len() as f64;
+    assert!(
+        measured_mean >= 0.95,
+        "aggregate measured recall {measured_mean} below target"
+    );
+    // Analytic accounting agrees it was a trade, not a collapse.
+    assert!(approx_run.mean_est_recall() >= 0.95);
+    assert!(approx_run.p99_recall() >= 0.95);
+
+    // Same-seed reproducibility, recall accounting included: the
+    // digest now carries per-rung counts and recall percentiles.
+    let (rerun, _) = chaos_scenario(0.95, Some(deadline));
+    assert_eq!(
+        approx_run.chaos_digest(),
+        rerun.chaos_digest(),
+        "same-seed chaos digests must be bit-identical"
+    );
+    assert!(approx_run.chaos_digest().contains("recall_p50="));
+}
+
+#[test]
+fn coalesce_merges_recall_targets_to_the_strictest_member() {
+    // A fused batch may only approximate if *every* member consented:
+    // one exact-only query in the batch pins it to the exact path.
+    let plan = FaultPlan::seeded(37).with_scripted(ScriptedFault {
+        device: 0,
+        kind: FaultKind::DeviceHang,
+        nth: 0,
+    });
+    let mut engine = TopKEngine::new(EngineConfig::a100_pool(2).with_window(8).with_faults(plan));
+    let data = generate(Distribution::Uniform, 1 << 14, 77);
+    for _ in 0..4 {
+        engine.submit_with_recall(data.clone(), 32, 0.9).unwrap();
+    }
+    // The strict member joins the same (N, K) batch.
+    engine.submit(data.clone(), 32).unwrap();
+    let report = engine.drain();
+    assert!(report.results.iter().all(|r| r.outcome.is_ok()));
+    // All five queries coalesce (window 8, same shape) into batches
+    // that contain the exact-only member — nothing may approximate.
+    for r in &report.results {
+        if r.batch_size == 5 {
+            assert!(
+                !matches!(r.served, Served::Approx { .. }),
+                "q{} approximated in a batch with an exact-only member",
+                r.id
+            );
+        }
+    }
+}
+
 #[test]
 fn sanitizer_counts_are_drain_relative() {
     let mut engine =

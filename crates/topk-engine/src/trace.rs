@@ -65,6 +65,7 @@ pub fn chrome_trace(report: &DrainReport) -> String {
                     ("ok", r.outcome.is_ok().to_string()),
                     ("served", r.served.label().to_string()),
                     ("retries", r.served.retries().to_string()),
+                    ("est_recall", format!("{:.4}", r.est_recall)),
                 ],
             );
         }

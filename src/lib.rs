@@ -60,14 +60,15 @@ pub mod prelude {
         WarpSelect,
     };
     pub use crate::topk_core::{
-        verify_topk, verify_topk_typed, AirConfig, AirTopK, Category, DeviceMatrix, GridSelect,
-        GridSelectConfig, QueueKind, SelectK, SelectLargest, TopKAlgorithm, TopKError, TopKOutput,
-        UnfusedRadix, WarpSelector,
+        expected_recall, measured_recall, verify_topk, verify_topk_typed, AirConfig, AirTopK,
+        BucketedTopK, Category, DeviceMatrix, GridSelect, GridSelectConfig, QueueKind, SelectK,
+        SelectLargest, TopKAlgorithm, TopKError, TopKOutput, TwoStageTopK, UnfusedRadix,
+        WarpSelector,
     };
     pub use crate::topk_cpu::{heap_topk, parallel_topk};
     pub use crate::topk_engine::{
-        chrome_trace, BreakerConfig, DrainReport, EngineConfig, EngineSnapshot, FaultKind,
-        FaultPlan, QueryResult, RetryPolicy, ScriptedFault, Served, TopKEngine,
+        chrome_trace, ApproxRung, BreakerConfig, DrainReport, EngineConfig, EngineSnapshot,
+        FaultKind, FaultPlan, QueryResult, RetryPolicy, ScriptedFault, Served, TopKEngine,
     };
     pub use crate::topk_hybrid::DrTopK;
     pub use crate::topk_obs::MetricsRegistry;

@@ -1,0 +1,150 @@
+//! Recall property tests for the approximate degradation rungs.
+//!
+//! The engine's recall accounting leans on one analytic claim: on
+//! i.i.d. inputs, the expected recall of a partitioned selector is
+//! `E[recall] = (1/K) · Σ_parts E[min(X_p, take_p)]` with `X_p ~
+//! Binomial(K, n_p/n)` (see `topk_core::recall`). These tests validate
+//! that claim empirically across an (N, K, batch) grid and three value
+//! distributions — uniform, normal, and heavy-tailed zipf — for both
+//! the bucketed and the two-stage selector. The value distribution
+//! must not matter (only *positions* enter the model), which is
+//! exactly what sweeping it checks.
+
+use gpu_topk::prelude::*;
+use topk_core::{measured_recall, BucketedTopK, TwoStageTopK};
+
+const TARGET: f64 = 0.9;
+
+/// Distributions the sweep covers: the two paper distributions plus
+/// the heavy-tailed zipf added for the recall study.
+fn dists() -> [Distribution; 3] {
+    [
+        Distribution::Uniform,
+        Distribution::Normal,
+        Distribution::Zipf {
+            exponent_tenths: 11,
+        },
+    ]
+}
+
+/// Mean measured recall of `alg` over `batch`-sized problems for a few
+/// seeds, paired with the number of samples that went into the mean.
+fn mean_measured(
+    alg: &dyn TopKAlgorithm,
+    dist: Distribution,
+    n: usize,
+    k: usize,
+    batch: usize,
+) -> (f64, usize) {
+    let mut total = 0.0;
+    let mut count = 0;
+    for seed in [11u64, 23, 47] {
+        let problems = datagen::generate_batch(dist, n, batch, seed);
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let inputs: Vec<_> = problems
+            .iter()
+            .enumerate()
+            .map(|(i, p)| gpu.htod(&format!("in{i}"), p))
+            .collect();
+        let outs = if batch == 1 {
+            vec![alg.select(&mut gpu, &inputs[0], k)]
+        } else {
+            alg.select_batch(&mut gpu, &inputs, k)
+        };
+        for (p, out) in problems.iter().zip(&outs) {
+            total += measured_recall(p, k, &out.values.to_vec());
+            count += 1;
+        }
+    }
+    (total / count as f64, count)
+}
+
+#[test]
+fn measured_recall_tracks_the_analytic_bound_across_the_grid() {
+    // Modest per-cell repetition keeps the grid affordable; the
+    // tolerance below is sized for the resulting sample counts (recall
+    // per query at K = 32 has σ ≈ 0.05, so a mean of ≥ 3 samples sits
+    // within ±0.09 of its expectation at ≈ 3σ).
+    for &(n, k, batch) in &[
+        (8192usize, 32usize, 1usize),
+        (8192, 32, 4),
+        (8192, 256, 1),
+        (1 << 15, 32, 4),
+        (1 << 15, 256, 2),
+    ] {
+        for dist in dists() {
+            let algs: Vec<(Box<dyn TopKAlgorithm>, f64)> = vec![
+                {
+                    let a = BucketedTopK::for_recall(n, k, TARGET);
+                    let e = a.expected_recall(k);
+                    (Box::new(a), e)
+                },
+                {
+                    let a = TwoStageTopK::for_recall(n, k, TARGET);
+                    let e = a.expected_recall(k);
+                    (Box::new(a), e)
+                },
+            ];
+            for (alg, expected) in algs {
+                assert!(
+                    expected >= TARGET,
+                    "{} N={n} K={k}: planner expected {expected:.4} misses target",
+                    alg.name()
+                );
+                let (mean, samples) = mean_measured(alg.as_ref(), dist, n, k, batch);
+                let tol = 0.09 / (samples as f64 / 3.0).sqrt();
+                assert!(
+                    (mean - expected).abs() <= tol,
+                    "{} on {} N={n} K={k} batch={batch}: measured {mean:.4} vs analytic \
+                     {expected:.4} (tol {tol:.4}, {samples} samples)",
+                    alg.name(),
+                    dist.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_degenerate_configurations_have_unit_recall_everywhere() {
+    // per_bucket ≥ K collapses to one bucket; k′ ≥ K keeps a full
+    // top-K superset per partition. Both must measure exactly 1.0 —
+    // the top of the degradation ladder really is exact.
+    let (n, k) = (8192, 64);
+    for dist in dists() {
+        for alg in [
+            Box::new(BucketedTopK::new(64)) as Box<dyn TopKAlgorithm>,
+            Box::new(TwoStageTopK::new(4, 64)),
+        ] {
+            assert_eq!(
+                mean_measured(alg.as_ref(), dist, n, k, 2).0,
+                1.0,
+                "{} on {}",
+                alg.name(),
+                dist.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tightening_the_target_monotonically_raises_measured_recall() {
+    // The planner must buy real recall with the extra work it spends:
+    // sweeping the target upward may not lower the measured mean by
+    // more than noise.
+    let (n, k, batch) = (8192, 128, 4);
+    let mut last = 0.0f64;
+    for target in [0.7, 0.9, 0.99] {
+        let alg = BucketedTopK::for_recall(n, k, target);
+        let (mean, _) = mean_measured(&alg, Distribution::Uniform, n, k, batch);
+        assert!(
+            mean >= target - 0.05,
+            "target {target}: measured {mean:.4} fell below the floor"
+        );
+        assert!(
+            mean >= last - 0.03,
+            "target {target}: measured {mean:.4} regressed from {last:.4}"
+        );
+        last = mean;
+    }
+}
