@@ -52,6 +52,7 @@
 //! assert_eq!(double_on(&mut gpu), vec![2, 4, 6, 8]);
 //! ```
 
+use crate::contract::KernelContract;
 use crate::device::DeviceSpec;
 use crate::error::SimError;
 use crate::exec::{BlockCtx, LaunchConfig};
@@ -170,6 +171,33 @@ pub trait Backend: Send {
         cfg: LaunchConfig,
         kernel: &(dyn Fn(&mut BlockCtx) + Sync),
     ) -> Result<&KernelReport, SimError>;
+
+    /// Launch a kernel under a [`KernelContract`]: declared access
+    /// footprints are statically verified against buffer lengths, the
+    /// [`DeviceSpec`] and cross-block write disjointness *before* the
+    /// kernel runs, and (when contract conformance is armed) observed
+    /// accesses are checked against the declaration dynamically.
+    ///
+    /// The default ignores the contract and forwards to
+    /// [`Backend::launch_dyn`], so un-instrumented backends run
+    /// annotated algorithms unchanged; probe
+    /// [`Backend::verifies_contracts`] to know whether declarations are
+    /// actually enforced.
+    fn launch_contract_dyn(
+        &mut self,
+        contract: &KernelContract,
+        cfg: LaunchConfig,
+        kernel: &(dyn Fn(&mut BlockCtx) + Sync),
+    ) -> Result<&KernelReport, SimError> {
+        self.launch_dyn(contract.name(), cfg, kernel)
+    }
+
+    /// Whether [`Backend::launch_contract_dyn`] actually verifies
+    /// contracts on this backend (capability probe; `false` means
+    /// contracts are accepted but ignored).
+    fn verifies_contracts(&self) -> bool {
+        false
+    }
 
     // ---- capability hooks (default: not supported) --------------------
 
@@ -358,6 +386,37 @@ pub trait BackendExt: Backend {
         F: Fn(&mut BlockCtx) + Sync,
     {
         match self.launch_dyn(name, cfg, &kernel) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible contract-carrying launch; see
+    /// [`Backend::launch_contract_dyn`]. The kernel name comes from the
+    /// contract.
+    fn try_launch_checked<F>(
+        &mut self,
+        contract: &KernelContract,
+        cfg: LaunchConfig,
+        kernel: F,
+    ) -> Result<&KernelReport, SimError>
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        self.launch_contract_dyn(contract, cfg, &kernel)
+    }
+
+    /// Panicking wrapper over [`BackendExt::try_launch_checked`].
+    fn launch_checked<F>(
+        &mut self,
+        contract: &KernelContract,
+        cfg: LaunchConfig,
+        kernel: F,
+    ) -> &KernelReport
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        match self.launch_contract_dyn(contract, cfg, &kernel) {
             Ok(r) => r,
             Err(e) => panic!("{e}"),
         }

@@ -44,6 +44,11 @@ pub enum SimError {
         requested: usize,
         capacity: usize,
     },
+    /// A [`KernelContract`](crate::contract::KernelContract) failed
+    /// static verification at launch and no sanitizer was armed to
+    /// absorb the finding. Like [`SimError::InvalidLaunch`], this is a
+    /// caller mistake, not a device fault: the kernel never ran.
+    ContractViolation { kernel: String, detail: String },
 }
 
 impl SimError {
@@ -102,6 +107,9 @@ impl fmt::Display for SimError {
                     "shared memory overflow: block already uses {used} of {capacity} bytes, \
                      requested {requested} more"
                 )
+            }
+            SimError::ContractViolation { kernel, detail } => {
+                write!(f, "kernel contract violation in {kernel:?}: {detail}")
             }
         }
     }

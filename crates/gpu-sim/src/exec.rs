@@ -147,6 +147,13 @@ pub struct BlockCtx<'a> {
     /// did not observe the *final* counter value — a documented
     /// suppression, never a false positive.
     pub(crate) sync_epoch: u64,
+    /// Number of [`BlockCtx::block_sync`] barriers this block has
+    /// passed — the simulator's `__syncthreads` model. Stamped into the
+    /// racecheck shadow records so the synccheck analysis can exonerate
+    /// barrier-separated same-word writes and flag unseparated ones,
+    /// and reported to the launch scope at block completion for
+    /// barrier-divergence detection.
+    pub(crate) barrier_epoch: u64,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -168,6 +175,7 @@ impl<'a> BlockCtx<'a> {
             spec,
             san,
             sync_epoch: 0,
+            barrier_epoch: 0,
         }
     }
 
@@ -187,6 +195,7 @@ impl<'a> BlockCtx<'a> {
                 kind,
                 self.block_idx,
                 self.sync_epoch,
+                self.barrier_epoch,
             ),
             None => {
                 if idx >= buf.len() {
@@ -425,6 +434,30 @@ impl<'a> BlockCtx<'a> {
     }
 
     // ---- grid-level coordination ------------------------------------
+
+    /// A block-wide barrier — the simulator's `__syncthreads()`.
+    ///
+    /// A kernel closure is the whole block's cooperative work run
+    /// sequentially, so the barrier has no functional or cost effect
+    /// (it touches neither [`KernelStats`] nor the cost model —
+    /// annotating a kernel cannot move a digest). What it *does* do is
+    /// advance this block's barrier epoch for the sanitizer's synccheck
+    /// analysis: same-word writes by one block within a single barrier
+    /// interval model distinct racing threads and are flagged, while
+    /// writes separated by `block_sync()` are exonerated — and blocks
+    /// of one launch that reach mismatched barrier counts are reported
+    /// as barrier divergence. Call it exactly where the CUDA original
+    /// has `__syncthreads()`.
+    #[inline]
+    pub fn block_sync(&mut self) {
+        self.barrier_epoch += 1;
+    }
+
+    /// Barriers passed so far (see [`BlockCtx::block_sync`]).
+    #[inline]
+    pub fn barrier_count(&self) -> u64 {
+        self.barrier_epoch
+    }
 
     /// The "last block" pattern: increments a grid-wide counter and
     /// returns `true` in exactly one block — the one that finished

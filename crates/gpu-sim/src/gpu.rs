@@ -13,6 +13,7 @@
 //! fault injector and sanitizer actually plug in.
 
 use crate::backend::{AllocGrant, Backend, BackendExt};
+use crate::contract::KernelContract;
 use crate::cost::{kernel_cost, memcpy_cost, CostBreakdown, KernelStats};
 use crate::device::DeviceSpec;
 use crate::error::SimError;
@@ -343,7 +344,43 @@ impl Gpu {
     where
         F: Fn(&mut BlockCtx) + Sync,
     {
-        self.launch_impl(name, cfg, &kernel)
+        self.launch_impl(name, cfg, &kernel, None)
+    }
+
+    /// Launch a kernel under a [`KernelContract`]: the declared access
+    /// footprints are verified statically before the kernel runs (see
+    /// [`KernelContract::verify`]), and under a sanitizer with contract
+    /// conformance armed every observed access is checked against the
+    /// declaration. The kernel name comes from the contract. Panics on
+    /// violation when no sanitizer is armed to absorb the finding.
+    pub fn launch_checked<F>(
+        &mut self,
+        contract: &KernelContract,
+        cfg: LaunchConfig,
+        kernel: F,
+    ) -> &KernelReport
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        self.try_launch_checked(contract, cfg, kernel)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible counterpart of [`Gpu::launch_checked`]: a contract that
+    /// fails static verification surfaces as
+    /// [`SimError::ContractViolation`] when no sanitizer is armed with
+    /// [`SanitizerMode::contracts`]; with one armed, violations become
+    /// deduplicated `contract` findings and the launch proceeds.
+    pub fn try_launch_checked<F>(
+        &mut self,
+        contract: &KernelContract,
+        cfg: LaunchConfig,
+        kernel: F,
+    ) -> Result<&KernelReport, SimError>
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        self.launch_impl(contract.name(), cfg, &kernel, Some(contract))
     }
 
     fn launch_impl(
@@ -351,6 +388,7 @@ impl Gpu {
         name: &str,
         cfg: LaunchConfig,
         kernel: &(dyn Fn(&mut BlockCtx) + Sync),
+        contract: Option<&KernelContract>,
     ) -> Result<&KernelReport, SimError> {
         validate_launch(&self.spec, &cfg)?;
 
@@ -363,12 +401,41 @@ impl Gpu {
         }
 
         let findings_before = self.sanitizer.as_ref().map_or(0, |s| s.counts().total());
+        // Static contract verification: runs before the kernel executes,
+        // so a bad footprint is caught even for shapes the dynamic
+        // sanitizer never observes. With a contract-armed sanitizer the
+        // issues become findings and the launch proceeds (the dynamic
+        // analyses still watch it); without one they are hard errors,
+        // like an invalid launch configuration.
+        if let Some(c) = contract {
+            let issues = c.verify(&self.spec, &cfg);
+            if !issues.is_empty() {
+                match self.sanitizer.as_ref().filter(|s| s.mode().contracts) {
+                    Some(san) => {
+                        for issue in &issues {
+                            san.record_static_violation(name, &issue.buffer, issue.detail.clone());
+                        }
+                    }
+                    None => {
+                        let first = &issues[0];
+                        return Err(SimError::ContractViolation {
+                            kernel: name.to_string(),
+                            detail: format!("{}: {}", first.buffer, first.detail),
+                        });
+                    }
+                }
+            }
+        }
         let stats = {
             let scope = self
                 .sanitizer
                 .as_ref()
-                .map(|san| LaunchScope::new(san, name));
-            self.pool.run(&self.spec, cfg, scope.as_ref(), kernel)?
+                .map(|san| LaunchScope::new(san, name, contract.map(|c| (c, cfg.grid_dim))));
+            let stats = self.pool.run(&self.spec, cfg, scope.as_ref(), kernel)?;
+            if let Some(s) = scope.as_ref() {
+                s.check_barrier_divergence();
+            }
+            stats
         };
         let sanitizer_findings = self
             .sanitizer
@@ -627,7 +694,20 @@ impl Backend for Gpu {
         cfg: LaunchConfig,
         kernel: &(dyn Fn(&mut BlockCtx) + Sync),
     ) -> Result<&KernelReport, SimError> {
-        self.launch_impl(name, cfg, kernel)
+        self.launch_impl(name, cfg, kernel, None)
+    }
+
+    fn launch_contract_dyn(
+        &mut self,
+        contract: &KernelContract,
+        cfg: LaunchConfig,
+        kernel: &(dyn Fn(&mut BlockCtx) + Sync),
+    ) -> Result<&KernelReport, SimError> {
+        self.launch_impl(contract.name(), cfg, kernel, Some(contract))
+    }
+
+    fn verifies_contracts(&self) -> bool {
+        true
     }
 
     fn set_span(&mut self, span: u64) {

@@ -59,6 +59,7 @@
 
 pub mod backend;
 pub mod conformance;
+pub mod contract;
 pub mod cost;
 pub mod device;
 pub mod error;
@@ -73,6 +74,7 @@ pub mod trace;
 pub mod warp;
 
 pub use backend::{AllocGrant, Backend, BackendExt};
+pub use contract::{BufferAccess, ContractIssue, Footprint, KernelContract};
 pub use cost::{sequence_cost, CostBreakdown, KernelStats, PlannedLaunch};
 pub use device::DeviceSpec;
 pub use error::SimError;

@@ -75,7 +75,12 @@ impl BlockPool {
             for b in 0..grid {
                 let mut ctx = BlockCtx::new(b, grid, cfg.block_dim, &done, spec, scope);
                 match catch_unwind(AssertUnwindSafe(|| kernel(&mut ctx))) {
-                    Ok(()) => total.merge(&ctx.stats),
+                    Ok(()) => {
+                        if let Some(s) = scope {
+                            s.note_block_barriers(ctx.barrier_count());
+                        }
+                        total.merge(&ctx.stats);
+                    }
                     Err(payload) => match payload.downcast::<SimError>() {
                         Ok(e) => return Err(*e),
                         Err(other) => resume_unwind(other),
@@ -112,7 +117,12 @@ impl BlockPool {
                         for b in start..end {
                             let mut ctx = BlockCtx::new(b, grid, cfg.block_dim, &done, spec, scope);
                             match catch_unwind(AssertUnwindSafe(|| kernel(&mut ctx))) {
-                                Ok(()) => local.merge(&ctx.stats),
+                                Ok(()) => {
+                                    if let Some(s) = scope {
+                                        s.note_block_barriers(ctx.barrier_count());
+                                    }
+                                    local.merge(&ctx.stats);
+                                }
                                 Err(payload) => {
                                     let mut slot = first_panic.lock();
                                     if slot.is_none() {

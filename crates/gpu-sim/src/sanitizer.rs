@@ -74,6 +74,23 @@ pub struct SanitizerMode {
     /// ([`Gpu::run_leakcheck`](crate::Gpu::run_leakcheck)) and
     /// automatically when the device drops.
     pub leakcheck: bool,
+    /// Contract enforcement for contracted launches
+    /// ([`Gpu::launch_checked`](crate::Gpu::launch_checked)): static
+    /// verification failures become findings instead of hard launch
+    /// errors, and every observed access is dynamically checked against
+    /// the declared [`KernelContract`](crate::contract::KernelContract)
+    /// footprints (conformance), so contracts cannot rot.
+    pub contracts: bool,
+    /// Barrier-aware intra-block analysis: with
+    /// [`BlockCtx::block_sync`](crate::exec::BlockCtx::block_sync)
+    /// modelling `__syncthreads`, two non-atomic *writes* of the same
+    /// word by the same block within one barrier interval are flagged
+    /// (different threads of the block would race on real hardware),
+    /// while barrier-separated pairs are exonerated. Also detects
+    /// barrier divergence: blocks of one launch reaching mismatched
+    /// barrier counts. Implies `racecheck` shadow state; arming this
+    /// arms racecheck too.
+    pub synccheck: bool,
 }
 
 impl SanitizerMode {
@@ -93,13 +110,28 @@ impl SanitizerMode {
             racecheck: true,
             initcheck: true,
             memcheck: true,
-            leakcheck: false,
+            ..Self::off()
         }
     }
 
     /// Builder: arm leakcheck on top of the current mode.
     pub fn with_leakcheck(mut self) -> Self {
         self.leakcheck = true;
+        self
+    }
+
+    /// Builder: arm contract enforcement (static-violation findings +
+    /// dynamic footprint conformance) on top of the current mode.
+    pub fn with_contracts(mut self) -> Self {
+        self.contracts = true;
+        self
+    }
+
+    /// Builder: arm the barrier-aware synccheck analysis (implies
+    /// racecheck, whose shadow records it extends).
+    pub fn with_synccheck(mut self) -> Self {
+        self.synccheck = true;
+        self.racecheck = true;
         self
     }
 
@@ -137,7 +169,12 @@ impl SanitizerMode {
 
     /// True when at least one analysis is armed.
     pub fn enabled(&self) -> bool {
-        self.racecheck || self.initcheck || self.memcheck || self.leakcheck
+        self.racecheck
+            || self.initcheck
+            || self.memcheck
+            || self.leakcheck
+            || self.contracts
+            || self.synccheck
     }
 }
 
@@ -155,17 +192,30 @@ pub enum Analysis {
     /// Allocation whose last handle dropped without a free, or
     /// allocator accounting that diverged from the tracked buffers.
     Leakcheck,
+    /// Static contract verification rejected the launch shape (OOB
+    /// footprint, overlapping exclusive writes, shape/shared-mem
+    /// requirement). Found before the kernel ran.
+    ContractViolation,
+    /// An observed access fell outside the launch's declared contract
+    /// footprints (or touched an undeclared buffer).
+    ContractConformance,
+    /// Barrier-aware intra-block hazard: same-word writes by one block
+    /// not separated by [`BlockCtx::block_sync`](crate::exec::BlockCtx::block_sync),
+    /// or blocks of one launch reaching mismatched barrier counts.
+    Synccheck,
 }
 
 impl Analysis {
     /// Short tool-style label (`racecheck` / `initcheck` / `memcheck`
-    /// / `leakcheck`).
+    /// / `leakcheck` / `contract` / `synccheck`).
     pub fn label(&self) -> &'static str {
         match self {
             Analysis::Racecheck => "racecheck",
             Analysis::Initcheck => "initcheck",
             Analysis::MemcheckOob | Analysis::MemcheckUseAfterFree => "memcheck",
             Analysis::Leakcheck => "leakcheck",
+            Analysis::ContractViolation | Analysis::ContractConformance => "contract",
+            Analysis::Synccheck => "synccheck",
         }
     }
 }
@@ -271,12 +321,22 @@ pub struct SanitizerCounts {
     pub memcheck: u64,
     /// Leakcheck occurrences (leaked allocations + accounting drift).
     pub leakcheck: u64,
+    /// Contract occurrences (static violations + dynamic conformance).
+    pub contract: u64,
+    /// Synccheck occurrences (intra-block write hazards + barrier
+    /// divergence).
+    pub synccheck: u64,
 }
 
 impl SanitizerCounts {
     /// Sum over all analyses.
     pub fn total(&self) -> u64 {
-        self.racecheck + self.initcheck + self.memcheck + self.leakcheck
+        self.racecheck
+            + self.initcheck
+            + self.memcheck
+            + self.leakcheck
+            + self.contract
+            + self.synccheck
     }
 
     /// Element-wise saturating difference (for drain-relative deltas on
@@ -287,6 +347,8 @@ impl SanitizerCounts {
             initcheck: self.initcheck.saturating_sub(earlier.initcheck),
             memcheck: self.memcheck.saturating_sub(earlier.memcheck),
             leakcheck: self.leakcheck.saturating_sub(earlier.leakcheck),
+            contract: self.contract.saturating_sub(earlier.contract),
+            synccheck: self.synccheck.saturating_sub(earlier.synccheck),
         }
     }
 
@@ -296,6 +358,8 @@ impl SanitizerCounts {
         self.initcheck += other.initcheck;
         self.memcheck += other.memcheck;
         self.leakcheck += other.leakcheck;
+        self.contract += other.contract;
+        self.synccheck += other.synccheck;
     }
 }
 
@@ -366,6 +430,8 @@ pub struct Sanitizer {
     init_count: AtomicU64,
     mem_count: AtomicU64,
     leak_count: AtomicU64,
+    contract_count: AtomicU64,
+    sync_count: AtomicU64,
     store: Mutex<FindingStore>,
     allocs: Mutex<AllocRegistry>,
 }
@@ -390,6 +456,8 @@ impl Sanitizer {
             init_count: AtomicU64::new(0),
             mem_count: AtomicU64::new(0),
             leak_count: AtomicU64::new(0),
+            contract_count: AtomicU64::new(0),
+            sync_count: AtomicU64::new(0),
             store: Mutex::new(FindingStore::default()),
             allocs: Mutex::new(AllocRegistry::default()),
         }
@@ -407,6 +475,8 @@ impl Sanitizer {
             initcheck: self.init_count.load(Ordering::Relaxed),
             memcheck: self.mem_count.load(Ordering::Relaxed),
             leakcheck: self.leak_count.load(Ordering::Relaxed),
+            contract: self.contract_count.load(Ordering::Relaxed),
+            synccheck: self.sync_count.load(Ordering::Relaxed),
         }
     }
 
@@ -437,6 +507,8 @@ impl Sanitizer {
             Analysis::Initcheck => &self.init_count,
             Analysis::MemcheckOob | Analysis::MemcheckUseAfterFree => &self.mem_count,
             Analysis::Leakcheck => &self.leak_count,
+            Analysis::ContractViolation | Analysis::ContractConformance => &self.contract_count,
+            Analysis::Synccheck => &self.sync_count,
         }
         .fetch_add(1, Ordering::Relaxed);
 
@@ -475,6 +547,26 @@ impl Sanitizer {
             access: AccessKind::Read,
             count: 1,
             detail: format!("{what} of a buffer whose bytes were returned to the allocator"),
+        });
+    }
+
+    /// Record a static contract-verification failure for a launch that
+    /// is about to run (launch 0 = pre-launch, like host-side checks).
+    /// Only called when [`SanitizerMode::contracts`] is armed — without
+    /// a sanitizer the violation is a hard
+    /// [`SimError::ContractViolation`](crate::SimError::ContractViolation)
+    /// instead.
+    pub(crate) fn record_static_violation(&self, kernel: &str, buffer: &str, detail: String) {
+        self.record(SanitizerFinding {
+            analysis: Analysis::ContractViolation,
+            buffer: buffer.to_string(),
+            kernel: kernel.to_string(),
+            launch: 0,
+            block: 0,
+            index: 0,
+            access: AccessKind::Write,
+            count: 1,
+            detail,
         });
     }
 
@@ -578,14 +670,25 @@ impl Sanitizer {
 //   bits 24..40  grid-sync epoch of the latest access (saturating)
 //   bits 40..56  block index + 1 (0 = none, BLOCK_MULTI = several blocks)
 //   bits 56..59  access kinds seen this launch (read=1, write=2, atomic=4)
+//   bits 59..64  barrier epoch of the latest access (saturating; the
+//                block's `block_sync()` count at access time)
 //
-// The epoch field is what lets `atomic_add_sync` / `mark_block_done`
-// suppress only the conflicts they actually order: every access is
-// stamped with the launch's global epoch counter, an acquire bumps it,
-// and a conflict is suppressed only when the earlier access's epoch
-// predates the accessor's acquire. Launch ids are truncated to 24 bits
-// (aliasing needs 16.7M launches touching the same word); epochs
-// saturate at 65535 acquires per launch (beyond any real grid).
+// The grid-sync epoch field is what lets `atomic_add_sync` /
+// `mark_block_done` suppress only the conflicts they actually order:
+// every access is stamped with the launch's global epoch counter, an
+// acquire bumps it, and a conflict is suppressed only when the earlier
+// access's epoch predates the accessor's acquire. Launch ids are
+// truncated to 24 bits (aliasing needs 16.7M launches touching the same
+// word); epochs saturate at 65535 acquires per launch (beyond any real
+// grid).
+//
+// The barrier-epoch field drives synccheck's intra-block analysis: two
+// non-atomic writes of the same word by the *same* block are a hazard
+// on real hardware (different threads of the block) unless a
+// `__syncthreads` barrier separates them, so equal barrier epochs are a
+// finding and differing ones are exonerated. Barrier epochs saturate at
+// 31; a saturated pair is indistinguishable and therefore suppressed
+// (never a false positive).
 const LAUNCH_MASK: u64 = 0xFF_FFFF;
 const EPOCH_SHIFT: u32 = 24;
 const EPOCH_MASK: u64 = 0xFFFF;
@@ -593,12 +696,29 @@ const BLOCK_SHIFT: u32 = 40;
 const KIND_SHIFT: u32 = 56;
 const BLOCK_MASK: u64 = 0xFFFF;
 const BLOCK_MULTI: u64 = BLOCK_MASK;
+const KIND_MASK: u64 = 0x7;
+const BSYNC_SHIFT: u32 = 59;
+const BSYNC_MASK: u64 = 0x1F;
+/// Saturation value for the stored barrier epoch.
+const BSYNC_SAT: u64 = BSYNC_MASK;
 
-fn pack(launch: u64, epoch: u64, block_plus1: u64, kinds: u64) -> u64 {
+fn pack(launch: u64, epoch: u64, block_plus1: u64, kinds: u64, bsync: u64) -> u64 {
     (launch & LAUNCH_MASK)
         | (epoch.min(EPOCH_MASK) << EPOCH_SHIFT)
         | (block_plus1 << BLOCK_SHIFT)
-        | (kinds << KIND_SHIFT)
+        | ((kinds & KIND_MASK) << KIND_SHIFT)
+        | (bsync.min(BSYNC_SAT) << BSYNC_SHIFT)
+}
+
+/// What [`BufferShadow::race_check`] found.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum RaceHit {
+    /// Cross-block conflict with an earlier access (kinds mask,
+    /// block-plus-one of the earlier access).
+    CrossBlock { prev_kinds: u64, prev_block: u64 },
+    /// Same-block write-write pair within one barrier interval
+    /// (synccheck).
+    IntraBlockWrite,
 }
 
 /// Shadow state attached to a [`DeviceBuffer`](crate::DeviceBuffer)
@@ -631,7 +751,7 @@ impl BufferShadow {
         } else {
             Box::new([])
         };
-        let race: Box<[AtomicU64]> = if mode.racecheck {
+        let race: Box<[AtomicU64]> = if mode.racecheck || mode.synccheck {
             (0..len).map(|_| AtomicU64::new(0)).collect()
         } else {
             Box::new([])
@@ -675,9 +795,8 @@ impl BufferShadow {
         self.freed.load(Ordering::Relaxed) != 0
     }
 
-    /// Update the race record for `idx` and return the conflicting
-    /// (kinds, block-plus-one) pair if this access races with an
-    /// earlier one in the same launch.
+    /// Update the race record for `idx` and return the hazard, if this
+    /// access conflicts with an earlier one in the same launch.
     ///
     /// `now_epoch` is the launch's global epoch counter at access time;
     /// `sync_epoch` is the epoch at which the accessing *block* last
@@ -689,6 +808,15 @@ impl BufferShadow {
     /// caught. Treating every smaller-epoch access as ordered is an
     /// over-approximation (suppression, never a false positive) for
     /// blocks that raced with the acquire itself.
+    ///
+    /// `bar_epoch` is the accessing block's barrier count
+    /// ([`BlockCtx::block_sync`](crate::exec::BlockCtx::block_sync)).
+    /// With `synccheck` armed, a same-block non-atomic write over an
+    /// earlier write at the *same* barrier epoch is an intra-block
+    /// hazard (distinct threads of the block on real hardware, with no
+    /// `__syncthreads` between them); barrier-separated pairs are
+    /// exonerated, as are saturated epochs (≥ 31, indistinguishable).
+    #[allow(clippy::too_many_arguments)]
     fn race_check(
         &self,
         idx: usize,
@@ -697,42 +825,58 @@ impl BufferShadow {
         kind: AccessKind,
         now_epoch: u64,
         sync_epoch: u64,
-    ) -> Option<(u64, u64)> {
+        bar_epoch: u64,
+        racecheck: bool,
+        synccheck: bool,
+    ) -> Option<RaceHit> {
         let cell = self.race.get(idx)?;
         let kbit = kind.bit();
         let launch24 = launch & LAUNCH_MASK;
         let block_plus1 = (block as u64 + 1).min(BLOCK_MULTI - 1);
+        let bar_sat = bar_epoch.min(BSYNC_SAT);
         loop {
             let prev = cell.load(Ordering::Relaxed);
             let prev_launch = prev & LAUNCH_MASK;
             let prev_epoch = (prev >> EPOCH_SHIFT) & EPOCH_MASK;
             let prev_block = (prev >> BLOCK_SHIFT) & BLOCK_MASK;
-            let prev_kinds = prev >> KIND_SHIFT;
+            let prev_kinds = (prev >> KIND_SHIFT) & KIND_MASK;
+            let prev_bsync = (prev >> BSYNC_SHIFT) & BSYNC_MASK;
 
             let (next, conflict) = if prev_launch != launch24 || prev_block == 0 {
                 // First access of this launch (or first ever).
-                (pack(launch24, now_epoch, block_plus1, kbit), None)
+                (pack(launch24, now_epoch, block_plus1, kbit, bar_sat), None)
             } else if prev_block == block_plus1 {
-                // Same block touching its own word again: no hazard.
+                // Same block touching its own word again. Program order
+                // makes this safe in the sequential closure model —
+                // except for the write-write shape synccheck looks for:
+                // two stores of one word by one block model distinct
+                // threads, racy unless a barrier separates them.
+                let intra = synccheck
+                    && kind == AccessKind::Write
+                    && prev_kinds & 2 != 0
+                    && prev_bsync == bar_sat
+                    && bar_sat < BSYNC_SAT;
                 (
                     pack(
                         launch24,
                         now_epoch.max(prev_epoch),
                         block_plus1,
                         prev_kinds | kbit,
+                        bar_sat,
                     ),
-                    None,
+                    intra.then_some(RaceHit::IntraBlockWrite),
                 )
             } else {
                 // Cross-block access within one launch. The stored
                 // epoch is the max over contributors, so a merged
                 // multi-block record stays conservative: suppression
                 // requires *every* contributor to predate the acquire.
-                let hazard = match kind {
-                    AccessKind::Read => prev_kinds & (2 | 4) != 0,
-                    AccessKind::Write => prev_kinds != 0,
-                    AccessKind::Atomic => prev_kinds & (1 | 2) != 0,
-                };
+                let hazard = racecheck
+                    && match kind {
+                        AccessKind::Read => prev_kinds & (2 | 4) != 0,
+                        AccessKind::Write => prev_kinds != 0,
+                        AccessKind::Atomic => prev_kinds & (1 | 2) != 0,
+                    };
                 let ordered = sync_epoch != 0 && prev_epoch < sync_epoch.min(EPOCH_MASK);
                 (
                     pack(
@@ -740,8 +884,12 @@ impl BufferShadow {
                         now_epoch.max(prev_epoch),
                         BLOCK_MULTI,
                         prev_kinds | kbit,
+                        bar_sat,
                     ),
-                    (hazard && !ordered).then_some((prev_kinds, prev_block)),
+                    (hazard && !ordered).then_some(RaceHit::CrossBlock {
+                        prev_kinds,
+                        prev_block,
+                    }),
                 )
             };
             if cell
@@ -783,16 +931,71 @@ pub struct LaunchScope<'g> {
     /// Accesses are stamped with it so racecheck can order them against
     /// acquires per word instead of exempting whole blocks.
     epoch: AtomicU64,
+    /// The launch's contract plus its grid size, when launched through
+    /// [`Gpu::launch_checked`](crate::Gpu::launch_checked) — drives the
+    /// dynamic conformance analysis under [`SanitizerMode::contracts`].
+    contract: Option<(&'g crate::contract::KernelContract, usize)>,
+    /// Min/max final barrier count over completed blocks, for the
+    /// barrier-divergence check (`u64::MAX` min = no block reported).
+    bar_lo: AtomicU64,
+    bar_hi: AtomicU64,
 }
 
 impl<'g> LaunchScope<'g> {
-    pub(crate) fn new(san: &'g Sanitizer, kernel: &'g str) -> Self {
+    pub(crate) fn new(
+        san: &'g Sanitizer,
+        kernel: &'g str,
+        contract: Option<(&'g crate::contract::KernelContract, usize)>,
+    ) -> Self {
         LaunchScope {
             san,
             launch: san.next_launch(),
             kernel,
             epoch: AtomicU64::new(1),
+            contract,
+            bar_lo: AtomicU64::new(u64::MAX),
+            bar_hi: AtomicU64::new(0),
         }
+    }
+
+    /// Record one completed block's final barrier count (called by the
+    /// block pool after the block's closure returns).
+    pub(crate) fn note_block_barriers(&self, count: u64) {
+        if !self.san.mode.synccheck {
+            return;
+        }
+        self.bar_lo.fetch_min(count, Ordering::Relaxed);
+        self.bar_hi.fetch_max(count, Ordering::Relaxed);
+    }
+
+    /// After every block completed: flag barrier divergence (blocks of
+    /// one launch reaching mismatched barrier counts — on real hardware
+    /// a grid whose `__syncthreads` counts differ per block has
+    /// divergent control flow around a barrier, a hang or UB). One
+    /// deduplicated finding per (kernel, launch-name) pair.
+    pub(crate) fn check_barrier_divergence(&self) {
+        if !self.san.mode.synccheck {
+            return;
+        }
+        let lo = self.bar_lo.load(Ordering::Relaxed);
+        let hi = self.bar_hi.load(Ordering::Relaxed);
+        if lo == u64::MAX || lo == hi {
+            return;
+        }
+        self.san.record(SanitizerFinding {
+            analysis: Analysis::Synccheck,
+            buffer: "<barrier>".to_string(),
+            kernel: self.kernel.to_string(),
+            launch: self.launch,
+            block: 0,
+            index: 0,
+            access: AccessKind::Atomic,
+            count: 1,
+            detail: format!(
+                "barrier divergence: blocks reached between {lo} and {hi} block_sync() \
+                 barriers in one launch"
+            ),
+        });
     }
 
     /// Bump the global epoch for an acquire grid sync and return the
@@ -816,6 +1019,7 @@ impl<'g> LaunchScope<'g> {
         kind: AccessKind,
         block: usize,
         sync_epoch: u64,
+        bar_epoch: u64,
     ) -> bool {
         if idx >= len {
             if self.san.mode.memcheck {
@@ -837,6 +1041,24 @@ impl<'g> LaunchScope<'g> {
                 idx,
                 len,
             });
+        }
+        if self.san.mode.contracts {
+            if let Some((contract, grid)) = self.contract {
+                if let Some(detail) = contract.conformance_violation(label, idx, kind, block, grid)
+                {
+                    self.san.record(SanitizerFinding {
+                        analysis: Analysis::ContractConformance,
+                        buffer: label.to_string(),
+                        kernel: self.kernel.to_string(),
+                        launch: self.launch,
+                        block,
+                        index: idx,
+                        access: kind,
+                        count: 1,
+                        detail,
+                    });
+                }
+            }
         }
         let Some(sh) = shadow else {
             // Buffer allocated before the sanitizer was armed (or
@@ -893,32 +1115,63 @@ impl<'g> LaunchScope<'g> {
                 }
             }
         }
-        if self.san.mode.racecheck {
+        if self.san.mode.racecheck || self.san.mode.synccheck {
             let now = self.epoch.load(Ordering::Relaxed);
-            if let Some((prev_kinds, prev_block)) =
-                sh.race_check(idx, self.launch, block, kind, now, sync_epoch)
-            {
-                let who = if prev_block == BLOCK_MULTI {
-                    "several blocks".to_string()
-                } else {
-                    format!("block {}", prev_block - 1)
-                };
-                self.san.record(SanitizerFinding {
-                    analysis: Analysis::Racecheck,
-                    buffer: label.to_string(),
-                    kernel: self.kernel.to_string(),
-                    launch: self.launch,
-                    block,
-                    index: idx,
-                    access: kind,
-                    count: 1,
-                    detail: format!(
-                        "{} conflicts with unsynchronised {} by {} in the same launch",
-                        kind.label(),
-                        kinds_label(prev_kinds),
-                        who
-                    ),
-                });
+            match sh.race_check(
+                idx,
+                self.launch,
+                block,
+                kind,
+                now,
+                sync_epoch,
+                bar_epoch,
+                self.san.mode.racecheck,
+                self.san.mode.synccheck,
+            ) {
+                Some(RaceHit::CrossBlock {
+                    prev_kinds,
+                    prev_block,
+                }) => {
+                    let who = if prev_block == BLOCK_MULTI {
+                        "several blocks".to_string()
+                    } else {
+                        format!("block {}", prev_block - 1)
+                    };
+                    self.san.record(SanitizerFinding {
+                        analysis: Analysis::Racecheck,
+                        buffer: label.to_string(),
+                        kernel: self.kernel.to_string(),
+                        launch: self.launch,
+                        block,
+                        index: idx,
+                        access: kind,
+                        count: 1,
+                        detail: format!(
+                            "{} conflicts with unsynchronised {} by {} in the same launch",
+                            kind.label(),
+                            kinds_label(prev_kinds),
+                            who
+                        ),
+                    });
+                }
+                Some(RaceHit::IntraBlockWrite) => {
+                    self.san.record(SanitizerFinding {
+                        analysis: Analysis::Synccheck,
+                        buffer: label.to_string(),
+                        kernel: self.kernel.to_string(),
+                        launch: self.launch,
+                        block,
+                        index: idx,
+                        access: kind,
+                        count: 1,
+                        detail: format!(
+                            "same-word writes by block {block} within one barrier \
+                             interval (no block_sync() between them): distinct threads \
+                             of the block would race on real hardware"
+                        ),
+                    });
+                }
+                None => {}
             }
         }
         true
@@ -939,6 +1192,12 @@ mod tests {
         assert!(SanitizerMode::full().with_leakcheck().leakcheck);
         assert!(SanitizerMode::leakcheck_only().enabled());
         assert!(!SanitizerMode::leakcheck_only().racecheck);
+        assert!(!SanitizerMode::full().contracts, "contracts are opt-in");
+        assert!(SanitizerMode::full().with_contracts().contracts);
+        assert!(!SanitizerMode::full().synccheck, "synccheck is opt-in");
+        let sc = SanitizerMode::off().with_synccheck();
+        assert!(sc.synccheck && sc.racecheck, "synccheck implies racecheck");
+        assert!(sc.enabled());
     }
 
     #[test]
@@ -965,38 +1224,58 @@ mod tests {
         assert!(!r.is_clean());
     }
 
+    /// Old-signature shim: racecheck only, no barriers.
+    fn rc(
+        sh: &BufferShadow,
+        idx: usize,
+        launch: u64,
+        block: usize,
+        kind: AccessKind,
+        now: u64,
+        sync: u64,
+    ) -> Option<RaceHit> {
+        sh.race_check(idx, launch, block, kind, now, sync, 0, true, false)
+    }
+
     #[test]
     fn race_shadow_flags_cross_block_write_write() {
         let sh = BufferShadow::new(4, SanitizerMode::full());
-        assert!(sh.race_check(0, 1, 0, AccessKind::Write, 1, 0).is_none());
-        let c = sh.race_check(0, 1, 1, AccessKind::Write, 1, 0);
-        assert_eq!(c, Some((2, 1)), "write by block 0 conflicts");
+        assert!(rc(&sh, 0, 1, 0, AccessKind::Write, 1, 0).is_none());
+        let c = rc(&sh, 0, 1, 1, AccessKind::Write, 1, 0);
+        assert_eq!(
+            c,
+            Some(RaceHit::CrossBlock {
+                prev_kinds: 2,
+                prev_block: 1
+            }),
+            "write by block 0 conflicts"
+        );
         // A new launch resets the record.
-        assert!(sh.race_check(0, 2, 5, AccessKind::Write, 1, 0).is_none());
+        assert!(rc(&sh, 0, 2, 5, AccessKind::Write, 1, 0).is_none());
     }
 
     #[test]
     fn race_shadow_allows_read_read_and_atomic_atomic() {
         let sh = BufferShadow::new(1, SanitizerMode::full());
-        assert!(sh.race_check(0, 1, 0, AccessKind::Read, 1, 0).is_none());
-        assert!(sh.race_check(0, 1, 1, AccessKind::Read, 1, 0).is_none());
+        assert!(rc(&sh, 0, 1, 0, AccessKind::Read, 1, 0).is_none());
+        assert!(rc(&sh, 0, 1, 1, AccessKind::Read, 1, 0).is_none());
         // ... but a later write conflicts with the multi-block reads.
-        let c = sh.race_check(0, 1, 2, AccessKind::Write, 1, 0).unwrap();
-        assert_eq!(c.1, BLOCK_MULTI);
+        let c = rc(&sh, 0, 1, 2, AccessKind::Write, 1, 0).unwrap();
+        assert!(matches!(c, RaceHit::CrossBlock { prev_block, .. } if prev_block == BLOCK_MULTI));
 
         let sh = BufferShadow::new(1, SanitizerMode::full());
-        assert!(sh.race_check(0, 3, 0, AccessKind::Atomic, 1, 0).is_none());
-        assert!(sh.race_check(0, 3, 1, AccessKind::Atomic, 1, 0).is_none());
+        assert!(rc(&sh, 0, 3, 0, AccessKind::Atomic, 1, 0).is_none());
+        assert!(rc(&sh, 0, 3, 1, AccessKind::Atomic, 1, 0).is_none());
         // Mixed atomic / non-atomic flags.
-        assert!(sh.race_check(0, 3, 2, AccessKind::Read, 1, 0).is_some());
+        assert!(rc(&sh, 0, 3, 2, AccessKind::Read, 1, 0).is_some());
     }
 
     #[test]
     fn race_shadow_same_block_is_silent() {
         let sh = BufferShadow::new(1, SanitizerMode::full());
-        assert!(sh.race_check(0, 1, 7, AccessKind::Write, 1, 0).is_none());
-        assert!(sh.race_check(0, 1, 7, AccessKind::Read, 1, 0).is_none());
-        assert!(sh.race_check(0, 1, 7, AccessKind::Atomic, 1, 0).is_none());
+        assert!(rc(&sh, 0, 1, 7, AccessKind::Write, 1, 0).is_none());
+        assert!(rc(&sh, 0, 1, 7, AccessKind::Read, 1, 0).is_none());
+        assert!(rc(&sh, 0, 1, 7, AccessKind::Atomic, 1, 0).is_none());
     }
 
     #[test]
@@ -1004,14 +1283,14 @@ mod tests {
         let sh = BufferShadow::new(2, SanitizerMode::full());
         // Block 0 writes word 0 at epoch 1, then block 1 acquires
         // (sync epoch 2): its read of word 0 is ordered, not a race.
-        assert!(sh.race_check(0, 1, 0, AccessKind::Write, 1, 0).is_none());
-        assert!(sh.race_check(0, 1, 1, AccessKind::Read, 2, 2).is_none());
+        assert!(rc(&sh, 0, 1, 0, AccessKind::Write, 1, 0).is_none());
+        assert!(rc(&sh, 0, 1, 1, AccessKind::Read, 2, 2).is_none());
 
         // But a write made AT or AFTER the acquire epoch still
         // conflicts with the acquirer: block 2 writes word 1 at epoch
         // 2, and block 1 (sync epoch 2) reads it — unordered.
-        assert!(sh.race_check(1, 1, 2, AccessKind::Write, 2, 0).is_none());
-        assert!(sh.race_check(1, 1, 1, AccessKind::Read, 2, 2).is_some());
+        assert!(rc(&sh, 1, 1, 2, AccessKind::Write, 2, 0).is_none());
+        assert!(rc(&sh, 1, 1, 1, AccessKind::Read, 2, 2).is_some());
     }
 
     #[test]
@@ -1021,8 +1300,8 @@ mod tests {
         // word at epoch 2 (after the acquire), then block 1 reads it —
         // a real unordered conflict that must be flagged.
         let sh = BufferShadow::new(1, SanitizerMode::full());
-        assert!(sh.race_check(0, 1, 0, AccessKind::Write, 2, 0).is_none());
-        assert!(sh.race_check(0, 1, 1, AccessKind::Read, 2, 2).is_some());
+        assert!(rc(&sh, 0, 1, 0, AccessKind::Write, 2, 0).is_none());
+        assert!(rc(&sh, 0, 1, 1, AccessKind::Read, 2, 2).is_some());
     }
 
     #[test]
@@ -1030,14 +1309,65 @@ mod tests {
         let sh = BufferShadow::new(1, SanitizerMode::full());
         // Reads at epochs 1 and 3 merge; an acquirer at sync epoch 2
         // must still conflict (one contributor postdates its acquire).
-        assert!(sh.race_check(0, 1, 0, AccessKind::Read, 1, 0).is_none());
-        assert!(sh.race_check(0, 1, 1, AccessKind::Read, 3, 0).is_none());
-        assert!(sh.race_check(0, 1, 2, AccessKind::Write, 3, 2).is_some());
+        assert!(rc(&sh, 0, 1, 0, AccessKind::Read, 1, 0).is_none());
+        assert!(rc(&sh, 0, 1, 1, AccessKind::Read, 3, 0).is_none());
+        assert!(rc(&sh, 0, 1, 2, AccessKind::Write, 3, 2).is_some());
         // ... while an acquirer past every contributor is ordered.
         let sh = BufferShadow::new(1, SanitizerMode::full());
-        assert!(sh.race_check(0, 1, 0, AccessKind::Read, 1, 0).is_none());
-        assert!(sh.race_check(0, 1, 1, AccessKind::Read, 2, 0).is_none());
-        assert!(sh.race_check(0, 1, 2, AccessKind::Write, 3, 3).is_none());
+        assert!(rc(&sh, 0, 1, 0, AccessKind::Read, 1, 0).is_none());
+        assert!(rc(&sh, 0, 1, 1, AccessKind::Read, 2, 0).is_none());
+        assert!(rc(&sh, 0, 1, 2, AccessKind::Write, 3, 3).is_none());
+    }
+
+    /// Synccheck shim: racecheck + synccheck, explicit barrier epoch.
+    fn sc(sh: &BufferShadow, block: usize, kind: AccessKind, bar: u64) -> Option<RaceHit> {
+        sh.race_check(0, 1, block, kind, 1, 0, bar, true, true)
+    }
+
+    #[test]
+    fn synccheck_flags_same_block_write_write_in_one_interval() {
+        let mode = SanitizerMode::full().with_synccheck();
+        let sh = BufferShadow::new(1, mode);
+        assert!(sc(&sh, 3, AccessKind::Write, 0).is_none());
+        assert_eq!(
+            sc(&sh, 3, AccessKind::Write, 0),
+            Some(RaceHit::IntraBlockWrite)
+        );
+        // Reads and atomics over the written word stay silent.
+        assert!(sc(&sh, 3, AccessKind::Read, 0).is_none());
+        assert!(sc(&sh, 3, AccessKind::Atomic, 0).is_none());
+    }
+
+    #[test]
+    fn synccheck_barrier_separated_writes_are_exonerated() {
+        let mode = SanitizerMode::full().with_synccheck();
+        let sh = BufferShadow::new(1, mode);
+        assert!(sc(&sh, 3, AccessKind::Write, 0).is_none());
+        // A block_sync() between the writes bumps the barrier epoch.
+        assert!(sc(&sh, 3, AccessKind::Write, 1).is_none());
+        // ... but a second write in the *new* interval conflicts.
+        assert_eq!(
+            sc(&sh, 3, AccessKind::Write, 1),
+            Some(RaceHit::IntraBlockWrite)
+        );
+    }
+
+    #[test]
+    fn synccheck_saturated_barrier_epochs_are_suppressed() {
+        let mode = SanitizerMode::full().with_synccheck();
+        let sh = BufferShadow::new(1, mode);
+        assert!(sc(&sh, 3, AccessKind::Write, BSYNC_SAT + 5).is_none());
+        assert!(
+            sc(&sh, 3, AccessKind::Write, BSYNC_SAT + 9).is_none(),
+            "saturated epochs are indistinguishable: suppress, never false-positive"
+        );
+    }
+
+    #[test]
+    fn synccheck_off_same_block_writes_stay_silent() {
+        let sh = BufferShadow::new(1, SanitizerMode::full());
+        assert!(rc(&sh, 0, 1, 3, AccessKind::Write, 1, 0).is_none());
+        assert!(rc(&sh, 0, 1, 3, AccessKind::Write, 1, 0).is_none());
     }
 
     #[test]

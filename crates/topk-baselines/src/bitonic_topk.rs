@@ -10,7 +10,7 @@
 //! it slows with K (Fig. 6's rising partial-sort curves) — and the
 //! heavy shared-memory use limits K to 256 (§2.2).
 
-use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract, LaunchConfig};
 use topk_core::bitonic::{bitonic_sort, merge_into_topk};
 use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
@@ -89,7 +89,11 @@ fn run_rounds(
             let idx0 = idxs[0].clone();
             let input = input.clone();
             let launch = LaunchConfig::for_elements(runs0, 256, 1, usize::MAX);
-            gpu.try_launch("bitonic_local_sort", launch, move |ctx| {
+            let contract = KernelContract::new("bitonic_local_sort")
+                .reads(&input, Footprint::all())
+                .writes(&keys0, Footprint::tiles(256 * run))
+                .writes(&idx0, Footprint::tiles(256 * run));
+            gpu.try_launch_checked(&contract, launch, move |ctx| {
                 let start_run = ctx.block_idx * 256;
                 let end_run = (start_run + 256).min(runs0);
                 for r in start_run..end_run {
@@ -110,6 +114,9 @@ fn run_rounds(
                         ctx.st(&idx0, base + j, ib[j]);
                     }
                 }
+                // The block-wide barrier between the cooperative sort
+                // stages and the block retiring (uniform across blocks).
+                ctx.block_sync();
             })?;
         }
 
@@ -126,7 +133,14 @@ fn run_rounds(
             let keys_d = keys[dst].clone();
             let idxs_d = idxs[dst].clone();
             let launch = LaunchConfig::for_elements(out_runs, 32, PAIRS_PER_BLOCK, usize::MAX);
-            gpu.try_launch("bitonic_merge_round", launch, move |ctx| {
+            let contract = KernelContract::new("bitonic_merge_round")
+                // Each block reads its pair window and writes the
+                // surviving low halves of its own output tile.
+                .reads(&keys_s, Footprint::tiles(2 * 32 * PAIRS_PER_BLOCK * run))
+                .reads(&idxs_s, Footprint::tiles(2 * 32 * PAIRS_PER_BLOCK * run))
+                .writes(&keys_d, Footprint::tiles(32 * PAIRS_PER_BLOCK * run))
+                .writes(&idxs_d, Footprint::tiles(32 * PAIRS_PER_BLOCK * run));
+            gpu.try_launch_checked(&contract, launch, move |ctx| {
                 let start = ctx.block_idx * 32 * PAIRS_PER_BLOCK;
                 let end = (start + 32 * PAIRS_PER_BLOCK).min(out_runs);
                 for p in start..end {
@@ -146,6 +160,8 @@ fn run_rounds(
                         ctx.st(&idxs_d, out_base + j, ib[j]);
                     }
                 }
+                // Barrier separating the merge stages from retirement.
+                ctx.block_sync();
             })?;
             runs = out_runs;
             src = dst;
@@ -159,7 +175,13 @@ fn run_rounds(
             let idxs_s = idxs[src].clone();
             let ov = out_val.clone();
             let oi = out_idx.clone();
-            gpu.try_launch("bitonic_emit", LaunchConfig::grid_1d(1, 256), move |ctx| {
+            let contract = KernelContract::new("bitonic_emit")
+                .reads(&keys_s, Footprint::fixed(0, k))
+                .reads(&idxs_s, Footprint::fixed(0, k))
+                .writes(&ov, Footprint::fixed(0, k))
+                .writes(&oi, Footprint::fixed(0, k))
+                .requires_grid_at_most(1);
+            gpu.try_launch_checked(&contract, LaunchConfig::grid_1d(1, 256), move |ctx| {
                 for i in 0..k {
                     let bits = ctx.ld(&keys_s, i);
                     let idx = ctx.ld(&idxs_s, i);

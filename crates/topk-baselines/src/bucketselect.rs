@@ -17,7 +17,7 @@ use crate::common::{
     emit_all_candidates, final_small_select, load_candidate, stream_launch, SelectionState,
     STREAM_CHUNK,
 };
-use gpu_sim::{Backend, BackendExt, DeviceBuffer};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract};
 use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
 use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
@@ -121,7 +121,12 @@ fn run_loop(
                 let materialised = st.materialised;
                 let input = input.clone();
                 let minmax = minmax.clone();
-                gpu.try_launch("bucket_minmax", stream_launch(n_cur), move |ctx| {
+                let contract = KernelContract::new("bucket_minmax")
+                    .reads(&input, Footprint::all())
+                    .reads(&keys, Footprint::all())
+                    .reads(&idxs, Footprint::all())
+                    .atomics(&minmax, Footprint::fixed(0, 2));
+                gpu.try_launch_checked(&contract, stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     let mut lo = u32::MAX;
@@ -152,7 +157,13 @@ fn run_loop(
                 let materialised = st.materialised;
                 let input = input.clone();
                 let hist = hist.clone();
-                gpu.try_launch("bucket_histogram", stream_launch(n_cur), move |ctx| {
+                let contract = KernelContract::new("bucket_histogram")
+                    .reads(&input, Footprint::all())
+                    .reads(&keys, Footprint::all())
+                    .reads(&idxs, Footprint::all())
+                    .atomics(&hist, Footprint::fixed(0, BUCKETS))
+                    .uses_shared_mem(BUCKETS * 4);
+                gpu.try_launch_checked(&contract, stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     let mut local = ctx.shared_alloc::<u32>(BUCKETS);
@@ -199,7 +210,17 @@ fn run_loop(
                 let out_idx = st.out_idx.clone();
                 let out_cursor = st.out_cursor.clone();
                 let cursors = cursors.clone();
-                gpu.try_launch("bucket_filter", stream_launch(n_cur), move |ctx| {
+                let contract = KernelContract::new("bucket_filter")
+                    .reads(&input, Footprint::all())
+                    .reads(&keys, Footprint::all())
+                    .reads(&idxs, Footprint::all())
+                    .atomics(&out_cursor, Footprint::elem(0))
+                    .atomics(&cursors, Footprint::elem(0))
+                    .writes_shared(&out_val, Footprint::all())
+                    .writes_shared(&out_idx, Footprint::all())
+                    .writes_shared(&nkeys, Footprint::all())
+                    .writes_shared(&nidx, Footprint::all());
+                gpu.try_launch_checked(&contract, stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     for i in start..end {

@@ -7,7 +7,7 @@
 //! tiny. This module holds the shared pieces: the ping-pong candidate
 //! buffers, the output cursor, and the final small-select kernel.
 
-use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract, LaunchConfig};
 use topk_core::bitonic::bitonic_sort;
 use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
@@ -152,27 +152,31 @@ pub fn final_small_select(
     let out_cursor = st.out_cursor.clone();
     let input = input.clone();
 
-    gpu.try_launch(
-        "final_small_select",
-        LaunchConfig::grid_1d(1, 256),
-        move |ctx| {
-            let padded = n_cur.next_power_of_two().max(1);
-            let mut k_buf = vec![u32::MAX; padded];
-            let mut i_buf = vec![0u32; padded];
-            for i in 0..n_cur {
-                let (kk, ii) = load_candidate(ctx, &input, &keys, &idxs, materialised, i);
-                k_buf[i] = kk;
-                i_buf[i] = ii;
-            }
-            let ops = bitonic_sort(&mut k_buf, &mut i_buf, true);
-            ctx.ops(ops);
-            let base = ctx.atomic_add(&out_cursor, 0, k_rem as u32) as usize;
-            for i in 0..k_rem {
-                ctx.st_scatter(&out_val, base + i, f32::from_ordered(k_buf[i]));
-                ctx.st_scatter(&out_idx, base + i, i_buf[i]);
-            }
-        },
-    )?;
+    let contract = KernelContract::new("final_small_select")
+        .reads(&input, Footprint::all())
+        .reads(&keys, Footprint::all())
+        .reads(&idxs, Footprint::all())
+        .atomics(&out_cursor, Footprint::elem(0))
+        .writes_shared(&out_val, Footprint::all())
+        .writes_shared(&out_idx, Footprint::all())
+        .requires_grid_at_most(1);
+    gpu.try_launch_checked(&contract, LaunchConfig::grid_1d(1, 256), move |ctx| {
+        let padded = n_cur.next_power_of_two().max(1);
+        let mut k_buf = vec![u32::MAX; padded];
+        let mut i_buf = vec![0u32; padded];
+        for i in 0..n_cur {
+            let (kk, ii) = load_candidate(ctx, &input, &keys, &idxs, materialised, i);
+            k_buf[i] = kk;
+            i_buf[i] = ii;
+        }
+        let ops = bitonic_sort(&mut k_buf, &mut i_buf, true);
+        ctx.ops(ops);
+        let base = ctx.atomic_add(&out_cursor, 0, k_rem as u32) as usize;
+        for i in 0..k_rem {
+            ctx.st_scatter(&out_val, base + i, f32::from_ordered(k_buf[i]));
+            ctx.st_scatter(&out_idx, base + i, i_buf[i]);
+        }
+    })?;
     Ok(())
 }
 
@@ -195,7 +199,14 @@ pub fn emit_all_candidates(
     let out_cursor = st.out_cursor.clone();
     let input = input.clone();
 
-    gpu.try_launch("emit_candidates", stream_launch(n_cur), move |ctx| {
+    let contract = KernelContract::new("emit_candidates")
+        .reads(&input, Footprint::all())
+        .reads(&keys, Footprint::all())
+        .reads(&idxs, Footprint::all())
+        .atomics(&out_cursor, Footprint::elem(0))
+        .writes_shared(&out_val, Footprint::all())
+        .writes_shared(&out_idx, Footprint::all());
+    gpu.try_launch_checked(&contract, stream_launch(n_cur), move |ctx| {
         let start = ctx.block_idx * STREAM_CHUNK;
         let end = (start + STREAM_CHUNK).min(n_cur);
         if start >= end {

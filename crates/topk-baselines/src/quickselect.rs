@@ -12,7 +12,7 @@ use crate::common::{
     emit_all_candidates, final_small_select, load_candidate, stream_launch, SelectionState,
     STREAM_CHUNK,
 };
-use gpu_sim::{Backend, BackendExt, DeviceBuffer};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract};
 use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
 use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
@@ -126,8 +126,14 @@ impl QuickSelect {
                 let pivot_buf = pivot_buf.clone();
                 let n_cur = st.n_cur;
                 let strategy = self.pivot;
-                gpu.try_launch(
-                    "quickselect_pick_pivot",
+                let contract = KernelContract::new("quickselect_pick_pivot")
+                    .reads(&input, Footprint::all())
+                    .reads(&keys, Footprint::all())
+                    .reads(&idxs, Footprint::all())
+                    .writes(&pivot_buf, Footprint::elem(0))
+                    .requires_grid_at_most(1);
+                gpu.try_launch_checked(
+                    &contract,
                     gpu_sim::LaunchConfig::grid_1d(1, 32),
                     move |ctx| {
                         let at = |ctx: &mut gpu_sim::BlockCtx, i: usize| {
@@ -169,7 +175,14 @@ impl QuickSelect {
                 let materialised = st.materialised;
                 let input = input.clone();
                 let counts = counts.clone();
-                gpu.try_launch("quickselect_partition", stream_launch(n_cur), move |ctx| {
+                let contract = KernelContract::new("quickselect_partition")
+                    .reads(&input, Footprint::all())
+                    .reads(&keys, Footprint::all())
+                    .reads(&idxs, Footprint::all())
+                    .atomics(&counts, Footprint::fixed(0, 4))
+                    .writes_shared(&nkeys, Footprint::all())
+                    .writes_shared(&nidx, Footprint::all());
+                gpu.try_launch_checked(&contract, stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     for i in start..end {
@@ -217,7 +230,17 @@ impl QuickSelect {
                 let out_cursor = st.out_cursor.clone();
                 let counts = counts.clone();
                 gpu.htod_into(&counts, &[0, 0, 0, 0]);
-                gpu.try_launch("quickselect_emit", stream_launch(n_cur), move |ctx| {
+                let contract = KernelContract::new("quickselect_emit")
+                    .reads(&input, Footprint::all())
+                    .reads(&keys, Footprint::all())
+                    .reads(&idxs, Footprint::all())
+                    .reads(&nkeys, Footprint::all())
+                    .reads(&nidx, Footprint::all())
+                    .atomics(&counts, Footprint::elem(0))
+                    .atomics(&out_cursor, Footprint::elem(0))
+                    .writes_shared(&out_val, Footprint::all())
+                    .writes_shared(&out_idx, Footprint::all());
+                gpu.try_launch_checked(&contract, stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     for i in start..end {
@@ -262,8 +285,17 @@ impl QuickSelect {
                     let out_val = st.out_val.clone();
                     let out_idx = st.out_idx.clone();
                     let out_cursor = st.out_cursor.clone();
-                    gpu.try_launch(
-                        "quickselect_emit_left",
+                    let contract = KernelContract::new("quickselect_emit_left")
+                        .reads(&input, Footprint::all())
+                        .reads(&keys, Footprint::all())
+                        .reads(&idxs, Footprint::all())
+                        .reads(&nkeys, Footprint::all())
+                        .reads(&nidx, Footprint::all())
+                        .atomics(&out_cursor, Footprint::elem(0))
+                        .writes_shared(&out_val, Footprint::all())
+                        .writes_shared(&out_idx, Footprint::all());
+                    gpu.try_launch_checked(
+                        &contract,
                         stream_launch(n_cur.max(below)),
                         move |ctx| {
                             let start = ctx.block_idx * STREAM_CHUNK;
@@ -300,7 +332,12 @@ impl QuickSelect {
                 let nidx = st.cand_idx[1 - st.cur].clone();
                 let dkeys = st.cand_keys[st.cur].clone();
                 let didx = st.cand_idx[st.cur].clone();
-                gpu.try_launch("quickselect_compact", stream_launch(above), move |ctx| {
+                let contract = KernelContract::new("quickselect_compact")
+                    .reads(&nkeys, Footprint::all())
+                    .reads(&nidx, Footprint::all())
+                    .writes(&dkeys, Footprint::tiles(STREAM_CHUNK))
+                    .writes(&didx, Footprint::tiles(STREAM_CHUNK));
+                gpu.try_launch_checked(&contract, stream_launch(above), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(above);
                     for i in start..end {

@@ -14,7 +14,7 @@
 //! and what this baseline exists to measure.
 
 use crate::common::{load_candidate, stream_launch, SelectionState, STREAM_CHUNK};
-use gpu_sim::{Backend, BackendExt, DeviceBuffer};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract};
 use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
 use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
@@ -89,7 +89,13 @@ fn run_passes(
                 let materialised = st.materialised;
                 let input = input.clone();
                 let hist = hist.clone();
-                gpu.try_launch("CalculateOccurrence", launch, move |ctx| {
+                let contract = KernelContract::new("CalculateOccurrence")
+                    .reads(&input, Footprint::all())
+                    .reads(&keys, Footprint::all())
+                    .reads(&idxs, Footprint::all())
+                    .atomics(&hist, Footprint::fixed(0, RADIX))
+                    .uses_shared_mem(RADIX * 4);
+                gpu.try_launch_checked(&contract, launch, move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     let mut local = ctx.shared_alloc::<u32>(RADIX);
@@ -145,7 +151,17 @@ fn run_passes(
                 // Tie quota on the final digit: result slots left after
                 // the sure (strictly-below) results are taken out.
                 let tie_quota = next_k as u32;
-                gpu.try_launch("Filter", launch, move |ctx| {
+                let contract = KernelContract::new("Filter")
+                    .reads(&input, Footprint::all())
+                    .reads(&keys, Footprint::all())
+                    .reads(&idxs, Footprint::all())
+                    .coordinates(&params, Footprint::fixed(0, 2))
+                    .atomics(&out_cursor, Footprint::elem(0))
+                    .writes_shared(&out_val, Footprint::all())
+                    .writes_shared(&out_idx, Footprint::all())
+                    .writes_shared(&nkeys, Footprint::all())
+                    .writes_shared(&nidx, Footprint::all());
+                gpu.try_launch_checked(&contract, launch, move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     let target = ctx.ld(&params, 0);

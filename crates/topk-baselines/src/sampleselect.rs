@@ -14,7 +14,7 @@ use crate::common::{
     emit_all_candidates, final_small_select, load_candidate, stream_launch, SelectionState,
     STREAM_CHUNK,
 };
-use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract, LaunchConfig};
 use topk_core::bitonic::bitonic_sort;
 use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
@@ -117,26 +117,27 @@ fn run_loop(
                 let materialised = st.materialised;
                 let input = input.clone();
                 let splitters = splitters.clone();
-                gpu.try_launch(
-                    "sample_sort_splitters",
-                    LaunchConfig::grid_1d(1, 256),
-                    move |ctx| {
-                        let stride = (n_cur / SAMPLES).max(1);
-                        let mut kb = vec![u32::MAX; SAMPLES.next_power_of_two()];
-                        let mut payload = vec![0u32; kb.len()];
-                        for (s, slot) in kb.iter_mut().enumerate().take(SAMPLES) {
-                            let i = (s * stride).min(n_cur - 1);
-                            let (bits, _) =
-                                load_candidate(ctx, &input, &keys, &idxs, materialised, i);
-                            *slot = bits;
-                        }
-                        let ops = bitonic_sort(&mut kb, &mut payload, true);
-                        ctx.ops(ops);
-                        for (s, &key) in kb.iter().enumerate().take(SAMPLES) {
-                            ctx.st(&splitters, s, key);
-                        }
-                    },
-                )?;
+                let contract = KernelContract::new("sample_sort_splitters")
+                    .reads(&input, Footprint::all())
+                    .reads(&keys, Footprint::all())
+                    .reads(&idxs, Footprint::all())
+                    .writes(&splitters, Footprint::fixed(0, SAMPLES))
+                    .requires_grid_at_most(1);
+                gpu.try_launch_checked(&contract, LaunchConfig::grid_1d(1, 256), move |ctx| {
+                    let stride = (n_cur / SAMPLES).max(1);
+                    let mut kb = vec![u32::MAX; SAMPLES.next_power_of_two()];
+                    let mut payload = vec![0u32; kb.len()];
+                    for (s, slot) in kb.iter_mut().enumerate().take(SAMPLES) {
+                        let i = (s * stride).min(n_cur - 1);
+                        let (bits, _) = load_candidate(ctx, &input, &keys, &idxs, materialised, i);
+                        *slot = bits;
+                    }
+                    let ops = bitonic_sort(&mut kb, &mut payload, true);
+                    ctx.ops(ops);
+                    for (s, &key) in kb.iter().enumerate().take(SAMPLES) {
+                        ctx.st(&splitters, s, key);
+                    }
+                })?;
             }
 
             // Kernel 2: histogram by binary search over the splitters.
@@ -148,7 +149,14 @@ fn run_loop(
                 let input = input.clone();
                 let splitters = splitters.clone();
                 let hist = hist.clone();
-                gpu.try_launch("sample_histogram", stream_launch(n_cur), move |ctx| {
+                let contract = KernelContract::new("sample_histogram")
+                    .reads(&input, Footprint::all())
+                    .reads(&keys, Footprint::all())
+                    .reads(&idxs, Footprint::all())
+                    .reads(&splitters, Footprint::fixed(0, SAMPLES))
+                    .atomics(&hist, Footprint::fixed(0, SAMPLES + 1))
+                    .uses_shared_mem((SAMPLES * 2 + 1) * 4);
+                gpu.try_launch_checked(&contract, stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     // Splitters are read once into shared memory by a
@@ -202,7 +210,19 @@ fn run_loop(
                 let out_cursor = st.out_cursor.clone();
                 let cursor = cursor.clone();
                 let splitters = splitters.clone();
-                gpu.try_launch("sample_filter", stream_launch(n_cur), move |ctx| {
+                let contract = KernelContract::new("sample_filter")
+                    .reads(&input, Footprint::all())
+                    .reads(&keys, Footprint::all())
+                    .reads(&idxs, Footprint::all())
+                    .reads(&splitters, Footprint::fixed(0, SAMPLES))
+                    .atomics(&out_cursor, Footprint::elem(0))
+                    .atomics(&cursor, Footprint::elem(0))
+                    .writes_shared(&out_val, Footprint::all())
+                    .writes_shared(&out_idx, Footprint::all())
+                    .writes_shared(&nkeys, Footprint::all())
+                    .writes_shared(&nidx, Footprint::all())
+                    .uses_shared_mem(SAMPLES * 4);
+                gpu.try_launch_checked(&contract, stream_launch(n_cur), move |ctx| {
                     let start = ctx.block_idx * STREAM_CHUNK;
                     let end = (start + STREAM_CHUNK).min(n_cur);
                     let mut spl = ctx.shared_alloc::<u32>(SAMPLES);

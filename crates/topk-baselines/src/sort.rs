@@ -19,7 +19,7 @@
 //! would unfairly slow this baseline by ~4× relative to its measured
 //! behaviour.
 
-use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract, LaunchConfig};
 use topk_core::error::TopKError;
 use topk_core::keys::RadixKey;
 use topk_core::scratch::ScratchGuard;
@@ -99,7 +99,16 @@ fn segmented_sort_passes(
         {
             let keys_src = keys[src].clone();
             let hist = hist.clone();
-            gpu.try_launch("radix_sort_histogram", launch, move |ctx| {
+            let mut contract = KernelContract::new("radix_sort_histogram")
+                // Each block's histogram slots stay inside its own
+                // segment's hist slice; counts are merged atomically.
+                .atomics(&hist, Footprint::per_group(bpp, RADIX * bpp))
+                .reads(&keys_src, Footprint::all())
+                .uses_shared_mem(RADIX * 4);
+            for input in inputs {
+                contract = contract.reads(input, Footprint::all());
+            }
+            gpu.try_launch_checked(&contract, launch, move |ctx| {
                 let seg = ctx.block_idx / bpp;
                 let blk = ctx.block_idx % bpp;
                 let start = blk * CHUNK;
@@ -129,21 +138,20 @@ fn segmented_sort_passes(
         {
             let hist = hist.clone();
             let offsets = offsets.clone();
-            gpu.try_launch(
-                "radix_sort_scan",
-                LaunchConfig::grid_1d(batch, 256),
-                move |ctx| {
-                    let seg = ctx.block_idx;
-                    let base = seg * RADIX * bpp;
-                    let mut acc = 0u32;
-                    for slot in 0..RADIX * bpp {
-                        let h = ctx.ld(&hist, base + slot);
-                        ctx.st(&offsets, base + slot, acc);
-                        acc += h;
-                    }
-                    ctx.ops((RADIX * bpp) as u64 * 2);
-                },
-            )?;
+            let contract = KernelContract::new("radix_sort_scan")
+                .reads(&hist, Footprint::per_block(RADIX * bpp))
+                .writes(&offsets, Footprint::per_block(RADIX * bpp));
+            gpu.try_launch_checked(&contract, LaunchConfig::grid_1d(batch, 256), move |ctx| {
+                let seg = ctx.block_idx;
+                let base = seg * RADIX * bpp;
+                let mut acc = 0u32;
+                for slot in 0..RADIX * bpp {
+                    let h = ctx.ld(&hist, base + slot);
+                    ctx.st(&offsets, base + slot, acc);
+                    acc += h;
+                }
+                ctx.ops((RADIX * bpp) as u64 * 2);
+            })?;
         }
 
         // Kernel 3: stable scatter within each segment.
@@ -153,7 +161,19 @@ fn segmented_sort_passes(
             let keys_dst = keys[dst].clone();
             let vals_dst = vals[dst].clone();
             let offsets = offsets.clone();
-            gpu.try_launch("radix_sort_scatter", launch, move |ctx| {
+            let mut contract = KernelContract::new("radix_sort_scatter")
+                .reads(&keys_src, Footprint::all())
+                .reads(&vals_src, Footprint::all())
+                .reads(&offsets, Footprint::per_group(bpp, RADIX * bpp))
+                // Blocks of one segment scatter into the segment's slice
+                // at positions the scan made disjoint dynamically.
+                .writes_shared(&keys_dst, Footprint::per_group(bpp, n))
+                .writes_shared(&vals_dst, Footprint::per_group(bpp, n))
+                .uses_shared_mem(RADIX * 4);
+            for input in inputs {
+                contract = contract.reads(input, Footprint::all());
+            }
+            gpu.try_launch_checked(&contract, launch, move |ctx| {
                 let seg = ctx.block_idx / bpp;
                 let blk = ctx.block_idx % bpp;
                 let start = blk * CHUNK;
@@ -207,8 +227,13 @@ fn extract(
         let out_idx = ws.alloc::<u32>(gpu, "sort_out_idx", batch * k)?;
         let (sk, si) = (sorted_keys.clone(), sorted_idx.clone());
         let (ov, oi) = (out_val.clone(), out_idx.clone());
-        gpu.try_launch(
-            "extract_topk",
+        let contract = KernelContract::new("extract_topk")
+            .reads(&sk, Footprint::all())
+            .reads(&si, Footprint::all())
+            .writes(&ov, Footprint::tiles(256))
+            .writes(&oi, Footprint::tiles(256));
+        gpu.try_launch_checked(
+            &contract,
             LaunchConfig::for_elements(batch * k, 256, 1, usize::MAX),
             move |ctx| {
                 let start = ctx.block_idx * 256;

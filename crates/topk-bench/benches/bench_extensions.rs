@@ -68,10 +68,16 @@ fn bench_on_the_fly(c: &mut Criterion) {
         b.iter(|| {
             let mut gpu = Gpu::new(DeviceSpec::a100());
             gpu.reset_profile();
-            let out = GridSelect::default().select_on_the_fly(&mut gpu, n, k, |ctx, i| {
-                ctx.ops(2);
-                ((i as f32) * 0.61803).fract()
-            });
+            let out = GridSelect::default().select_on_the_fly(
+                &mut gpu,
+                n,
+                k,
+                |ctx, i| {
+                    ctx.ops(2);
+                    ((i as f32) * 0.61803).fract()
+                },
+                |c| c, // the producer reads no device buffers
+            );
             black_box((out.unwrap().values.len(), gpu.elapsed_us()))
         });
     });

@@ -21,7 +21,7 @@
 //!   sanitize [--matrix smoke|full]  run every algorithm under the gpu-sim sanitizer
 //!   baseline [--out FILE] | baseline --check [--file FILE]
 //!                         run the adversarial shape matrix through static and
-//!                         tuned dispatch; write or check BENCH_7.json
+//!                         tuned dispatch; write or check BENCH_10.json
 //!   report [--out DIR]    build DIR/report.html (inline-SVG charts) from the CSVs
 //! ```
 //!
@@ -127,7 +127,7 @@ fn main() {
         // failures to warnings (the documented override for intentional
         // tradeoffs — regenerate and commit the file to record them).
         let check_mode = args.iter().any(|a| a == "--check");
-        let mut file = PathBuf::from("BENCH_7.json");
+        let mut file = PathBuf::from("BENCH_10.json");
         for flag in ["--out", "--file"] {
             if let Some(i) = args.iter().position(|a| a == flag) {
                 file = PathBuf::from(args.get(i + 1).unwrap_or_else(|| usage()));

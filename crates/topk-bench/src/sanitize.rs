@@ -1,6 +1,6 @@
 //! `topk-bench sanitize` — the correctness gate that runs every
 //! algorithm under the gpu-sim sanitizer (racecheck + initcheck +
-//! memcheck) and fails on any finding.
+//! memcheck + contract conformance) and fails on any finding.
 //!
 //! The §5.1 `verify` gate proves the *answers* are right; this gate
 //! proves the *executions* are clean: no cross-block data races, no
@@ -8,7 +8,10 @@
 //! use-after-free accesses. Both can disagree — a racy kernel can
 //! still produce correct output on the simulator's schedule — which is
 //! exactly why real GPU projects run compute-sanitizer in CI next to
-//! their unit tests.
+//! their unit tests. With contracts armed, every launch is also checked
+//! statically against its declared [`gpu_sim::KernelContract`] and
+//! dynamically for conformance (observed accesses ⊆ declared
+//! footprints), so the contract annotations cannot rot.
 //!
 //! Two matrices:
 //!
@@ -24,7 +27,7 @@
 
 use datagen::Distribution;
 use gpu_sim::device::WARP_SIZE;
-use gpu_sim::{DeviceSpec, Gpu, LaunchConfig, SanitizerMode};
+use gpu_sim::{DeviceSpec, Footprint, Gpu, KernelContract, LaunchConfig, SanitizerMode};
 use topk_core::{AirTopK, TopKAlgorithm, WarpSelector};
 use topk_engine::{EngineConfig, FaultPlan, TopKEngine};
 use topk_hybrid::DrTopK;
@@ -127,7 +130,7 @@ fn sanitize_config(
     summary: &mut SanitizeSummary,
 ) {
     let mut gpu = Gpu::new(DeviceSpec::a100());
-    gpu.enable_sanitizer(SanitizerMode::full());
+    gpu.enable_sanitizer(SanitizerMode::full().with_contracts());
 
     let tag = format!("{} N={n} K={k} batch={batch}", alg.name());
     let result = if batch == 1 {
@@ -183,7 +186,7 @@ fn sanitize_chaos_drain(seed: u64, queries: usize, summary: &mut SanitizeSummary
         .with_queue_capacity(workload.len().max(1))
         .with_faults(FaultPlan::chaos(seed, 0.10))
         .with_recall_target(0.95)
-        .with_sanitizer(SanitizerMode::full());
+        .with_sanitizer(SanitizerMode::full().with_contracts());
     let mut engine = TopKEngine::new(cfg);
     for (data, k) in &workload {
         engine
@@ -226,14 +229,23 @@ fn sanitize_streaming_window(window: usize, k: usize, summary: &mut SanitizeSumm
     let n = hops * window;
     let k = k.min(window);
     let mut gpu = Gpu::new(DeviceSpec::a100());
-    gpu.enable_sanitizer(SanitizerMode::full());
+    gpu.enable_sanitizer(SanitizerMode::full().with_contracts());
     let data = datagen::generate(Distribution::Uniform, n, window as u64);
     let input = gpu.htod("stream", &data);
     let out_val = gpu.alloc::<f32>("win_val", hops * k);
     let out_idx = gpu.alloc::<u32>("win_idx", hops * k);
     let (ovc, oic) = (out_val.clone(), out_idx.clone());
-    gpu.launch(
-        "stream_window",
+    // One block per window: block b reads exactly its window of the
+    // stream and writes exactly its K result slots. The selector keeps
+    // its list (rounded up to a power of two) plus a 32-slot staging
+    // queue in shared memory, 8 bytes per entry.
+    let contract = KernelContract::new("stream_window")
+        .reads(&input, Footprint::per_block(window))
+        .writes(&out_val, Footprint::per_block(k))
+        .writes(&out_idx, Footprint::per_block(k))
+        .uses_shared_mem((k.next_power_of_two() + WARP_SIZE) * 8);
+    gpu.launch_checked(
+        &contract,
         LaunchConfig::grid_1d(hops, WARP_SIZE),
         move |ctx| {
             let start = ctx.block_idx * window;

@@ -35,7 +35,7 @@ use crate::keys::{digit_of, digit_width_of, num_passes_of, prefix_of, RadixKey};
 use crate::obs;
 use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput, TypedOutput};
-use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract, LaunchConfig};
 use std::sync::atomic::Ordering::Relaxed;
 
 /// Tuning knobs for [`AirTopK`]. Defaults follow the paper: 11-bit
@@ -127,6 +127,16 @@ impl<'a, T: RadixKey> Rows<'a, T> {
         match self {
             Rows::Slices(v) => v.first().map_or(0, |b| b.len()),
             Rows::Matrix(m) => m.cols(),
+        }
+    }
+
+    /// Declare every backing buffer of this row set as a read in `c`.
+    /// Which row a block loads is launch-geometry-dependent, so the
+    /// honest static footprint is `all`.
+    pub(crate) fn declare_reads(&self, c: KernelContract) -> KernelContract {
+        match self {
+            Rows::Slices(v) => v.iter().fold(c, |c, b| c.reads(b, Footprint::all())),
+            Rows::Matrix(m) => c.reads(m.buffer(), Footprint::all()),
         }
     }
 }
@@ -293,8 +303,11 @@ impl AirTopK {
             let vals = vals.clone();
             let acc = acc.clone();
             let width = vals.len();
-            gpu.try_launch(
-                "kth_value_reduce",
+            let contract = KernelContract::new("kth_value_reduce")
+                .reads(&vals, Footprint::tiles(256 * 4))
+                .atomics(&acc, Footprint::elem(0));
+            gpu.try_launch_checked(
+                &contract,
                 LaunchConfig::for_elements(width, 256, 4, usize::MAX),
                 move |ctx| {
                     let chunk = 256 * 4;
@@ -624,12 +637,58 @@ impl AirTopK {
                     }
                 }
             };
-            gpu.try_launch("iteration_fused_kernel", launch, kernel)?;
+            let (read_sel, write_sel) = ((pass + 1) % 2, pass % 2);
+            let contract = inputs
+                .declare_reads(KernelContract::new("iteration_fused_kernel"))
+                .coordinates(&ctrl, Footprint::per_group(blocks_per_problem, ctrl_stride))
+                .coordinates(&prefixes, Footprint::per_group(blocks_per_problem, passes))
+                .coordinates(
+                    &hist,
+                    Footprint::group_slice(blocks_per_problem, pass * radix, passes * radix, radix),
+                )
+                .atomics(
+                    &done,
+                    Footprint::group_slice(blocks_per_problem, pass, passes, 1),
+                )
+                .reads(
+                    &buf_val[read_sel],
+                    Footprint::per_group(blocks_per_problem, cap),
+                )
+                .reads(
+                    &buf_idx[read_sel],
+                    Footprint::per_group(blocks_per_problem, cap),
+                )
+                .writes_shared(
+                    &buf_val[write_sel],
+                    Footprint::per_group(blocks_per_problem, cap),
+                )
+                .writes_shared(
+                    &buf_idx[write_sel],
+                    Footprint::per_group(blocks_per_problem, cap),
+                )
+                .writes_shared(&out_val, Footprint::per_group(blocks_per_problem, k))
+                .writes_shared(&out_idx, Footprint::per_group(blocks_per_problem, k))
+                .uses_shared_mem(radix * 4);
+            gpu.try_launch_checked(&contract, launch, kernel)?;
         }
 
         // ---- the last filter (§2.3's final "Filtering" step) --------
         let last = passes - 1;
-        gpu.try_launch("last_filter_kernel", launch, |ctx| {
+        let contract = inputs
+            .declare_reads(KernelContract::new("last_filter_kernel"))
+            .coordinates(&ctrl, Footprint::per_group(blocks_per_problem, ctrl_stride))
+            .reads(&prefixes, Footprint::per_group(blocks_per_problem, passes))
+            .reads(
+                &buf_val[last % 2],
+                Footprint::per_group(blocks_per_problem, cap),
+            )
+            .reads(
+                &buf_idx[last % 2],
+                Footprint::per_group(blocks_per_problem, cap),
+            )
+            .writes_shared(&out_val, Footprint::per_group(blocks_per_problem, k))
+            .writes_shared(&out_idx, Footprint::per_group(blocks_per_problem, k));
+        gpu.try_launch_checked(&contract, launch, |ctx| {
             let prob = ctx.block_idx / blocks_per_problem;
             let blk = ctx.block_idx % blocks_per_problem;
             let cb = prob * ctrl_stride;
@@ -724,8 +783,14 @@ impl AirTopK {
         let chunk = 256 * 16;
         let bpp = n.div_ceil(chunk).max(1);
         let (ov, oi) = (out_val.clone(), out_idx.clone());
-        let launched = gpu.try_launch(
-            "trivial_copy_kernel",
+        // A problem's bpp blocks cover its n-slot row with clamped
+        // chunks — group-affine, block-coordinated within the row.
+        let contract = inputs
+            .declare_reads(KernelContract::new("trivial_copy_kernel"))
+            .writes_shared(&ov, Footprint::per_group(bpp, n))
+            .writes_shared(&oi, Footprint::per_group(bpp, n));
+        let launched = gpu.try_launch_checked(
+            &contract,
             LaunchConfig::grid_1d(batch * bpp, 256),
             move |ctx| {
                 let prob = ctx.block_idx / bpp;
@@ -777,8 +842,13 @@ impl AirTopK {
 
         let ov = out_val.clone();
         let oi = out_idx.clone();
-        let launched = gpu.try_launch(
-            "radix_topk_one_block_kernel",
+        let contract = inputs
+            .declare_reads(KernelContract::new("radix_topk_one_block_kernel"))
+            .writes(&ov, Footprint::per_block(k))
+            .writes(&oi, Footprint::per_block(k))
+            .uses_shared_mem(n * (std::mem::size_of::<T::Ordered>() + 4));
+        let launched = gpu.try_launch_checked(
+            &contract,
             LaunchConfig::grid_1d(batch, block_dim),
             move |ctx| {
                 let prob = ctx.block_idx;
@@ -795,6 +865,10 @@ impl AirTopK {
                     cand_idx[i] = i as u32;
                 }
                 ctx.ops(2 * n as u64);
+                // Barrier between the cooperative load and the pass
+                // loop (uniform: every block syncs exactly once — the
+                // early-stop break is *after* this point).
+                ctx.block_sync();
 
                 let mut count = n;
                 let mut k_rem = k as u32;

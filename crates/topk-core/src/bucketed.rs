@@ -26,7 +26,7 @@ use crate::obs;
 use crate::recall::{expected_recall_parts, BucketedPlan};
 use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput};
-use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract, LaunchConfig};
 use std::sync::atomic::Ordering::Relaxed;
 
 /// The bucketed approximate selector (see module docs).
@@ -143,8 +143,16 @@ impl BucketedTopK {
         };
 
         let (ov, oi) = (out_val.clone(), out_idx.clone());
-        let launched = gpu.try_launch(
-            "bucketed_topk_kernel",
+        // The `buckets` blocks of one row partition that row's k output
+        // slots by a static take-split; group-affine, not block-affine,
+        // so the write is declared row-coordinated.
+        let contract = inputs
+            .declare_reads(KernelContract::new("bucketed_topk_kernel"))
+            .writes_shared(&ov, Footprint::per_group(buckets, k))
+            .writes_shared(&oi, Footprint::per_group(buckets, k))
+            .uses_shared_mem(shared_needed);
+        let launched = gpu.try_launch_checked(
+            &contract,
             LaunchConfig::grid_1d(batch * buckets, self.block_dim),
             move |ctx| {
                 let row = ctx.block_idx / buckets;

@@ -35,7 +35,10 @@ use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput, TypedOutput};
 use gpu_sim::device::WARP_SIZE;
 use gpu_sim::warp::{ballot, lane_rank, Lanes};
-use gpu_sim::{Backend, BackendExt, BlockCtx, DeviceBuffer, DeviceScalar, LaunchConfig};
+use gpu_sim::{
+    Backend, BackendExt, BlockCtx, DeviceBuffer, DeviceScalar, Footprint, KernelContract,
+    LaunchConfig,
+};
 use std::sync::atomic::Ordering::Relaxed;
 
 /// Largest K the WarpSelect family supports (§2.2: limited by
@@ -102,12 +105,20 @@ impl Default for GridSelectConfig {
 /// let out = GridSelect::default().select(&mut gpu, &input, 10);
 /// verify_topk(&data, 10, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
 ///
-/// // Or fuse selection with the computation that produces the values:
+/// // Or fuse selection with the computation that produces the values
+/// // (the last argument declares which device buffers the producer
+/// // reads — none here):
 /// let out = GridSelect::default()
-///     .select_on_the_fly(&mut gpu, 20_000, 10, |ctx, i| {
-///         ctx.ops(1);
-///         ((i * 131) % 7919) as f32
-///     })
+///     .select_on_the_fly(
+///         &mut gpu,
+///         20_000,
+///         10,
+///         |ctx, i| {
+///             ctx.ops(1);
+///             ((i * 131) % 7919) as f32
+///         },
+///         |c| c,
+///     )
 ///     .unwrap();
 /// verify_topk(&data, 10, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
 /// ```
@@ -145,15 +156,20 @@ impl GridSelect {
     /// the kernel — the values never need to exist in device memory.
     /// Use this to fuse selection with the computation that generates
     /// the scores (distances, model outputs, …).
-    pub fn select_on_the_fly<P>(
+    /// `declare_reads` names the device buffers the producer loads
+    /// from (`|c| c.reads(&buf, Footprint::all())`), for the launch
+    /// contract — only the caller knows what backs the computation.
+    pub fn select_on_the_fly<P, D>(
         &self,
         gpu: &mut dyn Backend,
         n: usize,
         k: usize,
         producer: P,
+        declare_reads: D,
     ) -> Result<TopKOutput, TopKError>
     where
         P: Fn(&mut BlockCtx<'_>, usize) -> f32 + Sync,
+        D: Fn(KernelContract) -> KernelContract,
     {
         let mut outs = select_streaming_core(
             gpu,
@@ -163,6 +179,7 @@ impl GridSelect {
             k,
             &self.cfg,
             |ctx, _prob, i| producer(ctx, i),
+            declare_reads,
         )?;
         outs.pop().ok_or_else(|| TopKError::UnsupportedShape {
             algorithm: self.name(),
@@ -220,6 +237,7 @@ impl GridSelect {
             k,
             &self.cfg,
             |ctx, prob, i| ctx.ld(&inputs[prob], i),
+            |c| inputs.iter().fold(c, |c, b| c.reads(b, Footprint::all())),
         )
     }
 
@@ -244,6 +262,7 @@ impl GridSelect {
             k,
             &self.cfg,
             |ctx, prob, i| ctx.ld(input.buffer(), prob * cols + i),
+            |c| c.reads(input.buffer(), Footprint::all()),
         )
     }
 }
@@ -410,9 +429,16 @@ pub fn select_partial_core(
             ),
         });
     }
-    select_streaming_core(gpu, name, n, inputs.len(), k, cfg, |ctx, prob, i| {
-        ctx.ld(&inputs[prob], i)
-    })
+    select_streaming_core(
+        gpu,
+        name,
+        n,
+        inputs.len(),
+        k,
+        cfg,
+        |ctx, prob, i| ctx.ld(&inputs[prob], i),
+        |c| inputs.iter().fold(c, |c, b| c.reads(b, Footprint::all())),
+    )
 }
 
 /// The fully general core: values come from a *producer* closure
@@ -421,7 +447,8 @@ pub fn select_partial_core(
 /// element index (lockstep within warps) and may do arbitrary metered
 /// work, e.g. compute a query-to-vector distance; the produced value
 /// never needs to exist in device memory.
-pub fn select_streaming_core<P>(
+#[allow(clippy::too_many_arguments)]
+pub fn select_streaming_core<P, D>(
     gpu: &mut dyn Backend,
     name: &str,
     n: usize,
@@ -429,12 +456,14 @@ pub fn select_streaming_core<P>(
     k: usize,
     cfg: &GridSelectConfig,
     producer: P,
+    declare_reads: D,
 ) -> Result<Vec<TopKOutput>, TopKError>
 where
     P: Fn(&mut BlockCtx<'_>, usize, usize) -> f32 + Sync,
+    D: Fn(KernelContract) -> KernelContract,
 {
     Ok(
-        select_streaming_core_typed(gpu, name, n, batch, k, cfg, producer)?
+        select_streaming_core_typed(gpu, name, n, batch, k, cfg, producer, declare_reads)?
             .into_iter()
             .map(|(values, indices)| TopKOutput::new(values, indices))
             .collect(),
@@ -446,7 +475,8 @@ where
 /// keys double the per-warp shared-memory footprint, which the cost
 /// model turns into lower occupancy — the same trade a real
 /// implementation makes.
-pub fn select_streaming_core_typed<T, P>(
+#[allow(clippy::too_many_arguments)]
+pub fn select_streaming_core_typed<T, P, D>(
     gpu: &mut dyn Backend,
     name: &str,
     n: usize,
@@ -454,11 +484,13 @@ pub fn select_streaming_core_typed<T, P>(
     k: usize,
     cfg: &GridSelectConfig,
     producer: P,
+    declare_reads: D,
 ) -> Result<Vec<TypedOutput<T>>, TopKError>
 where
     T: RadixKey,
     T::Ordered: DeviceScalar,
     P: Fn(&mut BlockCtx<'_>, usize, usize) -> T + Sync,
+    D: Fn(KernelContract) -> KernelContract,
 {
     if batch < 1 {
         return Err(TopKError::UnsupportedShape {
@@ -471,7 +503,18 @@ where
     }
     let mut ws = ScratchGuard::new();
     let mut outs = ScratchGuard::new();
-    let r = streaming_core_launches(gpu, &mut ws, &mut outs, name, n, batch, k, cfg, producer);
+    let r = streaming_core_launches(
+        gpu,
+        &mut ws,
+        &mut outs,
+        name,
+        n,
+        batch,
+        k,
+        cfg,
+        producer,
+        declare_reads,
+    );
     ws.release(gpu);
     if r.is_err() {
         outs.release(gpu);
@@ -483,7 +526,7 @@ where
 /// goes through `ws`, result buffers through `outs`, so the caller can
 /// release either group on any exit path.
 #[allow(clippy::too_many_arguments)]
-fn streaming_core_launches<T, P>(
+fn streaming_core_launches<T, P, D>(
     gpu: &mut dyn Backend,
     ws: &mut ScratchGuard,
     outs: &mut ScratchGuard,
@@ -493,11 +536,13 @@ fn streaming_core_launches<T, P>(
     k: usize,
     cfg: &GridSelectConfig,
     producer: P,
+    declare_reads: D,
 ) -> Result<Vec<TypedOutput<T>>, TopKError>
 where
     T: RadixKey,
     T::Ordered: DeviceScalar,
     P: Fn(&mut BlockCtx<'_>, usize, usize) -> T + Sync,
+    D: Fn(KernelContract) -> KernelContract,
 {
     let klen = k.next_power_of_two();
     let warps = cfg.warps_per_block;
@@ -530,7 +575,24 @@ where
     let queue = cfg.queue;
     let ipt = cfg.items_per_thread;
 
-    gpu.try_launch(name, LaunchConfig::grid_1d(grid, block_dim), |ctx| {
+    let queue_slots = match queue {
+        QueueKind::Shared { len } => len,
+        QueueKind::PerThread { len } => len * WARP_SIZE,
+    };
+    let entry_bytes = std::mem::size_of::<T::Ordered>() + 4;
+    // Which problem's output a block writes is `block / bpp` — fixed
+    // per buffer but not expressible per-entry, so the k-slot outputs
+    // are declared block-coordinated rather than exclusive.
+    let mut contract = declare_reads(KernelContract::new(name))
+        .writes(&scratch_keys, Footprint::per_block(klen))
+        .writes(&scratch_idx, Footprint::per_block(klen))
+        .uses_shared_mem(warps * (klen + queue_slots) * entry_bytes);
+    for p in 0..batch {
+        contract = contract
+            .writes_shared(&out_val[p], Footprint::fixed(0, k))
+            .writes_shared(&out_idx[p], Footprint::fixed(0, k));
+    }
+    gpu.try_launch_checked(&contract, LaunchConfig::grid_1d(grid, block_dim), |ctx| {
         let prob = ctx.block_idx / bpp;
         let blk = ctx.block_idx % bpp;
 
@@ -607,8 +669,16 @@ where
         let groups = lists.div_ceil(MERGE_FANIN);
         let cur = lists;
         let step = stride;
-        gpu.try_launch(
-            "gridselect_merge_kernel",
+        let mut contract = KernelContract::new("gridselect_merge_kernel")
+            .coordinates(&scratch_keys, Footprint::per_group(groups, bpp * klen))
+            .coordinates(&scratch_idx, Footprint::per_group(groups, bpp * klen));
+        for p in 0..batch {
+            contract = contract
+                .writes_shared(&out_val[p], Footprint::fixed(0, k))
+                .writes_shared(&out_idx[p], Footprint::fixed(0, k));
+        }
+        gpu.try_launch_checked(
+            &contract,
             LaunchConfig::grid_1d(batch * groups, 256),
             |ctx| {
                 let prob = ctx.block_idx / groups;

@@ -174,10 +174,16 @@ fn on_the_fly_matches_buffered_selection() {
     let mut g = gpu();
     g.reset_profile();
     let out = GridSelect::default()
-        .select_on_the_fly(&mut g, n, k, |ctx, i| {
-            ctx.ops(4); // the producer's own compute
-            score(i)
-        })
+        .select_on_the_fly(
+            &mut g,
+            n,
+            k,
+            |ctx, i| {
+                ctx.ops(4); // the producer's own compute
+                score(i)
+            },
+            |c| c, // the producer reads no device buffers
+        )
         .unwrap();
     verify_topk(&data, k, &out.values.to_vec(), &out.indices.to_vec()).unwrap();
     // No N-sized input buffer was ever read.

@@ -19,7 +19,7 @@
 use crate::error::TopKError;
 use crate::keys::RadixKey;
 use crate::traits::{Category, TopKAlgorithm, TopKOutput};
-use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract, LaunchConfig};
 
 /// Total-order negation on f32: maps x so that the smallest-K of the
 /// mapped values are the largest-K of the originals, bijectively.
@@ -65,8 +65,11 @@ impl<A: TopKAlgorithm> SelectLargest<A> {
         let out = gpu.try_alloc::<f32>("neg_keys", n)?;
         let inp = input.clone();
         let o = out.clone();
-        let launched = gpu.try_launch(
-            "order_negate",
+        let contract = KernelContract::new("order_negate")
+            .reads(&inp, Footprint::tiles(256 * 8))
+            .writes(&o, Footprint::tiles(256 * 8));
+        let launched = gpu.try_launch_checked(
+            &contract,
             LaunchConfig::for_elements(n, 256, 8, usize::MAX),
             move |ctx| {
                 let chunk = 256 * 8;
@@ -91,8 +94,11 @@ impl<A: TopKAlgorithm> SelectLargest<A> {
         let fixed = gpu.try_alloc::<f32>("restored_values", k)?;
         let src = out.values.clone();
         let dst = fixed.clone();
-        let launched = gpu.try_launch(
-            "order_negate_back",
+        let contract = KernelContract::new("order_negate_back")
+            .reads(&src, Footprint::tiles(256))
+            .writes(&dst, Footprint::tiles(256));
+        let launched = gpu.try_launch_checked(
+            &contract,
             LaunchConfig::for_elements(k, 256, 1, usize::MAX),
             move |ctx| {
                 let start = ctx.block_idx * 256;

@@ -37,7 +37,7 @@ use crate::keys::{common_prefix_len_of, digit_at, num_passes_of, OrderedBits, Ra
 use crate::obs;
 use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput, TypedOutput};
-use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract, LaunchConfig};
 use std::sync::atomic::Ordering::Relaxed;
 
 /// Tuning knobs for [`RadiK`]. Defaults match [`crate::air::AirConfig`]
@@ -323,7 +323,14 @@ impl RadiK {
         let alpha = self.cfg.alpha;
 
         // ---- sketch pass: global min/max → starting offset ---------
-        gpu.try_launch("radik_sketch_kernel", launch, |ctx| {
+        let contract = inputs
+            .declare_reads(KernelContract::new("radik_sketch_kernel"))
+            .coordinates(&gmin, Footprint::per_group(blocks_per_problem, 1))
+            .coordinates(&gmax, Footprint::per_group(blocks_per_problem, 1))
+            .atomics(&sketch_done, Footprint::per_group(blocks_per_problem, 1))
+            .writes_shared(&ctrl, Footprint::per_group(blocks_per_problem, ctrl_stride))
+            .writes_shared(&pvals, Footprint::per_group(blocks_per_problem, rounds + 1));
+        gpu.try_launch_checked(&contract, launch, |ctx| {
             let prob = ctx.block_idx / blocks_per_problem;
             let blk = ctx.block_idx % blocks_per_problem;
             let start = blk * chunk;
@@ -600,14 +607,74 @@ impl RadiK {
                     ctx.ops(8);
                 }
             };
-            gpu.try_launch("radik_round_kernel", launch, kernel)?;
+            let (read_sel, write_sel) = ((round + 1) % 2, round % 2);
+            let contract = inputs
+                .declare_reads(KernelContract::new("radik_round_kernel"))
+                .coordinates(&ctrl, Footprint::per_group(blocks_per_problem, ctrl_stride))
+                .coordinates(&pvals, Footprint::per_group(blocks_per_problem, rounds + 1))
+                .coordinates(
+                    &hist,
+                    Footprint::group_slice(
+                        blocks_per_problem,
+                        round * radix,
+                        rounds * radix,
+                        radix,
+                    ),
+                )
+                .coordinates(
+                    &minb,
+                    Footprint::group_slice(blocks_per_problem, round, rounds, 1),
+                )
+                .coordinates(
+                    &maxb,
+                    Footprint::group_slice(blocks_per_problem, round, rounds, 1),
+                )
+                .atomics(
+                    &done,
+                    Footprint::group_slice(blocks_per_problem, round, rounds, 1),
+                )
+                .reads(
+                    &buf_val[read_sel],
+                    Footprint::per_group(blocks_per_problem, cap),
+                )
+                .reads(
+                    &buf_idx[read_sel],
+                    Footprint::per_group(blocks_per_problem, cap),
+                )
+                .writes_shared(
+                    &buf_val[write_sel],
+                    Footprint::per_group(blocks_per_problem, cap),
+                )
+                .writes_shared(
+                    &buf_idx[write_sel],
+                    Footprint::per_group(blocks_per_problem, cap),
+                )
+                .writes_shared(&out_val, Footprint::per_group(blocks_per_problem, k))
+                .writes_shared(&out_idx, Footprint::per_group(blocks_per_problem, k))
+                .uses_shared_mem(radix * 4);
+            gpu.try_launch_checked(&contract, launch, kernel)?;
         }
 
         // ---- final resolution ---------------------------------------
         // Offsets advance ≥ b bits per round, so after `rounds` rounds
         // every problem is in the early or ties state (or already
         // finished); this kernel plays the role of AIR's last_filter.
-        gpu.try_launch("radik_last_filter_kernel", launch, |ctx| {
+        let read_sel_last = (rounds - 1) % 2;
+        let contract = inputs
+            .declare_reads(KernelContract::new("radik_last_filter_kernel"))
+            .coordinates(&ctrl, Footprint::per_group(blocks_per_problem, ctrl_stride))
+            .reads(&pvals, Footprint::per_group(blocks_per_problem, rounds + 1))
+            .reads(
+                &buf_val[read_sel_last],
+                Footprint::per_group(blocks_per_problem, cap),
+            )
+            .reads(
+                &buf_idx[read_sel_last],
+                Footprint::per_group(blocks_per_problem, cap),
+            )
+            .writes_shared(&out_val, Footprint::per_group(blocks_per_problem, k))
+            .writes_shared(&out_idx, Footprint::per_group(blocks_per_problem, k));
+        gpu.try_launch_checked(&contract, launch, |ctx| {
             let prob = ctx.block_idx / blocks_per_problem;
             let blk = ctx.block_idx % blocks_per_problem;
             let cb = prob * ctrl_stride;

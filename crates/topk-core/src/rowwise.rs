@@ -31,7 +31,7 @@ use crate::matrix::DeviceMatrix;
 use crate::obs;
 use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput};
-use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract, LaunchConfig};
 use std::sync::atomic::Ordering::Relaxed;
 
 /// Largest K the fused row-wise path supports: the candidate buffer
@@ -161,8 +161,13 @@ impl RowWiseTopK {
         };
 
         let (ov, oi) = (out_val.clone(), out_idx.clone());
-        let launched = gpu.try_launch(
-            "rowwise_fused_kernel",
+        let contract = inputs
+            .declare_reads(KernelContract::new("rowwise_fused_kernel"))
+            .writes(&ov, Footprint::per_block(k))
+            .writes(&oi, Footprint::per_block(k))
+            .uses_shared_mem(shared_needed);
+        let launched = gpu.try_launch_checked(
+            &contract,
             LaunchConfig::grid_1d(batch, self.cfg.block_dim),
             move |ctx| {
                 let row = ctx.block_idx;

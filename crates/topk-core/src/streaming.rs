@@ -26,7 +26,9 @@ use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
 use gpu_sim::device::WARP_SIZE;
 use gpu_sim::warp::Lanes;
-use gpu_sim::{Backend, BackendExt, BlockCtx, DeviceBuffer, LaunchConfig};
+use gpu_sim::{
+    Backend, BackendExt, BlockCtx, DeviceBuffer, Footprint, KernelContract, LaunchConfig,
+};
 
 /// Maximum supported K, same as the rest of the WarpSelect family.
 pub use crate::gridselect::MAX_K;
@@ -175,8 +177,13 @@ impl StreamingSelect {
         out_len: DeviceBuffer<u32>,
     ) -> Result<(), TopKError> {
         let queue = self.queue;
-        gpu.try_launch(
-            label,
+        let contract = KernelContract::new(label)
+            .reads(&src_val, Footprint::all())
+            .writes(&out_val, Footprint::per_block(k))
+            .writes(&out_idx, Footprint::per_block(k))
+            .writes(&out_len, Footprint::per_block(1));
+        gpu.try_launch_checked(
+            &contract,
             LaunchConfig::grid_1d(blocks, WARP_SIZE),
             move |ctx| {
                 let start = ctx.block_idx * chunk;
@@ -266,38 +273,42 @@ impl StreamingSelect {
         let count = ws.alloc::<u32>(gpu, "ss_count", 1)?;
         let queue = self.queue;
         let (ovc, oic, occ) = (out_val.clone(), out_idx.clone(), count);
-        gpu.try_launch(
-            "stream_merge",
-            LaunchConfig::grid_1d(1, WARP_SIZE),
-            move |ctx| {
-                let mut sel = WarpSelector::with_queue(ctx, k, queue);
-                for b in 0..blocks {
-                    let len = ctx.ld(&cand_len, b) as usize;
-                    let base = b * k;
-                    let mut j = 0;
-                    while j < len {
-                        let mut vals = [0.0f32; WARP_SIZE];
-                        let mut pays = [0u32; WARP_SIZE];
-                        let mut valid = [false; WARP_SIZE];
-                        for lane in 0..WARP_SIZE {
-                            if j + lane < len {
-                                vals[lane] = ctx.ld(&cand_val, base + j + lane);
-                                pays[lane] = ctx.ld(&cand_idx, base + j + lane);
-                                valid[lane] = true;
-                            }
+        let contract = KernelContract::new("stream_merge")
+            .reads(&cand_len, Footprint::fixed(0, blocks))
+            .reads(&cand_val, Footprint::all())
+            .reads(&cand_idx, Footprint::all())
+            .writes(&ovc, Footprint::fixed(0, k))
+            .writes(&oic, Footprint::fixed(0, k))
+            .writes(&occ, Footprint::elem(0))
+            .requires_grid_at_most(1);
+        gpu.try_launch_checked(&contract, LaunchConfig::grid_1d(1, WARP_SIZE), move |ctx| {
+            let mut sel = WarpSelector::with_queue(ctx, k, queue);
+            for b in 0..blocks {
+                let len = ctx.ld(&cand_len, b) as usize;
+                let base = b * k;
+                let mut j = 0;
+                while j < len {
+                    let mut vals = [0.0f32; WARP_SIZE];
+                    let mut pays = [0u32; WARP_SIZE];
+                    let mut valid = [false; WARP_SIZE];
+                    for lane in 0..WARP_SIZE {
+                        if j + lane < len {
+                            vals[lane] = ctx.ld(&cand_val, base + j + lane);
+                            pays[lane] = ctx.ld(&cand_idx, base + j + lane);
+                            valid[lane] = true;
                         }
-                        sel.push(ctx, &vals, &pays, &valid);
-                        j += WARP_SIZE;
                     }
+                    sel.push(ctx, &vals, &pays, &valid);
+                    j += WARP_SIZE;
                 }
-                let (v, p) = sel.finish(ctx);
-                ctx.st(&occ, 0, v.len() as u32);
-                for (i, (vv, pp)) in v.iter().zip(&p).enumerate() {
-                    ctx.st(&ovc, i, *vv);
-                    ctx.st(&oic, i, *pp);
-                }
-            },
-        )?;
+            }
+            let (v, p) = sel.finish(ctx);
+            ctx.st(&occ, 0, v.len() as u32);
+            for (i, (vv, pp)) in v.iter().zip(&p).enumerate() {
+                ctx.st(&ovc, i, *vv);
+                ctx.st(&oic, i, *pp);
+            }
+        })?;
         Ok(TopKOutput::new(out_val, out_idx))
     }
 }

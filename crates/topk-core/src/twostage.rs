@@ -25,7 +25,7 @@ use crate::obs;
 use crate::recall::TwoStagePlan;
 use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, check_batch, Category, TopKAlgorithm, TopKOutput};
-use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract, LaunchConfig};
 use std::sync::atomic::Ordering::Relaxed;
 
 /// The two-stage approximate selector (see module docs).
@@ -168,8 +168,15 @@ impl TwoStageTopK {
         // candidate buffers.
         let cap1 = (2 * kp).max(64);
         let (cv, ci) = (cand_val.clone(), cand_idx.clone());
-        let stage1 = gpu.try_launch(
-            "twostage_partition_kernel",
+        // Block (row * parts + part) owns candidate slots
+        // [block * k', block * k' + k') — exactly a per-block tile.
+        let contract = inputs
+            .declare_reads(KernelContract::new("twostage_partition_kernel"))
+            .writes(&cv, Footprint::per_block(kp))
+            .writes(&ci, Footprint::per_block(kp))
+            .uses_shared_mem(cap1 * (std::mem::size_of::<T::Ordered>() + 4));
+        let stage1 = gpu.try_launch_checked(
+            &contract,
             LaunchConfig::grid_1d(batch * parts, self.block_dim),
             move |ctx| {
                 let row = ctx.block_idx / parts;
@@ -236,8 +243,14 @@ impl TwoStageTopK {
         let cap2 = (2 * k).max(64);
         let (cv, ci) = (cand_val.clone(), cand_idx.clone());
         let (ov, oi) = (out_val.clone(), out_idx.clone());
-        let stage2 = gpu.try_launch(
-            "twostage_reduce_kernel",
+        let contract = KernelContract::new("twostage_reduce_kernel")
+            .reads(&cv, Footprint::per_block(m))
+            .reads(&ci, Footprint::per_block(m))
+            .writes(&ov, Footprint::per_block(k))
+            .writes(&oi, Footprint::per_block(k))
+            .uses_shared_mem(cap2 * (std::mem::size_of::<T::Ordered>() + 4));
+        let stage2 = gpu.try_launch_checked(
+            &contract,
             LaunchConfig::grid_1d(batch, self.block_dim),
             move |ctx| {
                 let row = ctx.block_idx;

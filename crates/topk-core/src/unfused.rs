@@ -29,7 +29,7 @@ use crate::error::TopKError;
 use crate::keys::{digit_of, digit_width_of, num_passes_of, RadixKey};
 use crate::scratch::ScratchGuard;
 use crate::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
-use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract, LaunchConfig};
 
 // Device control-block slots.
 const K_REM: usize = 0;
@@ -136,7 +136,13 @@ impl UnfusedRadix {
                 let (sb, si) = (cand[src].0.clone(), cand[src].1.clone());
                 let input = input.clone();
                 let (hist, ctrl) = (hist.clone(), ctrl.clone());
-                gpu.try_launch("compute_histogram", launch, move |ctx| {
+                let contract = KernelContract::new("compute_histogram")
+                    .reads(&ctrl, Footprint::fixed(0, CTRL_LEN))
+                    .reads(&input, Footprint::all())
+                    .reads(&sb, Footprint::all())
+                    .atomics(&hist, Footprint::fixed(0, radix))
+                    .uses_shared_mem(radix * 4);
+                gpu.try_launch_checked(&contract, launch, move |ctx| {
                     let count = ctx.ld(&ctrl, COUNT) as usize;
                     let start = ctx.block_idx * chunk;
                     let end = (start + chunk).min(count);
@@ -164,7 +170,11 @@ impl UnfusedRadix {
             {
                 let (hist, psum) = (hist.clone(), psum.clone());
                 let width = digit_width_of::<u32>(pass as u32, b);
-                gpu.try_launch("prefix_sum", LaunchConfig::grid_1d(1, 256), move |ctx| {
+                let contract = KernelContract::new("prefix_sum")
+                    .reads(&hist, Footprint::fixed(0, 1 << width))
+                    .writes(&psum, Footprint::fixed(0, 1 << width))
+                    .requires_grid_at_most(1);
+                gpu.try_launch_checked(&contract, LaunchConfig::grid_1d(1, 256), move |ctx| {
                     let mut acc = 0u32;
                     for d in 0..(1usize << width) {
                         acc += ctx.ld(&hist, d);
@@ -178,23 +188,23 @@ impl UnfusedRadix {
             {
                 let (psum, ctrl) = (psum.clone(), ctrl.clone());
                 let width = digit_width_of::<u32>(pass as u32, b);
-                gpu.try_launch(
-                    "find_target_digit",
-                    LaunchConfig::grid_1d(1, 256),
-                    move |ctx| {
-                        let k_rem = ctx.ld(&ctrl, K_REM);
-                        for d in 0..(1usize << width) {
-                            if ctx.ld(&psum, d) >= k_rem {
-                                let below = if d > 0 { ctx.ld(&psum, d - 1) } else { 0 };
-                                ctx.st(&ctrl, TARGET, d as u32);
-                                ctx.st(&ctrl, K_REM, k_rem - below);
-                                ctx.st(&ctrl, BUF_CURSOR, 0);
-                                break;
-                            }
+                let contract = KernelContract::new("find_target_digit")
+                    .reads(&psum, Footprint::fixed(0, 1 << width))
+                    .coordinates(&ctrl, Footprint::fixed(0, CTRL_LEN))
+                    .requires_grid_at_most(1);
+                gpu.try_launch_checked(&contract, LaunchConfig::grid_1d(1, 256), move |ctx| {
+                    let k_rem = ctx.ld(&ctrl, K_REM);
+                    for d in 0..(1usize << width) {
+                        if ctx.ld(&psum, d) >= k_rem {
+                            let below = if d > 0 { ctx.ld(&psum, d - 1) } else { 0 };
+                            ctx.st(&ctrl, TARGET, d as u32);
+                            ctx.st(&ctrl, K_REM, k_rem - below);
+                            ctx.st(&ctrl, BUF_CURSOR, 0);
+                            break;
                         }
-                        ctx.ops(2 << width);
-                    },
-                )?;
+                    }
+                    ctx.ops(2 << width);
+                })?;
             }
 
             // Kernel 4: filter (second data sweep) — emit results,
@@ -206,7 +216,17 @@ impl UnfusedRadix {
                 let input = input.clone();
                 let (ctrl, hist) = (ctrl.clone(), hist.clone());
                 let (out_val, out_idx) = (out_val.clone(), out_idx.clone());
-                gpu.try_launch("filter", launch, move |ctx| {
+                let contract = KernelContract::new("filter")
+                    .reads(&input, Footprint::all())
+                    .reads(&sb, Footprint::all())
+                    .reads(&si, Footprint::all())
+                    .reads(&hist, Footprint::fixed(0, radix))
+                    .coordinates(&ctrl, Footprint::fixed(0, CTRL_LEN))
+                    .writes_shared(&out_val, Footprint::all())
+                    .writes_shared(&out_idx, Footprint::all())
+                    .writes_shared(&db, Footprint::all())
+                    .writes_shared(&di, Footprint::all());
+                gpu.try_launch_checked(&contract, launch, move |ctx| {
                     let count = ctx.ld(&ctrl, COUNT) as usize;
                     let target = ctx.ld(&ctrl, TARGET);
                     let k_rem = ctx.ld(&ctrl, K_REM);

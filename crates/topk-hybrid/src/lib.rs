@@ -35,7 +35,7 @@
 //! selection cannot lose a needed duplicate: each selected subrange
 //! supplies one element `≤ t` of its own.)
 
-use gpu_sim::{Backend, BackendExt, DeviceBuffer, LaunchConfig};
+use gpu_sim::{Backend, BackendExt, DeviceBuffer, Footprint, KernelContract, LaunchConfig};
 use topk_core::traits::{check_args, Category, TopKAlgorithm, TopKOutput};
 use topk_core::{ScratchGuard, TopKError};
 
@@ -113,8 +113,11 @@ impl<A: TopKAlgorithm> DrTopK<A> {
         {
             let input = input.clone();
             let delegates = delegates.clone();
-            gpu.try_launch(
-                "drtopk_delegate_reduce",
+            let contract = KernelContract::new("drtopk_delegate_reduce")
+                .reads(&input, Footprint::all())
+                .writes(&delegates, Footprint::tiles(256));
+            gpu.try_launch_checked(
+                &contract,
                 LaunchConfig::for_elements(subranges, 256, 1, usize::MAX),
                 move |ctx| {
                     let start = ctx.block_idx * 256;
@@ -155,8 +158,13 @@ impl<A: TopKAlgorithm> DrTopK<A> {
             let win_idx = winners.indices.clone();
             let cand_val = cand_val.clone();
             let cand_src = cand_src.clone();
-            gpu.try_launch(
-                "drtopk_gather",
+            let contract = KernelContract::new("drtopk_gather")
+                .reads(&input, Footprint::all())
+                .reads(&win_idx, Footprint::tiles(64))
+                .writes(&cand_val, Footprint::tiles(64 * sub_len))
+                .writes(&cand_src, Footprint::tiles(64 * sub_len));
+            gpu.try_launch_checked(
+                &contract,
                 LaunchConfig::for_elements(k, 64, 1, usize::MAX),
                 move |ctx| {
                     let start = ctx.block_idx * 64;
@@ -190,19 +198,20 @@ impl<A: TopKAlgorithm> DrTopK<A> {
             let second_idx = second.indices.clone();
             let cand_src = cand_src.clone();
             let out_idx = out_idx.clone();
-            gpu.try_launch(
-                "drtopk_map_indices",
-                LaunchConfig::grid_1d(1, 256),
-                move |ctx| {
-                    for i in 0..k {
-                        let c = ctx.ld(&second_idx, i) as usize;
-                        let orig = ctx.ld_gather(&cand_src, c);
-                        debug_assert_ne!(orig, u32::MAX, "sentinel leaked into top-K");
-                        ctx.st(&out_idx, i, orig);
-                    }
-                    ctx.ops(k as u64);
-                },
-            )?;
+            let contract = KernelContract::new("drtopk_map_indices")
+                .reads(&second_idx, Footprint::fixed(0, k))
+                .reads(&cand_src, Footprint::all())
+                .writes(&out_idx, Footprint::fixed(0, k))
+                .requires_grid_at_most(1);
+            gpu.try_launch_checked(&contract, LaunchConfig::grid_1d(1, 256), move |ctx| {
+                for i in 0..k {
+                    let c = ctx.ld(&second_idx, i) as usize;
+                    let orig = ctx.ld_gather(&cand_src, c);
+                    debug_assert_ne!(orig, u32::MAX, "sentinel leaked into top-K");
+                    ctx.st(&out_idx, i, orig);
+                }
+                ctx.ops(k as u64);
+            })?;
         }
 
         Ok(TopKOutput::new(second.values, out_idx))

@@ -38,11 +38,15 @@ fn main() {
     gpu.reset_profile();
     {
         let (vecs, q, dists) = (vecs.clone(), q.clone(), dists.clone());
-        gpu.launch(
-            "distance_kernel",
+        let chunk = 256 * 4;
+        let contract = KernelContract::new("distance_kernel")
+            .reads(&vecs, Footprint::per_block(chunk * dim))
+            .reads(&q, Footprint::fixed(0, dim))
+            .writes(&dists, Footprint::per_block(chunk));
+        gpu.launch_checked(
+            &contract,
             gpu_sim::LaunchConfig::for_elements(n, 256, 4, usize::MAX),
             move |ctx| {
-                let chunk = 256 * 4;
                 let start = ctx.block_idx * chunk;
                 let end = (start + chunk).min(n);
                 let mut qreg = vec![0.0f32; dim];
@@ -83,19 +87,27 @@ fn main() {
         ..GridSelectConfig::default()
     });
     let out = fused_cfg
-        .select_on_the_fly(&mut gpu, n, k, |ctx, v| {
-            let mut acc = 0.0f32;
-            for d in 0..dim {
-                let x = ctx.ld(&vecs, v * dim + d);
-                // The query vector lives in the constant cache / registers
-                // on a real GPU (one broadcast load per block, not per
-                // element): read it unmetered.
-                let qd = q.get(d);
-                acc += (x - qd) * (x - qd);
-            }
-            ctx.ops(2 * dim as u64);
-            acc
-        })
+        .select_on_the_fly(
+            &mut gpu,
+            n,
+            k,
+            |ctx, v| {
+                let mut acc = 0.0f32;
+                for d in 0..dim {
+                    let x = ctx.ld(&vecs, v * dim + d);
+                    // The query vector lives in the constant cache / registers
+                    // on a real GPU (one broadcast load per block, not per
+                    // element): read it unmetered.
+                    let qd = q.get(d);
+                    acc += (x - qd) * (x - qd);
+                }
+                ctx.ops(2 * dim as u64);
+                acc
+            },
+            // The fused producer gathers from the vector database —
+            // declared so the launch contract covers its reads.
+            |c| c.reads(&vecs, Footprint::all()),
+        )
         .unwrap();
     let t_fused = gpu.elapsed_us();
     let traffic_fused: u64 = gpu

@@ -52,8 +52,8 @@ pub use ::topk_wgpu;
 pub mod prelude {
     pub use crate::datagen::{self, AnnDataset, AnnKind, Distribution};
     pub use crate::gpu_sim::{
-        DeviceSpec, Gpu, LaunchConfig, SanitizerCounts, SanitizerFinding, SanitizerMode,
-        SanitizerReport,
+        DeviceSpec, Footprint, Gpu, KernelContract, LaunchConfig, SanitizerCounts,
+        SanitizerFinding, SanitizerMode, SanitizerReport,
     };
     pub use crate::topk_baselines::{
         BitonicTopK, BlockSelect, BucketSelect, QuickSelect, RadixSelect, SampleSelect, SortTopK,

@@ -168,7 +168,10 @@ fn injected_oom_mid_selection_leaks_no_scratch() {
     // surface the fault AND release everything it allocated before
     // the failure — the engine's retry path re-runs selections on the
     // same device, so a single leaked block per fault would
-    // accumulate into a real OOM.
+    // accumulate into a real OOM. Contract enforcement stays armed for
+    // the whole sweep: the `catch_unwind` recovery inside `try_select`
+    // must not let a contracted launch slip through with a static
+    // violation or a conformance finding either.
     let data = datagen::generate(Distribution::Uniform, 30_000, 77);
     let k = 100;
     for alg in everything() {
@@ -178,6 +181,7 @@ fn injected_oom_mid_selection_leaks_no_scratch() {
         let mut fired = 0u32;
         for nth in 0..24u64 {
             let mut gpu = Gpu::new(DeviceSpec::a100());
+            gpu.enable_sanitizer(SanitizerMode::off().with_contracts());
             let input = gpu.htod("in", &data);
             // Install the injector after the upload so the scripted
             // OOM targets the selection's allocations, not the input.
@@ -188,7 +192,20 @@ fn injected_oom_mid_selection_leaks_no_scratch() {
                 nth,
             });
             gpu.set_fault_injector(plan.injector_for(0));
-            match alg.try_select(&mut gpu, &input, k) {
+            let result = alg.try_select(&mut gpu, &input, k);
+            let report = gpu.sanitizer_report().expect("sanitizer was armed");
+            assert!(
+                report.is_clean(),
+                "{} contract findings leaked through recovery at allocation #{nth}:\n{}",
+                alg.name(),
+                report
+                    .findings
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+            match result {
                 Ok(out) => {
                     // Success may hand back device-accounted output
                     // buffers (algorithm-dependent); scratch beyond
